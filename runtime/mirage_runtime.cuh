@@ -1,0 +1,79 @@
+// mirage_runtime.cuh — device-side primitives referenced by the kernels
+// that lib/codegen emits. On a CUDA toolchain these map onto cuTLASS
+// collective operations; in this repository they document the exact
+// contract each emitted call site relies on (the functional semantics are
+// those of lib/mugraph's reference interpreter).
+//
+// Conventions:
+//   * every tile argument is a shared-memory view: a base pointer plus a
+//     static shape/stride descriptor carried in the emitted comments;
+//   * calls are COLLECTIVE over the thread block: all threads of the
+//     block participate, work is partitioned by threadIdx;
+//   * no call synchronizes; the emitter inserts __syncthreads() between
+//     dependency-depth levels (lib/opt/schedule.ml).
+
+#pragma once
+#include <cuda_fp16.h>
+
+// ---- device <-> shared transfers ------------------------------------
+
+// Load one input tile. `imap` partitions the tensor across blockIdx,
+// `fmap` across for-loop iterations (paper §2, Fig. 3): a grid/loop
+// dimension mapped to a data dimension selects an equal chunk; the
+// replica dimension phi replicates. Coalesced bulk copy when the tile's
+// innermost dimension is contiguous in device memory (the layout ILP's
+// objective, lib/opt/layout_opt.ml).
+__device__ void copy_tile(half *dst_smem, const half *src_dmem,
+                          const char *imap, const char *fmap, int iter);
+
+// Store an accumulated tile; `omap` maps every grid dimension to a
+// distinct data dimension, so blocks write disjoint slices.
+__device__ void store_tile(half *dst_dmem, const half *src_smem,
+                           const char *omap);
+
+// ---- block-level operators (paper Table 1, column B) ------------------
+
+__device__ void mma_tile(half *out, const half *a, const half *b); // tensor cores
+__device__ void concat_mma(half *out, const half *w, const half *x,
+                           const half *y, const half *z); // (W||X) x (Y||Z)
+__device__ void ew_add(half *out, const half *a, const half *b);
+__device__ void ew_sub(half *out, const half *a, const half *b);
+__device__ void ew_mul(half *out, const half *a, const half *b);
+__device__ void ew_div(half *out, const half *a, const half *b);
+__device__ void ew_exp(half *out, const half *a);
+__device__ void ew_sqr(half *out, const half *a);
+__device__ void ew_sqrt(half *out, const half *a);
+__device__ void ew_silu(half *out, const half *a);
+__device__ void ew_relu(half *out, const half *a);
+
+// Sum along dimension DIM in groups of GROUP consecutive elements
+// (GROUP == extent means a full reduction of that dimension).
+template <int DIM, int GROUP>
+__device__ void reduce_sum(half *out, const half *a);
+
+template <int DIM, int TIMES>
+__device__ void repeat(half *out, const half *a);
+
+// ---- for-loop accumulators (paper §2) ---------------------------------
+
+// fmap phi: out += in (elementwise, in shared memory).
+// fmap = data dim: out[chunk(iter)] = in (concatenation).
+__device__ void accumulate(half *acc, const half *in, const char *fmap,
+                           int iter);
+__device__ void zero_fill(half *acc);
+
+// ---- thread-level fragments (paper §4.2 thread graphs) -----------------
+
+// Thread graphs keep intermediates in the register file: load_fragment /
+// store_fragment are per-thread and free of shared-memory traffic.
+struct fragment;
+__device__ fragment load_fragment(const half *smem_tile);
+__device__ void store_fragment(half *smem_tile, fragment f);
+__device__ fragment ew_add(fragment a, fragment b);
+__device__ fragment ew_sub(fragment a, fragment b);
+__device__ fragment ew_mul(fragment a, fragment b);
+__device__ fragment ew_div(fragment a, fragment b);
+__device__ fragment ew_exp(fragment a);
+__device__ fragment ew_sqr(fragment a);
+__device__ fragment ew_sqrt(fragment a);
+__device__ fragment ew_silu(fragment a);

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Artifact-evaluation style reproduction script: builds everything, runs
+# the full test suite, regenerates every table/figure of the paper's
+# evaluation, and leaves transcripts in ./artifacts/.
+#
+#   ./scripts/repro.sh          # everything except the slow sweeps
+#   ./scripts/repro.sh --full   # adds table5 --full and all case studies
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FULL=0
+[[ "${1:-}" == "--full" ]] && FULL=1
+
+mkdir -p artifacts
+
+echo "== build"
+dune build @all 2>&1 | tee artifacts/build.log
+
+echo "== tests"
+dune runtest --force --no-buffer 2>&1 | tee artifacts/tests.log
+
+echo "== benchmarks (Fig 7, Fig 11, GQA sweep, ablations, Table 5 fast, micro)"
+dune exec bench/main.exe 2>&1 | tee artifacts/bench.log
+
+echo "== case study: RMSNorm (Fig 4b discovery)"
+dune exec bench/main.exe -- casestudy rmsnorm 2>&1 | tee artifacts/casestudy_rmsnorm.log
+
+if [[ "$FULL" == 1 ]]; then
+  echo "== Table 5 (full sweep, slow)"
+  dune exec bench/main.exe -- table5 --full 2>&1 | tee artifacts/table5_full.log
+  for b in qknorm lora gatedmlp ntrans gqa; do
+    echo "== case study: $b"
+    dune exec bench/main.exe -- casestudy "$b" 2>&1 | tee "artifacts/casestudy_$b.log"
+  done
+fi
+
+echo "== examples"
+for ex in quickstart rmsnorm_fusion attention_search lora_fusion gated_mlp end_to_end; do
+  echo "-- examples/$ex"
+  dune exec "examples/$ex.exe" 2>&1 | tee "artifacts/example_$ex.log"
+done
+
+echo
+echo "done; transcripts in ./artifacts/"
