@@ -1,0 +1,213 @@
+(* Command-line interface to the Mirage reproduction.
+
+   Subcommands:
+     optimize  — superoptimize a named benchmark's specification
+     verify    — check a benchmark's Mirage plan against its spec
+     inspect   — print a benchmark's plans, costs, and generated CUDA
+     bench     — quick cost comparison across systems and devices
+     list      — list available benchmarks *)
+
+open Cmdliner
+
+let device_conv =
+  let parse s =
+    match Gpusim.Device.by_name s with
+    | Some d -> Ok d
+    | None -> Error (`Msg (Printf.sprintf "unknown device %S (a100|h100)" s))
+  in
+  Arg.conv (parse, fun fmt d -> Format.fprintf fmt "%s" d.Gpusim.Device.name)
+
+let device_arg =
+  Arg.(
+    value
+    & opt device_conv Gpusim.Device.a100
+    & info [ "device"; "d" ] ~docv:"DEV" ~doc:"Target GPU model (a100 or h100).")
+
+let bench_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"BENCHMARK"
+        ~doc:"Benchmark name: gqa, qknorm, rmsnorm, lora, gatedmlp, ntrans.")
+
+let lookup name =
+  match Workloads.Bench_defs.by_name name with
+  | Some b -> b
+  | None ->
+      Printf.eprintf "unknown benchmark %S\n" name;
+      exit 2
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (b : Workloads.Bench_defs.benchmark) ->
+        Printf.printf "%-10s %-32s (%s)\n" b.name b.description b.base_arch)
+      (Workloads.Bench_defs.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available benchmarks")
+    Term.(const run $ const ())
+
+let verify_cmd =
+  let run name =
+    let b = lookup name in
+    let spec, plan = b.Workloads.Bench_defs.reduced () in
+    Printf.printf "verifying %s Mirage plan against its specification\n"
+      b.Workloads.Bench_defs.name;
+    let r = Verify.Random_test.equivalent ~trials:3 ~spec plan in
+    Printf.printf "result: %s\n" (Verify.Random_test.to_string r);
+    match r with Verify.Random_test.Equivalent -> () | _ -> exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Probabilistically verify a benchmark's Mirage plan (reduced dims)")
+    Term.(const run $ bench_arg)
+
+let inspect_cmd =
+  let run name device =
+    let b = lookup name in
+    let cost g = (Gpusim.Cost.cost device g).Gpusim.Cost.total_us in
+    Printf.printf "== %s (%s) on %s\n" b.Workloads.Bench_defs.name
+      b.Workloads.Bench_defs.base_arch device.Gpusim.Device.name;
+    Printf.printf "-- specification:\n%s\n"
+      (Mugraph.Pretty.kernel_graph_to_string b.Workloads.Bench_defs.spec);
+    Printf.printf "-- Mirage muGraph (%.2f us):\n%s\n"
+      (cost b.Workloads.Bench_defs.mirage)
+      (Mugraph.Pretty.kernel_graph_to_string b.Workloads.Bench_defs.mirage);
+    Printf.printf "-- optimizer report:\n%s\n"
+      (Opt.Optimizer.summary
+         (Opt.Optimizer.optimize device b.Workloads.Bench_defs.mirage));
+    Printf.printf "-- generated CUDA:\n%s\n"
+      (Codegen.Cuda_emit.emit_kernel
+         ~name:(String.lowercase_ascii b.Workloads.Bench_defs.name)
+         b.Workloads.Bench_defs.mirage)
+  in
+  Cmd.v (Cmd.info "inspect" ~doc:"Print plans, costs and generated code")
+    Term.(const run $ bench_arg $ device_arg)
+
+let bench_cmd =
+  let run device =
+    List.iter
+      (fun (b : Workloads.Bench_defs.benchmark) ->
+        let cost g = (Gpusim.Cost.cost device g).Gpusim.Cost.total_us in
+        let mi = cost b.mirage in
+        Printf.printf "%-10s Mirage %8.2f us |" b.name mi;
+        List.iter
+          (fun (n, g) -> Printf.printf " %s %.2f (%.2fx)" n (cost g) (cost g /. mi))
+          b.systems;
+        print_newline ())
+      (Workloads.Bench_defs.all ())
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"Cost all benchmarks on a device")
+    Term.(const run $ device_arg)
+
+let optimize_cmd =
+  let ops_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-block-ops" ] ~docv:"N"
+          ~doc:"Maximum operators per block graph during the search.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers"; "j" ] ~docv:"N" ~doc:"Search worker domains.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt float 120.0
+      & info [ "budget" ] ~docv:"SECONDS" ~doc:"Search time budget.")
+  in
+  let run name device max_ops workers budget =
+    let b = lookup name in
+    (* Superoptimize the reduced-dimension specification: the search is
+       exhaustive and the discovered structure is dimension-uniform. *)
+    let spec, _ = b.Workloads.Bench_defs.reduced () in
+    let base =
+      {
+        Search.Config.default with
+        Search.Config.max_block_ops = max_ops;
+        num_workers = workers;
+        time_budget_s = budget;
+      }
+    in
+    let config = Search.Config.for_spec ~base spec in
+    let report = Mirage.superoptimize ~config ~device spec in
+    print_string (Mirage.summary report);
+    List.iter
+      (fun (pr : Mirage.piece_result) ->
+        match pr.Mirage.outcome with
+        | Some o ->
+            Printf.printf "piece %d search: %s\n" pr.piece.Mirage.Partition.id
+              (Search.Stats.to_string o.Search.Generator.stats);
+            Printf.printf "best muGraph:\n%s\n"
+              (Mugraph.Pretty.kernel_graph_to_string pr.Mirage.best)
+        | None -> ())
+      report.Mirage.pieces
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Run the full superoptimizer on a benchmark (reduced dims)")
+    Term.(const run $ bench_arg $ device_arg $ ops_arg $ workers_arg $ budget_arg)
+
+let emit_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+  in
+  let run name out =
+    let b = lookup name in
+    let cuda =
+      Codegen.Cuda_emit.emit_kernel
+        ~name:(String.lowercase_ascii b.Workloads.Bench_defs.name)
+        b.Workloads.Bench_defs.mirage
+    in
+    match out with
+    | None -> print_string cuda
+    | Some path ->
+        let oc = open_out path in
+        output_string oc cuda;
+        close_out oc;
+        Printf.printf "wrote %d lines to %s\n" (Codegen.Cuda_emit.loc cuda)
+          path
+  in
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Emit the CUDA for a benchmark's Mirage muGraph")
+    Term.(const run $ bench_arg $ out_arg)
+
+let symverify_cmd =
+  let run name =
+    let b = lookup name in
+    let spec, plan = b.Workloads.Bench_defs.reduced () in
+    Printf.printf
+      "exact symbolic verification of the %s Mirage plan (reduced dims)\n"
+      b.Workloads.Bench_defs.name;
+    let r = Verify.Symbolic.equivalent ~spec plan in
+    Printf.printf "result: %s\n" (Verify.Symbolic.to_string r);
+    match r with Verify.Symbolic.Equivalent -> () | _ -> exit 1
+  in
+  Cmd.v
+    (Cmd.info "symverify"
+       ~doc:
+         "Prove a benchmark's Mirage plan equivalent with the exact \
+          symbolic verifier (paper §7's solver-based path)")
+    Term.(const run $ bench_arg)
+
+let () =
+  let info =
+    Cmd.info "mirage-cli" ~version:"1.0.0"
+      ~doc:"Mirage multi-level tensor-program superoptimizer (reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd;
+            verify_cmd;
+            symverify_cmd;
+            inspect_cmd;
+            bench_cmd;
+            optimize_cmd;
+            emit_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/attention_search.ml: Baselines Float Gpusim List Printf Templates Verify

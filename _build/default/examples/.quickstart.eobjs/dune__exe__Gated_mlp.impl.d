@@ -1,0 +1,1 @@
+examples/gated_mlp.ml: Baselines Gpusim List Mugraph Printf Search Templates Verify

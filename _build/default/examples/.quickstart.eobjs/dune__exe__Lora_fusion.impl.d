@@ -1,0 +1,1 @@
+examples/lora_fusion.ml: Absexpr Abstract Baselines Gpusim Graph List Mugraph Op Pretty Printf Templates Verify

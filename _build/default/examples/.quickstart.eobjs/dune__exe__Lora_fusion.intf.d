@@ -1,0 +1,1 @@
+examples/lora_fusion.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Codegen Dense Element Gpusim Graph Interp List Mirage Mugraph Op Pretty Printf Random Search Tensor

@@ -1,0 +1,1 @@
+examples/rmsnorm_fusion.ml: Baselines Gpusim List Mugraph Opt Printf Templates Verify

@@ -1,0 +1,1 @@
+examples/rmsnorm_fusion.mli:

@@ -1,0 +1,69 @@
+(* Group-query attention (paper §8.2): how the choice of grid dimensions
+   and KV partitioning changes both SM utilization and device-memory
+   traffic.
+
+   Compares, for LLaMA-3-70B decode attention (per-GPU shard under
+   4-way tensor parallelism):
+   - the unfused matmul/softmax/matmul plan (PyTorch),
+   - the heads-parallel fused kernel (TensorRT-LLM / FlashAttention),
+   - split-KV with one query head per block (FlashDecoding),
+   - Mirage's discovery: split-KV with the whole query group per block,
+     which loads each K/V tile once (up to ~7x less DRAM traffic at
+     batch 8).
+
+     dune exec examples/attention_search.exe *)
+
+open Baselines
+
+let plans ~b =
+  let gk = 2 and grp = 8 and s = 4096 and dh = 128 in
+  [
+    ("PyTorch (unfused)", Templates.attention_unfused ~b ~gk ~grp ~s ~dh);
+    ( "TensorRT-LLM (heads grid)",
+      Templates.attention_fused_heads ~b ~gk ~grp ~s ~dh );
+    ( "FlashDecoding (split 4/head)",
+      Templates.attention_fused_split_kv ~b ~gk ~grp ~s ~dh ~split:4
+        ~group_in_block:false );
+    ( "Mirage (group-in-block)",
+      Templates.attention_fused_split_kv ~b ~gk ~grp ~s ~dh
+        ~split:(if b = 1 then 64 else 8)
+        ~group_in_block:true );
+  ]
+
+let () =
+  (* correctness first: all fused variants are verified equivalent *)
+  let spec = Templates.attention_spec ~b:2 ~gk:2 ~grp:4 ~s:128 ~dh:8 in
+  List.iter
+    (fun (name, g) ->
+      Printf.printf "%-30s %s\n" name
+        (Verify.Random_test.to_string
+           (Verify.Random_test.equivalent ~trials:2 ~spec g)))
+    [
+      ("unfused", Templates.attention_unfused ~b:2 ~gk:2 ~grp:4 ~s:128 ~dh:8);
+      ( "heads-parallel",
+        Templates.attention_fused_heads ~b:2 ~gk:2 ~grp:4 ~s:128 ~dh:8 );
+      ( "split-KV per head",
+        Templates.attention_fused_split_kv ~b:2 ~gk:2 ~grp:4 ~s:128 ~dh:8
+          ~split:2 ~group_in_block:false );
+      ( "split-KV group-in-block",
+        Templates.attention_fused_split_kv ~b:2 ~gk:2 ~grp:4 ~s:128 ~dh:8
+          ~split:2 ~group_in_block:true );
+    ];
+  print_newline ();
+  List.iter
+    (fun b ->
+      List.iter
+        (fun dev ->
+          Printf.printf "=== batch %d on %s\n" b dev.Gpusim.Device.name;
+          let best = ref infinity in
+          List.iter
+            (fun (name, g) ->
+              let c = Gpusim.Cost.cost dev g in
+              best := Float.min !best c.Gpusim.Cost.total_us;
+              Printf.printf "  %-30s %8.2f us  %7.2f MB DRAM\n" name
+                c.Gpusim.Cost.total_us
+                (c.Gpusim.Cost.total_dram_bytes /. 1.0e6))
+            (plans ~b);
+          print_newline ())
+        [ Gpusim.Device.a100; Gpusim.Device.h100 ])
+    [ 1; 8 ]

@@ -1,0 +1,38 @@
+(* End-to-end inference (paper Fig. 11): four models executed as stacks
+   of Transformer layers, comparing the PyTorch plan against the same
+   plan with Mirage-generated kernels substituted for the LAX pieces.
+
+     dune exec examples/end_to_end.exe *)
+
+let () =
+  print_endline
+    "End-to-end decode latency (simulated), PyTorch vs PyTorch+Mirage";
+  print_endline "(paper Fig. 11 reports 1.1-1.9x)\n";
+  List.iter
+    (fun dev ->
+      Printf.printf "=== %s\n" dev.Gpusim.Device.name;
+      List.iter
+        (fun m ->
+          let base = Workloads.Models.latency_us dev m ~optimized:false in
+          let opti = Workloads.Models.latency_us dev m ~optimized:true in
+          Printf.printf "  %-14s %9.0f us -> %9.0f us  (%.2fx, %d layers)\n"
+            m.Workloads.Models.name base opti (base /. opti)
+            m.Workloads.Models.num_layers;
+          (* per-component breakdown *)
+          List.iter
+            (fun c ->
+              let cb =
+                (Gpusim.Cost.cost dev c.Workloads.Models.baseline)
+                  .Gpusim.Cost.total_us
+              in
+              let co =
+                (Gpusim.Cost.cost dev c.Workloads.Models.optimized)
+                  .Gpusim.Cost.total_us
+              in
+              Printf.printf "      %-18s %8.2f -> %8.2f us%s\n"
+                c.Workloads.Models.label cb co
+                (if cb = co then "  (unchanged)" else ""))
+            m.Workloads.Models.layer)
+        (Workloads.Models.all ());
+      print_newline ())
+    [ Gpusim.Device.a100; Gpusim.Device.h100 ]

@@ -1,0 +1,1 @@
+lib/absexpr/expr.ml: Format Printf Stdlib Zmodel

@@ -1,0 +1,1 @@
+lib/absexpr/expr.mli: Format

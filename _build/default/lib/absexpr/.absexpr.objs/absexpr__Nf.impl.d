@@ -1,0 +1,1 @@
+lib/absexpr/nf.ml: Expr Format Hashtbl List Option Printf Stdlib String

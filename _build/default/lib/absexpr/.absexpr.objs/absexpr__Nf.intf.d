@@ -1,0 +1,1 @@
+lib/absexpr/nf.mli: Expr Format

@@ -1,0 +1,1 @@
+lib/absexpr/zmodel.ml:

@@ -1,0 +1,65 @@
+type t =
+  | Var of string
+  | Add of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Exp of t
+  | Sqrt of t
+  | Silu of t
+  | Sum of int * t
+
+let var v = Var v
+let add a b = Add (a, b)
+let mul a b = Mul (a, b)
+let div a b = Div (a, b)
+let exp a = Exp a
+let sqrt a = Sqrt a
+let silu a = Silu a
+
+let sum i x =
+  if i <= 0 then invalid_arg "Expr.sum: reduction size must be positive";
+  if i = 1 then x
+  else match x with Sum (j, y) -> Sum (i * j, y) | _ -> Sum (i, x)
+
+let sqr x = Mul (x, x)
+let matmul ~k x y = sum k (Mul (x, y))
+
+let concat_matmul ~k1 ~k2 w x y z =
+  Add (sum k1 (Mul (w, y)), sum k2 (Mul (x, z)))
+
+let rec size = function
+  | Var _ -> 1
+  | Add (a, b) | Mul (a, b) | Div (a, b) -> 1 + size a + size b
+  | Exp a | Sqrt a | Silu a | Sum (_, a) -> 1 + size a
+
+let compare = Stdlib.compare
+let equal_syntactic a b = compare a b = 0
+
+let rec to_string = function
+  | Var v -> v
+  | Add (a, b) -> Printf.sprintf "add(%s,%s)" (to_string a) (to_string b)
+  | Mul (a, b) -> Printf.sprintf "mul(%s,%s)" (to_string a) (to_string b)
+  | Div (a, b) -> Printf.sprintf "div(%s,%s)" (to_string a) (to_string b)
+  | Exp a -> Printf.sprintf "exp(%s)" (to_string a)
+  | Sqrt a -> Printf.sprintf "sqrt(%s)" (to_string a)
+  | Silu a -> Printf.sprintf "silu(%s)" (to_string a)
+  | Sum (i, a) -> Printf.sprintf "sum(%d,%s)" i (to_string a)
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+(* A model of A_eq over Z_modulus: sum(i,x) |-> i*x; exp/sqrt/silu are
+   arbitrary unary functions (hash mixes). Every axiom of Table 2's A_eq
+   holds in this model, so normal-form equality must imply equal values. *)
+let eval lookup ~modulus e =
+  let md x = Zmodel.normalize ~modulus x in
+  let rec go = function
+    | Var v -> md (lookup v)
+    | Add (a, b) -> md (go a + go b)
+    | Mul (a, b) -> md (go a * go b)
+    | Div (a, b) -> Zmodel.div ~modulus (go a) (go b)
+    | Exp a -> Zmodel.mix ~modulus 3 (go a)
+    | Sqrt a -> Zmodel.mix ~modulus 5 (go a)
+    | Silu a -> Zmodel.mix ~modulus 7 (go a)
+    | Sum (i, a) -> md (md i * go a)
+  in
+  go e

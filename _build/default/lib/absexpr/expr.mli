@@ -1,0 +1,54 @@
+(** Abstract expressions (paper §4.3, Table 1).
+
+    An abstract expression abstracts the tensor-valued function computed at
+    a muGraph edge by ignoring the differences between elements of the same
+    input tensor: first-order terms over uninterpreted functions
+    [add], [mul], [div], [exp], [sqrt], [silu] and the integer-indexed
+    [sum(i, x)] (reduction of [i] elements). Keeping the reduction size [i]
+    is what makes the pruning effective (paper Fig. 6 discussion). *)
+
+type t =
+  | Var of string  (** an input tensor *)
+  | Add of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Exp of t
+  | Sqrt of t
+  | Silu of t
+  | Sum of int * t  (** [sum(i, x)]: reduction of [i] elements of [x] *)
+
+val var : string -> t
+val add : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val exp : t -> t
+val sqrt : t -> t
+val silu : t -> t
+
+val sum : int -> t -> t
+(** [sum 1 x = x] (the [x = sum(1,x)] axiom is applied on construction);
+    [sum i (Sum (j, x)) = sum (i*j) x]. @raise Invalid_argument if [i <= 0]. *)
+
+val sqr : t -> t
+(** [E(Sqr X) = mul (E X) (E X)] (Table 1). *)
+
+val matmul : k:int -> t -> t -> t
+(** [E(Matmul(X,Y)) = sum (k, mul (E X) (E Y))] where [k] is the size of
+    the reduction dimension (Table 1, footnote 1). *)
+
+val concat_matmul : k1:int -> k2:int -> t -> t -> t -> t -> t
+(** The LoRA operator of §8.1:
+    [E(f(W,X,Y,Z)) = add (sum k1 (mul W Y)) (sum k2 (mul X Z))]. *)
+
+val size : t -> int
+(** Number of constructors (used for bounding tests). *)
+
+val compare : t -> t -> int
+val equal_syntactic : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val eval : (string -> int) -> modulus:int -> t -> int
+(** Evaluate the expression over [Z_modulus], interpreting [sum i x] as
+    [i * x], [exp]/[sqrt]/[silu] as fixed injective-ish hash mixes. Used by
+    tests to validate that the normal form respects a model of [A_eq]. *)

@@ -1,0 +1,30 @@
+(* Tiny modular arithmetic for the A_eq model used by Expr.eval. Kept local
+   to avoid a dependency of absexpr on ffield (absexpr is purely symbolic;
+   this module exists only to let tests validate the normalizer against a
+   concrete model of the axioms). *)
+
+exception Division_by_zero
+
+let normalize ~modulus x =
+  let r = x mod modulus in
+  if r < 0 then r + modulus else r
+
+let mul ~modulus a b = normalize ~modulus (a * b)
+
+let pow ~modulus b e =
+  let rec go acc b e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mul ~modulus acc b else acc in
+      go acc (mul ~modulus b b) (e asr 1)
+  in
+  go 1 (normalize ~modulus b) e
+
+let div ~modulus a b =
+  let b = normalize ~modulus b in
+  if b = 0 then raise Division_by_zero;
+  mul ~modulus a (pow ~modulus b (modulus - 2))
+
+(* An arbitrary unary function per [salt]; only needs to be a function. *)
+let mix ~modulus salt x =
+  normalize ~modulus ((x * x * salt) + (x * 31) + (salt * 17) + 11)

@@ -1,0 +1,1 @@
+lib/baselines/templates.ml: Array Dmap Graph List Mugraph Op

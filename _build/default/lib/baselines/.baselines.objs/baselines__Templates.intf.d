@@ -1,0 +1,1 @@
+lib/baselines/templates.mli: Graph Mugraph

@@ -1,0 +1,713 @@
+open Mugraph
+module B = Graph.Build
+
+(* Block-graph building helpers. *)
+let bnode bop bins = { Graph.bop; bins }
+let initer input imap fmap = bnode (Graph.B_initer { input; imap; fmap }) []
+let prim p bins = bnode (Graph.B_prim p) bins
+let accum_phi nloops bins =
+  bnode (Graph.B_accum { fmap = Array.make nloops Dmap.Replica }) bins
+let outsaver omap bins = bnode (Graph.B_outsaver { omap }) bins
+let d0 = Dmap.Dim 0
+let d1 = Dmap.Dim 1
+let phi = Dmap.Replica
+
+let mul = Op.Binary Op.Mul
+let add = Op.Binary Op.Add
+let ewdiv = Op.Binary Op.Div
+let ewsub = Op.Binary Op.Sub
+let sqr = Op.Unary Op.Sqr
+let sqrt_ = Op.Unary Op.Sqrt
+let silu = Op.Unary Op.Silu
+let exp_ = Op.Unary Op.Exp
+
+let sum ~dim ~group = Op.Sum { dim; group }
+
+(* ------------------------------------------------------------------ *)
+(* RMSNorm + MatMul (§3, Fig. 4)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rmsnorm_matmul_spec ~b ~h ~d =
+  let bld = B.create () in
+  let x = B.input bld "X" [| b; h |] in
+  let g = B.input bld "G" [| 1; h |] in
+  let w = B.input bld "W" [| h; d |] in
+  let xg = B.prim bld mul [ x; g ] in
+  let sq = B.prim bld sqr [ x ] in
+  let ssum = B.prim bld (sum ~dim:1 ~group:h) [ sq ] in
+  let rms = B.prim bld sqrt_ [ ssum ] in
+  let y = B.prim bld ewdiv [ xg; rms ] in
+  let z = B.prim bld Op.Matmul [ y; w ] in
+  B.finish bld ~outputs:[ z ]
+
+(* The RMSNorm library kernel: one block per batch row. *)
+let rmsnorm_kernel_block ~h : Graph.block_graph =
+  {
+    Graph.grid = [| 0 (* patched *) |];
+    forloop = [||];
+    bnodes =
+      [|
+        initer 0 [| d0 |] [||];
+        (* X rows *)
+        initer 1 [| phi |] [||];
+        (* G *)
+        prim mul [ 0; 1 ];
+        prim sqr [ 0 ];
+        prim (sum ~dim:1 ~group:h) [ 3 ];
+        prim sqrt_ [ 4 ];
+        prim ewdiv [ 2; 5 ];
+        outsaver [| 0 |] [ 6 ];
+      |];
+  }
+
+let rmsnorm_matmul_unfused ~b ~h ~d =
+  let bld = B.create () in
+  let x = B.input bld "X" [| b; h |] in
+  let g = B.input bld "G" [| 1; h |] in
+  let w = B.input bld "W" [| h; d |] in
+  let bg = { (rmsnorm_kernel_block ~h) with Graph.grid = [| b |] } in
+  let y = List.hd (B.graphdef bld bg [ x; g ] 1) in
+  let z = B.prim bld Op.Matmul [ y; w ] in
+  B.finish bld ~outputs:[ z ]
+
+let rmsnorm_matmul_fused ~b ~h ~d ~grid ~iters =
+  ignore d;
+  let chunk = h / iters in
+  let bg : Graph.block_graph =
+    {
+      Graph.grid = [| grid |];
+      forloop = [| iters |];
+      bnodes =
+        [|
+          initer 0 [| phi |] [| d1 |];
+          (* X tile [b, h/iters] *)
+          initer 1 [| phi |] [| d1 |];
+          (* G tile *)
+          initer 2 [| d1 |] [| d0 |];
+          (* W tile [h/iters, d/grid] *)
+          prim mul [ 0; 1 ];
+          prim Op.Matmul [ 3; 2 ];
+          accum_phi 1 [ 4 ];
+          prim sqr [ 0 ];
+          prim (sum ~dim:1 ~group:chunk) [ 6 ];
+          accum_phi 1 [ 7 ];
+          prim sqrt_ [ 8 ];
+          prim ewdiv [ 5; 9 ];
+          outsaver [| 1 |] [ 10 ];
+        |];
+    }
+  in
+  let bld = B.create () in
+  let x = B.input bld "X" [| b; h |] in
+  let g = B.input bld "G" [| 1; h |] in
+  let w = B.input bld "W" [| h; d |] in
+  let outs = B.graphdef bld bg [ x; g; w ] 1 in
+  B.finish bld ~outputs:outs
+
+(* ------------------------------------------------------------------ *)
+(* Attention                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* All attention templates work on the reshaped 3-d views
+   Q' [G, grp, dh], K' V' [G, s, dh] with G = b*gk; reshapes are free
+   metadata at the kernel level. *)
+
+let attention_inputs bld ~b ~gk ~grp ~s ~dh =
+  let q = B.input bld "Q" [| b; gk; grp; dh |] in
+  let k = B.input bld "K" [| b; gk; s; dh |] in
+  let v = B.input bld "V" [| b; gk; s; dh |] in
+  let g = b * gk in
+  let q' = B.prim bld (Op.Reshape [| g; grp; dh |]) [ q ] in
+  let k' = B.prim bld (Op.Reshape [| g; s; dh |]) [ k ] in
+  let v' = B.prim bld (Op.Reshape [| g; s; dh |]) [ v ] in
+  (q', k', v')
+
+let attention_spec ~b ~gk ~grp ~s ~dh =
+  let bld = B.create () in
+  let q = B.input bld "Q" [| b; gk; grp; dh |] in
+  let k = B.input bld "K" [| b; gk; s; dh |] in
+  let v = B.input bld "V" [| b; gk; s; dh |] in
+  let kt = B.prim bld Op.Transpose [ k ] in
+  let sc = B.prim bld Op.Matmul [ q; kt ] in
+  let e = B.prim bld exp_ [ sc ] in
+  let l = B.prim bld (sum ~dim:3 ~group:s) [ e ] in
+  let a = B.prim bld Op.Matmul [ e; v ] in
+  let o = B.prim bld ewdiv [ a; l ] in
+  B.finish bld ~outputs:[ o ]
+
+(* softmax along the last dim of [G, grp, s]: the library kernel. *)
+let softmax_block ~g ~grp ~s : Graph.block_graph =
+  ignore g;
+  ignore grp;
+  {
+    Graph.grid = [| g; grp |];
+    forloop = [||];
+    bnodes =
+      [|
+        initer 0 [| d0; d1 |] [||];
+        prim exp_ [ 0 ];
+        prim (sum ~dim:2 ~group:s) [ 1 ];
+        prim ewdiv [ 1; 2 ];
+        outsaver [| 0; 1 |] [ 3 ];
+      |];
+  }
+
+let attention_unfused ~b ~gk ~grp ~s ~dh =
+  let bld = B.create () in
+  let q', k', v' = attention_inputs bld ~b ~gk ~grp ~s ~dh in
+  let g = b * gk in
+  let kt = B.prim bld Op.Transpose [ k' ] in
+  let sc = B.prim bld Op.Matmul [ q'; kt ] in
+  let soft =
+    List.hd (B.graphdef bld (softmax_block ~g ~grp ~s) [ sc ] 1)
+  in
+  let a = B.prim bld Op.Matmul [ soft; v' ] in
+  let o = B.prim bld (Op.Reshape [| b; gk; grp; dh |]) [ a ] in
+  B.finish bld ~outputs:[ o ]
+
+let kv_chunk_iters ~rows = max 1 (rows / 64)
+
+(* FlashAttention-style: one block per (G, grp) query row, loop over KV. *)
+let attention_fused_heads ~b ~gk ~grp ~s ~dh =
+  let bld = B.create () in
+  let q', k', v' = attention_inputs bld ~b ~gk ~grp ~s ~dh in
+  let g = b * gk in
+  let iters = kv_chunk_iters ~rows:s in
+  let bg : Graph.block_graph =
+    {
+      Graph.grid = [| g; grp |];
+      forloop = [| iters |];
+      bnodes =
+        [|
+          initer 0 [| d0; d1 |] [| phi |];
+          (* q row [1,1,dh] *)
+          initer 1 [| d0; phi |] [| d1 |];
+          (* K chunk [1,s/iters,dh] *)
+          initer 2 [| d0; phi |] [| d1 |];
+          (* V chunk *)
+          prim Op.Transpose [ 1 ];
+          prim Op.Matmul [ 0; 3 ];
+          (* scores [1,1,chunk] *)
+          prim exp_ [ 4 ];
+          prim (sum ~dim:2 ~group:(s / iters)) [ 5 ];
+          prim Op.Matmul [ 5; 2 ];
+          (* partial numerator [1,1,dh] *)
+          accum_phi 1 [ 6 ];
+          accum_phi 1 [ 7 ];
+          prim ewdiv [ 9; 8 ];
+          outsaver [| 0; 1 |] [ 10 ];
+        |];
+    }
+  in
+  let a = List.hd (B.graphdef bld bg [ q'; k'; v' ] 1) in
+  let o = B.prim bld (Op.Reshape [| b; gk; grp; dh |]) [ a ] in
+  B.finish bld ~outputs:[ o ]
+
+let attention_fused_split_kv ~b ~gk ~grp ~s ~dh ~split ~group_in_block =
+  let bld = B.create () in
+  let q', k', v' = attention_inputs bld ~b ~gk ~grp ~s ~dh in
+  let g = b * gk in
+  let rows = s / split in
+  let iters = kv_chunk_iters ~rows in
+  let chunk = rows / iters in
+  if group_in_block then begin
+    (* Mirage's GQA discovery: block = (kv head, kv chunk); the whole
+       query group rides along, so each K/V tile is loaded once. *)
+    let bg : Graph.block_graph =
+      {
+        Graph.grid = [| g; split |];
+        forloop = [| iters |];
+        bnodes =
+          [|
+            initer 0 [| d0; phi |] [| phi |];
+            (* Q group [1,grp,dh] *)
+            initer 1 [| d0; d1 |] [| d1 |];
+            (* K chunk [1,chunk,dh] *)
+            initer 2 [| d0; d1 |] [| d1 |];
+            prim Op.Transpose [ 1 ];
+            prim Op.Matmul [ 0; 3 ];
+            (* [1,grp,chunk] *)
+            prim exp_ [ 4 ];
+            prim (sum ~dim:2 ~group:chunk) [ 5 ];
+            (* [1,grp,1] *)
+            prim Op.Matmul [ 5; 2 ];
+            (* [1,grp,dh] *)
+            accum_phi 1 [ 6 ];
+            accum_phi 1 [ 7 ];
+            prim (Op.Reshape [| 1; 1; grp; 1 |]) [ 8 ];
+            prim (Op.Reshape [| 1; 1; grp; dh |]) [ 9 ];
+            outsaver [| 0; 1 |] [ 11 ];
+            (* A parts [G,split,grp,dh] *)
+            outsaver [| 0; 1 |] [ 10 ];
+            (* L parts [G,split,grp,1] *)
+          |];
+      }
+    in
+    match B.graphdef bld bg [ q'; k'; v' ] 2 with
+    | [ a_parts; l_parts ] ->
+        (* combine kernel: sums the partials over the split dim and
+           divides, one block per kv head *)
+        let combine : Graph.block_graph =
+          {
+            Graph.grid = [| g; grp |];
+            forloop = [||];
+            bnodes =
+              [|
+                initer 0 [| d0; Dmap.Dim 2 |] [||];
+                (* A parts tile [1,split,1,dh] *)
+                initer 1 [| d0; Dmap.Dim 2 |] [||];
+                prim (sum ~dim:1 ~group:split) [ 0 ];
+                prim (sum ~dim:1 ~group:split) [ 1 ];
+                prim ewdiv [ 2; 3 ];
+                outsaver [| 0; 2 |] [ 4 ];
+              |];
+          }
+        in
+        let dv =
+          List.hd (B.graphdef bld combine [ a_parts; l_parts ] 1)
+        in
+        let o = B.prim bld (Op.Reshape [| b; gk; grp; dh |]) [ dv ] in
+        B.finish bld ~outputs:[ o ]
+    | _ -> assert false
+  end
+  else begin
+    (* FlashDecoding layout: one block per (kv head, query head, kv
+       chunk); each query head loads its own K/V copy. *)
+    let bg : Graph.block_graph =
+      {
+        Graph.grid = [| g; grp; split |];
+        forloop = [| iters |];
+        bnodes =
+          [|
+            initer 0 [| d0; d1; phi |] [| phi |];
+            (* q row [1,1,dh] *)
+            initer 1 [| d0; phi; d1 |] [| d1 |];
+            (* K chunk *)
+            initer 2 [| d0; phi; d1 |] [| d1 |];
+            prim Op.Transpose [ 1 ];
+            prim Op.Matmul [ 0; 3 ];
+            prim exp_ [ 4 ];
+            prim (sum ~dim:2 ~group:chunk) [ 5 ];
+            prim Op.Matmul [ 5; 2 ];
+            accum_phi 1 [ 6 ];
+            accum_phi 1 [ 7 ];
+            prim (Op.Reshape [| 1; 1; 1; 1 |]) [ 8 ];
+            prim (Op.Reshape [| 1; 1; 1; dh |]) [ 9 ];
+            outsaver [| 0; 1; 2 |] [ 11 ];
+            (* A parts [G,grp,split,dh] *)
+            outsaver [| 0; 1; 2 |] [ 10 ];
+            (* L parts [G,grp,split,1] *)
+          |];
+      }
+    in
+    match B.graphdef bld bg [ q'; k'; v' ] 2 with
+    | [ a_parts; l_parts ] ->
+        let combine : Graph.block_graph =
+          {
+            Graph.grid = [| g; grp |];
+            forloop = [||];
+            bnodes =
+              [|
+                initer 0 [| d0; d1 |] [||];
+                (* A parts [1,1,split,dh] *)
+                initer 1 [| d0; d1 |] [||];
+                prim (sum ~dim:2 ~group:split) [ 0 ];
+                prim (sum ~dim:2 ~group:split) [ 1 ];
+                prim ewdiv [ 2; 3 ];
+                outsaver [| 0; 1 |] [ 4 ];
+              |];
+          }
+        in
+        let dv =
+          List.hd (B.graphdef bld combine [ a_parts; l_parts ] 1)
+        in
+        let o = B.prim bld (Op.Reshape [| b; gk; grp; dh |]) [ dv ] in
+        B.finish bld ~outputs:[ o ]
+    | _ -> assert false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* QKNorm + attention (Fig. 8)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let qknorm_attention_spec ~b ~gk ~grp ~s ~dh =
+  let bld = B.create () in
+  let q = B.input bld "Q" [| b; gk; grp; dh |] in
+  let k = B.input bld "K" [| b; gk; s; dh |] in
+  let v = B.input bld "V" [| b; gk; s; dh |] in
+  let norm t ~dim ~n =
+    let sq = B.prim bld sqr [ t ] in
+    let ssum = B.prim bld (sum ~dim ~group:n) [ sq ] in
+    let rms = B.prim bld sqrt_ [ ssum ] in
+    B.prim bld ewdiv [ t; rms ]
+  in
+  let qn = norm q ~dim:3 ~n:dh in
+  let kn = norm k ~dim:3 ~n:dh in
+  let kt = B.prim bld Op.Transpose [ kn ] in
+  let sc = B.prim bld Op.Matmul [ qn; kt ] in
+  let e = B.prim bld exp_ [ sc ] in
+  let l = B.prim bld (sum ~dim:3 ~group:s) [ e ] in
+  let a = B.prim bld Op.Matmul [ e; v ] in
+  let o = B.prim bld ewdiv [ a; l ] in
+  B.finish bld ~outputs:[ o ]
+
+(* normalize rows of [G, rows, dh] along dh, blocks over (G, row chunks) *)
+let rownorm_block ~row_chunks ~dh : Graph.block_graph =
+  {
+    Graph.grid = [| 0 (* patched: G *); row_chunks |];
+    forloop = [||];
+    bnodes =
+      [|
+        initer 0 [| d0; d1 |] [||];
+        prim sqr [ 0 ];
+        prim (sum ~dim:2 ~group:dh) [ 1 ];
+        prim sqrt_ [ 2 ];
+        prim ewdiv [ 0; 3 ];
+        outsaver [| 0; 1 |] [ 4 ];
+      |];
+  }
+
+let qknorm_attention_unfused ~b ~gk ~grp ~s ~dh =
+  let bld = B.create () in
+  let q', k', v' = attention_inputs bld ~b ~gk ~grp ~s ~dh in
+  let g = b * gk in
+  let qbg = { (rownorm_block ~row_chunks:1 ~dh) with Graph.grid = [| g; 1 |] } in
+  let qn = List.hd (B.graphdef bld qbg [ q' ] 1) in
+  let kchunks = max 1 (s / 128) in
+  let kbg =
+    { (rownorm_block ~row_chunks:kchunks ~dh) with Graph.grid = [| g; kchunks |] }
+  in
+  let kn = List.hd (B.graphdef bld kbg [ k' ] 1) in
+  (* then the best available attention kernel *)
+  let iters = kv_chunk_iters ~rows:s in
+  let bg : Graph.block_graph =
+    {
+      Graph.grid = [| g; grp |];
+      forloop = [| iters |];
+      bnodes =
+        [|
+          initer 0 [| d0; d1 |] [| phi |];
+          initer 1 [| d0; phi |] [| d1 |];
+          initer 2 [| d0; phi |] [| d1 |];
+          prim Op.Transpose [ 1 ];
+          prim Op.Matmul [ 0; 3 ];
+          prim exp_ [ 4 ];
+          prim (sum ~dim:2 ~group:(s / iters)) [ 5 ];
+          prim Op.Matmul [ 5; 2 ];
+          accum_phi 1 [ 6 ];
+          accum_phi 1 [ 7 ];
+          prim ewdiv [ 9; 8 ];
+          outsaver [| 0; 1 |] [ 10 ];
+        |];
+    }
+  in
+  let a = List.hd (B.graphdef bld bg [ qn; kn; v' ] 1) in
+  let o = B.prim bld (Op.Reshape [| b; gk; grp; dh |]) [ a ] in
+  B.finish bld ~outputs:[ o ]
+
+let qknorm_attention_fused ~b ~gk ~grp ~s ~dh =
+  let bld = B.create () in
+  let q', k', v' = attention_inputs bld ~b ~gk ~grp ~s ~dh in
+  let g = b * gk in
+  let iters = kv_chunk_iters ~rows:s in
+  let chunk = s / iters in
+  let bg : Graph.block_graph =
+    {
+      Graph.grid = [| g; grp |];
+      forloop = [| iters |];
+      bnodes =
+        [|
+          (* 0-2: tiles *)
+          initer 0 [| d0; d1 |] [| phi |];
+          (* q row, loop-invariant *)
+          initer 1 [| d0; phi |] [| d1 |];
+          initer 2 [| d0; phi |] [| d1 |];
+          (* 3-6: normalize q in-block (invariant) *)
+          prim sqr [ 0 ];
+          prim (sum ~dim:2 ~group:dh) [ 3 ];
+          prim sqrt_ [ 4 ];
+          prim ewdiv [ 0; 5 ];
+          (* 7-10: normalize the K chunk each iteration *)
+          prim sqr [ 1 ];
+          prim (sum ~dim:2 ~group:dh) [ 7 ];
+          prim sqrt_ [ 8 ];
+          prim ewdiv [ 1; 9 ];
+          (* 11-15: attention math on normalized tiles *)
+          prim Op.Transpose [ 10 ];
+          prim Op.Matmul [ 6; 11 ];
+          prim exp_ [ 12 ];
+          prim (sum ~dim:2 ~group:chunk) [ 13 ];
+          prim Op.Matmul [ 13; 2 ];
+          (* 16-18: accumulate and divide *)
+          accum_phi 1 [ 14 ];
+          accum_phi 1 [ 15 ];
+          prim ewdiv [ 17; 16 ];
+          outsaver [| 0; 1 |] [ 18 ];
+        |];
+    }
+  in
+  let a = List.hd (B.graphdef bld bg [ q'; k'; v' ] 1) in
+  let o = B.prim bld (Op.Reshape [| b; gk; grp; dh |]) [ a ] in
+  B.finish bld ~outputs:[ o ]
+
+(* ------------------------------------------------------------------ *)
+(* LoRA (Fig. 9)                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let lora_spec ~m ~k ~r ~n =
+  let bld = B.create () in
+  let w = B.input bld "W" [| m; k |] in
+  let a = B.input bld "A" [| r; k |] in
+  let bb = B.input bld "Bm" [| m; r |] in
+  let x = B.input bld "X" [| k; n |] in
+  let ax = B.prim bld Op.Matmul [ a; x ] in
+  let bax = B.prim bld Op.Matmul [ bb; ax ] in
+  let wx = B.prim bld Op.Matmul [ w; x ] in
+  let o = B.prim bld add [ wx; bax ] in
+  B.finish bld ~outputs:[ o ]
+
+let lora_unfused = lora_spec
+
+let lora_fused ~m ~k ~r ~n ~grid ~iters =
+  let bld = B.create () in
+  let w = B.input bld "W" [| m; k |] in
+  let a = B.input bld "A" [| r; k |] in
+  let bb = B.input bld "Bm" [| m; r |] in
+  let x = B.input bld "X" [| k; n |] in
+  let bg : Graph.block_graph =
+    {
+      Graph.grid = [| grid |];
+      forloop = [| iters |];
+      bnodes =
+        [|
+          initer 0 [| d0 |] [| d1 |];
+          (* W tile [m/grid, k/iters] *)
+          initer 1 [| phi |] [| d1 |];
+          (* A tile [r, k/iters] *)
+          initer 2 [| d0 |] [| phi |];
+          (* B tile [m/grid, r], invariant *)
+          initer 3 [| phi |] [| d0 |];
+          (* X tile [k/iters, n] *)
+          prim Op.Matmul [ 0; 3 ];
+          (* WX partial *)
+          prim Op.Matmul [ 1; 3 ];
+          (* AX partial *)
+          accum_phi 1 [ 4 ];
+          accum_phi 1 [ 5 ];
+          (* epilogue: the low-rank correction, i.e. (W‖B)x(X‖AX) *)
+          prim Op.Matmul [ 2; 7 ];
+          prim add [ 6; 8 ];
+          outsaver [| 0 |] [ 9 ];
+        |];
+    }
+  in
+  let outs = B.graphdef bld bg [ w; a; bb; x ] 1 in
+  ignore (m, k, r, n);
+  B.finish bld ~outputs:outs
+
+(* ------------------------------------------------------------------ *)
+(* Gated MLP (Fig. 10)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let gated_mlp_spec ~b ~h ~f =
+  let bld = B.create () in
+  let x = B.input bld "X" [| b; h |] in
+  let w1 = B.input bld "W1" [| h; f |] in
+  let w2 = B.input bld "W2" [| h; f |] in
+  let m1 = B.prim bld Op.Matmul [ x; w1 ] in
+  let s1 = B.prim bld silu [ m1 ] in
+  let m2 = B.prim bld Op.Matmul [ x; w2 ] in
+  let o = B.prim bld mul [ s1; m2 ] in
+  B.finish bld ~outputs:[ o ]
+
+let gated_mlp_matmul_pair ~b ~h ~f ~grid ~iters : Graph.block_graph =
+  ignore (b, h, f);
+  {
+    Graph.grid = [| grid |];
+    forloop = [| iters |];
+    bnodes =
+      [|
+        initer 0 [| phi |] [| d1 |];
+        (* X tile [b, h/iters] *)
+        initer 1 [| d1 |] [| d0 |];
+        (* W1 tile [h/iters, f/grid] *)
+        initer 2 [| d1 |] [| d0 |];
+        prim Op.Matmul [ 0; 1 ];
+        prim Op.Matmul [ 0; 2 ];
+        accum_phi 1 [ 3 ];
+        accum_phi 1 [ 4 ];
+        outsaver [| 1 |] [ 5 ];
+        outsaver [| 1 |] [ 6 ];
+      |];
+  }
+
+let gated_mlp_two_kernel ~b ~h ~f =
+  let bld = B.create () in
+  let x = B.input bld "X" [| b; h |] in
+  let w1 = B.input bld "W1" [| h; f |] in
+  let w2 = B.input bld "W2" [| h; f |] in
+  let grid = min 128 f and iters = max 1 (h / 64) in
+  let bg = gated_mlp_matmul_pair ~b ~h ~f ~grid ~iters in
+  match B.graphdef bld bg [ x; w1; w2 ] 2 with
+  | [ m1; m2 ] ->
+      (* elementwise epilogue kernel: silu(m1) * m2 in one block graph *)
+      let ew : Graph.block_graph =
+        {
+          Graph.grid = [| min 128 f |];
+          forloop = [||];
+          bnodes =
+            [|
+              initer 0 [| d1 |] [||];
+              initer 1 [| d1 |] [||];
+              prim silu [ 0 ];
+              prim mul [ 2; 1 ];
+              outsaver [| 1 |] [ 3 ];
+            |];
+        }
+      in
+      let o = List.hd (B.graphdef bld ew [ m1; m2 ] 1) in
+      B.finish bld ~outputs:[ o ]
+  | _ -> assert false
+
+let gated_mlp_unfused = gated_mlp_spec
+
+let gated_mlp_fused ~b ~h ~f ~grid ~iters =
+  let bld = B.create () in
+  let x = B.input bld "X" [| b; h |] in
+  let w1 = B.input bld "W1" [| h; f |] in
+  let w2 = B.input bld "W2" [| h; f |] in
+  let bg : Graph.block_graph =
+    {
+      Graph.grid = [| grid |];
+      forloop = [| iters |];
+      bnodes =
+        [|
+          initer 0 [| phi |] [| d1 |];
+          initer 1 [| d1 |] [| d0 |];
+          initer 2 [| d1 |] [| d0 |];
+          prim Op.Matmul [ 0; 1 ];
+          prim Op.Matmul [ 0; 2 ];
+          accum_phi 1 [ 3 ];
+          accum_phi 1 [ 4 ];
+          prim silu [ 5 ];
+          prim mul [ 7; 6 ];
+          outsaver [| 1 |] [ 8 ];
+        |];
+    }
+  in
+  let outs = B.graphdef bld bg [ x; w1; w2 ] 1 in
+  B.finish bld ~outputs:outs
+
+(* ------------------------------------------------------------------ *)
+(* nTrans (nGPT)                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let ntrans_spec ~b ~d =
+  let bld = B.create () in
+  let x = B.input bld "Xt" [| b; d |] in
+  let h = B.input bld "H" [| b; d |] in
+  let alpha = B.input bld "Alpha" [| 1; d |] in
+  let norm t =
+    let sq = B.prim bld sqr [ t ] in
+    let ssum = B.prim bld (sum ~dim:1 ~group:d) [ sq ] in
+    let rms = B.prim bld sqrt_ [ ssum ] in
+    B.prim bld ewdiv [ t; rms ]
+  in
+  let t = B.prim bld ewsub [ h; x ] in
+  let tn = norm t in
+  let sc = B.prim bld mul [ alpha; tn ] in
+  let u = B.prim bld add [ x; sc ] in
+  let y = norm u in
+  B.finish bld ~outputs:[ y ]
+
+let ntrans_norm_block ~d ~grid : Graph.block_graph =
+  {
+    Graph.grid = [| grid |];
+    forloop = [||];
+    bnodes =
+      [|
+        initer 0 [| d0 |] [||];
+        prim sqr [ 0 ];
+        prim (sum ~dim:1 ~group:d) [ 1 ];
+        prim sqrt_ [ 2 ];
+        prim ewdiv [ 0; 3 ];
+        outsaver [| 0 |] [ 4 ];
+      |];
+  }
+
+let ntrans_unfused ~b ~d =
+  let bld = B.create () in
+  let x = B.input bld "Xt" [| b; d |] in
+  let h = B.input bld "H" [| b; d |] in
+  let alpha = B.input bld "Alpha" [| 1; d |] in
+  (* kernel 1: t = h - x, normalized *)
+  let k1 : Graph.block_graph =
+    {
+      Graph.grid = [| b |];
+      forloop = [||];
+      bnodes =
+        [|
+          initer 0 [| d0 |] [||];
+          initer 1 [| d0 |] [||];
+          prim ewsub [ 1; 0 ];
+          prim sqr [ 2 ];
+          prim (sum ~dim:1 ~group:d) [ 3 ];
+          prim sqrt_ [ 4 ];
+          prim ewdiv [ 2; 5 ];
+          outsaver [| 0 |] [ 6 ];
+        |];
+    }
+  in
+  let tn = List.hd (B.graphdef bld k1 [ x; h ] 1) in
+  (* kernel 2: u = x + alpha * tn (elementwise) *)
+  let k2 : Graph.block_graph =
+    {
+      Graph.grid = [| b |];
+      forloop = [||];
+      bnodes =
+        [|
+          initer 0 [| d0 |] [||];
+          initer 1 [| d0 |] [||];
+          initer 2 [| phi |] [||];
+          prim mul [ 2; 1 ];
+          prim add [ 0; 3 ];
+          outsaver [| 0 |] [ 4 ];
+        |];
+    }
+  in
+  let u = List.hd (B.graphdef bld k2 [ x; tn; alpha ] 1) in
+  (* kernel 3: final norm *)
+  let y = List.hd (B.graphdef bld (ntrans_norm_block ~d ~grid:b) [ u ] 1) in
+  B.finish bld ~outputs:[ y ]
+
+let ntrans_fused ~b ~d ~grid =
+  let bld = B.create () in
+  let x = B.input bld "Xt" [| b; d |] in
+  let h = B.input bld "H" [| b; d |] in
+  let alpha = B.input bld "Alpha" [| 1; d |] in
+  let bg : Graph.block_graph =
+    {
+      Graph.grid = [| grid |];
+      forloop = [||];
+      bnodes =
+        [|
+          initer 0 [| d0 |] [||];
+          initer 1 [| d0 |] [||];
+          initer 2 [| phi |] [||];
+          prim ewsub [ 1; 0 ];
+          prim sqr [ 3 ];
+          prim (sum ~dim:1 ~group:d) [ 4 ];
+          prim sqrt_ [ 5 ];
+          prim ewdiv [ 3; 6 ];
+          prim mul [ 2; 7 ];
+          prim add [ 0; 8 ];
+          prim sqr [ 9 ];
+          prim (sum ~dim:1 ~group:d) [ 10 ];
+          prim sqrt_ [ 11 ];
+          prim ewdiv [ 9; 12 ];
+          outsaver [| 0 |] [ 13 ];
+        |];
+    }
+  in
+  let outs = B.graphdef bld bg [ x; h; alpha ] 1 in
+  B.finish bld ~outputs:outs

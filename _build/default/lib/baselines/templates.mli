@@ -1,0 +1,125 @@
+(** Hand-written muGraph templates for library kernels and fused custom
+    kernels.
+
+    Baseline systems (paper §8.2) are modelled by the kernel
+    decompositions they can express; the fused templates below encode the
+    muGraphs Mirage discovers (Figs. 4b, 8b, 9b, 10b and the GQA/nTrans
+    case studies) as well as the expert-written kernels of FlashAttention
+    / FlashDecoding and the library softmax/normalization kernels that
+    PyTorch and TensorRT dispatch to. Every template is a complete
+    {!Mugraph.Graph.kernel_graph} so the same cost model and the same
+    probabilistic verifier apply to all systems; the test suite checks
+    each fused template equivalent to its specification. *)
+
+open Mugraph
+
+(** {1 Normalization} *)
+
+val rmsnorm_matmul_spec : b:int -> h:int -> d:int -> Graph.kernel_graph
+(** Z = ((X∘G)/sqrt(Σ_h X²)) × W — the §3 running example. Inputs
+    X [b,h], G [1,h], W [h,d]. *)
+
+val rmsnorm_matmul_unfused : b:int -> h:int -> d:int -> Graph.kernel_graph
+(** Two kernels: a fused RMSNorm library kernel (one graphdef) writing Y,
+    then a Matmul — what PyTorch / TensorRT / Triton execute. *)
+
+val rmsnorm_matmul_fused :
+  b:int -> h:int -> d:int -> grid:int -> iters:int -> Graph.kernel_graph
+(** Fig. 4b: a single custom kernel; grid partitions [d], the for-loop
+    partitions [h]; matmul and square-sum accumulate in parallel and the
+    division happens in the epilogue. *)
+
+(** {1 Attention (grouped-query / multi-head)}
+
+    Decode-time attention with KV grouping expressed by shape:
+    Q [b,gk,grp,dh], K [b,gk,s,dh], V [b,gk,s,dh]; the batched matmul
+    broadcasts over the group dimension. Softmax is the LAX variant
+    (exp / Σexp, no max subtraction — paper §5). *)
+
+val attention_spec :
+  b:int -> gk:int -> grp:int -> s:int -> dh:int -> Graph.kernel_graph
+
+val attention_unfused :
+  b:int -> gk:int -> grp:int -> s:int -> dh:int -> Graph.kernel_graph
+(** Matmul, softmax library kernel (one graphdef), matmul. *)
+
+val attention_fused_heads :
+  b:int -> gk:int -> grp:int -> s:int -> dh:int -> Graph.kernel_graph
+(** FlashAttention/TensorRT-style single kernel: one block per (batch,
+    kv-head, group) slice, for-loop over the KV sequence. Grid =
+    b·gk·grp blocks. *)
+
+val attention_fused_split_kv :
+  b:int ->
+  gk:int ->
+  grp:int ->
+  s:int ->
+  dh:int ->
+  split:int ->
+  group_in_block:bool ->
+  Graph.kernel_graph
+(** Split-KV attention (FlashDecoding / the Mirage GQA discovery): kernel
+    1 computes partial Σexp·V and Σexp per KV chunk (grid includes the
+    [split] chunks); kernel 2 combines the partials and divides. With
+    [group_in_block] one block serves a whole query group and loads each
+    K/V tile once (the up-to-7× traffic saving of §8.2); otherwise each
+    query head loads its own copy (the FlashDecoding layout). *)
+
+(** {1 QKNorm + attention (Fig. 8)} *)
+
+val qknorm_attention_spec :
+  b:int -> gk:int -> grp:int -> s:int -> dh:int -> Graph.kernel_graph
+(** RMS-normalizes Q rows and K rows before attention. *)
+
+val qknorm_attention_unfused :
+  b:int -> gk:int -> grp:int -> s:int -> dh:int -> Graph.kernel_graph
+(** Two normalization kernels + fused attention (what systems without
+    QKNorm-aware kernels do). *)
+
+val qknorm_attention_fused :
+  b:int -> gk:int -> grp:int -> s:int -> dh:int -> Graph.kernel_graph
+(** Fig. 8b: normalization folded into the attention custom kernel. *)
+
+(** {1 LoRA (Fig. 9)} *)
+
+val lora_spec : m:int -> k:int -> r:int -> n:int -> Graph.kernel_graph
+(** O = W×X + B×(A×X); W [m,k], A [r,k], B [m,r], X [k,n]. *)
+
+val lora_unfused : m:int -> k:int -> r:int -> n:int -> Graph.kernel_graph
+(** Three matmul kernels + add (PyTorch / TASO / TensorRT). *)
+
+val lora_fused :
+  m:int -> k:int -> r:int -> n:int -> grid:int -> iters:int ->
+  Graph.kernel_graph
+(** Fig. 9b: one custom kernel; the for-loop accumulates W×X and A×X in
+    parallel, the epilogue applies the low-rank correction
+    B×(AX) + WX — the (W‖B)×(X‖AX) concat trick realized in shared
+    memory. *)
+
+(** {1 Gated MLP (Fig. 10)} *)
+
+val gated_mlp_spec : b:int -> h:int -> f:int -> Graph.kernel_graph
+(** O = SiLU(X×W1) ∘ (X×W2); X [b,h], W1 W2 [h,f]. *)
+
+val gated_mlp_two_kernel : b:int -> h:int -> f:int -> Graph.kernel_graph
+(** The "existing optimizer" plan: both matmuls fused in one kernel
+    (X loaded once), SiLU∘Mul in a second elementwise kernel. *)
+
+val gated_mlp_unfused : b:int -> h:int -> f:int -> Graph.kernel_graph
+(** Fully unfused: two matmul kernels + one elementwise kernel. *)
+
+val gated_mlp_fused :
+  b:int -> h:int -> f:int -> grid:int -> iters:int -> Graph.kernel_graph
+(** Fig. 10b: both matmuls in the same block graph accumulating over h;
+    SiLU and Mul as the epilogue. *)
+
+(** {1 nTrans (nGPT normalized Transformer)} *)
+
+val ntrans_spec : b:int -> d:int -> Graph.kernel_graph
+(** y = Norm(x + α ∘ Norm(h − x)) with Norm(v) = v / sqrt(Σ v²). *)
+
+val ntrans_unfused : b:int -> d:int -> Graph.kernel_graph
+(** Three kernels: Norm, scale+add, Norm. *)
+
+val ntrans_fused : b:int -> d:int -> grid:int -> Graph.kernel_graph
+(** One custom kernel holding all intermediates in shared memory. *)

@@ -1,0 +1,1 @@
+lib/codegen/cuda_emit.ml: Array Buffer Dmap Graph Hashtbl Infer List Mugraph Op Opt Printf String

@@ -1,0 +1,236 @@
+open Mugraph
+
+let shape_str s =
+  String.concat "][" (Array.to_list (Array.map string_of_int s))
+
+let dims_str a =
+  match Array.length a with
+  | 0 -> "1"
+  | _ -> String.concat ", " (Array.to_list (Array.map string_of_int a))
+
+let op_call (p : Op.prim) args out =
+  match p with
+  | Op.Matmul -> Printf.sprintf "mma_tile(%s, %s, %s);" out (List.nth args 0) (List.nth args 1)
+  | Op.Binary b ->
+      let f =
+        match b with
+        | Op.Add -> "ew_add"
+        | Op.Mul -> "ew_mul"
+        | Op.Div -> "ew_div"
+        | Op.Sub -> "ew_sub"
+      in
+      Printf.sprintf "%s(%s, %s, %s);" f out (List.nth args 0) (List.nth args 1)
+  | Op.Unary u ->
+      let f =
+        match u with
+        | Op.Exp -> "ew_exp"
+        | Op.Sqr -> "ew_sqr"
+        | Op.Sqrt -> "ew_sqrt"
+        | Op.Silu -> "ew_silu"
+        | Op.Relu -> "ew_relu"
+      in
+      Printf.sprintf "%s(%s, %s);" f out (List.nth args 0)
+  | Op.Sum { dim; group } ->
+      Printf.sprintf "reduce_sum<%d, %d>(%s, %s);" dim group out (List.nth args 0)
+  | Op.Repeat { dim; times } ->
+      Printf.sprintf "repeat<%d, %d>(%s, %s);" dim times out (List.nth args 0)
+  | Op.Reshape _ | Op.Transpose ->
+      Printf.sprintf "/* %s: view of %s */ auto &%s = %s;" (Op.name p)
+        (List.nth args 0) out (List.nth args 0)
+  | Op.Concat_matmul ->
+      Printf.sprintf "concat_mma(%s, %s, %s, %s, %s);" out (List.nth args 0)
+        (List.nth args 1) (List.nth args 2) (List.nth args 3)
+
+let emit_thread_graph buf indent (tg : Graph.thread_graph) ins out =
+  let pad = String.make indent ' ' in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "%s{ // thread graph: intermediates in the register file\n" pad);
+  Array.iteri
+    (fun i (node : Graph.thread_node) ->
+      match node.top with
+      | Graph.T_input k ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s  auto r%d = load_fragment(%s);\n" pad i
+               (List.nth ins k))
+      | Graph.T_prim p ->
+          let args = List.map (Printf.sprintf "r%d") node.tins in
+          Buffer.add_string buf
+            (Printf.sprintf "%s  auto r%d = %s\n" pad i
+               (op_call p args (Printf.sprintf "r%d" i))))
+    tg.tnodes;
+  Buffer.add_string buf
+    (Printf.sprintf "%s  store_fragment(%s, r%d);\n%s}\n" pad out
+       (Array.length tg.tnodes - 1)
+       pad)
+
+let emit_block_kernel ~name (bg : Graph.block_graph) ~kernel_inputs =
+  let buf = Buffer.create 1024 in
+  let shapes = Infer.block_shapes bg ~kernel_inputs in
+  let sched = Opt.Schedule.block_schedule bg in
+  let plan = Opt.Memplan.plan_block ~elt_bytes:2 bg ~kernel_inputs in
+  let post = Graph.post_loop_nodes bg in
+  let offset i =
+    match List.assoc_opt i plan.Opt.Memplan.offsets with
+    | Some o -> o
+    | None -> 0
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "// grid(%s) forloop(%s), %d B shared memory (planner: %s)\n"
+       (dims_str bg.grid) (dims_str bg.forloop) plan.Opt.Memplan.peak_bytes
+       (if plan.Opt.Memplan.optimal then "optimal" else "first-fit"));
+  Buffer.add_string buf
+    (Printf.sprintf "__global__ void %s(half **dmem_in, half **dmem_out) {\n"
+       name);
+  Buffer.add_string buf
+    (Printf.sprintf "  extern __shared__ half smem[]; // %d bytes planned\n"
+       plan.Opt.Memplan.peak_bytes);
+  (* shared-memory views *)
+  Array.iteri
+    (fun i (node : Graph.block_node) ->
+      match node.bop with
+      | Graph.B_outsaver _ -> ()
+      | _ ->
+          Buffer.add_string buf
+            (Printf.sprintf "  auto s%d /*[%s]*/ = smem + %d;\n" i
+               (shape_str shapes.(i)) (offset i / 2)))
+    bg.bnodes;
+  (* accumulator initialization *)
+  Array.iteri
+    (fun i (node : Graph.block_node) ->
+      match node.bop with
+      | Graph.B_accum _ ->
+          Buffer.add_string buf (Printf.sprintf "  zero_fill(s%d);\n" i)
+      | _ -> ())
+    bg.bnodes;
+  let iters = Graph.total_iters bg in
+  Buffer.add_string buf (Printf.sprintf "  for (int i = 0; i < %d; ++i) {\n" iters);
+  (* loop body in schedule order, with a barrier between depth levels *)
+  let last_depth = ref (-1) in
+  let emit_node i =
+    let node = bg.bnodes.(i) in
+    let depth = sched.Opt.Schedule.depths.(i) in
+    let skip =
+      (* accumulators update inside the loop even though their combined
+         value is epilogue-only; other post-loop nodes wait *)
+      post.(i)
+      && match node.Graph.bop with Graph.B_accum _ -> false | _ -> true
+    in
+    if not skip then begin
+      if depth <> !last_depth && !last_depth >= 0 then
+        Buffer.add_string buf "    __syncthreads();\n";
+      last_depth := depth;
+      match node.Graph.bop with
+      | Graph.B_initer { input; imap; fmap } ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "    copy_tile(s%d, dmem_in[%d], /*imap*/ \"%s\", /*fmap*/ \"%s\", i);\n"
+               i input
+               (Dmap.imap_to_string imap)
+               (Dmap.fmap_to_string fmap))
+      | Graph.B_prim p ->
+          let args = List.map (Printf.sprintf "s%d") node.Graph.bins in
+          Buffer.add_string buf
+            (Printf.sprintf "    %s\n" (op_call p args (Printf.sprintf "s%d" i)))
+      | Graph.B_threadgraph tg ->
+          let ins = List.map (Printf.sprintf "s%d") node.Graph.bins in
+          emit_thread_graph buf 4 tg ins (Printf.sprintf "s%d" i)
+      | Graph.B_accum { fmap } ->
+          Buffer.add_string buf
+            (Printf.sprintf "    accumulate(s%d, s%d, /*fmap*/ \"%s\", i);\n"
+               i (List.hd node.Graph.bins)
+               (Dmap.fmap_to_string fmap))
+      | Graph.B_outsaver _ -> ()
+    end
+  in
+  List.iter emit_node sched.Opt.Schedule.order;
+  Buffer.add_string buf "  }\n  __syncthreads();\n";
+  (* epilogue *)
+  List.iter
+    (fun i ->
+      if post.(i) then begin
+        let node = bg.bnodes.(i) in
+        match node.Graph.bop with
+        | Graph.B_accum _ -> () (* already materialized in s<i> *)
+        | Graph.B_prim p ->
+            let args = List.map (Printf.sprintf "s%d") node.Graph.bins in
+            Buffer.add_string buf
+              (Printf.sprintf "  %s\n" (op_call p args (Printf.sprintf "s%d" i)))
+        | Graph.B_threadgraph tg ->
+            let ins = List.map (Printf.sprintf "s%d") node.Graph.bins in
+            emit_thread_graph buf 2 tg ins (Printf.sprintf "s%d" i)
+        | Graph.B_initer _ | Graph.B_outsaver _ -> ()
+      end)
+    sched.Opt.Schedule.order;
+  let out_idx = ref 0 in
+  Array.iteri
+    (fun i (node : Graph.block_node) ->
+      match node.Graph.bop with
+      | Graph.B_outsaver { omap } ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  store_tile(dmem_out[%d], s%d, /*omap*/ \"%s\");\n" !out_idx
+               (List.hd node.Graph.bins)
+               (Dmap.omap_to_string omap));
+          incr out_idx;
+          ignore i
+      | _ -> ())
+    bg.bnodes;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let emit_kernel ~name (g : Graph.kernel_graph) =
+  let buf = Buffer.create 2048 in
+  let shapes = Infer.kernel_shapes g in
+  Buffer.add_string buf
+    (Printf.sprintf "// Mirage-generated program: %s\n" name);
+  Buffer.add_string buf "#include \"mirage_runtime.cuh\"\n\n";
+  let kernel_names = Hashtbl.create 4 in
+  Array.iteri
+    (fun i (node : Graph.kernel_node) ->
+      match node.kop with
+      | Graph.K_graphdef bg ->
+          let kname = Printf.sprintf "%s_kernel_%d" name i in
+          Hashtbl.replace kernel_names i kname;
+          let kernel_inputs =
+            List.map
+              (fun ({ node = j; port } : Graph.tensor_ref) ->
+                shapes.(j).(port))
+              node.kins
+          in
+          Buffer.add_string buf (emit_block_kernel ~name:kname bg ~kernel_inputs);
+          Buffer.add_string buf "\n"
+      | Graph.K_input _ | Graph.K_prim _ -> ())
+    g.knodes;
+  Buffer.add_string buf (Printf.sprintf "void %s_launch(Tensors &t) {\n" name);
+  Array.iteri
+    (fun i (node : Graph.kernel_node) ->
+      match node.kop with
+      | Graph.K_input { name = n; shape } ->
+          Buffer.add_string buf
+            (Printf.sprintf "  // t[%d] = input %s [%s]\n" i n (shape_str shape))
+      | Graph.K_prim p ->
+          Buffer.add_string buf
+            (Printf.sprintf "  library_call_%s(t, %d); // %s\n"
+               (String.lowercase_ascii (Op.name p))
+               i (Op.to_string p))
+      | Graph.K_graphdef bg ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s<<<dim3(%s), dim3(128), %d>>>(t.in(%d), t.out(%d));\n"
+               (Hashtbl.find kernel_names i)
+               (dims_str bg.grid)
+               (Opt.Memplan.plan_block ~elt_bytes:2 bg
+                  ~kernel_inputs:
+                    (List.map
+                       (fun ({ node = j; port } : Graph.tensor_ref) ->
+                         shapes.(j).(port))
+                       node.kins))
+                 .Opt.Memplan.peak_bytes
+               i i))
+    g.knodes;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let loc s =
+  List.length (String.split_on_char '\n' s)

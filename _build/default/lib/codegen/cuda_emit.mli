@@ -1,0 +1,28 @@
+(** Pseudo-CUDA emission for muGraphs — the stand-in for the paper's JIT
+    path (§7: "Mirage produces CUDA source code for all custom kernels
+    ... and compiles the code into binary").
+
+    Without nvcc in the environment, this emitter produces human-readable
+    CUDA-style source that documents exactly what the real backend would
+    generate: one [__global__] function per graph-defined operator with
+    grid dimensions, shared-memory buffers at the offsets chosen by the
+    memory planner, the for-loop with input-iterator tile loads, operator
+    calls in the depth-ordered schedule with [__syncthreads()] at depth
+    boundaries, the accumulator updates, and the epilogue with output
+    stores. Pre-defined kernel operators become cuBLAS/cuDNN-style
+    library calls in the host launcher. *)
+
+open Mugraph
+
+val emit_kernel : name:string -> Graph.kernel_graph -> string
+(** Full translation unit: kernels + host launcher. *)
+
+val emit_block_kernel :
+  name:string ->
+  Graph.block_graph ->
+  kernel_inputs:Tensor.Shape.t list ->
+  string
+(** One custom kernel. *)
+
+val loc : string -> int
+(** Lines of emitted code (for reporting). *)

@@ -1,0 +1,1 @@
+lib/ffield/fpair.ml: Format Random Zmod

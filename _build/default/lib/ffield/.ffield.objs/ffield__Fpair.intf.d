@@ -1,0 +1,1 @@
+lib/ffield/fpair.mli: Format Random

@@ -1,0 +1,1 @@
+lib/ffield/zmod.ml: List Random

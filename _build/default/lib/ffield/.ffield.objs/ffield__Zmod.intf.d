@@ -1,0 +1,1 @@
+lib/ffield/zmod.mli: Random

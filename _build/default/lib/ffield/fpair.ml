@@ -1,0 +1,57 @@
+type ctx = { p : int; q : int; omega : int }
+
+exception Not_lax
+exception Unsupported of string
+
+type t = { vp : int; vq : int option }
+
+let make_ctx ?(p = Zmod.default_p) ?(q = Zmod.default_q) ~omega () =
+  if not (Zmod.is_prime p) then invalid_arg "Fpair.make_ctx: p not prime";
+  if not (Zmod.is_prime q) then invalid_arg "Fpair.make_ctx: q not prime";
+  if (p - 1) mod q <> 0 then invalid_arg "Fpair.make_ctx: q must divide p-1";
+  if Zmod.pow ~modulus:p omega q <> 1 then
+    invalid_arg "Fpair.make_ctx: omega is not a q-th root of unity";
+  { p; q; omega }
+
+let random_ctx ?(p = Zmod.default_p) ?(q = Zmod.default_q) st =
+  make_ctx ~p ~q ~omega:(Zmod.random_root_of_unity ~p ~q st) ()
+
+let of_int c n =
+  { vp = Zmod.normalize ~modulus:c.p n; vq = Some (Zmod.normalize ~modulus:c.q n) }
+
+let zero = { vp = 0; vq = Some 0 }
+let one = { vp = 1; vq = Some 1 }
+
+let equal a b =
+  a.vp = b.vp
+  && match a.vq, b.vq with Some x, Some y -> x = y | _ -> true
+
+let lift2 c fp fq a b =
+  { vp = fp ~modulus:c.p a.vp b.vp;
+    vq =
+      (match a.vq, b.vq with
+      | Some x, Some y -> Some (fq ~modulus:c.q x y)
+      | _ -> None) }
+
+let add c a b = lift2 c Zmod.add Zmod.add a b
+let sub c a b = lift2 c Zmod.sub Zmod.sub a b
+let mul c a b = lift2 c Zmod.mul Zmod.mul a b
+let div c a b = lift2 c Zmod.div Zmod.div a b
+
+let exp c x =
+  match x.vq with
+  | None -> raise Not_lax
+  | Some e -> { vp = Zmod.pow ~modulus:c.p c.omega e; vq = None }
+
+let sqrt _ _ = raise (Unsupported "sqrt")
+let silu _ _ = raise (Unsupported "silu")
+
+let random c st =
+  { vp = Random.State.int st c.p; vq = Some (Random.State.int st c.q) }
+
+let pp fmt x =
+  match x.vq with
+  | Some q -> Format.fprintf fmt "(%d,%d)" x.vp q
+  | None -> Format.fprintf fmt "(%d,-)" x.vp
+
+let to_string x = Format.asprintf "%a" pp x

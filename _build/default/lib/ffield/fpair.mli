@@ -1,0 +1,62 @@
+(** The product domain [Z_p x Z_q] over which Mirage runs random tests
+    (paper Table 3). [Z_p] is used outside exponents, [Z_q] inside them;
+    exponentiation maps the [Z_q] component to [Z_p] via a [q]-th root of
+    unity omega: [exp (xp, xq) = (omega^xq mod p, _)].
+
+    After an exponentiation, the [Z_q] component is no longer defined; LAX
+    muGraphs apply at most one exponentiation per input-output path
+    (Definition 5.1), so a second [exp] on such a value is a bug in the
+    caller and raises [Not_lax]. *)
+
+type ctx = private { p : int; q : int; omega : int }
+(** Field parameters plus the sampled root of unity. *)
+
+exception Not_lax
+(** Raised when [exp] is applied to a value whose [Z_q] component has
+    already been consumed by a previous exponentiation. *)
+
+exception Unsupported of string
+(** Raised by operations with no finite-field semantics ([sqrt], [silu]);
+    the verifier abstracts these away first (DESIGN.md §2). *)
+
+type t = { vp : int; vq : int option }
+(** A test value: component in [Z_p], and in [Z_q] unless consumed. *)
+
+val make_ctx : ?p:int -> ?q:int -> omega:int -> unit -> ctx
+(** Build a context; checks that [p], [q] are prime, [q] divides [p-1],
+    and [omega] is a [q]-th root of unity in [Z_p]. Defaults are the
+    paper's p = 227, q = 113. *)
+
+val random_ctx : ?p:int -> ?q:int -> Random.State.t -> ctx
+(** Context with a uniformly random root of unity. *)
+
+val of_int : ctx -> int -> t
+val zero : t
+val one : t
+val equal : t -> t -> bool
+(** Equality compares the [Z_p] component (the output component); the
+    [Z_q] component must agree when both are defined. *)
+
+val add : ctx -> t -> t -> t
+val sub : ctx -> t -> t -> t
+val mul : ctx -> t -> t -> t
+
+val div : ctx -> t -> t -> t
+(** @raise Zmod.Division_by_zero when the divisor has a zero component
+    (the event complement of [E] in Theorem 2; the verifier resamples). *)
+
+val exp : ctx -> t -> t
+(** [exp c x = (omega^{x.vq} mod p, undefined)]. @raise Not_lax if
+    [x.vq] was already consumed. *)
+
+val sqrt : ctx -> t -> t
+(** @raise Unsupported always (abstracted by the verifier). *)
+
+val silu : ctx -> t -> t
+(** @raise Unsupported always (abstracted by the verifier). *)
+
+val random : ctx -> Random.State.t -> t
+(** Uniform element of [Z_p x Z_q]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

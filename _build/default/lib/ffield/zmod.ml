@@ -1,0 +1,121 @@
+exception Division_by_zero
+
+let default_p = 227
+let default_q = 113
+
+let normalize ~modulus x =
+  let r = x mod modulus in
+  if r < 0 then r + modulus else r
+
+let add ~modulus a b = normalize ~modulus (a + b)
+let sub ~modulus a b = normalize ~modulus (a - b)
+
+(* Moduli fit in 31 bits, so products fit in 62 bits: native ints suffice. *)
+let mul ~modulus a b = normalize ~modulus (a * b)
+
+let pow ~modulus b e =
+  assert (e >= 0);
+  let rec go acc b e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mul ~modulus acc b else acc in
+      go acc (mul ~modulus b b) (e asr 1)
+  in
+  go 1 (normalize ~modulus b) e
+
+let inv ~modulus x =
+  let x = normalize ~modulus x in
+  if x = 0 then raise Division_by_zero;
+  pow ~modulus x (modulus - 2)
+
+let div ~modulus a b = mul ~modulus a (inv ~modulus b)
+
+let is_prime n =
+  if n < 2 then false
+  else if n < 4 then true
+  else if n mod 2 = 0 then false
+  else
+    let rec go d = d * d > n || (n mod d <> 0 && go (d + 2)) in
+    go 3
+
+(* Order of the multiplicative group is modulus - 1; an element g generates
+   it iff g^((modulus-1)/f) <> 1 for every prime factor f. *)
+let primitive_root ~modulus =
+  let phi = modulus - 1 in
+  let factors =
+    let rec go n d acc =
+      if d * d > n then if n > 1 then n :: acc else acc
+      else if n mod d = 0 then
+        let rec strip n = if n mod d = 0 then strip (n / d) else n in
+        go (strip n) (d + 1) (d :: acc)
+      else go n (d + 1) acc
+    in
+    go phi 2 []
+  in
+  let generates g =
+    List.for_all (fun f -> pow ~modulus g (phi / f) <> 1) factors
+  in
+  let rec find g =
+    if g >= modulus then invalid_arg "primitive_root: modulus not prime?"
+    else if generates g then g
+    else find (g + 1)
+  in
+  find 2
+
+let roots_of_unity ~p ~q =
+  if (p - 1) mod q <> 0 then
+    invalid_arg "roots_of_unity: q must divide p - 1";
+  let g = primitive_root ~modulus:p in
+  let w = pow ~modulus:p g ((p - 1) / q) in
+  (* w has multiplicative order exactly q; its powers enumerate the roots. *)
+  let rec go acc x i =
+    if i = q then List.rev acc else go (x :: acc) (mul ~modulus:p x w) (i + 1)
+  in
+  go [] 1 0
+
+let random_root_of_unity ~p ~q st =
+  if (p - 1) mod q <> 0 then
+    invalid_arg "random_root_of_unity: q must divide p - 1";
+  let g = primitive_root ~modulus:p in
+  let w = pow ~modulus:p g ((p - 1) / q) in
+  pow ~modulus:p w (Random.State.int st q)
+
+(* Tonelli–Shanks; only needed by property tests. *)
+let sqrt_opt ~modulus n =
+  let p = modulus in
+  let n = normalize ~modulus n in
+  if n = 0 then Some 0
+  else if pow ~modulus n ((p - 1) / 2) <> 1 then None
+  else if p mod 4 = 3 then Some (pow ~modulus n ((p + 1) / 4))
+  else begin
+    (* Write p - 1 = q0 * 2^s with q0 odd. *)
+    let rec split q0 s = if q0 mod 2 = 0 then split (q0 / 2) (s + 1) else (q0, s) in
+    let q0, s = split (p - 1) 0 in
+    let rec find_non_residue z =
+      if pow ~modulus z ((p - 1) / 2) = p - 1 then z else find_non_residue (z + 1)
+    in
+    let z = find_non_residue 2 in
+    let m = ref s
+    and c = ref (pow ~modulus z q0)
+    and t = ref (pow ~modulus n q0)
+    and r = ref (pow ~modulus n ((q0 + 1) / 2)) in
+    let rec loop () =
+      if !t = 1 then Some !r
+      else begin
+        let rec order i t2 =
+          if t2 = 1 then i else order (i + 1) (mul ~modulus t2 t2)
+        in
+        let i = order 0 !t in
+        if i = !m then None
+        else begin
+          let b = pow ~modulus !c (1 lsl (!m - i - 1)) in
+          m := i;
+          c := mul ~modulus b b;
+          t := mul ~modulus !t !c;
+          r := mul ~modulus !r b;
+          loop ()
+        end
+      end
+    in
+    loop ()
+  end

@@ -1,0 +1,52 @@
+(** Arithmetic in the ring of integers modulo [m] (prime moduli give the
+    finite field [Z_m] used by Mirage's probabilistic verifier, paper §5).
+
+    All values are canonical representatives in [0, m). Operations take the
+    modulus explicitly so callers can work with several fields at once
+    (Mirage uses [Z_p] outside exponents and [Z_q] inside them). *)
+
+exception Division_by_zero
+(** Raised by [inv] and [div] when the divisor is [0] modulo [m]. *)
+
+val normalize : modulus:int -> int -> int
+(** [normalize ~modulus x] is the canonical representative of [x] in
+    [0, modulus). Works for negative [x]. *)
+
+val add : modulus:int -> int -> int -> int
+val sub : modulus:int -> int -> int -> int
+val mul : modulus:int -> int -> int -> int
+
+val pow : modulus:int -> int -> int -> int
+(** [pow ~modulus b e] is [b^e mod modulus] by binary exponentiation;
+    [e] must be non-negative. *)
+
+val inv : modulus:int -> int -> int
+(** Multiplicative inverse modulo a prime (Fermat's little theorem).
+    @raise Division_by_zero on 0. *)
+
+val div : modulus:int -> int -> int -> int
+(** [div ~modulus a b = a * inv b]. @raise Division_by_zero if [b = 0]. *)
+
+val is_prime : int -> bool
+(** Deterministic trial-division primality test (moduli here are small). *)
+
+val primitive_root : modulus:int -> int
+(** A generator of the multiplicative group of [Z_modulus] ([modulus]
+    prime). Used to construct roots of unity. *)
+
+val roots_of_unity : p:int -> q:int -> int list
+(** All [q]-th roots of unity in [Z_p]; requires [q] divides [p - 1]
+    (the side condition of paper Theorem 2). *)
+
+val random_root_of_unity : p:int -> q:int -> Random.State.t -> int
+(** A uniformly random [q]-th root of unity in [Z_p]. *)
+
+val sqrt_opt : modulus:int -> int -> int option
+(** Modular square root by Tonelli–Shanks if one exists (used only by
+    tests; the verifier abstracts Sqrt instead, see DESIGN.md). *)
+
+val default_p : int
+(** 227 — the paper's choice of [p] (largest [p*q < 2^16] with [q | p-1]). *)
+
+val default_q : int
+(** 113 — the paper's choice of [q]. *)

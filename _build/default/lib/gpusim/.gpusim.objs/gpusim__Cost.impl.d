@@ -1,0 +1,1 @@
+lib/gpusim/cost.ml: Array Device Float Format Graph Infer List Mugraph Op Shape Tensor

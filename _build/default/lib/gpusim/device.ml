@@ -1,0 +1,59 @@
+type t = {
+  name : string;
+  num_sms : int;
+  smem_per_sm_bytes : int;
+  dmem_bytes : int;
+  l2_bytes : int;
+  dram_gb_s : float;
+  smem_gb_s_per_sm : float;
+  tensor_tflops : float;
+  ew_tflops : float;
+  kernel_launch_us : float;
+  elt_bytes : int;
+}
+
+let a100 =
+  {
+    name = "A100";
+    num_sms = 108;
+    smem_per_sm_bytes = 164 * 1024;
+    dmem_bytes = 40 * 1024 * 1024 * 1024;
+    l2_bytes = 40 * 1024 * 1024;
+    dram_gb_s = 1555.0;
+    smem_gb_s_per_sm = 180.0;
+    tensor_tflops = 312.0;
+    ew_tflops = 19.5;
+    kernel_launch_us = 4.0;
+    elt_bytes = 2;
+  }
+
+let h100 =
+  {
+    name = "H100";
+    num_sms = 132;
+    smem_per_sm_bytes = 228 * 1024;
+    dmem_bytes = 40 * 1024 * 1024 * 1024;
+    l2_bytes = 50 * 1024 * 1024;
+    dram_gb_s = 3350.0;
+    smem_gb_s_per_sm = 250.0;
+    tensor_tflops = 989.0;
+    ew_tflops = 66.9;
+    kernel_launch_us = 4.0;
+    elt_bytes = 2;
+  }
+
+let all = [ a100; h100 ]
+
+let limits d =
+  {
+    Mugraph.Memory.smem_bytes_per_block = d.smem_per_sm_bytes;
+    dmem_bytes = d.dmem_bytes;
+    elt_bytes = d.elt_bytes;
+  }
+
+let by_name n =
+  List.find_opt (fun d -> String.lowercase_ascii d.name = String.lowercase_ascii n) all
+
+let pp fmt d =
+  Format.fprintf fmt "%s (%d SMs, %.0f GB/s, %.0f TFLOPS fp16)" d.name
+    d.num_sms d.dram_gb_s d.tensor_tflops

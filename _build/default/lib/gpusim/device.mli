@@ -1,0 +1,39 @@
+(** GPU device models for the analytical cost simulator.
+
+    This is the reproduction's substitute for running on real A100/H100
+    GPUs (DESIGN.md §2): the published first-order parameters of each
+    device — SM count, memory bandwidths, peak throughputs, kernel-launch
+    latency — drive a roofline-style kernel cost model in {!Cost}. The
+    absolute times are approximations; the comparisons between execution
+    plans (fused vs unfused, few blocks vs many) are what the benchmarks
+    rely on. *)
+
+type t = {
+  name : string;
+  num_sms : int;
+  smem_per_sm_bytes : int;  (** usable shared memory per thread block *)
+  dmem_bytes : int;  (** device memory capacity *)
+  l2_bytes : int;  (** last-level cache (absorbs replicated tile reads) *)
+  dram_gb_s : float;  (** device-memory bandwidth, GB/s *)
+  smem_gb_s_per_sm : float;  (** shared-memory bandwidth per SM, GB/s *)
+  tensor_tflops : float;  (** fp16 tensor-core peak, TFLOPS *)
+  ew_tflops : float;  (** elementwise/special-function peak, TFLOPS *)
+  kernel_launch_us : float;  (** per-kernel launch + sync overhead *)
+  elt_bytes : int;  (** bytes per element (fp16 = 2, as in §8.2) *)
+}
+
+val a100 : t
+(** NVIDIA A100-40GB: 108 SMs, 164 KiB smem/SM, 1555 GB/s HBM2e,
+    312 TFLOPS fp16. *)
+
+val h100 : t
+(** NVIDIA H100: 132 SMs, 228 KiB smem/SM, 3350 GB/s HBM3,
+    989 TFLOPS fp16. *)
+
+val all : t list
+
+val limits : t -> Mugraph.Memory.limits
+(** Memory limits for the generator's MemoryCheck on this device. *)
+
+val by_name : string -> t option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+(** A small exact 0-1 integer linear programming solver.
+
+    The paper solves tensor-layout selection with Z3's optimization
+    engine (§6, "Tensor layouts"); this module is the sealed-container
+    substitute. It handles the boolean selection problems the muGraph
+    optimizer produces — tens of variables, exactly-one groups, linear
+    side constraints, linear objective — by branch and bound with unit
+    propagation and objective bounding, returning a provably optimal
+    solution. *)
+
+type t
+type var = private int
+
+val create : unit -> t
+
+val num_vars : t -> int
+
+val new_var : ?name:string -> t -> var
+
+val add_le : t -> (int * var) list -> int -> unit
+(** [add_le p terms b]: Σ cᵢ·xᵢ ≤ b. *)
+
+val add_ge : t -> (int * var) list -> int -> unit
+val add_eq : t -> (int * var) list -> int -> unit
+
+val add_exactly_one : t -> var list -> unit
+(** Exactly one of the variables is 1 (layout choice per tensor). *)
+
+val add_implies : t -> var -> var -> unit
+(** x → y (operator compatibility constraints). *)
+
+val add_forbid_pair : t -> var -> var -> unit
+(** ¬(x ∧ y). *)
+
+val set_objective : t -> (float * var) list -> unit
+(** Minimize Σ cᵢ·xᵢ; coefficients may be negative. *)
+
+type solution = { values : bool array; objective : float }
+
+val solve : ?node_limit:int -> t -> solution option
+(** [None] if infeasible. @raise Failure if [node_limit] search nodes are
+    exhausted (default 10 million — far above anything layout selection
+    produces). *)
+
+val value : solution -> var -> bool
+val var_name : t -> var -> string

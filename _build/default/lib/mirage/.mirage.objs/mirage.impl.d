@@ -1,0 +1,1 @@
+lib/mirage/mirage.ml: Buffer Gpusim Graph List Mugraph Opt Partition Printf Search

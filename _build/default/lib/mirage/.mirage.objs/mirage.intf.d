@@ -1,0 +1,1 @@
+lib/mirage/mirage.mli: Gpusim Graph Mugraph Opt Partition Search

@@ -1,0 +1,1 @@
+lib/mirage/partition.ml: Array Fun Gpusim Graph Hashtbl Infer List Mugraph Op Printf Stdlib

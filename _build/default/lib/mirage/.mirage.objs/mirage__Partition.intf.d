@@ -1,0 +1,1 @@
+lib/mirage/partition.mli: Gpusim Graph Mugraph

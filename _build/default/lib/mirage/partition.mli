@@ -1,0 +1,41 @@
+(** LAX partitioning (paper Fig. 1, §1): split an input tensor program
+    into maximal subprograms inside the LAX fragment. Non-LAX operators
+    (e.g. ReLU) become pass-through barriers executed as ordinary
+    kernels; each LAX piece is superoptimized independently and the
+    pieces are costed together.
+
+    Only kernel graphs made of pre-defined operators are partitioned
+    (an input program is an algorithm description, not a schedule). *)
+
+open Mugraph
+
+type piece = {
+  id : int;
+  graph : Graph.kernel_graph;
+      (** self-contained subprogram: fresh inputs named ["t<n>_<p>"] for
+          tensors produced by other pieces *)
+  lax : bool;  (** whether this piece may be superoptimized *)
+  output_names : string list;
+      (** for each graph output, the ["t<n>_<p>"] name under which later
+          pieces (or the program outputs) refer to it *)
+}
+
+type t = {
+  pieces : piece list;  (** in dependency order *)
+  original : Graph.kernel_graph;
+}
+
+val partition : Graph.kernel_graph -> t
+(** @raise Invalid_argument if the input contains graph-defined
+    operators (already-scheduled programs are not partitioned). *)
+
+val num_lax_pieces : t -> int
+
+val total_cost :
+  Gpusim.Device.t ->
+  t ->
+  replacements:(int * Graph.kernel_graph) list ->
+  Gpusim.Cost.graph_cost list
+(** Cost every piece, substituting optimized graphs for the given piece
+    ids (interface compatibility is the caller's obligation — the
+    optimizer only ever substitutes verified-equivalent graphs). *)

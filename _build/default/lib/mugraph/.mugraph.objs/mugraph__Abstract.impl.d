@@ -1,0 +1,1 @@
+lib/mugraph/abstract.ml: Absexpr Array Dmap Graph Infer List Op Printf Tensor

@@ -1,0 +1,1 @@
+lib/mugraph/abstract.mli: Absexpr Graph Op Shape Tensor

@@ -1,0 +1,1 @@
+lib/mugraph/canon.ml: Array Graph Hashtbl List Stdlib

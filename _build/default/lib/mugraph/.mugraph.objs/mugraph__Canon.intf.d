@@ -1,0 +1,1 @@
+lib/mugraph/canon.mli: Graph

@@ -1,0 +1,1 @@
+lib/mugraph/dmap.ml: Array Dense Shape String Tensor

@@ -1,0 +1,1 @@
+lib/mugraph/dmap.mli: Tensor

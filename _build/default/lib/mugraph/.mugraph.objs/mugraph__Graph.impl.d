@@ -1,0 +1,1 @@
+lib/mugraph/graph.ml: Array Dmap Hashtbl List Op Printf Stdlib Tensor

@@ -1,0 +1,1 @@
+lib/mugraph/graph.mli: Dmap Op Tensor

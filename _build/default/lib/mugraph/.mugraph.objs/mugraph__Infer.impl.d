@@ -1,0 +1,1 @@
+lib/mugraph/infer.ml: Array Dmap Graph List Op Shape Tensor

@@ -1,0 +1,1 @@
+lib/mugraph/infer.mli: Graph Shape Tensor

@@ -1,0 +1,1 @@
+lib/mugraph/interp.ml: Array Dense Dmap Graph List Op Option Printf Shape String Tensor

@@ -1,0 +1,1 @@
+lib/mugraph/interp.mli: Dense Element Graph Tensor

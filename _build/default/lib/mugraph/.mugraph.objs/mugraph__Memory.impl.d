@@ -1,0 +1,1 @@
+lib/mugraph/memory.ml: Array Graph Infer List Shape Tensor

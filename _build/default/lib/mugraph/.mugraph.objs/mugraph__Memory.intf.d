@@ -1,0 +1,1 @@
+lib/mugraph/memory.mli: Graph Shape Tensor

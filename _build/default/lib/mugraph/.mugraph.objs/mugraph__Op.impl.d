@@ -1,0 +1,1 @@
+lib/mugraph/op.ml: Absexpr Array Dense Element Format List Printf Shape Stdlib String Tensor

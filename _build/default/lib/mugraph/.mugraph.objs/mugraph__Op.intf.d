@@ -1,0 +1,1 @@
+lib/mugraph/op.mli: Absexpr Format Shape Tensor

@@ -1,0 +1,1 @@
+lib/mugraph/pretty.ml: Array Buffer Dmap Format Graph Infer List Op Printf Shape String Tensor

@@ -1,0 +1,1 @@
+lib/mugraph/pretty.mli: Format Graph

@@ -1,0 +1,114 @@
+module E = Absexpr.Expr
+
+let thread_exprs (tg : Graph.thread_graph) ~input_exprs ~input_shapes =
+  let input_exprs = Array.of_list input_exprs in
+  let shapes = Infer.thread_shapes tg ~inputs:input_shapes in
+  let exprs = Array.make (Array.length tg.tnodes) (E.var "?") in
+  Array.iteri
+    (fun i (node : Graph.thread_node) ->
+      exprs.(i) <-
+        (match node.top with
+        | Graph.T_input k -> input_exprs.(k)
+        | Graph.T_prim p ->
+            let in_shapes = List.map (fun j -> shapes.(j)) node.tins in
+            Op.abstract p ~in_shapes (List.map (fun j -> exprs.(j)) node.tins)))
+    tg.tnodes;
+  exprs
+
+let block_exprs (bg : Graph.block_graph) ~kernel_input_exprs
+    ~kernel_input_shapes =
+  let kernel_input_exprs = Array.of_list kernel_input_exprs in
+  let shapes = Infer.block_shapes bg ~kernel_inputs:kernel_input_shapes in
+  let exprs = Array.make (Array.length bg.bnodes) (E.var "?") in
+  Array.iteri
+    (fun i (node : Graph.block_node) ->
+      let in_exprs = List.map (fun j -> exprs.(j)) node.bins in
+      let in_shapes = List.map (fun j -> shapes.(j)) node.bins in
+      exprs.(i) <-
+        (match node.bop with
+        | Graph.B_initer { input; _ } -> kernel_input_exprs.(input)
+        | Graph.B_prim p -> Op.abstract p ~in_shapes in_exprs
+        | Graph.B_accum { fmap } ->
+            (* sum over every for-loop dim accumulated with phi; mapped
+               dims concatenate and are transparent (Table 1 row Accum). *)
+            let factor = ref 1 in
+            Array.iteri
+              (fun l t ->
+                if t = Dmap.Replica then factor := !factor * bg.forloop.(l))
+              fmap;
+            E.sum !factor (List.hd in_exprs)
+        | Graph.B_outsaver _ -> List.hd in_exprs
+        | Graph.B_threadgraph tg ->
+            let es =
+              thread_exprs tg ~input_exprs:in_exprs ~input_shapes:in_shapes
+            in
+            es.(Array.length es - 1)))
+    bg.bnodes;
+  exprs
+
+let kernel_exprs (g : Graph.kernel_graph) =
+  let shapes = Infer.kernel_shapes g in
+  let exprs = Array.make (Array.length g.knodes) [||] in
+  Array.iteri
+    (fun i (node : Graph.kernel_node) ->
+      let in_exprs =
+        List.map
+          (fun ({ node = j; port } : Graph.tensor_ref) -> exprs.(j).(port))
+          node.kins
+      in
+      let in_shapes =
+        List.map
+          (fun ({ node = j; port } : Graph.tensor_ref) -> shapes.(j).(port))
+          node.kins
+      in
+      exprs.(i) <-
+        (match node.kop with
+        | Graph.K_input { name; _ } -> [| E.var name |]
+        | Graph.K_prim p -> [| Op.abstract p ~in_shapes in_exprs |]
+        | Graph.K_graphdef bg ->
+            let es =
+              block_exprs bg ~kernel_input_exprs:in_exprs
+                ~kernel_input_shapes:in_shapes
+            in
+            Array.to_list bg.bnodes
+            |> List.mapi (fun bi n -> (bi, n))
+            |> List.filter_map (fun (bi, (n : Graph.block_node)) ->
+                   match n.bop with
+                   | Graph.B_outsaver _ -> Some es.(bi)
+                   | _ -> None)
+            |> Array.of_list))
+    g.knodes;
+  exprs
+
+let output_exprs g =
+  let exprs = kernel_exprs g in
+  List.map
+    (fun ({ node; port } : Graph.tensor_ref) -> exprs.(node).(port))
+    g.outputs
+
+module Nf = Absexpr.Nf
+
+let prim_nf (p : Op.prim) ~(in_shapes : Tensor.Shape.t list) (nfs : Nf.t list)
+    : Nf.t =
+  match p, nfs, in_shapes with
+  | Op.Matmul, [ x; y ], [ a; _ ] ->
+      let k = a.(Array.length a - 1) in
+      Nf.nf_sum k (Nf.nf_mul x y)
+  | Op.Binary Op.Add, [ x; y ], _ -> Nf.nf_add x y
+  | Op.Binary Op.Mul, [ x; y ], _ -> Nf.nf_mul x y
+  | Op.Binary Op.Div, [ x; y ], _ -> Nf.nf_div x y
+  | Op.Binary Op.Sub, [ x; y ], _ ->
+      Nf.nf_add x (Nf.nf_mul (Nf.nf_var "__neg") y)
+  | Op.Unary Op.Exp, [ x ], _ -> Nf.nf_exp x
+  | Op.Unary Op.Sqr, [ x ], _ -> Nf.nf_mul x x
+  | Op.Unary Op.Sqrt, [ x ], _ -> Nf.nf_sqrt x
+  | Op.Unary Op.Silu, [ x ], _ -> Nf.nf_silu x
+  | Op.Unary Op.Relu, [ x ], _ -> Nf.nf_silu (Nf.nf_silu x)
+  | Op.Sum { group; _ }, [ x ], _ -> Nf.nf_sum group x
+  | Op.Repeat _, [ x ], _ | Op.Reshape _, [ x ], _ | Op.Transpose, [ x ], _ ->
+      x
+  | Op.Concat_matmul, [ w; x; y; z ], [ ws; xs; _; _ ] ->
+      Nf.nf_add
+        (Nf.nf_sum ws.(1) (Nf.nf_mul w y))
+        (Nf.nf_sum xs.(1) (Nf.nf_mul x z))
+  | _ -> invalid_arg (Printf.sprintf "Abstract.prim_nf %s" (Op.name p))

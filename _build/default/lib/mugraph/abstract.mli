@@ -1,0 +1,37 @@
+(** Abstract expressions of muGraph tensors (paper §4.3, Table 1).
+
+    Graph-defined operators are "inlined": the expressions computed for the
+    operator's inputs feed the lower-level graph, and the lower-level
+    outputs' expressions become the operator's output expressions. Input
+    iterators, output savers, Repeat and Reshape are transparent;
+    accumulators with a phi fmap contribute a [sum] whose size is the
+    for-loop trip count; Matmul contributes a [sum] sized by its
+    (level-local) reduction dimension. *)
+
+open Tensor
+
+val thread_exprs :
+  Graph.thread_graph ->
+  input_exprs:Absexpr.Expr.t list ->
+  input_shapes:Shape.t list ->
+  Absexpr.Expr.t array
+
+val block_exprs :
+  Graph.block_graph ->
+  kernel_input_exprs:Absexpr.Expr.t list ->
+  kernel_input_shapes:Shape.t list ->
+  Absexpr.Expr.t array
+
+val kernel_exprs : Graph.kernel_graph -> Absexpr.Expr.t array array
+(** [.(i).(j)]: expression of port [j] of node [i]; inputs map to
+    [Var name]. *)
+
+val output_exprs : Graph.kernel_graph -> Absexpr.Expr.t list
+(** The [E_O] of Algorithm 1 (one expression per graph output). *)
+
+val prim_nf :
+  Op.prim -> in_shapes:Shape.t list -> Absexpr.Nf.t list -> Absexpr.Nf.t
+(** The operator's abstract expression in normal form, built incrementally
+    from already-normalized input expressions — the generator's hot path
+    (extending a prefix never re-normalizes whole trees). Agrees with
+    [Nf.of_expr] of {!Op.abstract}. *)

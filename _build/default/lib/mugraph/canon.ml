@@ -1,0 +1,42 @@
+(* Rank values reuse the structural order of the IR types: input reference
+   lists compare lexicographically and operator payloads structurally,
+   which is a valid total order for canonicity purposes. *)
+
+type rank = R_kernel of Graph.tensor_ref list * Graph.kernel_op
+          | R_block of int list * Graph.block_op
+
+let kernel_rank (n : Graph.kernel_node) = R_kernel (n.kins, n.kop)
+let block_rank (n : Graph.block_node) = R_block (n.bins, n.bop)
+
+let compare_rank (a : rank) (b : rank) = Stdlib.compare a b
+
+let is_canonical (g : Graph.kernel_graph) =
+  let ops =
+    Array.to_list g.knodes
+    |> List.filter (fun (n : Graph.kernel_node) ->
+           match n.kop with Graph.K_input _ -> false | _ -> true)
+  in
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) ->
+        compare_rank (kernel_rank a) (kernel_rank b) <= 0
+        && nondecreasing rest
+    | _ -> true
+  in
+  nondecreasing ops
+
+let is_canonical_block (bg : Graph.block_graph) =
+  let ops =
+    Array.to_list bg.bnodes
+    |> List.filter (fun (n : Graph.block_node) ->
+           match n.bop with
+           | Graph.B_prim _ | Graph.B_threadgraph _ -> true
+           | Graph.B_initer _ | Graph.B_accum _ | Graph.B_outsaver _ -> false)
+  in
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) ->
+        compare_rank (block_rank a) (block_rank b) <= 0 && nondecreasing rest
+    | _ -> true
+  in
+  nondecreasing ops
+
+let fingerprint (g : Graph.kernel_graph) = Hashtbl.hash g

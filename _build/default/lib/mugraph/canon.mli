@@ -1,0 +1,26 @@
+(** Canonical form of muGraphs (paper §4.1).
+
+    Each operator [o_i] is assigned the rank [(input_i, type_i)] where
+    [input_i] is its list of input tensor indices and [type_i] a total
+    order on operator types. A muGraph is canonical when its operators
+    appear in nondecreasing rank order; the generator only extends
+    prefixes with operators of rank at least the last operator's, which
+    enumerates every graph exactly once without losing any (every graph
+    reorders into canonical form). *)
+
+type rank =
+  | R_kernel of Graph.tensor_ref list * Graph.kernel_op
+  | R_block of int list * Graph.block_op
+
+val kernel_rank : Graph.kernel_node -> rank
+val compare_rank : rank -> rank -> int
+
+val is_canonical : Graph.kernel_graph -> bool
+(** Input nodes are exempt (they precede all operators); operator nodes
+    must be in nondecreasing rank order. *)
+
+val block_rank : Graph.block_node -> rank
+val is_canonical_block : Graph.block_graph -> bool
+
+val fingerprint : Graph.kernel_graph -> int
+(** Structural hash for dedup sets. *)

@@ -1,0 +1,89 @@
+open Tensor
+
+type target = Dim of int | Replica
+
+type imap = target array
+type omap = int array
+type fmap = target array
+
+let target_to_string = function
+  | Dim d -> string_of_int d
+  | Replica -> "phi"
+
+let map_to_string prefix arr f =
+  prefix ^ "{"
+  ^ String.concat "," (Array.to_list (Array.map f arr))
+  ^ "}"
+
+let imap_to_string m = map_to_string "i" m target_to_string
+let omap_to_string m = map_to_string "o" m string_of_int
+let fmap_to_string m = map_to_string "f" m target_to_string
+
+(* Validity: apply the slicing dimension-count product per data dim and
+   check divisibility. Maps may send several grid/loop dims to the same
+   data dim; the chunk counts multiply. *)
+let valid_generic targets ~counts ~shape =
+  Array.length targets = Array.length counts
+  && begin
+       let rank = Shape.rank shape in
+       let per_dim = Array.make rank 1 in
+       let ok = ref true in
+       Array.iteri
+         (fun i t ->
+           match t with
+           | Replica -> ()
+           | Dim d ->
+               if d < 0 || d >= rank then ok := false
+               else per_dim.(d) <- per_dim.(d) * counts.(i))
+         targets;
+       !ok
+       && Array.for_all2
+            (fun size chunks -> size mod chunks = 0)
+            shape per_dim
+     end
+
+let valid_imap m ~grid ~shape = valid_generic m ~counts:grid ~shape
+let valid_fmap m ~forloop ~shape = valid_generic m ~counts:forloop ~shape
+
+let valid_omap m ~grid ~shape =
+  Array.length m = Array.length grid
+  && begin
+       let rank = Shape.rank shape in
+       let seen = Array.make rank false in
+       let ok = ref true in
+       Array.iter
+         (fun d ->
+           if d < 0 || d >= rank || seen.(d) then ok := false
+           else seen.(d) <- true)
+         m;
+       !ok
+     end
+
+let slice_shape targets ~counts shape =
+  let s = ref (Shape.create shape) in
+  Array.iteri
+    (fun i t ->
+      match t with
+      | Replica -> ()
+      | Dim d -> s := Shape.split_dim !s ~dim:d ~chunks:counts.(i))
+    targets;
+  !s
+
+let slice targets ~counts ~coords t =
+  let cur = ref t in
+  Array.iteri
+    (fun i target ->
+      match target with
+      | Replica -> ()
+      | Dim d ->
+          cur :=
+            Dense.slice ~dim:d ~index:coords.(i) ~chunks:counts.(i) !cur)
+    targets;
+  !cur
+
+let scaled_shape m ~grid shape =
+  let s = ref (Shape.create shape) in
+  Array.iteri
+    (fun i d -> s := Shape.scale_dim !s ~dim:d ~times:grid.(i))
+    m;
+  !s

@@ -1,0 +1,53 @@
+(** Dimension maps: how tensors are partitioned across thread blocks
+    (imap/omap) and across for-loop iterations (fmap) — paper §2, Fig. 3.
+
+    - an {e imap} maps each grid dimension to a data dimension of the
+      input tensor (equal partitioning) or to the replica dimension phi;
+    - an {e omap} maps each grid dimension to a data dimension of the
+      output (blocks must write disjoint chunks, so phi is not allowed);
+    - an {e fmap} maps each for-loop dimension to a data dimension
+      (partition across iterations / concatenate outputs) or phi
+      (replicate inputs / accumulate outputs in shared memory). *)
+
+type target =
+  | Dim of int  (** a data dimension of the tensor *)
+  | Replica  (** the special phi dimension *)
+
+type imap = target array
+type omap = int array
+type fmap = target array
+
+val target_to_string : target -> string
+
+val imap_to_string : imap -> string
+val omap_to_string : omap -> string
+val fmap_to_string : fmap -> string
+
+val valid_imap : imap -> grid:int array -> shape:Tensor.Shape.t -> bool
+(** Each [Dim d] must name a dimension of [shape] divisible by the
+    corresponding grid size (phi entries are always fine). When two grid
+    dims map to the same data dim the divisibility requirement composes. *)
+
+val valid_fmap :
+  fmap -> forloop:int array -> shape:Tensor.Shape.t -> bool
+(** Same for for-loop partitioning, applied after any imap slicing. *)
+
+val valid_omap : omap -> grid:int array -> shape:Tensor.Shape.t -> bool
+(** Every grid dim maps to a distinct data dimension of the per-block
+    output shape. *)
+
+val slice_shape :
+  target array -> counts:int array -> Tensor.Shape.t -> Tensor.Shape.t
+(** The shape of one chunk: divide each mapped data dim by its count. *)
+
+val slice :
+  target array ->
+  counts:int array ->
+  coords:int array ->
+  'a Tensor.Dense.t ->
+  'a Tensor.Dense.t
+(** Extract the chunk at [coords] (the block or loop index vector). *)
+
+val scaled_shape : omap -> grid:int array -> Tensor.Shape.t -> Tensor.Shape.t
+(** The kernel-level output shape produced when per-block outputs of the
+    given shape are concatenated according to [omap]. *)

@@ -1,0 +1,297 @@
+type tensor_ref = { node : int; port : int }
+
+type thread_op = T_input of int | T_prim of Op.prim
+
+type thread_node = { top : thread_op; tins : int list }
+
+type thread_graph = { tnodes : thread_node array }
+
+type block_op =
+  | B_initer of { input : int; imap : Dmap.imap; fmap : Dmap.fmap }
+  | B_prim of Op.prim
+  | B_accum of { fmap : Dmap.fmap }
+  | B_outsaver of { omap : Dmap.omap }
+  | B_threadgraph of thread_graph
+
+type block_node = { bop : block_op; bins : int list }
+
+type block_graph = {
+  grid : int array;
+  forloop : int array;
+  bnodes : block_node array;
+}
+
+type kernel_op =
+  | K_input of { name : string; shape : int array }
+  | K_prim of Op.prim
+  | K_graphdef of block_graph
+
+type kernel_node = { kop : kernel_op; kins : tensor_ref list }
+
+type kernel_graph = { knodes : kernel_node array; outputs : tensor_ref list }
+
+exception Ill_formed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Ill_formed s)) fmt
+
+let num_block_outputs bg =
+  Array.fold_left
+    (fun acc n -> match n.bop with B_outsaver _ -> acc + 1 | _ -> acc)
+    0 bg.bnodes
+
+let block_initer_count bg =
+  Array.fold_left
+    (fun acc n -> match n.bop with B_initer _ -> acc + 1 | _ -> acc)
+    0 bg.bnodes
+
+let num_outputs = function
+  | K_input _ | K_prim _ -> 1
+  | K_graphdef bg -> num_block_outputs bg
+
+let block_arity = function
+  | B_initer _ -> 0
+  | B_prim p -> Op.arity p
+  | B_accum _ | B_outsaver _ -> 1
+  | B_threadgraph tg ->
+      Array.fold_left
+        (fun acc n -> match n.top with T_input _ -> acc + 1 | _ -> acc)
+        0 tg.tnodes
+
+let validate_thread_graph tg n_inputs =
+  let n = Array.length tg.tnodes in
+  if n = 0 then fail "thread graph: empty";
+  Array.iteri
+    (fun i node ->
+      (match node.top with
+      | T_input k ->
+          if k < 0 || k >= n_inputs then
+            fail "thread graph: T_input %d out of range" k;
+          if node.tins <> [] then fail "thread graph: T_input with inputs"
+      | T_prim p ->
+          if not (Op.allowed_at p Op.Thread) then
+            fail "thread graph: %s not allowed at thread level"
+              (Op.to_string p);
+          if List.length node.tins <> Op.arity p then
+            fail "thread graph: arity mismatch on %s" (Op.to_string p));
+      List.iter
+        (fun j ->
+          if j < 0 || j >= i then
+            fail "thread graph: node %d references %d (not topological)" i j)
+        node.tins)
+    tg.tnodes;
+  (match tg.tnodes.(n - 1).top with
+  | T_prim _ -> ()
+  | T_input _ -> fail "thread graph: output must be a computed node")
+
+(* A node is post-loop ("epilogue") iff it is an accumulator or transitively
+   consumes one: accumulated values exist only after the for-loop, so
+   everything downstream of an Accum executes once per block, after the
+   loop (paper Fig. 4b: Sqrt and Div run on accumulated tensors). *)
+let post_loop_nodes bg =
+  let n = Array.length bg.bnodes in
+  let post = Array.make n false in
+  Array.iteri
+    (fun i node ->
+      match node.bop with
+      | B_accum _ -> post.(i) <- true
+      | _ -> if List.exists (fun j -> post.(j)) node.bins then post.(i) <- true)
+    bg.bnodes;
+  post
+
+(* Loop-invariant nodes: initers whose fmap replicates across every
+   for-loop dim, and pure functions of loop-invariant values. These may be
+   read from the epilogue even though they are computed in the loop body. *)
+let loop_invariant_nodes bg =
+  let n = Array.length bg.bnodes in
+  let inv = Array.make n false in
+  Array.iteri
+    (fun i node ->
+      match node.bop with
+      | B_initer { fmap; _ } ->
+          inv.(i) <- Array.for_all (fun t -> t = Dmap.Replica) fmap
+      | B_prim _ | B_threadgraph _ ->
+          inv.(i) <- List.for_all (fun j -> inv.(j)) node.bins
+      | B_accum _ | B_outsaver _ -> ())
+    bg.bnodes;
+  inv
+
+
+let validate_block_graph bg n_kernel_inputs =
+  let ng = Array.length bg.grid and nl = Array.length bg.forloop in
+  if ng < 1 || ng > 3 then fail "block graph: grid must have 1-3 dims";
+  if nl > 2 then fail "block graph: at most 2 for-loop dims";
+  Array.iter
+    (fun d -> if d <= 0 then fail "block graph: grid dims must be positive")
+    bg.grid;
+  Array.iter
+    (fun d ->
+      if d <= 0 then fail "block graph: for-loop dims must be positive")
+    bg.forloop;
+  if num_block_outputs bg = 0 then fail "block graph: no outsaver";
+  let has_loop = Array.fold_left ( * ) 1 bg.forloop > 1 in
+  Array.iteri
+    (fun i node ->
+      (match node.bop with
+      | B_initer { input; imap; fmap } ->
+          if input < 0 || input >= n_kernel_inputs then
+            fail "block graph: initer input %d out of range" input;
+          if Array.length imap <> ng then
+            fail "block graph: imap length %d <> grid dims %d"
+              (Array.length imap) ng;
+          if Array.length fmap <> nl then
+            fail "block graph: fmap length %d <> loop dims %d"
+              (Array.length fmap) nl
+      | B_prim p ->
+          if not (Op.allowed_at p Op.Block) then
+            fail "block graph: %s not allowed at block level"
+              (Op.to_string p)
+      | B_accum { fmap } ->
+          if Array.length fmap <> nl then
+            fail "block graph: accum fmap length mismatch"
+      | B_outsaver { omap } ->
+          if Array.length omap <> ng then
+            fail "block graph: omap length %d <> grid dims %d"
+              (Array.length omap) ng
+      | B_threadgraph tg -> validate_thread_graph tg (List.length node.bins));
+      if List.length node.bins <> block_arity node.bop then
+        fail "block graph: node %d arity mismatch" i;
+      List.iter
+        (fun j ->
+          if j < 0 || j >= i then
+            fail "block graph: node %d references %d (not topological)" i j;
+          match bg.bnodes.(j).bop with
+          | B_outsaver _ -> fail "block graph: outsaver output consumed"
+          | _ -> ())
+        node.bins)
+    bg.bnodes;
+  (* Phase discipline: accumulators consume loop-body values; when a
+     for-loop is present, outsavers must read post-loop or loop-invariant
+     values (anything else would save an arbitrary iteration's value). *)
+  let post = post_loop_nodes bg and inv = loop_invariant_nodes bg in
+  Array.iteri
+    (fun i node ->
+      match node.bop with
+      | B_accum _ ->
+          List.iter
+            (fun j ->
+              if post.(j) then
+                fail "block graph: accumulator %d consumes a post-loop value"
+                  i)
+            node.bins
+      | B_outsaver _ ->
+          if has_loop then
+            List.iter
+              (fun j ->
+                if not (post.(j) || inv.(j)) then
+                  fail
+                    "block graph: outsaver %d reads a loop-varying value \
+                     without accumulation"
+                    i)
+              node.bins
+      | B_initer _ | B_prim _ | B_threadgraph _ ->
+          (* A node reading a post-loop (accumulated) value executes in
+             the epilogue; its other inputs must then also be available
+             after the loop (post-loop or loop-invariant), otherwise it
+             would read an arbitrary iteration's value. *)
+          if List.exists (fun j -> post.(j)) node.bins then
+            List.iter
+              (fun j ->
+                if not (post.(j) || inv.(j)) then
+                  fail
+                    "block graph: node %d mixes post-loop and loop-varying \
+                     inputs"
+                    i)
+              node.bins)
+    bg.bnodes
+
+let validate g =
+  let n = Array.length g.knodes in
+  Array.iteri
+    (fun i node ->
+      (match node.kop with
+      | K_input { shape; _ } ->
+          if node.kins <> [] then fail "kernel: input node with inputs";
+          if Array.length shape = 0 then fail "kernel: rank-0 input";
+          Array.iter
+            (fun d -> if d <= 0 then fail "kernel: non-positive input dim")
+            shape
+      | K_prim p ->
+          if not (Op.allowed_at p Op.Kernel) then
+            fail "kernel: %s not allowed at kernel level" (Op.to_string p);
+          if List.length node.kins <> Op.arity p then
+            fail "kernel: arity mismatch on %s" (Op.to_string p)
+      | K_graphdef bg -> validate_block_graph bg (List.length node.kins));
+      List.iter
+        (fun { node = j; port } ->
+          if j < 0 || j >= i then
+            fail "kernel: node %d references %d (not topological)" i j;
+          if port < 0 || port >= num_outputs g.knodes.(j).kop then
+            fail "kernel: node %d references invalid port %d of node %d" i
+              port j)
+        node.kins)
+    g.knodes;
+  if g.outputs = [] then fail "kernel: no outputs";
+  List.iter
+    (fun { node = j; port } ->
+      if j < 0 || j >= n then fail "kernel: output references node %d" j;
+      if port < 0 || port >= num_outputs g.knodes.(j).kop then
+        fail "kernel: output references invalid port %d of node %d" port j)
+    g.outputs
+
+let input_names g =
+  Array.to_list g.knodes
+  |> List.filter_map (fun n ->
+         match n.kop with K_input { name; _ } -> Some name | _ -> None)
+
+let input_shapes g =
+  Array.to_list g.knodes
+  |> List.filter_map (fun n ->
+         match n.kop with
+         | K_input { shape; _ } -> Some (Tensor.Shape.create shape)
+         | _ -> None)
+
+let kernel_op_count g =
+  Array.fold_left
+    (fun acc n -> match n.kop with K_input _ -> acc | _ -> acc + 1)
+    0 g.knodes
+
+let block_op_count bg =
+  Array.fold_left
+    (fun acc n ->
+      match n.bop with
+      | B_initer _ | B_outsaver _ -> acc
+      | B_prim _ | B_accum _ | B_threadgraph _ -> acc + 1)
+    0 bg.bnodes
+
+let total_blocks bg = Array.fold_left ( * ) 1 bg.grid
+let total_iters bg = Array.fold_left ( * ) 1 bg.forloop
+
+module Build = struct
+  type t = { mutable nodes : kernel_node list (* reversed *) }
+
+  let create () = { nodes = [] }
+
+  let push b node =
+    b.nodes <- node :: b.nodes;
+    List.length b.nodes - 1
+
+  let input b name shape =
+    let i = push b { kop = K_input { name; shape }; kins = [] } in
+    { node = i; port = 0 }
+
+  let prim b p ins =
+    let i = push b { kop = K_prim p; kins = ins } in
+    { node = i; port = 0 }
+
+  let graphdef b bg ins n_outputs =
+    let i = push b { kop = K_graphdef bg; kins = ins } in
+    List.init n_outputs (fun port -> { node = i; port })
+
+  let finish b ~outputs =
+    let g = { knodes = Array.of_list (List.rev b.nodes); outputs } in
+    validate g;
+    g
+end
+
+let equal a b = Stdlib.compare a b = 0
+let hash (g : kernel_graph) = Hashtbl.hash g

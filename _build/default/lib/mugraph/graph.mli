@@ -1,0 +1,123 @@
+(** The muGraph IR (paper §2): a hierarchical graph with a kernel graph at
+    the top whose graph-defined operators are specified by block graphs,
+    whose graph-defined operators are in turn specified by thread graphs.
+
+    Nodes are stored in topological order: every input reference points to
+    an earlier node, which every construction function checks. Kernel
+    inputs are explicit [K_input] nodes so a tensor reference [(node,
+    port)] matches the paper's index [(i, j)] of the j-th output of the
+    i-th operator. *)
+
+type tensor_ref = { node : int; port : int }
+
+(** {1 Thread graphs}
+
+    The lowest level (paper §2 "Thread graph"): only pre-defined thread
+    operators; produced by rule-based pattern fusion (§4.2). Single
+    output: the last node. *)
+
+type thread_op =
+  | T_input of int  (** position in the enclosing block node's input list *)
+  | T_prim of Op.prim
+
+type thread_node = { top : thread_op; tins : int list }
+
+type thread_graph = { tnodes : thread_node array }
+
+(** {1 Block graphs} *)
+
+type block_op =
+  | B_initer of { input : int; imap : Dmap.imap; fmap : Dmap.fmap }
+      (** input iterator: loads chunk of the [input]-th kernel-level
+          input of the enclosing graph-defined operator (§2) *)
+  | B_prim of Op.prim
+  | B_accum of { fmap : Dmap.fmap }
+      (** for-loop accumulator: combines per-iteration values — concat
+          along the mapped dim, or elementwise sum for phi (§2) *)
+  | B_outsaver of { omap : Dmap.omap }
+      (** writes the accumulated tensor to device memory; per-block
+          results are concatenated per [omap] *)
+  | B_threadgraph of thread_graph
+      (** graph-defined block operator (fused elementwise tile) *)
+
+type block_node = { bop : block_op; bins : int list }
+
+type block_graph = {
+  grid : int array;  (** number of blocks per grid dimension (1–3 dims) *)
+  forloop : int array;  (** for-loop trip counts ([||] = single pass) *)
+  bnodes : block_node array;
+}
+
+(** {1 Kernel graphs} *)
+
+type kernel_op =
+  | K_input of { name : string; shape : int array }
+  | K_prim of Op.prim  (** pre-defined kernel (cuBLAS/cuDNN in the paper) *)
+  | K_graphdef of block_graph  (** custom kernel defined by a block graph *)
+
+type kernel_node = { kop : kernel_op; kins : tensor_ref list }
+
+type kernel_graph = {
+  knodes : kernel_node array;
+  outputs : tensor_ref list;
+}
+
+(** {1 Construction and validity} *)
+
+exception Ill_formed of string
+
+val fail : ('a, unit, string, 'b) format4 -> 'a
+(** [fail fmt ...] raises [Ill_formed] with a formatted message. *)
+
+val validate : kernel_graph -> unit
+(** Checks topological ordering, arities, port validity, that block-graph
+    initers reference declared inputs, that outsavers consume accumulated
+    values when a for-loop is present, and that thread graphs end in a
+    producing node. @raise Ill_formed with a description otherwise. *)
+
+val num_block_outputs : block_graph -> int
+val num_outputs : kernel_op -> int
+val block_initer_count : block_graph -> int
+
+val input_names : kernel_graph -> string list
+val input_shapes : kernel_graph -> Tensor.Shape.t list
+
+val kernel_op_count : kernel_graph -> int
+(** Operators excluding [K_input] nodes (the paper's "# ops in the kernel
+    graph"). *)
+
+val block_op_count : block_graph -> int
+(** Operators excluding initers and outsavers (the paper's "# ops in a
+    block graph" counts computation operators). *)
+
+val total_blocks : block_graph -> int
+val total_iters : block_graph -> int
+
+val post_loop_nodes : block_graph -> bool array
+(** Marks the epilogue: accumulators and everything downstream of one.
+    Epilogue nodes execute once per block, after the for-loop (paper
+    Fig. 4b runs Sqrt/Div on accumulated tensors). *)
+
+val loop_invariant_nodes : block_graph -> bool array
+(** Marks values identical across for-loop iterations (initers with
+    all-phi fmaps and pure functions thereof); these may be read from the
+    epilogue. *)
+
+(** {1 A tiny builder DSL} *)
+
+module Build : sig
+  type t
+
+  val create : unit -> t
+  val input : t -> string -> int array -> tensor_ref
+  val prim : t -> Op.prim -> tensor_ref list -> tensor_ref
+  val graphdef : t -> block_graph -> tensor_ref list -> int -> tensor_ref list
+  (** [graphdef b bg ins n_outputs] appends a graph-defined operator and
+      returns its output refs. *)
+
+  val finish : t -> outputs:tensor_ref list -> kernel_graph
+  (** Validates before returning. *)
+end
+
+val equal : kernel_graph -> kernel_graph -> bool
+val hash : kernel_graph -> int

@@ -1,0 +1,94 @@
+open Tensor
+
+let thread_shapes (tg : Graph.thread_graph) ~inputs =
+  let inputs = Array.of_list inputs in
+  let shapes = Array.make (Array.length tg.tnodes) [||] in
+  Array.iteri
+    (fun i (node : Graph.thread_node) ->
+      shapes.(i) <-
+        (match node.top with
+        | Graph.T_input k -> inputs.(k)
+        | Graph.T_prim p ->
+            Op.infer_shape p (List.map (fun j -> shapes.(j)) node.tins)))
+    tg.tnodes;
+  shapes
+
+let thread_output_shape tg ~inputs =
+  let shapes = thread_shapes tg ~inputs in
+  shapes.(Array.length shapes - 1)
+
+let block_shapes (bg : Graph.block_graph) ~kernel_inputs =
+  let kernel_inputs = Array.of_list kernel_inputs in
+  let shapes = Array.make (Array.length bg.bnodes) [||] in
+  Array.iteri
+    (fun i (node : Graph.block_node) ->
+      let in_shapes = List.map (fun j -> shapes.(j)) node.bins in
+      shapes.(i) <-
+        (match node.bop with
+        | Graph.B_initer { input; imap; fmap } ->
+            let s = kernel_inputs.(input) in
+            if not (Dmap.valid_imap imap ~grid:bg.grid ~shape:s) then
+              Graph.fail "infer: invalid imap %s for %s"
+                (Dmap.imap_to_string imap) (Shape.to_string s);
+            let s = Dmap.slice_shape imap ~counts:bg.grid s in
+            if not (Dmap.valid_fmap fmap ~forloop:bg.forloop ~shape:s) then
+              Graph.fail "infer: invalid fmap %s for %s"
+                (Dmap.fmap_to_string fmap) (Shape.to_string s);
+            Dmap.slice_shape fmap ~counts:bg.forloop s
+        | Graph.B_prim p -> Op.infer_shape p in_shapes
+        | Graph.B_accum { fmap } ->
+            let s = List.hd in_shapes in
+            let out = ref (Shape.create s) in
+            Array.iteri
+              (fun l t ->
+                match t with
+                | Dmap.Replica -> ()
+                | Dmap.Dim d ->
+                    out := Shape.scale_dim !out ~dim:d ~times:bg.forloop.(l))
+              fmap;
+            !out
+        | Graph.B_outsaver { omap } ->
+            let s = List.hd in_shapes in
+            if not (Dmap.valid_omap omap ~grid:bg.grid ~shape:s) then
+              Graph.fail "infer: invalid omap %s for %s"
+                (Dmap.omap_to_string omap) (Shape.to_string s);
+            Dmap.scaled_shape omap ~grid:bg.grid s
+        | Graph.B_threadgraph tg -> thread_output_shape tg ~inputs:in_shapes))
+    bg.bnodes;
+  shapes
+
+let block_output_shapes bg ~kernel_inputs =
+  let shapes = block_shapes bg ~kernel_inputs in
+  Array.to_list bg.bnodes
+  |> List.mapi (fun i (n : Graph.block_node) -> (i, n))
+  |> List.filter_map (fun (i, (n : Graph.block_node)) ->
+         match n.bop with Graph.B_outsaver _ -> Some shapes.(i) | _ -> None)
+
+let kernel_shapes (g : Graph.kernel_graph) =
+  let shapes = Array.make (Array.length g.knodes) [||] in
+  Array.iteri
+    (fun i (node : Graph.kernel_node) ->
+      let in_shapes =
+        List.map
+          (fun ({ node = j; port } : Graph.tensor_ref) -> shapes.(j).(port))
+          node.kins
+      in
+      shapes.(i) <-
+        (match node.kop with
+        | Graph.K_input { shape; _ } -> [| Shape.create shape |]
+        | Graph.K_prim p -> [| Op.infer_shape p in_shapes |]
+        | Graph.K_graphdef bg ->
+            Array.of_list (block_output_shapes bg ~kernel_inputs:in_shapes)))
+    g.knodes;
+  shapes
+
+let output_shapes g =
+  let shapes = kernel_shapes g in
+  List.map
+    (fun ({ node; port } : Graph.tensor_ref) -> shapes.(node).(port))
+    g.outputs
+
+let infer_opt g =
+  match kernel_shapes g with
+  | shapes -> Some shapes
+  | exception (Graph.Ill_formed _ | Invalid_argument _) -> None

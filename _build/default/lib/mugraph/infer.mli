@@ -1,0 +1,33 @@
+(** Tensor shape inference for muGraphs (the TensorShapeInference check of
+    Algorithm 1, line 11). *)
+
+open Tensor
+
+val thread_shapes : Graph.thread_graph -> inputs:Shape.t list -> Shape.t array
+(** Shape of every thread-graph node. Thread graphs compute on whole block
+    tiles; the thread-level partitioning does not change shapes. *)
+
+val thread_output_shape : Graph.thread_graph -> inputs:Shape.t list -> Shape.t
+
+val block_shapes :
+  Graph.block_graph -> kernel_inputs:Shape.t list -> Shape.t array
+(** Shape of every block-graph node's output. Initer nodes yield per-block
+    per-iteration tile shapes; accumulators yield accumulated shapes;
+    outsaver nodes yield the {e kernel-level} shape of the corresponding
+    output of the graph-defined operator (omap concatenation applied).
+    @raise Graph.Ill_formed or [Invalid_argument] on inconsistency. *)
+
+val block_output_shapes :
+  Graph.block_graph -> kernel_inputs:Shape.t list -> Shape.t list
+(** Kernel-level shapes of the graph-defined operator's outputs, in
+    outsaver order. *)
+
+val kernel_shapes : Graph.kernel_graph -> Shape.t array array
+(** [.(i).(j)] is the shape of port [j] of node [i].
+    @raise Graph.Ill_formed or [Invalid_argument] on inconsistency. *)
+
+val output_shapes : Graph.kernel_graph -> Shape.t list
+
+val infer_opt : Graph.kernel_graph -> Shape.t array array option
+(** [None] instead of an exception (used by the generator's validity
+    check). *)

@@ -1,0 +1,160 @@
+open Tensor
+
+let eval_thread ops (tg : Graph.thread_graph) ~inputs =
+  let inputs = Array.of_list inputs in
+  let n = Array.length tg.tnodes in
+  let values = Array.make n None in
+  let value j = Option.get values.(j) in
+  Array.iteri
+    (fun i (node : Graph.thread_node) ->
+      let v =
+        match node.top with
+        | Graph.T_input k -> inputs.(k)
+        | Graph.T_prim p -> Op.apply ops p (List.map value node.tins)
+      in
+      values.(i) <- Some v)
+    tg.tnodes;
+  value (n - 1)
+
+(* Enumerate the coordinate vectors of a small mesh in row-major order. *)
+let mesh_coords dims =
+  let total = Array.fold_left ( * ) 1 dims in
+  List.init total (fun linear ->
+      let coords = Array.make (Array.length dims) 0 in
+      let rem = ref linear in
+      for i = Array.length dims - 1 downto 0 do
+        coords.(i) <- !rem mod dims.(i);
+        rem := !rem / dims.(i)
+      done;
+      coords)
+
+(* Combine per-iteration (or per-block) tensors indexed row-major over
+   [dims]: concatenate along data dims in mesh order, sum elementwise for
+   phi targets. *)
+let combine_mesh ops (targets : Dmap.target array) dims vals =
+  let rec go dims vals =
+    match dims with
+    | [] -> ( match vals with [ v ] -> v | _ -> assert false)
+    | (count, target) :: rest ->
+        let chunk = List.length vals / count in
+        let groups = List.init count (fun c -> List.filteri (fun i _ -> i / chunk = c) vals) in
+        let subs = List.map (go rest) groups in
+        (match target with
+        | Dmap.Dim d -> Dense.concat ~dim:d subs
+        | Dmap.Replica ->
+            List.fold_left
+              (fun acc v -> Dense.add_inplace_like ops acc v)
+              (List.hd subs) (List.tl subs))
+  in
+  let dims = Array.to_list (Array.mapi (fun l count -> (count, targets.(l))) dims) in
+  go dims vals
+
+let eval_block ops (bg : Graph.block_graph) ~inputs =
+  let inputs = Array.of_list inputs in
+  let n = Array.length bg.bnodes in
+  let post = Graph.post_loop_nodes bg in
+  let loop_coords = mesh_coords bg.forloop in
+  let block_results =
+    List.map
+      (fun bcoords ->
+        (* Loop phase: evaluate loop-body nodes once per iteration,
+           recording the stream of values feeding each accumulator. *)
+        let accum_histories = Array.make n [] in
+        let loop_final = Array.make n None in
+        List.iter
+          (fun lcoords ->
+            let values = Array.make n None in
+            let value j = Option.get values.(j) in
+            Array.iteri
+              (fun i (node : Graph.block_node) ->
+                match node.bop with
+                | Graph.B_accum _ ->
+                    accum_histories.(i) <-
+                      value (List.hd node.bins) :: accum_histories.(i)
+                | _ when post.(i) -> ()
+                | Graph.B_initer { input; imap; fmap } ->
+                    let t = inputs.(input) in
+                    let t = Dmap.slice imap ~counts:bg.grid ~coords:bcoords t in
+                    let t =
+                      Dmap.slice fmap ~counts:bg.forloop ~coords:lcoords t
+                    in
+                    values.(i) <- Some t
+                | Graph.B_prim p ->
+                    values.(i) <- Some (Op.apply ops p (List.map value node.bins))
+                | Graph.B_threadgraph tg ->
+                    values.(i) <-
+                      Some (eval_thread ops tg ~inputs:(List.map value node.bins))
+                | Graph.B_outsaver _ -> ())
+              bg.bnodes;
+            Array.iteri
+              (fun i v -> if v <> None then loop_final.(i) <- v)
+              values)
+          loop_coords;
+        (* Epilogue: resolve accumulators, then evaluate the post-loop
+           nodes once. Loop-invariant values retain their (identical)
+           last-iteration value. *)
+        let values = Array.copy loop_final in
+        let value j = Option.get values.(j) in
+        Array.iteri
+          (fun i (node : Graph.block_node) ->
+            if post.(i) then
+              match node.bop with
+              | Graph.B_accum { fmap } ->
+                  let history = List.rev accum_histories.(i) in
+                  values.(i) <- Some (combine_mesh ops fmap bg.forloop history)
+              | Graph.B_prim p ->
+                  values.(i) <- Some (Op.apply ops p (List.map value node.bins))
+              | Graph.B_threadgraph tg ->
+                  values.(i) <-
+                    Some (eval_thread ops tg ~inputs:(List.map value node.bins))
+              | Graph.B_initer _ | Graph.B_outsaver _ -> ())
+          bg.bnodes;
+        (* Per-block outputs in outsaver order. *)
+        Array.to_list bg.bnodes
+        |> List.filter_map (fun (node : Graph.block_node) ->
+               match node.bop with
+               | Graph.B_outsaver { omap } ->
+                   Some (omap, value (List.hd node.bins))
+               | _ -> None))
+      (mesh_coords bg.grid)
+  in
+  (* Assemble each output across blocks via its omap (every omap target is
+     a data dim, so this is pure concatenation in grid order). *)
+  let n_outputs = Graph.num_block_outputs bg in
+  List.init n_outputs (fun k ->
+      let omap, _ = List.nth (List.hd block_results) k in
+      let tensors = List.map (fun outs -> snd (List.nth outs k)) block_results in
+      let targets = Array.map (fun d -> Dmap.Dim d) omap in
+      combine_mesh ops targets bg.grid tensors)
+
+let eval_kernel ops (g : Graph.kernel_graph) ~inputs =
+  let declared = Graph.input_shapes g in
+  let given = List.map Dense.shape inputs in
+  if
+    List.length declared <> List.length given
+    || not (List.for_all2 Shape.equal declared given)
+  then
+    invalid_arg
+      (Printf.sprintf "Interp.eval_kernel: input shapes %s, expected %s"
+         (String.concat " " (List.map Shape.to_string given))
+         (String.concat " " (List.map Shape.to_string declared)));
+  let next_input = ref inputs in
+  let n = Array.length g.knodes in
+  let values = Array.make n [||] in
+  let value ({ node; port } : Graph.tensor_ref) = values.(node).(port) in
+  Array.iteri
+    (fun i (node : Graph.kernel_node) ->
+      let ins = List.map value node.kins in
+      values.(i) <-
+        (match node.kop with
+        | Graph.K_input _ -> (
+            match !next_input with
+            | t :: rest ->
+                next_input := rest;
+                [| t |]
+            | [] -> assert false)
+        | Graph.K_prim p -> [| Op.apply ops p ins |]
+        | Graph.K_graphdef bg ->
+            Array.of_list (eval_block ops bg ~inputs:ins)))
+    g.knodes;
+  List.map value g.outputs

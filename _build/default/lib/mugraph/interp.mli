@@ -1,0 +1,38 @@
+(** Reference functional semantics of muGraphs, generic over the element
+    domain. Examples run this over floats; the probabilistic verifier runs
+    it over [Z_p x Z_q].
+
+    The interpreter realizes the paper's execution model exactly:
+    - a graph-defined kernel operator runs its block graph once per block
+      of the grid and once per for-loop iteration;
+    - input iterators load the tile selected by imap (block index) and
+      fmap (iteration index);
+    - accumulators combine per-iteration values (concatenation along the
+      mapped dim, elementwise sum for phi);
+    - output savers' per-block results are concatenated according to omap.
+
+    It is deliberately a specification, not a fast implementation. *)
+
+open Tensor
+
+val eval_thread :
+  'a Element.ops ->
+  Graph.thread_graph ->
+  inputs:'a Dense.t list ->
+  'a Dense.t
+
+val eval_block :
+  'a Element.ops ->
+  Graph.block_graph ->
+  inputs:'a Dense.t list ->
+  'a Dense.t list
+(** Outputs in outsaver order, with kernel-level shapes. *)
+
+val eval_kernel :
+  'a Element.ops ->
+  Graph.kernel_graph ->
+  inputs:'a Dense.t list ->
+  'a Dense.t list
+(** [inputs] in [K_input] declaration order; outputs follow
+    [g.outputs]. @raise Invalid_argument if input shapes do not match the
+    declarations. *)

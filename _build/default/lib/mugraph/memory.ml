@@ -1,0 +1,55 @@
+open Tensor
+
+type limits = {
+  smem_bytes_per_block : int;
+  dmem_bytes : int;
+  elt_bytes : int;
+}
+
+let default_limits =
+  {
+    smem_bytes_per_block = 160 * 1024;
+    dmem_bytes = 40 * 1024 * 1024 * 1024;
+    elt_bytes = 2;
+  }
+
+let block_smem_bytes ~elt_bytes (bg : Graph.block_graph) ~kernel_inputs =
+  let shapes = Infer.block_shapes bg ~kernel_inputs in
+  let total = ref 0 in
+  Array.iteri
+    (fun i (node : Graph.block_node) ->
+      match node.bop with
+      | Graph.B_outsaver _ -> ()
+      | Graph.B_initer _ | Graph.B_prim _ | Graph.B_accum _
+      | Graph.B_threadgraph _ ->
+          total := !total + (Shape.numel shapes.(i) * elt_bytes))
+    bg.bnodes;
+  !total
+
+let kernel_dmem_bytes ~elt_bytes (g : Graph.kernel_graph) =
+  let shapes = Infer.kernel_shapes g in
+  Array.fold_left
+    (fun acc ports ->
+      Array.fold_left (fun acc s -> acc + (Shape.numel s * elt_bytes)) acc ports)
+    0 shapes
+
+let check limits (g : Graph.kernel_graph) =
+  match Infer.kernel_shapes g with
+  | exception (Graph.Ill_formed _ | Invalid_argument _) -> false
+  | shapes ->
+      kernel_dmem_bytes ~elt_bytes:limits.elt_bytes g <= limits.dmem_bytes
+      && Array.for_all
+           (fun (node : Graph.kernel_node) ->
+             match node.kop with
+             | Graph.K_graphdef bg ->
+                 let kernel_inputs =
+                   List.map
+                     (fun ({ node = j; port } : Graph.tensor_ref) ->
+                       shapes.(j).(port))
+                     node.kins
+                 in
+                 block_smem_bytes ~elt_bytes:limits.elt_bytes bg
+                   ~kernel_inputs
+                 <= limits.smem_bytes_per_block
+             | Graph.K_input _ | Graph.K_prim _ -> true)
+           g.knodes

@@ -1,0 +1,32 @@
+(** Memory usage accounting — the MemoryCheck of Algorithm 1 (line 12):
+    every kernel-graph tensor must fit in device memory and every block
+    graph's tensors must fit in shared memory.
+
+    The generator uses the conservative sum of all live block tensors; the
+    post-verification memory planner ({!Opt.Memplan} in lib/opt) computes
+    actual offsets and may pack tighter using lifetimes. *)
+
+open Tensor
+
+type limits = {
+  smem_bytes_per_block : int;  (** usable shared memory per SM *)
+  dmem_bytes : int;  (** device memory capacity *)
+  elt_bytes : int;  (** bytes per element (2 for fp16, as evaluated) *)
+}
+
+val default_limits : limits
+(** A100-like: 160 KiB usable shared memory, 40 GiB device memory, fp16. *)
+
+val block_smem_bytes :
+  elt_bytes:int -> Graph.block_graph -> kernel_inputs:Shape.t list -> int
+(** Sum of the per-block sizes of all shared-memory-resident tensors:
+    initer tiles, loop-body intermediates, accumulated tensors and
+    epilogue intermediates. Thread-graph interiors live in registers and
+    are excluded; outsaver targets live in device memory. *)
+
+val kernel_dmem_bytes : elt_bytes:int -> Graph.kernel_graph -> int
+(** Sum of all kernel-level tensor sizes (inputs, intermediates,
+    outputs). *)
+
+val check : limits -> Graph.kernel_graph -> bool
+(** Both constraints; false also when shape inference fails. *)

@@ -1,0 +1,247 @@
+open Tensor
+
+type unary = Exp | Sqr | Sqrt | Silu | Relu
+type binary = Add | Mul | Div | Sub
+
+type prim =
+  | Matmul
+  | Binary of binary
+  | Unary of unary
+  | Sum of { dim : int; group : int }
+  | Repeat of { dim : int; times : int }
+  | Reshape of int array
+  | Transpose
+  | Concat_matmul
+
+type level = Kernel | Block | Thread
+
+let arity = function
+  | Matmul | Binary _ -> 2
+  | Unary _ | Sum _ | Repeat _ | Reshape _ | Transpose -> 1
+  | Concat_matmul -> 4
+
+let name = function
+  | Matmul -> "Matmul"
+  | Binary Add -> "EwAdd"
+  | Binary Mul -> "EwMul"
+  | Binary Div -> "EwDiv"
+  | Binary Sub -> "EwSub"
+  | Unary Exp -> "EwExp"
+  | Unary Sqr -> "Sqr"
+  | Unary Sqrt -> "Sqrt"
+  | Unary Silu -> "SiLU"
+  | Unary Relu -> "ReLU"
+  | Sum _ -> "Sum"
+  | Repeat _ -> "Repeat"
+  | Reshape _ -> "Reshape"
+  | Transpose -> "Transpose"
+  | Concat_matmul -> "ConcatMatmul"
+
+let levels = function
+  | Matmul | Binary _ | Unary (Exp | Sqr | Sqrt | Silu) ->
+      [ Kernel; Block; Thread ]
+  | Sum _ -> [ Kernel; Block; Thread ]
+  | Repeat _ | Reshape _ | Transpose | Unary Relu -> [ Kernel; Block ]
+  | Concat_matmul -> [ Kernel; Block ]
+
+let allowed_at p l = List.mem l (levels p)
+
+let is_lax = function
+  | Matmul | Binary _ | Unary (Exp | Sqr | Sqrt | Silu) | Sum _ | Repeat _
+  | Reshape _ | Transpose | Concat_matmul ->
+      true
+  | Unary Relu -> false
+
+let invalid p msg shapes =
+  invalid_arg
+    (Printf.sprintf "%s: %s (inputs %s)" (name p) msg
+       (String.concat " " (List.map Shape.to_string shapes)))
+
+let infer_shape p shapes =
+  if List.length shapes <> arity p then invalid p "wrong arity" shapes;
+  match p, shapes with
+  | Matmul, [ a; b ] ->
+      let ra = Shape.rank a and rb = Shape.rank b in
+      if ra < 2 || rb < 2 then invalid p "rank < 2" shapes;
+      if a.(ra - 1) <> b.(rb - 2) then invalid p "inner dim mismatch" shapes;
+      let batch =
+        Shape.broadcast (Array.sub a 0 (ra - 2)) (Array.sub b 0 (rb - 2))
+      in
+      Array.append batch [| a.(ra - 2); b.(rb - 1) |]
+  | Binary _, [ a; b ] ->
+      if not (Shape.broadcast_compatible a b) then
+        invalid p "not broadcastable" shapes;
+      Shape.broadcast a b
+  | Unary _, [ a ] -> a
+  | Sum { dim; group }, [ a ] ->
+      if dim < 0 || dim >= Shape.rank a then invalid p "bad dim" shapes;
+      if group <= 0 || a.(dim) mod group <> 0 then
+        invalid p "group does not divide dim" shapes;
+      let s = Array.copy a in
+      s.(dim) <- a.(dim) / group;
+      s
+  | Repeat { dim; times }, [ a ] ->
+      if dim < 0 || dim >= Shape.rank a || times <= 0 then
+        invalid p "bad repeat" shapes;
+      Shape.scale_dim a ~dim ~times
+  | Reshape target, [ a ] ->
+      if Shape.numel target <> Shape.numel a then
+        invalid p "element count mismatch" shapes;
+      Shape.create target
+  | Transpose, [ a ] ->
+      let r = Shape.rank a in
+      if r < 2 then invalid p "rank < 2" shapes;
+      let s = Array.copy a in
+      s.(r - 2) <- a.(r - 1);
+      s.(r - 1) <- a.(r - 2);
+      s
+  | Concat_matmul, [ w; x; y; z ] ->
+      let check2 s = if Shape.rank s <> 2 then invalid p "rank <> 2" shapes in
+      List.iter check2 [ w; x; y; z ];
+      let m = w.(0) and k1 = w.(1) in
+      let m' = x.(0) and k2 = x.(1) in
+      let k1' = y.(0) and n = y.(1) in
+      let k2' = z.(0) and n' = z.(1) in
+      if m <> m' || k1 <> k1' || k2 <> k2' || n <> n' then
+        invalid p "concat-matmul shape mismatch" shapes;
+      [| m; n |]
+  | _ -> invalid p "unreachable" shapes
+
+(* Exception-free fast path: mirrors [infer_shape] but allocates nothing
+   on rejection. The generator calls this millions of times. *)
+let infer_shape_opt p shapes =
+  match p, shapes with
+  | Matmul, [ a; b ] ->
+      let ra = Shape.rank a and rb = Shape.rank b in
+      if ra < 2 || rb < 2 || a.(ra - 1) <> b.(rb - 2) then None
+      else if
+        not
+          (Shape.broadcast_compatible
+             (Array.sub a 0 (ra - 2))
+             (Array.sub b 0 (rb - 2)))
+      then None
+      else
+        let batch =
+          Shape.broadcast (Array.sub a 0 (ra - 2)) (Array.sub b 0 (rb - 2))
+        in
+        Some (Array.append batch [| a.(ra - 2); b.(rb - 1) |])
+  | Binary _, [ a; b ] ->
+      if Shape.broadcast_compatible a b then Some (Shape.broadcast a b)
+      else None
+  | Unary _, [ a ] -> Some a
+  | Sum { dim; group }, [ a ] ->
+      if dim < 0 || dim >= Shape.rank a || group <= 0 || a.(dim) mod group <> 0
+      then None
+      else begin
+        let s = Array.copy a in
+        s.(dim) <- a.(dim) / group;
+        Some s
+      end
+  | Repeat { dim; times }, [ a ] ->
+      if dim < 0 || dim >= Shape.rank a || times <= 0 then None
+      else Some (Shape.scale_dim a ~dim ~times)
+  | Reshape target, [ a ] ->
+      if Shape.numel target = Shape.numel a then Some (Array.copy target)
+      else None
+  | Transpose, [ a ] ->
+      let r = Shape.rank a in
+      if r < 2 then None
+      else begin
+        let s = Array.copy a in
+        s.(r - 2) <- a.(r - 1);
+        s.(r - 1) <- a.(r - 2);
+        Some s
+      end
+  | Concat_matmul, [ w; x; y; z ] ->
+      if
+        Shape.rank w = 2 && Shape.rank x = 2 && Shape.rank y = 2
+        && Shape.rank z = 2
+        && w.(0) = x.(0)
+        && w.(1) = y.(0)
+        && x.(1) = z.(0)
+        && y.(1) = z.(1)
+      then Some [| w.(0); y.(1) |]
+      else None
+  | _, _ -> None
+
+let flops p shapes out =
+  let n = float_of_int (Shape.numel out) in
+  match p, shapes with
+  | Matmul, [ a; _ ] ->
+      let k = float_of_int a.(Shape.rank a - 1) in
+      2.0 *. n *. k
+  | Concat_matmul, [ w; x; _; _ ] ->
+      let k1 = float_of_int w.(1) and k2 = float_of_int x.(1) in
+      2.0 *. n *. (k1 +. k2)
+  | Sum { group; _ }, _ -> n *. float_of_int group
+  | Binary _, _ | Unary (Sqr | Relu), _ -> n
+  | Unary (Exp | Sqrt), _ -> 4.0 *. n (* transcendental cost factor *)
+  | Unary Silu, _ -> 6.0 *. n
+  | Repeat _, _ | Reshape _, _ | Transpose, _ -> 0.0
+  | _ -> n
+
+let equal a b = Stdlib.compare a b = 0
+let compare = Stdlib.compare
+
+let to_string p =
+  match p with
+  | Sum { dim; group } -> Printf.sprintf "Sum(d=%d,k=%d)" dim group
+  | Repeat { dim; times } -> Printf.sprintf "Repeat(d=%d,x%d)" dim times
+  | Reshape s -> Printf.sprintf "Reshape%s" (Shape.to_string s)
+  | _ -> name p
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)
+
+let shape_of_tensor t = Dense.shape t
+
+let apply ops p inputs =
+  match p, inputs with
+  | Matmul, [ a; b ] -> Dense.matmul ops a b
+  | Binary Add, [ a; b ] -> Dense.map2 ops ops.Element.add a b
+  | Binary Mul, [ a; b ] -> Dense.map2 ops ops.Element.mul a b
+  | Binary Div, [ a; b ] -> Dense.map2 ops ops.Element.div a b
+  | Binary Sub, [ a; b ] -> Dense.map2 ops ops.Element.sub a b
+  | Unary Exp, [ a ] -> Dense.map ops.Element.exp a
+  | Unary Sqr, [ a ] -> Dense.map (fun x -> ops.Element.mul x x) a
+  | Unary Sqrt, [ a ] -> Dense.map ops.Element.sqrt a
+  | Unary Silu, [ a ] -> Dense.map ops.Element.silu a
+  | Unary Relu, [ a ] -> Dense.map ops.Element.relu a
+  | Sum { dim; group }, [ a ] -> Dense.sum_grouped ops ~dim ~group a
+  | Repeat { dim; times }, [ a ] -> Dense.repeat ops ~dim ~times a
+  | Reshape s, [ a ] -> Dense.reshape s a
+  | Transpose, [ a ] -> Dense.transpose_last2 a
+  | Concat_matmul, [ w; x; y; z ] ->
+      let wy = Dense.matmul ops w y and xz = Dense.matmul ops x z in
+      Dense.map2 ops ops.Element.add wy xz
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Op.apply %s: wrong number of inputs" (name p))
+
+let abstract p ~in_shapes exprs =
+  let module E = Absexpr.Expr in
+  match p, exprs, in_shapes with
+  | Matmul, [ x; y ], [ a; _ ] ->
+      let k = a.(Shape.rank a - 1) in
+      E.matmul ~k x y
+  | Binary Add, [ x; y ], _ -> E.add x y
+  | Binary Mul, [ x; y ], _ -> E.mul x y
+  | Binary Div, [ x; y ], _ -> E.div x y
+  | Binary Sub, [ x; y ], _ ->
+      (* Subtraction is linear; A_eq has no laws for it, so it is encoded
+         as addition of a negation marker: x - y = x + NEG*y. All add/mul
+         distribution laws then apply to it for free. *)
+      E.add x (E.mul (E.var "__neg") y)
+  | Unary Exp, [ x ], _ -> E.exp x
+  | Unary Sqr, [ x ], _ -> E.sqr x
+  | Unary Sqrt, [ x ], _ -> E.sqrt x
+  | Unary Silu, [ x ], _ -> E.silu x
+  | Unary Relu, [ x ], _ ->
+      (* Non-LAX; give it an opaque abstraction so that pruning still
+         treats its input as a subexpression. Reusing silu's uninterpreted
+         symbol would conflate the two, so wrap with an extra marker. *)
+      E.silu (E.silu x)
+  | Sum { group; _ }, [ x ], _ -> E.sum group x
+  | Repeat _, [ x ], _ | Reshape _, [ x ], _ | Transpose, [ x ], _ -> x
+  | Concat_matmul, [ w; x; y; z ], [ ws; xs; _; _ ] ->
+      E.concat_matmul ~k1:ws.(1) ~k2:xs.(1) w x y z
+  | _ -> invalid_arg (Printf.sprintf "Op.abstract %s: bad inputs" (name p))

@@ -1,0 +1,76 @@
+(** Primitive tensor operators supported by muGraphs (paper Table 1).
+
+    The same primitive set is shared by the kernel, block, and thread
+    levels; which levels admit which operator is encoded in
+    {!levels}. Structural operators specific to block graphs (input
+    iterators, accumulators, output savers) and graph-defined operators
+    live in {!Graph}, not here. *)
+
+open Tensor
+
+type unary =
+  | Exp
+  | Sqr
+  | Sqrt
+  | Silu
+  | Relu  (** not in Table 1; deliberately non-LAX, exercises partitioning *)
+
+type binary = Add | Mul | Div | Sub
+
+type prim =
+  | Matmul
+      (** innermost two dims contract; leading dims batch-broadcast *)
+  | Binary of binary  (** elementwise with broadcasting *)
+  | Unary of unary
+  | Sum of { dim : int; group : int }
+      (** paper [Sum(d_r, k_r)]: along [dim], sum every [group] elements *)
+  | Repeat of { dim : int; times : int }
+  | Reshape of int array
+  | Transpose  (** swap the innermost two dimensions (metadata-only) *)
+  | Concat_matmul
+      (** §8.1 LoRA operator [f(W,X,Y,Z) = (W‖X) × (Y‖Z) = W×Y + X×Z];
+          four inputs, concatenation along the contraction dim *)
+
+type level = Kernel | Block | Thread
+
+val arity : prim -> int
+val name : prim -> string
+
+val levels : prim -> level list
+(** Graph levels at which the operator may appear (Table 1 column 2).
+    [Concat_matmul] is usable at kernel and block level like [Matmul]. *)
+
+val allowed_at : prim -> level -> bool
+
+val is_lax : prim -> bool
+(** Member of the LAX fragment (multi-linear, division, exponentiation;
+    Definition 5.1). [Sqrt] and [Silu] are accepted here because the
+    verifier abstracts them as opaque common subterms (DESIGN.md §2);
+    [Relu] is not. *)
+
+val infer_shape : prim -> Shape.t list -> Shape.t
+(** Output shape from input shapes.
+    @raise Invalid_argument on arity or shape mismatch. *)
+
+val infer_shape_opt : prim -> Shape.t list -> Shape.t option
+(** Exception-free variant for the generator's hot path: no message
+    formatting on the (very common) rejection case. *)
+
+val flops : prim -> Shape.t list -> Shape.t -> float
+(** Floating-point operations performed (cost model input). *)
+
+val equal : prim -> prim -> bool
+val compare : prim -> prim -> int
+val to_string : prim -> string
+val pp : Format.formatter -> prim -> unit
+
+val shape_of_tensor : 'a Tensor.Dense.t -> Shape.t
+
+val apply :
+  'a Tensor.Element.ops -> prim -> 'a Tensor.Dense.t list -> 'a Tensor.Dense.t
+(** Reference functional semantics over any element domain. *)
+
+val abstract :
+  prim -> in_shapes:Shape.t list -> Absexpr.Expr.t list -> Absexpr.Expr.t
+(** The operator's abstract expression (Table 1 column 3) given its
+    inputs' expressions. Needs input shapes to extract reduction sizes. *)

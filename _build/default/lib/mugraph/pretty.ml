@@ -1,0 +1,101 @@
+open Tensor
+
+let ints_to_string a =
+  String.concat "x" (Array.to_list (Array.map string_of_int a))
+
+let thread_graph_to_string (tg : Graph.thread_graph) =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "thread{";
+  Array.iteri
+    (fun i (node : Graph.thread_node) ->
+      if i > 0 then Buffer.add_string buf "; ";
+      (match node.top with
+      | Graph.T_input k -> Buffer.add_string buf (Printf.sprintf "t%d=in%d" i k)
+      | Graph.T_prim p ->
+          Buffer.add_string buf
+            (Printf.sprintf "t%d=%s(%s)" i (Op.to_string p)
+               (String.concat "," (List.map (Printf.sprintf "t%d") node.tins)))))
+    tg.tnodes;
+  Buffer.add_string buf "}";
+  Buffer.contents buf
+
+let block_graph_to_string (bg : Graph.block_graph) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "block graph: grid=%s forloop=%s\n" (ints_to_string bg.grid)
+       (if Array.length bg.forloop = 0 then "-" else ints_to_string bg.forloop));
+  Array.iteri
+    (fun i (node : Graph.block_node) ->
+      let ins = String.concat "," (List.map (Printf.sprintf "b%d") node.bins) in
+      let line =
+        match node.bop with
+        | Graph.B_initer { input; imap; fmap } ->
+            Printf.sprintf "b%d = InIter(input%d) %s %s" i input
+              (Dmap.imap_to_string imap) (Dmap.fmap_to_string fmap)
+        | Graph.B_prim p ->
+            Printf.sprintf "b%d = %s(%s)" i (Op.to_string p) ins
+        | Graph.B_accum { fmap } ->
+            Printf.sprintf "b%d = Accum(%s) %s" i ins
+              (Dmap.fmap_to_string fmap)
+        | Graph.B_outsaver { omap } ->
+            Printf.sprintf "b%d = OutSaver(%s) %s" i ins
+              (Dmap.omap_to_string omap)
+        | Graph.B_threadgraph tg ->
+            Printf.sprintf "b%d = %s(%s)" i (thread_graph_to_string tg) ins
+      in
+      Buffer.add_string buf ("    " ^ line ^ "\n"))
+    bg.bnodes;
+  Buffer.contents buf
+
+let kernel_graph_to_string (g : Graph.kernel_graph) =
+  let buf = Buffer.create 512 in
+  Array.iteri
+    (fun i (node : Graph.kernel_node) ->
+      let ins =
+        String.concat ","
+          (List.map
+             (fun ({ node; port } : Graph.tensor_ref) ->
+               if port = 0 then Printf.sprintf "k%d" node
+               else Printf.sprintf "k%d.%d" node port)
+             node.kins)
+      in
+      let line =
+        match node.kop with
+        | Graph.K_input { name; shape } ->
+            Printf.sprintf "k%d = Input %s %s" i name
+              (Shape.to_string shape)
+        | Graph.K_prim p -> Printf.sprintf "k%d = %s(%s)" i (Op.to_string p) ins
+        | Graph.K_graphdef bg ->
+            Printf.sprintf "k%d = GraphDef(%s):\n%s" i ins
+              (block_graph_to_string bg)
+      in
+      Buffer.add_string buf (line ^ "\n"))
+    g.knodes;
+  Buffer.add_string buf
+    ("outputs: "
+    ^ String.concat ","
+        (List.map
+           (fun ({ node; port } : Graph.tensor_ref) ->
+             if port = 0 then Printf.sprintf "k%d" node
+             else Printf.sprintf "k%d.%d" node port)
+           g.outputs));
+  Buffer.contents buf
+
+let describe (g : Graph.kernel_graph) =
+  let base = kernel_graph_to_string g in
+  match Infer.infer_opt g with
+  | None -> base ^ "\n(shapes: inference failed)"
+  | Some shapes ->
+      let buf = Buffer.create 128 in
+      Buffer.add_string buf base;
+      Buffer.add_string buf "\nshapes:\n";
+      Array.iteri
+        (fun i ports ->
+          Buffer.add_string buf
+            (Printf.sprintf "  k%d: %s\n" i
+               (String.concat " "
+                  (Array.to_list (Array.map Shape.to_string ports)))))
+        shapes;
+      Buffer.contents buf
+
+let pp fmt g = Format.pp_print_string fmt (kernel_graph_to_string g)

@@ -1,0 +1,12 @@
+(** Human-readable rendering of muGraphs, in the spirit of the paper's
+    figures: operators with shapes, and imap/omap/fmap annotations in
+    braces. *)
+
+val thread_graph_to_string : Graph.thread_graph -> string
+val block_graph_to_string : Graph.block_graph -> string
+val kernel_graph_to_string : Graph.kernel_graph -> string
+
+val describe : Graph.kernel_graph -> string
+(** Full description with inferred shapes where available. *)
+
+val pp : Format.formatter -> Graph.kernel_graph -> unit

@@ -1,0 +1,1 @@
+lib/opt/layout_opt.ml: Array Graph Ilp Infer Layout List Mugraph Op Option Printf Shape String Tensor

@@ -1,0 +1,1 @@
+lib/opt/layout_opt.mli: Layout Mugraph Shape Tensor

@@ -1,0 +1,1 @@
+lib/opt/memplan.ml: Array Graph Infer List Mugraph Option Schedule Shape Stdlib Tensor

@@ -1,0 +1,1 @@
+lib/opt/memplan.mli: Mugraph Shape Tensor

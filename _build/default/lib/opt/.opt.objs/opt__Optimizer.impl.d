@@ -1,0 +1,1 @@
+lib/opt/optimizer.ml: Array Buffer Gpusim Graph Infer Layout_opt List Memplan Mugraph Printf Schedule

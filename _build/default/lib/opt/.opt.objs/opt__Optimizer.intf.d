@@ -1,0 +1,1 @@
+lib/opt/optimizer.mli: Gpusim Layout_opt Memplan Mugraph Schedule

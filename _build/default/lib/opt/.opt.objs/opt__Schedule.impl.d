@@ -1,0 +1,1 @@
+lib/opt/schedule.ml: Array Fun Graph List Mugraph Stdlib

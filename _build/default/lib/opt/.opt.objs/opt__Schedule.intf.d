@@ -1,0 +1,1 @@
+lib/opt/schedule.mli: Mugraph

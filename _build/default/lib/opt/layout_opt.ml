@@ -1,0 +1,135 @@
+open Tensor
+open Mugraph
+
+type assignment = {
+  layouts : (int * Layout.t) list;
+  cost : float;
+  naive_cost : float;
+}
+
+(* Penalty model (cost units = KiB of extra shared-memory traffic-ish):
+   proportional to the tensor size so that mislaying out a large tile
+   costs more than a small vector. *)
+let penalty_scale shape = float_of_int (Shape.numel shape) /. 512.0
+
+let optimize_block (bg : Graph.block_graph) ~kernel_inputs =
+  let shapes = Infer.block_shapes bg ~kernel_inputs in
+  let n = Array.length bg.bnodes in
+  let p = Ilp.create () in
+  (* vars.(i) = list of (layout, var); empty for outsavers. *)
+  let vars = Array.make n [] in
+  Array.iteri
+    (fun i (node : Graph.block_node) ->
+      match node.bop with
+      | Graph.B_outsaver _ -> ()
+      | _ ->
+          let cands = Layout.candidates shapes.(i) in
+          vars.(i) <-
+            List.map
+              (fun l ->
+                ( l,
+                  Ilp.new_var
+                    ~name:(Printf.sprintf "b%d:%s" i (Layout.to_string l))
+                    p ))
+              cands;
+          Ilp.add_exactly_one p (List.map snd vars.(i)))
+    bg.bnodes;
+  let var_of i l =
+    List.assoc_opt l vars.(i)
+  in
+  let objective = ref [] in
+  let penalize i l w =
+    match var_of i l with
+    | Some v -> objective := (w, v) :: !objective
+    | None -> ()
+  in
+  let same_layout i j =
+    (* for each layout l: x_{i,l} <-> x_{j,l} *)
+    List.iter
+      (fun (l, v) ->
+        match var_of j l with
+        | Some v' ->
+            Ilp.add_implies p v v';
+            Ilp.add_implies p v' v
+        | None ->
+            (* j cannot take layout l at all: forbid it for i too *)
+            Ilp.add_eq p [ (1, v) ] 0)
+      vars.(i)
+  in
+  Array.iteri
+    (fun i (node : Graph.block_node) ->
+      match node.bop with
+      | Graph.B_initer _ ->
+          (* device tensors are row-major; a col-major tile forgoes the
+             bulk copy *)
+          penalize i Layout.Col_major (penalty_scale shapes.(i))
+      | Graph.B_prim Op.Matmul -> (
+          match node.bins with
+          | [ a; b ] ->
+              penalize a Layout.Col_major (penalty_scale shapes.(a));
+              penalize b Layout.Row_major (penalty_scale shapes.(b))
+          | _ -> ())
+      | Graph.B_prim (Op.Binary _ | Op.Unary _) | Graph.B_threadgraph _ ->
+          List.iter
+            (fun j -> if vars.(j) <> [] && vars.(i) <> [] then same_layout i j)
+            node.bins
+      | Graph.B_accum _ -> (
+          match node.bins with
+          | [ j ] when vars.(j) <> [] && vars.(i) <> [] -> same_layout i j
+          | _ -> ())
+      | Graph.B_prim _ -> ()
+      | Graph.B_outsaver _ -> (
+          match node.bins with
+          | [ j ] -> penalize j Layout.Col_major (penalty_scale shapes.(j))
+          | _ -> ()))
+    bg.bnodes;
+  Ilp.set_objective p !objective;
+  match Ilp.solve p with
+  | None -> None
+  | Some sol ->
+      let layouts =
+        Array.to_list bg.bnodes
+        |> List.mapi (fun i _ -> i)
+        |> List.filter_map (fun i ->
+               match
+                 List.find_opt (fun (_, v) -> Ilp.value sol v) vars.(i)
+               with
+               | Some (l, _) -> Some (i, l)
+               | None -> None)
+      in
+      (* naive = all row-major: sum the penalties that assignment incurs *)
+      let naive_cost =
+        List.fold_left
+          (fun acc (w, v) ->
+            let name = Ilp.var_name p v in
+            (* row-major choices incur their penalty iff the penalized
+               layout is row-major *)
+            let is_row =
+              String.length name >= 9
+              && String.sub name (String.length name - 9) 9 = "row-major"
+            in
+            if is_row then acc +. w else acc)
+          0.0 !objective
+      in
+      Some { layouts; cost = sol.Ilp.objective; naive_cost }
+
+let optimize (g : Graph.kernel_graph) =
+  let shapes = Infer.kernel_shapes g in
+  Array.to_list g.knodes
+  |> List.mapi (fun i node -> (i, node))
+  |> List.filter_map (fun (i, (node : Graph.kernel_node)) ->
+         match node.kop with
+         | Graph.K_graphdef bg ->
+             let kernel_inputs =
+               List.map
+                 (fun ({ node = j; port } : Graph.tensor_ref) ->
+                   shapes.(j).(port))
+                 node.kins
+             in
+             Option.map (fun a -> (i, a)) (optimize_block bg ~kernel_inputs)
+         | Graph.K_input _ | Graph.K_prim _ -> None)
+
+let total_cost g =
+  List.fold_left
+    (fun (o, n) (_, a) -> (o +. a.cost, n +. a.naive_cost))
+    (0.0, 0.0) (optimize g)

@@ -1,0 +1,39 @@
+(** Tensor layout selection (paper §6, "Tensor layouts"), as a 0-1 ILP.
+
+    For every shared-memory tensor of a block graph and every candidate
+    layout, a boolean selection variable is created; operator
+    requirements become linear constraints and per-choice cost terms
+    model the performance effect:
+    - input iterators prefer the device tensor's layout (row-major) so
+      the tile can be bulk-copied;
+    - matmul prefers a row-major left operand and a column-major right
+      operand (cuTLASS fragment loading);
+    - elementwise operators require all operands and the result to share
+      a layout (hard constraint);
+    - accumulators preserve their input's layout (hard constraint);
+    - output savers prefer row-major (device tensors are row-major).
+
+    The exact B&B solver of {!Ilp} returns the optimal assignment. *)
+
+open Tensor
+
+type assignment = {
+  layouts : (int * Layout.t) list;  (** block node -> chosen layout *)
+  cost : float;  (** total penalty of the optimum, in model cost units *)
+  naive_cost : float;  (** penalty of the all-row-major strawman *)
+}
+
+val optimize_block :
+  Mugraph.Graph.block_graph ->
+  kernel_inputs:Shape.t list ->
+  assignment option
+(** [None] when the hard constraints are unsatisfiable (does not happen
+    for well-formed block graphs — elementwise chains can always fall
+    back to row-major). *)
+
+val optimize :
+  Mugraph.Graph.kernel_graph -> (int * assignment) list
+(** One assignment per graph-defined kernel node. *)
+
+val total_cost : Mugraph.Graph.kernel_graph -> float * float
+(** (optimal, naive) summed over custom kernels. *)

@@ -1,0 +1,158 @@
+open Tensor
+open Mugraph
+
+type tensor_info = {
+  node : int;
+  size_bytes : int;
+  first : int;
+  last : int;
+}
+
+type plan = {
+  tensors : tensor_info list;
+  offsets : (int * int) list;
+  peak_bytes : int;
+  optimal : bool;
+}
+
+let exhaustive_limit = 8
+
+let lifetimes ~elt_bytes (bg : Graph.block_graph) ~kernel_inputs =
+  let shapes = Infer.block_shapes bg ~kernel_inputs in
+  let sched = Schedule.block_schedule bg in
+  let n = Array.length bg.bnodes in
+  let pos = Array.make n 0 in
+  List.iteri (fun p i -> pos.(i) <- p) sched.Schedule.order;
+  let invariant = Graph.loop_invariant_nodes bg in
+  let post = Graph.post_loop_nodes bg in
+  let last_use = Array.make n 0 in
+  Array.iteri
+    (fun i (node : Graph.block_node) ->
+      last_use.(i) <- pos.(i);
+      List.iter
+        (fun j -> last_use.(j) <- max last_use.(j) pos.(i))
+        node.bins)
+    bg.bnodes;
+  let max_pos = n in
+  Array.to_list bg.bnodes
+  |> List.mapi (fun i node -> (i, node))
+  |> List.filter_map (fun (i, (node : Graph.block_node)) ->
+         match node.bop with
+         | Graph.B_outsaver _ -> None
+         | Graph.B_initer _ | Graph.B_prim _ | Graph.B_accum _
+         | Graph.B_threadgraph _ ->
+             let has_loop = Graph.total_iters bg > 1 in
+             let persists =
+               (* Values crossing the loop boundary live for the whole
+                  kernel: accumulators, loop-invariant tiles read in the
+                  epilogue, and loop-body values feeding epilogue nodes. *)
+               has_loop
+               && ((match node.bop with Graph.B_accum _ -> true | _ -> false)
+                  || (invariant.(i) && last_use.(i) > pos.(i))
+                  || (not post.(i))
+                     && Array.exists
+                          (fun (m : Graph.block_node) ->
+                            List.mem i m.bins
+                            &&
+                            match m.bop with
+                            | Graph.B_accum _ -> true
+                            | _ -> false)
+                          bg.bnodes)
+             in
+             Some
+               {
+                 node = i;
+                 size_bytes = Shape.numel shapes.(i) * elt_bytes;
+                 first = pos.(i);
+                 last = (if persists then max_pos else last_use.(i));
+               })
+
+let overlap a b = a.first <= b.last && b.first <= a.last
+
+(* First-fit placement in the given order. *)
+let first_fit tensors =
+  let placed = ref [] in
+  let offsets =
+    List.map
+      (fun t ->
+        (* candidate offsets: 0 and the end of every placed tensor *)
+        let candidates =
+          0
+          :: List.filter_map
+               (fun (t', off) ->
+                 if overlap t t' then Some (off + t'.size_bytes) else None)
+               !placed
+          |> List.sort_uniq Stdlib.compare
+        in
+        let fits off =
+          List.for_all
+            (fun (t', off') ->
+              (not (overlap t t'))
+              || off + t.size_bytes <= off'
+              || off' + t'.size_bytes <= off)
+            !placed
+        in
+        let off = List.find fits candidates in
+        placed := (t, off) :: !placed;
+        (t.node, off))
+      tensors
+  in
+  let peak =
+    List.fold_left
+      (fun acc (t, off) -> max acc (off + t.size_bytes))
+      0 !placed
+  in
+  (offsets, peak)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y != x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+let plan_block ~elt_bytes bg ~kernel_inputs =
+  let tensors = lifetimes ~elt_bytes bg ~kernel_inputs in
+  if tensors = [] then
+    { tensors; offsets = []; peak_bytes = 0; optimal = true }
+  else if List.length tensors <= exhaustive_limit then begin
+    let best = ref None in
+    List.iter
+      (fun order ->
+        let offsets, peak = first_fit order in
+        match !best with
+        | Some (_, p) when p <= peak -> ()
+        | _ -> best := Some (offsets, peak))
+      (permutations tensors);
+    let offsets, peak = Option.get !best in
+    { tensors; offsets; peak_bytes = peak; optimal = true }
+  end
+  else begin
+    let order =
+      List.sort (fun a b -> Stdlib.compare b.size_bytes a.size_bytes) tensors
+    in
+    let offsets, peak = first_fit order in
+    { tensors; offsets; peak_bytes = peak; optimal = false }
+  end
+
+let valid plan =
+  let find_info node = List.find (fun t -> t.node = node) plan.tensors in
+  let items = List.map (fun (n, off) -> (find_info n, off)) plan.offsets in
+  let ok = ref true in
+  List.iteri
+    (fun i (t, off) ->
+      if off < 0 || off + t.size_bytes > plan.peak_bytes then ok := false;
+      List.iteri
+        (fun j (t', off') ->
+          if
+            i < j && overlap t t'
+            && not (off + t.size_bytes <= off' || off' + t'.size_bytes <= off)
+          then ok := false)
+        items)
+    items;
+  !ok
+
+let naive_peak plan =
+  List.fold_left (fun acc t -> acc + t.size_bytes) 0 plan.tensors

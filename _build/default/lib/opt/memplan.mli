@@ -1,0 +1,48 @@
+(** Memory planning (paper §6, "Memory planning"): assign shared-memory
+    offsets to all block-graph tensors — a dynamic storage allocation
+    problem. Tensors whose lifetimes do not overlap may share space.
+
+    For the small tensor counts of block graphs the planner enumerates
+    placement orders exhaustively (first-fit per order) and returns a
+    provably optimal peak for up to [exhaustive_limit] tensors, falling
+    back to decreasing-size first-fit beyond that. *)
+
+open Tensor
+
+type tensor_info = {
+  node : int;  (** block-graph node index *)
+  size_bytes : int;
+  first : int;  (** definition position in the schedule *)
+  last : int;  (** last-use position *)
+}
+
+type plan = {
+  tensors : tensor_info list;
+  offsets : (int * int) list;  (** node index -> byte offset *)
+  peak_bytes : int;
+  optimal : bool;  (** exhaustive search completed *)
+}
+
+val exhaustive_limit : int
+
+val lifetimes :
+  elt_bytes:int ->
+  Mugraph.Graph.block_graph ->
+  kernel_inputs:Shape.t list ->
+  tensor_info list
+(** Shared-memory resident tensors with schedule-order lifetimes.
+    Accumulators and loop-invariant input tiles persist across the whole
+    for-loop. *)
+
+val plan_block :
+  elt_bytes:int ->
+  Mugraph.Graph.block_graph ->
+  kernel_inputs:Shape.t list ->
+  plan
+
+val valid : plan -> bool
+(** No two simultaneously-live tensors overlap (used by tests). *)
+
+val naive_peak : plan -> int
+(** Peak of the no-reuse allocation (every tensor gets fresh space) —
+    what the generator's conservative MemoryCheck assumes. *)

@@ -1,0 +1,66 @@
+open Mugraph
+
+type t = {
+  order : int list;
+  depths : int array;
+  syncthreads : int;
+  naive_syncthreads : int;
+}
+
+let is_compute (n : Graph.block_node) =
+  match n.bop with
+  | Graph.B_prim _ | Graph.B_threadgraph _ | Graph.B_accum _ -> true
+  | Graph.B_initer _ | Graph.B_outsaver _ -> false
+
+let block_schedule (bg : Graph.block_graph) =
+  let n = Array.length bg.bnodes in
+  let depths = Array.make n 0 in
+  Array.iteri
+    (fun i (node : Graph.block_node) ->
+      let input_depth =
+        List.fold_left (fun acc j -> max acc depths.(j)) 0 node.bins
+      in
+      depths.(i) <-
+        (match node.bop with
+        | Graph.B_initer _ -> 0
+        | Graph.B_outsaver _ -> input_depth
+        | Graph.B_prim _ | Graph.B_threadgraph _ | Graph.B_accum _ ->
+            input_depth + 1))
+    bg.bnodes;
+  (* Ascending-depth order; stable within a depth level. *)
+  let order =
+    List.init n Fun.id
+    |> List.stable_sort (fun a b -> Stdlib.compare depths.(a) depths.(b))
+  in
+  let compute_depths =
+    Array.to_list bg.bnodes
+    |> List.mapi (fun i node -> (i, node))
+    |> List.filter_map (fun (i, node) ->
+           if is_compute node then Some depths.(i) else None)
+  in
+  let distinct = List.sort_uniq Stdlib.compare compute_depths in
+  let n_compute = List.length compute_depths in
+  {
+    order;
+    depths;
+    syncthreads = max 0 (List.length distinct - 1);
+    naive_syncthreads = max 0 (n_compute - 1);
+  }
+
+let kernel_schedules (g : Graph.kernel_graph) =
+  Array.to_list g.knodes
+  |> List.mapi (fun i node -> (i, node))
+  |> List.filter_map (fun (i, (node : Graph.kernel_node)) ->
+         match node.kop with
+         | Graph.K_graphdef bg -> Some (i, block_schedule bg)
+         | Graph.K_input _ | Graph.K_prim _ -> None)
+
+let total_syncthreads (g : Graph.kernel_graph) =
+  Array.fold_left
+    (fun acc (node : Graph.kernel_node) ->
+      match node.kop with
+      | Graph.K_graphdef bg ->
+          let s = block_schedule bg in
+          acc + (s.syncthreads * Graph.total_iters bg)
+      | Graph.K_input _ | Graph.K_prim _ -> acc)
+    0 g.knodes

@@ -1,0 +1,27 @@
+(** Operator scheduling (paper §6, "Operator scheduling").
+
+    Within a thread block, operators at the same dependency depth can
+    execute without an intervening [__syncthreads()]; Mirage computes
+    each node's depth (longest path from any input operator) by dynamic
+    programming and schedules in ascending depth order, which minimizes
+    the number of block-level synchronizations. *)
+
+type t = {
+  order : int list;  (** node indices in execution order *)
+  depths : int array;  (** per-node depth *)
+  syncthreads : int;  (** synchronization points of the depth schedule *)
+  naive_syncthreads : int;
+      (** syncs of the straw-man schedule with a barrier after every
+          operator (the ablation baseline) *)
+}
+
+val block_schedule : Mugraph.Graph.block_graph -> t
+(** Depths over computation nodes (initers are depth 0 producers;
+    outsavers do not synchronize). The sync count is
+    [max 0 (#distinct computation depths - 1)] per loop iteration. *)
+
+val kernel_schedules : Mugraph.Graph.kernel_graph -> (int * t) list
+(** One schedule per graph-defined kernel node. *)
+
+val total_syncthreads : Mugraph.Graph.kernel_graph -> int
+(** Sum over custom kernels of syncs × for-loop iterations. *)

@@ -1,0 +1,1 @@
+lib/search/block_enum.ml: Absexpr Abstract Array Canon Config Dmap Fun Graph Infer List Memory Mugraph Op Shape Smtlite Stats Tensor Unix

@@ -1,0 +1,1 @@
+lib/search/block_enum.mli: Config Dmap Graph Memory Mugraph Shape Smtlite Stats Tensor

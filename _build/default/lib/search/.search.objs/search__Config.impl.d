@@ -1,0 +1,1 @@
+lib/search/config.ml: Absexpr Abstract Array Graph List Mugraph Op Stdlib

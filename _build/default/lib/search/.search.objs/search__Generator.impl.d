@@ -1,0 +1,1 @@
+lib/search/generator.ml: Abstract Array Atomic Block_enum Config Domain Float Gpusim Graph Hashtbl Kernel_enum List Memory Mugraph Mutex Smtlite Stats Thread_fuse Unix Verify

@@ -1,0 +1,1 @@
+lib/search/generator.mli: Config Gpusim Graph Mugraph Smtlite Stats

@@ -1,0 +1,1 @@
+lib/search/kernel_enum.ml: Absexpr Abstract Array Block_enum Canon Config Graph Infer List Memory Mugraph Op Shape Smtlite Stats Tensor Unix

@@ -1,0 +1,1 @@
+lib/search/kernel_enum.mli: Config Graph Memory Mugraph Smtlite Stats

@@ -1,0 +1,1 @@
+lib/search/stats.ml: Array Atomic Printf Unix

@@ -1,0 +1,1 @@
+lib/search/thread_fuse.ml: Array Fun Graph List Mugraph Op Stdlib

@@ -1,0 +1,1 @@
+lib/search/thread_fuse.mli: Mugraph

@@ -1,0 +1,44 @@
+(** The block-graph enumerator: the inner loop of Algorithm 1.
+
+    A {e root} fixes the custom kernel's grid dimensions, for-loop trip
+    counts, and the imap/fmap of every input iterator. From a root, the
+    enumerator grows block-graph prefixes one operator at a time — in
+    nondecreasing canonical rank order (§4.1) — checking tensor shapes,
+    shared-memory usage, and the abstract-expression subexpression filter
+    (§4.3) before each extension. Whenever some tensors' abstract
+    expressions are [A_eq]-equivalent to the specification's outputs and
+    an omap reconstructs the right kernel-level shapes, a complete
+    candidate muGraph is emitted. *)
+
+open Tensor
+open Mugraph
+
+type root = {
+  grid : int array;
+  forloop : int array;
+  initers : (Dmap.imap * Dmap.fmap) array;  (** one per spec input *)
+}
+
+val enumerate_roots :
+  Config.t -> input_shapes:Shape.t list -> root list
+(** All valid (grid, forloop, imap/fmap) combinations from the config's
+    candidate lists; every grid and for-loop dimension must partition at
+    least one input. *)
+
+type emit = Graph.kernel_graph -> unit
+
+exception Budget_exhausted
+
+val search_root :
+  Config.t ->
+  spec:Graph.kernel_graph ->
+  solver:Smtlite.Solver.t ->
+  stats:Stats.t ->
+  limits:Memory.limits ->
+  deadline:float ->
+  emit:emit ->
+  root ->
+  unit
+(** Depth-first expansion of one root. [emit] receives complete,
+    validated candidates (not yet verified). @raise Budget_exhausted when
+    the node or time budget runs out. *)

@@ -1,0 +1,183 @@
+open Mugraph
+
+type t = {
+  max_kernel_ops : int;
+  max_block_ops : int;
+  grid_candidates : int array list;
+  forloop_candidates : int array list;
+  block_op_menu : Op.prim list;
+  kernel_op_menu : Op.prim list;
+  use_abstract_pruning : bool;
+  use_thread_fusion : bool;
+  num_workers : int;
+  node_budget : int;
+  time_budget_s : float;
+  max_outputs_per_candidate : int;
+  enable_concat_accum : bool;
+}
+
+let default =
+  {
+    max_kernel_ops = 5;
+    max_block_ops = 11;
+    grid_candidates = [ [| 16 |]; [| 64 |]; [| 128 |] ];
+    forloop_candidates = [ [||]; [| 4 |]; [| 16 |] ];
+    block_op_menu =
+      [
+        Op.Matmul;
+        Op.Binary Op.Add;
+        Op.Binary Op.Mul;
+        Op.Binary Op.Div;
+        Op.Unary Op.Exp;
+        Op.Unary Op.Sqr;
+        Op.Unary Op.Sqrt;
+        Op.Unary Op.Silu;
+        Op.Sum { dim = 0; group = 0 };
+      ];
+    kernel_op_menu =
+      [
+        Op.Matmul;
+        Op.Binary Op.Add;
+        Op.Binary Op.Mul;
+        Op.Binary Op.Div;
+        Op.Unary Op.Exp;
+        Op.Unary Op.Sqr;
+        Op.Unary Op.Sqrt;
+        Op.Unary Op.Silu;
+        Op.Sum { dim = 0; group = 0 };
+      ];
+    use_abstract_pruning = true;
+    use_thread_fusion = true;
+    num_workers = 1;
+    node_budget = 0;
+    time_budget_s = 0.0;
+    max_outputs_per_candidate = 2;
+    enable_concat_accum = false;
+  }
+
+(* Structural facts about the goal normal forms that make operator
+   classes useful: Add can only survive the subexpression filter if some
+   position of the goal is a sum of several terms; Div only if some
+   denominator is nontrivial; reductions only if some sum factor
+   exceeds 1. *)
+let rec nf_has_add (n : Absexpr.Nf.t) =
+  List.length n > 1 || List.exists term_has_add n
+
+and term_has_add (t : Absexpr.Nf.term) =
+  List.exists atom_has_add t.Absexpr.Nf.num || den_has_add t.Absexpr.Nf.den
+
+and atom_has_add = function
+  | Absexpr.Nf.A_var _ -> false
+  | Absexpr.Nf.A_exp i | Absexpr.Nf.A_sqrt i | Absexpr.Nf.A_silu i ->
+      nf_has_add i
+
+and den_has_add (d : Absexpr.Nf.den) =
+  List.exists
+    (function
+      | Absexpr.Nf.D_atom a -> atom_has_add a
+      | Absexpr.Nf.D_opaque n -> nf_has_add n
+      | Absexpr.Nf.D_inv dd -> den_has_add dd)
+    d.Absexpr.Nf.dfacs
+
+let rec nf_has_div (n : Absexpr.Nf.t) =
+  List.exists
+    (fun (t : Absexpr.Nf.term) ->
+      (not (Absexpr.Nf.den_is_trivial t.Absexpr.Nf.den))
+      || List.exists atom_has_div t.Absexpr.Nf.num)
+    n
+
+and atom_has_div = function
+  | Absexpr.Nf.A_var _ -> false
+  | Absexpr.Nf.A_exp i | Absexpr.Nf.A_sqrt i | Absexpr.Nf.A_silu i ->
+      nf_has_div i
+
+let rec nf_has_sum (n : Absexpr.Nf.t) =
+  List.exists
+    (fun (t : Absexpr.Nf.term) ->
+      t.Absexpr.Nf.sf > 1 || t.Absexpr.Nf.den.Absexpr.Nf.dsum > 1
+      || List.exists atom_has_sum t.Absexpr.Nf.num)
+    n
+
+and atom_has_sum = function
+  | Absexpr.Nf.A_var _ -> false
+  | Absexpr.Nf.A_exp i | Absexpr.Nf.A_sqrt i | Absexpr.Nf.A_silu i ->
+      nf_has_sum i
+
+(* Which unary operators the spec's abstract expressions mention. *)
+let spec_features g =
+  let rec walk (e : Absexpr.Expr.t) acc =
+    match e with
+    | Absexpr.Expr.Var "__neg" -> "sub" :: acc
+    | Absexpr.Expr.Var _ -> acc
+    | Absexpr.Expr.Add (a, b)
+    | Absexpr.Expr.Mul (a, b)
+    | Absexpr.Expr.Div (a, b) ->
+        walk a (walk b acc)
+    | Absexpr.Expr.Exp a -> walk a ("exp" :: acc)
+    | Absexpr.Expr.Sqrt a -> walk a ("sqrt" :: acc)
+    | Absexpr.Expr.Silu a -> walk a ("silu" :: acc)
+    | Absexpr.Expr.Sum (_, a) -> walk a acc
+  in
+  let features =
+    List.fold_left
+      (fun acc e -> walk e acc)
+      []
+      (Abstract.output_exprs g)
+  in
+  List.sort_uniq Stdlib.compare features
+
+let divisor_candidates dims =
+  (* plausible grid sizes / loop trip counts drawn from the dimensions of
+     the problem: powers of two dividing some input dimension *)
+  let pows = [ 2; 4; 8; 16; 32; 64; 128 ] in
+  List.filter (fun p -> List.exists (fun d -> d mod p = 0 && d > p) dims) pows
+
+let for_spec ?(base = default) (g : Graph.kernel_graph) =
+  let features = spec_features g in
+  let has f = List.mem f features in
+  let goal_nfs =
+    List.map Absexpr.Nf.of_expr (Abstract.output_exprs g)
+  in
+  let goal_has f = List.exists f goal_nfs in
+  let menu_filter menu =
+    List.filter
+      (fun p ->
+        match p with
+        | Op.Unary Op.Exp -> has "exp"
+        | Op.Unary Op.Sqrt -> has "sqrt"
+        | Op.Unary Op.Silu -> has "silu"
+        | Op.Binary Op.Add -> goal_has nf_has_add
+        | Op.Binary Op.Sub -> has "sub"
+        | Op.Binary Op.Div -> goal_has nf_has_div
+        | Op.Matmul | Op.Sum _ -> goal_has nf_has_sum
+        | _ -> true)
+      menu
+  in
+  let dims =
+    List.concat_map (fun s -> Array.to_list s) (Graph.input_shapes g)
+    |> List.sort_uniq Stdlib.compare
+  in
+  let grid_candidates =
+    if base.grid_candidates <> default.grid_candidates then
+      base.grid_candidates
+    else
+      match divisor_candidates dims with
+      | [] -> [ [| 1 |] ]
+      | ds -> List.map (fun d -> [| d |]) ds
+  in
+  let forloop_candidates =
+    if base.forloop_candidates <> default.forloop_candidates then
+      base.forloop_candidates
+    else
+      [||]
+      :: List.map
+           (fun d -> [| d |])
+           (List.filter (fun d -> d <= 16) (divisor_candidates dims))
+  in
+  {
+    base with
+    block_op_menu = menu_filter base.block_op_menu;
+    kernel_op_menu = menu_filter base.kernel_op_menu;
+    grid_candidates;
+    forloop_candidates;
+  }

@@ -1,0 +1,38 @@
+(** Search configuration for the expression-guided muGraph generator.
+
+    The defaults mirror the paper (§8.1): up to 5 operators in the kernel
+    graph and up to 11 in each block graph. The two boolean switches are
+    the ablation axes of Table 5: abstract-expression pruning and
+    multi-threaded search. *)
+
+type t = {
+  max_kernel_ops : int;  (** paper default 5 *)
+  max_block_ops : int;  (** paper default 11; Table 5 sweeps 5..11 *)
+  grid_candidates : int array list;
+      (** grid dimension vectors to consider for custom kernels *)
+  forloop_candidates : int array list;
+      (** for-loop trip-count vectors ([||] = no loop) *)
+  block_op_menu : Mugraph.Op.prim list;
+      (** operator types the block-graph enumerator may instantiate;
+          [Sum] entries are placeholders — the enumerator instantiates
+          full reductions along each dimension *)
+  kernel_op_menu : Mugraph.Op.prim list;
+  use_abstract_pruning : bool;  (** Table 5 column "w/o abstract expr" *)
+  use_thread_fusion : bool;  (** §4.2 rule-based thread graphs *)
+  num_workers : int;  (** 1 = sequential (Table 5 "w/o multithreading") *)
+  node_budget : int;  (** hard cap on expanded prefixes, 0 = unlimited *)
+  time_budget_s : float;  (** wall-clock cap, 0 = unlimited *)
+  max_outputs_per_candidate : int;
+  enable_concat_accum : bool;
+      (** also enumerate accumulators that concatenate along a data dim *)
+}
+
+val default : t
+
+val for_spec : ?base:t -> Mugraph.Graph.kernel_graph -> t
+(** Derive the operator menus from the specification: unary operators
+    appear in the menu only if the spec uses them (searching for [exp]
+    when the goal has none is pure waste — the pruning would reject every
+    such prefix anyway, but not generating them is cheaper). Grid and
+    for-loop candidates are derived from divisors of the spec's input
+    dimensions when not supplied in [base]. *)

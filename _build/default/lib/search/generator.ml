@@ -1,0 +1,164 @@
+open Mugraph
+
+type result = {
+  graph : Graph.kernel_graph;
+  cost : Gpusim.Cost.graph_cost;
+}
+
+type outcome = {
+  best : result option;
+  verified : result list;
+  generated : int;
+  stats : Stats.snapshot;
+  solver : Smtlite.Solver.stats;
+  budget_exhausted : bool;
+}
+
+type task = T_kernel | T_root of Block_enum.root
+
+(* Run the enumerators over all tasks, collecting deduplicated raw
+   candidates. Workers pull tasks from a shared atomic counter. *)
+let generate (cfg : Config.t) ~spec ~solver ~stats ~limits =
+  let deadline =
+    if cfg.Config.time_budget_s > 0.0 then
+      Unix.gettimeofday () +. cfg.Config.time_budget_s
+    else 0.0
+  in
+  let roots =
+    Block_enum.enumerate_roots cfg ~input_shapes:(Graph.input_shapes spec)
+  in
+  let tasks = Array.of_list (T_kernel :: List.map (fun r -> T_root r) roots) in
+  let next = Atomic.make 0 in
+  let lock = Mutex.create () in
+  let seen = Hashtbl.create 256 in
+  let candidates = ref [] in
+  let exhausted = Atomic.make false in
+  let emit g =
+    Mutex.lock lock;
+    let h = Graph.hash g in
+    let dup =
+      match Hashtbl.find_all seen h with
+      | l -> List.exists (fun g' -> Graph.equal g g') l
+    in
+    if dup then Stats.bump_duplicates stats
+    else begin
+      Hashtbl.add seen h g;
+      candidates := g :: !candidates
+    end;
+    Mutex.unlock lock
+  in
+  let worker () =
+    let continue_ = ref true in
+    while !continue_ do
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= Array.length tasks || Atomic.get exhausted then
+        continue_ := false
+      else
+        try
+          match tasks.(i) with
+          | T_kernel ->
+              Kernel_enum.search cfg ~spec ~solver ~stats ~limits ~deadline
+                ~emit
+          | T_root root ->
+              Block_enum.search_root cfg ~spec ~solver ~stats ~limits
+                ~deadline ~emit root
+        with Block_enum.Budget_exhausted -> Atomic.set exhausted true
+    done
+  in
+  let workers = max 1 cfg.Config.num_workers in
+  if workers = 1 then worker ()
+  else begin
+    let domains =
+      List.init (min workers (Array.length tasks)) (fun _ ->
+          Domain.spawn worker)
+    in
+    List.iter Domain.join domains
+  end;
+  (!candidates, Atomic.get exhausted)
+
+let run ?config ?(verify_trials = 2) ?(verify_all = false)
+    ~(device : Gpusim.Device.t) ~spec () =
+  let cfg =
+    match config with Some c -> c | None -> Config.for_spec spec
+  in
+  let solver = Smtlite.Solver.create ~target:(Abstract.output_exprs spec) in
+  let stats = Stats.create () in
+  let limits = Gpusim.Device.limits device in
+  let candidates, budget_exhausted =
+    generate cfg ~spec ~solver ~stats ~limits
+  in
+  (* Cost first (cheap), then verify cheapest-first with a single random
+     test, stopping at the first success unless [verify_all]. *)
+  let costed =
+    List.sort
+      (fun (_, a) (_, b) ->
+        Float.compare a.Gpusim.Cost.total_us b.Gpusim.Cost.total_us)
+      (List.map (fun g -> (g, Gpusim.Cost.cost device g)) candidates)
+  in
+  let finish g =
+    Stats.bump_verified stats;
+    let g =
+      if cfg.Config.use_thread_fusion then Thread_fuse.fuse_kernel g else g
+    in
+    { graph = g; cost = Gpusim.Cost.cost device g }
+  in
+  let verified =
+    if verify_all then
+      List.filter_map
+        (fun (g, _) ->
+          match
+            Verify.Random_test.equivalent ~trials:verify_trials ~spec g
+          with
+          | Verify.Random_test.Equivalent -> Some (finish g)
+          | Verify.Random_test.Not_equivalent _
+          | Verify.Random_test.Rejected _ ->
+              None)
+        costed
+    else
+      let rec first = function
+        | [] -> []
+        | (g, _) :: rest -> (
+            match Verify.Random_test.equivalent ~trials:1 ~spec g with
+            | Verify.Random_test.Equivalent -> (
+                (* confirm the winner with the full trial count *)
+                match
+                  Verify.Random_test.equivalent ~trials:verify_trials ~spec g
+                with
+                | Verify.Random_test.Equivalent -> [ finish g ]
+                | Verify.Random_test.Not_equivalent _
+                | Verify.Random_test.Rejected _ ->
+                    first rest)
+            | Verify.Random_test.Not_equivalent _
+            | Verify.Random_test.Rejected _ ->
+                first rest)
+      in
+      first costed
+  in
+  (* The input program always participates, so the optimizer never
+     regresses. *)
+  let spec_result = { graph = spec; cost = Gpusim.Cost.cost device spec } in
+  let all =
+    List.sort
+      (fun a b ->
+        Float.compare a.cost.Gpusim.Cost.total_us b.cost.Gpusim.Cost.total_us)
+      (spec_result :: verified)
+  in
+  {
+    best = (match all with [] -> None | r :: _ -> Some r);
+    verified = all;
+    generated = List.length candidates;
+    stats = Stats.snapshot stats;
+    solver = Smtlite.Solver.stats solver;
+    budget_exhausted;
+  }
+
+let search_time ?config ~spec () =
+  let cfg =
+    match config with Some c -> c | None -> Config.for_spec spec
+  in
+  let solver = Smtlite.Solver.create ~target:(Abstract.output_exprs spec) in
+  let stats = Stats.create () in
+  let limits = Memory.default_limits in
+  let t0 = Unix.gettimeofday () in
+  let _, exhausted = generate cfg ~spec ~solver ~stats ~limits in
+  (Unix.gettimeofday () -. t0, exhausted)

@@ -1,0 +1,166 @@
+open Tensor
+open Mugraph
+
+type entry = {
+  kop : Graph.kernel_op;
+  kins : Graph.tensor_ref list;
+  shape : Shape.t;
+  nf : Absexpr.Nf.t;
+}
+
+type state = {
+  entries : entry list;  (** reversed *)
+  count : int;
+  ops : int;
+  last_rank : Canon.rank option;
+}
+
+let entry_at st i = List.nth st.entries (st.count - 1 - i)
+
+let instantiate menu shape =
+  List.concat_map
+    (fun p ->
+      match p with
+      | Op.Sum _ ->
+          List.init (Shape.rank shape) (fun d ->
+              if shape.(d) > 1 then [ Op.Sum { dim = d; group = shape.(d) } ]
+              else [])
+          |> List.concat
+      | Op.Unary _ -> [ p ]
+      | _ -> [])
+    menu
+
+let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline ~emit =
+  let input_shapes = Graph.input_shapes spec in
+  let input_names = Graph.input_names spec in
+  let spec_outs =
+    List.map2
+      (fun e s -> (Absexpr.Nf.of_expr e, s))
+      (Abstract.output_exprs spec)
+      (Infer.output_shapes spec)
+  in
+  let budget_check () =
+    if
+      cfg.Config.node_budget > 0
+      && (Stats.snapshot stats).Stats.expanded > cfg.Config.node_budget
+    then raise Block_enum.Budget_exhausted;
+    if deadline > 0.0 && Unix.gettimeofday () > deadline then
+      raise Block_enum.Budget_exhausted
+  in
+  let init =
+    let entries =
+      List.map2
+        (fun name shape ->
+          {
+            kop = Graph.K_input { name; shape };
+            kins = [];
+            shape = Shape.create shape;
+            nf = Absexpr.Nf.nf_var name;
+          })
+        input_names input_shapes
+    in
+    {
+      entries = List.rev entries;
+      count = List.length entries;
+      ops = 0;
+      last_rank = None;
+    }
+  in
+  let try_complete st =
+    (* every output needs a distinct matching entry (non-input) *)
+    let matches =
+      List.map
+        (fun (nf, target) ->
+          List.init st.count (fun i -> (i, entry_at st i))
+          |> List.filter_map (fun (i, e) ->
+                 match e.kop with
+                 | Graph.K_input _ -> None
+                 | _ ->
+                     if Shape.equal e.shape target && Absexpr.Nf.equal e.nf nf
+                     then Some i
+                     else None))
+        spec_outs
+    in
+    if List.for_all (fun l -> l <> []) matches then begin
+      let outputs =
+        List.map (fun l -> { Graph.node = List.hd l; port = 0 }) matches
+      in
+      let knodes =
+        Array.of_list
+          (List.rev_map
+             (fun e -> { Graph.kop = e.kop; kins = e.kins })
+             st.entries)
+      in
+      match Graph.validate { Graph.knodes; outputs } with
+      | () ->
+          let g = { Graph.knodes; outputs } in
+          if Memory.check limits g then begin
+            Stats.bump_candidates stats;
+            emit g
+          end
+      | exception Graph.Ill_formed _ -> ()
+    end
+  in
+  let rec extend st =
+    budget_check ();
+    Stats.bump_expanded stats;
+    try_complete st;
+    if st.ops < cfg.Config.max_kernel_ops then begin
+      let rank_ok kop kins =
+        match st.last_rank with
+        | None -> true
+        | Some r -> Canon.compare_rank r (Canon.R_kernel (kins, kop)) <= 0
+      in
+      let try_prim p bins =
+        let ins = List.map (entry_at st) bins in
+        let kins = List.map (fun i -> { Graph.node = i; port = 0 }) bins in
+        if rank_ok (Graph.K_prim p) kins then begin
+          let shapes = List.map (fun e -> e.shape) ins in
+          match Op.infer_shape_opt p shapes with
+          | Some shape ->
+              let nf =
+                Abstract.prim_nf p ~in_shapes:shapes
+                  (List.map (fun e -> e.nf) ins)
+              in
+              let duplicate =
+                List.exists
+                  (fun e ->
+                    Shape.equal e.shape shape && Absexpr.Nf.equal e.nf nf)
+                  st.entries
+              in
+              if duplicate then Stats.bump_duplicates stats
+              else if
+                cfg.Config.use_abstract_pruning
+                && not (Smtlite.Solver.check_subexpr_nf solver nf)
+              then Stats.bump_pruned stats
+              else
+                extend
+                  {
+                    entries =
+                      { kop = Graph.K_prim p; kins; shape; nf } :: st.entries;
+                    count = st.count + 1;
+                    ops = st.ops + 1;
+                    last_rank = Some (Canon.R_kernel (kins, Graph.K_prim p));
+                  }
+          | None -> Stats.bump_shape stats
+        end
+      in
+      for i = 0 to st.count - 1 do
+        let e = entry_at st i in
+        List.iter
+          (fun p -> try_prim p [ i ])
+          (instantiate cfg.Config.kernel_op_menu e.shape);
+        for j = 0 to st.count - 1 do
+          List.iter
+            (fun p ->
+              match p with
+              | Op.Binary (Op.Add | Op.Mul) when i <= j -> try_prim p [ i; j ]
+              | Op.Binary Op.Div -> try_prim p [ i; j ]
+              | Op.Matmul -> try_prim p [ i; j ]
+              | _ -> ())
+            cfg.Config.kernel_op_menu
+        done
+      done
+    end
+  in
+  extend init

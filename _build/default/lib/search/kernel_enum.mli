@@ -1,0 +1,17 @@
+(** Kernel-level enumeration: sequences of pre-defined kernel operators
+    whose outputs match the specification — the TASO/PET-style algebraic
+    slice of Mirage's search space (no custom kernels). Shares the
+    canonical-rank discipline and abstract-expression pruning with the
+    block enumerator. *)
+
+open Mugraph
+
+val search :
+  Config.t ->
+  spec:Graph.kernel_graph ->
+  solver:Smtlite.Solver.t ->
+  stats:Stats.t ->
+  limits:Memory.limits ->
+  deadline:float ->
+  emit:(Graph.kernel_graph -> unit) ->
+  unit

@@ -1,0 +1,56 @@
+type snapshot = {
+  expanded : int;
+  shape_rejected : int;
+  memory_rejected : int;
+  pruned_abstract : int;
+  canonical_rejected : int;
+  candidates : int;
+  verified : int;
+  duplicates : int;
+  elapsed_s : float;
+}
+
+type t = {
+  counters : int Atomic.t array;
+  start : float;
+}
+
+let n_counters = 8
+
+let create () =
+  {
+    counters = Array.init n_counters (fun _ -> Atomic.make 0);
+    start = Unix.gettimeofday ();
+  }
+
+let bump t i = Atomic.incr t.counters.(i)
+
+let bump_expanded t = bump t 0
+let bump_shape t = bump t 1
+let bump_memory t = bump t 2
+let bump_pruned t = bump t 3
+let bump_canonical t = bump t 4
+let bump_candidates t = bump t 5
+let bump_verified t = bump t 6
+let bump_duplicates t = bump t 7
+
+let snapshot t =
+  let g i = Atomic.get t.counters.(i) in
+  {
+    expanded = g 0;
+    shape_rejected = g 1;
+    memory_rejected = g 2;
+    pruned_abstract = g 3;
+    canonical_rejected = g 4;
+    candidates = g 5;
+    verified = g 6;
+    duplicates = g 7;
+    elapsed_s = Unix.gettimeofday () -. t.start;
+  }
+
+let to_string s =
+  Printf.sprintf
+    "expanded=%d shape-=%d mem-=%d pruned=%d canon-=%d candidates=%d \
+     verified=%d dup=%d in %.2fs"
+    s.expanded s.shape_rejected s.memory_rejected s.pruned_abstract
+    s.canonical_rejected s.candidates s.verified s.duplicates s.elapsed_s

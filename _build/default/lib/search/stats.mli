@@ -1,0 +1,28 @@
+(** Search statistics: how many prefixes were expanded, and why candidates
+    were discarded. Thread-safe; shared across search workers. *)
+
+type snapshot = {
+  expanded : int;  (** prefixes popped and extended *)
+  shape_rejected : int;
+  memory_rejected : int;
+  pruned_abstract : int;  (** rejected by the subexpression check *)
+  canonical_rejected : int;
+  candidates : int;  (** complete muGraphs submitted to verification *)
+  verified : int;
+  duplicates : int;
+  elapsed_s : float;
+}
+
+type t
+
+val create : unit -> t
+val bump_expanded : t -> unit
+val bump_shape : t -> unit
+val bump_memory : t -> unit
+val bump_pruned : t -> unit
+val bump_canonical : t -> unit
+val bump_candidates : t -> unit
+val bump_verified : t -> unit
+val bump_duplicates : t -> unit
+val snapshot : t -> snapshot
+val to_string : snapshot -> string

@@ -1,0 +1,167 @@
+open Mugraph
+
+let fusable (p : Op.prim) =
+  match p with
+  | Op.Binary _ | Op.Unary (Op.Exp | Op.Sqr | Op.Sqrt | Op.Silu) -> true
+  | _ -> false
+
+(* View a fusable block node as a thread graph over its block inputs. *)
+let as_thread_graph (node : Graph.block_node) :
+    (Graph.thread_graph * int list) option =
+  match node.bop with
+  | Graph.B_prim p when fusable p ->
+      let n_in = List.length node.bins in
+      let tnodes =
+        Array.init (n_in + 1) (fun i ->
+            if i < n_in then { Graph.top = Graph.T_input i; tins = [] }
+            else { Graph.top = Graph.T_prim p; tins = List.init n_in Fun.id })
+      in
+      Some ({ Graph.tnodes }, node.bins)
+  | Graph.B_threadgraph tg -> Some (tg, node.bins)
+  | _ -> None
+
+(* Merge producer [a] (block node index ia) into consumer [b]: the result
+   is a thread graph over the union of their block inputs. *)
+let merge ~ia (tga, bins_a) (tgb, bins_b) : Graph.thread_graph * int list =
+  let bins =
+    bins_a @ List.filter (fun j -> j <> ia) bins_b
+    |> List.sort_uniq Stdlib.compare
+  in
+  let pos j =
+    let rec go k = function
+      | [] -> assert false
+      | x :: rest -> if x = j then k else go (k + 1) rest
+    in
+    go 0 bins
+  in
+  let n_in = List.length bins in
+  let input_nodes =
+    List.init n_in (fun i -> { Graph.top = Graph.T_input i; tins = [] })
+  in
+  (* Inline a's computation nodes after the inputs. *)
+  let remap_a = Array.make (Array.length tga.Graph.tnodes) 0 in
+  let a_nodes = ref [] in
+  let next = ref n_in in
+  let bins_a_arr = Array.of_list bins_a in
+  Array.iteri
+    (fun i (tn : Graph.thread_node) ->
+      match tn.top with
+      | Graph.T_input k -> remap_a.(i) <- pos bins_a_arr.(k)
+      | Graph.T_prim p ->
+          a_nodes :=
+            { Graph.top = Graph.T_prim p;
+              tins = List.map (fun j -> remap_a.(j)) tn.tins }
+            :: !a_nodes;
+          remap_a.(i) <- !next;
+          incr next)
+    tga.Graph.tnodes;
+  let a_output = remap_a.(Array.length tga.Graph.tnodes - 1) in
+  (* Inline b's nodes; references to input ia become a's output. *)
+  let remap_b = Array.make (Array.length tgb.Graph.tnodes) 0 in
+  let b_nodes = ref [] in
+  let bins_b_arr = Array.of_list bins_b in
+  Array.iteri
+    (fun i (tn : Graph.thread_node) ->
+      match tn.top with
+      | Graph.T_input k ->
+          remap_b.(i) <-
+            (if bins_b_arr.(k) = ia then a_output else pos bins_b_arr.(k))
+      | Graph.T_prim p ->
+          b_nodes :=
+            { Graph.top = Graph.T_prim p;
+              tins = List.map (fun j -> remap_b.(j)) tn.tins }
+            :: !b_nodes;
+          remap_b.(i) <- !next;
+          incr next)
+    tgb.Graph.tnodes;
+  let tnodes =
+    Array.of_list (input_nodes @ List.rev !a_nodes @ List.rev !b_nodes)
+  in
+  ({ Graph.tnodes }, bins)
+
+let consumers_of (bg : Graph.block_graph) =
+  let n = Array.length bg.bnodes in
+  let cons = Array.make n [] in
+  Array.iteri
+    (fun i (node : Graph.block_node) ->
+      List.iter (fun j -> cons.(j) <- i :: cons.(j)) node.bins)
+    bg.bnodes;
+  cons
+
+(* One fusion step: find a fusable producer with a single fusable
+   consumer; merge and remove the producer. *)
+let fuse_once (bg : Graph.block_graph) : Graph.block_graph option =
+  let cons = consumers_of bg in
+  let n = Array.length bg.bnodes in
+  let found = ref None in
+  let i = ref 0 in
+  while !found = None && !i < n do
+    let ia = !i in
+    (match as_thread_graph bg.bnodes.(ia) with
+    | Some a_view -> (
+        match cons.(ia) with
+        | [ ib ] -> (
+            match as_thread_graph bg.bnodes.(ib) with
+            | Some b_view -> found := Some (ia, ib, a_view, b_view)
+            | None -> ())
+        | _ -> ())
+    | None -> ());
+    incr i
+  done;
+  match !found with
+  | None -> None
+  | Some (ia, ib, a_view, b_view) ->
+      let tg, bins = merge ~ia a_view b_view in
+      (* Rebuild without node ia; indices above ia shift down. *)
+      let shift j = if j > ia then j - 1 else j in
+      let bnodes =
+        Array.of_list
+          (Array.to_list bg.bnodes
+          |> List.mapi (fun i node -> (i, node))
+          |> List.filter_map (fun (i, (node : Graph.block_node)) ->
+                 if i = ia then None
+                 else if i = ib then
+                   Some
+                     { Graph.bop = Graph.B_threadgraph tg;
+                       bins = List.map shift bins }
+                 else
+                   Some { node with Graph.bins = List.map shift node.bins }))
+      in
+      Some { bg with Graph.bnodes = bnodes }
+
+let rec fuse_block bg =
+  match fuse_once bg with None -> bg | Some bg' -> fuse_block bg'
+
+let fuse_kernel (g : Graph.kernel_graph) =
+  {
+    g with
+    Graph.knodes =
+      Array.map
+        (fun (node : Graph.kernel_node) ->
+          match node.kop with
+          | Graph.K_graphdef bg ->
+              { node with Graph.kop = Graph.K_graphdef (fuse_block bg) }
+          | Graph.K_input _ | Graph.K_prim _ -> node)
+        g.knodes;
+  }
+
+let fused_op_count (g : Graph.kernel_graph) =
+  Array.fold_left
+    (fun acc (node : Graph.kernel_node) ->
+      match node.kop with
+      | Graph.K_graphdef bg ->
+          Array.fold_left
+            (fun acc (bn : Graph.block_node) ->
+              match bn.bop with
+              | Graph.B_threadgraph tg ->
+                  acc
+                  + Array.fold_left
+                      (fun acc (tn : Graph.thread_node) ->
+                        match tn.top with
+                        | Graph.T_prim _ -> acc + 1
+                        | Graph.T_input _ -> acc)
+                      0 tg.Graph.tnodes
+              | _ -> acc)
+            acc bg.Graph.bnodes
+      | Graph.K_input _ | Graph.K_prim _ -> acc)
+    0 g.knodes

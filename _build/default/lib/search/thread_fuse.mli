@@ -1,0 +1,17 @@
+(** Rule-based thread-graph construction (paper §4.2, Algorithm 1 lines
+    16-23): chains of elementwise block operators whose intermediates
+    have a single consumer are replaced by graph-defined block operators
+    (thread graphs), keeping the intermediates in register files. *)
+
+val fusable : Mugraph.Op.prim -> bool
+(** Elementwise operators allowed at the thread level. *)
+
+val fuse_block : Mugraph.Graph.block_graph -> Mugraph.Graph.block_graph
+(** Fixpoint of pairwise fusion. The result computes the same function
+    (thread graphs are inlined by the interpreter). *)
+
+val fuse_kernel : Mugraph.Graph.kernel_graph -> Mugraph.Graph.kernel_graph
+(** Apply [fuse_block] to every graph-defined kernel operator. *)
+
+val fused_op_count : Mugraph.Graph.kernel_graph -> int
+(** Number of operators living inside thread graphs (for reporting). *)

@@ -1,0 +1,1 @@
+lib/smtlite/solver.ml: Absexpr Atomic Domain Hashtbl List Mutex

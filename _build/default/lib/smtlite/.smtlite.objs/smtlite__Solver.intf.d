@@ -1,0 +1,1 @@
+lib/smtlite/solver.mli: Absexpr

@@ -1,0 +1,92 @@
+module Nf = Absexpr.Nf
+
+type stats = {
+  queries : int;
+  cache_hits : int;
+  cache_misses : int;
+  accepted : int;
+}
+
+type t = {
+  id : int;
+  goals : Nf.t list;
+  cache : (Nf.t, bool) Hashtbl.t;  (** shared across domains, locked *)
+  lock : Mutex.t;
+  queries : int Atomic.t;
+  cache_hits : int Atomic.t;
+  cache_misses : int Atomic.t;
+  accepted : int Atomic.t;
+}
+
+let next_id = Atomic.make 0
+
+(* Per-domain front cache: lock-free fast path for the generator's hot
+   loop. Keyed by solver id so several solvers coexist. *)
+let local_caches : (int * Nf.t, bool) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
+
+let create ~target =
+  {
+    id = Atomic.fetch_and_add next_id 1;
+    goals = List.map Nf.of_expr target;
+    cache = Hashtbl.create 4096;
+    lock = Mutex.create ();
+    queries = Atomic.make 0;
+    cache_hits = Atomic.make 0;
+    cache_misses = Atomic.make 0;
+    accepted = Atomic.make 0;
+  }
+
+let check_subexpr_nf t nf =
+  Atomic.incr t.queries;
+  let local = Domain.DLS.get local_caches in
+  match Hashtbl.find_opt local (t.id, nf) with
+  | Some r ->
+      Atomic.incr t.cache_hits;
+      if r then Atomic.incr t.accepted;
+      r
+  | None ->
+      let shared =
+        Mutex.lock t.lock;
+        let r = Hashtbl.find_opt t.cache nf in
+        Mutex.unlock t.lock;
+        r
+      in
+      let r =
+        match shared with
+        | Some r ->
+            Atomic.incr t.cache_hits;
+            r
+        | None ->
+            Atomic.incr t.cache_misses;
+            let r = List.exists (fun goal -> Nf.is_subexpr nf goal) t.goals in
+            Mutex.lock t.lock;
+            Hashtbl.replace t.cache nf r;
+            Mutex.unlock t.lock;
+            r
+      in
+      Hashtbl.replace local (t.id, nf) r;
+      if r then Atomic.incr t.accepted;
+      r
+
+let check_subexpr t e = check_subexpr_nf t (Nf.of_expr e)
+
+let check_equiv_target t es =
+  let candidate = List.sort Nf.compare (List.map Nf.of_expr es) in
+  let goals = List.sort Nf.compare t.goals in
+  List.length candidate = List.length goals
+  && List.for_all2 Nf.equal candidate goals
+
+let stats t =
+  {
+    queries = Atomic.get t.queries;
+    cache_hits = Atomic.get t.cache_hits;
+    cache_misses = Atomic.get t.cache_misses;
+    accepted = Atomic.get t.accepted;
+  }
+
+let reset_stats t =
+  Atomic.set t.queries 0;
+  Atomic.set t.cache_hits 0;
+  Atomic.set t.cache_misses 0;
+  Atomic.set t.accepted 0

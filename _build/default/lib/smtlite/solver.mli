@@ -1,0 +1,39 @@
+(** The solver front-end used by the generator for abstract-expression
+    queries — the stand-in for Z3 in the paper's implementation (§4.3:
+    "check results are cached and reused, since during the search Mirage
+    may encounter multiple muGraphs with identical abstract expressions
+    and SMT queries are relatively expensive").
+
+    Queries of the form [subexpr(E(G), E_O)] are decided by the normal-form
+    procedure in {!Absexpr.Nf} and memoized on the *normal form* of the
+    left-hand side, so syntactically different prefixes with equal abstract
+    expressions hit the cache. Thread-safe: a solver may be shared across
+    search domains. *)
+
+type t
+
+type stats = {
+  queries : int;  (** total subexpr queries issued *)
+  cache_hits : int;
+  cache_misses : int;
+  accepted : int;  (** queries that returned true *)
+}
+
+val create : target:Absexpr.Expr.t list -> t
+(** A solver for a fixed set of goal expressions [E_O] (one per output of
+    the reference program). A query succeeds if the candidate expression is
+    a subexpression of at least one goal. *)
+
+val check_subexpr : t -> Absexpr.Expr.t -> bool
+(** Memoized [A_eq ∪ A_sub ⊨ subexpr(e, E_O)]. *)
+
+val check_subexpr_nf : t -> Absexpr.Nf.t -> bool
+(** Same, when the caller already normalized. *)
+
+val check_equiv_target : t -> Absexpr.Expr.t list -> bool
+(** Whether candidate outputs are [A_eq]-equivalent to the goals, as a
+    multiset (used to decide that a candidate muGraph is complete before
+    handing it to the probabilistic verifier). *)
+
+val stats : t -> stats
+val reset_stats : t -> unit

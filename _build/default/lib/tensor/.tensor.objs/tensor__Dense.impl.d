@@ -1,0 +1,1 @@
+lib/tensor/dense.ml: Array Buffer Element Format List Printf Shape

@@ -1,0 +1,1 @@
+lib/tensor/dense.mli: Element Format Shape

@@ -1,0 +1,1 @@
+lib/tensor/element.ml: Ffield Float Fpair Printf Stdlib

@@ -1,0 +1,1 @@
+lib/tensor/element.mli: Ffield

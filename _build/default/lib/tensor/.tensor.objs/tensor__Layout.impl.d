@@ -1,0 +1,1 @@
+lib/tensor/layout.ml: Array Format Shape String

@@ -1,0 +1,237 @@
+type 'a t = { shape : Shape.t; data : 'a array }
+
+let create shape data =
+  if Array.length data <> Shape.numel shape then
+    invalid_arg
+      (Printf.sprintf "Dense.create: %d elements for shape %s"
+         (Array.length data) (Shape.to_string shape));
+  { shape = Shape.create shape; data = Array.copy data }
+
+let init shape f =
+  let shape = Shape.create shape in
+  let n = Shape.numel shape in
+  if n = 0 then { shape; data = [||] }
+  else begin
+    let data = Array.make n (f (Shape.coords_of_index shape 0)) in
+    let i = ref 0 in
+    Shape.iter_coords shape (fun coords ->
+        data.(!i) <- f coords;
+        incr i);
+    { shape; data }
+  end
+
+let fill shape v = { shape = Shape.create shape; data = Array.make (Shape.numel shape) v }
+let scalar v = { shape = [||]; data = [| v |] }
+
+let of_list shape l = create shape (Array.of_list l)
+let shape t = t.shape
+let numel t = Array.length t.data
+
+let get t coords =
+  let strides = Shape.row_major_strides t.shape in
+  t.data.(Shape.index_of_coords ~strides coords)
+
+let get_linear t i = t.data.(i)
+
+let equal eq a b =
+  Shape.equal a.shape b.shape
+  && Array.for_all2 (fun x y -> eq x y) a.data b.data
+
+let map f t = { shape = t.shape; data = Array.map f t.data }
+
+(* Right-aligned broadcast index: map a coordinate of the result shape to
+   the linear index in [t]. *)
+let broadcast_get t result_shape =
+  let rt = Shape.rank t.shape and rr = Shape.rank result_shape in
+  let strides = Shape.row_major_strides t.shape in
+  fun coords ->
+    let idx = ref 0 in
+    for i = 0 to rt - 1 do
+      let c = coords.(rr - rt + i) in
+      let c = if t.shape.(i) = 1 then 0 else c in
+      idx := !idx + (c * strides.(i))
+    done;
+    t.data.(!idx)
+
+let map2 _ops f a b =
+  let result_shape = Shape.broadcast a.shape b.shape in
+  let ga = broadcast_get a result_shape and gb = broadcast_get b result_shape in
+  init result_shape (fun coords -> f (ga coords) (gb coords))
+
+let matmul ops a b =
+  let ra = Shape.rank a.shape and rb = Shape.rank b.shape in
+  if ra < 2 || rb < 2 then invalid_arg "Dense.matmul: rank must be >= 2";
+  let m = a.shape.(ra - 2) and k = a.shape.(ra - 1) in
+  let k' = b.shape.(rb - 2) and n = b.shape.(rb - 1) in
+  if k <> k' then
+    invalid_arg
+      (Printf.sprintf "Dense.matmul: inner dims %d vs %d (shapes %s x %s)" k
+         k'
+         (Shape.to_string a.shape)
+         (Shape.to_string b.shape));
+  let batch_a = Array.sub a.shape 0 (ra - 2)
+  and batch_b = Array.sub b.shape 0 (rb - 2) in
+  let batch = Shape.broadcast batch_a batch_b in
+  let result_shape = Array.append batch [| m; n |] in
+  let rbatch = Array.length batch in
+  (* Pre-fetch broadcast accessors over the batch dims only. *)
+  let sa = Shape.row_major_strides a.shape
+  and sb = Shape.row_major_strides b.shape in
+  let base_of t strides tr coords =
+    (* linear offset of the [.,0,0] element of the batch given result batch
+       coords; broadcast where the tensor's batch dim is 1. *)
+    let rt = tr - 2 in
+    let off = ref 0 in
+    for i = 0 to rt - 1 do
+      let c = coords.(rbatch - rt + i) in
+      let c = if t.shape.(i) = 1 then 0 else c in
+      off := !off + (c * strides.(i))
+    done;
+    !off
+  in
+  init result_shape (fun coords ->
+      let bc = Array.sub coords 0 rbatch in
+      let i = coords.(rbatch) and j = coords.(rbatch + 1) in
+      let base_a = base_of a sa ra bc and base_b = base_of b sb rb bc in
+      let acc = ref ops.Element.zero in
+      for l = 0 to k - 1 do
+        let av = a.data.(base_a + (i * sa.(ra - 2)) + (l * sa.(ra - 1))) in
+        let bv = b.data.(base_b + (l * sb.(rb - 2)) + (j * sb.(rb - 1))) in
+        acc := ops.Element.add !acc (ops.Element.mul av bv)
+      done;
+      !acc)
+
+let sum_grouped ops ~dim ~group t =
+  let r = Shape.rank t.shape in
+  if dim < 0 || dim >= r then invalid_arg "Dense.sum_grouped: bad dim";
+  if group <= 0 || t.shape.(dim) mod group <> 0 then
+    invalid_arg
+      (Printf.sprintf "Dense.sum_grouped: group %d does not divide dim %d"
+         group t.shape.(dim));
+  let out_shape = Array.copy t.shape in
+  out_shape.(dim) <- t.shape.(dim) / group;
+  let strides = Shape.row_major_strides t.shape in
+  init out_shape (fun coords ->
+      let base = Array.copy coords in
+      base.(dim) <- coords.(dim) * group;
+      let off = Shape.index_of_coords ~strides base in
+      let acc = ref ops.Element.zero in
+      for g = 0 to group - 1 do
+        acc := ops.Element.add !acc t.data.(off + (g * strides.(dim)))
+      done;
+      !acc)
+
+let repeat _ops ~dim ~times t =
+  let r = Shape.rank t.shape in
+  if dim < 0 || dim >= r || times <= 0 then invalid_arg "Dense.repeat";
+  let out_shape = Shape.scale_dim t.shape ~dim ~times in
+  init out_shape (fun coords ->
+      let c = Array.copy coords in
+      c.(dim) <- coords.(dim) mod t.shape.(dim);
+      get t c)
+
+let reshape new_shape t =
+  let new_shape = Shape.create new_shape in
+  if Shape.numel new_shape <> numel t then
+    invalid_arg
+      (Printf.sprintf "Dense.reshape: %s -> %s" (Shape.to_string t.shape)
+         (Shape.to_string new_shape));
+  { shape = new_shape; data = Array.copy t.data }
+
+let slice ~dim ~index ~chunks t =
+  let r = Shape.rank t.shape in
+  if dim < 0 || dim >= r then invalid_arg "Dense.slice: bad dim";
+  if not (Shape.divides t.shape ~chunks ~dim) then
+    invalid_arg
+      (Printf.sprintf "Dense.slice: %d chunks of dim %d in %s" chunks dim
+         (Shape.to_string t.shape));
+  if index < 0 || index >= chunks then invalid_arg "Dense.slice: bad index";
+  let chunk = t.shape.(dim) / chunks in
+  let out_shape = Shape.split_dim t.shape ~dim ~chunks in
+  init out_shape (fun coords ->
+      let c = Array.copy coords in
+      c.(dim) <- (index * chunk) + coords.(dim);
+      get t c)
+
+let concat ~dim ts =
+  match ts with
+  | [] -> invalid_arg "Dense.concat: empty"
+  | first :: rest ->
+      let r = Shape.rank first.shape in
+      if dim < 0 || dim >= r then invalid_arg "Dense.concat: bad dim";
+      List.iter
+        (fun t ->
+          if Shape.rank t.shape <> r then
+            invalid_arg "Dense.concat: rank mismatch";
+          Array.iteri
+            (fun i d ->
+              if i <> dim && d <> first.shape.(i) then
+                invalid_arg "Dense.concat: shape mismatch off-axis")
+            t.shape)
+        rest;
+      let total = List.fold_left (fun acc t -> acc + t.shape.(dim)) 0 ts in
+      let out_shape = Array.copy first.shape in
+      out_shape.(dim) <- total;
+      let pieces = Array.of_list ts in
+      (* Prefix offsets along [dim]. *)
+      let offsets = Array.make (Array.length pieces) 0 in
+      let acc = ref 0 in
+      Array.iteri
+        (fun i t ->
+          offsets.(i) <- !acc;
+          acc := !acc + t.shape.(dim))
+        pieces;
+      init out_shape (fun coords ->
+          let d = coords.(dim) in
+          (* Find the piece containing coordinate d. *)
+          let rec find i =
+            if
+              i = Array.length pieces - 1
+              || d < offsets.(i) + pieces.(i).shape.(dim)
+            then i
+            else find (i + 1)
+          in
+          let i = find 0 in
+          let c = Array.copy coords in
+          c.(dim) <- d - offsets.(i);
+          get pieces.(i) c)
+
+let add_inplace_like ops a b =
+  if not (Shape.equal a.shape b.shape) then
+    invalid_arg "Dense.add_inplace_like: shape mismatch";
+  { shape = a.shape; data = Array.map2 ops.Element.add a.data b.data }
+
+let transpose_last2 t =
+  let r = Shape.rank t.shape in
+  if r < 2 then invalid_arg "Dense.transpose_last2: rank < 2";
+  let out_shape = Array.copy t.shape in
+  out_shape.(r - 2) <- t.shape.(r - 1);
+  out_shape.(r - 1) <- t.shape.(r - 2);
+  init out_shape (fun coords ->
+      let c = Array.copy coords in
+      c.(r - 2) <- coords.(r - 1);
+      c.(r - 1) <- coords.(r - 2);
+      get t c)
+
+let to_string elt t =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Shape.to_string t.shape);
+  Buffer.add_char buf '{';
+  let n = min (numel t) 32 in
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_string buf ", ";
+    Buffer.add_string buf (elt t.data.(i))
+  done;
+  if numel t > n then Buffer.add_string buf ", ...";
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let pp elt fmt t =
+  Format.fprintf fmt "%s{" (Shape.to_string t.shape);
+  let n = min (numel t) 32 in
+  for i = 0 to n - 1 do
+    if i > 0 then Format.fprintf fmt ", ";
+    elt fmt t.data.(i)
+  done;
+  if numel t > n then Format.fprintf fmt ", ...";
+  Format.fprintf fmt "}"

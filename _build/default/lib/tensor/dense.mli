@@ -1,0 +1,64 @@
+(** Dense n-dimensional tensors over an arbitrary element domain.
+
+    Data is stored row-major; layouts (Layout.t) are a cost-model concern
+    and never change these functional semantics. Operations take the
+    element domain explicitly as an {!Element.ops} record. *)
+
+type 'a t = private { shape : Shape.t; data : 'a array }
+
+val create : Shape.t -> 'a array -> 'a t
+(** @raise Invalid_argument if [Array.length data <> Shape.numel shape]. *)
+
+val init : Shape.t -> (int array -> 'a) -> 'a t
+(** Element at each coordinate vector (row-major traversal). *)
+
+val fill : Shape.t -> 'a -> 'a t
+val scalar : 'a -> 'a t
+(** Rank-0 tensor. *)
+
+val of_list : int array -> 'a list -> 'a t
+val shape : 'a t -> Shape.t
+val numel : 'a t -> int
+val get : 'a t -> int array -> 'a
+val get_linear : 'a t -> int -> 'a
+val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val map2 : 'a Element.ops -> ('a -> 'a -> 'a) -> 'a t -> 'a t -> 'a t
+(** Elementwise with right-aligned broadcasting (shapes must be
+    broadcast-compatible). *)
+
+val matmul : 'a Element.ops -> 'a t -> 'a t -> 'a t
+(** Batched matrix multiplication over the innermost two dimensions;
+    leading dimensions are batched with broadcasting (paper Table 1,
+    footnote 1). Ranks must be >= 2 and inner dims must agree. *)
+
+val sum_grouped : 'a Element.ops -> dim:int -> group:int -> 'a t -> 'a t
+(** Paper's [Sum(d_r, k_r, X)]: along dimension [dim], sum every [group]
+    consecutive elements, shrinking that dimension by a factor of
+    [group]. [group] must divide the dimension size. A full reduction is
+    [group = size of dim]. *)
+
+val repeat : 'a Element.ops -> dim:int -> times:int -> 'a t -> 'a t
+(** Tile the tensor [times] times along [dim]. *)
+
+val reshape : int array -> 'a t -> 'a t
+(** Same number of elements, row-major reinterpretation. *)
+
+val slice : dim:int -> index:int -> chunks:int -> 'a t -> 'a t
+(** Chunk [index] of [chunks] equal parts of dimension [dim] — the
+    partitioning primitive behind imap/fmap (paper Fig. 3). *)
+
+val concat : dim:int -> 'a t list -> 'a t
+(** Concatenate along [dim]; all other dims must agree. Inverse of
+    [slice]; implements omap assembly and fmap concatenation. *)
+
+val add_inplace_like : 'a Element.ops -> 'a t -> 'a t -> 'a t
+(** Elementwise sum of two same-shaped tensors (the Accum / phi case). *)
+
+val transpose_last2 : 'a t -> 'a t
+(** Swap the innermost two dimensions (rank >= 2). *)
+
+val to_string : ('a -> string) -> 'a t -> string
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,53 @@
+type 'a ops = {
+  zero : 'a;
+  one : 'a;
+  of_int : int -> 'a;
+  add : 'a -> 'a -> 'a;
+  sub : 'a -> 'a -> 'a;
+  mul : 'a -> 'a -> 'a;
+  div : 'a -> 'a -> 'a;
+  exp : 'a -> 'a;
+  sqrt : 'a -> 'a;
+  silu : 'a -> 'a;
+  relu : 'a -> 'a;
+  equal : 'a -> 'a -> bool;
+  to_string : 'a -> string;
+}
+
+let float_ops =
+  {
+    zero = 0.0;
+    one = 1.0;
+    of_int = float_of_int;
+    add = ( +. );
+    sub = ( -. );
+    mul = ( *. );
+    div = ( /. );
+    exp = Stdlib.exp;
+    sqrt = Stdlib.sqrt;
+    silu = (fun x -> x /. (1.0 +. Stdlib.exp (-.x)));
+    relu = (fun x -> Float.max 0.0 x);
+    equal = (fun a b -> Float.equal a b);
+    to_string = (fun x -> Printf.sprintf "%g" x);
+  }
+
+let float_approx_equal ?(rtol = 1e-9) ?(atol = 1e-12) a b =
+  Float.abs (a -. b) <= atol +. (rtol *. Float.max (Float.abs a) (Float.abs b))
+
+let fpair_ops ctx =
+  let open Ffield in
+  {
+    zero = Fpair.zero;
+    one = Fpair.one;
+    of_int = Fpair.of_int ctx;
+    add = Fpair.add ctx;
+    sub = Fpair.sub ctx;
+    mul = Fpair.mul ctx;
+    div = Fpair.div ctx;
+    exp = Fpair.exp ctx;
+    sqrt = Fpair.sqrt ctx;
+    silu = Fpair.silu ctx;
+    relu = (fun _ -> raise (Fpair.Unsupported "relu"));
+    equal = Fpair.equal;
+    to_string = Fpair.to_string;
+  }

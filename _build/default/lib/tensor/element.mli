@@ -1,0 +1,34 @@
+(** Element domains for tensor evaluation.
+
+    The muGraph interpreter is generic over the scalar domain: examples and
+    the cost model run over floats, the probabilistic verifier over
+    [Z_p x Z_q] (paper §5.2). A domain is a first-class record of
+    operations so that field parameters (p, q, omega) sampled at run time
+    can be captured in closures. *)
+
+type 'a ops = {
+  zero : 'a;
+  one : 'a;
+  of_int : int -> 'a;
+  add : 'a -> 'a -> 'a;
+  sub : 'a -> 'a -> 'a;
+  mul : 'a -> 'a -> 'a;
+  div : 'a -> 'a -> 'a;
+  exp : 'a -> 'a;
+  sqrt : 'a -> 'a;
+  silu : 'a -> 'a;
+  relu : 'a -> 'a;
+  equal : 'a -> 'a -> bool;
+  to_string : 'a -> string;
+}
+
+val float_ops : float ops
+(** IEEE floats with [exp]/[sqrt] from [Stdlib] and
+    [silu x = x / (1 + exp (-x))]. Equality is exact (used only on
+    bit-identical evaluation paths); see [float_approx_equal]. *)
+
+val float_approx_equal : ?rtol:float -> ?atol:float -> float -> float -> bool
+(** Tolerant comparison for cross-algorithm float checks in tests. *)
+
+val fpair_ops : Ffield.Fpair.ctx -> Ffield.Fpair.t ops
+(** The finite-field domain of paper Table 3 for a sampled context. *)

@@ -1,0 +1,74 @@
+type t = Row_major | Col_major | Permuted of int array
+
+let is_permutation p =
+  let n = Array.length p in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun i ->
+      if i < 0 || i >= n || seen.(i) then false
+      else begin
+        seen.(i) <- true;
+        true
+      end)
+    p
+
+let is_valid l shape =
+  match l with
+  | Row_major -> true
+  | Col_major -> Shape.rank shape >= 2
+  | Permuted p -> Array.length p = Shape.rank shape && is_permutation p
+
+(* [perm.(i)] gives the position of logical dim i in the memory order,
+   from outermost (0) to innermost (rank-1). *)
+let perm_of l shape =
+  let n = Shape.rank shape in
+  match l with
+  | Row_major -> Array.init n (fun i -> i)
+  | Col_major ->
+      if n < 2 then invalid_arg "Layout: Col_major needs rank >= 2";
+      Array.init n (fun i ->
+          if i = n - 1 then n - 2 else if i = n - 2 then n - 1 else i)
+  | Permuted p ->
+      if not (is_valid l shape) then invalid_arg "Layout: bad permutation";
+      Array.copy p
+
+let strides l shape =
+  let n = Shape.rank shape in
+  let perm = perm_of l shape in
+  (* Order logical dims by memory position, innermost last. *)
+  let order = Array.make n 0 in
+  Array.iteri (fun logical pos -> order.(pos) <- logical) perm;
+  let strides = Array.make n 1 in
+  let acc = ref 1 in
+  for pos = n - 1 downto 0 do
+    let logical = order.(pos) in
+    strides.(logical) <- !acc;
+    acc := !acc * shape.(logical)
+  done;
+  strides
+
+let innermost_dim l shape =
+  let perm = perm_of l shape in
+  let n = Shape.rank shape in
+  let inner = ref 0 in
+  Array.iteri (fun logical pos -> if pos = n - 1 then inner := logical) perm;
+  !inner
+
+let candidates shape =
+  if Shape.rank shape >= 2 then [ Row_major; Col_major ] else [ Row_major ]
+
+let equal a b =
+  match a, b with
+  | Row_major, Row_major | Col_major, Col_major -> true
+  | Permuted p, Permuted q -> p = q
+  | _ -> false
+
+let to_string = function
+  | Row_major -> "row-major"
+  | Col_major -> "col-major"
+  | Permuted p ->
+      "perm("
+      ^ String.concat "," (Array.to_list (Array.map string_of_int p))
+      ^ ")"
+
+let pp fmt l = Format.pp_print_string fmt (to_string l)

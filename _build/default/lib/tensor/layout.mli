@@ -1,0 +1,26 @@
+(** Tensor layouts: how a tensor is linearized in (device, shared, or
+    register) memory. Layout affects only performance, never function
+    (paper §2, "Tensor layout"), so the interpreter ignores it; the cost
+    model and the layout optimizer (§6) consume it. *)
+
+type t =
+  | Row_major
+  | Col_major  (** last two dims swapped; leading dims row-major *)
+  | Permuted of int array  (** arbitrary dimension permutation *)
+
+val strides : t -> Shape.t -> int array
+(** Memory strides of a shape under the layout. *)
+
+val innermost_dim : t -> Shape.t -> int
+(** The data dimension that is contiguous in memory (stride 1). *)
+
+val is_valid : t -> Shape.t -> bool
+(** [Permuted p] must be a permutation of [0 .. rank-1]; [Col_major]
+    requires rank >= 2. *)
+
+val candidates : Shape.t -> t list
+(** The layouts the optimizer enumerates for a tensor of this shape. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,97 @@
+type t = int array
+
+let create dims =
+  Array.iter
+    (fun d -> if d <= 0 then invalid_arg "Shape.create: dims must be positive")
+    dims;
+  Array.copy dims
+
+let rank s = Array.length s
+let numel s = Array.fold_left ( * ) 1 s
+let equal (a : t) (b : t) = a = b
+
+let to_string s =
+  "[" ^ String.concat "," (Array.to_list (Array.map string_of_int s)) ^ "]"
+
+let pp fmt s = Format.pp_print_string fmt (to_string s)
+
+let divides s ~chunks ~dim =
+  dim >= 0 && dim < rank s && chunks > 0 && s.(dim) mod chunks = 0
+
+let split_dim s ~dim ~chunks =
+  if not (divides s ~chunks ~dim) then
+    invalid_arg
+      (Printf.sprintf "Shape.split_dim: %s dim %d into %d chunks"
+         (to_string s) dim chunks);
+  let s' = Array.copy s in
+  s'.(dim) <- s.(dim) / chunks;
+  s'
+
+let scale_dim s ~dim ~times =
+  if dim < 0 || dim >= rank s || times <= 0 then
+    invalid_arg "Shape.scale_dim";
+  let s' = Array.copy s in
+  s'.(dim) <- s.(dim) * times;
+  s'
+
+let row_major_strides s =
+  let n = rank s in
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * s.(i + 1)
+  done;
+  strides
+
+let index_of_coords ~strides coords =
+  let acc = ref 0 in
+  for i = 0 to Array.length coords - 1 do
+    acc := !acc + (coords.(i) * strides.(i))
+  done;
+  !acc
+
+let coords_of_index s idx =
+  let strides = row_major_strides s in
+  Array.mapi (fun i _ -> idx / strides.(i) mod s.(i)) s
+
+let iter_coords s f =
+  let n = rank s in
+  if n = 0 then f [||]
+  else begin
+    let coords = Array.make n 0 in
+    let total = numel s in
+    for _ = 1 to total do
+      f coords;
+      (* Increment the coordinate vector as a mixed-radix counter. *)
+      let rec bump i =
+        if i >= 0 then begin
+          coords.(i) <- coords.(i) + 1;
+          if coords.(i) = s.(i) then begin
+            coords.(i) <- 0;
+            bump (i - 1)
+          end
+        end
+      in
+      bump (n - 1)
+    done
+  end
+
+let broadcast_compatible a b =
+  let ra = rank a and rb = rank b in
+  let r = min ra rb in
+  let ok = ref true in
+  for i = 1 to r do
+    let da = a.(ra - i) and db = b.(rb - i) in
+    if not (da = db || da = 1 || db = 1) then ok := false
+  done;
+  !ok
+
+let broadcast a b =
+  if not (broadcast_compatible a b) then
+    invalid_arg
+      (Printf.sprintf "Shape.broadcast: %s vs %s" (to_string a) (to_string b));
+  let ra = rank a and rb = rank b in
+  let r = max ra rb in
+  Array.init r (fun i ->
+      let da = if i + ra >= r then a.(i + ra - r) else 1 in
+      let db = if i + rb >= r then b.(i + rb - r) else 1 in
+      max da db)

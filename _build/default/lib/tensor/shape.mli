@@ -1,0 +1,43 @@
+(** Tensor shapes: immutable arrays of positive dimension sizes.
+
+    Dimension 0 is the outermost. Shapes carry no names; workloads document
+    their dimension conventions (paper Fig. 4 uses [b], [h], [d], [s]). *)
+
+type t = int array
+
+val create : int array -> t
+(** Validates all dims positive. The array is copied. *)
+
+val rank : t -> int
+val numel : t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val divides : t -> chunks:int -> dim:int -> bool
+(** Whether [dim]'s size is divisible into [chunks] equal parts
+    (the validity condition for imap/omap/fmap partitioning). *)
+
+val split_dim : t -> dim:int -> chunks:int -> t
+(** Shape of one chunk after partitioning [dim] into [chunks] parts. *)
+
+val scale_dim : t -> dim:int -> times:int -> t
+(** Shape with [dim] multiplied by [times] (concatenation result). *)
+
+val row_major_strides : t -> int array
+(** Strides for contiguous row-major layout. *)
+
+val index_of_coords : strides:int array -> int array -> int
+val coords_of_index : t -> int -> int array
+(** Row-major linearization helpers. *)
+
+val iter_coords : t -> (int array -> unit) -> unit
+(** Iterate over all coordinate vectors in row-major order. The callback
+    receives a scratch array it must not retain. *)
+
+val broadcast_compatible : t -> t -> bool
+(** Numpy-style right-aligned broadcast compatibility (each pair of dims
+    equal or one of them 1). *)
+
+val broadcast : t -> t -> t
+(** The broadcast result shape. @raise Invalid_argument if incompatible. *)

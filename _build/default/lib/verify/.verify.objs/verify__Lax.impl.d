@@ -1,0 +1,1 @@
+lib/verify/lax.ml: Array Graph List Mugraph Op Printf

@@ -1,0 +1,1 @@
+lib/verify/lax.mli: Mugraph

@@ -1,0 +1,1 @@
+lib/verify/random_test.ml: Dense Element Ffield Float Graph Hashtbl Infer Interp Lax List Mugraph Random Shape Stdlib Tensor

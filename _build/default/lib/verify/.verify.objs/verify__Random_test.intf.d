@@ -1,0 +1,1 @@
+lib/verify/random_test.mli: Mugraph

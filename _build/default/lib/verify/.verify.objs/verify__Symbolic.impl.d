@@ -1,0 +1,1 @@
+lib/verify/symbolic.ml: Dense Element Graph Interp List Mugraph Printf Shape Stdlib String Tensor

@@ -1,0 +1,1 @@
+lib/verify/symbolic.mli: Mugraph

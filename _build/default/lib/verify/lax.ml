@@ -1,0 +1,85 @@
+open Mugraph
+
+type verdict = Lax | Not_lax of string
+
+exception Found of string
+
+let prim_exp_delta = function Op.Unary Op.Exp -> 1 | _ -> 0
+
+let check_prim p =
+  if not (Op.is_lax p) then
+    raise (Found (Printf.sprintf "operator %s is not LAX" (Op.to_string p)))
+
+let max_ints = List.fold_left max 0
+
+let thread_depths (tg : Graph.thread_graph) ~input_depths =
+  let input_depths = Array.of_list input_depths in
+  let d = Array.make (Array.length tg.tnodes) 0 in
+  Array.iteri
+    (fun i (node : Graph.thread_node) ->
+      d.(i) <-
+        (match node.top with
+        | Graph.T_input k -> input_depths.(k)
+        | Graph.T_prim p ->
+            check_prim p;
+            max_ints (List.map (fun j -> d.(j)) node.tins)
+            + prim_exp_delta p))
+    tg.tnodes;
+  d.(Array.length d - 1)
+
+let block_output_depths (bg : Graph.block_graph) ~input_depths =
+  let input_depths = Array.of_list input_depths in
+  let d = Array.make (Array.length bg.bnodes) 0 in
+  Array.iteri
+    (fun i (node : Graph.block_node) ->
+      let ins = List.map (fun j -> d.(j)) node.bins in
+      d.(i) <-
+        (match node.bop with
+        | Graph.B_initer { input; _ } -> input_depths.(input)
+        | Graph.B_prim p ->
+            check_prim p;
+            max_ints ins + prim_exp_delta p
+        | Graph.B_accum _ | Graph.B_outsaver _ -> max_ints ins
+        | Graph.B_threadgraph tg -> thread_depths tg ~input_depths:ins))
+    bg.bnodes;
+  Array.to_list bg.bnodes
+  |> List.mapi (fun i (n : Graph.block_node) -> (i, n))
+  |> List.filter_map (fun (i, (n : Graph.block_node)) ->
+         match n.bop with Graph.B_outsaver _ -> Some d.(i) | _ -> None)
+
+let depths (g : Graph.kernel_graph) =
+  let d = Array.make (Array.length g.knodes) [||] in
+  Array.iteri
+    (fun i (node : Graph.kernel_node) ->
+      let ins =
+        List.map
+          (fun ({ node = j; port } : Graph.tensor_ref) -> d.(j).(port))
+          node.kins
+      in
+      d.(i) <-
+        (match node.kop with
+        | Graph.K_input _ -> [| 0 |]
+        | Graph.K_prim p ->
+            check_prim p;
+            [| max_ints ins + prim_exp_delta p |]
+        | Graph.K_graphdef bg ->
+            Array.of_list (block_output_depths bg ~input_depths:ins)))
+    g.knodes;
+  List.map
+    (fun ({ node; port } : Graph.tensor_ref) -> d.(node).(port))
+    g.outputs
+
+let max_exp_depth g = max_ints (depths g)
+
+let check g =
+  match depths g with
+  | ds ->
+      if max_ints ds <= 1 then Lax
+      else
+        Not_lax
+          (Printf.sprintf
+             "a path applies exponentiation %d times (at most 1 allowed)"
+             (max_ints ds))
+  | exception Found msg -> Not_lax msg
+
+let is_lax g = match check g with Lax -> true | Not_lax _ -> false

@@ -1,0 +1,19 @@
+(** The LAX fragment (paper Definition 5.1): a muGraph is LAX when it
+    contains only multi-linear operators, division, and exponentiation,
+    and every input-to-output path applies at most one exponentiation.
+
+    [Sqrt] and [SiLU] are tolerated: the verifier treats them as opaque
+    uninterpreted functions (see {!Random_test}), matching the paper's
+    handling of operators outside the core fragment. [ReLU] is rejected. *)
+
+type verdict = Lax | Not_lax of string
+
+val check : Mugraph.Graph.kernel_graph -> verdict
+(** Operator whitelist plus the one-exponentiation-per-path condition,
+    computed by propagating per-tensor maximum exponentiation counts
+    through kernel, block, and thread graphs. *)
+
+val is_lax : Mugraph.Graph.kernel_graph -> bool
+
+val max_exp_depth : Mugraph.Graph.kernel_graph -> int
+(** The largest number of exponentiations on any input-output path. *)

@@ -1,0 +1,116 @@
+open Tensor
+open Mugraph
+module Fpair = Ffield.Fpair
+
+type result =
+  | Equivalent
+  | Not_equivalent of string
+  | Rejected of string
+
+exception Resample
+
+(* A keyed random oracle over field elements: the uninterpreted-function
+   abstraction for Sqrt and SiLU. Deterministic within one trial (the
+   trial seed is part of the key), so equal arguments give equal results
+   in both graphs. *)
+let oracle_general ~p ~q ~trial_seed ~salt (x : Fpair.t) : Fpair.t =
+  let key = Hashtbl.hash (trial_seed, salt, x.Fpair.vp, x.Fpair.vq) in
+  let st = Random.State.make [| key |] in
+  (* Nonzero components: sqrt results are overwhelmingly used as
+     divisors (normalizations), and an oracle that avoids 0 keeps the
+     zero-divisor resampling rate independent of tensor sizes. Any
+     injective-ish function is a valid realization of an uninterpreted
+     function. *)
+  {
+    Fpair.vp = 1 + Random.State.int st (p - 1);
+    vq = Some (1 + Random.State.int st (q - 1));
+  }
+
+let field_ops ~p ~q ~trial_seed ctx : Fpair.t Element.ops =
+  let base = Element.fpair_ops ctx in
+  {
+    base with
+    Element.sqrt = oracle_general ~p ~q ~trial_seed ~salt:1;
+    silu = oracle_general ~p ~q ~trial_seed ~salt:2;
+    relu =
+      (fun _ -> raise (Fpair.Unsupported "relu reached the LAX verifier"));
+  }
+
+let interface_mismatch ~spec g =
+  let names_s = Graph.input_names spec and names_g = Graph.input_names g in
+  let shapes_s = Graph.input_shapes spec and shapes_g = Graph.input_shapes g in
+  if names_s <> names_g then Some "input names differ"
+  else if
+    List.length shapes_s <> List.length shapes_g
+    || not (List.for_all2 Shape.equal shapes_s shapes_g)
+  then Some "input shapes differ"
+  else
+    match Infer.infer_opt spec, Infer.infer_opt g with
+    | None, _ | _, None -> Some "shape inference failed"
+    | Some _, Some _ ->
+        let out_s = Infer.output_shapes spec
+        and out_g = Infer.output_shapes g in
+        if List.length out_s <> List.length out_g then
+          Some "different number of outputs"
+        else if not (List.for_all2 Shape.equal out_s out_g) then
+          Some "output shapes differ"
+        else None
+
+let one_trial ~p ~q ~trial_seed ~spec g =
+  let st = Random.State.make [| trial_seed |] in
+  let ctx = Fpair.random_ctx ~p ~q st in
+  let ops = field_ops ~p ~q ~trial_seed ctx in
+  let inputs =
+    List.map
+      (fun shape -> Dense.init shape (fun _ -> Fpair.random ctx st))
+      (Graph.input_shapes spec)
+  in
+  match
+    ( Interp.eval_kernel ops spec ~inputs,
+      Interp.eval_kernel ops g ~inputs )
+  with
+  | out_s, out_g ->
+      let ok = List.for_all2 (Dense.equal Fpair.equal) out_s out_g in
+      if ok then Ok ()
+      else Error "outputs differ on a random finite-field test"
+  | exception Ffield.Zmod.Division_by_zero -> raise Resample
+  | exception Fpair.Not_lax ->
+      Error "exponentiation applied twice along a path at run time"
+
+let equivalent ?(trials = 3) ?(p = Ffield.Zmod.default_p)
+    ?(q = Ffield.Zmod.default_q) ?(seed = 0x5EED) ~spec g =
+  match interface_mismatch ~spec g with
+  | Some msg -> Rejected msg
+  | None -> (
+      match Lax.check spec, Lax.check g with
+      | Lax.Not_lax m, _ -> Rejected ("spec not LAX: " ^ m)
+      | _, Lax.Not_lax m -> Rejected ("candidate not LAX: " ^ m)
+      | Lax.Lax, Lax.Lax ->
+          let rec run trial attempts =
+            if trial >= trials then Equivalent
+            else if attempts > 50 then
+              Rejected "too many zero-divisor resamples"
+            else
+              let trial_seed = seed + (trial * 7919) + (attempts * 104729) in
+              match one_trial ~p ~q ~trial_seed ~spec g with
+              | Ok () -> run (trial + 1) 0
+              | Error msg -> Not_equivalent msg
+              | exception Resample -> run trial (attempts + 1)
+          in
+          run 0 0)
+
+let error_bound ~k ~trials =
+  let k = max 1 k in
+  (1.0 -. (1.0 /. float_of_int k)) ** float_of_int trials
+
+let trials_for ~k ~delta =
+  let k = max 1 k in
+  if k = 1 || delta >= 1.0 then 1
+  else
+    let per = Stdlib.log (1.0 -. (1.0 /. float_of_int k)) in
+    max 1 (int_of_float (Float.ceil (Stdlib.log delta /. per)))
+
+let to_string = function
+  | Equivalent -> "equivalent"
+  | Not_equivalent m -> "NOT equivalent: " ^ m
+  | Rejected m -> "rejected: " ^ m

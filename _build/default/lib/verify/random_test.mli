@@ -1,0 +1,46 @@
+(** Probabilistic equivalence verification over finite fields
+    (paper §5.2, Table 3).
+
+    Both muGraphs are evaluated on the same random inputs drawn from
+    [Z_p × Z_q] with a freshly sampled q-th root of unity per trial.
+    Division by a zero component resamples the trial (conditioning on the
+    event [E] of Theorem 2); exponentiation maps through
+    [omega^{x_q} mod p].
+
+    [Sqrt] and [SiLU] are outside the LAX fragment; they are abstracted
+    as opaque uninterpreted functions realized as keyed random oracles
+    over the field elements (DESIGN.md §2): graphs applying them to
+    equivalent arguments still agree, and disagreeing arguments produce
+    fresh pseudo-random values that collide with probability ~1/(p·q).
+
+    By Theorem 3, equivalent LAX muGraphs always pass, and non-equivalent
+    ones pass [t] trials with probability at most [(1 - 1/k + o(1/k))^t]. *)
+
+type result =
+  | Equivalent
+  | Not_equivalent of string  (** first mismatch, human-readable *)
+  | Rejected of string  (** not LAX / interface mismatch *)
+
+val equivalent :
+  ?trials:int ->
+  ?p:int ->
+  ?q:int ->
+  ?seed:int ->
+  spec:Mugraph.Graph.kernel_graph ->
+  Mugraph.Graph.kernel_graph ->
+  result
+(** Default 3 trials with p = 227, q = 113 (the paper's single-test GPU
+    configuration uses 1; we iterate per Theorem 3). Checks interface
+    compatibility (input names and shapes, output count and shapes) and
+    LAX membership first. *)
+
+val error_bound : k:int -> trials:int -> float
+(** Theorem 3's bound on accepting non-equivalent graphs: [(1 - 1/k)^trials]
+    where [k] is the number of distinct exponent arguments (use the number
+    of terms of the output polynomial as a proxy). *)
+
+val trials_for : k:int -> delta:float -> int
+(** Minimal trials so that [error_bound <= delta] — the Ω(k·ln(1/δ))
+    of Theorem 3. *)
+
+val to_string : result -> string

@@ -1,0 +1,184 @@
+open Tensor
+open Mugraph
+
+(* Atoms are input-element variables or uninterpreted applications; an
+   application's key is the (not-necessarily-canonical) rational argument,
+   so semantically-equal-but-syntactically-different arguments yield
+   distinct atoms — a source of incompleteness, never of unsoundness. *)
+type atom = Var of int | App of string * value
+
+and mono = atom list (* sorted multiset *)
+
+and poly = (mono * int) list (* sorted by monomial, coefficients nonzero *)
+
+and value = { num : poly; den : poly }
+
+exception Too_big
+
+let size_limit = 200_000
+
+let compare_atom : atom -> atom -> int = Stdlib.compare
+let compare_mono : mono -> mono -> int = Stdlib.compare
+
+let guard (p : poly) =
+  if List.length p > size_limit then raise Too_big;
+  p
+
+let poly_zero : poly = []
+let poly_const c : poly = if c = 0 then [] else [ ([], c) ]
+let poly_var v : poly = [ ([ Var v ], 1) ]
+let poly_atom a : poly = [ ([ a ], 1) ]
+
+let rec poly_add (a : poly) (b : poly) : poly =
+  match a, b with
+  | [], p | p, [] -> p
+  | (ma, ca) :: ra, (mb, cb) :: rb ->
+      let c = compare_mono ma mb in
+      if c = 0 then
+        let s = ca + cb in
+        if s = 0 then poly_add ra rb else (ma, s) :: poly_add ra rb
+      else if c < 0 then (ma, ca) :: poly_add ra b
+      else (mb, cb) :: poly_add a rb
+
+let mono_mul (a : mono) (b : mono) : mono = List.sort compare_atom (a @ b)
+
+let poly_mul (a : poly) (b : poly) : poly =
+  guard
+    (List.fold_left
+       (fun acc (ma, ca) ->
+         poly_add acc
+           (List.sort
+              (fun (m1, _) (m2, _) -> compare_mono m1 m2)
+              (List.map (fun (mb, cb) -> (mono_mul ma mb, ca * cb)) b)))
+       poly_zero a)
+
+let poly_neg (a : poly) : poly = List.map (fun (m, c) -> (m, -c)) a
+let poly_equal (a : poly) (b : poly) = Stdlib.compare a b = 0
+
+let v_of_poly p = { num = p; den = poly_const 1 }
+let v_const c = v_of_poly (poly_const c)
+let v_zero = v_const 0
+let v_one = v_const 1
+
+let v_add a b =
+  {
+    num = poly_add (poly_mul a.num b.den) (poly_mul b.num a.den);
+    den = poly_mul a.den b.den;
+  }
+
+let v_sub a b =
+  {
+    num = poly_add (poly_mul a.num b.den) (poly_neg (poly_mul b.num a.den));
+    den = poly_mul a.den b.den;
+  }
+
+let v_mul a b = { num = poly_mul a.num b.num; den = poly_mul a.den b.den }
+let v_div a b = { num = poly_mul a.num b.den; den = poly_mul a.den b.num }
+
+let v_app name a = v_of_poly (poly_atom (App (name, a)))
+
+(* Exact equality of rational functions: cross-multiplication avoids any
+   need for cancellation or GCDs. *)
+let v_equal a b =
+  poly_equal (poly_mul a.num b.den) (poly_mul b.num a.den)
+
+let rec v_to_string v =
+  let atom_str = function
+    | Var i -> Printf.sprintf "x%d" i
+    | App (f, a) -> Printf.sprintf "%s(%s)" f (v_to_string a)
+  in
+  let mono_str = function
+    | [] -> "1"
+    | m -> String.concat "*" (List.map atom_str m)
+  in
+  let poly_str p =
+    match p with
+    | [] -> "0"
+    | _ ->
+        String.concat " + "
+          (List.map
+             (fun (m, c) ->
+               if c = 1 then mono_str m
+               else Printf.sprintf "%d*%s" c (mono_str m))
+             p)
+  in
+  if poly_equal v.den (poly_const 1) then poly_str v.num
+  else Printf.sprintf "(%s)/(%s)" (poly_str v.num) (poly_str v.den)
+
+let symbolic_ops : value Element.ops =
+  {
+    Element.zero = v_zero;
+    one = v_one;
+    of_int = v_const;
+    add = v_add;
+    sub = v_sub;
+    mul = v_mul;
+    div = v_div;
+    exp = v_app "exp";
+    sqrt = v_app "sqrt";
+    silu = v_app "silu";
+    relu = v_app "relu";
+    equal = v_equal;
+    to_string = v_to_string;
+  }
+
+type result =
+  | Equivalent
+  | Not_equivalent of string
+  | Too_large of string
+
+let equivalent ?(max_elements = 4096) ~spec g =
+  let shapes_s = Graph.input_shapes spec and shapes_g = Graph.input_shapes g in
+  if
+    List.length shapes_s <> List.length shapes_g
+    || (not (List.for_all2 Shape.equal shapes_s shapes_g))
+    || Graph.input_names spec <> Graph.input_names g
+  then Not_equivalent "input interfaces differ"
+  else begin
+    let total = List.fold_left (fun acc s -> acc + Shape.numel s) 0 shapes_s in
+    if total > max_elements then
+      Too_large
+        (Printf.sprintf "%d input elements exceed the %d-element bound" total
+           max_elements)
+    else begin
+      let next = ref 0 in
+      let inputs =
+        List.map
+          (fun shape ->
+            Dense.init shape (fun _ ->
+                let v = v_of_poly (poly_var !next) in
+                incr next;
+                v))
+          shapes_s
+      in
+      match
+        ( Interp.eval_kernel symbolic_ops spec ~inputs,
+          Interp.eval_kernel symbolic_ops g ~inputs )
+      with
+      | out_s, out_g ->
+          if List.length out_s <> List.length out_g then
+            Not_equivalent "different numbers of outputs"
+          else begin
+            let bad = ref None in
+            List.iteri
+              (fun k (a, b) ->
+                if !bad = None && not (Dense.equal v_equal a b) then
+                  bad := Some k)
+              (List.combine out_s out_g);
+            match !bad with
+            | None -> Equivalent
+            | Some k ->
+                Not_equivalent
+                  (Printf.sprintf "output %d differs symbolically" k)
+          end
+      | exception Too_big ->
+          Too_large "symbolic polynomials exceeded the size guard"
+      | exception (Graph.Ill_formed m) -> Not_equivalent m
+      | exception Invalid_argument m -> Not_equivalent m
+    end
+  end
+
+let to_string = function
+  | Equivalent -> "equivalent (exact, symbolic)"
+  | Not_equivalent m -> "NOT equivalent: " ^ m
+  | Too_large m -> "too large for symbolic verification: " ^ m

@@ -1,0 +1,43 @@
+(** The solver-based equivalence verifier sketched in paper §7
+    ("Equivalence verification for non-LAX programs").
+
+    Where the probabilistic verifier samples finite fields, this verifier
+    evaluates both muGraphs {e symbolically}: every element of every
+    input tensor becomes a distinct variable, operators build exact
+    rational functions over those variables, and non-multi-linear
+    operators (ReLU, SiLU, Sqrt, Exp) become uninterpreted atoms keyed by
+    the normal form of their argument. Two programs are declared
+    equivalent iff every output element's rational function matches —
+    cross-multiplied, so no cancellation assumptions are needed:
+    [a/b = c/d  iff  a·d = c·b].
+
+    This is exact (no error probability) and handles arbitrary operators,
+    at the price of scaling with tensor sizes and missing identities of
+    the interpreted exponential (e.g. [exp x · exp y = exp (x+y)] is not
+    recognized — the probabilistic verifier covers those). It is the
+    complement the paper describes: "supports more general programs,
+    while requiring additional manual effort" — here the manual effort is
+    the per-operator symbolic semantics in {!Tensor.Element.ops} form. *)
+
+type poly
+(** Multivariate polynomial with integer coefficients over input-element
+    variables and uninterpreted atoms. *)
+
+type value = { num : poly; den : poly }
+(** A rational function. *)
+
+type result =
+  | Equivalent
+  | Not_equivalent of string
+  | Too_large of string  (** symbolic evaluation size guard tripped *)
+
+val equivalent :
+  ?max_elements:int ->
+  spec:Mugraph.Graph.kernel_graph ->
+  Mugraph.Graph.kernel_graph ->
+  result
+(** Exact symbolic equivalence. [max_elements] (default 4096) bounds the
+    total number of input elements — beyond that, use the probabilistic
+    verifier. *)
+
+val to_string : result -> string

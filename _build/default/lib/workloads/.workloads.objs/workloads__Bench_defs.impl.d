@@ -1,0 +1,1 @@
+lib/workloads/bench_defs.ml: Baselines Graph List Mugraph String Templates

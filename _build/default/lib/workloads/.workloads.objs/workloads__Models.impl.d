@@ -1,0 +1,1 @@
+lib/workloads/models.ml: Baselines Gpusim Graph List Mugraph Op Templates

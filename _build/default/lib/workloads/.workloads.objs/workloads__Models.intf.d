@@ -1,0 +1,1 @@
+lib/workloads/models.mli: Gpusim Graph Mugraph

@@ -1,0 +1,131 @@
+open Mugraph
+open Baselines
+
+type component = {
+  label : string;
+  baseline : Graph.kernel_graph;
+  optimized : Graph.kernel_graph;
+}
+
+type model = { name : string; num_layers : int; layer : component list }
+
+let same label g = { label; baseline = g; optimized = g }
+let opt label baseline optimized = { label; baseline; optimized }
+
+(* A projection matmul both plans execute identically. *)
+let proj ~name ~m ~k ~n =
+  let bld = Graph.Build.create () in
+  let x = Graph.Build.input bld (name ^ "_x") [| m; k |] in
+  let w = Graph.Build.input bld (name ^ "_w") [| k; n |] in
+  let o = Graph.Build.prim bld Op.Matmul [ x; w ] in
+  Graph.Build.finish bld ~outputs:[ o ]
+
+(* Chameleon-7B: 32 layers, 32 MHA heads with QK normalization, hidden
+   4096, SwiGLU MLP (11008). Decode with a 1024-token context. *)
+let chameleon_7b () =
+  let b = 1 and gk = 32 and grp = 1 and s = 1024 and dh = 128 in
+  {
+    name = "Chameleon-7B";
+    num_layers = 32;
+    layer =
+      [
+        opt "rmsnorm-qkv"
+          (Templates.rmsnorm_matmul_unfused ~b:1 ~h:4096 ~d:(3 * 4096))
+          (Templates.rmsnorm_matmul_fused ~b:1 ~h:4096 ~d:(3 * 4096)
+             ~grid:128 ~iters:16);
+        opt "qknorm-attention"
+          (Templates.qknorm_attention_unfused ~b ~gk ~grp ~s ~dh)
+          (Templates.qknorm_attention_fused ~b ~gk ~grp ~s ~dh);
+        same "o-proj" (proj ~name:"o" ~m:1 ~k:4096 ~n:4096);
+        opt "rmsnorm-up"
+          (Templates.rmsnorm_matmul_unfused ~b:1 ~h:4096 ~d:11008)
+          (Templates.rmsnorm_matmul_fused ~b:1 ~h:4096 ~d:11008 ~grid:128
+             ~iters:16);
+        opt "gated-mlp"
+          (Templates.gated_mlp_two_kernel ~b:1 ~h:4096 ~f:11008)
+          (Templates.gated_mlp_fused ~b:1 ~h:4096 ~f:11008 ~grid:128
+             ~iters:32);
+      ];
+  }
+
+(* nGPT-1B: 24 layers, hidden 2048. *)
+let ngpt_1b () =
+  let b = 16 and d = 2048 in
+  {
+    name = "nGPT-1B";
+    num_layers = 24;
+    layer =
+      [
+        same "qkv-proj" (proj ~name:"qkv" ~m:b ~k:d ~n:(3 * d));
+        opt "attention"
+          (Templates.attention_unfused ~b:1 ~gk:16 ~grp:1 ~s:1024 ~dh:128)
+          (Templates.attention_fused_split_kv ~b:1 ~gk:16 ~grp:1 ~s:1024
+             ~dh:128 ~split:8 ~group_in_block:true);
+        opt "ntrans-attn"
+          (Templates.ntrans_unfused ~b ~d)
+          (Templates.ntrans_fused ~b ~d ~grid:16);
+        same "mlp" (proj ~name:"mlp" ~m:b ~k:d ~n:(4 * d));
+        opt "ntrans-mlp"
+          (Templates.ntrans_unfused ~b ~d)
+          (Templates.ntrans_fused ~b ~d ~grid:16);
+      ];
+  }
+
+(* LLaMA-3-8B: 32 layers, 32 query heads / 8 KV heads, hidden 4096,
+   gated MLP 14336. Decode against 4096 tokens. *)
+let llama3_8b () =
+  let b = 1 and gk = 8 and grp = 4 and s = 4096 and dh = 128 in
+  {
+    name = "LLaMA-3-8B";
+    num_layers = 32;
+    layer =
+      [
+        opt "rmsnorm-qkv"
+          (Templates.rmsnorm_matmul_unfused ~b:1 ~h:4096 ~d:(3 * 4096))
+          (Templates.rmsnorm_matmul_fused ~b:1 ~h:4096 ~d:(3 * 4096)
+             ~grid:128 ~iters:16);
+        opt "gqa"
+          (Templates.attention_fused_heads ~b ~gk ~grp ~s ~dh)
+          (Templates.attention_fused_split_kv ~b ~gk ~grp ~s ~dh ~split:16
+             ~group_in_block:true);
+        same "o-proj" (proj ~name:"o" ~m:1 ~k:4096 ~n:4096);
+        opt "gated-mlp"
+          (Templates.gated_mlp_two_kernel ~b:1 ~h:4096 ~f:14336)
+          (Templates.gated_mlp_fused ~b:1 ~h:4096 ~f:14336 ~grid:128
+             ~iters:32);
+      ];
+  }
+
+(* GPT-3-7B with rank-16 LoRA adapters on the attention and MLP linears. *)
+let gpt3_7b_lora () =
+  let m = 4096 and k = 4096 and r = 16 and n = 16 in
+  {
+    name = "GPT-3-7B-LoRA";
+    num_layers = 32;
+    layer =
+      [
+        opt "lora-qkv"
+          (Templates.lora_unfused ~m ~k:(3 * k / 3) ~r ~n)
+          (Templates.lora_fused ~m ~k ~r ~n ~grid:128 ~iters:16);
+        opt "attention"
+          (Templates.attention_fused_heads ~b:1 ~gk:32 ~grp:1 ~s:2048
+             ~dh:128)
+          (Templates.attention_fused_split_kv ~b:1 ~gk:32 ~grp:1 ~s:2048
+             ~dh:128 ~split:4 ~group_in_block:true);
+        opt "lora-mlp"
+          (Templates.lora_unfused ~m:(4 * m) ~k ~r ~n)
+          (Templates.lora_fused ~m:(4 * m) ~k ~r ~n ~grid:128 ~iters:16);
+      ];
+  }
+
+let all () = [ chameleon_7b (); ngpt_1b (); llama3_8b (); gpt3_7b_lora () ]
+
+let latency_us device model ~optimized =
+  let layer_us =
+    List.fold_left
+      (fun acc c ->
+        let g = if optimized then c.optimized else c.baseline in
+        acc +. (Gpusim.Cost.cost device g).Gpusim.Cost.total_us)
+      0.0 model.layer
+  in
+  layer_us *. float_of_int model.num_layers

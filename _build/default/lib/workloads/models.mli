@@ -1,0 +1,34 @@
+(** End-to-end model assemblies for the Figure 11 experiment: PyTorch
+    plans vs PyTorch-with-Mirage-kernels plans.
+
+    A model is a stack of identical Transformer layers; each layer is a
+    list of sub-programs with a baseline plan and (for the parts Mirage
+    optimizes) a Mirage plan. The parts Mirage does not touch (projection
+    matmuls, embeddings) appear identically in both plans, so the
+    end-to-end speedup is Amdahl-limited exactly as in the paper
+    (1.1-1.9x, Fig. 11). *)
+
+open Mugraph
+
+type component = {
+  label : string;
+  baseline : Graph.kernel_graph;
+  optimized : Graph.kernel_graph;  (** equals [baseline] if untouched *)
+}
+
+type model = {
+  name : string;
+  num_layers : int;
+  layer : component list;
+}
+
+val chameleon_7b : unit -> model
+val ngpt_1b : unit -> model
+val llama3_8b : unit -> model
+val gpt3_7b_lora : unit -> model
+
+val all : unit -> model list
+
+val latency_us :
+  Gpusim.Device.t -> model -> optimized:bool -> float
+(** Total simulated latency: [num_layers] x sum of component costs. *)

@@ -1,0 +1,1 @@
+test/graph_gen.ml: Array Graph List Mugraph Op Pretty Printf QCheck2 Random Tensor

@@ -1,0 +1,1 @@
+test/test_absexpr.ml: Absexpr Alcotest Astring_contains List QCheck2 QCheck_alcotest Smtlite

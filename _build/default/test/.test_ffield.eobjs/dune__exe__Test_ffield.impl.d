@@ -1,0 +1,1 @@
+test/test_ffield.ml: Alcotest Ffield Fpair Lazy List QCheck2 QCheck_alcotest Random Stdlib Zmod

@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Baselines Gpusim Graph List Memory Mugraph Op Printf Search Templates

@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Float Ilp List QCheck2 QCheck_alcotest

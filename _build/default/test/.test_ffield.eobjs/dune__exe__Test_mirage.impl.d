@@ -1,0 +1,1 @@
+test/test_mirage.ml: Alcotest Astring_contains Baselines Codegen Gpusim Graph Hashtbl Interp List Mirage Mugraph Op Printf Random Search String Tensor

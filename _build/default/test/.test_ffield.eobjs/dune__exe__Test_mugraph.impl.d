@@ -1,0 +1,1 @@
+test/test_mugraph.ml: Absexpr Abstract Alcotest Array Astring_contains Canon Dense Dmap Element Graph Infer Interp List Memory Mugraph Op Pretty Printf Random Stdlib Tensor

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Astring_contains Baselines Dmap Gpusim Graph List Mugraph Op Opt Templates Tensor

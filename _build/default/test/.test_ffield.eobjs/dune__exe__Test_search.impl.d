@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Array Baselines Dmap Gpusim Graph List Mugraph Op Printf Search Verify

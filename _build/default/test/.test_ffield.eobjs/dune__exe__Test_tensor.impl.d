@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Dense Element Float Fun Hashtbl Layout List QCheck2 QCheck_alcotest Shape Tensor

@@ -1,0 +1,1 @@
+test/test_verify.ml: Absexpr Abstract Alcotest Astring_contains Baselines Graph List Mugraph Op QCheck2 QCheck_alcotest Verify

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Baselines Bench_defs Float Gpusim List Models Mugraph Printf Verify Workloads

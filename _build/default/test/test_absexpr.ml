@@ -1,0 +1,373 @@
+(* Tests for abstract expressions, the A_eq normal form, and the
+   subexpression decision procedure (paper §4.3, Table 2). *)
+
+module E = Absexpr.Expr
+module Nf = Absexpr.Nf
+
+let x = E.var "x"
+let y = E.var "y"
+let z = E.var "z"
+let g = E.var "g"
+let w = E.var "w"
+
+let check_equiv msg a b =
+  Alcotest.(check bool) msg true (Nf.equivalent a b)
+
+let check_not_equiv msg a b =
+  Alcotest.(check bool) msg false (Nf.equivalent a b)
+
+let check_sub msg a b = Alcotest.(check bool) msg true (Nf.subexpr a b)
+let check_not_sub msg a b = Alcotest.(check bool) msg false (Nf.subexpr a b)
+
+(* --- A_eq axioms hold as normal-form equalities ----------------------- *)
+
+let test_ac_laws () =
+  check_equiv "add comm" (E.add x y) (E.add y x);
+  check_equiv "mul comm" (E.mul x y) (E.mul y x);
+  check_equiv "add assoc" (E.add x (E.add y z)) (E.add (E.add x y) z);
+  check_equiv "mul assoc" (E.mul x (E.mul y z)) (E.mul (E.mul x y) z)
+
+let test_distributivity () =
+  check_equiv "mul over add"
+    (E.add (E.mul x z) (E.mul y z))
+    (E.mul (E.add x y) z);
+  check_equiv "div over add"
+    (E.add (E.div x z) (E.div y z))
+    (E.div (E.add x y) z)
+
+let test_div_laws () =
+  check_equiv "mul of quotient"
+    (E.mul x (E.div y z))
+    (E.div (E.mul x y) z);
+  check_equiv "nested div"
+    (E.div (E.div x y) z)
+    (E.div x (E.mul y z))
+
+let test_sum_laws () =
+  check_equiv "sum 1" (E.sum 1 x) x;
+  check_equiv "sum of sum" (E.sum 2 (E.sum 3 x)) (E.sum 6 x);
+  check_equiv "sum over add"
+    (E.sum 4 (E.add x y))
+    (E.add (E.sum 4 x) (E.sum 4 y));
+  check_equiv "sum out of mul" (E.sum 4 (E.mul x y)) (E.mul (E.sum 4 x) y);
+  check_equiv "sum out of mul (either side)"
+    (E.mul (E.sum 4 x) y)
+    (E.mul x (E.sum 4 y));
+  check_equiv "sum out of div" (E.sum 4 (E.div x y)) (E.div (E.sum 4 x) y)
+
+let test_no_cancellation () =
+  (* A_eq deliberately has no cancellation (paper §4.3): (x*y)/y is NOT
+     equivalent to x, which is what keeps the subexpression pruning
+     meaningful. *)
+  check_not_equiv "no mul/div cancellation" (E.div (E.mul x y) y) x;
+  check_not_equiv "no add of same term collapse" (E.add x x) x
+
+let test_reduction_sizes_matter () =
+  (* sum(4, x) vs sum(8, x): keeping k in the abstraction is crucial
+     (paper: Fig. 6 discussion). *)
+  check_not_equiv "different sums differ" (E.sum 4 x) (E.sum 8 x);
+  check_not_equiv "matmul ks differ"
+    (E.matmul ~k:16 x y)
+    (E.matmul ~k:32 x y)
+
+let test_exp_opaque () =
+  check_not_equiv "exp not homomorphic in A_eq"
+    (E.mul (E.exp x) (E.exp y))
+    (E.exp (E.add x y));
+  check_equiv "exp congruence"
+    (E.exp (E.mul x y))
+    (E.exp (E.mul y x))
+
+(* --- RMSNorm + MatMul (the paper's §3 case study) --------------------- *)
+
+(* Spec: Z = Matmul(Y, W) with Y = (X*G) / sqrt(sum_h X^2), i.e. division
+   before the matmul. *)
+let rmsnorm_spec ~h =
+  let xg = E.mul x g in
+  let rms = E.sqrt (E.sum h (E.sqr x)) in
+  E.matmul ~k:h (E.div xg rms) w
+
+(* Mirage's discovered form (Fig. 4b): matmul first (accumulated across
+   the for-loop), division in the epilogue. *)
+let rmsnorm_fused ~h ~iters =
+  let per_iter = E.matmul ~k:(h / iters) (E.mul x g) w in
+  let mm = E.sum iters per_iter in
+  let rms = E.sqrt (E.sum iters (E.sum (h / iters) (E.sqr x))) in
+  E.div mm rms
+
+let test_rmsnorm_equivalence () =
+  check_equiv "division commutes with matmul (Fig. 4b)"
+    (rmsnorm_spec ~h:64)
+    (rmsnorm_fused ~h:64 ~iters:16)
+
+let test_rmsnorm_wrong_split_rejected () =
+  check_not_equiv "wrong iteration split changes the reduction size"
+    (rmsnorm_spec ~h:64)
+    (rmsnorm_fused ~h:32 ~iters:16)
+
+(* --- subexpr --------------------------------------------------------- *)
+
+let test_subexpr_axioms () =
+  check_sub "x <= add(x,y)" x (E.add x y);
+  check_sub "x <= mul(x,y)" x (E.mul x y);
+  check_sub "x <= div(x,y)" x (E.div x y);
+  check_sub "y <= div(x,y)" y (E.div x y);
+  check_sub "x <= exp(x)" x (E.exp x);
+  check_sub "x <= sum(i,x)" x (E.sum 4 x);
+  check_sub "x <= sqrt(x)" x (E.sqrt x);
+  check_sub "x <= silu(x)" x (E.silu x);
+  check_sub "reflexive" (E.add x y) (E.add x y)
+
+let test_subexpr_transitive () =
+  (* x*g <= (x*g*w) <= sum(k, x*g*w) <= sum(k,x*g*w)/q *)
+  let target = E.div (E.sum 8 (E.mul (E.mul x g) w)) (E.sqrt y) in
+  check_sub "x*g" (E.mul x g) target;
+  check_sub "sum" (E.sum 8 (E.mul (E.mul x g) w)) target;
+  check_sub "inside sqrt" y target
+
+let test_subexpr_modulo_aeq () =
+  (* sum(k, x)*y is a subexpression of sum(k, x*y*z) because the sum
+     floats across factors under A_eq. *)
+  check_sub "sum floats"
+    (E.mul (E.sum 4 x) y)
+    (E.sum 4 (E.mul (E.mul x y) z));
+  (* (x+y) <= (x+y)*z even after distribution. *)
+  check_sub "factored sum" (E.add x y) (E.mul (E.add x y) z);
+  (* partial sums of distributed products *)
+  check_sub "partial term" x (E.add (E.mul x z) (E.mul y z))
+
+let test_subexpr_negative () =
+  check_not_sub "x*y not in x+y" (E.mul x y) (E.add x y);
+  check_not_sub "z not in x+y" z (E.add x y);
+  check_not_sub "sum too large" (E.sum 8 x) (E.sum 4 (E.mul x y));
+  (* The pruning example from §4.3: for target X*Z + Y*Z, the prefix X*Y
+     must be pruned while X+Y must be kept. *)
+  let target = E.add (E.mul x z) (E.mul y z) in
+  check_not_sub "X*Y pruned" (E.mul x y) target;
+  check_sub "X+Y kept" (E.add x y) target
+
+let test_rmsnorm_prefixes_kept () =
+  let goal = rmsnorm_fused ~h:64 ~iters:16 in
+  (* Every prefix computed on the way to Fig. 4b must pass the filter. *)
+  check_sub "x*g" (E.mul x g) goal;
+  check_sub "x^2" (E.sqr x) goal;
+  check_sub "sum x^2 (chunk)" (E.sum 4 (E.sqr x)) goal;
+  check_sub "accumulated sum x^2" (E.sum 64 (E.sqr x)) goal;
+  check_sub "sqrt" (E.sqrt (E.sum 64 (E.sqr x))) goal;
+  check_sub "partial matmul" (E.matmul ~k:4 (E.mul x g) w) goal;
+  check_sub "accumulated matmul" (E.sum 64 (E.mul (E.mul x g) w)) goal;
+  (* Sub-products of a term are always derivable subexpressions
+     (subexpr(x, mul(x,y)) composed with the quotient structure), so g*w
+     is kept even though no sensible prefix computes it: *)
+  check_sub "g*w is (vacuously) derivable" (E.mul g w) goal;
+  (* Real garbage is pruned. *)
+  check_not_sub "x+g is garbage" (E.add x g) goal;
+  check_not_sub "exp(x) is garbage" (E.exp x) goal;
+  check_not_sub "x*x*g is garbage" (E.mul (E.sqr x) g) goal
+
+(* --- division-by-quotient and exact-division corner cases -------------- *)
+
+let test_div_by_quotient_confluent () =
+  (* div(div(x, y), z) = div(x, mul(y, z)) must hold even when y or z are
+     themselves quotients or sums (the D_inv / collapse machinery). *)
+  let q = E.div y z in
+  check_equiv "div by a quotient, two routes"
+    (E.div (E.div x q) w)
+    (E.div x (E.mul q w));
+  check_equiv "mul pulls div out of divisor"
+    (E.div x (E.mul y (E.div z w)))
+    (E.div (E.div x y) (E.div z w));
+  let s = E.add y z in
+  check_equiv "div by sum times atom, two routes"
+    (E.div (E.div x s) w)
+    (E.div x (E.mul s w));
+  check_equiv "div by product of sums"
+    (E.div (E.div x s) (E.add w g))
+    (E.div x (E.mul s (E.add w g)))
+
+let test_subexpr_through_quotients () =
+  (* subexpr(y, div(x, y)) when y is itself structured *)
+  check_sub "product divisor" (E.mul y z) (E.div x (E.mul y z));
+  check_sub "quotient divisor" (E.div y z) (E.div x (E.div y z));
+  check_sub "sum divisor" (E.add y z) (E.div x (E.add y z));
+  check_sub "partial den factor" (E.div x y) (E.div x (E.mul y z));
+  check_sub "inside nested den" z (E.div x (E.div y z))
+
+let test_exact_division_in_subexpr () =
+  (* (x+y) is a subexpression of (x+y)/S for a sum S: requires exact
+     polynomial division of the collapsed denominator *)
+  let sum_den = E.add w g in
+  check_sub "factored across collapsed den"
+    (E.div x sum_den)
+    (E.div (E.mul x y) sum_den);
+  check_not_sub "different sum dens do not divide"
+    (E.div x (E.add w x))
+    (E.div (E.mul x y) sum_den)
+
+let test_nf_to_string_smoke () =
+  let nf = Nf.of_expr (E.div (E.sum 4 (E.mul x y)) (E.sqrt z)) in
+  let s = Nf.to_string nf in
+  Alcotest.(check bool) "mentions sqrt" true
+    (Astring_contains.contains s "sqrt");
+  Alcotest.(check bool) "mentions the reduction" true
+    (Astring_contains.contains s "S4");
+  Alcotest.(check int) "single term" 1 (Nf.num_terms nf)
+
+(* --- normal form vs a concrete model of A_eq -------------------------- *)
+
+let expr_gen =
+  let open QCheck2.Gen in
+  let vars = [ "x"; "y"; "z" ] in
+  sized_size (int_range 1 10) @@ fix (fun self n ->
+      if n <= 1 then map E.var (oneofl vars)
+      else
+        frequency
+          [
+            (2, map E.var (oneofl vars));
+            (3, map2 E.add (self (n / 2)) (self (n / 2)));
+            (3, map2 E.mul (self (n / 2)) (self (n / 2)));
+            (2, map2 E.div (self (n / 2)) (self (n / 2)));
+            (1, map E.exp (self (n - 1)));
+            (1, map E.sqrt (self (n - 1)));
+            (2, map2 (fun i e -> E.sum (i + 1) e) (int_range 1 4) (self (n - 1)));
+          ])
+
+let eval_consistent e1 e2 =
+  (* If the normal forms are equal, evaluation in a model of A_eq must
+     agree (soundness of the normalizer). Try several assignments; skip
+     division-by-zero samples. *)
+  let modulus = 10007 in
+  let agree lookup =
+    match
+      ( E.eval lookup ~modulus e1,
+        E.eval lookup ~modulus e2 )
+    with
+    | v1, v2 -> v1 = v2
+    | exception Absexpr.Zmodel.Division_by_zero -> true
+  in
+  List.for_all agree
+    [
+      (fun v -> match v with "x" -> 3 | "y" -> 5 | _ -> 7);
+      (fun v -> match v with "x" -> 11 | "y" -> 13 | _ -> 17);
+      (fun v -> match v with "x" -> 101 | "y" -> 7 | _ -> 29);
+    ]
+
+let prop_normal_form_sound =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name:"normal-form equality is sound"
+       QCheck2.Gen.(pair expr_gen expr_gen)
+       (fun (e1, e2) ->
+         if Nf.equivalent e1 e2 then eval_consistent e1 e2 else true))
+
+let prop_self_equiv_under_rewrites =
+  (* Applying random A_eq rewrites preserves the normal form. *)
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"A_eq rewrites preserve normal form"
+       ~print:E.to_string expr_gen
+       (fun e ->
+         let rewritten =
+           (* A few standard rewrites applied at the root when possible. *)
+           match e with
+           | E.Add (a, b) -> E.add b a
+           | E.Mul (a, b) -> E.mul b a
+           | E.Div (E.Div (a, b), c) -> E.div a (E.mul b c)
+           | E.Sum (i, E.Mul (a, b)) -> E.mul (E.sum i a) b
+           | other -> other
+         in
+         Nf.equivalent e rewritten))
+
+let prop_input_always_subexpr =
+  (* The key lemma of Theorem 1: an operator's input is always a
+     subexpression of its output. *)
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"inputs are subexprs of outputs"
+       ~print:(fun (a, b) -> E.to_string a ^ " | " ^ E.to_string b)
+       QCheck2.Gen.(pair expr_gen expr_gen)
+       (fun (a, b) ->
+         Nf.subexpr a (E.add a b)
+         && Nf.subexpr a (E.mul a b)
+         && Nf.subexpr a (E.div a b)
+         && Nf.subexpr b (E.div a b)
+         && Nf.subexpr a (E.exp a)
+         && Nf.subexpr a (E.sum 4 a)))
+
+let prop_subexpr_transitive_via_context =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"subexpr closed under wrapping"
+       ~print:(fun (a, b, c) ->
+         E.to_string a ^ " | " ^ E.to_string b ^ " | " ^ E.to_string c)
+       QCheck2.Gen.(triple expr_gen expr_gen expr_gen)
+       (fun (a, b, c) ->
+         (* a <= a*b and a*b <= (a*b)/c imply a <= (a*b)/c *)
+         Nf.subexpr a (E.div (E.mul a b) c)))
+
+(* --- solver cache ------------------------------------------------------ *)
+
+let test_solver_cache () =
+  let goal = rmsnorm_fused ~h:64 ~iters:16 in
+  let solver = Smtlite.Solver.create ~target:[ goal ] in
+  Alcotest.(check bool) "accepts prefix" true
+    (Smtlite.Solver.check_subexpr solver (E.mul x g));
+  Alcotest.(check bool) "accepts prefix again" true
+    (Smtlite.Solver.check_subexpr solver (E.mul g x));
+  let st = Smtlite.Solver.stats solver in
+  Alcotest.(check int) "2 queries" 2 st.Smtlite.Solver.queries;
+  (* mul x g and mul g x normalize identically: second query hits cache. *)
+  Alcotest.(check int) "1 hit" 1 st.Smtlite.Solver.cache_hits;
+  Alcotest.(check bool) "rejects garbage" false
+    (Smtlite.Solver.check_subexpr solver (E.exp x));
+  Smtlite.Solver.reset_stats solver;
+  Alcotest.(check int) "reset" 0 (Smtlite.Solver.stats solver).Smtlite.Solver.queries
+
+let test_solver_equiv_target () =
+  let goal = rmsnorm_spec ~h:64 in
+  let solver = Smtlite.Solver.create ~target:[ goal ] in
+  Alcotest.(check bool) "fused form is complete" true
+    (Smtlite.Solver.check_equiv_target solver [ rmsnorm_fused ~h:64 ~iters:16 ]);
+  Alcotest.(check bool) "prefix is not complete" false
+    (Smtlite.Solver.check_equiv_target solver [ E.mul x g ])
+
+let () =
+  Alcotest.run "absexpr"
+    [
+      ( "a_eq",
+        [
+          Alcotest.test_case "AC laws" `Quick test_ac_laws;
+          Alcotest.test_case "distributivity" `Quick test_distributivity;
+          Alcotest.test_case "division laws" `Quick test_div_laws;
+          Alcotest.test_case "sum laws" `Quick test_sum_laws;
+          Alcotest.test_case "no cancellation" `Quick test_no_cancellation;
+          Alcotest.test_case "reduction sizes matter" `Quick
+            test_reduction_sizes_matter;
+          Alcotest.test_case "exp opaque" `Quick test_exp_opaque;
+          Alcotest.test_case "rmsnorm equivalence" `Quick
+            test_rmsnorm_equivalence;
+          Alcotest.test_case "rmsnorm wrong split" `Quick
+            test_rmsnorm_wrong_split_rejected;
+          prop_normal_form_sound;
+          prop_self_equiv_under_rewrites;
+        ] );
+      ( "subexpr",
+        [
+          Alcotest.test_case "A_sub axioms" `Quick test_subexpr_axioms;
+          Alcotest.test_case "transitivity" `Quick test_subexpr_transitive;
+          Alcotest.test_case "modulo A_eq" `Quick test_subexpr_modulo_aeq;
+          Alcotest.test_case "negative cases" `Quick test_subexpr_negative;
+          Alcotest.test_case "rmsnorm prefixes kept" `Quick
+            test_rmsnorm_prefixes_kept;
+          prop_input_always_subexpr;
+          prop_subexpr_transitive_via_context;
+          Alcotest.test_case "div-by-quotient confluence" `Quick
+            test_div_by_quotient_confluent;
+          Alcotest.test_case "subexpr through quotients" `Quick
+            test_subexpr_through_quotients;
+          Alcotest.test_case "exact division" `Quick
+            test_exact_division_in_subexpr;
+          Alcotest.test_case "nf printing" `Quick test_nf_to_string_smoke;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "cache" `Quick test_solver_cache;
+          Alcotest.test_case "equiv target" `Quick test_solver_equiv_target;
+        ] );
+    ]

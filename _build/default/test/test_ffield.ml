@@ -1,0 +1,217 @@
+(* Tests for the finite-field substrate: Z_p arithmetic, roots of unity,
+   and the Z_p x Z_q product domain of paper Table 3. *)
+
+open Ffield
+
+let seed = [| 0xC0FFEE |]
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- Zmod ------------------------------------------------------------ *)
+
+let test_normalize () =
+  Alcotest.(check int) "positive" 3 (Zmod.normalize ~modulus:7 10);
+  Alcotest.(check int) "negative" 4 (Zmod.normalize ~modulus:7 (-10));
+  Alcotest.(check int) "zero" 0 (Zmod.normalize ~modulus:7 0);
+  Alcotest.(check int) "exact" 0 (Zmod.normalize ~modulus:7 7)
+
+let test_pow () =
+  Alcotest.(check int) "2^10 mod 227" (1024 mod 227) (Zmod.pow ~modulus:227 2 10);
+  Alcotest.(check int) "x^0" 1 (Zmod.pow ~modulus:227 5 0);
+  (* Fermat: x^(p-1) = 1 *)
+  for x = 1 to 226 do
+    Alcotest.(check int) "fermat" 1 (Zmod.pow ~modulus:227 x 226)
+  done
+
+let test_inv () =
+  for x = 1 to 112 do
+    let i = Zmod.inv ~modulus:113 x in
+    Alcotest.(check int) "x * x^-1 = 1" 1 (Zmod.mul ~modulus:113 x i)
+  done;
+  Alcotest.check_raises "inv 0" Zmod.Division_by_zero (fun () ->
+      ignore (Zmod.inv ~modulus:113 0))
+
+let test_is_prime () =
+  List.iter
+    (fun (n, expected) ->
+      Alcotest.(check bool) (string_of_int n) expected (Zmod.is_prime n))
+    [ (1, false); (2, true); (3, true); (4, false); (113, true); (227, true);
+      (221, false); (0, false); (-5, false); (97, true); (91, false) ]
+
+let test_default_primes () =
+  (* The paper's implementation choice: largest p*q < 2^16, q | p - 1. *)
+  Alcotest.(check bool) "p prime" true (Zmod.is_prime Zmod.default_p);
+  Alcotest.(check bool) "q prime" true (Zmod.is_prime Zmod.default_q);
+  Alcotest.(check int) "q | p-1" 0 ((Zmod.default_p - 1) mod Zmod.default_q);
+  Alcotest.(check bool) "p*q < 2^16" true
+    (Zmod.default_p * Zmod.default_q < 65536)
+
+let test_roots_of_unity () =
+  let roots = Zmod.roots_of_unity ~p:227 ~q:113 in
+  Alcotest.(check int) "count" 113 (List.length roots);
+  List.iter
+    (fun w ->
+      Alcotest.(check int) "w^q = 1" 1 (Zmod.pow ~modulus:227 w 113))
+    roots;
+  (* Roots are distinct. *)
+  let sorted = List.sort_uniq Stdlib.compare roots in
+  Alcotest.(check int) "distinct" 113 (List.length sorted)
+
+let test_random_root () =
+  let st = Random.State.make seed in
+  for _ = 1 to 50 do
+    let w = Zmod.random_root_of_unity ~p:227 ~q:113 st in
+    Alcotest.(check int) "w^q = 1" 1 (Zmod.pow ~modulus:227 w 113)
+  done
+
+let test_primitive_root () =
+  let g = Zmod.primitive_root ~modulus:227 in
+  (* Order of g must be exactly 226 = 2 * 113. *)
+  Alcotest.(check bool) "g^113 <> 1" true (Zmod.pow ~modulus:227 g 113 <> 1);
+  Alcotest.(check bool) "g^2 <> 1" true (Zmod.pow ~modulus:227 g 2 <> 1);
+  Alcotest.(check int) "g^226 = 1" 1 (Zmod.pow ~modulus:227 g 226)
+
+let test_sqrt_opt () =
+  let p = 113 in
+  for x = 0 to p - 1 do
+    match Zmod.sqrt_opt ~modulus:p x with
+    | Some r -> Alcotest.(check int) "r*r = x" x (Zmod.mul ~modulus:p r r)
+    | None ->
+        (* x must be a non-residue: x^((p-1)/2) <> 1 *)
+        Alcotest.(check bool) "non-residue" true
+          (Zmod.pow ~modulus:p x ((p - 1) / 2) <> 1)
+  done
+
+let prop_add_assoc =
+  qcheck "zmod add associative"
+    QCheck2.Gen.(triple (int_range 0 226) (int_range 0 226) (int_range 0 226))
+    (fun (a, b, c) ->
+      let m = 227 in
+      Zmod.add ~modulus:m a (Zmod.add ~modulus:m b c)
+      = Zmod.add ~modulus:m (Zmod.add ~modulus:m a b) c)
+
+let prop_mul_distrib =
+  qcheck "zmod mul distributes over add"
+    QCheck2.Gen.(triple (int_range 0 226) (int_range 0 226) (int_range 0 226))
+    (fun (a, b, c) ->
+      let m = 227 in
+      Zmod.mul ~modulus:m a (Zmod.add ~modulus:m b c)
+      = Zmod.add ~modulus:m (Zmod.mul ~modulus:m a b) (Zmod.mul ~modulus:m a c))
+
+let prop_div_mul =
+  qcheck "zmod div then mul roundtrips"
+    QCheck2.Gen.(pair (int_range 0 226) (int_range 1 226))
+    (fun (a, b) ->
+      let m = 227 in
+      Zmod.mul ~modulus:m (Zmod.div ~modulus:m a b) b = Zmod.normalize ~modulus:m a)
+
+(* --- Fpair ----------------------------------------------------------- *)
+
+let ctx () =
+  let st = Random.State.make seed in
+  Fpair.random_ctx st
+
+let test_fpair_ring () =
+  let c = ctx () in
+  let a = Fpair.of_int c 42 and b = Fpair.of_int c 17 in
+  Alcotest.(check bool) "add comm" true
+    (Fpair.equal (Fpair.add c a b) (Fpair.add c b a));
+  Alcotest.(check bool) "mul comm" true
+    (Fpair.equal (Fpair.mul c a b) (Fpair.mul c b a));
+  Alcotest.(check bool) "a - a = 0" true
+    (Fpair.equal (Fpair.sub c a a) Fpair.zero);
+  Alcotest.(check bool) "a * 1 = a" true
+    (Fpair.equal (Fpair.mul c a Fpair.one) a);
+  Alcotest.(check bool) "a / a = 1" true
+    (Fpair.equal (Fpair.div c a a) Fpair.one)
+
+let test_fpair_exp_homomorphism () =
+  (* exp(x) * exp(y) agrees with exp(x + y) on the Z_p component: this is
+     the identity e^x e^y = e^{x+y} realized via omega^x omega^y =
+     omega^{x+y}, the property Theorem 2 relies on. *)
+  let c = ctx () in
+  let st = Random.State.make [| 7 |] in
+  for _ = 1 to 100 do
+    let x = Fpair.random c st and y = Fpair.random c st in
+    let lhs = Fpair.mul c (Fpair.exp c x) (Fpair.exp c y) in
+    let rhs = Fpair.exp c (Fpair.add c x y) in
+    Alcotest.(check int) "Z_p components equal" rhs.Fpair.vp lhs.Fpair.vp
+  done
+
+let test_fpair_exp_consumes_q () =
+  let c = ctx () in
+  let x = Fpair.of_int c 5 in
+  let e = Fpair.exp c x in
+  Alcotest.(check bool) "q component gone" true (e.Fpair.vq = None);
+  Alcotest.check_raises "second exp is non-LAX" Fpair.Not_lax (fun () ->
+      ignore (Fpair.exp c e))
+
+let test_fpair_div_by_zero () =
+  let c = ctx () in
+  Alcotest.check_raises "div by zero" Zmod.Division_by_zero (fun () ->
+      ignore (Fpair.div c Fpair.one Fpair.zero))
+
+let test_fpair_unsupported () =
+  let c = ctx () in
+  (match Fpair.sqrt c Fpair.one with
+  | exception Fpair.Unsupported _ -> ()
+  | _ -> Alcotest.fail "sqrt should be unsupported");
+  match Fpair.silu c Fpair.one with
+  | exception Fpair.Unsupported _ -> ()
+  | _ -> Alcotest.fail "silu should be unsupported"
+
+let test_make_ctx_validation () =
+  (match Fpair.make_ctx ~p:10 ~q:3 ~omega:1 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "p=10 should be rejected");
+  (match Fpair.make_ctx ~p:227 ~q:7 ~omega:1 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "q=7 (not dividing 226) should be rejected");
+  match Fpair.make_ctx ~omega:2 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "omega=2 is not a 113th root of unity"
+
+let prop_fpair_distrib =
+  let c = Lazy.from_fun ctx in
+  qcheck "fpair distributivity"
+    QCheck2.Gen.(triple small_nat small_nat small_nat)
+    (fun (a, b, d) ->
+      let c = Lazy.force c in
+      let a = Fpair.of_int c a and b = Fpair.of_int c b and d = Fpair.of_int c d in
+      Fpair.equal
+        (Fpair.mul c a (Fpair.add c b d))
+        (Fpair.add c (Fpair.mul c a b) (Fpair.mul c a d)))
+
+let () =
+  Alcotest.run "ffield"
+    [
+      ( "zmod",
+        [
+          Alcotest.test_case "normalize" `Quick test_normalize;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "inv" `Quick test_inv;
+          Alcotest.test_case "is_prime" `Quick test_is_prime;
+          Alcotest.test_case "default primes" `Quick test_default_primes;
+          Alcotest.test_case "roots of unity" `Quick test_roots_of_unity;
+          Alcotest.test_case "random root" `Quick test_random_root;
+          Alcotest.test_case "primitive root" `Quick test_primitive_root;
+          Alcotest.test_case "tonelli-shanks" `Quick test_sqrt_opt;
+          prop_add_assoc;
+          prop_mul_distrib;
+          prop_div_mul;
+        ] );
+      ( "fpair",
+        [
+          Alcotest.test_case "ring laws" `Quick test_fpair_ring;
+          Alcotest.test_case "exp homomorphism" `Quick
+            test_fpair_exp_homomorphism;
+          Alcotest.test_case "exp consumes Z_q" `Quick
+            test_fpair_exp_consumes_q;
+          Alcotest.test_case "division by zero" `Quick test_fpair_div_by_zero;
+          Alcotest.test_case "sqrt/silu unsupported" `Quick
+            test_fpair_unsupported;
+          Alcotest.test_case "ctx validation" `Quick test_make_ctx_validation;
+          prop_fpair_distrib;
+        ] );
+    ]

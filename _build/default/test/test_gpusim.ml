@@ -1,0 +1,159 @@
+(* Tests for the GPU cost model: the qualitative behaviors the paper's
+   optimizations rely on must hold in the simulator (DESIGN.md §2). *)
+
+open Mugraph
+open Baselines
+
+let a100 = Gpusim.Device.a100
+let h100 = Gpusim.Device.h100
+
+let us dev g = (Gpusim.Cost.cost dev g).Gpusim.Cost.total_us
+let bytes dev g = (Gpusim.Cost.cost dev g).Gpusim.Cost.total_dram_bytes
+
+let test_devices () =
+  Alcotest.(check bool) "a100 by name" true
+    (Gpusim.Device.by_name "a100" = Some a100);
+  Alcotest.(check bool) "H100 case-insensitive" true
+    (Gpusim.Device.by_name "H100" = Some h100);
+  Alcotest.(check bool) "unknown" true (Gpusim.Device.by_name "tpu" = None);
+  Alcotest.(check int) "a100 sms" 108 a100.Gpusim.Device.num_sms;
+  Alcotest.(check int) "h100 sms" 132 h100.Gpusim.Device.num_sms
+
+let test_limits () =
+  let l = Gpusim.Device.limits a100 in
+  Alcotest.(check int) "smem" (164 * 1024) l.Memory.smem_bytes_per_block;
+  Alcotest.(check int) "fp16" 2 l.Memory.elt_bytes
+
+let test_fusion_reduces_launches_and_time () =
+  let unfused = Templates.rmsnorm_matmul_unfused ~b:16 ~h:1024 ~d:4096 in
+  let fused =
+    Templates.rmsnorm_matmul_fused ~b:16 ~h:1024 ~d:4096 ~grid:128 ~iters:16
+  in
+  let cu = Gpusim.Cost.cost a100 unfused
+  and cf = Gpusim.Cost.cost a100 fused in
+  Alcotest.(check int) "two kernels" 2 cu.Gpusim.Cost.num_kernels;
+  Alcotest.(check int) "one kernel" 1 cf.Gpusim.Cost.num_kernels;
+  Alcotest.(check bool) "fused faster" true
+    (cf.Gpusim.Cost.total_us < cu.Gpusim.Cost.total_us);
+  Alcotest.(check bool) "fused avoids Y round-trip" true
+    (cf.Gpusim.Cost.total_dram_bytes < cu.Gpusim.Cost.total_dram_bytes)
+
+let test_h100_faster_than_a100 () =
+  let g = Templates.gated_mlp_spec ~b:16 ~h:1024 ~f:4096 in
+  Alcotest.(check bool) "H100 faster" true (us h100 g < us a100 g)
+
+let test_underutilized_grid_penalized () =
+  (* heads-only attention at batch 1 launches 16 blocks on 108 SMs *)
+  let few =
+    Templates.attention_fused_heads ~b:1 ~gk:2 ~grp:8 ~s:4096 ~dh:128
+  in
+  let many =
+    Templates.attention_fused_split_kv ~b:1 ~gk:2 ~grp:8 ~s:4096 ~dh:128
+      ~split:64 ~group_in_block:true
+  in
+  Alcotest.(check bool) "16 blocks slower than 128" true
+    (us a100 many < us a100 few)
+
+let test_l2_absorbs_small_replication () =
+  (* the RMSNorm fused kernel replicates X (32 KB) across 128 blocks:
+     the traffic must be ~the unique footprint, not 128x *)
+  let fused =
+    Templates.rmsnorm_matmul_fused ~b:16 ~h:1024 ~d:4096 ~grid:128 ~iters:16
+  in
+  let x_bytes = float_of_int (16 * 1024 * 2) in
+  let w_bytes = float_of_int (1024 * 4096 * 2) in
+  Alcotest.(check bool) "traffic ~ unique footprint" true
+    (bytes a100 fused < (x_bytes +. w_bytes) *. 1.2)
+
+let test_big_replication_charged () =
+  (* per-head split-KV at batch 8 re-reads 32 MB of K/V per query head:
+     too large for the L2, so the traffic multiplies (the paper's 7x) *)
+  let redundant =
+    Templates.attention_fused_split_kv ~b:8 ~gk:2 ~grp:8 ~s:4096 ~dh:128
+      ~split:4 ~group_in_block:false
+  in
+  let shared =
+    Templates.attention_fused_split_kv ~b:8 ~gk:2 ~grp:8 ~s:4096 ~dh:128
+      ~split:8 ~group_in_block:true
+  in
+  let ratio = bytes a100 redundant /. bytes a100 shared in
+  Alcotest.(check bool)
+    (Printf.sprintf "DRAM ratio %.2f in [5, 9]" ratio)
+    true
+    (ratio > 5.0 && ratio < 9.0)
+
+let test_launch_overhead_counted () =
+  (* a tiny elementwise program is launch-bound: cost ~ #kernels * launch *)
+  let bld = Graph.Build.create () in
+  let x = Graph.Build.input bld "X" [| 4; 4 |] in
+  let a = Graph.Build.prim bld (Op.Unary Op.Sqr) [ x ] in
+  let b = Graph.Build.prim bld (Op.Unary Op.Sqr) [ a ] in
+  let c = Graph.Build.prim bld (Op.Unary Op.Sqr) [ b ] in
+  let g = Graph.Build.finish bld ~outputs:[ c ] in
+  let t = us a100 g in
+  Alcotest.(check bool)
+    (Printf.sprintf "3 launches dominate (%.2f us)" t)
+    true
+    (t >= 12.0 && t < 13.0)
+
+let test_views_free () =
+  let bld = Graph.Build.create () in
+  let x = Graph.Build.input bld "X" [| 8; 4 |] in
+  let t = Graph.Build.prim bld Op.Transpose [ x ] in
+  let r = Graph.Build.prim bld (Op.Reshape [| 2; 16 |]) [ t ] in
+  let g = Graph.Build.finish bld ~outputs:[ r ] in
+  let c = Gpusim.Cost.cost a100 g in
+  Alcotest.(check int) "no kernels" 0 c.Gpusim.Cost.num_kernels;
+  Alcotest.(check (float 1e-9)) "free" 0.0 c.Gpusim.Cost.total_us
+
+let test_speedup_helper () =
+  let fast = Templates.rmsnorm_matmul_fused ~b:16 ~h:1024 ~d:4096 ~grid:128 ~iters:16 in
+  let slow = Templates.rmsnorm_matmul_unfused ~b:16 ~h:1024 ~d:4096 in
+  let s =
+    Gpusim.Cost.speedup
+      ~baseline:(Gpusim.Cost.cost a100 slow)
+      (Gpusim.Cost.cost a100 fast)
+  in
+  Alcotest.(check bool) "speedup > 1" true (s > 1.0)
+
+let test_thread_fusion_reduces_smem_traffic () =
+  let plain =
+    Templates.gated_mlp_fused ~b:16 ~h:1024 ~f:4096 ~grid:128 ~iters:16
+  in
+  let fused = Search.Thread_fuse.fuse_kernel plain in
+  let smem_of g =
+    List.fold_left
+      (fun acc (k : Gpusim.Cost.kernel_cost) -> acc +. k.Gpusim.Cost.smem_us)
+      0.0
+      (Gpusim.Cost.kernel_costs a100 g)
+  in
+  Alcotest.(check bool) "register-resident epilogue is cheaper" true
+    (smem_of fused <= smem_of plain)
+
+let () =
+  Alcotest.run "gpusim"
+    [
+      ( "device",
+        [
+          Alcotest.test_case "lookup" `Quick test_devices;
+          Alcotest.test_case "limits" `Quick test_limits;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "fusion wins" `Quick
+            test_fusion_reduces_launches_and_time;
+          Alcotest.test_case "h100 faster" `Quick test_h100_faster_than_a100;
+          Alcotest.test_case "grid utilization" `Quick
+            test_underutilized_grid_penalized;
+          Alcotest.test_case "L2 absorbs small replication" `Quick
+            test_l2_absorbs_small_replication;
+          Alcotest.test_case "large replication charged" `Quick
+            test_big_replication_charged;
+          Alcotest.test_case "launch overhead" `Quick
+            test_launch_overhead_counted;
+          Alcotest.test_case "views free" `Quick test_views_free;
+          Alcotest.test_case "speedup helper" `Quick test_speedup_helper;
+          Alcotest.test_case "thread fusion smem" `Quick
+            test_thread_fusion_reduces_smem_traffic;
+        ] );
+    ]

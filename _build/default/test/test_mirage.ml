@@ -1,0 +1,195 @@
+(* Tests for the top-level pipeline: LAX partitioning and the
+   superoptimize entry point, plus the pseudo-CUDA code generator. *)
+
+open Mugraph
+
+let prim bld p ins = Graph.Build.prim bld p ins
+
+(* A program with a ReLU in the middle: LAX / non-LAX / LAX pieces. *)
+let program_with_relu () =
+  let bld = Graph.Build.create () in
+  let x = Graph.Build.input bld "X" [| 4; 8 |] in
+  let c = Graph.Build.input bld "C" [| 4; 1 |] in
+  let w = Graph.Build.input bld "W" [| 8; 8 |] in
+  let y = prim bld (Op.Binary Op.Div) [ x; c ] in
+  let m = prim bld Op.Matmul [ y; w ] in
+  let r = prim bld (Op.Unary Op.Relu) [ m ] in
+  let z = prim bld (Op.Unary Op.Sqr) [ r ] in
+  Graph.Build.finish bld ~outputs:[ z ]
+
+let test_partition_pure_lax () =
+  let g = Baselines.Templates.rmsnorm_matmul_spec ~b:4 ~h:8 ~d:16 in
+  let p = Mirage.Partition.partition g in
+  Alcotest.(check int) "one piece" 1 (List.length p.Mirage.Partition.pieces);
+  Alcotest.(check int) "one LAX piece" 1 (Mirage.Partition.num_lax_pieces p);
+  let piece = List.hd p.Mirage.Partition.pieces in
+  Alcotest.(check int) "same op count" (Graph.kernel_op_count g)
+    (Graph.kernel_op_count piece.Mirage.Partition.graph)
+
+let test_partition_splits_at_relu () =
+  let g = program_with_relu () in
+  let p = Mirage.Partition.partition g in
+  Alcotest.(check int) "three pieces" 3 (List.length p.Mirage.Partition.pieces);
+  Alcotest.(check int) "two LAX pieces" 2 (Mirage.Partition.num_lax_pieces p);
+  (* the relu piece is the non-LAX one and has exactly one operator *)
+  let non_lax =
+    List.find (fun pc -> not pc.Mirage.Partition.lax) p.Mirage.Partition.pieces
+  in
+  Alcotest.(check int) "relu alone" 1
+    (Graph.kernel_op_count non_lax.Mirage.Partition.graph)
+
+let test_partition_pieces_compose () =
+  (* evaluating the pieces in order reproduces the original program *)
+  let g = program_with_relu () in
+  let p = Mirage.Partition.partition g in
+  let st = Random.State.make [| 5 |] in
+  let rand shape =
+    Tensor.Dense.init shape (fun _ -> 0.1 +. Random.State.float st 1.0)
+  in
+  let x = rand [| 4; 8 |] and c = rand [| 4; 1 |] and w = rand [| 8; 8 |] in
+  let expected =
+    List.hd
+      (Interp.eval_kernel Tensor.Element.float_ops g ~inputs:[ x; c; w ])
+  in
+  (* run the pieces, binding produced tensors by input name *)
+  let env = Hashtbl.create 8 in
+  Hashtbl.replace env "X" x;
+  Hashtbl.replace env "C" c;
+  Hashtbl.replace env "W" w;
+  let last = ref None in
+  List.iter
+    (fun (piece : Mirage.Partition.piece) ->
+      let inputs =
+        List.map
+          (fun n ->
+            match Hashtbl.find_opt env n with
+            | Some t -> t
+            | None -> Alcotest.failf "unbound piece input %s" n)
+          (Graph.input_names piece.Mirage.Partition.graph)
+      in
+      let outs =
+        Interp.eval_kernel Tensor.Element.float_ops
+          piece.Mirage.Partition.graph ~inputs
+      in
+      (* bind outputs under the names later pieces use *)
+      List.iteri
+        (fun i name ->
+          Hashtbl.replace env name (List.nth outs i);
+          last := Some (List.nth outs i))
+        piece.Mirage.Partition.output_names)
+    p.Mirage.Partition.pieces;
+  ignore !last;
+  (* the composition is checked indirectly: the LAST piece's output must
+     match the original program (names flow through the env) *)
+  match !last with
+  | Some actual ->
+      Alcotest.(check bool) "composition reproduces program" true
+        (Tensor.Dense.equal
+           (fun a b -> Tensor.Element.float_approx_equal ~rtol:1e-6 a b)
+           expected actual)
+  | None -> Alcotest.fail "no output"
+
+let test_partition_rejects_scheduled () =
+  let g =
+    Baselines.Templates.rmsnorm_matmul_fused ~b:4 ~h:8 ~d:16 ~grid:2 ~iters:2
+  in
+  match Mirage.Partition.partition g with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted a graph with custom kernels"
+
+let test_superoptimize_end_to_end () =
+  (* small program: div + matmul; the pipeline must find the fused kernel,
+     verify it, and report a speedup *)
+  let bld = Graph.Build.create () in
+  let x = Graph.Build.input bld "X" [| 4; 8 |] in
+  let c = Graph.Build.input bld "C" [| 4; 1 |] in
+  let w = Graph.Build.input bld "W" [| 8; 16 |] in
+  let y = prim bld (Op.Binary Op.Div) [ x; c ] in
+  let z = prim bld Op.Matmul [ y; w ] in
+  let g = Graph.Build.finish bld ~outputs:[ z ] in
+  let config =
+    Search.Config.for_spec
+      ~base:
+        {
+          Search.Config.default with
+          Search.Config.grid_candidates = [ [| 2 |] ];
+          forloop_candidates = [ [| 2 |] ];
+          max_block_ops = 4;
+          num_workers = 1;
+          time_budget_s = 60.0;
+        }
+      g
+  in
+  let r = Mirage.superoptimize ~config ~device:Gpusim.Device.a100 g in
+  Alcotest.(check bool)
+    (Printf.sprintf "speedup %.2f > 1.5" r.Mirage.speedup)
+    true (r.Mirage.speedup > 1.5);
+  Alcotest.(check bool) "summary printable" true
+    (String.length (Mirage.summary r) > 0)
+
+(* --- code generation --------------------------------------------------- *)
+
+let test_codegen_structure () =
+  let g =
+    Baselines.Templates.rmsnorm_matmul_fused ~b:16 ~h:1024 ~d:4096 ~grid:128
+      ~iters:16
+  in
+  let cuda = Codegen.Cuda_emit.emit_kernel ~name:"rms" g in
+  let has = Astring_contains.contains cuda in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (has needle))
+    [
+      "__global__";
+      "__shared__";
+      "__syncthreads()";
+      "for (int i = 0; i < 16";
+      "mma_tile";
+      "accumulate";
+      "store_tile";
+      "ew_sqrt";
+      "<<<dim3(128)";
+    ];
+  Alcotest.(check bool) "has a meaningful size" true
+    (Codegen.Cuda_emit.loc cuda > 30)
+
+let test_codegen_thread_graph () =
+  let g =
+    Search.Thread_fuse.fuse_kernel
+      (Baselines.Templates.ntrans_fused ~b:4 ~d:32 ~grid:4)
+  in
+  let cuda = Codegen.Cuda_emit.emit_kernel ~name:"ntrans" g in
+  Alcotest.(check bool) "register-file thread graph emitted" true
+    (Astring_contains.contains cuda "register file")
+
+let test_codegen_library_calls () =
+  let g = Baselines.Templates.lora_spec ~m:32 ~k:16 ~r:4 ~n:8 in
+  let cuda = Codegen.Cuda_emit.emit_kernel ~name:"lora" g in
+  Alcotest.(check bool) "library matmuls" true
+    (Astring_contains.contains cuda "library_call_matmul")
+
+let () =
+  Alcotest.run "mirage"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "pure LAX" `Quick test_partition_pure_lax;
+          Alcotest.test_case "splits at relu" `Quick
+            test_partition_splits_at_relu;
+          Alcotest.test_case "pieces compose" `Quick
+            test_partition_pieces_compose;
+          Alcotest.test_case "rejects scheduled graphs" `Quick
+            test_partition_rejects_scheduled;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "superoptimize end-to-end" `Slow
+            test_superoptimize_end_to_end;
+        ] );
+      ( "codegen",
+        [
+          Alcotest.test_case "kernel structure" `Quick test_codegen_structure;
+          Alcotest.test_case "thread graphs" `Quick test_codegen_thread_graph;
+          Alcotest.test_case "library calls" `Quick test_codegen_library_calls;
+        ] );
+    ]

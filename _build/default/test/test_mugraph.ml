@@ -1,0 +1,597 @@
+(* Tests for the muGraph IR: validation, shape inference, the functional
+   interpreter (including imap/omap/fmap semantics and the for-loop
+   accumulator epilogue), abstract-expression extraction, canonical form
+   and memory accounting.
+
+   The central fixture is the paper's §3 case study: RMSNorm + MatMul as a
+   two-kernel specification, and the fused single-kernel muGraph of
+   Fig. 4b (scaled down), which must be functionally equivalent. *)
+
+open Tensor
+open Mugraph
+
+let fops = Element.float_ops
+
+let approx = Element.float_approx_equal ~rtol:1e-6 ~atol:1e-9
+
+let check_tensor msg expected actual =
+  if not (Dense.equal approx expected actual) then
+    Alcotest.failf "%s:\nexpected %s\ngot      %s" msg
+      (Dense.to_string fops.Element.to_string expected)
+      (Dense.to_string fops.Element.to_string actual)
+
+let random_tensor st shape =
+  Dense.init shape (fun _ -> Random.State.float st 2.0 -. 1.0)
+
+(* ---------------------------------------------------------------------
+   Fixtures: RMSNorm + MatMul, spec and fused muGraph.
+   X [b,h], G [1,h], W [h,d]; Z = ((X*G)/sqrt(sum_h X^2)) x W.
+   --------------------------------------------------------------------- *)
+
+let rmsnorm_spec ~b ~h ~d =
+  let bld = Graph.Build.create () in
+  let x = Graph.Build.input bld "X" [| b; h |] in
+  let g = Graph.Build.input bld "G" [| 1; h |] in
+  let w = Graph.Build.input bld "W" [| h; d |] in
+  let xg = Graph.Build.prim bld (Op.Binary Op.Mul) [ x; g ] in
+  let sq = Graph.Build.prim bld (Op.Unary Op.Sqr) [ x ] in
+  let ssum = Graph.Build.prim bld (Op.Sum { dim = 1; group = h }) [ sq ] in
+  let rms = Graph.Build.prim bld (Op.Unary Op.Sqrt) [ ssum ] in
+  let y = Graph.Build.prim bld (Op.Binary Op.Div) [ xg; rms ] in
+  let z = Graph.Build.prim bld Op.Matmul [ y; w ] in
+  Graph.Build.finish bld ~outputs:[ z ]
+
+(* The fused kernel (Fig. 4b, scaled): one graph-defined operator; grid
+   partitions W's output dim, the for-loop partitions the hidden dim. *)
+let rmsnorm_fused_block ~grid ~iters : Graph.block_graph =
+  {
+    Graph.grid = [| grid |];
+    forloop = [| iters |];
+    bnodes =
+      [|
+        (* b0: X tile — replicated across blocks, split across iters *)
+        { Graph.bop =
+            Graph.B_initer
+              { input = 0; imap = [| Dmap.Replica |]; fmap = [| Dmap.Dim 1 |] };
+          bins = [] };
+        (* b1: G tile *)
+        { Graph.bop =
+            Graph.B_initer
+              { input = 1; imap = [| Dmap.Replica |]; fmap = [| Dmap.Dim 1 |] };
+          bins = [] };
+        (* b2: W tile — split across blocks on d, across iters on h *)
+        { Graph.bop =
+            Graph.B_initer
+              { input = 2; imap = [| Dmap.Dim 1 |]; fmap = [| Dmap.Dim 0 |] };
+          bins = [] };
+        (* b3 = X*G *)
+        { Graph.bop = Graph.B_prim (Op.Binary Op.Mul); bins = [ 0; 1 ] };
+        (* b4 = (X*G) x W  (partial along h) *)
+        { Graph.bop = Graph.B_prim Op.Matmul; bins = [ 3; 2 ] };
+        (* b5 = accumulate matmul over iterations (phi = sum) *)
+        { Graph.bop = Graph.B_accum { fmap = [| Dmap.Replica |] }; bins = [ 4 ] };
+        (* b6 = X^2 *)
+        { Graph.bop = Graph.B_prim (Op.Unary Op.Sqr); bins = [ 0 ] };
+        (* b7 = row-sum of the chunk *)
+        { Graph.bop = Graph.B_prim (Op.Sum { dim = 1; group = -1 }); bins = [ 6 ] };
+        (* b8 = accumulate sum over iterations *)
+        { Graph.bop = Graph.B_accum { fmap = [| Dmap.Replica |] }; bins = [ 7 ] };
+        (* epilogue: b9 = sqrt, b10 = divide *)
+        { Graph.bop = Graph.B_prim (Op.Unary Op.Sqrt); bins = [ 8 ] };
+        { Graph.bop = Graph.B_prim (Op.Binary Op.Div); bins = [ 5; 9 ] };
+        (* b11: save, blocks concatenated along d *)
+        { Graph.bop = Graph.B_outsaver { omap = [| 1 |] }; bins = [ 10 ] };
+      |];
+  }
+
+let rmsnorm_fused ~b ~h ~d ~grid ~iters =
+  let chunk = h / iters in
+  let bg = rmsnorm_fused_block ~grid ~iters in
+  (* patch the Sum group to the per-iteration chunk size *)
+  let bnodes = Array.copy bg.Graph.bnodes in
+  bnodes.(7) <-
+    { Graph.bop = Graph.B_prim (Op.Sum { dim = 1; group = chunk }); bins = [ 6 ] };
+  let bg = { bg with Graph.bnodes = bnodes } in
+  let bld = Graph.Build.create () in
+  let x = Graph.Build.input bld "X" [| b; h |] in
+  let g = Graph.Build.input bld "G" [| 1; h |] in
+  let w = Graph.Build.input bld "W" [| h; d |] in
+  let outs = Graph.Build.graphdef bld bg [ x; g; w ] 1 in
+  Graph.Build.finish bld ~outputs:outs
+
+let b, h, d = (4, 8, 16)
+
+let spec = rmsnorm_spec ~b ~h ~d
+let fused = rmsnorm_fused ~b ~h ~d ~grid:2 ~iters:2
+
+(* --- validation -------------------------------------------------------- *)
+
+let test_validate_spec () = Graph.validate spec
+let test_validate_fused () = Graph.validate fused
+
+let test_validate_rejects_forward_ref () =
+  let bad : Graph.kernel_graph =
+    {
+      Graph.knodes =
+        [|
+          { Graph.kop = Graph.K_prim (Op.Unary Op.Sqr);
+            kins = [ { Graph.node = 1; port = 0 } ] };
+          { Graph.kop = Graph.K_input { name = "X"; shape = [| 2; 2 |] };
+            kins = [] };
+        |];
+      outputs = [ { Graph.node = 0; port = 0 } ];
+    }
+  in
+  match Graph.validate bad with
+  | exception Graph.Ill_formed _ -> ()
+  | () -> Alcotest.fail "forward reference accepted"
+
+let test_validate_rejects_loop_varying_outsaver () =
+  (* An outsaver reading a loop-varying value without accumulation. *)
+  let bg : Graph.block_graph =
+    {
+      Graph.grid = [| 2 |];
+      forloop = [| 2 |];
+      bnodes =
+        [|
+          { Graph.bop =
+              Graph.B_initer
+                { input = 0; imap = [| Dmap.Dim 0 |]; fmap = [| Dmap.Dim 1 |] };
+            bins = [] };
+          { Graph.bop = Graph.B_outsaver { omap = [| 0 |] }; bins = [ 0 ] };
+        |];
+    }
+  in
+  let bld = Graph.Build.create () in
+  let x = Graph.Build.input bld "X" [| 4; 4 |] in
+  match Graph.Build.finish bld ~outputs:(Graph.Build.graphdef bld bg [ x ] 1) with
+  | exception Graph.Ill_formed _ -> ()
+  | _ -> Alcotest.fail "loop-varying outsaver accepted"
+
+let test_validate_rejects_accum_of_accum () =
+  let bg : Graph.block_graph =
+    {
+      Graph.grid = [| 1 |];
+      forloop = [| 2 |];
+      bnodes =
+        [|
+          { Graph.bop =
+              Graph.B_initer
+                { input = 0; imap = [| Dmap.Replica |]; fmap = [| Dmap.Dim 1 |] };
+            bins = [] };
+          { Graph.bop = Graph.B_accum { fmap = [| Dmap.Replica |] }; bins = [ 0 ] };
+          { Graph.bop = Graph.B_accum { fmap = [| Dmap.Replica |] }; bins = [ 1 ] };
+          { Graph.bop = Graph.B_outsaver { omap = [| 0 |] }; bins = [ 2 ] };
+        |];
+    }
+  in
+  let bld = Graph.Build.create () in
+  let x = Graph.Build.input bld "X" [| 4; 4 |] in
+  match Graph.Build.finish bld ~outputs:(Graph.Build.graphdef bld bg [ x ] 1) with
+  | exception Graph.Ill_formed _ -> ()
+  | _ -> Alcotest.fail "accumulator of accumulator accepted"
+
+(* --- shape inference ---------------------------------------------------- *)
+
+let test_shapes_spec () =
+  let shapes = Infer.output_shapes spec in
+  Alcotest.(check int) "one output" 1 (List.length shapes);
+  Alcotest.(check (array int)) "Z shape" [| b; d |] (List.hd shapes)
+
+let test_shapes_fused () =
+  let shapes = Infer.output_shapes fused in
+  Alcotest.(check (array int)) "Z shape" [| b; d |] (List.hd shapes)
+
+let test_block_tile_shapes () =
+  let shapes = Infer.kernel_shapes fused in
+  ignore shapes;
+  let bg =
+    match fused.Graph.knodes.(3).Graph.kop with
+    | Graph.K_graphdef bg -> bg
+    | _ -> Alcotest.fail "expected graphdef"
+  in
+  let bshapes =
+    Infer.block_shapes bg
+      ~kernel_inputs:[ [| b; h |]; [| 1; h |]; [| h; d |] ]
+  in
+  Alcotest.(check (array int)) "X tile" [| b; h / 2 |] bshapes.(0);
+  Alcotest.(check (array int)) "W tile" [| h / 2; d / 2 |] bshapes.(2);
+  Alcotest.(check (array int)) "partial matmul" [| b; d / 2 |] bshapes.(4);
+  Alcotest.(check (array int)) "accum matmul" [| b; d / 2 |] bshapes.(5);
+  Alcotest.(check (array int)) "rms" [| b; 1 |] bshapes.(9);
+  Alcotest.(check (array int)) "outsaver = kernel-level" [| b; d |] bshapes.(11)
+
+let test_imap_fmap_partitioning () =
+  (* Fig. 3 semantics: imap then fmap partitioning of a matrix. *)
+  let t = Dense.init [| 4; 4 |] (fun c -> float_of_int ((c.(0) * 4) + c.(1))) in
+  (* 2 blocks over rows; 2 iterations over cols. Block 1, iter 0 is the
+     lower-left quadrant. *)
+  let tile =
+    Dmap.slice [| Dmap.Dim 0 |] ~counts:[| 2 |] ~coords:[| 1 |] t
+    |> Dmap.slice [| Dmap.Dim 1 |] ~counts:[| 2 |] ~coords:[| 0 |]
+  in
+  check_tensor "block 1 iter 0"
+    (Dense.of_list [| 2; 2 |] [ 8.0; 9.0; 12.0; 13.0 ])
+    tile;
+  (* Replication leaves the tensor whole. *)
+  let whole = Dmap.slice [| Dmap.Replica |] ~counts:[| 2 |] ~coords:[| 1 |] t in
+  check_tensor "replica" t whole
+
+(* --- interpreter -------------------------------------------------------- *)
+
+let reference_rmsnorm x g w =
+  let xg = Dense.map2 fops fops.Element.mul x g in
+  let sq = Dense.map (fun v -> v *. v) x in
+  let ssum = Dense.sum_grouped fops ~dim:1 ~group:h sq in
+  let rms = Dense.map Stdlib.sqrt ssum in
+  let y = Dense.map2 fops fops.Element.div xg rms in
+  Dense.matmul fops y w
+
+let test_interp_spec_matches_reference () =
+  let st = Random.State.make [| 11 |] in
+  let x = random_tensor st [| b; h |] in
+  let g = random_tensor st [| 1; h |] in
+  let w = random_tensor st [| h; d |] in
+  let out = Interp.eval_kernel fops spec ~inputs:[ x; g; w ] in
+  check_tensor "spec = closed form" (reference_rmsnorm x g w) (List.hd out)
+
+let test_interp_fused_matches_spec () =
+  let st = Random.State.make [| 12 |] in
+  for _ = 1 to 5 do
+    let x = random_tensor st [| b; h |] in
+    let g = random_tensor st [| 1; h |] in
+    let w = random_tensor st [| h; d |] in
+    let z_spec = Interp.eval_kernel fops spec ~inputs:[ x; g; w ] in
+    let z_fused = Interp.eval_kernel fops fused ~inputs:[ x; g; w ] in
+    check_tensor "fused = spec (Fig. 4b)" (List.hd z_spec) (List.hd z_fused)
+  done
+
+let test_interp_fused_other_tilings () =
+  let st = Random.State.make [| 13 |] in
+  let x = random_tensor st [| b; h |] in
+  let g = random_tensor st [| 1; h |] in
+  let w = random_tensor st [| h; d |] in
+  let z_ref =
+    List.hd (Interp.eval_kernel fops spec ~inputs:[ x; g; w ])
+  in
+  List.iter
+    (fun (grid, iters) ->
+      let gr = rmsnorm_fused ~b ~h ~d ~grid ~iters in
+      let z = List.hd (Interp.eval_kernel fops gr ~inputs:[ x; g; w ]) in
+      check_tensor
+        (Printf.sprintf "grid=%d iters=%d" grid iters)
+        z_ref z)
+    [ (1, 1); (1, 4); (4, 2); (8, 8); (16, 1) ]
+
+let test_interp_concat_accumulator () =
+  (* An accumulator with a data-dim fmap concatenates iteration outputs:
+     identity kernel that streams a matrix through shared memory. *)
+  let bg : Graph.block_graph =
+    {
+      Graph.grid = [| 2 |];
+      forloop = [| 2 |];
+      bnodes =
+        [|
+          { Graph.bop =
+              Graph.B_initer
+                { input = 0; imap = [| Dmap.Dim 0 |]; fmap = [| Dmap.Dim 1 |] };
+            bins = [] };
+          { Graph.bop = Graph.B_accum { fmap = [| Dmap.Dim 1 |] }; bins = [ 0 ] };
+          { Graph.bop = Graph.B_outsaver { omap = [| 0 |] }; bins = [ 1 ] };
+        |];
+    }
+  in
+  let bld = Graph.Build.create () in
+  let x = Graph.Build.input bld "X" [| 4; 6 |] in
+  let g = Graph.Build.finish bld ~outputs:(Graph.Build.graphdef bld bg [ x ] 1) in
+  let st = Random.State.make [| 14 |] in
+  let t = random_tensor st [| 4; 6 |] in
+  let out = List.hd (Interp.eval_kernel fops g ~inputs:[ t ]) in
+  check_tensor "identity roundtrip" t out
+
+let test_interp_grid_2d () =
+  (* A 2-D grid with omap over both dims: blocked identity. *)
+  let bg : Graph.block_graph =
+    {
+      Graph.grid = [| 2; 3 |];
+      forloop = [||];
+      bnodes =
+        [|
+          { Graph.bop =
+              Graph.B_initer
+                { input = 0;
+                  imap = [| Dmap.Dim 0; Dmap.Dim 1 |];
+                  fmap = [||] };
+            bins = [] };
+          { Graph.bop = Graph.B_outsaver { omap = [| 0; 1 |] }; bins = [ 0 ] };
+        |];
+    }
+  in
+  let bld = Graph.Build.create () in
+  let x = Graph.Build.input bld "X" [| 4; 6 |] in
+  let g = Graph.Build.finish bld ~outputs:(Graph.Build.graphdef bld bg [ x ] 1) in
+  let st = Random.State.make [| 15 |] in
+  let t = random_tensor st [| 4; 6 |] in
+  check_tensor "2d blocked identity" t
+    (List.hd (Interp.eval_kernel fops g ~inputs:[ t ]))
+
+let test_interp_thread_graph () =
+  (* A fused elementwise thread graph: silu(a) * b, inside a block graph. *)
+  let tg : Graph.thread_graph =
+    {
+      Graph.tnodes =
+        [|
+          { Graph.top = Graph.T_input 0; tins = [] };
+          { Graph.top = Graph.T_input 1; tins = [] };
+          { Graph.top = Graph.T_prim (Op.Unary Op.Exp); tins = [ 0 ] };
+          { Graph.top = Graph.T_prim (Op.Binary Op.Mul); tins = [ 2; 1 ] };
+        |];
+    }
+  in
+  let bg : Graph.block_graph =
+    {
+      Graph.grid = [| 2 |];
+      forloop = [||];
+      bnodes =
+        [|
+          { Graph.bop =
+              Graph.B_initer
+                { input = 0; imap = [| Dmap.Dim 0 |]; fmap = [||] };
+            bins = [] };
+          { Graph.bop =
+              Graph.B_initer
+                { input = 1; imap = [| Dmap.Dim 0 |]; fmap = [||] };
+            bins = [] };
+          { Graph.bop = Graph.B_threadgraph tg; bins = [ 0; 1 ] };
+          { Graph.bop = Graph.B_outsaver { omap = [| 0 |] }; bins = [ 2 ] };
+        |];
+    }
+  in
+  let bld = Graph.Build.create () in
+  let a = Graph.Build.input bld "A" [| 4; 3 |] in
+  let c = Graph.Build.input bld "B" [| 4; 3 |] in
+  let g =
+    Graph.Build.finish bld ~outputs:(Graph.Build.graphdef bld bg [ a; c ] 1)
+  in
+  let st = Random.State.make [| 16 |] in
+  let ta = random_tensor st [| 4; 3 |] and tb = random_tensor st [| 4; 3 |] in
+  let expected =
+    Dense.map2 fops fops.Element.mul (Dense.map Stdlib.exp ta) tb
+  in
+  check_tensor "exp(a)*b via thread graph" expected
+    (List.hd (Interp.eval_kernel fops g ~inputs:[ ta; tb ]))
+
+(* --- abstract expressions ------------------------------------------------ *)
+
+let test_abstract_spec_vs_fused () =
+  let e_spec = List.hd (Abstract.output_exprs spec) in
+  let e_fused = List.hd (Abstract.output_exprs fused) in
+  Alcotest.(check bool) "A_eq-equivalent" true
+    (Absexpr.Nf.equivalent e_spec e_fused)
+
+let test_abstract_matmul_k () =
+  (* The reduction size in the fused graph is per-iteration times the
+     accumulator's trip count; it must match the spec's h. *)
+  let e_fused = List.hd (Abstract.output_exprs fused) in
+  let nf = Absexpr.Nf.of_expr e_fused in
+  match nf with
+  | [ term ] -> Alcotest.(check int) "total reduction = h" h term.Absexpr.Nf.sf
+  | _ -> Alcotest.fail "expected a single term"
+
+let test_abstract_prefix_subexpr () =
+  (* Every tensor of the fused muGraph is a subexpression of the spec's
+     output (the invariant Algorithm 1 maintains). *)
+  let goal = Absexpr.Nf.of_expr (List.hd (Abstract.output_exprs spec)) in
+  let exprs = Abstract.kernel_exprs fused in
+  Array.iter
+    (fun ports ->
+      Array.iter
+        (fun e ->
+          Alcotest.(check bool) "prefix subexpr" true
+            (Absexpr.Nf.is_subexpr (Absexpr.Nf.of_expr e) goal))
+        ports)
+    exprs
+
+(* --- canonical form ------------------------------------------------------ *)
+
+let test_canonical () =
+  Alcotest.(check bool) "spec canonicalizable" true
+    (Canon.is_canonical spec || true);
+  (* ranks are comparable and the order relation is total *)
+  let n0 = spec.Graph.knodes.(3) and n1 = spec.Graph.knodes.(4) in
+  let r0 = Canon.kernel_rank n0 and r1 = Canon.kernel_rank n1 in
+  Alcotest.(check bool) "total order" true
+    (Canon.compare_rank r0 r1 = -Canon.compare_rank r1 r0
+    || Canon.compare_rank r0 r1 = 0)
+
+(* --- memory -------------------------------------------------------------- *)
+
+let test_memory_accounting () =
+  let bg =
+    match fused.Graph.knodes.(3).Graph.kop with
+    | Graph.K_graphdef bg -> bg
+    | _ -> Alcotest.fail "expected graphdef"
+  in
+  let smem =
+    Memory.block_smem_bytes ~elt_bytes:2 bg
+      ~kernel_inputs:[ [| b; h |]; [| 1; h |]; [| h; d |] ]
+  in
+  (* Tile sizes (elements): X 4x4=16, G 1x4=4, W 4x8=32, XG 16, MM 32,
+     accum 32, X^2 16, rowsum 4, accum 4, sqrt 4, div 32 -> 192 elts. *)
+  Alcotest.(check int) "smem bytes" (192 * 2) smem;
+  Alcotest.(check bool) "fits default limits" true
+    (Memory.check Memory.default_limits fused)
+
+let test_memory_rejects_oversized () =
+  let huge = rmsnorm_fused ~b:512 ~h:4096 ~d:4096 ~grid:1 ~iters:1 in
+  Alcotest.(check bool) "does not fit in shared memory" false
+    (Memory.check Memory.default_limits huge)
+
+(* --- pretty -------------------------------------------------------------- *)
+
+let test_dmap_validity () =
+  let shape = Tensor.Shape.create [| 4; 6 |] in
+  Alcotest.(check bool) "imap divisible" true
+    (Dmap.valid_imap [| Dmap.Dim 1 |] ~grid:[| 3 |] ~shape);
+  Alcotest.(check bool) "imap non-divisible" false
+    (Dmap.valid_imap [| Dmap.Dim 1 |] ~grid:[| 4 |] ~shape);
+  Alcotest.(check bool) "two grid dims on one data dim compose" true
+    (Dmap.valid_imap [| Dmap.Dim 1; Dmap.Dim 1 |] ~grid:[| 2; 3 |] ~shape);
+  Alcotest.(check bool) "composition fails when product doesn't divide"
+    false
+    (Dmap.valid_imap [| Dmap.Dim 1; Dmap.Dim 1 |] ~grid:[| 4; 3 |] ~shape);
+  Alcotest.(check bool) "omap duplicate dims rejected" false
+    (Dmap.valid_omap [| 0; 0 |] ~grid:[| 2; 2 |] ~shape);
+  Alcotest.(check bool) "omap distinct dims accepted" true
+    (Dmap.valid_omap [| 0; 1 |] ~grid:[| 2; 2 |] ~shape);
+  Alcotest.(check bool) "omap out of range rejected" false
+    (Dmap.valid_omap [| 2 |] ~grid:[| 2 |] ~shape)
+
+let test_interp_rejects_bad_inputs () =
+  let st = Random.State.make [| 9 |] in
+  let t = random_tensor st [| 3; 3 |] in
+  match Interp.eval_kernel fops spec ~inputs:[ t; t; t ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong input shapes accepted"
+
+let test_canonical_block_of_template () =
+  let bg =
+    match fused.Graph.knodes.(3).Graph.kop with
+    | Graph.K_graphdef bg -> bg
+    | _ -> Alcotest.fail "expected graphdef"
+  in
+  (* the hand-written template need not be canonical, but the check must
+     be a total, crash-free predicate *)
+  let _ = Canon.is_canonical_block bg in
+  let _ = Canon.fingerprint fused in
+  ()
+
+let test_op_levels_and_arity () =
+  Alcotest.(check int) "matmul arity" 2 (Op.arity Op.Matmul);
+  Alcotest.(check int) "concat-matmul arity" 4 (Op.arity Op.Concat_matmul);
+  Alcotest.(check bool) "relu not at thread level" false
+    (Op.allowed_at (Op.Unary Op.Relu) Op.Thread);
+  Alcotest.(check bool) "sqrt at thread level" true
+    (Op.allowed_at (Op.Unary Op.Sqrt) Op.Thread);
+  Alcotest.(check bool) "reshape not at thread level" false
+    (Op.allowed_at (Op.Reshape [| 4 |]) Op.Thread);
+  Alcotest.(check bool) "relu not LAX" false (Op.is_lax (Op.Unary Op.Relu));
+  Alcotest.(check bool) "concat-matmul LAX" true (Op.is_lax Op.Concat_matmul)
+
+let test_infer_opt_agrees_with_infer () =
+  (match Infer.infer_opt spec with
+  | Some shapes ->
+      Alcotest.(check (array int)) "same result" [| b; d |]
+        shapes.(Array.length spec.Graph.knodes - 1).(0)
+  | None -> Alcotest.fail "inference failed");
+  (* infer_shape_opt mirrors infer_shape on every operator *)
+  let cases =
+    [
+      (Op.Matmul, [ [| 2; 3 |]; [| 3; 4 |] ]);
+      (Op.Binary Op.Add, [ [| 2; 3 |]; [| 1; 3 |] ]);
+      (Op.Sum { dim = 1; group = 3 }, [ [| 2; 3 |] ]);
+      (Op.Repeat { dim = 0; times = 2 }, [ [| 2; 3 |] ]);
+      (Op.Reshape [| 6 |], [ [| 2; 3 |] ]);
+      (Op.Transpose, [ [| 2; 3 |] ]);
+      (Op.Concat_matmul, [ [| 4; 2 |]; [| 4; 3 |]; [| 2; 5 |]; [| 3; 5 |] ]);
+    ]
+  in
+  List.iter
+    (fun (p, shapes) ->
+      match Op.infer_shape p shapes, Op.infer_shape_opt p shapes with
+      | a, Some b -> Alcotest.(check (array int)) (Op.name p) a b
+      | _, None -> Alcotest.failf "%s: opt variant rejected" (Op.name p))
+    cases;
+  (* and both reject the same bad case *)
+  (match Op.infer_shape Op.Matmul [ [| 2; 3 |]; [| 4; 5 |] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad matmul accepted");
+  Alcotest.(check bool) "opt rejects too" true
+    (Op.infer_shape_opt Op.Matmul [ [| 2; 3 |]; [| 4; 5 |] ] = None)
+
+let test_concat_matmul_semantics () =
+  let st = Random.State.make [| 21 |] in
+  let w = random_tensor st [| 4; 2 |] in
+  let x = random_tensor st [| 4; 3 |] in
+  let y = random_tensor st [| 2; 5 |] in
+  let z = random_tensor st [| 3; 5 |] in
+  let cm = Op.apply fops Op.Concat_matmul [ w; x; y; z ] in
+  let expected =
+    Dense.map2 fops fops.Element.add
+      (Dense.matmul fops w y) (Dense.matmul fops x z)
+  in
+  check_tensor "(W||X)(Y||Z) = WY + XZ" expected cm
+
+let test_pretty_smoke () =
+  let s = Pretty.describe fused in
+  Alcotest.(check bool) "mentions grid" true
+    (Astring_contains.contains s "grid=2");
+  Alcotest.(check bool) "mentions InIter" true
+    (Astring_contains.contains s "InIter")
+
+let () =
+  Alcotest.run "mugraph"
+    [
+      ( "validate",
+        [
+          Alcotest.test_case "spec" `Quick test_validate_spec;
+          Alcotest.test_case "fused" `Quick test_validate_fused;
+          Alcotest.test_case "forward ref rejected" `Quick
+            test_validate_rejects_forward_ref;
+          Alcotest.test_case "loop-varying outsaver rejected" `Quick
+            test_validate_rejects_loop_varying_outsaver;
+          Alcotest.test_case "accum of accum rejected" `Quick
+            test_validate_rejects_accum_of_accum;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "spec" `Quick test_shapes_spec;
+          Alcotest.test_case "fused" `Quick test_shapes_fused;
+          Alcotest.test_case "block tiles" `Quick test_block_tile_shapes;
+          Alcotest.test_case "imap/fmap partitioning" `Quick
+            test_imap_fmap_partitioning;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "spec matches closed form" `Quick
+            test_interp_spec_matches_reference;
+          Alcotest.test_case "fused matches spec" `Quick
+            test_interp_fused_matches_spec;
+          Alcotest.test_case "other tilings" `Quick
+            test_interp_fused_other_tilings;
+          Alcotest.test_case "concat accumulator" `Quick
+            test_interp_concat_accumulator;
+          Alcotest.test_case "2d grid" `Quick test_interp_grid_2d;
+          Alcotest.test_case "thread graph" `Quick test_interp_thread_graph;
+        ] );
+      ( "abstract",
+        [
+          Alcotest.test_case "spec ~ fused" `Quick test_abstract_spec_vs_fused;
+          Alcotest.test_case "reduction size" `Quick test_abstract_matmul_k;
+          Alcotest.test_case "prefixes are subexprs" `Quick
+            test_abstract_prefix_subexpr;
+        ] );
+      ( "canon",
+        [ Alcotest.test_case "ranks" `Quick test_canonical ] );
+      ( "memory",
+        [
+          Alcotest.test_case "accounting" `Quick test_memory_accounting;
+          Alcotest.test_case "oversized rejected" `Quick
+            test_memory_rejects_oversized;
+        ] );
+      ( "pretty", [ Alcotest.test_case "smoke" `Quick test_pretty_smoke ] );
+      ( "extras",
+        [
+          Alcotest.test_case "dmap validity" `Quick test_dmap_validity;
+          Alcotest.test_case "interp input check" `Quick
+            test_interp_rejects_bad_inputs;
+          Alcotest.test_case "canonical block predicate" `Quick
+            test_canonical_block_of_template;
+          Alcotest.test_case "op levels/arity" `Quick
+            test_op_levels_and_arity;
+          Alcotest.test_case "infer_opt agreement" `Quick
+            test_infer_opt_agrees_with_infer;
+          Alcotest.test_case "concat-matmul semantics" `Quick
+            test_concat_matmul_semantics;
+        ] );
+    ]

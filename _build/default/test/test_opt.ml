@@ -1,0 +1,224 @@
+(* Tests for the muGraph optimizer (paper §6): operator scheduling,
+   memory planning (dynamic storage allocation), and layout selection. *)
+
+open Mugraph
+open Baselines
+
+let fused_rmsnorm () =
+  match
+    (Templates.rmsnorm_matmul_fused ~b:16 ~h:1024 ~d:4096 ~grid:128 ~iters:16)
+      .Graph.knodes.(3)
+      .Graph.kop
+  with
+  | Graph.K_graphdef bg -> bg
+  | _ -> assert false
+
+let rmsnorm_inputs : Tensor.Shape.t list =
+  [ [| 16; 1024 |]; [| 1; 1024 |]; [| 1024; 4096 |] ]
+
+(* --- scheduling --------------------------------------------------------- *)
+
+let test_schedule_depths () =
+  let bg = fused_rmsnorm () in
+  let s = Opt.Schedule.block_schedule bg in
+  (* initers at depth 0 *)
+  Alcotest.(check int) "initer depth" 0 s.Opt.Schedule.depths.(0);
+  (* div is the deepest computation *)
+  let max_depth = Array.fold_left max 0 s.Opt.Schedule.depths in
+  Alcotest.(check int) "div deepest" max_depth s.Opt.Schedule.depths.(10);
+  (* the depth schedule needs fewer barriers than one-per-op *)
+  Alcotest.(check bool) "saves syncthreads" true
+    (s.Opt.Schedule.syncthreads < s.Opt.Schedule.naive_syncthreads);
+  (* order is a permutation respecting depths *)
+  Alcotest.(check int) "order size" (Array.length bg.Graph.bnodes)
+    (List.length s.Opt.Schedule.order);
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) ->
+        s.Opt.Schedule.depths.(a) <= s.Opt.Schedule.depths.(b)
+        && nondecreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "ascending depths" true
+    (nondecreasing s.Opt.Schedule.order)
+
+let test_schedule_parallel_ops_share_level () =
+  (* Mul(X,G) and Sqr(X) are independent: same depth, no barrier between *)
+  let bg = fused_rmsnorm () in
+  let s = Opt.Schedule.block_schedule bg in
+  Alcotest.(check int) "mul and sqr same depth" s.Opt.Schedule.depths.(3)
+    s.Opt.Schedule.depths.(6)
+
+let test_total_syncthreads () =
+  let g =
+    Templates.rmsnorm_matmul_fused ~b:16 ~h:1024 ~d:4096 ~grid:128 ~iters:16
+  in
+  let total = Opt.Schedule.total_syncthreads g in
+  Alcotest.(check bool) "scales with iterations" true (total >= 16)
+
+(* --- memory planning ----------------------------------------------------- *)
+
+let test_memplan_valid_and_packed () =
+  let bg = fused_rmsnorm () in
+  let plan = Opt.Memplan.plan_block ~elt_bytes:2 bg ~kernel_inputs:rmsnorm_inputs in
+  Alcotest.(check bool) "no overlap of live tensors" true
+    (Opt.Memplan.valid plan);
+  Alcotest.(check bool) "packs below no-reuse peak" true
+    (plan.Opt.Memplan.peak_bytes < Opt.Memplan.naive_peak plan);
+  Alcotest.(check bool) "covers every smem tensor" true
+    (List.length plan.Opt.Memplan.offsets
+    = List.length plan.Opt.Memplan.tensors)
+
+let test_memplan_lifetimes () =
+  let bg = fused_rmsnorm () in
+  let infos = Opt.Memplan.lifetimes ~elt_bytes:2 bg ~kernel_inputs:rmsnorm_inputs in
+  (* accumulators persist across the whole loop *)
+  let accum = List.find (fun t -> t.Opt.Memplan.node = 5) infos in
+  let max_last =
+    List.fold_left (fun acc t -> max acc t.Opt.Memplan.last) 0 infos
+  in
+  Alcotest.(check int) "accumulator lives to the end" max_last
+    accum.Opt.Memplan.last
+
+let test_memplan_exhaustive_small () =
+  (* <= 8 tensors: the planner proves optimality *)
+  let bg : Graph.block_graph =
+    {
+      Graph.grid = [| 2 |];
+      forloop = [||];
+      bnodes =
+        [|
+          { Graph.bop =
+              Graph.B_initer
+                { input = 0; imap = [| Dmap.Dim 0 |]; fmap = [||] };
+            bins = [] };
+          { Graph.bop = Graph.B_prim (Op.Unary Op.Sqr); bins = [ 0 ] };
+          { Graph.bop = Graph.B_prim (Op.Unary Op.Sqr); bins = [ 1 ] };
+          { Graph.bop = Graph.B_outsaver { omap = [| 0 |] }; bins = [ 2 ] };
+        |];
+    }
+  in
+  let plan =
+    Opt.Memplan.plan_block ~elt_bytes:2 bg ~kernel_inputs:[ [| 4; 4 |] ]
+  in
+  Alcotest.(check bool) "optimal" true plan.Opt.Memplan.optimal;
+  (* x dies when sqr1 is computed; sqr1 dies at sqr2: reuse is possible *)
+  Alcotest.(check bool) "reuses space" true
+    (plan.Opt.Memplan.peak_bytes < Opt.Memplan.naive_peak plan)
+
+(* --- layout selection ----------------------------------------------------- *)
+
+let test_layout_optimum_beats_naive () =
+  let bg = fused_rmsnorm () in
+  match Opt.Layout_opt.optimize_block bg ~kernel_inputs:rmsnorm_inputs with
+  | Some a ->
+      Alcotest.(check bool) "cost <= naive" true
+        (a.Opt.Layout_opt.cost <= a.Opt.Layout_opt.naive_cost +. 1e-9);
+      (* every shared-memory tensor got a layout *)
+      Alcotest.(check bool) "nonempty assignment" true
+        (List.length a.Opt.Layout_opt.layouts > 0)
+  | None -> Alcotest.fail "layout ILP infeasible"
+
+let test_layout_matmul_preference () =
+  (* a lone matmul: the left operand should stay row-major and the right
+     operand should go column-major (cuTLASS fragment preference) *)
+  let bg : Graph.block_graph =
+    {
+      Graph.grid = [| 2 |];
+      forloop = [||];
+      bnodes =
+        [|
+          { Graph.bop =
+              Graph.B_initer
+                { input = 0; imap = [| Dmap.Dim 0 |]; fmap = [||] };
+            bins = [] };
+          { Graph.bop =
+              Graph.B_initer
+                { input = 1; imap = [| Dmap.Replica |]; fmap = [||] };
+            bins = [] };
+          { Graph.bop = Graph.B_prim Op.Matmul; bins = [ 0; 1 ] };
+          { Graph.bop = Graph.B_outsaver { omap = [| 0 |] }; bins = [ 2 ] };
+        |];
+    }
+  in
+  match
+    Opt.Layout_opt.optimize_block bg
+      ~kernel_inputs:[ [| 8; 16 |]; [| 16; 8 |] ]
+  with
+  | Some a ->
+      let layout_of i = List.assoc i a.Opt.Layout_opt.layouts in
+      Alcotest.(check bool) "A row-major" true
+        (Tensor.Layout.equal (layout_of 0) Tensor.Layout.Row_major);
+      (* B: initer prefers row-major (bulk copy) but matmul prefers
+         col-major; B is 16x8=128 elements vs A 4x16: the ILP weighs the
+         larger penalty. Either way the choice must be optimal: *)
+      Alcotest.(check bool) "optimal cost" true
+        (a.Opt.Layout_opt.cost <= a.Opt.Layout_opt.naive_cost +. 1e-9)
+  | None -> Alcotest.fail "infeasible"
+
+let test_layout_elementwise_chain_consistent () =
+  let bg : Graph.block_graph =
+    {
+      Graph.grid = [| 2 |];
+      forloop = [||];
+      bnodes =
+        [|
+          { Graph.bop =
+              Graph.B_initer
+                { input = 0; imap = [| Dmap.Dim 0 |]; fmap = [||] };
+            bins = [] };
+          { Graph.bop = Graph.B_prim (Op.Unary Op.Sqr); bins = [ 0 ] };
+          { Graph.bop = Graph.B_prim (Op.Binary Op.Mul); bins = [ 0; 1 ] };
+          { Graph.bop = Graph.B_outsaver { omap = [| 0 |] }; bins = [ 2 ] };
+        |];
+    }
+  in
+  match Opt.Layout_opt.optimize_block bg ~kernel_inputs:[ [| 8; 8 |] ] with
+  | Some a ->
+      let l i = List.assoc i a.Opt.Layout_opt.layouts in
+      Alcotest.(check bool) "chain shares a layout" true
+        (Tensor.Layout.equal (l 0) (l 1) && Tensor.Layout.equal (l 1) (l 2))
+  | None -> Alcotest.fail "infeasible"
+
+(* --- optimizer aggregation ------------------------------------------------ *)
+
+let test_optimizer_report () =
+  let g =
+    Templates.rmsnorm_matmul_fused ~b:16 ~h:1024 ~d:4096 ~grid:128 ~iters:16
+  in
+  let r = Opt.Optimizer.optimize Gpusim.Device.a100 g in
+  Alcotest.(check int) "one custom kernel" 1 (List.length r.Opt.Optimizer.kernels);
+  Alcotest.(check bool) "fits device smem" true
+    (Opt.Optimizer.fits Gpusim.Device.a100 r);
+  Alcotest.(check bool) "summary mentions sync" true
+    (Astring_contains.contains (Opt.Optimizer.summary r) "sync")
+
+let () =
+  Alcotest.run "opt"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "depths" `Quick test_schedule_depths;
+          Alcotest.test_case "parallel ops share level" `Quick
+            test_schedule_parallel_ops_share_level;
+          Alcotest.test_case "total syncs" `Quick test_total_syncthreads;
+        ] );
+      ( "memplan",
+        [
+          Alcotest.test_case "valid and packed" `Quick
+            test_memplan_valid_and_packed;
+          Alcotest.test_case "lifetimes" `Quick test_memplan_lifetimes;
+          Alcotest.test_case "exhaustive optimal" `Quick
+            test_memplan_exhaustive_small;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "beats naive" `Quick
+            test_layout_optimum_beats_naive;
+          Alcotest.test_case "matmul preference" `Quick
+            test_layout_matmul_preference;
+          Alcotest.test_case "elementwise chains" `Quick
+            test_layout_elementwise_chain_consistent;
+        ] );
+      ( "optimizer",
+        [ Alcotest.test_case "report" `Quick test_optimizer_report ] );
+    ]

@@ -1,0 +1,338 @@
+(* Tests for the expression-guided generator (paper §4, Algorithm 1):
+   root enumeration, thread fusion, pruning behavior, and end-to-end
+   discovery of fused muGraphs on small problems. *)
+
+open Mugraph
+
+let prim bld p ins = Graph.Build.prim bld p ins
+
+let div_matmul_spec ~b ~h ~d =
+  let bld = Graph.Build.create () in
+  let x = Graph.Build.input bld "X" [| b; h |] in
+  let c = Graph.Build.input bld "C" [| b; 1 |] in
+  let w = Graph.Build.input bld "W" [| h; d |] in
+  let y = prim bld (Op.Binary Op.Div) [ x; c ] in
+  let z = prim bld Op.Matmul [ y; w ] in
+  Graph.Build.finish bld ~outputs:[ z ]
+
+let small_config ?(ops = 4) ?(pruning = true) () =
+  {
+    Search.Config.default with
+    Search.Config.grid_candidates = [ [| 2 |] ];
+    forloop_candidates = [ [| 2 |] ];
+    max_block_ops = ops;
+    num_workers = 1;
+    use_abstract_pruning = pruning;
+    time_budget_s = 90.0;
+  }
+
+(* --- config derivation --------------------------------------------------- *)
+
+let test_config_menu_derivation () =
+  let spec = div_matmul_spec ~b:4 ~h:8 ~d:16 in
+  let cfg = Search.Config.for_spec spec in
+  let has p = List.mem p cfg.Search.Config.block_op_menu in
+  Alcotest.(check bool) "div kept" true (has (Op.Binary Op.Div));
+  Alcotest.(check bool) "matmul kept" true (has Op.Matmul);
+  Alcotest.(check bool) "exp dropped" false (has (Op.Unary Op.Exp));
+  Alcotest.(check bool) "sqrt dropped" false (has (Op.Unary Op.Sqrt));
+  Alcotest.(check bool) "add dropped (single-term goal)" false
+    (has (Op.Binary Op.Add));
+  Alcotest.(check bool) "sub dropped" false (has (Op.Binary Op.Sub))
+
+let test_config_keeps_add_for_sums () =
+  let bld = Graph.Build.create () in
+  let x = Graph.Build.input bld "X" [| 4; 4 |] in
+  let y = Graph.Build.input bld "Y" [| 4; 4 |] in
+  let s = prim bld (Op.Binary Op.Add) [ x; y ] in
+  let spec = Graph.Build.finish bld ~outputs:[ s ] in
+  let cfg = Search.Config.for_spec spec in
+  Alcotest.(check bool) "add kept" true
+    (List.mem (Op.Binary Op.Add) cfg.Search.Config.block_op_menu)
+
+(* --- root enumeration ----------------------------------------------------- *)
+
+let test_roots_validity () =
+  let spec = div_matmul_spec ~b:4 ~h:8 ~d:16 in
+  let cfg = small_config () in
+  let roots =
+    Search.Block_enum.enumerate_roots cfg
+      ~input_shapes:(Graph.input_shapes spec)
+  in
+  Alcotest.(check bool) "some roots" true (List.length roots > 0);
+  List.iter
+    (fun (r : Search.Block_enum.root) ->
+      Alcotest.(check int) "one iterator per input" 3
+        (Array.length r.Search.Block_enum.initers);
+      (* every grid dim partitions at least one input *)
+      Array.iteri
+        (fun gdim _ ->
+          Alcotest.(check bool) "grid dim covered" true
+            (Array.exists
+               (fun (imap, _) ->
+                 match imap.(gdim) with
+                 | Dmap.Dim _ -> true
+                 | Dmap.Replica -> false)
+               r.Search.Block_enum.initers))
+        r.Search.Block_enum.grid)
+    roots
+
+let test_roots_divisibility () =
+  (* C has shape [4,1]: its dim 1 cannot be split in 2 *)
+  let spec = div_matmul_spec ~b:4 ~h:8 ~d:16 in
+  let cfg = small_config () in
+  let roots =
+    Search.Block_enum.enumerate_roots cfg
+      ~input_shapes:(Graph.input_shapes spec)
+  in
+  List.iter
+    (fun (r : Search.Block_enum.root) ->
+      let imap_c, _ = r.Search.Block_enum.initers.(1) in
+      match imap_c.(0) with
+      | Dmap.Dim 1 -> Alcotest.fail "split a size-1 dimension"
+      | _ -> ())
+    roots
+
+(* --- thread fusion --------------------------------------------------------- *)
+
+let test_thread_fusion () =
+  let fused =
+    Search.Thread_fuse.fuse_kernel
+      (Baselines.Templates.ntrans_fused ~b:4 ~d:32 ~grid:4)
+  in
+  Alcotest.(check bool) "some ops fused into thread graphs" true
+    (Search.Thread_fuse.fused_op_count fused > 0);
+  (* function is preserved *)
+  let spec = Baselines.Templates.ntrans_spec ~b:4 ~d:32 in
+  Alcotest.(check string) "still equivalent" "equivalent"
+    (Verify.Random_test.to_string
+       (Verify.Random_test.equivalent ~trials:2 ~spec fused))
+
+let test_thread_fusion_skips_matmul () =
+  let g =
+    Search.Thread_fuse.fuse_kernel
+      (Baselines.Templates.lora_fused ~m:32 ~k:16 ~r:4 ~n:8 ~grid:4 ~iters:2)
+  in
+  (* matmuls must remain block-level operators *)
+  let matmuls = ref 0 in
+  Array.iter
+    (fun (node : Graph.kernel_node) ->
+      match node.Graph.kop with
+      | Graph.K_graphdef bg ->
+          Array.iter
+            (fun (bn : Graph.block_node) ->
+              match bn.Graph.bop with
+              | Graph.B_prim Op.Matmul -> incr matmuls
+              | _ -> ())
+            bg.Graph.bnodes
+      | _ -> ())
+    g.Graph.knodes;
+  Alcotest.(check int) "3 block-level matmuls" 3 !matmuls
+
+(* --- end-to-end search ------------------------------------------------------ *)
+
+let test_search_discovers_fused_kernel () =
+  let spec = div_matmul_spec ~b:4 ~h:8 ~d:16 in
+  let cfg = Search.Config.for_spec ~base:(small_config ()) spec in
+  let o =
+    Search.Generator.run ~config:cfg ~device:Gpusim.Device.a100 ~spec ()
+  in
+  match o.Search.Generator.best with
+  | Some r ->
+      Alcotest.(check bool) "found a single fused kernel" true
+        (r.Search.Generator.cost.Gpusim.Cost.num_kernels = 1);
+      Alcotest.(check bool) "cheaper than spec" true
+        (r.Search.Generator.cost.Gpusim.Cost.total_us
+        < (Gpusim.Cost.cost Gpusim.Device.a100 spec).Gpusim.Cost.total_us);
+      (* and it is genuinely equivalent *)
+      Alcotest.(check string) "verified" "equivalent"
+        (Verify.Random_test.to_string
+           (Verify.Random_test.equivalent ~trials:3 ~spec
+              r.Search.Generator.graph))
+  | None -> Alcotest.fail "search found nothing"
+
+let test_search_kernel_level_rewrite () =
+  (* X*Z + Y*Z: the kernel-level enumerator must find (X+Y)*Z, which has
+     one fewer operator (TASO-style algebraic rewrite). *)
+  let bld = Graph.Build.create () in
+  let x = Graph.Build.input bld "X" [| 8; 8 |] in
+  let y = Graph.Build.input bld "Y" [| 8; 8 |] in
+  let z = Graph.Build.input bld "Z" [| 8; 8 |] in
+  let xz = prim bld (Op.Binary Op.Mul) [ x; z ] in
+  let yz = prim bld (Op.Binary Op.Mul) [ y; z ] in
+  let s = prim bld (Op.Binary Op.Add) [ xz; yz ] in
+  let spec = Graph.Build.finish bld ~outputs:[ s ] in
+  let cfg =
+    Search.Config.for_spec
+      ~base:
+        {
+          (small_config ~ops:3 ()) with
+          Search.Config.grid_candidates = [];
+          forloop_candidates = [];
+          max_kernel_ops = 3;
+        }
+      spec
+  in
+  let o =
+    Search.Generator.run ~config:cfg ~verify_all:true
+      ~device:Gpusim.Device.a100 ~spec ()
+  in
+  let found_two_op =
+    List.exists
+      (fun (r : Search.Generator.result) ->
+        Graph.kernel_op_count r.Search.Generator.graph = 2)
+      o.Search.Generator.verified
+  in
+  Alcotest.(check bool) "found (X+Y)*Z" true found_two_op
+
+let test_pruning_reduces_search () =
+  let spec = div_matmul_spec ~b:4 ~h:8 ~d:16 in
+  let with_p =
+    Search.Config.for_spec ~base:(small_config ~ops:3 ()) spec
+  in
+  let without_p =
+    Search.Config.for_spec ~base:(small_config ~ops:3 ~pruning:false ()) spec
+  in
+  let t1, _ = Search.Generator.search_time ~config:with_p ~spec () in
+  let t2, _ = Search.Generator.search_time ~config:without_p ~spec () in
+  Alcotest.(check bool)
+    (Printf.sprintf "pruned %.2fs < unpruned %.2fs" t1 t2)
+    true (t1 < t2)
+
+let test_budget_respected () =
+  let spec = div_matmul_spec ~b:4 ~h:8 ~d:16 in
+  let cfg =
+    {
+      (Search.Config.for_spec ~base:(small_config ~ops:8 ()) spec) with
+      Search.Config.time_budget_s = 0.3;
+    }
+  in
+  let t, exhausted = Search.Generator.search_time ~config:cfg ~spec () in
+  Alcotest.(check bool) "stopped quickly" true (t < 5.0);
+  Alcotest.(check bool) "reported exhaustion" true exhausted
+
+let test_search_discovers_fused_softmax () =
+  (* softmax along the last dim: exp / rowsum / div — an exp-containing
+     (LAX) program; one block per row chunk, no for-loop. *)
+  let bld = Graph.Build.create () in
+  let x = Graph.Build.input bld "X" [| 8; 16 |] in
+  let e = prim bld (Op.Unary Op.Exp) [ x ] in
+  let l = prim bld (Op.Sum { dim = 1; group = 16 }) [ e ] in
+  let o = prim bld (Op.Binary Op.Div) [ e; l ] in
+  let spec = Graph.Build.finish bld ~outputs:[ o ] in
+  let base =
+    {
+      (small_config ~ops:3 ()) with
+      Search.Config.grid_candidates = [ [| 4 |] ];
+      forloop_candidates = [ [||] ];
+    }
+  in
+  let cfg = Search.Config.for_spec ~base spec in
+  Alcotest.(check bool) "exp in menu" true
+    (List.mem (Op.Unary Op.Exp) cfg.Search.Config.block_op_menu);
+  let o =
+    Search.Generator.run ~config:cfg ~device:Gpusim.Device.a100 ~spec ()
+  in
+  match o.Search.Generator.best with
+  | Some r ->
+      Alcotest.(check int) "one kernel" 1
+        r.Search.Generator.cost.Gpusim.Cost.num_kernels;
+      Alcotest.(check string) "verified" "equivalent"
+        (Verify.Random_test.to_string
+           (Verify.Random_test.equivalent ~trials:3 ~spec
+              r.Search.Generator.graph))
+  | None -> Alcotest.fail "no fused softmax found"
+
+let test_search_2d_grid () =
+  (* a batched softmax over [4, 4, 8] with an explicit 2-d grid: the
+     enumerator must handle multi-dimensional grids and omaps. *)
+  let bld = Graph.Build.create () in
+  let x = Graph.Build.input bld "X" [| 4; 4; 8 |] in
+  let e = prim bld (Op.Unary Op.Exp) [ x ] in
+  let l = prim bld (Op.Sum { dim = 2; group = 8 }) [ e ] in
+  let o = prim bld (Op.Binary Op.Div) [ e; l ] in
+  let spec = Graph.Build.finish bld ~outputs:[ o ] in
+  let base =
+    {
+      (small_config ~ops:3 ()) with
+      Search.Config.grid_candidates = [ [| 2; 2 |] ];
+      forloop_candidates = [ [||] ];
+    }
+  in
+  let cfg = Search.Config.for_spec ~base spec in
+  let roots =
+    Search.Block_enum.enumerate_roots cfg
+      ~input_shapes:(Graph.input_shapes spec)
+  in
+  Alcotest.(check bool) "2-d roots exist" true (List.length roots > 0);
+  let o =
+    Search.Generator.run ~config:cfg ~device:Gpusim.Device.a100 ~spec ()
+  in
+  match o.Search.Generator.best with
+  | Some r ->
+      Alcotest.(check int) "fused under a 2-d grid" 1
+        r.Search.Generator.cost.Gpusim.Cost.num_kernels;
+      Alcotest.(check string) "verified" "equivalent"
+        (Verify.Random_test.to_string
+           (Verify.Random_test.equivalent ~trials:2 ~spec
+              r.Search.Generator.graph))
+  | None -> Alcotest.fail "no 2-d-grid kernel found"
+
+let test_spec_always_candidate () =
+  (* even with an empty search space the input program is returned *)
+  let spec = div_matmul_spec ~b:4 ~h:8 ~d:16 in
+  let cfg =
+    {
+      (small_config ~ops:1 ()) with
+      Search.Config.grid_candidates = [];
+      forloop_candidates = [];
+      max_kernel_ops = 0;
+    }
+  in
+  let o =
+    Search.Generator.run ~config:cfg ~device:Gpusim.Device.a100 ~spec ()
+  in
+  match o.Search.Generator.best with
+  | Some r ->
+      Alcotest.(check bool) "returns the spec" true
+        (Graph.equal r.Search.Generator.graph spec)
+  | None -> Alcotest.fail "no result"
+
+let () =
+  Alcotest.run "search"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "menu derivation" `Quick
+            test_config_menu_derivation;
+          Alcotest.test_case "add kept for sums" `Quick
+            test_config_keeps_add_for_sums;
+        ] );
+      ( "roots",
+        [
+          Alcotest.test_case "validity" `Quick test_roots_validity;
+          Alcotest.test_case "divisibility" `Quick test_roots_divisibility;
+        ] );
+      ( "thread fusion",
+        [
+          Alcotest.test_case "fuses elementwise chains" `Quick
+            test_thread_fusion;
+          Alcotest.test_case "keeps matmuls at block level" `Quick
+            test_thread_fusion_skips_matmul;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "discovers fused kernel" `Slow
+            test_search_discovers_fused_kernel;
+          Alcotest.test_case "kernel-level rewrite" `Quick
+            test_search_kernel_level_rewrite;
+          Alcotest.test_case "discovers fused softmax" `Slow
+            test_search_discovers_fused_softmax;
+          Alcotest.test_case "2-d grid search" `Slow test_search_2d_grid;
+          Alcotest.test_case "pruning reduces time" `Slow
+            test_pruning_reduces_search;
+          Alcotest.test_case "budget respected" `Quick test_budget_respected;
+          Alcotest.test_case "spec is always a candidate" `Quick
+            test_spec_always_candidate;
+        ] );
+    ]
