@@ -17,6 +17,17 @@ let devices = [ Gpusim.Device.a100; Gpusim.Device.h100 ]
 let hr title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
+(* Machine-readable output: suites append rows here and [--json FILE]
+   writes them all at exit. The human-readable tables are unchanged. *)
+let json_rows : Obs.Jsonw.t list ref = ref []
+let json_suites : string list ref = ref []
+
+let jsuite name =
+  if not (List.mem name !json_suites) then
+    json_suites := !json_suites @ [ name ]
+
+let jpush fields = json_rows := Obs.Jsonw.Obj fields :: !json_rows
+
 (* ------------------------------------------------------------------ *)
 (* Figure 7: six benchmarks x two GPUs, all systems normalized to      *)
 (* Mirage (higher is better), speedup over the best baseline.          *)
@@ -24,6 +35,7 @@ let hr title =
 
 let fig7 () =
   hr "Figure 7: benchmark performance normalized to Mirage (higher = better)";
+  jsuite "fig7";
   List.iter
     (fun dev ->
       Printf.printf "\n--- %s ---\n" dev.Gpusim.Device.name;
@@ -36,12 +48,26 @@ let fig7 () =
             List.fold_left (fun acc (_, g) -> Float.min acc (cost g)) infinity
               b.systems
           in
+          let row system us =
+            jpush
+              Obs.Jsonw.
+                [
+                  ("suite", Str "fig7");
+                  ("device", Str dev.Gpusim.Device.name);
+                  ("benchmark", Str b.name);
+                  ("system", Str system);
+                  ("us", Float us);
+                  ("norm", Float (mirage_us /. us));
+                ]
+          in
           List.iter
             (fun (name, g) ->
               let us = cost g in
+              row name us;
               Printf.printf "%-10s %-14s %8.2f %8.2f\n" b.name name us
                 (mirage_us /. us))
             b.systems;
+          row "Mirage" mirage_us;
           Printf.printf "%-10s %-14s %8.2f %8.2f  <= %.2fx over best baseline\n"
             b.name "Mirage" mirage_us 1.0 (best /. mirage_us))
         (Workloads.Bench_defs.all ()))
@@ -53,6 +79,7 @@ let fig7 () =
 
 let fig11 () =
   hr "Figure 11: end-to-end inference latency (PyTorch vs PyTorch+Mirage)";
+  jsuite "fig11";
   List.iter
     (fun dev ->
       Printf.printf "\n--- %s ---\n" dev.Gpusim.Device.name;
@@ -62,6 +89,16 @@ let fig11 () =
         (fun m ->
           let base = Workloads.Models.latency_us dev m ~optimized:false in
           let opti = Workloads.Models.latency_us dev m ~optimized:true in
+          jpush
+            Obs.Jsonw.
+              [
+                ("suite", Str "fig11");
+                ("device", Str dev.Gpusim.Device.name);
+                ("model", Str m.Workloads.Models.name);
+                ("pytorch_us", Float base);
+                ("mirage_us", Float opti);
+                ("speedup", Float (base /. opti));
+              ];
           Printf.printf "%-14s %12.0f %12.0f %7.2fx\n"
             m.Workloads.Models.name base opti (base /. opti))
         (Workloads.Models.all ()))
@@ -364,9 +401,33 @@ let micro () =
       | _ -> Printf.printf "%-42s (no estimate)\n" name)
     (List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) rows)
 
+let write_json file =
+  let doc =
+    Obs.Jsonw.Obj
+      [
+        ( "suites",
+          Obs.Jsonw.List
+            (List.map (fun s -> Obs.Jsonw.Str s) !json_suites) );
+        ("rows", Obs.Jsonw.List (List.rev !json_rows));
+        ( "metrics",
+          Obs.Metrics.to_json (Obs.Metrics.snapshot (Obs.Metrics.default ()))
+        );
+      ]
+  in
+  Obs.Jsonw.to_file file doc;
+  Printf.printf "\nwrote %d JSON rows to %s\n" (List.length !json_rows) file
+
 let () =
-  let args = Array.to_list Sys.argv in
-  match args with
+  (* [--json FILE] may appear anywhere; it is stripped before dispatch. *)
+  let json_file, args =
+    let rec strip acc = function
+      | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
+      | x :: rest -> strip (x :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    strip [] (Array.to_list Sys.argv)
+  in
+  (match args with
   | _ :: "fig7" :: _ -> fig7 ()
   | _ :: "fig11" :: _ -> fig11 ()
   | _ :: "table5" :: rest -> table5 ~full:(List.mem "--full" rest) ()
@@ -384,5 +445,6 @@ let () =
   | _ ->
       prerr_endline
         "usage: main.exe [fig7|fig11|table5 [--full]|casestudy \
-         <name>|gqa_sweep|ablation|micro]";
-      exit 2
+         <name>|gqa_sweep|ablation|micro] [--json FILE]";
+      exit 2);
+  Option.iter write_json json_file

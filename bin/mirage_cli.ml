@@ -2,6 +2,7 @@
 
    Subcommands:
      optimize  — superoptimize a named benchmark's specification
+     stats     — run the search and print the full search funnel
      verify    — check a benchmark's Mirage plan against its spec
      inspect   — print a benchmark's plans, costs, and generated CUDA
      bench     — quick cost comparison across systems and devices
@@ -100,37 +101,80 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc:"Cost all benchmarks on a device")
     Term.(const run $ device_arg)
 
+(* Shared observability flags: [--trace FILE] records phase spans and
+   writes Chrome trace-event JSON; [--metrics] dumps the merged metrics
+   registry. Both default to off, leaving the plain output untouched. *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record phase spans and write Chrome trace-event JSON to $(docv) \
+           (load in chrome://tracing or Perfetto).")
+
+let metrics_flag =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the merged metrics registry after the run.")
+
+let with_tracing trace f =
+  match trace with
+  | None -> f ()
+  | Some file ->
+      let t = Obs.Trace.enable () in
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Trace.disable ();
+          Obs.Trace.dump t file;
+          Printf.printf "== trace: %d spans -> %s\n%s" (Obs.Trace.span_count t)
+            file (Obs.Trace.summary t))
+        f
+
+(* The process-wide registry holds the verifier's counters; per-search
+   registries hold the funnel and enumerator histograms. Merge them for
+   one report. *)
+let merged_metrics piece_snaps =
+  Obs.Metrics.merge
+    (piece_snaps @ [ Obs.Metrics.snapshot (Obs.Metrics.default ()) ])
+
+let ops_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "max-block-ops" ] ~docv:"N"
+        ~doc:"Maximum operators per block graph during the search.")
+
+let workers_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "workers"; "j" ] ~docv:"N" ~doc:"Search worker domains.")
+
+let budget_arg =
+  Arg.(
+    value & opt float 120.0
+    & info [ "budget" ] ~docv:"SECONDS" ~doc:"Search time budget.")
+
+let search_config ~max_ops ~workers ~budget spec =
+  let base =
+    {
+      Search.Config.default with
+      Search.Config.max_block_ops = max_ops;
+      num_workers = workers;
+      time_budget_s = budget;
+    }
+  in
+  Search.Config.for_spec ~base spec
+
 let optimize_cmd =
-  let ops_arg =
-    Arg.(
-      value & opt int 8
-      & info [ "max-block-ops" ] ~docv:"N"
-          ~doc:"Maximum operators per block graph during the search.")
-  in
-  let workers_arg =
-    Arg.(
-      value & opt int 4
-      & info [ "workers"; "j" ] ~docv:"N" ~doc:"Search worker domains.")
-  in
-  let budget_arg =
-    Arg.(
-      value & opt float 120.0
-      & info [ "budget" ] ~docv:"SECONDS" ~doc:"Search time budget.")
-  in
-  let run name device max_ops workers budget =
+  let run name device max_ops workers budget trace metrics =
     let b = lookup name in
     (* Superoptimize the reduced-dimension specification: the search is
        exhaustive and the discovered structure is dimension-uniform. *)
     let spec, _ = b.Workloads.Bench_defs.reduced () in
-    let base =
-      {
-        Search.Config.default with
-        Search.Config.max_block_ops = max_ops;
-        num_workers = workers;
-        time_budget_s = budget;
-      }
-    in
-    let config = Search.Config.for_spec ~base spec in
+    let config = search_config ~max_ops ~workers ~budget spec in
+    with_tracing trace @@ fun () ->
     let report = Mirage.superoptimize ~config ~device spec in
     print_string (Mirage.summary report);
     List.iter
@@ -142,12 +186,87 @@ let optimize_cmd =
             Printf.printf "best muGraph:\n%s\n"
               (Mugraph.Pretty.kernel_graph_to_string pr.Mirage.best)
         | None -> ())
-      report.Mirage.pieces
+      report.Mirage.pieces;
+    if metrics then begin
+      let piece_snaps =
+        List.filter_map
+          (fun (pr : Mirage.piece_result) ->
+            Option.map
+              (fun o -> o.Search.Generator.metrics)
+              pr.Mirage.outcome)
+          report.Mirage.pieces
+      in
+      Printf.printf "== metrics\n%s"
+        (Obs.Metrics.to_table (merged_metrics piece_snaps))
+    end
   in
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Run the full superoptimizer on a benchmark (reduced dims)")
-    Term.(const run $ bench_arg $ device_arg $ ops_arg $ workers_arg $ budget_arg)
+    Term.(
+      const run $ bench_arg $ device_arg $ ops_arg $ workers_arg $ budget_arg
+      $ trace_arg $ metrics_flag)
+
+let stats_cmd =
+  let run name device max_ops workers budget trace =
+    let b = lookup name in
+    let spec, _ = b.Workloads.Bench_defs.reduced () in
+    let config = search_config ~max_ops ~workers ~budget spec in
+    with_tracing trace @@ fun () ->
+    let o = Search.Generator.run ~config ~verify_trials:2 ~device ~spec () in
+    let s = o.Search.Generator.stats in
+    let open Search.Stats in
+    (* Each stage of the funnel subtracts one rejection class from the
+       attempted extensions; non-negative by the funnel invariant. *)
+    let shape_ok = s.expanded - s.shape_rejected in
+    let mem_ok = shape_ok - s.memory_rejected in
+    let not_pruned = mem_ok - s.pruned_abstract in
+    let canonical = not_pruned - s.canonical_rejected in
+    Printf.printf "== search funnel: %s on %s (reduced dims)\n"
+      b.Workloads.Bench_defs.name device.Gpusim.Device.name;
+    Printf.printf "  %-24s %9d\n" "expanded" s.expanded;
+    Printf.printf "  %-24s %9d   (-%d shape-rejected)\n" "shape-ok" shape_ok
+      s.shape_rejected;
+    Printf.printf "  %-24s %9d   (-%d over the smem limit)\n" "mem-ok" mem_ok
+      s.memory_rejected;
+    Printf.printf "  %-24s %9d   (-%d pruned by abstract expr)\n" "not-pruned"
+      not_pruned s.pruned_abstract;
+    Printf.printf "  %-24s %9d   (-%d non-canonical)\n" "canonical" canonical
+      s.canonical_rejected;
+    Printf.printf "  %-24s %9d\n" "candidates" s.candidates;
+    Printf.printf "  %-24s %9d\n" "verified" s.verified;
+    Printf.printf "  %-24s %9d\n" "duplicates" s.duplicates;
+    Printf.printf "  funnel invariant: %s; %.2f s elapsed%s\n"
+      (if Search.Stats.funnel_ok s then "ok" else "VIOLATED")
+      s.elapsed_s
+      (if o.Search.Generator.budget_exhausted then " (budget exhausted)"
+       else "");
+    let sv = o.Search.Generator.solver in
+    let hit_pct =
+      if sv.Smtlite.Solver.queries = 0 then 0.0
+      else
+        100.0
+        *. float_of_int sv.Smtlite.Solver.cache_hits
+        /. float_of_int sv.Smtlite.Solver.queries
+    in
+    Printf.printf
+      "== solver: %d queries, %d cache hits (%.1f%%), %d accepted, %.4f s \
+       solving\n"
+      sv.Smtlite.Solver.queries sv.Smtlite.Solver.cache_hits hit_pct
+      sv.Smtlite.Solver.accepted sv.Smtlite.Solver.solve_time_s;
+    Printf.printf "== metrics\n%s"
+      (Obs.Metrics.to_table (merged_metrics [ o.Search.Generator.metrics ]));
+    if not (Search.Stats.funnel_ok s) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run the search on a benchmark and print the full search funnel \
+          (expanded, per-stage rejections, candidates, verified), solver and \
+          verifier telemetry")
+    Term.(
+      const run $ bench_arg $ device_arg $ ops_arg $ workers_arg $ budget_arg
+      $ trace_arg)
 
 let emit_cmd =
   let out_arg =
@@ -209,5 +328,6 @@ let () =
             inspect_cmd;
             bench_cmd;
             optimize_cmd;
+            stats_cmd;
             emit_cmd;
           ]))

@@ -21,10 +21,26 @@ type report = {
 
 let superoptimize ?config ?(verify_trials = 2) ~(device : Gpusim.Device.t)
     program =
-  let partition = Partition.partition program in
+  Obs.Trace.with_span ~cat:"mirage" "superoptimize" @@ fun () ->
+  let partition =
+    Obs.Trace.with_span ~cat:"mirage" "partition" (fun () ->
+        Partition.partition program)
+  in
+  Obs.Log.info (fun m ->
+      m "superoptimize: %d pieces on %s"
+        (List.length partition.Partition.pieces)
+        device.Gpusim.Device.name);
   let pieces =
     List.map
       (fun (p : Partition.piece) ->
+        Obs.Trace.with_span ~cat:"mirage"
+          ~args:
+            [
+              ("piece", string_of_int p.Partition.id);
+              ("lax", string_of_bool p.Partition.lax);
+            ]
+          "piece"
+        @@ fun () ->
         let input_cost = Gpusim.Cost.cost device p.Partition.graph in
         if not p.Partition.lax then
           {

@@ -42,13 +42,51 @@ let partition (g : Graph.kernel_graph) =
   in
   let lax i = node_is_lax g.knodes.(i) in
   let parent = Array.init n Fun.id in
-  (* merge adjacent LAX operators *)
+  (* Merging the components of producer [j] and consumer [i] is unsafe
+     when some path between two nodes of the would-be merged component
+     passes through a node outside it (e.g. m -> relu(m) -> f(m, relu m):
+     the merged component would depend on a component that depends on it,
+     and no piece order would exist). Since existing components are
+     acyclic, walking backward from each member and looking for a re-entry
+     after leaving the merged set finds exactly the new cycles. *)
+  let creates_cycle ~prod:j ~cons:i =
+    let ri = find parent i and rj = find parent j in
+    let in_merged k =
+      is_op k && (find parent k = ri || find parent k = rj)
+    in
+    let seen = Hashtbl.create 16 in
+    let rec back k outside =
+      if in_merged k && outside then true
+      else if Hashtbl.mem seen (k, outside) then false
+      else begin
+        Hashtbl.add seen (k, outside) ();
+        let outside = outside || not (in_merged k) in
+        List.exists
+          (fun ({ node = l; _ } : Graph.tensor_ref) ->
+            is_op l && back l outside)
+          g.knodes.(k).Graph.kins
+      end
+    in
+    List.exists
+      (fun v ->
+        in_merged v
+        && List.exists
+             (fun ({ node = l; _ } : Graph.tensor_ref) ->
+               is_op l && back l false)
+             g.knodes.(v).Graph.kins)
+      (List.init n Fun.id)
+  in
+  (* merge adjacent LAX operators (when acyclicity allows) *)
   Array.iteri
     (fun i (node : Graph.kernel_node) ->
       if is_op i && lax i then
         List.iter
           (fun ({ node = j; _ } : Graph.tensor_ref) ->
-            if is_op j && lax j then union parent i j)
+            if
+              is_op j && lax j
+              && find parent i <> find parent j
+              && not (creates_cycle ~prod:j ~cons:i)
+            then union parent i j)
           node.kins)
     g.knodes;
   (* component representative per operator node *)

@@ -1,0 +1,30 @@
+(** A minimal JSON value type with a writer and a parser — enough for the
+    observability layer (Chrome trace files, metrics dumps, machine-readable
+    benchmark results) without pulling in an external dependency.
+
+    The writer emits compact, valid JSON (RFC 8259): strings are escaped,
+    non-finite floats become [null]. The parser accepts anything the writer
+    produces plus ordinary interchange JSON (whitespace, nested
+    containers, escape sequences including [\uXXXX]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). *)
+
+val to_file : string -> t -> unit
+(** [to_file path v] writes [to_string v] followed by a newline. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error. Numbers
+    without [.], [e] or [E] parse as [Int] when they fit, else [Float]. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing field or non-object. *)

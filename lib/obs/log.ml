@@ -1,0 +1,43 @@
+type level = Debug | Info | Warn
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2
+let label = function Debug -> "debug" | Info -> "info" | Warn -> "warn"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | _ -> None
+
+let from_env () =
+  match Sys.getenv_opt "MIRAGE_LOG" with
+  | Some s -> level_of_string s
+  | None -> None
+
+let cur : level option ref = ref (from_env ())
+let set_level l = cur := l
+let current_level () = !cur
+
+let enabled lvl =
+  match !cur with
+  | None -> false
+  | Some min -> severity lvl >= severity min
+
+let lock = Mutex.create ()
+
+type 'a msgf = (('a, Format.formatter, unit, unit) format4 -> 'a) -> unit
+
+let msg lvl (msgf : 'a msgf) =
+  if enabled lvl then
+    msgf (fun fmt ->
+        Format.kasprintf
+          (fun s ->
+            Mutex.lock lock;
+            Printf.eprintf "[mirage:%s] %s\n%!" (label lvl) s;
+            Mutex.unlock lock)
+          fmt)
+
+let debug msgf = msg Debug msgf
+let info msgf = msg Info msgf
+let warn msgf = msg Warn msgf

@@ -1,0 +1,31 @@
+(** A leveled structured logger, off by default so instrumented code adds
+    no output to the tier-1 test suite or the CLI unless asked.
+
+    The level comes from the [MIRAGE_LOG] environment variable
+    ([debug], [info] or [warn]; anything else — including unset — means
+    off) and can be overridden programmatically with {!set_level}.
+
+    Messages use the [Logs]-style continuation form so the formatting work
+    is skipped entirely when the level is disabled:
+
+    {[ Obs.Log.debug (fun m -> m "expanded %d prefixes" n) ]}
+
+    Output goes to [stderr], one line per message, serialized across
+    domains. *)
+
+type level = Debug | Info | Warn
+
+val level_of_string : string -> level option
+(** ["debug"], ["info"], ["warn"]/["warning"] (case-insensitive);
+    [None] otherwise. *)
+
+val set_level : level option -> unit
+val current_level : unit -> level option
+
+val enabled : level -> bool
+
+type 'a msgf = (('a, Format.formatter, unit, unit) format4 -> 'a) -> unit
+
+val debug : 'a msgf -> unit
+val info : 'a msgf -> unit
+val warn : 'a msgf -> unit

@@ -1,0 +1,146 @@
+type rec_span = {
+  name : string;
+  cat : string;
+  ts_us : float;  (** relative to the collector epoch *)
+  dur_us : float;
+  tid : int;
+  path : string list;  (** innermost first, includes [name] *)
+  args : (string * string) list;
+}
+
+type t = {
+  epoch : float;
+  lock : Mutex.t;
+  mutable spans : rec_span list;  (** reversed (most recent first) *)
+}
+
+let create () =
+  { epoch = Unix.gettimeofday (); lock = Mutex.create (); spans = [] }
+
+(* Per-domain stack of open span names, for nesting paths. *)
+let stack_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let record t ~cat ~args name f =
+  let stack = Domain.DLS.get stack_key in
+  let saved = !stack in
+  let path = name :: saved in
+  stack := path;
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let t1 = Unix.gettimeofday () in
+      stack := saved;
+      let s =
+        {
+          name;
+          cat;
+          ts_us = (t0 -. t.epoch) *. 1e6;
+          dur_us = (t1 -. t0) *. 1e6;
+          tid = (Domain.self () :> int);
+          path;
+          args;
+        }
+      in
+      Mutex.lock t.lock;
+      t.spans <- s :: t.spans;
+      Mutex.unlock t.lock)
+    f
+
+let span t ?(cat = "mirage") ?(args = []) name f = record t ~cat ~args name f
+
+(* ------------------------------------------------------------------ *)
+(* Global collector                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let current : t option Atomic.t = Atomic.make None
+
+let enable () =
+  let t = create () in
+  Atomic.set current (Some t);
+  t
+
+let disable () = Atomic.set current None
+let active () = Atomic.get current
+
+let with_span ?(cat = "mirage") ?(args = []) name f =
+  match Atomic.get current with
+  | None -> f ()
+  | Some t -> record t ~cat ~args name f
+
+(* ------------------------------------------------------------------ *)
+(* Output                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let spans t =
+  Mutex.lock t.lock;
+  let l = t.spans in
+  Mutex.unlock t.lock;
+  List.rev l
+
+let span_count t = List.length (spans t)
+
+let to_chrome_json t =
+  Jsonw.List
+    (List.map
+       (fun s ->
+         Jsonw.Obj
+           [
+             ("name", Jsonw.Str s.name);
+             ("cat", Jsonw.Str s.cat);
+             ("ph", Jsonw.Str "X");
+             ("ts", Jsonw.Float s.ts_us);
+             ("dur", Jsonw.Float s.dur_us);
+             ("pid", Jsonw.Int 0);
+             ("tid", Jsonw.Int s.tid);
+             ( "args",
+               Jsonw.Obj
+                 (List.map (fun (k, v) -> (k, Jsonw.Str v)) s.args) );
+           ])
+       (spans t))
+
+let dump t path = Jsonw.to_file path (to_chrome_json t)
+
+let summary t =
+  (* Aggregate by reversed path (outermost first). *)
+  let agg : (string list, int * float * float) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      let key = List.rev s.path in
+      match Hashtbl.find_opt agg key with
+      | Some (n, total, first) ->
+          Hashtbl.replace agg key (n + 1, total +. s.dur_us, Float.min first s.ts_us)
+      | None -> Hashtbl.add agg key (1, s.dur_us, s.ts_us))
+    (spans t);
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) agg [] in
+  (* Order: depth-first by first occurrence — sorting paths by the first
+     timestamp of each of their prefixes gives a stable tree layout. *)
+  let first_ts path =
+    match Hashtbl.find_opt agg path with
+    | Some (_, _, ts) -> ts
+    | None -> 0.0
+  in
+  let rec take k l =
+    if k = 0 then [] else match l with [] -> [] | x :: r -> x :: take (k - 1) r
+  in
+  let prefixes p = List.init (List.length p) (fun i -> take (i + 1) p) in
+  let key_of path = List.map (fun pre -> first_ts pre) (prefixes path) in
+  let rows =
+    List.sort
+      (fun (pa, _) (pb, _) -> Stdlib.compare (key_of pa, pa) (key_of pb, pb))
+      rows
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "trace summary (%d spans)\n" (span_count t));
+  List.iter
+    (fun (path, (n, total, _)) ->
+      let depth = List.length path - 1 in
+      let name = List.nth path depth in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s%-*s %6dx %12.3f ms\n"
+           (String.make (2 * depth) ' ')
+           (max 1 (36 - (2 * depth)))
+           name n (total /. 1e3)))
+    rows;
+  Buffer.contents buf

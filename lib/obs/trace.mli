@@ -1,0 +1,57 @@
+(** A span tracer for the superoptimizer's phases: nested timed regions
+    (partition → enumerate → prune → verify → optimize), recorded
+    per-domain and emitted either as Chrome [trace_event]-format JSON
+    (load in [chrome://tracing] / Perfetto) or as a human-readable tree
+    summary.
+
+    Tracing is off by default: {!with_span} costs one atomic load when no
+    collector is installed, so instrumented code paths stay on in
+    production. [mirage_cli optimize --trace out.json] enables it. *)
+
+type t
+(** A span collector. *)
+
+val create : unit -> t
+(** A collector whose epoch is "now". Thread-safe: spans may be recorded
+    from any domain. *)
+
+(** {1 The global collector} *)
+
+val enable : unit -> t
+(** Install (and return) a fresh global collector; subsequent
+    {!with_span} calls record into it. *)
+
+val disable : unit -> unit
+val active : unit -> t option
+
+val with_span :
+  ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] times [f] and records a span into the global
+    collector, if one is installed; otherwise it just runs [f]. Nesting
+    is tracked per domain, exceptions propagate (the span is still
+    recorded). *)
+
+val span :
+  t ->
+  ?cat:string ->
+  ?args:(string * string) list ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** Same, into an explicit collector (used by tests). *)
+
+(** {1 Output} *)
+
+val to_chrome_json : t -> Jsonw.t
+(** The recorded spans as a Chrome trace-event array: one complete
+    ([ph = "X"]) event per span with microsecond [ts]/[dur] relative to
+    the collector's epoch, [tid] = domain id. *)
+
+val dump : t -> string -> unit
+(** Write {!to_chrome_json} to a file. *)
+
+val summary : t -> string
+(** Tree rendering aggregated by span path: for each nesting path, the
+    number of spans and their cumulative time. *)
+
+val span_count : t -> int

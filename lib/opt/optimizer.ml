@@ -16,6 +16,7 @@ type report = {
 }
 
 let optimize (device : Gpusim.Device.t) (g : Graph.kernel_graph) =
+  Obs.Trace.with_span ~cat:"opt" "optimize" @@ fun () ->
   let shapes = Infer.kernel_shapes g in
   let kernels =
     Array.to_list g.knodes
@@ -23,6 +24,7 @@ let optimize (device : Gpusim.Device.t) (g : Graph.kernel_graph) =
     |> List.filter_map (fun (i, (node : Graph.kernel_node)) ->
            match node.kop with
            | Graph.K_graphdef bg ->
+               let args = [ ("kernel", string_of_int i) ] in
                let kernel_inputs =
                  List.map
                    (fun ({ node = j; port } : Graph.tensor_ref) ->
@@ -32,11 +34,18 @@ let optimize (device : Gpusim.Device.t) (g : Graph.kernel_graph) =
                Some
                  {
                    node = i;
-                   schedule = Schedule.block_schedule bg;
+                   schedule =
+                     Obs.Trace.with_span ~cat:"opt" ~args "opt.schedule"
+                       (fun () -> Schedule.block_schedule bg);
                    memplan =
-                     Memplan.plan_block ~elt_bytes:device.Gpusim.Device.elt_bytes
-                       bg ~kernel_inputs;
-                   layout = Layout_opt.optimize_block bg ~kernel_inputs;
+                     Obs.Trace.with_span ~cat:"opt" ~args "opt.memplan"
+                       (fun () ->
+                         Memplan.plan_block
+                           ~elt_bytes:device.Gpusim.Device.elt_bytes bg
+                           ~kernel_inputs);
+                   layout =
+                     Obs.Trace.with_span ~cat:"opt" ~args "opt.layout"
+                       (fun () -> Layout_opt.optimize_block bg ~kernel_inputs);
                  }
            | Graph.K_input _ | Graph.K_prim _ -> None)
   in

@@ -149,6 +149,33 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline
   let input_shapes = Graph.input_shapes spec in
   let input_names = Graph.input_names spec in
   let elt_bytes = limits.Memory.elt_bytes in
+  (* Per-depth telemetry in the search's registry. Handles are resolved
+     once per root (mutex) so hot-path updates stay lock-free. *)
+  let depth_buckets =
+    Obs.Metrics.linear_buckets ~lo:0.0 ~step:1.0
+      ~n:(max 1 cfg.Config.max_block_ops + 1)
+  in
+  let reg = Stats.registry stats in
+  let hist name help =
+    Obs.Metrics.histogram reg ~help ~buckets:depth_buckets name
+  in
+  let h_expand =
+    hist "search.block.expand_depth" "prefix depth of attempted extensions"
+  in
+  let h_rej_shape = hist "search.block.reject_depth.shape" "depth of shape rejections" in
+  let h_rej_mem = hist "search.block.reject_depth.memory" "depth of shared-memory rejections" in
+  let h_rej_dup = hist "search.block.reject_depth.duplicate" "depth of duplicate rejections" in
+  let h_rej_pruned = hist "search.block.reject_depth.pruned" "depth of abstract-expression rejections" in
+  let h_rej_canon = hist "search.block.reject_depth.canonical" "depth of canonical-order rejections" in
+  let c_phase =
+    Obs.Metrics.counter reg ~help:"extensions with an inconsistent loop phase"
+      "search.block.reject.phase"
+  in
+  let c_dangling =
+    Obs.Metrics.counter reg
+      ~help:"accepted prefixes cut by the dangling-value bound"
+      "search.block.reject.dangling"
+  in
   let iters = Array.fold_left ( * ) 1 root.forloop in
   let has_loop = iters > 1 in
   (* Specification outputs: normal forms and kernel-level shapes. *)
@@ -197,7 +224,7 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline
     let budget_check () =
       if
         cfg.Config.node_budget > 0
-        && (Stats.snapshot stats).Stats.expanded > cfg.Config.node_budget
+        && Stats.expanded stats > cfg.Config.node_budget
       then raise Budget_exhausted;
       if deadline > 0.0 && Unix.gettimeofday () > deadline then
         raise Budget_exhausted
@@ -268,6 +295,10 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline
                   (fun o -> List.map (fun t -> o :: t) tails)
                   opts
           in
+          (* One funnel entry per completing prefix, however many output
+             selections it yields — keeps candidates <= accepted
+             extensions, so the funnel invariant holds by construction. *)
+          let emitted = ref false in
           List.iter
             (fun selection ->
               let bnodes =
@@ -295,11 +326,12 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline
               match Graph.Build.finish bld ~outputs:outs with
               | g ->
                   if Memory.check limits g then begin
-                    Stats.bump_candidates stats;
+                    emitted := true;
                     emit g
                   end
               | exception (Graph.Ill_formed _ | Invalid_argument _) -> ())
-            (combos per_output)
+            (combos per_output);
+          if !emitted then Stats.bump_candidates stats
         end
       end
     in
@@ -325,9 +357,9 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline
     (* One extension: add entry if all checks pass, recurse. *)
     let rec extend st =
       budget_check ();
-      Stats.bump_expanded stats;
       try_complete st;
       if st.ops < cfg.Config.max_block_ops then begin
+        let depth = float_of_int st.ops in
         let moves = gen_moves st in
         List.iter
           (fun (bop, bins, shape, nf, phase) ->
@@ -342,13 +374,21 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline
                   && Absexpr.Nf.equal e.nf nf)
                 st.entries
             in
-            if duplicate then Stats.bump_duplicates stats
-            else if st.smem + bytes > limits.Memory.smem_bytes_per_block then
-              Stats.bump_memory stats
+            if duplicate then begin
+              Stats.bump_duplicates stats;
+              Obs.Metrics.observe h_rej_dup depth
+            end
+            else if st.smem + bytes > limits.Memory.smem_bytes_per_block then begin
+              Stats.bump_memory stats;
+              Obs.Metrics.observe h_rej_mem depth
+            end
             else if
               cfg.Config.use_abstract_pruning
               && not (Smtlite.Solver.check_subexpr_nf solver nf)
-            then Stats.bump_pruned stats
+            then begin
+              Stats.bump_pruned stats;
+              Obs.Metrics.observe h_rej_pruned depth
+            end
             else
               let e = { bop; bins; shape; nf; phase; bytes } in
               let st' =
@@ -362,11 +402,21 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline
                     List.fold_left (fun m j -> m lor (1 lsl j)) st.consumed bins;
                 }
               in
-              if dangling_ok st' then extend st')
+              if dangling_ok st' then extend st'
+              else Obs.Metrics.bump c_dangling)
           moves
       end
-    (* All rank-respecting operator instantiations from this prefix. *)
+    (* All rank-respecting operator instantiations from this prefix.
+       Every operator instantiation considered counts as one attempted
+       extension (the funnel's [expanded]); it then either fails one
+       check — counted under exactly one rejection reason — or becomes a
+       move for [extend]. *)
     and gen_moves st =
+      let depth = float_of_int st.ops in
+      let attempt () =
+        Stats.bump_expanded stats;
+        Obs.Metrics.observe h_expand depth
+      in
       let rank_ok bop bins =
         match st.last_rank with
         | None -> true
@@ -376,11 +426,16 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline
       let add bop bins shape nf phase =
         if rank_ok bop bins then
           moves := (bop, bins, shape, nf, phase) :: !moves
+        else begin
+          Stats.bump_canonical stats;
+          Obs.Metrics.observe h_rej_canon depth
+        end
       in
       let try_prim p bins =
         let ins = List.map (entry_at st) bins in
+        attempt ();
         match combined_phase (List.map (fun e -> e.phase) ins) with
-        | None -> ()
+        | None -> Obs.Metrics.bump c_phase
         | Some phase -> (
             let shapes = List.map (fun e -> e.shape) ins in
             match Op.infer_shape_opt p shapes with
@@ -390,7 +445,9 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline
                     (List.map (fun e -> e.nf) ins)
                 in
                 add (Graph.B_prim p) bins shape nf phase
-            | None -> Stats.bump_shape stats)
+            | None ->
+                Stats.bump_shape stats;
+                Obs.Metrics.observe h_rej_shape depth)
       in
       for i = 0 to st.count - 1 do
         (* unary-like ops (incl. per-dim Sum instances) *)
@@ -416,8 +473,8 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline
             Array.make (Array.length root.forloop) Dmap.Replica
           in
           let bop = Graph.B_accum { fmap = all_phi } in
-          if rank_ok bop [ i ] then
-            add bop [ i ] e.shape (Absexpr.Nf.nf_sum iters e.nf) Post;
+          attempt ();
+          add bop [ i ] e.shape (Absexpr.Nf.nf_sum iters e.nf) Post;
           if cfg.Config.enable_concat_accum then
             Array.iteri
               (fun l count ->
@@ -441,10 +498,10 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline
                                if l' = l then 1 else c)
                         |> List.fold_left ( * ) 1
                       in
-                      if rank_ok bop [ i ] then
-                        add bop [ i ] shape
-                          (Absexpr.Nf.nf_sum phi_iters e.nf)
-                          Post
+                      attempt ();
+                      add bop [ i ] shape
+                        (Absexpr.Nf.nf_sum phi_iters e.nf)
+                        Post
                     end)
                   e.shape)
               root.forloop

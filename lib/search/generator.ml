@@ -10,6 +10,7 @@ type outcome = {
   verified : result list;
   generated : int;
   stats : Stats.snapshot;
+  metrics : Obs.Metrics.snapshot;
   solver : Smtlite.Solver.stats;
   budget_exhausted : bool;
 }
@@ -28,6 +29,10 @@ let generate (cfg : Config.t) ~spec ~solver ~stats ~limits =
     Block_enum.enumerate_roots cfg ~input_shapes:(Graph.input_shapes spec)
   in
   let tasks = Array.of_list (T_kernel :: List.map (fun r -> T_root r) roots) in
+  Obs.Log.debug (fun m ->
+      m "generate: %d tasks (%d roots), %d worker(s), budget %.1fs"
+        (Array.length tasks) (List.length roots) cfg.Config.num_workers
+        cfg.Config.time_budget_s);
   let next = Atomic.make 0 in
   let lock = Mutex.create () in
   let seen = Hashtbl.create 256 in
@@ -57,11 +62,16 @@ let generate (cfg : Config.t) ~spec ~solver ~stats ~limits =
         try
           match tasks.(i) with
           | T_kernel ->
-              Kernel_enum.search cfg ~spec ~solver ~stats ~limits ~deadline
-                ~emit
+              Obs.Trace.with_span ~cat:"search" "enumerate.kernel" (fun () ->
+                  Kernel_enum.search cfg ~spec ~solver ~stats ~limits
+                    ~deadline ~emit)
           | T_root root ->
-              Block_enum.search_root cfg ~spec ~solver ~stats ~limits
-                ~deadline ~emit root
+              Obs.Trace.with_span ~cat:"search"
+                ~args:[ ("task", string_of_int i) ]
+                "enumerate.root"
+                (fun () ->
+                  Block_enum.search_root cfg ~spec ~solver ~stats ~limits
+                    ~deadline ~emit root)
         with Block_enum.Budget_exhausted -> Atomic.set exhausted true
     done
   in
@@ -76,24 +86,30 @@ let generate (cfg : Config.t) ~spec ~solver ~stats ~limits =
   end;
   (!candidates, Atomic.get exhausted)
 
-let run ?config ?(verify_trials = 2) ?(verify_all = false)
+let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false)
     ~(device : Gpusim.Device.t) ~spec () =
   let cfg =
     match config with Some c -> c | None -> Config.for_spec spec
   in
   let solver = Smtlite.Solver.create ~target:(Abstract.output_exprs spec) in
-  let stats = Stats.create () in
+  let stats = Stats.create ?registry () in
   let limits = Gpusim.Device.limits device in
   let candidates, budget_exhausted =
-    generate cfg ~spec ~solver ~stats ~limits
+    Obs.Trace.with_span ~cat:"search" "enumerate" (fun () ->
+        generate cfg ~spec ~solver ~stats ~limits)
   in
+  Obs.Log.info (fun m ->
+      m "search: %d candidate muGraph(s) generated%s"
+        (List.length candidates)
+        (if budget_exhausted then " (budget exhausted)" else ""));
   (* Cost first (cheap), then verify cheapest-first with a single random
      test, stopping at the first success unless [verify_all]. *)
   let costed =
-    List.sort
-      (fun (_, a) (_, b) ->
-        Float.compare a.Gpusim.Cost.total_us b.Gpusim.Cost.total_us)
-      (List.map (fun g -> (g, Gpusim.Cost.cost device g)) candidates)
+    Obs.Trace.with_span ~cat:"search" "cost" (fun () ->
+        List.sort
+          (fun (_, a) (_, b) ->
+            Float.compare a.Gpusim.Cost.total_us b.Gpusim.Cost.total_us)
+          (List.map (fun g -> (g, Gpusim.Cost.cost device g)) candidates))
   in
   let finish g =
     Stats.bump_verified stats;
@@ -102,37 +118,38 @@ let run ?config ?(verify_trials = 2) ?(verify_all = false)
     in
     { graph = g; cost = Gpusim.Cost.cost device g }
   in
+  let check ~trials g =
+    Obs.Trace.with_span ~cat:"search" "verify.candidate" (fun () ->
+        Verify.Random_test.equivalent ~trials ~spec g)
+  in
   let verified =
-    if verify_all then
-      List.filter_map
-        (fun (g, _) ->
-          match
-            Verify.Random_test.equivalent ~trials:verify_trials ~spec g
-          with
-          | Verify.Random_test.Equivalent -> Some (finish g)
-          | Verify.Random_test.Not_equivalent _
-          | Verify.Random_test.Rejected _ ->
-              None)
-        costed
-    else
-      let rec first = function
-        | [] -> []
-        | (g, _) :: rest -> (
-            match Verify.Random_test.equivalent ~trials:1 ~spec g with
-            | Verify.Random_test.Equivalent -> (
-                (* confirm the winner with the full trial count *)
-                match
-                  Verify.Random_test.equivalent ~trials:verify_trials ~spec g
-                with
-                | Verify.Random_test.Equivalent -> [ finish g ]
+    Obs.Trace.with_span ~cat:"search" "verify" (fun () ->
+        if verify_all then
+          List.filter_map
+            (fun (g, _) ->
+              match check ~trials:verify_trials g with
+              | Verify.Random_test.Equivalent -> Some (finish g)
+              | Verify.Random_test.Not_equivalent _
+              | Verify.Random_test.Rejected _ ->
+                  None)
+            costed
+        else
+          let rec first = function
+            | [] -> []
+            | (g, _) :: rest -> (
+                match check ~trials:1 g with
+                | Verify.Random_test.Equivalent -> (
+                    (* confirm the winner with the full trial count *)
+                    match check ~trials:verify_trials g with
+                    | Verify.Random_test.Equivalent -> [ finish g ]
+                    | Verify.Random_test.Not_equivalent _
+                    | Verify.Random_test.Rejected _ ->
+                        first rest)
                 | Verify.Random_test.Not_equivalent _
                 | Verify.Random_test.Rejected _ ->
                     first rest)
-            | Verify.Random_test.Not_equivalent _
-            | Verify.Random_test.Rejected _ ->
-                first rest)
-      in
-      first costed
+          in
+          first costed)
   in
   (* The input program always participates, so the optimizer never
      regresses. *)
@@ -148,17 +165,18 @@ let run ?config ?(verify_trials = 2) ?(verify_all = false)
     verified = all;
     generated = List.length candidates;
     stats = Stats.snapshot stats;
+    metrics = Obs.Metrics.snapshot (Stats.registry stats);
     solver = Smtlite.Solver.stats solver;
     budget_exhausted;
   }
 
-let search_time ?config ~spec () =
+let search_time ?config ?(device = Gpusim.Device.a100) ~spec () =
   let cfg =
     match config with Some c -> c | None -> Config.for_spec spec
   in
   let solver = Smtlite.Solver.create ~target:(Abstract.output_exprs spec) in
   let stats = Stats.create () in
-  let limits = Memory.default_limits in
+  let limits = Gpusim.Device.limits device in
   let t0 = Unix.gettimeofday () in
   let _, exhausted = generate cfg ~spec ~solver ~stats ~limits in
   (Unix.gettimeofday () -. t0, exhausted)

@@ -19,14 +19,18 @@ type result = {
 type outcome = {
   best : result option;  (** lowest simulated time *)
   verified : result list;  (** sorted by increasing cost *)
-  generated : int;  (** candidates emitted by the enumerators *)
+  generated : int;  (** candidate muGraphs emitted by the enumerators *)
   stats : Stats.snapshot;
+  metrics : Obs.Metrics.snapshot;
+      (** full snapshot of the search's metrics registry: the funnel
+          counters plus the enumerators' per-depth histograms *)
   solver : Smtlite.Solver.stats;
   budget_exhausted : bool;
 }
 
 val run :
   ?config:Config.t ->
+  ?registry:Obs.Metrics.t ->
   ?verify_trials:int ->
   ?verify_all:bool ->
   device:Gpusim.Device.t ->
@@ -37,6 +41,13 @@ val run :
     always included as a candidate, so [best] is never worse than the
     input program.
 
+    [registry] backs the search's counters and histograms (default: a
+    fresh registry per run; pass a shared one to accumulate across
+    runs). When the global {!Obs.Trace} collector is enabled, the run
+    records [enumerate]/[cost]/[verify] spans (one [enumerate.root] span
+    per root configuration, one [verify.candidate] span per verification
+    attempt).
+
     Candidates are verified in ascending cost-model order with a single
     random test each; the winner then receives [verify_trials] further
     trials — mirroring the paper's implementation (§7). With
@@ -44,6 +55,11 @@ val run :
     tests and small problems). *)
 
 val search_time :
-  ?config:Config.t -> spec:Graph.kernel_graph -> unit -> float * bool
+  ?config:Config.t ->
+  ?device:Gpusim.Device.t ->
+  spec:Graph.kernel_graph ->
+  unit ->
+  float * bool
 (** Generation time only (no verification/costing) in seconds, plus
-    whether the budget ran out — the measurement reported in Table 5. *)
+    whether the budget ran out — the measurement reported in Table 5.
+    Memory limits come from [device] (default A100), matching {!run}. *)

@@ -33,6 +33,23 @@ let instantiate menu shape =
 let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline ~emit =
   let input_shapes = Graph.input_shapes spec in
   let input_names = Graph.input_names spec in
+  (* Per-depth telemetry, registered once per search in the stats
+     registry; updates on the hot path are lock-free. *)
+  let depth_buckets =
+    Obs.Metrics.linear_buckets ~lo:0.0 ~step:1.0
+      ~n:(max 1 cfg.Config.max_kernel_ops + 1)
+  in
+  let reg = Stats.registry stats in
+  let hist name help =
+    Obs.Metrics.histogram reg ~help ~buckets:depth_buckets name
+  in
+  let h_expand =
+    hist "search.kernel.expand_depth" "prefix depth of attempted extensions"
+  in
+  let h_rej_shape = hist "search.kernel.reject_depth.shape" "depth of shape rejections" in
+  let h_rej_dup = hist "search.kernel.reject_depth.duplicate" "depth of duplicate rejections" in
+  let h_rej_pruned = hist "search.kernel.reject_depth.pruned" "depth of abstract-expression rejections" in
+  let h_rej_canon = hist "search.kernel.reject_depth.canonical" "depth of canonical-order rejections" in
   let spec_outs =
     List.map2
       (fun e s -> (Absexpr.Nf.of_expr e, s))
@@ -40,9 +57,7 @@ let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline ~emit =
       (Infer.output_shapes spec)
   in
   let budget_check () =
-    if
-      cfg.Config.node_budget > 0
-      && (Stats.snapshot stats).Stats.expanded > cfg.Config.node_budget
+    if cfg.Config.node_budget > 0 && Stats.expanded stats > cfg.Config.node_budget
     then raise Block_enum.Budget_exhausted;
     if deadline > 0.0 && Unix.gettimeofday () > deadline then
       raise Block_enum.Budget_exhausted
@@ -103,9 +118,9 @@ let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline ~emit =
   in
   let rec extend st =
     budget_check ();
-    Stats.bump_expanded stats;
     try_complete st;
     if st.ops < cfg.Config.max_kernel_ops then begin
+      let depth = float_of_int st.ops in
       let rank_ok kop kins =
         match st.last_rank with
         | None -> true
@@ -114,7 +129,13 @@ let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline ~emit =
       let try_prim p bins =
         let ins = List.map (entry_at st) bins in
         let kins = List.map (fun i -> { Graph.node = i; port = 0 }) bins in
-        if rank_ok (Graph.K_prim p) kins then begin
+        Stats.bump_expanded stats;
+        Obs.Metrics.observe h_expand depth;
+        if not (rank_ok (Graph.K_prim p) kins) then begin
+          Stats.bump_canonical stats;
+          Obs.Metrics.observe h_rej_canon depth
+        end
+        else begin
           let shapes = List.map (fun e -> e.shape) ins in
           match Op.infer_shape_opt p shapes with
           | Some shape ->
@@ -128,11 +149,17 @@ let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline ~emit =
                     Shape.equal e.shape shape && Absexpr.Nf.equal e.nf nf)
                   st.entries
               in
-              if duplicate then Stats.bump_duplicates stats
+              if duplicate then begin
+                Stats.bump_duplicates stats;
+                Obs.Metrics.observe h_rej_dup depth
+              end
               else if
                 cfg.Config.use_abstract_pruning
                 && not (Smtlite.Solver.check_subexpr_nf solver nf)
-              then Stats.bump_pruned stats
+              then begin
+                Stats.bump_pruned stats;
+                Obs.Metrics.observe h_rej_pruned depth
+              end
               else
                 extend
                   {
@@ -142,7 +169,9 @@ let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline ~emit =
                     ops = st.ops + 1;
                     last_rank = Some (Canon.R_kernel (kins, Graph.K_prim p));
                   }
-          | None -> Stats.bump_shape stats
+          | None ->
+              Stats.bump_shape stats;
+              Obs.Metrics.observe h_rej_shape depth
         end
       in
       for i = 0 to st.count - 1 do

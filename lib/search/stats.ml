@@ -1,3 +1,5 @@
+module M = Obs.Metrics
+
 type snapshot = {
   expanded : int;
   shape_rejected : int;
@@ -11,40 +13,68 @@ type snapshot = {
 }
 
 type t = {
-  counters : int Atomic.t array;
+  reg : M.t;
   start : float;
+  c_expanded : M.counter;
+  c_shape : M.counter;
+  c_memory : M.counter;
+  c_pruned : M.counter;
+  c_canonical : M.counter;
+  c_candidates : M.counter;
+  c_verified : M.counter;
+  c_duplicates : M.counter;
 }
 
-let n_counters = 8
-
-let create () =
+let create ?registry () =
+  let reg = match registry with Some r -> r | None -> M.create () in
   {
-    counters = Array.init n_counters (fun _ -> Atomic.make 0);
+    reg;
     start = Unix.gettimeofday ();
+    c_expanded =
+      M.counter reg ~help:"extensions attempted by the enumerators"
+        "search.expanded";
+    c_shape =
+      M.counter reg ~help:"rejected: shape inference failed"
+        "search.reject.shape";
+    c_memory =
+      M.counter reg ~help:"rejected: exceeded shared memory"
+        "search.reject.memory";
+    c_pruned =
+      M.counter reg ~help:"rejected: abstract subexpression check"
+        "search.reject.pruned_abstract";
+    c_canonical =
+      M.counter reg ~help:"rejected: canonical rank order"
+        "search.reject.canonical";
+    c_candidates =
+      M.counter reg ~help:"complete muGraphs submitted to verification"
+        "search.candidates";
+    c_verified = M.counter reg ~help:"verified muGraphs" "search.verified";
+    c_duplicates =
+      M.counter reg ~help:"duplicate values or muGraphs" "search.duplicates";
   }
 
-let bump t i = Atomic.incr t.counters.(i)
+let registry t = t.reg
 
-let bump_expanded t = bump t 0
-let bump_shape t = bump t 1
-let bump_memory t = bump t 2
-let bump_pruned t = bump t 3
-let bump_canonical t = bump t 4
-let bump_candidates t = bump t 5
-let bump_verified t = bump t 6
-let bump_duplicates t = bump t 7
+let bump_expanded t = M.bump t.c_expanded
+let bump_shape t = M.bump t.c_shape
+let bump_memory t = M.bump t.c_memory
+let bump_pruned t = M.bump t.c_pruned
+let bump_canonical t = M.bump t.c_canonical
+let bump_candidates t = M.bump t.c_candidates
+let bump_verified t = M.bump t.c_verified
+let bump_duplicates t = M.bump t.c_duplicates
+let expanded t = M.value t.c_expanded
 
 let snapshot t =
-  let g i = Atomic.get t.counters.(i) in
   {
-    expanded = g 0;
-    shape_rejected = g 1;
-    memory_rejected = g 2;
-    pruned_abstract = g 3;
-    canonical_rejected = g 4;
-    candidates = g 5;
-    verified = g 6;
-    duplicates = g 7;
+    expanded = M.value t.c_expanded;
+    shape_rejected = M.value t.c_shape;
+    memory_rejected = M.value t.c_memory;
+    pruned_abstract = M.value t.c_pruned;
+    canonical_rejected = M.value t.c_canonical;
+    candidates = M.value t.c_candidates;
+    verified = M.value t.c_verified;
+    duplicates = M.value t.c_duplicates;
     elapsed_s = Unix.gettimeofday () -. t.start;
   }
 
@@ -54,3 +84,8 @@ let to_string s =
      verified=%d dup=%d in %.2fs"
     s.expanded s.shape_rejected s.memory_rejected s.pruned_abstract
     s.canonical_rejected s.candidates s.verified s.duplicates s.elapsed_s
+
+let funnel_ok s =
+  s.expanded
+  >= s.shape_rejected + s.memory_rejected + s.pruned_abstract
+     + s.canonical_rejected + s.candidates

@@ -1,21 +1,48 @@
-(** Search statistics: how many prefixes were expanded, and why candidates
-    were discarded. Thread-safe; shared across search workers. *)
+(** Search statistics: how many extensions the enumerators attempted, and
+    why candidates were discarded. Thread-safe; shared across search
+    workers.
+
+    Counters are backed by a named {!Obs.Metrics} registry (one fresh
+    registry per search unless the caller supplies one), so the same
+    numbers are available both as this fixed [snapshot] record — the
+    stable programmatic interface — and through the registry's generic
+    snapshot/table/JSON machinery, alongside any extra metrics the
+    enumerators register dynamically (per-depth histograms, auxiliary
+    rejection counters).
+
+    The funnel invariant, by construction (every attempted extension is
+    counted once, and every rejection and every candidate corresponds to
+    a distinct attempt):
+
+    [expanded >= shape_rejected + memory_rejected + pruned_abstract +
+     canonical_rejected + candidates] *)
 
 type snapshot = {
-  expanded : int;  (** prefixes popped and extended *)
-  shape_rejected : int;
-  memory_rejected : int;
+  expanded : int;
+      (** extensions attempted by the enumerators (one per operator
+          instantiation considered against a prefix) *)
+  shape_rejected : int;  (** shape inference failed *)
+  memory_rejected : int;  (** exceeded the shared-memory limit *)
   pruned_abstract : int;  (** rejected by the subexpression check *)
-  canonical_rejected : int;
-  candidates : int;  (** complete muGraphs submitted to verification *)
+  canonical_rejected : int;  (** violated the canonical rank order *)
+  candidates : int;  (** completing prefixes submitted to verification *)
   verified : int;
-  duplicates : int;
+  duplicates : int;  (** recomputed an existing value or muGraph *)
   elapsed_s : float;
 }
 
 type t
 
-val create : unit -> t
+val create : ?registry:Obs.Metrics.t -> unit -> t
+(** Registers the funnel counters (named [search.*]) in [registry]
+    (default: a fresh registry, so concurrent searches do not share).
+    Passing a shared registry accumulates across searches. *)
+
+val registry : t -> Obs.Metrics.t
+(** The backing registry — enumerators register their own histograms
+    here, and callers can render everything with
+    [Obs.Metrics.(to_table (snapshot (registry t)))]. *)
+
 val bump_expanded : t -> unit
 val bump_shape : t -> unit
 val bump_memory : t -> unit
@@ -24,5 +51,11 @@ val bump_canonical : t -> unit
 val bump_candidates : t -> unit
 val bump_verified : t -> unit
 val bump_duplicates : t -> unit
+val expanded : t -> int
+(** Current value of the expanded counter (the node-budget check). *)
+
 val snapshot : t -> snapshot
 val to_string : snapshot -> string
+
+val funnel_ok : snapshot -> bool
+(** Whether the funnel invariant above holds. *)

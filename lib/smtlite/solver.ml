@@ -5,6 +5,7 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   accepted : int;
+  solve_time_s : float;
 }
 
 type t = {
@@ -16,6 +17,7 @@ type t = {
   cache_hits : int Atomic.t;
   cache_misses : int Atomic.t;
   accepted : int Atomic.t;
+  solve_ns : int Atomic.t;  (** cumulative decision-procedure time *)
 }
 
 let next_id = Atomic.make 0
@@ -35,6 +37,7 @@ let create ~target =
     cache_hits = Atomic.make 0;
     cache_misses = Atomic.make 0;
     accepted = Atomic.make 0;
+    solve_ns = Atomic.make 0;
   }
 
 let check_subexpr_nf t nf =
@@ -59,7 +62,12 @@ let check_subexpr_nf t nf =
             r
         | None ->
             Atomic.incr t.cache_misses;
+            let t0 = Unix.gettimeofday () in
             let r = List.exists (fun goal -> Nf.is_subexpr nf goal) t.goals in
+            let dt_ns =
+              int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)
+            in
+            ignore (Atomic.fetch_and_add t.solve_ns dt_ns);
             Mutex.lock t.lock;
             Hashtbl.replace t.cache nf r;
             Mutex.unlock t.lock;
@@ -83,10 +91,12 @@ let stats t =
     cache_hits = Atomic.get t.cache_hits;
     cache_misses = Atomic.get t.cache_misses;
     accepted = Atomic.get t.accepted;
+    solve_time_s = float_of_int (Atomic.get t.solve_ns) /. 1e9;
   }
 
 let reset_stats t =
   Atomic.set t.queries 0;
   Atomic.set t.cache_hits 0;
   Atomic.set t.cache_misses 0;
-  Atomic.set t.accepted 0
+  Atomic.set t.accepted 0;
+  Atomic.set t.solve_ns 0

@@ -17,6 +17,10 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   accepted : int;  (** queries that returned true *)
+  solve_time_s : float;
+      (** cumulative wall time in the normal-form decision procedure
+          (cache misses only — the paper's "SMT queries are relatively
+          expensive" cost) *)
 }
 
 val create : target:Absexpr.Expr.t list -> t

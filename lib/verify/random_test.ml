@@ -9,6 +9,50 @@ type result =
 
 exception Resample
 
+(* Verifier telemetry, in the process-wide registry (the verifier has no
+   per-run registry of its own). Off the printed path by default. *)
+module Vm = struct
+  let reg () = Obs.Metrics.default ()
+
+  let trials =
+    lazy (Obs.Metrics.counter (reg ()) ~help:"finite-field trials run" "verify.trials")
+
+  let resamples =
+    lazy
+      (Obs.Metrics.counter (reg ()) ~help:"trials resampled on a zero divisor"
+         "verify.resamples")
+
+  let equivalent =
+    lazy (Obs.Metrics.counter (reg ()) ~help:"candidates found equivalent" "verify.equivalent")
+
+  let not_equivalent =
+    lazy
+      (Obs.Metrics.counter (reg ()) ~help:"candidates refuted by a trial"
+         "verify.not_equivalent")
+
+  let rejected_interface =
+    lazy
+      (Obs.Metrics.counter (reg ())
+         ~help:"candidates rejected before any trial (interface mismatch)"
+         "verify.rejected.interface")
+
+  let rejected_lax =
+    lazy
+      (Obs.Metrics.counter (reg ()) ~help:"candidates rejected as non-LAX"
+         "verify.rejected.not_lax")
+
+  let rejected_resample =
+    lazy
+      (Obs.Metrics.counter (reg ())
+         ~help:"candidates rejected after too many zero-divisor resamples"
+         "verify.rejected.resample_limit")
+
+  let trial_s =
+    lazy
+      (Obs.Metrics.histogram (reg ()) ~help:"wall time of one trial (s)"
+         "verify.trial_s")
+end
+
 (* A keyed random oracle over field elements: the uninterpreted-function
    abstraction for Sqrt and SiLU. Deterministic within one trial (the
    trial seed is part of the key), so equal arguments give equal results
@@ -77,25 +121,51 @@ let one_trial ~p ~q ~trial_seed ~spec g =
   | exception Fpair.Not_lax ->
       Error "exponentiation applied twice along a path at run time"
 
+let timed_trial ~p ~q ~trial_seed ~spec g =
+  Obs.Metrics.bump (Lazy.force Vm.trials);
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.observe (Lazy.force Vm.trial_s)
+        (Unix.gettimeofday () -. t0))
+    (fun () -> one_trial ~p ~q ~trial_seed ~spec g)
+
 let equivalent ?(trials = 3) ?(p = Ffield.Zmod.default_p)
     ?(q = Ffield.Zmod.default_q) ?(seed = 0x5EED) ~spec g =
   match interface_mismatch ~spec g with
-  | Some msg -> Rejected msg
+  | Some msg ->
+      Obs.Metrics.bump (Lazy.force Vm.rejected_interface);
+      Rejected msg
   | None -> (
       match Lax.check spec, Lax.check g with
-      | Lax.Not_lax m, _ -> Rejected ("spec not LAX: " ^ m)
-      | _, Lax.Not_lax m -> Rejected ("candidate not LAX: " ^ m)
+      | Lax.Not_lax m, _ ->
+          Obs.Metrics.bump (Lazy.force Vm.rejected_lax);
+          Rejected ("spec not LAX: " ^ m)
+      | _, Lax.Not_lax m ->
+          Obs.Metrics.bump (Lazy.force Vm.rejected_lax);
+          Rejected ("candidate not LAX: " ^ m)
       | Lax.Lax, Lax.Lax ->
           let rec run trial attempts =
-            if trial >= trials then Equivalent
-            else if attempts > 50 then
+            if trial >= trials then begin
+              Obs.Metrics.bump (Lazy.force Vm.equivalent);
+              Equivalent
+            end
+            else if attempts > 50 then begin
+              Obs.Metrics.bump (Lazy.force Vm.rejected_resample);
               Rejected "too many zero-divisor resamples"
+            end
             else
               let trial_seed = seed + (trial * 7919) + (attempts * 104729) in
-              match one_trial ~p ~q ~trial_seed ~spec g with
+              match timed_trial ~p ~q ~trial_seed ~spec g with
               | Ok () -> run (trial + 1) 0
-              | Error msg -> Not_equivalent msg
-              | exception Resample -> run trial (attempts + 1)
+              | Error msg ->
+                  Obs.Log.debug (fun m ->
+                      m "verify: candidate refuted on trial %d: %s" trial msg);
+                  Obs.Metrics.bump (Lazy.force Vm.not_equivalent);
+                  Not_equivalent msg
+              | exception Resample ->
+                  Obs.Metrics.bump (Lazy.force Vm.resamples);
+                  run trial (attempts + 1)
           in
           run 0 0)
 

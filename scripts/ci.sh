@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 CI: build everything, run the test suites, then smoke-test the
+# observability surface (the stats funnel + a Chrome trace) and check
+# that every JSON artifact we produce actually parses.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all"
+dune build @all
+
+echo "== dune runtest"
+dune runtest
+
+echo "== smoke: mirage_cli stats (funnel invariant is checked in-process)"
+dune exec bin/mirage_cli.exe -- stats rmsnorm \
+  --budget 10 --workers 2 --trace /tmp/mirage_ci_trace.json
+
+echo "== smoke: bench --json"
+dune exec bench/main.exe -- fig7 --json /tmp/mirage_ci_bench.json >/dev/null
+
+echo "== validate JSON artifacts"
+dune exec tools/json_check.exe -- /tmp/mirage_ci_trace.json /tmp/mirage_ci_bench.json
+
+echo "CI OK"

@@ -89,6 +89,50 @@ let test_partition_pieces_compose () =
            expected actual)
   | None -> Alcotest.fail "no output"
 
+let test_partition_diamond_through_relu () =
+  (* m feeds both relu(m) and a matmul that also consumes relu(m): merging
+     the two LAX matmuls would make the component graph cyclic (this used
+     to trip the piece-ordering assertion). *)
+  let bld = Graph.Build.create () in
+  let a = Graph.Build.input bld "A" [| 2; 2 |] in
+  let m = prim bld Op.Matmul [ a; a ] in
+  let r = prim bld (Op.Unary Op.Relu) [ m ] in
+  let z = prim bld Op.Matmul [ m; r ] in
+  let g = Graph.Build.finish bld ~outputs:[ z ] in
+  let check_order g p =
+    (* pieces come out in dependency order: each piece's inputs were
+       produced by an earlier piece (or are program inputs) *)
+    let seen = Hashtbl.create 8 in
+    List.iter (fun n -> Hashtbl.replace seen n ()) (Graph.input_names g);
+    List.iter
+      (fun (piece : Mirage.Partition.piece) ->
+        List.iter
+          (fun n ->
+            if not (Hashtbl.mem seen n) then
+              Alcotest.failf "piece %d consumes %s before it is produced"
+                piece.Mirage.Partition.id n)
+          (Graph.input_names piece.Mirage.Partition.graph);
+        List.iter
+          (fun n -> Hashtbl.replace seen n ())
+          piece.Mirage.Partition.output_names)
+      p.Mirage.Partition.pieces
+  in
+  let p = Mirage.Partition.partition g in
+  Alcotest.(check int) "three pieces" 3 (List.length p.Mirage.Partition.pieces);
+  Alcotest.(check int) "two LAX pieces" 2 (Mirage.Partition.num_lax_pieces p);
+  check_order g p;
+  (* the outside path may also leave from deeper inside the producer's
+     component: m -> sum(m) -> sub(sum m, relu m) *)
+  let bld = Graph.Build.create () in
+  let a = Graph.Build.input bld "A" [| 3; 3 |] in
+  let m = prim bld Op.Matmul [ a; a ] in
+  let r = prim bld (Op.Unary Op.Relu) [ m ] in
+  let s = prim bld (Op.Sum { dim = 1; group = 3 }) [ m ] in
+  let z = prim bld (Op.Binary Op.Sub) [ s; r ] in
+  let g2 = Graph.Build.finish bld ~outputs:[ z ] in
+  let p2 = Mirage.Partition.partition g2 in
+  check_order g2 p2
+
 let test_partition_rejects_scheduled () =
   let g =
     Baselines.Templates.rmsnorm_matmul_fused ~b:4 ~h:8 ~d:16 ~grid:2 ~iters:2
@@ -178,6 +222,8 @@ let () =
             test_partition_splits_at_relu;
           Alcotest.test_case "pieces compose" `Quick
             test_partition_pieces_compose;
+          Alcotest.test_case "diamond through relu" `Quick
+            test_partition_diamond_through_relu;
           Alcotest.test_case "rejects scheduled graphs" `Quick
             test_partition_rejects_scheduled;
         ] );

@@ -1,0 +1,254 @@
+(* Tests for the observability layer: the metrics registry under domain
+   concurrency (increments must be exact, not approximate), the span
+   tracer's nesting and Chrome JSON output, the JSON writer/parser pair,
+   and the search-funnel invariant on a real (small) search. *)
+
+open Mugraph
+
+(* --- metrics: exactness under domains ------------------------------------ *)
+
+let test_counter_domains () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg "test.bumps" in
+  let domains = 4 and per = 50_000 in
+  let ds =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per do
+              Obs.Metrics.bump c
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no lost increments" (domains * per)
+    (Obs.Metrics.value c)
+
+let test_histogram_domains () =
+  let reg = Obs.Metrics.create () in
+  let h =
+    Obs.Metrics.histogram reg
+      ~buckets:(Obs.Metrics.linear_buckets ~lo:0.0 ~step:1.0 ~n:4)
+      "test.depth"
+  in
+  let domains = 4 and per = 10_000 in
+  let ds =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              (* a spread over the buckets including the overflow one *)
+              Obs.Metrics.observe h (float_of_int ((i + d) mod 6))
+            done))
+  in
+  List.iter Domain.join ds;
+  let snap = Obs.Metrics.snapshot reg in
+  let _, hs = List.hd snap.Obs.Metrics.hists in
+  Alcotest.(check int) "total count" (domains * per) hs.Obs.Metrics.count;
+  Alcotest.(check int) "buckets sum to count" hs.Obs.Metrics.count
+    (Array.fold_left ( + ) 0 hs.Obs.Metrics.counts);
+  Alcotest.(check int) "overflow bucket is last"
+    (Array.length hs.Obs.Metrics.bounds + 1)
+    (Array.length hs.Obs.Metrics.counts)
+
+let test_metrics_merge () =
+  let mk n =
+    let reg = Obs.Metrics.create () in
+    let c = Obs.Metrics.counter reg "m.count" in
+    let h =
+      Obs.Metrics.histogram reg
+        ~buckets:(Obs.Metrics.linear_buckets ~lo:0.0 ~step:1.0 ~n:3)
+        "m.hist"
+    in
+    for _ = 1 to n do
+      Obs.Metrics.bump c
+    done;
+    for i = 1 to n do
+      Obs.Metrics.observe h (float_of_int (i mod 3))
+    done;
+    Obs.Metrics.snapshot reg
+  in
+  let merged = Obs.Metrics.merge [ mk 10; mk 32 ] in
+  Alcotest.(check int) "counters summed by name" 42
+    (List.assoc "m.count" merged.Obs.Metrics.counters);
+  let hs = List.assoc "m.hist" merged.Obs.Metrics.hists in
+  Alcotest.(check int) "hist counts summed" 42 hs.Obs.Metrics.count
+
+(* --- json writer/parser --------------------------------------------------- *)
+
+let rec json_equal a b =
+  match a, b with
+  | Obs.Jsonw.Null, Obs.Jsonw.Null -> true
+  | Obs.Jsonw.Bool x, Obs.Jsonw.Bool y -> x = y
+  | Obs.Jsonw.Int x, Obs.Jsonw.Int y -> x = y
+  | Obs.Jsonw.Float x, Obs.Jsonw.Float y -> Float.equal x y
+  | Obs.Jsonw.Int x, Obs.Jsonw.Float y | Obs.Jsonw.Float y, Obs.Jsonw.Int x ->
+      Float.equal (float_of_int x) y
+  | Obs.Jsonw.Str x, Obs.Jsonw.Str y -> String.equal x y
+  | Obs.Jsonw.List x, Obs.Jsonw.List y ->
+      List.length x = List.length y && List.for_all2 json_equal x y
+  | Obs.Jsonw.Obj x, Obs.Jsonw.Obj y ->
+      List.length x = List.length y
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && json_equal v1 v2)
+           x y
+  | _ -> false
+
+let test_json_roundtrip () =
+  let v =
+    Obs.Jsonw.(
+      Obj
+        [
+          ("name", Str "a \"quoted\"\nstring with \t and \\ and \x01");
+          ("unicode", Str "µGraph ≤ 7");
+          ("n", Int 42);
+          ("x", Float 2.5);
+          ("flag", Bool true);
+          ("nothing", Null);
+          ("nested", List [ Int 1; List [ Str "two" ]; Obj [ ("k", Int 3) ] ]);
+        ])
+  in
+  match Obs.Jsonw.of_string (Obs.Jsonw.to_string v) with
+  | Error e -> Alcotest.failf "roundtrip parse failed: %s" e
+  | Ok v' -> Alcotest.(check bool) "roundtrip preserves value" true (json_equal v v')
+
+let test_json_parse_errors () =
+  let bad = [ "{"; "[1,]"; "\"unterminated"; "{\"a\":1} trailing"; "nul" ] in
+  List.iter
+    (fun s ->
+      match Obs.Jsonw.of_string s with
+      | Ok _ -> Alcotest.failf "accepted invalid JSON %S" s
+      | Error _ -> ())
+    bad;
+  match Obs.Jsonw.of_string "  {\"a\": [1, 2.5, \"\\u00b5\"]}  " with
+  | Error e -> Alcotest.failf "rejected valid JSON: %s" e
+  | Ok j -> (
+      match Obs.Jsonw.member "a" j with
+      | Some (Obs.Jsonw.List [ _; _; Obs.Jsonw.Str mu ]) ->
+          Alcotest.(check string) "\\u escape decoded" "\xc2\xb5" mu
+      | _ -> Alcotest.fail "wrong parse shape")
+
+(* --- tracer ---------------------------------------------------------------- *)
+
+let test_trace_nesting () =
+  let t = Obs.Trace.create () in
+  Obs.Trace.span t "outer" (fun () ->
+      Obs.Trace.span t "inner" (fun () -> ());
+      Obs.Trace.span t "inner" (fun () -> ()));
+  (try Obs.Trace.span t "raiser" (fun () -> failwith "boom") with
+  | Failure _ -> ());
+  Alcotest.(check int) "all spans recorded (incl. on exception)" 4
+    (Obs.Trace.span_count t);
+  let json = Obs.Trace.to_chrome_json t in
+  (match Obs.Jsonw.of_string (Obs.Jsonw.to_string json) with
+  | Error e -> Alcotest.failf "trace JSON invalid: %s" e
+  | Ok (Obs.Jsonw.List events) ->
+      Alcotest.(check int) "one event per span" 4 (List.length events);
+      List.iter
+        (fun ev ->
+          List.iter
+            (fun field ->
+              if Obs.Jsonw.member field ev = None then
+                Alcotest.failf "event missing %S" field)
+            [ "name"; "ph"; "ts"; "dur"; "pid"; "tid" ];
+          Alcotest.(check bool) "complete event" true
+            (Obs.Jsonw.member "ph" ev = Some (Obs.Jsonw.Str "X")))
+        events
+  | Ok _ -> Alcotest.fail "trace JSON is not an array");
+  let s = Obs.Trace.summary t in
+  Alcotest.(check bool) "summary nests inner under outer" true
+    (Astring_contains.contains s "outer"
+    && Astring_contains.contains s "inner"
+    && Astring_contains.contains s "2x")
+
+let test_trace_global_off () =
+  Obs.Trace.disable ();
+  (* with no collector installed this must be a plain call *)
+  let r = Obs.Trace.with_span "nothing" (fun () -> 7) in
+  Alcotest.(check int) "value passes through" 7 r;
+  Alcotest.(check bool) "no collector" true (Obs.Trace.active () = None)
+
+(* --- logger ---------------------------------------------------------------- *)
+
+let test_log_levels () =
+  let prev = Obs.Log.current_level () in
+  Obs.Log.set_level (Some Obs.Log.Info);
+  Alcotest.(check bool) "info enabled" true (Obs.Log.enabled Obs.Log.Info);
+  Alcotest.(check bool) "debug disabled" false (Obs.Log.enabled Obs.Log.Debug);
+  Alcotest.(check bool) "warn enabled" true (Obs.Log.enabled Obs.Log.Warn);
+  Obs.Log.set_level None;
+  Alcotest.(check bool) "off disables warn" false (Obs.Log.enabled Obs.Log.Warn);
+  Alcotest.(check bool) "parse warn" true
+    (Obs.Log.level_of_string "WARNING" = Some Obs.Log.Warn);
+  Alcotest.(check bool) "parse junk" true (Obs.Log.level_of_string "x" = None);
+  Obs.Log.set_level prev
+
+(* --- the search funnel on a real search ----------------------------------- *)
+
+let div_matmul_spec ~b ~h ~d =
+  let bld = Graph.Build.create () in
+  let x = Graph.Build.input bld "X" [| b; h |] in
+  let c = Graph.Build.input bld "C" [| b; 1 |] in
+  let w = Graph.Build.input bld "W" [| h; d |] in
+  let y = Graph.Build.prim bld (Op.Binary Op.Div) [ x; c ] in
+  let z = Graph.Build.prim bld Op.Matmul [ y; w ] in
+  Graph.Build.finish bld ~outputs:[ z ]
+
+let test_funnel_invariant () =
+  let spec = div_matmul_spec ~b:4 ~h:8 ~d:16 in
+  let config =
+    Search.Config.for_spec
+      ~base:
+        {
+          Search.Config.default with
+          Search.Config.grid_candidates = [ [| 2 |] ];
+          forloop_candidates = [ [| 2 |] ];
+          max_block_ops = 4;
+          num_workers = 2;
+          time_budget_s = 90.0;
+        }
+      spec
+  in
+  let o = Search.Generator.run ~config ~device:Gpusim.Device.a100 ~spec () in
+  let s = o.Search.Generator.stats in
+  Alcotest.(check bool) "searched something" true
+    (s.Search.Stats.expanded > 0);
+  Alcotest.(check bool) "funnel invariant" true (Search.Stats.funnel_ok s);
+  Alcotest.(check bool) "verified <= candidates" true
+    (s.Search.Stats.verified <= s.Search.Stats.candidates);
+  (* the registry snapshot agrees with the fixed record *)
+  let counters = o.Search.Generator.metrics.Obs.Metrics.counters in
+  Alcotest.(check int) "registry mirrors snapshot"
+    s.Search.Stats.expanded
+    (List.assoc "search.expanded" counters)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter exact across domains" `Quick
+            test_counter_domains;
+          Alcotest.test_case "histogram exact across domains" `Quick
+            test_histogram_domains;
+          Alcotest.test_case "merge sums by name" `Quick test_metrics_merge;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip with escapes" `Quick
+            test_json_roundtrip;
+          Alcotest.test_case "parser rejects invalid" `Quick
+            test_json_parse_errors;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "nesting and chrome JSON" `Quick
+            test_trace_nesting;
+          Alcotest.test_case "no-op when disabled" `Quick
+            test_trace_global_off;
+        ] );
+      ( "log",
+        [ Alcotest.test_case "level gating" `Quick test_log_levels ] );
+      ( "funnel",
+        [
+          Alcotest.test_case "invariant on a small search" `Quick
+            test_funnel_invariant;
+        ] );
+    ]

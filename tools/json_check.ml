@@ -1,0 +1,34 @@
+(* Validate that a file parses as JSON (used by CI on trace and bench
+   output). Exits 0 and prints a short shape summary, or 1 with the
+   parse error. *)
+
+let describe = function
+  | Obs.Jsonw.List l -> Printf.sprintf "array of %d elements" (List.length l)
+  | Obs.Jsonw.Obj kvs ->
+      Printf.sprintf "object with keys [%s]"
+        (String.concat "; " (List.map fst kvs))
+  | Obs.Jsonw.Str _ -> "string"
+  | Obs.Jsonw.Int _ -> "int"
+  | Obs.Jsonw.Float _ -> "float"
+  | Obs.Jsonw.Bool _ -> "bool"
+  | Obs.Jsonw.Null -> "null"
+
+let () =
+  if Array.length Sys.argv < 2 then begin
+    prerr_endline "usage: json_check FILE...";
+    exit 2
+  end;
+  Array.iteri
+    (fun i path ->
+      if i > 0 then begin
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        match Obs.Jsonw.of_string s with
+        | Ok j -> Printf.printf "%s: valid JSON, %s\n" path (describe j)
+        | Error msg ->
+            Printf.eprintf "%s: INVALID JSON: %s\n" path msg;
+            exit 1
+      end)
+    Sys.argv
