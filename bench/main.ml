@@ -22,6 +22,11 @@ let hr title =
 let json_rows : Obs.Jsonw.t list ref = ref []
 let json_suites : string list ref = ref []
 
+(* Estimated Mirage costs of the Fig. 7 workloads, keyed
+   "<device>.<benchmark>.mirage_us" — the values the bench history file
+   tracks run over run and that the CI regression gate compares. *)
+let history_costs : (string * float) list ref = ref []
+
 let jsuite name =
   if not (List.mem name !json_suites) then
     json_suites := !json_suites @ [ name ]
@@ -68,6 +73,13 @@ let fig7 () =
                 (mirage_us /. us))
             b.systems;
           row "Mirage" mirage_us;
+          history_costs :=
+            !history_costs
+            @ [
+                ( Printf.sprintf "%s.%s.mirage_us" dev.Gpusim.Device.name
+                    b.name,
+                  mirage_us );
+              ];
           Printf.printf "%-10s %-14s %8.2f %8.2f  <= %.2fx over best baseline\n"
             b.name "Mirage" mirage_us 1.0 (best /. mirage_us))
         (Workloads.Bench_defs.all ()))
@@ -417,16 +429,151 @@ let write_json file =
   Obs.Jsonw.to_file file doc;
   Printf.printf "\nwrote %d JSON rows to %s\n" (List.length !json_rows) file
 
+(* ------------------------------------------------------------------ *)
+(* Bench history: [--history FILE] appends one JSONL entry per run     *)
+(* (schema mirage.bench_history.v1: timestamp, wall time, the Fig. 7   *)
+(* Mirage costs); [--gate PCT] first compares against the file's last  *)
+(* entry and fails — without appending — when any cost regresses by    *)
+(* more than PCT percent, or wall time blows up (10x PCT relative and  *)
+(* at least +2s absolute, lenient because wall time is noisy where the *)
+(* cost model is deterministic).                                       *)
+(* ------------------------------------------------------------------ *)
+
+let history_schema = "mirage.bench_history.v1"
+
+let jnum = function
+  | Obs.Jsonw.Int i -> Some (float_of_int i)
+  | Obs.Jsonw.Float f -> Some f
+  | _ -> None
+
+let read_last_entry file =
+  if not (Sys.file_exists file) then None
+  else begin
+    let ic = open_in file in
+    let last = ref None in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then last := Some line
+       done
+     with End_of_file -> ());
+    close_in ic;
+    match !last with
+    | None -> None
+    | Some line -> (
+        match Obs.Jsonw.of_string line with
+        | Ok j -> Some j
+        | Error msg ->
+            Printf.eprintf "--history: unparsable last entry in %s: %s\n" file
+              msg;
+            exit 2)
+  end
+
+let gate_history ~prev ~wall_s ~pct =
+  let frac = pct /. 100.0 in
+  let cost_viols =
+    match Obs.Jsonw.member "costs" prev with
+    | Some (Obs.Jsonw.Obj kvs) ->
+        List.filter_map
+          (fun (key, v) ->
+            match (jnum v, List.assoc_opt key !history_costs) with
+            | Some old_us, Some new_us
+              when old_us > 0.0 && (new_us -. old_us) /. old_us > frac ->
+                Some
+                  (Printf.sprintf
+                     "%s: %.2f us -> %.2f us (%+.1f%%, threshold %.1f%%)" key
+                     old_us new_us
+                     (100.0 *. (new_us -. old_us) /. old_us)
+                     pct)
+            | _ -> None)
+          kvs
+    | _ -> []
+  in
+  let wall_viols =
+    match Option.bind (Obs.Jsonw.member "wall_s" prev) jnum with
+    | Some old_s
+      when old_s > 0.0
+           && (wall_s -. old_s) /. old_s > 10.0 *. frac
+           && wall_s -. old_s > 2.0 ->
+        [
+          Printf.sprintf
+            "wall_s: %.2f s -> %.2f s (%+.1f%%, lenient threshold %.1f%% and \
+             +2s)"
+            old_s wall_s
+            (100.0 *. (wall_s -. old_s) /. old_s)
+            (10.0 *. pct);
+        ]
+    | _ -> []
+  in
+  cost_viols @ wall_viols
+
+let append_history ~file ~wall_s =
+  let entry =
+    Obs.Jsonw.Obj
+      [
+        ("schema", Obs.Jsonw.Str history_schema);
+        ("ts", Obs.Jsonw.Float (Unix.gettimeofday ()));
+        ("wall_s", Obs.Jsonw.Float wall_s);
+        ( "costs",
+          Obs.Jsonw.Obj
+            (List.map (fun (k, v) -> (k, Obs.Jsonw.Float v)) !history_costs)
+        );
+      ]
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
+  output_string oc (Obs.Jsonw.to_string entry);
+  output_char oc '\n';
+  close_out oc
+
+let finish_history ~file ~gate_pct ~wall_s =
+  if !history_costs = [] then begin
+    Printf.eprintf
+      "--history: no Fig. 7 costs recorded (run the fig7 suite)\n";
+    exit 2
+  end;
+  let violations =
+    match (gate_pct, read_last_entry file) with
+    | Some pct, Some prev -> gate_history ~prev ~wall_s ~pct
+    | _ -> []
+  in
+  if violations = [] then begin
+    append_history ~file ~wall_s;
+    Printf.printf "appended bench history entry (%d costs) to %s\n"
+      (List.length !history_costs)
+      file
+  end
+  else begin
+    List.iter (fun v -> Printf.eprintf "REGRESSION %s\n" v) violations;
+    Printf.eprintf "bench history gate FAILED against %s (entry not appended)\n"
+      file;
+    exit 1
+  end
+
 let () =
-  (* [--json FILE] may appear anywhere; it is stripped before dispatch. *)
-  let json_file, args =
-    let rec strip acc = function
-      | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
-      | x :: rest -> strip (x :: acc) rest
+  (* [--json FILE], [--history FILE] and [--gate PCT] may appear
+     anywhere; they are stripped before dispatch. *)
+  let strip_opt key args =
+    let rec go acc = function
+      | k :: v :: rest when k = key -> (Some v, List.rev_append acc rest)
+      | x :: rest -> go (x :: acc) rest
       | [] -> (None, List.rev acc)
     in
-    strip [] (Array.to_list Sys.argv)
+    go [] args
   in
+  let json_file, args = strip_opt "--json" (Array.to_list Sys.argv) in
+  let history_file, args = strip_opt "--history" args in
+  let gate_arg, args = strip_opt "--gate" args in
+  let gate_pct =
+    Option.map
+      (fun s ->
+        match float_of_string_opt s with
+        | Some pct when pct > 0.0 -> pct
+        | _ ->
+            Printf.eprintf "--gate: expected a positive percentage, got %S\n" s;
+            exit 2)
+      gate_arg
+  in
+  let t0 = Unix.gettimeofday () in
   (match args with
   | _ :: "fig7" :: _ -> fig7 ()
   | _ :: "fig11" :: _ -> fig11 ()
@@ -445,6 +592,11 @@ let () =
   | _ ->
       prerr_endline
         "usage: main.exe [fig7|fig11|table5 [--full]|casestudy \
-         <name>|gqa_sweep|ablation|micro] [--json FILE]";
+         <name>|gqa_sweep|ablation|micro] [--json FILE] [--history FILE \
+         [--gate PCT]]";
       exit 2);
-  Option.iter write_json json_file
+  Option.iter write_json json_file;
+  Option.iter
+    (fun file ->
+      finish_history ~file ~gate_pct ~wall_s:(Unix.gettimeofday () -. t0))
+    history_file

@@ -133,6 +133,121 @@ let with_tracing trace f =
             file (Obs.Trace.summary t))
         f
 
+(* [--report DIR]: a self-contained run directory — report.json,
+   trace.json and journal.jsonl. Tracing and the event journal are
+   force-enabled for the run, and every finalizer is individually
+   exception-protected so a crashed search still leaves its forensics
+   behind (with status.state = "crashed" and the error recorded). *)
+
+let report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"DIR"
+        ~doc:
+          "Write a self-contained run report to $(docv): report.json (config \
+           fingerprint, environment, search funnel, costs, phase timings), \
+           trace.json (Chrome trace events) and journal.jsonl (the search \
+           flight record, one event per candidate decision).")
+
+let with_artifacts ~kind trace report_dir f =
+  match report_dir with
+  | None -> with_tracing trace (fun () -> f None)
+  | Some dir ->
+      let rep = Obs.Report.create ~dir in
+      Obs.Report.add rep "kind" (Obs.Jsonw.Str kind);
+      Obs.Report.add rep "env" (Obs.Report.env_json ());
+      let tr = Obs.Trace.enable () in
+      ignore (Obs.Journal.enable (Filename.concat dir "journal.jsonl"));
+      let t0 = Unix.gettimeofday () in
+      let finalize status err =
+        let attempt g = try g () with _ -> () in
+        attempt (fun () -> Obs.Trace.disable ());
+        attempt (fun () -> Obs.Journal.disable ());
+        attempt (fun () ->
+            Obs.Trace.dump tr (Filename.concat dir "trace.json"));
+        (match trace with
+        | Some file -> attempt (fun () -> Obs.Trace.dump tr file)
+        | None -> ());
+        attempt (fun () ->
+            Obs.Report.add rep "phases" (Obs.Report.phase_timings tr));
+        Obs.Report.add rep "timing"
+          (Obs.Jsonw.Obj
+             [ ("wall_s", Obs.Jsonw.Float (Unix.gettimeofday () -. t0)) ]);
+        Obs.Report.add rep "artifacts"
+          (Obs.Jsonw.Obj
+             [
+               ("report", Obs.Jsonw.Str "report.json");
+               ("trace", Obs.Jsonw.Str "trace.json");
+               ("journal", Obs.Jsonw.Str "journal.jsonl");
+             ]);
+        Obs.Report.add rep "status"
+          (Obs.Jsonw.Obj
+             (("state", Obs.Jsonw.Str status)
+             ::
+             (if err = "" then [] else [ ("error", Obs.Jsonw.Str err) ])));
+        attempt (fun () -> Obs.Report.write rep);
+        Printf.eprintf "== run report: %s\n%!" (Obs.Report.path rep)
+      in
+      (match f (Some rep) with
+      | () -> finalize "ok" ""
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          finalize "crashed" (Printexc.to_string e);
+          Printexc.raise_with_backtrace e bt)
+
+let funnel_json (s : Search.Stats.snapshot) =
+  let open Search.Stats in
+  Obs.Jsonw.Obj
+    [
+      ("expanded", Obs.Jsonw.Int s.expanded);
+      ("shape_rejected", Obs.Jsonw.Int s.shape_rejected);
+      ("memory_rejected", Obs.Jsonw.Int s.memory_rejected);
+      ("pruned_abstract", Obs.Jsonw.Int s.pruned_abstract);
+      ("canonical_rejected", Obs.Jsonw.Int s.canonical_rejected);
+      ("candidates", Obs.Jsonw.Int s.candidates);
+      ("verified", Obs.Jsonw.Int s.verified);
+      ("duplicates", Obs.Jsonw.Int s.duplicates);
+      ("elapsed_s", Obs.Jsonw.Float s.elapsed_s);
+    ]
+
+let sum_funnels snaps =
+  let open Search.Stats in
+  List.fold_left
+    (fun acc s ->
+      {
+        expanded = acc.expanded + s.expanded;
+        shape_rejected = acc.shape_rejected + s.shape_rejected;
+        memory_rejected = acc.memory_rejected + s.memory_rejected;
+        pruned_abstract = acc.pruned_abstract + s.pruned_abstract;
+        canonical_rejected = acc.canonical_rejected + s.canonical_rejected;
+        candidates = acc.candidates + s.candidates;
+        verified = acc.verified + s.verified;
+        duplicates = acc.duplicates + s.duplicates;
+        elapsed_s = acc.elapsed_s +. s.elapsed_s;
+      })
+    {
+      expanded = 0;
+      shape_rejected = 0;
+      memory_rejected = 0;
+      pruned_abstract = 0;
+      canonical_rejected = 0;
+      candidates = 0;
+      verified = 0;
+      duplicates = 0;
+      elapsed_s = 0.0;
+    }
+    snaps
+
+let solver_json (sv : Smtlite.Solver.stats) =
+  Obs.Jsonw.Obj
+    [
+      ("queries", Obs.Jsonw.Int sv.Smtlite.Solver.queries);
+      ("cache_hits", Obs.Jsonw.Int sv.Smtlite.Solver.cache_hits);
+      ("accepted", Obs.Jsonw.Int sv.Smtlite.Solver.accepted);
+      ("solve_time_s", Obs.Jsonw.Float sv.Smtlite.Solver.solve_time_s);
+    ]
+
 (* The process-wide registry holds the verifier's counters; per-search
    registries hold the funnel and enumerator histograms. Merge them for
    one report. *)
@@ -168,13 +283,13 @@ let search_config ~max_ops ~workers ~budget spec =
   Search.Config.for_spec ~base spec
 
 let optimize_cmd =
-  let run name device max_ops workers budget trace metrics =
+  let run name device max_ops workers budget trace metrics report_dir =
     let b = lookup name in
     (* Superoptimize the reduced-dimension specification: the search is
        exhaustive and the discovered structure is dimension-uniform. *)
     let spec, _ = b.Workloads.Bench_defs.reduced () in
     let config = search_config ~max_ops ~workers ~budget spec in
-    with_tracing trace @@ fun () ->
+    with_artifacts ~kind:"optimize" trace report_dir @@ fun rep ->
     let report = Mirage.superoptimize ~config ~device spec in
     print_string (Mirage.summary report);
     List.iter
@@ -187,33 +302,119 @@ let optimize_cmd =
               (Mugraph.Pretty.kernel_graph_to_string pr.Mirage.best)
         | None -> ())
       report.Mirage.pieces;
-    if metrics then begin
-      let piece_snaps =
-        List.filter_map
-          (fun (pr : Mirage.piece_result) ->
-            Option.map
-              (fun o -> o.Search.Generator.metrics)
-              pr.Mirage.outcome)
-          report.Mirage.pieces
-      in
+    let piece_snaps =
+      List.filter_map
+        (fun (pr : Mirage.piece_result) ->
+          Option.map (fun o -> o.Search.Generator.metrics) pr.Mirage.outcome)
+        report.Mirage.pieces
+    in
+    (match rep with
+    | None -> ()
+    | Some r ->
+        Obs.Report.add r "benchmark"
+          (Obs.Jsonw.Obj
+             [
+               ("name", Obs.Jsonw.Str b.Workloads.Bench_defs.name);
+               ("arch", Obs.Jsonw.Str b.Workloads.Bench_defs.base_arch);
+             ]);
+        Obs.Report.add r "device"
+          (Obs.Jsonw.Str device.Gpusim.Device.name);
+        Obs.Report.add r "config" (Search.Config.to_json config);
+        let outcomes =
+          List.filter_map
+            (fun (pr : Mirage.piece_result) -> pr.Mirage.outcome)
+            report.Mirage.pieces
+        in
+        Obs.Report.add r "funnel"
+          (funnel_json
+             (sum_funnels
+                (List.map (fun o -> o.Search.Generator.stats) outcomes)));
+        let q, h, a, t =
+          List.fold_left
+            (fun (q, h, a, t) (o : Search.Generator.outcome) ->
+              let sv = o.Search.Generator.solver in
+              ( q + sv.Smtlite.Solver.queries,
+                h + sv.Smtlite.Solver.cache_hits,
+                a + sv.Smtlite.Solver.accepted,
+                t +. sv.Smtlite.Solver.solve_time_s ))
+            (0, 0, 0, 0.0) outcomes
+        in
+        Obs.Report.add r "solver"
+          (Obs.Jsonw.Obj
+             [
+               ("queries", Obs.Jsonw.Int q);
+               ("cache_hits", Obs.Jsonw.Int h);
+               ("accepted", Obs.Jsonw.Int a);
+               ("solve_time_s", Obs.Jsonw.Float t);
+             ]);
+        Obs.Report.add r "cost"
+          (Obs.Jsonw.Obj
+             [
+               ("input_us", Obs.Jsonw.Float report.Mirage.input_us);
+               ("optimized_us", Obs.Jsonw.Float report.Mirage.optimized_us);
+               ("speedup", Obs.Jsonw.Float report.Mirage.speedup);
+               ( "pieces",
+                 Obs.Jsonw.List
+                   (List.map
+                      (fun (pr : Mirage.piece_result) ->
+                        Obs.Jsonw.Obj
+                          [
+                            ( "id",
+                              Obs.Jsonw.Int pr.Mirage.piece.Mirage.Partition.id
+                            );
+                            ( "input_us",
+                              Obs.Jsonw.Float
+                                pr.Mirage.input_cost.Gpusim.Cost.total_us );
+                            ("best", Gpusim.Cost.to_json pr.Mirage.best_cost);
+                          ])
+                      report.Mirage.pieces) );
+             ]);
+        Obs.Report.add r "metrics"
+          (Obs.Metrics.to_json (merged_metrics piece_snaps)));
+    if metrics then
       Printf.printf "== metrics\n%s"
         (Obs.Metrics.to_table (merged_metrics piece_snaps))
-    end
   in
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Run the full superoptimizer on a benchmark (reduced dims)")
     Term.(
       const run $ bench_arg $ device_arg $ ops_arg $ workers_arg $ budget_arg
-      $ trace_arg $ metrics_flag)
+      $ trace_arg $ metrics_flag $ report_arg)
 
 let stats_cmd =
-  let run name device max_ops workers budget trace =
+  let run name device max_ops workers budget trace report_dir =
     let b = lookup name in
     let spec, _ = b.Workloads.Bench_defs.reduced () in
     let config = search_config ~max_ops ~workers ~budget spec in
-    with_tracing trace @@ fun () ->
+    with_artifacts ~kind:"stats" trace report_dir @@ fun rep ->
     let o = Search.Generator.run ~config ~verify_trials:2 ~device ~spec () in
+    (match rep with
+    | None -> ()
+    | Some r ->
+        Obs.Report.add r "benchmark"
+          (Obs.Jsonw.Obj
+             [
+               ("name", Obs.Jsonw.Str b.Workloads.Bench_defs.name);
+               ("arch", Obs.Jsonw.Str b.Workloads.Bench_defs.base_arch);
+             ]);
+        Obs.Report.add r "device" (Obs.Jsonw.Str device.Gpusim.Device.name);
+        Obs.Report.add r "config" (Search.Config.to_json config);
+        Obs.Report.add r "funnel" (funnel_json o.Search.Generator.stats);
+        Obs.Report.add r "solver" (solver_json o.Search.Generator.solver);
+        (match o.Search.Generator.best with
+        | Some best ->
+            Obs.Report.add r "cost"
+              (Obs.Jsonw.Obj
+                 [
+                   ( "optimized_us",
+                     Obs.Jsonw.Float best.Search.Generator.cost.Gpusim.Cost.total_us
+                   );
+                   ("best", Gpusim.Cost.to_json best.Search.Generator.cost);
+                 ])
+        | None -> ());
+        Obs.Report.add r "metrics"
+          (Obs.Metrics.to_json (merged_metrics [ o.Search.Generator.metrics ])));
     let s = o.Search.Generator.stats in
     let open Search.Stats in
     (* Each stage of the funnel subtracts one rejection class from the
@@ -266,7 +467,165 @@ let stats_cmd =
           verifier telemetry")
     Term.(
       const run $ bench_arg $ device_arg $ ops_arg $ workers_arg $ budget_arg
-      $ trace_arg)
+      $ trace_arg $ report_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Forensics over run artifacts: explain and diff                      *)
+(* ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"RUN_DIR"
+          ~doc:"Run directory from --report (or a journal.jsonl file).")
+  in
+  let cand_arg =
+    Arg.(
+      required
+      & pos 1 (some int) None
+      & info [] ~docv:"CANDIDATE"
+          ~doc:"Candidate id (the \"cand\" field of journal events).")
+  in
+  let run dir cand =
+    let jpath =
+      if Sys.file_exists dir && Sys.is_directory dir then
+        Filename.concat dir "journal.jsonl"
+      else dir
+    in
+    match Obs.Journal.read_file jpath with
+    | Error msg ->
+        Printf.eprintf "explain: %s: %s\n" jpath msg;
+        exit 2
+    | Ok events ->
+        let mine =
+          List.filter (fun e -> Obs.Journal.cand_of e = cand) events
+          |> List.sort (fun a b ->
+                 compare (Obs.Journal.seq_of a) (Obs.Journal.seq_of b))
+        in
+        if mine = [] then begin
+          Printf.eprintf "explain: no events for candidate %d in %s\n" cand
+            jpath;
+          exit 1
+        end;
+        Printf.printf "== candidate %d: %d event(s)\n" cand (List.length mine);
+        List.iter
+          (fun e ->
+            let detail =
+              match e with
+              | Obs.Jsonw.Obj fields ->
+                  fields
+                  |> List.filter (fun (k, _) ->
+                         not (List.mem k [ "seq"; "ts"; "dom"; "ev"; "cand" ]))
+                  |> List.map (fun (k, v) ->
+                         Printf.sprintf "%s=%s" k (Obs.Jsonw.to_string v))
+                  |> String.concat " "
+              | _ -> ""
+            in
+            let ts =
+              match Obs.Jsonw.member "ts" e with
+              | Some (Obs.Jsonw.Float f) -> f
+              | Some (Obs.Jsonw.Int i) -> float_of_int i
+              | _ -> 0.0
+            in
+            Printf.printf "%8d  %9.4fs  %-16s %s\n" (Obs.Journal.seq_of e) ts
+              (Obs.Journal.typ_of e) detail)
+          mine;
+        (* one line summarizing how the candidate's story ended *)
+        let last = List.nth mine (List.length mine - 1) in
+        let str_field k e =
+          match Obs.Jsonw.member k e with
+          | Some (Obs.Jsonw.Str s) -> s
+          | _ -> "?"
+        in
+        (match Obs.Journal.typ_of last with
+        | "cand.reject" ->
+            Printf.printf "-- rejected: %s\n" (str_field "reason" last)
+        | "cand.accept" ->
+            Printf.printf "-- accepted into the search prefix\n"
+        | "graph.emit" ->
+            Printf.printf "-- emitted as a complete muGraph (unverified)\n"
+        | "verify.verdict" ->
+            Printf.printf "-- verifier verdict: %s\n" (str_field "verdict" last)
+        | "cost.total" | "cost.kernel" ->
+            Printf.printf "-- selected as the best verified muGraph\n"
+        | _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Reconstruct one candidate's lifecycle (expansion, rejection reason, \
+          verification verdict, cost attribution) from a run's journal")
+    Term.(const run $ dir_arg $ cand_arg)
+
+let diff_cmd =
+  let a_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"RUN_A" ~doc:"Baseline run directory (or report.json).")
+  in
+  let b_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"RUN_B" ~doc:"Candidate run directory (or report.json).")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "threshold" ] ~docv:"FRACTION"
+          ~doc:
+            "Regression threshold on the gated keys (cost.optimized_us, \
+             timing.wall_s) as a fraction: 0.05 = 5%. Exceeding it exits \
+             nonzero.")
+  in
+  let run a b threshold =
+    match (Obs.Report.load a, Obs.Report.load b) with
+    | Error e, _ ->
+        Printf.eprintf "diff: %s: %s\n" a e;
+        exit 2
+    | _, Error e ->
+        Printf.eprintf "diff: %s: %s\n" b e;
+        exit 2
+    | Ok ja, Ok jb ->
+        let ds = Obs.Report.num_deltas ja jb in
+        let changed =
+          List.filter (fun (d : Obs.Report.delta) -> d.va <> d.vb) ds
+        in
+        Printf.printf "%-44s %14s %14s %9s\n" "key" "baseline" "candidate"
+          "delta";
+        List.iter
+          (fun (d : Obs.Report.delta) ->
+            let r = Obs.Report.rel d in
+            Printf.printf "%-44s %14.6g %14.6g %+8.1f%%\n" d.key d.va d.vb
+              (100.0 *. r))
+          changed;
+        Printf.printf "-- %d shared numeric key(s), %d changed\n"
+          (List.length ds) (List.length changed);
+        let violations = Obs.Report.gate ~threshold ja jb in
+        if violations = [] then
+          Printf.printf "-- no regression above %.1f%% on gated keys\n"
+            (100.0 *. threshold)
+        else begin
+          List.iter
+            (fun (d : Obs.Report.delta) ->
+              Printf.printf
+                "REGRESSION %s: %.6g -> %.6g (%+.1f%%, threshold %.1f%%)\n"
+                d.key d.va d.vb
+                (100.0 *. Obs.Report.rel d)
+                (100.0 *. threshold))
+            violations;
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two run reports key by key (funnel, costs, timings); exits \
+          nonzero when a gated key regresses beyond the threshold")
+    Term.(const run $ a_arg $ b_arg $ threshold_arg)
 
 let emit_cmd =
   let out_arg =
@@ -330,4 +689,6 @@ let () =
             optimize_cmd;
             stats_cmd;
             emit_cmd;
+            explain_cmd;
+            diff_cmd;
           ]))

@@ -265,3 +265,41 @@ let pp_graph_cost fmt c =
         k.node k.kind k.blocks k.launch_us k.compute_us k.dram_us k.smem_us
         k.total_us)
     c.kernels
+
+let kernel_cost_json (k : kernel_cost) =
+  Obs.Jsonw.Obj
+    [
+      ("node", Obs.Jsonw.Int k.node);
+      ("kind", Obs.Jsonw.Str k.kind);
+      ("blocks", Obs.Jsonw.Int k.blocks);
+      ("launch_us", Obs.Jsonw.Float k.launch_us);
+      ("compute_us", Obs.Jsonw.Float k.compute_us);
+      ("dram_us", Obs.Jsonw.Float k.dram_us);
+      ("smem_us", Obs.Jsonw.Float k.smem_us);
+      ("total_us", Obs.Jsonw.Float k.total_us);
+      ("dram_bytes", Obs.Jsonw.Float k.dram_bytes);
+      ("flops", Obs.Jsonw.Float k.flops);
+    ]
+
+let to_json (c : graph_cost) =
+  Obs.Jsonw.Obj
+    [
+      ("total_us", Obs.Jsonw.Float c.total_us);
+      ("total_dram_bytes", Obs.Jsonw.Float c.total_dram_bytes);
+      ("num_kernels", Obs.Jsonw.Int c.num_kernels);
+      ("kernels", Obs.Jsonw.List (List.map kernel_cost_json c.kernels));
+    ]
+
+let journal_attribution ?cand j (c : graph_cost) =
+  List.iter
+    (fun (k : kernel_cost) ->
+      match kernel_cost_json k with
+      | Obs.Jsonw.Obj fields -> Obs.Journal.emit j ?cand ~typ:"cost.kernel" fields
+      | _ -> ())
+    c.kernels;
+  Obs.Journal.emit j ?cand ~typ:"cost.total"
+    [
+      ("total_us", Obs.Jsonw.Float c.total_us);
+      ("total_dram_bytes", Obs.Jsonw.Float c.total_dram_bytes);
+      ("num_kernels", Obs.Jsonw.Int c.num_kernels);
+    ]

@@ -51,3 +51,14 @@ val speedup : baseline:graph_cost -> graph_cost -> float
 (** [baseline.total_us /. candidate.total_us]. *)
 
 val pp_graph_cost : Format.formatter -> graph_cost -> unit
+
+val kernel_cost_json : kernel_cost -> Obs.Jsonw.t
+val to_json : graph_cost -> Obs.Jsonw.t
+(** The full per-operator breakdown as JSON (run-report section). *)
+
+val journal_attribution :
+  ?cand:int -> Obs.Journal.t -> graph_cost -> unit
+(** Emit one [cost.kernel] journal event per kernel (node, kind, blocks,
+    compute/dram/smem/total µs, DRAM bytes, FLOPs) plus a [cost.total]
+    summary, tagged with candidate id [cand] — the per-operator cost
+    attribution for the search's best candidates. *)

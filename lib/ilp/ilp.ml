@@ -13,6 +13,39 @@ type t = {
 
 type solution = { values : bool array; objective : float }
 
+(* Solver telemetry in the process-wide registry (layout selection has no
+   per-run registry); resolved lazily so unused programs pay nothing. *)
+module Im = struct
+  let reg () = Obs.Metrics.default ()
+
+  let solves =
+    lazy (Obs.Metrics.counter (reg ()) ~help:"branch-and-bound invocations" "ilp.solves")
+
+  let nodes =
+    lazy
+      (Obs.Metrics.counter (reg ())
+         ~help:"branch-and-bound nodes visited (iterations)" "ilp.nodes")
+
+  let infeasible_cuts =
+    lazy
+      (Obs.Metrics.counter (reg ())
+         ~help:"subtrees cut: some constraint already violated"
+         "ilp.cuts.infeasible")
+
+  let bound_cuts =
+    lazy
+      (Obs.Metrics.counter (reg ())
+         ~help:"subtrees cut: objective bound cannot beat incumbent"
+         "ilp.cuts.bound")
+
+  let nodes_per_solve =
+    lazy
+      (Obs.Metrics.histogram (reg ())
+         ~help:"branch-and-bound nodes per solve"
+         ~buckets:[| 1.; 10.; 100.; 1000.; 10_000.; 100_000.; 1_000_000. |]
+         "ilp.nodes_per_solve")
+end
+
 let create () = { n = 0; names = []; cons = []; objective = [] }
 
 let num_vars p = p.n
@@ -99,8 +132,10 @@ let solve ?(node_limit = 10_000_000) p =
   let rec go v =
     incr nodes;
     if !nodes > node_limit then failwith "Ilp.solve: node limit exhausted";
-    if not (feasible_so_far ()) then ()
-    else if not (better (obj_lower_bound ())) then ()
+    if not (feasible_so_far ()) then
+      Obs.Metrics.bump (Lazy.force Im.infeasible_cuts)
+    else if not (better (obj_lower_bound ())) then
+      Obs.Metrics.bump (Lazy.force Im.bound_cuts)
     else if v = n then begin
       let obj = obj_value () in
       if better obj then
@@ -122,7 +157,14 @@ let solve ?(node_limit = 10_000_000) p =
         order
     end
   in
-  go 0;
+  Obs.Metrics.bump (Lazy.force Im.solves);
+  Fun.protect
+    ~finally:(fun () ->
+      (* counts survive a node-limit failure, so the blown-up solve is
+         still visible in the metrics table *)
+      Obs.Metrics.add (Lazy.force Im.nodes) !nodes;
+      Obs.Metrics.observe (Lazy.force Im.nodes_per_solve) (float_of_int !nodes))
+    (fun () -> go 0);
   !best
 
 let value sol (v : var) = sol.values.(v)

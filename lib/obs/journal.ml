@@ -1,0 +1,167 @@
+(* Per-domain buffer: serialized lines accumulate locally (own mutex,
+   uncontended on the hot path) and drain through the journal's single
+   writer mutex, so no line is ever torn across a concurrent write. *)
+type dbuf = { block : Mutex.t; buf : Buffer.t; mutable events : int }
+
+type t = {
+  jpath : string;
+  oc : out_channel;
+  wlock : Mutex.t;  (** guards [oc] and [bufs] *)
+  mutable bufs : dbuf list;  (** every per-domain buffer ever handed out *)
+  dls : dbuf Domain.DLS.key;
+  seq : int Atomic.t;
+  ids : int Atomic.t;
+  epoch : float;
+  capacity : int;
+  closed : bool Atomic.t;
+}
+
+let create ?(capacity = 128) ~path () =
+  let oc = open_out path in
+  let wlock = Mutex.create () in
+  let rec t =
+    lazy
+      {
+        jpath = path;
+        oc;
+        wlock;
+        bufs = [];
+        dls =
+          Domain.DLS.new_key (fun () ->
+              let b =
+                { block = Mutex.create (); buf = Buffer.create 4096; events = 0 }
+              in
+              let j = Lazy.force t in
+              Mutex.lock j.wlock;
+              j.bufs <- b :: j.bufs;
+              Mutex.unlock j.wlock;
+              b);
+        seq = Atomic.make 0;
+        ids = Atomic.make 0;
+        epoch = Unix.gettimeofday ();
+        capacity = max 1 capacity;
+        closed = Atomic.make false;
+      }
+  in
+  Lazy.force t
+
+let path t = t.jpath
+let fresh_id t = Atomic.fetch_and_add t.ids 1
+
+(* Caller must hold [b.block]. *)
+let drain_locked t (b : dbuf) =
+  if Buffer.length b.buf > 0 then begin
+    Mutex.lock t.wlock;
+    if not (Atomic.get t.closed) then begin
+      Buffer.output_buffer t.oc b.buf;
+      flush t.oc
+    end;
+    Mutex.unlock t.wlock;
+    Buffer.clear b.buf;
+    b.events <- 0
+  end
+
+let emit t ?(cand = -1) ~typ fields =
+  if not (Atomic.get t.closed) then begin
+    let line =
+      Jsonw.Obj
+        (("seq", Jsonw.Int (Atomic.fetch_and_add t.seq 1))
+        :: ("ts", Jsonw.Float (Unix.gettimeofday () -. t.epoch))
+        :: ("dom", Jsonw.Int (Domain.self () :> int))
+        :: ("ev", Jsonw.Str typ)
+        :: (if cand >= 0 then [ ("cand", Jsonw.Int cand) ] else [])
+        @ fields)
+    in
+    let b = Domain.DLS.get t.dls in
+    Mutex.lock b.block;
+    Buffer.add_string b.buf (Jsonw.to_string line);
+    Buffer.add_char b.buf '\n';
+    b.events <- b.events + 1;
+    if b.events >= t.capacity then drain_locked t b;
+    Mutex.unlock b.block
+  end
+
+let flush t =
+  let bufs =
+    Mutex.lock t.wlock;
+    let l = t.bufs in
+    Mutex.unlock t.wlock;
+    l
+  in
+  List.iter
+    (fun b ->
+      Mutex.lock b.block;
+      drain_locked t b;
+      Mutex.unlock b.block)
+    bufs;
+  Mutex.lock t.wlock;
+  if not (Atomic.get t.closed) then flush t.oc;
+  Mutex.unlock t.wlock
+
+let close t =
+  flush t;
+  if not (Atomic.exchange t.closed true) then begin
+    Mutex.lock t.wlock;
+    close_out_noerr t.oc;
+    Mutex.unlock t.wlock
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Global journal                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let current : t option Atomic.t = Atomic.make None
+
+let disable () =
+  match Atomic.exchange current None with
+  | Some t -> close t
+  | None -> ()
+
+let enable ?capacity path =
+  disable ();
+  let t = create ?capacity ~path () in
+  Atomic.set current (Some t);
+  t
+
+let active () = Atomic.get current
+
+let event ?cand typ fields =
+  match Atomic.get current with
+  | None -> ()
+  | Some t -> emit t ?cand ~typ fields
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fold_file path ~init ~f =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec loop lineno acc =
+            match input_line ic with
+            | exception End_of_file -> Ok acc
+            | "" -> loop (lineno + 1) acc
+            | line -> (
+                match Jsonw.of_string line with
+                | Ok v -> loop (lineno + 1) (f acc v)
+                | Error msg ->
+                    Error (Printf.sprintf "line %d: %s" lineno msg))
+          in
+          loop 1 init)
+
+let read_file path =
+  Result.map List.rev
+    (fold_file path ~init:[] ~f:(fun acc v -> v :: acc))
+
+let int_field key j =
+  match Jsonw.member key j with Some (Jsonw.Int i) -> i | _ -> -1
+
+let seq_of j = int_field "seq" j
+let cand_of j = int_field "cand" j
+
+let typ_of j =
+  match Jsonw.member "ev" j with Some (Jsonw.Str s) -> s | _ -> ""

@@ -1,0 +1,84 @@
+(** The search flight recorder: a domain-safe, append-only JSONL event
+    journal. Where {!Metrics} answers "how many candidates were pruned?",
+    the journal answers "why was candidate #4217 pruned?" — every
+    enumerator attempt, rejection, emitted muGraph, verifier verdict and
+    cost attribution is one self-describing line.
+
+    Writing is designed for the multi-domain search hot path: each domain
+    serializes events into its own bounded buffer (its own uncontended
+    mutex), and buffers drain through a single writer mutex to the
+    underlying channel — so lines are never torn or interleaved, and the
+    shared lock is only taken once per [capacity] events per domain.
+    Every event carries a process-unique, monotonically increasing [seq]
+    so a reader can reconstruct global order even though domains flush
+    independently.
+
+    Journaling is off by default: {!event} costs one atomic load when no
+    journal is installed. [mirage_cli optimize --report DIR] enables it.
+
+    Line schema (one JSON object per line):
+    {v
+    {"seq":412,"ts":0.0137,"dom":3,"ev":"cand.reject",
+     "cand":4217,"reason":"pruned_abstract", ...event fields...}
+    v} *)
+
+type t
+
+val create : ?capacity:int -> path:string -> unit -> t
+(** Open a journal writing to [path] (truncates). [capacity] is the
+    per-domain buffer size in events before a drain to the shared writer
+    (default 128). *)
+
+val path : t -> string
+
+val emit : t -> ?cand:int -> typ:string -> (string * Jsonw.t) list -> unit
+(** Append one event. [cand] tags the event with a candidate id (from
+    {!fresh_id}) so a candidate's lifecycle can be reassembled; negative
+    ids are omitted from the line. Safe from any domain. *)
+
+val fresh_id : t -> int
+(** A process-unique candidate id (atomic counter, starts at 0). *)
+
+val flush : t -> unit
+(** Drain every registered per-domain buffer and flush the channel.
+    Takes each buffer's lock, so it is safe while workers are running. *)
+
+val close : t -> unit
+(** {!flush}, then close the channel. Idempotent. *)
+
+(** {1 The global journal}
+
+    Mirrors {!Trace}'s global collector: instrumented code paths call
+    {!event} / {!active} unconditionally and pay one atomic load when
+    journaling is disabled. *)
+
+val enable : ?capacity:int -> string -> t
+(** Install (and return) a fresh global journal writing to the given
+    path. Any previously installed journal is closed. *)
+
+val disable : unit -> unit
+(** Close and uninstall the global journal (no-op if none). *)
+
+val active : unit -> t option
+
+val event : ?cand:int -> string -> (string * Jsonw.t) list -> unit
+(** [event typ fields] appends to the global journal, if installed.
+    Prefer {!active} + {!emit} in hot loops so field lists are only
+    constructed when a journal is live. *)
+
+(** {1 Reader} *)
+
+val fold_file :
+  string -> init:'a -> f:('a -> Jsonw.t -> 'a) -> ('a, string) result
+(** Fold over a journal file line by line (blank lines skipped). Stops
+    with [Error] describing the line number on the first unparsable
+    line. *)
+
+val read_file : string -> (Jsonw.t list, string) result
+(** All events of a journal file, in file order. *)
+
+val seq_of : Jsonw.t -> int
+val cand_of : Jsonw.t -> int
+val typ_of : Jsonw.t -> string
+(** Accessors for the fixed fields ([-1] / [""] when absent), so readers
+    like [mirage_cli explain] do not re-implement the schema. *)

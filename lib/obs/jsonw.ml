@@ -63,12 +63,50 @@ let to_string v =
   write buf v;
   Buffer.contents buf
 
-let to_file path v =
+(* Indented rendering for artifacts meant to be read (and diffed) by
+   humans — report.json. Scalars and empty containers stay on one line;
+   every list element / object field gets its own line. *)
+let pretty ?(indent = 2) v =
+  let buf = Buffer.create 1024 in
+  let pad depth = Buffer.add_string buf (String.make (depth * indent) ' ') in
+  let rec go depth = function
+    | (Null | Bool _ | Int _ | Float _ | Str _) as scalar -> write buf scalar
+    | List [] -> Buffer.add_string buf "[]"
+    | Obj [] -> Buffer.add_string buf "{}"
+    | List l ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (depth + 1);
+            go (depth + 1) v)
+          l;
+        Buffer.add_char buf '\n';
+        pad depth;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (depth + 1);
+            add_escaped buf k;
+            Buffer.add_string buf ": ";
+            go (depth + 1) v)
+          fields;
+        Buffer.add_char buf '\n';
+        pad depth;
+        Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf
+
+let to_file ?pretty:(use_pretty = false) path v =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (to_string v);
+      output_string oc (if use_pretty then pretty v else to_string v);
       output_char oc '\n')
 
 (* ------------------------------------------------------------------ *)

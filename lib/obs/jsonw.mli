@@ -19,8 +19,14 @@ type t =
 val to_string : t -> string
 (** Compact rendering (no insignificant whitespace). *)
 
-val to_file : string -> t -> unit
-(** [to_file path v] writes [to_string v] followed by a newline. *)
+val pretty : ?indent:int -> t -> string
+(** Indented rendering for human-diffable artifacts ([report.json]):
+    one list element / object field per line, [indent] spaces (default 2)
+    per nesting level. Scalars and empty containers stay on one line. *)
+
+val to_file : ?pretty:bool -> string -> t -> unit
+(** [to_file path v] writes [to_string v] (or {!pretty} when
+    [~pretty:true]) followed by a newline. *)
 
 val of_string : string -> (t, string) result
 (** Parse a complete JSON document; trailing garbage is an error. Numbers

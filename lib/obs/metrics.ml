@@ -9,12 +9,16 @@ type histogram = {
   hsum : float Atomic.t;
 }
 
+type gauge = { gname : string; ghelp : string; gv : float Atomic.t }
+
 type t = {
   lock : Mutex.t;
   counters : (string, counter) Hashtbl.t;
   hists : (string, histogram) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
   mutable corder : string list;  (** reversed registration order *)
   mutable horder : string list;
+  mutable gorder : string list;
 }
 
 let create () =
@@ -22,8 +26,10 @@ let create () =
     lock = Mutex.create ();
     counters = Hashtbl.create 64;
     hists = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
     corder = [];
     horder = [];
+    gorder = [];
   }
 
 let default_reg = lazy (create ())
@@ -70,6 +76,26 @@ let histogram t ?(help = "") ?(buckets = duration_buckets) name =
           t.horder <- name :: t.horder;
           h)
 
+let gauge t ?(help = "") name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.gauges name with
+      | Some g -> g
+      | None ->
+          let g = { gname = name; ghelp = help; gv = Atomic.make 0.0 } in
+          Hashtbl.add t.gauges name g;
+          t.gorder <- name :: t.gorder;
+          g)
+
+let set_gauge g x = Atomic.set g.gv x
+
+let rec max_gauge g x =
+  let old = Atomic.get g.gv in
+  if x > old && not (Atomic.compare_and_set g.gv old x) then max_gauge g x
+
+let gauge_value g = Atomic.get g.gv
+let gauge_name g = g.gname
+let gauge_help g = g.ghelp
+
 let bump c = Atomic.incr c.cv
 let add c n = ignore (Atomic.fetch_and_add c.cv n)
 let value c = Atomic.get c.cv
@@ -103,6 +129,7 @@ type hist_snapshot = {
 type snapshot = {
   counters : (string * int) list;
   hists : (string * hist_snapshot) list;
+  gauges : (string * float) list;
 }
 
 let snapshot t =
@@ -113,6 +140,10 @@ let snapshot t =
             (fun name ->
               (name, Atomic.get (Hashtbl.find t.counters name).cv))
             t.corder;
+        gauges =
+          List.rev_map
+            (fun name -> (name, Atomic.get (Hashtbl.find t.gauges name).gv))
+            t.gorder;
         hists =
           List.rev_map
             (fun name ->
@@ -130,8 +161,18 @@ let snapshot t =
 let merge snaps =
   let corder = ref [] and cvals = Hashtbl.create 64 in
   let horder = ref [] and hvals = Hashtbl.create 16 in
+  let gorder = ref [] and gvals = Hashtbl.create 16 in
   List.iter
     (fun s ->
+      (* gauges merge by max: the use case is peaks (smem high-water). *)
+      List.iter
+        (fun (name, v) ->
+          match Hashtbl.find_opt gvals name with
+          | Some prev -> Hashtbl.replace gvals name (Float.max prev v)
+          | None ->
+              Hashtbl.add gvals name v;
+              gorder := name :: !gorder)
+        s.gauges;
       List.iter
         (fun (name, v) ->
           match Hashtbl.find_opt cvals name with
@@ -160,11 +201,13 @@ let merge snaps =
   {
     counters = List.rev_map (fun n -> (n, Hashtbl.find cvals n)) !corder;
     hists = List.rev_map (fun n -> (n, Hashtbl.find hvals n)) !horder;
+    gauges = List.rev_map (fun n -> (n, Hashtbl.find gvals n)) !gorder;
   }
 
 let reset t =
   with_lock t (fun () ->
       Hashtbl.iter (fun _ c -> Atomic.set c.cv 0) t.counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g.gv 0.0) t.gauges;
       Hashtbl.iter
         (fun _ h ->
           Array.iter (fun b -> Atomic.set b 0) h.buckets;
@@ -190,6 +233,13 @@ let to_table s =
         Buffer.add_string buf (Printf.sprintf "%-44s %12d\n" name v))
       s.counters
   end;
+  if s.gauges <> [] then begin
+    Buffer.add_string buf "-- gauges\n";
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string buf (Printf.sprintf "%-44s %12.6g\n" name v))
+      s.gauges
+  end;
   List.iter
     (fun (name, h) ->
       let mean = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count in
@@ -214,6 +264,8 @@ let to_json s =
     [
       ( "counters",
         Jsonw.Obj (List.map (fun (n, v) -> (n, Jsonw.Int v)) s.counters) );
+      ( "gauges",
+        Jsonw.Obj (List.map (fun (n, v) -> (n, Jsonw.Float v)) s.gauges) );
       ( "histograms",
         Jsonw.Obj
           (List.map

@@ -18,6 +18,7 @@ type t
 
 type counter
 type histogram
+type gauge
 
 val create : unit -> t
 
@@ -36,6 +37,11 @@ val histogram : t -> ?help:string -> ?buckets:float array -> string -> histogram
     appended). Defaults to {!duration_buckets}. If [name] is already
     registered the existing histogram is returned and [buckets] is
     ignored. *)
+
+val gauge : t -> ?help:string -> string -> gauge
+(** [gauge reg name] registers (idempotently) a float gauge — a
+    last-written or high-water value, e.g. a peak shared-memory plan
+    size. Gauges merge by {b max} in {!merge}. *)
 
 val duration_buckets : float array
 (** Exponential bounds for durations in seconds, 1 µs … ~16 s. *)
@@ -57,6 +63,15 @@ val observe : histogram -> float -> unit
 (** Record one observation: the owning bucket, the total count and the
     running sum are all updated atomically (exact under concurrency). *)
 
+val set_gauge : gauge -> float -> unit
+val max_gauge : gauge -> float -> unit
+(** Raise the gauge to [x] if [x] exceeds the current value (CAS loop —
+    exact under concurrency); a no-op otherwise. *)
+
+val gauge_value : gauge -> float
+val gauge_name : gauge -> string
+val gauge_help : gauge -> string
+
 (** {1 Snapshots and rendering} *)
 
 type hist_snapshot = {
@@ -69,6 +84,7 @@ type hist_snapshot = {
 type snapshot = {
   counters : (string * int) list;  (** in registration order *)
   hists : (string * hist_snapshot) list;
+  gauges : (string * float) list;
 }
 
 val snapshot : t -> snapshot

@@ -42,6 +42,19 @@ val span :
 
 (** {1 Output} *)
 
+type rec_span = {
+  name : string;
+  cat : string;
+  ts_us : float;  (** relative to the collector epoch *)
+  dur_us : float;
+  tid : int;
+  path : string list;  (** innermost first, includes [name] *)
+  args : (string * string) list;
+}
+
+val spans : t -> rec_span list
+(** The recorded spans, oldest first (used by {!Report.phase_timings}). *)
+
 val to_chrome_json : t -> Jsonw.t
 (** The recorded spans as a Chrome trace-event array: one complete
     ([ph = "X"]) event per span with microsecond [ts]/[dur] relative to

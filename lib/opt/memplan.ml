@@ -17,6 +17,19 @@ type plan = {
 
 let exhaustive_limit = 8
 
+(* High-water marks across every plan of the process, in the default
+   registry (memory planning has no per-run registry). *)
+let g_peak =
+  lazy
+    (Obs.Metrics.gauge (Obs.Metrics.default ())
+       ~help:"largest planned shared-memory footprint (bytes)"
+       "opt.memplan.peak_smem_bytes")
+
+let c_plans =
+  lazy
+    (Obs.Metrics.counter (Obs.Metrics.default ())
+       ~help:"block graphs memory-planned" "opt.memplan.plans")
+
 let lifetimes ~elt_bytes (bg : Graph.block_graph) ~kernel_inputs =
   let shapes = Infer.block_shapes bg ~kernel_inputs in
   let sched = Schedule.block_schedule bg in
@@ -113,7 +126,14 @@ let rec permutations = function
           List.map (fun p -> x :: p) (permutations rest))
         l
 
+let finish plan =
+  Obs.Metrics.bump (Lazy.force c_plans);
+  Obs.Metrics.max_gauge (Lazy.force g_peak) (float_of_int plan.peak_bytes);
+  plan
+
 let plan_block ~elt_bytes bg ~kernel_inputs =
+  finish
+  @@
   let tensors = lifetimes ~elt_bytes bg ~kernel_inputs in
   if tensors = [] then
     { tensors; offsets = []; peak_bytes = 0; optimal = true }

@@ -149,6 +149,47 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline
   let input_shapes = Graph.input_shapes spec in
   let input_names = Graph.input_names spec in
   let elt_bytes = limits.Memory.elt_bytes in
+  (* Flight recorder, resolved once per root: every attempted extension
+     gets a candidate id and an expand event, every rejection names its
+     reason. One atomic load per attempt when journaling is off, and no
+     Jsonw values are built on the [None] path. *)
+  let journal = Obs.Journal.active () in
+  let jexpand ~depth op bins =
+    match journal with
+    | Some j ->
+        let id = Obs.Journal.fresh_id j in
+        Obs.Journal.emit j ~cand:id ~typ:"cand.expand"
+          [
+            ("level", Obs.Jsonw.Str "block");
+            ("depth", Obs.Jsonw.Int depth);
+            ("op", Obs.Jsonw.Str op);
+            ("ins", Obs.Jsonw.List (List.map (fun i -> Obs.Jsonw.Int i) bins));
+          ];
+        id
+    | None -> -1
+  in
+  let jreject ~depth cand reason extra =
+    match journal with
+    | Some j ->
+        Obs.Journal.emit j ~cand ~typ:"cand.reject"
+          (("level", Obs.Jsonw.Str "block")
+          :: ("depth", Obs.Jsonw.Int depth)
+          :: ("reason", Obs.Jsonw.Str reason)
+          :: extra)
+    | None -> ()
+  in
+  let jaccept ~depth cand shape nf =
+    match journal with
+    | Some j ->
+        Obs.Journal.emit j ~cand ~typ:"cand.accept"
+          [
+            ("level", Obs.Jsonw.Str "block");
+            ("depth", Obs.Jsonw.Int depth);
+            ("shape", Obs.Jsonw.Str (Shape.to_string shape));
+            ("expr", Obs.Jsonw.Str (Absexpr.Nf.to_string nf));
+          ]
+    | None -> ()
+  in
   (* Per-depth telemetry in the search's registry. Handles are resolved
      once per root (mutex) so hot-path updates stay lock-free. *)
   let depth_buckets =
@@ -362,7 +403,7 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline
         let depth = float_of_int st.ops in
         let moves = gen_moves st in
         List.iter
-          (fun (bop, bins, shape, nf, phase) ->
+          (fun (cand, bop, bins, shape, nf, phase) ->
             let bytes = Shape.numel shape * elt_bytes in
             let duplicate =
               (* Computing a value with the same abstract expression,
@@ -376,18 +417,38 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline
             in
             if duplicate then begin
               Stats.bump_duplicates stats;
-              Obs.Metrics.observe h_rej_dup depth
+              Obs.Metrics.observe h_rej_dup depth;
+              jreject ~depth:st.ops cand "duplicate" []
             end
             else if st.smem + bytes > limits.Memory.smem_bytes_per_block then begin
               Stats.bump_memory stats;
-              Obs.Metrics.observe h_rej_mem depth
+              Obs.Metrics.observe h_rej_mem depth;
+              jreject ~depth:st.ops cand "memory"
+                (match journal with
+                | Some _ ->
+                    [
+                      ("smem_bytes", Obs.Jsonw.Int (st.smem + bytes));
+                      ( "smem_limit",
+                        Obs.Jsonw.Int limits.Memory.smem_bytes_per_block );
+                    ]
+                | None -> [])
             end
             else if
               cfg.Config.use_abstract_pruning
               && not (Smtlite.Solver.check_subexpr_nf solver nf)
             then begin
               Stats.bump_pruned stats;
-              Obs.Metrics.observe h_rej_pruned depth
+              Obs.Metrics.observe h_rej_pruned depth;
+              jreject ~depth:st.ops cand "pruned_abstract"
+                (match journal with
+                | Some _ ->
+                    [
+                      ("expr", Obs.Jsonw.Str (Absexpr.Nf.to_string nf));
+                      ( "failed_check",
+                        Obs.Jsonw.Str "subexpr(E(G), E_O) under A_eq ∪ A_sub"
+                      );
+                    ]
+                | None -> [])
             end
             else
               let e = { bop; bins; shape; nf; phase; bytes } in
@@ -402,8 +463,14 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline
                     List.fold_left (fun m j -> m lor (1 lsl j)) st.consumed bins;
                 }
               in
-              if dangling_ok st' then extend st'
-              else Obs.Metrics.bump c_dangling)
+              if dangling_ok st' then begin
+                jaccept ~depth:st.ops cand shape nf;
+                extend st'
+              end
+              else begin
+                Obs.Metrics.bump c_dangling;
+                jreject ~depth:st.ops cand "dangling" []
+              end)
           moves
       end
     (* All rank-respecting operator instantiations from this prefix.
@@ -413,9 +480,10 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline
        move for [extend]. *)
     and gen_moves st =
       let depth = float_of_int st.ops in
-      let attempt () =
+      let attempt op bins =
         Stats.bump_expanded stats;
-        Obs.Metrics.observe h_expand depth
+        Obs.Metrics.observe h_expand depth;
+        jexpand ~depth:st.ops op bins
       in
       let rank_ok bop bins =
         match st.last_rank with
@@ -423,19 +491,22 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline
         | Some r -> Canon.compare_rank r (Canon.R_block (bins, bop)) <= 0
       in
       let moves = ref [] in
-      let add bop bins shape nf phase =
+      let add cand bop bins shape nf phase =
         if rank_ok bop bins then
-          moves := (bop, bins, shape, nf, phase) :: !moves
+          moves := (cand, bop, bins, shape, nf, phase) :: !moves
         else begin
           Stats.bump_canonical stats;
-          Obs.Metrics.observe h_rej_canon depth
+          Obs.Metrics.observe h_rej_canon depth;
+          jreject ~depth:st.ops cand "canonical" []
         end
       in
       let try_prim p bins =
         let ins = List.map (entry_at st) bins in
-        attempt ();
+        let cand = attempt (Op.to_string p) bins in
         match combined_phase (List.map (fun e -> e.phase) ins) with
-        | None -> Obs.Metrics.bump c_phase
+        | None ->
+            Obs.Metrics.bump c_phase;
+            jreject ~depth:st.ops cand "phase" []
         | Some phase -> (
             let shapes = List.map (fun e -> e.shape) ins in
             match Op.infer_shape_opt p shapes with
@@ -444,10 +515,21 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline
                   Abstract.prim_nf p ~in_shapes:shapes
                     (List.map (fun e -> e.nf) ins)
                 in
-                add (Graph.B_prim p) bins shape nf phase
+                add cand (Graph.B_prim p) bins shape nf phase
             | None ->
                 Stats.bump_shape stats;
-                Obs.Metrics.observe h_rej_shape depth)
+                Obs.Metrics.observe h_rej_shape depth;
+                jreject ~depth:st.ops cand "shape"
+                  (match journal with
+                  | Some _ ->
+                      [
+                        ( "in_shapes",
+                          Obs.Jsonw.List
+                            (List.map
+                               (fun s -> Obs.Jsonw.Str (Shape.to_string s))
+                               shapes) );
+                      ]
+                  | None -> []))
       in
       for i = 0 to st.count - 1 do
         (* unary-like ops (incl. per-dim Sum instances) *)
@@ -473,8 +555,8 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline
             Array.make (Array.length root.forloop) Dmap.Replica
           in
           let bop = Graph.B_accum { fmap = all_phi } in
-          attempt ();
-          add bop [ i ] e.shape (Absexpr.Nf.nf_sum iters e.nf) Post;
+          let cand = attempt "accum" [ i ] in
+          add cand bop [ i ] e.shape (Absexpr.Nf.nf_sum iters e.nf) Post;
           if cfg.Config.enable_concat_accum then
             Array.iteri
               (fun l count ->
@@ -498,8 +580,8 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline
                                if l' = l then 1 else c)
                         |> List.fold_left ( * ) 1
                       in
-                      attempt ();
-                      add bop [ i ] shape
+                      let cand = attempt "accum.concat" [ i ] in
+                      add cand bop [ i ] shape
                         (Absexpr.Nf.nf_sum phi_iters e.nf)
                         Post
                     end)

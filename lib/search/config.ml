@@ -181,3 +181,26 @@ let for_spec ?(base = default) (g : Graph.kernel_graph) =
     grid_candidates;
     forloop_candidates;
   }
+
+let to_json (c : t) =
+  let open Obs.Jsonw in
+  let dims_list l =
+    List (List.map (fun a -> List (Array.to_list (Array.map (fun i -> Int i) a))) l)
+  in
+  let menu m = List (List.map (fun p -> Str (Op.to_string p)) m) in
+  Obj
+    [
+      ("max_kernel_ops", Int c.max_kernel_ops);
+      ("max_block_ops", Int c.max_block_ops);
+      ("grid_candidates", dims_list c.grid_candidates);
+      ("forloop_candidates", dims_list c.forloop_candidates);
+      ("block_op_menu", menu c.block_op_menu);
+      ("kernel_op_menu", menu c.kernel_op_menu);
+      ("use_abstract_pruning", Bool c.use_abstract_pruning);
+      ("use_thread_fusion", Bool c.use_thread_fusion);
+      ("num_workers", Int c.num_workers);
+      ("node_budget", Int c.node_budget);
+      ("time_budget_s", Float c.time_budget_s);
+      ("max_outputs_per_candidate", Int c.max_outputs_per_candidate);
+      ("enable_concat_accum", Bool c.enable_concat_accum);
+    ]

@@ -36,3 +36,8 @@ val for_spec : ?base:t -> Mugraph.Graph.kernel_graph -> t
     such prefix anyway, but not generating them is cheaper). Grid and
     for-loop candidates are derived from divisors of the spec's input
     dimensions when not supplied in [base]. *)
+
+val to_json : t -> Obs.Jsonw.t
+(** A config fingerprint for run reports: every field rendered as JSON
+    (operator menus as name lists, grid/loop candidates as arrays), so
+    two runs can be compared field by field with [mirage_cli diff]. *)

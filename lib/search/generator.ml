@@ -38,6 +38,12 @@ let generate (cfg : Config.t) ~spec ~solver ~stats ~limits =
   let seen = Hashtbl.create 256 in
   let candidates = ref [] in
   let exhausted = Atomic.make false in
+  (* Graph-level candidate ids share the journal's id counter with the
+     per-extension ids, so `explain` resolves either kind. When the
+     journal is off, ids still flow (from a local counter) but no events
+     are written. *)
+  let journal = Obs.Journal.active () in
+  let next_gid = ref 0 in
   let emit g =
     Mutex.lock lock;
     let h = Graph.hash g in
@@ -45,10 +51,31 @@ let generate (cfg : Config.t) ~spec ~solver ~stats ~limits =
       match Hashtbl.find_all seen h with
       | l -> List.exists (fun g' -> Graph.equal g g') l
     in
-    if dup then Stats.bump_duplicates stats
+    if dup then begin
+      Stats.bump_duplicates stats;
+      match journal with
+      | Some j ->
+          Obs.Journal.emit j ~typ:"graph.duplicate"
+            [ ("hash", Obs.Jsonw.Int h) ]
+      | None -> ()
+    end
     else begin
       Hashtbl.add seen h g;
-      candidates := g :: !candidates
+      let gid =
+        match journal with
+        | Some j ->
+            let gid = Obs.Journal.fresh_id j in
+            Obs.Journal.emit j ~cand:gid ~typ:"graph.emit"
+              [
+                ("hash", Obs.Jsonw.Int h);
+                ("knodes", Obs.Jsonw.Int (Array.length g.Graph.knodes));
+              ];
+            gid
+        | None ->
+            incr next_gid;
+            !next_gid
+      in
+      candidates := (gid, g) :: !candidates
     end;
     Mutex.unlock lock
   in
@@ -107,28 +134,30 @@ let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false)
   let costed =
     Obs.Trace.with_span ~cat:"search" "cost" (fun () ->
         List.sort
-          (fun (_, a) (_, b) ->
+          (fun ((_, _), a) ((_, _), b) ->
             Float.compare a.Gpusim.Cost.total_us b.Gpusim.Cost.total_us)
-          (List.map (fun g -> (g, Gpusim.Cost.cost device g)) candidates))
+          (List.map
+             (fun (gid, g) -> ((gid, g), Gpusim.Cost.cost device g))
+             candidates))
   in
-  let finish g =
+  let finish gid g =
     Stats.bump_verified stats;
     let g =
       if cfg.Config.use_thread_fusion then Thread_fuse.fuse_kernel g else g
     in
-    { graph = g; cost = Gpusim.Cost.cost device g }
+    (gid, { graph = g; cost = Gpusim.Cost.cost device g })
   in
-  let check ~trials g =
+  let check ~trials ~cand g =
     Obs.Trace.with_span ~cat:"search" "verify.candidate" (fun () ->
-        Verify.Random_test.equivalent ~trials ~spec g)
+        Verify.Random_test.equivalent ~trials ~cand ~spec g)
   in
   let verified =
     Obs.Trace.with_span ~cat:"search" "verify" (fun () ->
         if verify_all then
           List.filter_map
-            (fun (g, _) ->
-              match check ~trials:verify_trials g with
-              | Verify.Random_test.Equivalent -> Some (finish g)
+            (fun ((gid, g), _) ->
+              match check ~trials:verify_trials ~cand:gid g with
+              | Verify.Random_test.Equivalent -> Some (finish gid g)
               | Verify.Random_test.Not_equivalent _
               | Verify.Random_test.Rejected _ ->
                   None)
@@ -136,12 +165,12 @@ let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false)
         else
           let rec first = function
             | [] -> []
-            | (g, _) :: rest -> (
-                match check ~trials:1 g with
+            | ((gid, g), _) :: rest -> (
+                match check ~trials:1 ~cand:gid g with
                 | Verify.Random_test.Equivalent -> (
                     (* confirm the winner with the full trial count *)
-                    match check ~trials:verify_trials g with
-                    | Verify.Random_test.Equivalent -> [ finish g ]
+                    match check ~trials:verify_trials ~cand:gid g with
+                    | Verify.Random_test.Equivalent -> [ finish gid g ]
                     | Verify.Random_test.Not_equivalent _
                     | Verify.Random_test.Rejected _ ->
                         first rest)
@@ -152,17 +181,23 @@ let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false)
           first costed)
   in
   (* The input program always participates, so the optimizer never
-     regresses. *)
-  let spec_result = { graph = spec; cost = Gpusim.Cost.cost device spec } in
+     regresses. The spec carries id -1 (no journal lifecycle of its own). *)
+  let spec_result =
+    (-1, { graph = spec; cost = Gpusim.Cost.cost device spec })
+  in
   let all =
     List.sort
-      (fun a b ->
+      (fun (_, a) (_, b) ->
         Float.compare a.cost.Gpusim.Cost.total_us b.cost.Gpusim.Cost.total_us)
       (spec_result :: verified)
   in
+  (* Cost attribution for the winner: one event per simulated kernel. *)
+  (match (Obs.Journal.active (), all) with
+  | Some j, (gid, r) :: _ -> Gpusim.Cost.journal_attribution ~cand:gid j r.cost
+  | _ -> ());
   {
-    best = (match all with [] -> None | r :: _ -> Some r);
-    verified = all;
+    best = (match all with [] -> None | (_, r) :: _ -> Some r);
+    verified = List.map snd all;
     generated = List.length candidates;
     stats = Stats.snapshot stats;
     metrics = Obs.Metrics.snapshot (Stats.registry stats);

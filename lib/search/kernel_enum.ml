@@ -33,6 +33,10 @@ let instantiate menu shape =
 let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline ~emit =
   let input_shapes = Graph.input_shapes spec in
   let input_names = Graph.input_names spec in
+  (* Flight recorder: resolved once per search; every attempted extension
+     gets an id and an expand event, every rejection records its reason.
+     One atomic load per attempt when journaling is off. *)
+  let journal = Obs.Journal.active () in
   (* Per-depth telemetry, registered once per search in the stats
      registry; updates on the hot path are lock-free. *)
   let depth_buckets =
@@ -131,9 +135,36 @@ let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline ~emit =
         let kins = List.map (fun i -> { Graph.node = i; port = 0 }) bins in
         Stats.bump_expanded stats;
         Obs.Metrics.observe h_expand depth;
+        let cand =
+          match journal with
+          | Some j ->
+              let id = Obs.Journal.fresh_id j in
+              Obs.Journal.emit j ~cand:id ~typ:"cand.expand"
+                [
+                  ("level", Obs.Jsonw.Str "kernel");
+                  ("depth", Obs.Jsonw.Int st.ops);
+                  ("op", Obs.Jsonw.Str (Op.to_string p));
+                  ( "ins",
+                    Obs.Jsonw.List (List.map (fun i -> Obs.Jsonw.Int i) bins)
+                  );
+                ];
+              id
+          | None -> -1
+        in
+        let jreject reason extra =
+          match journal with
+          | Some j ->
+              Obs.Journal.emit j ~cand ~typ:"cand.reject"
+                (("level", Obs.Jsonw.Str "kernel")
+                :: ("depth", Obs.Jsonw.Int st.ops)
+                :: ("reason", Obs.Jsonw.Str reason)
+                :: extra)
+          | None -> ()
+        in
         if not (rank_ok (Graph.K_prim p) kins) then begin
           Stats.bump_canonical stats;
-          Obs.Metrics.observe h_rej_canon depth
+          Obs.Metrics.observe h_rej_canon depth;
+          jreject "canonical" []
         end
         else begin
           let shapes = List.map (fun e -> e.shape) ins in
@@ -151,16 +182,33 @@ let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline ~emit =
               in
               if duplicate then begin
                 Stats.bump_duplicates stats;
-                Obs.Metrics.observe h_rej_dup depth
+                Obs.Metrics.observe h_rej_dup depth;
+                jreject "duplicate" []
               end
               else if
                 cfg.Config.use_abstract_pruning
                 && not (Smtlite.Solver.check_subexpr_nf solver nf)
               then begin
                 Stats.bump_pruned stats;
-                Obs.Metrics.observe h_rej_pruned depth
+                Obs.Metrics.observe h_rej_pruned depth;
+                jreject "pruned_abstract"
+                  [
+                    ("expr", Obs.Jsonw.Str (Absexpr.Nf.to_string nf));
+                    ( "failed_check",
+                      Obs.Jsonw.Str "subexpr(E(G), E_O) under A_eq ∪ A_sub" );
+                  ]
               end
-              else
+              else begin
+                (match journal with
+                | Some j ->
+                    Obs.Journal.emit j ~cand ~typ:"cand.accept"
+                      [
+                        ("level", Obs.Jsonw.Str "kernel");
+                        ("depth", Obs.Jsonw.Int st.ops);
+                        ("shape", Obs.Jsonw.Str (Shape.to_string shape));
+                        ("expr", Obs.Jsonw.Str (Absexpr.Nf.to_string nf));
+                      ]
+                | None -> ());
                 extend
                   {
                     entries =
@@ -169,9 +217,18 @@ let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline ~emit =
                     ops = st.ops + 1;
                     last_rank = Some (Canon.R_kernel (kins, Graph.K_prim p));
                   }
+              end
           | None ->
               Stats.bump_shape stats;
-              Obs.Metrics.observe h_rej_shape depth
+              Obs.Metrics.observe h_rej_shape depth;
+              jreject "shape"
+                [
+                  ( "in_shapes",
+                    Obs.Jsonw.List
+                      (List.map
+                         (fun s -> Obs.Jsonw.Str (Shape.to_string s))
+                         shapes) );
+                ]
         end
       in
       for i = 0 to st.count - 1 do

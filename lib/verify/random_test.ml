@@ -131,43 +131,69 @@ let timed_trial ~p ~q ~trial_seed ~spec g =
     (fun () -> one_trial ~p ~q ~trial_seed ~spec g)
 
 let equivalent ?(trials = 3) ?(p = Ffield.Zmod.default_p)
-    ?(q = Ffield.Zmod.default_q) ?(seed = 0x5EED) ~spec g =
-  match interface_mismatch ~spec g with
-  | Some msg ->
-      Obs.Metrics.bump (Lazy.force Vm.rejected_interface);
-      Rejected msg
-  | None -> (
-      match Lax.check spec, Lax.check g with
-      | Lax.Not_lax m, _ ->
-          Obs.Metrics.bump (Lazy.force Vm.rejected_lax);
-          Rejected ("spec not LAX: " ^ m)
-      | _, Lax.Not_lax m ->
-          Obs.Metrics.bump (Lazy.force Vm.rejected_lax);
-          Rejected ("candidate not LAX: " ^ m)
-      | Lax.Lax, Lax.Lax ->
-          let rec run trial attempts =
-            if trial >= trials then begin
-              Obs.Metrics.bump (Lazy.force Vm.equivalent);
-              Equivalent
-            end
-            else if attempts > 50 then begin
-              Obs.Metrics.bump (Lazy.force Vm.rejected_resample);
-              Rejected "too many zero-divisor resamples"
-            end
-            else
-              let trial_seed = seed + (trial * 7919) + (attempts * 104729) in
-              match timed_trial ~p ~q ~trial_seed ~spec g with
-              | Ok () -> run (trial + 1) 0
-              | Error msg ->
-                  Obs.Log.debug (fun m ->
-                      m "verify: candidate refuted on trial %d: %s" trial msg);
-                  Obs.Metrics.bump (Lazy.force Vm.not_equivalent);
-                  Not_equivalent msg
-              | exception Resample ->
-                  Obs.Metrics.bump (Lazy.force Vm.resamples);
-                  run trial (attempts + 1)
-          in
-          run 0 0)
+    ?(q = Ffield.Zmod.default_q) ?(seed = 0x5EED) ?(cand = -1) ~spec g =
+  let journal = Obs.Journal.active () in
+  let t0 = Unix.gettimeofday () in
+  let trials_run = ref 0 and resamples = ref 0 in
+  let result =
+    match interface_mismatch ~spec g with
+    | Some msg ->
+        Obs.Metrics.bump (Lazy.force Vm.rejected_interface);
+        Rejected msg
+    | None -> (
+        match Lax.check spec, Lax.check g with
+        | Lax.Not_lax m, _ ->
+            Obs.Metrics.bump (Lazy.force Vm.rejected_lax);
+            Rejected ("spec not LAX: " ^ m)
+        | _, Lax.Not_lax m ->
+            Obs.Metrics.bump (Lazy.force Vm.rejected_lax);
+            Rejected ("candidate not LAX: " ^ m)
+        | Lax.Lax, Lax.Lax ->
+            let rec run trial attempts =
+              if trial >= trials then begin
+                Obs.Metrics.bump (Lazy.force Vm.equivalent);
+                Equivalent
+              end
+              else if attempts > 50 then begin
+                Obs.Metrics.bump (Lazy.force Vm.rejected_resample);
+                Rejected "too many zero-divisor resamples"
+              end
+              else
+                let trial_seed = seed + (trial * 7919) + (attempts * 104729) in
+                incr trials_run;
+                match timed_trial ~p ~q ~trial_seed ~spec g with
+                | Ok () -> run (trial + 1) 0
+                | Error msg ->
+                    Obs.Log.debug (fun m ->
+                        m "verify: candidate refuted on trial %d: %s" trial msg);
+                    Obs.Metrics.bump (Lazy.force Vm.not_equivalent);
+                    Not_equivalent msg
+                | exception Resample ->
+                    Obs.Metrics.bump (Lazy.force Vm.resamples);
+                    incr resamples;
+                    run trial (attempts + 1)
+            in
+            run 0 0)
+  in
+  (match journal with
+  | None -> ()
+  | Some j ->
+      let verdict, detail =
+        match result with
+        | Equivalent -> ("equivalent", "")
+        | Not_equivalent m -> ("not_equivalent", m)
+        | Rejected m -> ("rejected", m)
+      in
+      Obs.Journal.emit j ~cand ~typ:"verify.verdict"
+        ([
+           ("verdict", Obs.Jsonw.Str verdict);
+           ("trials_requested", Obs.Jsonw.Int trials);
+           ("trials_run", Obs.Jsonw.Int !trials_run);
+           ("resamples", Obs.Jsonw.Int !resamples);
+           ("elapsed_s", Obs.Jsonw.Float (Unix.gettimeofday () -. t0));
+         ]
+        @ if detail = "" then [] else [ ("detail", Obs.Jsonw.Str detail) ]));
+  result
 
 let error_bound ~k ~trials =
   let k = max 1 k in

@@ -26,13 +26,19 @@ val equivalent :
   ?p:int ->
   ?q:int ->
   ?seed:int ->
+  ?cand:int ->
   spec:Mugraph.Graph.kernel_graph ->
   Mugraph.Graph.kernel_graph ->
   result
 (** Default 3 trials with p = 227, q = 113 (the paper's single-test GPU
     configuration uses 1; we iterate per Theorem 3). Checks interface
     compatibility (input names and shapes, output count and shapes) and
-    LAX membership first. *)
+    LAX membership first.
+
+    When the global {!Obs.Journal} is enabled, every call emits one
+    [verify.verdict] event — verdict, trials actually run, resamples,
+    elapsed seconds — tagged with candidate id [cand] (the search
+    generator passes the candidate's journal id). *)
 
 val error_bound : k:int -> trials:int -> float
 (** Theorem 3's bound on accepting non-equivalent graphs: [(1 - 1/k)^trials]

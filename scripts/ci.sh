@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 CI: build everything, run the test suites, then smoke-test the
-# observability surface (the stats funnel + a Chrome trace) and check
-# that every JSON artifact we produce actually parses.
+# observability surface — the stats funnel, a Chrome trace, a full run
+# report (report.json + trace.json + journal.jsonl), candidate forensics
+# via `explain`, and the bench-history regression gate — and check that
+# every JSON artifact we produce actually parses.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,10 +17,28 @@ echo "== smoke: mirage_cli stats (funnel invariant is checked in-process)"
 dune exec bin/mirage_cli.exe -- stats rmsnorm \
   --budget 10 --workers 2 --trace /tmp/mirage_ci_trace.json
 
+echo "== smoke: mirage_cli optimize --report (self-contained run dir)"
+rm -rf /tmp/mirage_ci_run
+dune exec bin/mirage_cli.exe -- optimize rmsnorm \
+  --budget 2 --workers 2 --report /tmp/mirage_ci_run >/dev/null
+
+echo "== smoke: explain resolves a journaled candidate"
+dune exec bin/mirage_cli.exe -- explain /tmp/mirage_ci_run 0 >/dev/null
+
 echo "== smoke: bench --json"
 dune exec bench/main.exe -- fig7 --json /tmp/mirage_ci_bench.json >/dev/null
 
-echo "== validate JSON artifacts"
-dune exec tools/json_check.exe -- /tmp/mirage_ci_trace.json /tmp/mirage_ci_bench.json
+echo "== validate JSON artifacts (journal is checked line by line)"
+dune exec tools/json_check.exe -- \
+  /tmp/mirage_ci_trace.json /tmp/mirage_ci_bench.json \
+  /tmp/mirage_ci_run/report.json /tmp/mirage_ci_run/trace.json \
+  /tmp/mirage_ci_run/journal.jsonl
+
+echo "== bench history regression gate (Fig. 7 costs, 5% threshold)"
+# Gate against the committed baseline on a scratch copy so CI runs never
+# dirty the tree; a real refresh re-runs `bench fig7 --history` in place.
+cp BENCH_history.jsonl /tmp/mirage_ci_history.jsonl
+dune exec bench/main.exe -- fig7 \
+  --history /tmp/mirage_ci_history.jsonl --gate 5 >/dev/null
 
 echo "CI OK"

@@ -125,6 +125,188 @@ let test_json_parse_errors () =
           Alcotest.(check string) "\\u escape decoded" "\xc2\xb5" mu
       | _ -> Alcotest.fail "wrong parse shape")
 
+(* qcheck: arbitrary documents survive the writer/parser pair, both the
+   compact and the pretty renderings. Floats print with %.12g, so the
+   reparsed number is compared with a relative tolerance (and a float
+   with an integral value legitimately comes back as an Int). *)
+
+let gen_json : Obs.Jsonw.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  sized
+  @@ fix (fun self n ->
+         let scalar =
+           oneof
+             [
+               return Obs.Jsonw.Null;
+               map (fun b -> Obs.Jsonw.Bool b) bool;
+               map (fun i -> Obs.Jsonw.Int i) int;
+               map
+                 (fun f -> Obs.Jsonw.Float f)
+                 (float_range (-1.0e9) 1.0e9);
+               map (fun s -> Obs.Jsonw.Str s) string_printable;
+             ]
+         in
+         if n <= 0 then scalar
+         else
+           frequency
+             [
+               (3, scalar);
+               ( 1,
+                 map
+                   (fun l -> Obs.Jsonw.List l)
+                   (list_size (int_bound 4) (self (n / 2))) );
+               ( 1,
+                 map
+                   (fun kvs -> Obs.Jsonw.Obj kvs)
+                   (list_size (int_bound 4)
+                      (pair string_printable (self (n / 2)))) );
+             ])
+
+let float_close x y =
+  Float.abs (x -. y) <= 1.0e-9 *. Float.max 1.0 (Float.abs x)
+
+let rec json_close a b =
+  match a, b with
+  | Obs.Jsonw.Float x, Obs.Jsonw.Float y -> float_close x y
+  | Obs.Jsonw.Float x, Obs.Jsonw.Int y | Obs.Jsonw.Int y, Obs.Jsonw.Float x ->
+      float_close x (float_of_int y)
+  | Obs.Jsonw.List x, Obs.Jsonw.List y ->
+      List.length x = List.length y && List.for_all2 json_close x y
+  | Obs.Jsonw.Obj x, Obs.Jsonw.Obj y ->
+      List.length x = List.length y
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && json_close v1 v2)
+           x y
+  | _ -> json_equal a b
+
+let prop_jsonw_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"compact and pretty round-trip"
+       ~print:Obs.Jsonw.to_string gen_json (fun v ->
+         let reparses s =
+           match Obs.Jsonw.of_string s with
+           | Ok v' -> json_close v v'
+           | Error _ -> false
+         in
+         reparses (Obs.Jsonw.to_string v) && reparses (Obs.Jsonw.pretty v)))
+
+(* --- journal --------------------------------------------------------------- *)
+
+let test_journal_domains () =
+  let path = Filename.temp_file "mirage_journal" ".jsonl" in
+  let j = Obs.Journal.create ~capacity:16 ~path () in
+  let domains = 4 and per = 500 in
+  let ds =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              let cand = Obs.Journal.fresh_id j in
+              Obs.Journal.emit j ~cand ~typ:"test.ev"
+                [ ("tag", Obs.Jsonw.Int d); ("i", Obs.Jsonw.Int i) ]
+            done))
+  in
+  List.iter Domain.join ds;
+  Obs.Journal.close j;
+  (match Obs.Journal.read_file path with
+  | Error e -> Alcotest.failf "journal unreadable (torn line?): %s" e
+  | Ok events ->
+      Alcotest.(check int) "no lost events" (domains * per)
+        (List.length events);
+      let tbl = Hashtbl.create 997 in
+      List.iter
+        (fun e ->
+          let get k =
+            match Obs.Jsonw.member k e with
+            | Some (Obs.Jsonw.Int n) -> n
+            | _ -> Alcotest.failf "event missing int field %S" k
+          in
+          let key = (get "tag", get "i") in
+          Hashtbl.replace tbl key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+        events;
+      Alcotest.(check int) "every (domain, i) pair present" (domains * per)
+        (Hashtbl.length tbl);
+      Hashtbl.iter
+        (fun _ n ->
+          if n <> 1 then Alcotest.fail "an event was written twice")
+        tbl;
+      let uniq l = List.length (List.sort_uniq compare l) in
+      Alcotest.(check int) "seq numbers unique" (domains * per)
+        (uniq (List.map Obs.Journal.seq_of events));
+      Alcotest.(check int) "candidate ids unique" (domains * per)
+        (uniq (List.map Obs.Journal.cand_of events));
+      List.iter
+        (fun e ->
+          Alcotest.(check string) "event type" "test.ev" (Obs.Journal.typ_of e))
+        events);
+  Sys.remove path
+
+let test_journal_global_off () =
+  Obs.Journal.disable ();
+  Alcotest.(check bool) "no journal installed" true
+    (Obs.Journal.active () = None);
+  (* must be a plain no-op, not an error *)
+  Obs.Journal.event "test.noop" [ ("x", Obs.Jsonw.Int 1) ]
+
+(* --- run reports: numeric diff and the regression gate --------------------- *)
+
+let test_report_gate () =
+  let mk opt wall =
+    Obs.Jsonw.Obj
+      [
+        ("schema", Obs.Jsonw.Str Obs.Report.schema);
+        ("cost", Obs.Jsonw.Obj [ ("optimized_us", Obs.Jsonw.Float opt) ]);
+        ("timing", Obs.Jsonw.Obj [ ("wall_s", Obs.Jsonw.Float wall) ]);
+        ("funnel", Obs.Jsonw.Obj [ ("expanded", Obs.Jsonw.Int 100) ]);
+      ]
+  in
+  let a = mk 10.0 5.0 in
+  let b = mk 12.0 5.1 in
+  let ds = Obs.Report.num_deltas a b in
+  Alcotest.(check bool) "dotted path found" true
+    (List.exists (fun (d : Obs.Report.delta) -> d.key = "cost.optimized_us") ds);
+  Alcotest.(check bool) "shared int leaf found" true
+    (List.exists (fun (d : Obs.Report.delta) -> d.key = "funnel.expanded") ds);
+  (* a -> b: cost +20% (over a 5% threshold), wall +2% (under) *)
+  let viol = Obs.Report.gate ~threshold:0.05 a b in
+  Alcotest.(check (list string)) "regression detected"
+    [ "cost.optimized_us" ]
+    (List.map (fun (d : Obs.Report.delta) -> d.key) viol);
+  Alcotest.(check bool) "relative change" true
+    (float_close (Obs.Report.rel (List.hd viol)) 0.2);
+  (* a generous threshold passes, and an improvement never trips *)
+  Alcotest.(check int) "under threshold" 0
+    (List.length (Obs.Report.gate ~threshold:0.25 a b));
+  Alcotest.(check int) "improvement is not a regression" 0
+    (List.length (Obs.Report.gate ~threshold:0.05 b a))
+
+(* --- gauges: max semantics across domains, merged by max ------------------- *)
+
+let test_gauge_max () =
+  let reg = Obs.Metrics.create () in
+  let g = Obs.Metrics.gauge reg "test.peak" in
+  let domains = 4 and per = 2_000 in
+  let ds =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              Obs.Metrics.max_gauge g (float_of_int ((d * per) + i))
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check (float 0.0)) "high-water mark survives the races"
+    (float_of_int (domains * per))
+    (Obs.Metrics.gauge_value g);
+  let other = Obs.Metrics.create () in
+  Obs.Metrics.set_gauge (Obs.Metrics.gauge other "test.peak") 17.0;
+  let merged =
+    Obs.Metrics.merge
+      [ Obs.Metrics.snapshot reg; Obs.Metrics.snapshot other ]
+  in
+  Alcotest.(check (float 0.0)) "merge takes the max"
+    (float_of_int (domains * per))
+    (List.assoc "test.peak" merged.Obs.Metrics.gauges)
+
 (* --- tracer ---------------------------------------------------------------- *)
 
 let test_trace_nesting () =
@@ -236,6 +418,24 @@ let () =
             test_json_roundtrip;
           Alcotest.test_case "parser rejects invalid" `Quick
             test_json_parse_errors;
+          prop_jsonw_roundtrip;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "4-domain round-trip, no lost or torn events"
+            `Quick test_journal_domains;
+          Alcotest.test_case "no-op when disabled" `Quick
+            test_journal_global_off;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "numeric diff and regression gate" `Quick
+            test_report_gate;
+        ] );
+      ( "gauges",
+        [
+          Alcotest.test_case "max across domains, merged by max" `Quick
+            test_gauge_max;
         ] );
       ( "trace",
         [

@@ -1,6 +1,8 @@
-(* Validate that a file parses as JSON (used by CI on trace and bench
-   output). Exits 0 and prints a short shape summary, or 1 with the
-   parse error. *)
+(* Validate that a file parses as JSON (used by CI on trace, report and
+   bench output). Files ending in .jsonl are validated line by line —
+   every non-blank line must be a complete JSON document (the journal
+   and bench-history formats). Exits 0 and prints a short shape summary,
+   or 1 with the parse error. *)
 
 let describe = function
   | Obs.Jsonw.List l -> Printf.sprintf "array of %d elements" (List.length l)
@@ -20,15 +22,36 @@ let () =
   end;
   Array.iteri
     (fun i path ->
-      if i > 0 then begin
-        let ic = open_in_bin path in
-        let n = in_channel_length ic in
-        let s = really_input_string ic n in
-        close_in ic;
-        match Obs.Jsonw.of_string s with
-        | Ok j -> Printf.printf "%s: valid JSON, %s\n" path (describe j)
-        | Error msg ->
-            Printf.eprintf "%s: INVALID JSON: %s\n" path msg;
-            exit 1
-      end)
+      if i > 0 then
+        if Filename.check_suffix path ".jsonl" then begin
+          let ic = open_in path in
+          let ok = ref 0 and lineno = ref 0 in
+          (try
+             while true do
+               let line = input_line ic in
+               incr lineno;
+               if String.trim line <> "" then
+                 match Obs.Jsonw.of_string line with
+                 | Ok _ -> incr ok
+                 | Error msg ->
+                     Printf.eprintf "%s: INVALID JSONL at line %d: %s\n" path
+                       !lineno msg;
+                     close_in ic;
+                     exit 1
+             done
+           with End_of_file -> ());
+          close_in ic;
+          Printf.printf "%s: valid JSONL, %d line(s)\n" path !ok
+        end
+        else begin
+          let ic = open_in_bin path in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          match Obs.Jsonw.of_string s with
+          | Ok j -> Printf.printf "%s: valid JSON, %s\n" path (describe j)
+          | Error msg ->
+              Printf.eprintf "%s: INVALID JSON: %s\n" path msg;
+              exit 1
+        end)
     Sys.argv
