@@ -154,6 +154,7 @@ let with_artifacts ~kind trace report_dir f =
   match report_dir with
   | None -> with_tracing trace (fun () -> f None)
   | Some dir ->
+      Obs.Budget.reset_degradations ();
       let rep = Obs.Report.create ~dir in
       Obs.Report.add rep "kind" (Obs.Jsonw.Str kind);
       Obs.Report.add rep "env" (Obs.Report.env_json ());
@@ -181,11 +182,32 @@ let with_artifacts ~kind trace report_dir f =
                ("trace", Obs.Jsonw.Str "trace.json");
                ("journal", Obs.Jsonw.Str "journal.jsonl");
              ]);
+        (* A run that hit its deadline, lost an ILP solve to the node
+           limit, or quarantined a crashed task is "degraded", not "ok":
+           the artifacts are valid but some phase fell back. *)
+        let degraded = Obs.Budget.degradations () in
+        let state =
+          if status = "ok" && degraded <> [] then "degraded" else status
+        in
         Obs.Report.add rep "status"
           (Obs.Jsonw.Obj
-             (("state", Obs.Jsonw.Str status)
-             ::
-             (if err = "" then [] else [ ("error", Obs.Jsonw.Str err) ])));
+             ([ ("state", Obs.Jsonw.Str state) ]
+             @ (if degraded = [] then []
+                else
+                  [
+                    ( "degraded",
+                      Obs.Jsonw.List
+                        (List.map (fun s -> Obs.Jsonw.Str s) degraded) );
+                  ])
+             @ (match Obs.Fault.fired () with
+               | [] -> []
+               | fs ->
+                   [
+                     ( "faults",
+                       Obs.Jsonw.Obj
+                         (List.map (fun (k, n) -> (k, Obs.Jsonw.Int n)) fs) );
+                   ])
+             @ if err = "" then [] else [ ("error", Obs.Jsonw.Str err) ]));
         attempt (fun () -> Obs.Report.write rep);
         Printf.eprintf "== run report: %s\n%!" (Obs.Report.path rep)
       in
@@ -282,16 +304,87 @@ let search_config ~max_ops ~workers ~budget spec =
   in
   Search.Config.for_spec ~base spec
 
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"RUN_DIR"
+        ~doc:
+          "Resume an interrupted search from $(docv)/checkpoint.json \
+           (written by a previous --report run). Completed enumeration \
+           tasks are skipped and previously-found candidates reloaded; \
+           the benchmark and search options must match the original run. \
+           Implies --report $(docv) unless --report is given.")
+
 let optimize_cmd =
-  let run name device max_ops workers budget trace metrics report_dir =
+  let run name device max_ops workers budget trace metrics report_dir resume =
     let b = lookup name in
     (* Superoptimize the reduced-dimension specification: the search is
        exhaustive and the discovered structure is dimension-uniform. *)
     let spec, _ = b.Workloads.Bench_defs.reduced () in
     let config = search_config ~max_ops ~workers ~budget spec in
+    let fingerprint =
+      Search.Checkpoint.config_fingerprint (Search.Config.to_json config)
+    in
+    let report_dir, checkpoint =
+      match resume with
+      | Some dir -> (
+          match Search.Checkpoint.load dir with
+          | Error msg ->
+              Printf.eprintf "resume: %s\n" msg;
+              exit 2
+          | Ok ck ->
+              (match Search.Checkpoint.meta ck "benchmark" with
+              | Some (Obs.Jsonw.Str n) when n <> name ->
+                  Printf.eprintf
+                    "resume: checkpoint is for benchmark %S, not %S\n" n name;
+                  exit 2
+              | _ -> ());
+              (match Search.Checkpoint.meta ck "config" with
+              | Some (Obs.Jsonw.Str f) when f <> fingerprint ->
+                  Printf.eprintf
+                    "resume: search config differs from the checkpointed run \
+                     (fingerprint %s vs %s); rerun with the original \
+                     --max-block-ops/--device options\n"
+                    fingerprint f;
+                  exit 2
+              | _ -> ());
+              let rdir =
+                match report_dir with
+                | Some d -> d
+                | None ->
+                    if Sys.file_exists dir && Sys.is_directory dir then dir
+                    else Filename.dirname dir
+              in
+              (Some rdir, Some ck))
+      | None -> (
+          match report_dir with
+          | None -> (None, None)
+          | Some dir ->
+              let ck =
+                Search.Checkpoint.create
+                  ~path:(Filename.concat dir "checkpoint.json")
+                  ()
+              in
+              Search.Checkpoint.set_meta ck
+                [
+                  ("benchmark", Obs.Jsonw.Str name);
+                  ("config", Obs.Jsonw.Str fingerprint);
+                ];
+              (Some dir, Some ck))
+    in
     with_artifacts ~kind:"optimize" trace report_dir @@ fun rep ->
-    let report = Mirage.superoptimize ~config ~device spec in
+    (* One budget for the whole invocation: the same deadline is polled
+       by the enumerators, the verify loop, the ILP layout solver and
+       the memory planner. *)
+    let budget_t = Search.Budget.of_config config in
+    let report =
+      Mirage.superoptimize ~config ~budget:budget_t ?checkpoint ~device spec
+    in
     print_string (Mirage.summary report);
+    (match Obs.Budget.degradations () with
+    | [] -> ()
+    | ds -> Printf.printf "degraded: %s\n" (String.concat ", " ds));
     List.iter
       (fun (pr : Mirage.piece_result) ->
         match pr.Mirage.outcome with
@@ -380,7 +473,7 @@ let optimize_cmd =
        ~doc:"Run the full superoptimizer on a benchmark (reduced dims)")
     Term.(
       const run $ bench_arg $ device_arg $ ops_arg $ workers_arg $ budget_arg
-      $ trace_arg $ metrics_flag $ report_arg)
+      $ trace_arg $ metrics_flag $ report_arg $ resume_arg)
 
 let stats_cmd =
   let run name device max_ops workers budget trace report_dir =
@@ -442,6 +535,12 @@ let stats_cmd =
       s.elapsed_s
       (if o.Search.Generator.budget_exhausted then " (budget exhausted)"
        else "");
+    if o.Search.Generator.task_failures > 0 then
+      Printf.printf "  task crashes quarantined: %d\n"
+        o.Search.Generator.task_failures;
+    (match o.Search.Generator.degraded with
+    | [] -> ()
+    | ds -> Printf.printf "  degraded: %s\n" (String.concat ", " ds));
     let sv = o.Search.Generator.solver in
     let hit_pct =
       if sv.Smtlite.Solver.queries = 0 then 0.0

@@ -13,6 +13,12 @@ type t = {
 
 type solution = { values : bool array; objective : float }
 
+type outcome =
+  | Optimal of solution
+  | Feasible_incumbent of solution
+  | Node_limit
+  | Infeasible
+
 (* Solver telemetry in the process-wide registry (layout selection has no
    per-run registry); resolved lazily so unused programs pay nothing. *)
 module Im = struct
@@ -44,6 +50,12 @@ module Im = struct
          ~help:"branch-and-bound nodes per solve"
          ~buckets:[| 1.; 10.; 100.; 1000.; 10_000.; 100_000.; 1_000_000. |]
          "ilp.nodes_per_solve")
+
+  let limit_hits =
+    lazy
+      (Obs.Metrics.counter (reg ())
+         ~help:"solves cut short by the node limit or deadline"
+         "ilp.limit_hits")
 end
 
 let create () = { n = 0; names = []; cons = []; objective = [] }
@@ -82,8 +94,11 @@ let var_name p v =
   check_var p v;
   List.nth (List.rev p.names) v
 
+exception Limit_hit
+
 (* Branch and bound over assignment arrays: -1 unknown, 0, 1. *)
-let solve ?(node_limit = 10_000_000) p =
+let solve ?(node_limit = 10_000_000) ?budget p =
+  Obs.Fault.trip "ilp";
   let n = p.n in
   let cons = Array.of_list p.cons in
   let assign = Array.make n (-1) in
@@ -131,7 +146,18 @@ let solve ?(node_limit = 10_000_000) p =
   in
   let rec go v =
     incr nodes;
-    if !nodes > node_limit then failwith "Ilp.solve: node limit exhausted";
+    (* Exhausting the limit is not a crash: the caller gets the best
+       incumbent found so far and decides how to degrade. The deadline
+       is polled every 4096 nodes to keep gettimeofday off the hot
+       path. *)
+    if !nodes > node_limit then raise Limit_hit;
+    (match budget with
+    | Some b
+      when !nodes land 4095 = 0
+           && (Obs.Budget.over_deadline b || Obs.Budget.cancelled b) ->
+        Obs.Budget.note b "ilp.deadline";
+        raise Limit_hit
+    | _ -> ());
     if not (feasible_so_far ()) then
       Obs.Metrics.bump (Lazy.force Im.infeasible_cuts)
     else if not (better (obj_lower_bound ())) then
@@ -158,13 +184,24 @@ let solve ?(node_limit = 10_000_000) p =
     end
   in
   Obs.Metrics.bump (Lazy.force Im.solves);
+  let limited = ref false in
   Fun.protect
     ~finally:(fun () ->
-      (* counts survive a node-limit failure, so the blown-up solve is
+      (* counts survive a cut-short solve, so the blown-up solve is
          still visible in the metrics table *)
       Obs.Metrics.add (Lazy.force Im.nodes) !nodes;
       Obs.Metrics.observe (Lazy.force Im.nodes_per_solve) (float_of_int !nodes))
-    (fun () -> go 0);
-  !best
+    (fun () -> try go 0 with Limit_hit -> limited := true);
+  if !limited then Obs.Metrics.bump (Lazy.force Im.limit_hits);
+  match (!best, !limited) with
+  | Some s, false -> Optimal s
+  | Some s, true -> Feasible_incumbent s
+  | None, true -> Node_limit
+  | None, false -> Infeasible
+
+let solve_opt ?node_limit ?budget p =
+  match solve ?node_limit ?budget p with
+  | Optimal s | Feasible_incumbent s -> Some s
+  | Node_limit | Infeasible -> None
 
 let value sol (v : var) = sol.values.(v)

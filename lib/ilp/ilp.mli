@@ -37,10 +37,25 @@ val set_objective : t -> (float * var) list -> unit
 
 type solution = { values : bool array; objective : float }
 
-val solve : ?node_limit:int -> t -> solution option
-(** [None] if infeasible. @raise Failure if [node_limit] search nodes are
-    exhausted (default 10 million — far above anything layout selection
-    produces). *)
+type outcome =
+  | Optimal of solution  (** proven optimal *)
+  | Feasible_incumbent of solution
+      (** the node limit / deadline cut the search, but a feasible
+          incumbent was in hand — callers degrade to it *)
+  | Node_limit  (** cut before any feasible point was found *)
+  | Infeasible  (** proven infeasible *)
+
+val solve : ?node_limit:int -> ?budget:Obs.Budget.t -> t -> outcome
+(** Branch and bound, never raises on exhaustion: hitting [node_limit]
+    (default 10 million) or the [budget]'s wall deadline returns
+    [Feasible_incumbent]/[Node_limit] so the caller can fall back
+    instead of crashing. A deadline cut also notes ["ilp.deadline"] on
+    the budget. *)
+
+val solve_opt : ?node_limit:int -> ?budget:Obs.Budget.t -> t -> solution option
+(** [solve] collapsed to the solution when one exists ([Optimal] or
+    [Feasible_incumbent]); for callers that only need a best-effort
+    assignment. *)
 
 val value : solution -> var -> bool
 val var_name : t -> var -> string

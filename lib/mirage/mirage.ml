@@ -19,8 +19,8 @@ type report = {
   speedup : float;
 }
 
-let superoptimize ?config ?(verify_trials = 2) ~(device : Gpusim.Device.t)
-    program =
+let superoptimize ?config ?(verify_trials = 2) ?budget ?checkpoint
+    ~(device : Gpusim.Device.t) program =
   Obs.Trace.with_span ~cat:"mirage" "superoptimize" @@ fun () ->
   let partition =
     Obs.Trace.with_span ~cat:"mirage" "partition" (fun () ->
@@ -49,12 +49,12 @@ let superoptimize ?config ?(verify_trials = 2) ~(device : Gpusim.Device.t)
             best = p.Partition.graph;
             best_cost = input_cost;
             input_cost;
-            opt_report = Opt.Optimizer.optimize device p.Partition.graph;
+            opt_report = Opt.Optimizer.optimize ?budget device p.Partition.graph;
           }
         else begin
           let outcome =
-            Search.Generator.run ?config ~verify_trials ~device
-              ~spec:p.Partition.graph ()
+            Search.Generator.run ?config ~verify_trials ?budget ?checkpoint
+              ~piece:p.Partition.id ~device ~spec:p.Partition.graph ()
           in
           let best_graph, best_cost =
             match outcome.Search.Generator.best with
@@ -67,7 +67,7 @@ let superoptimize ?config ?(verify_trials = 2) ~(device : Gpusim.Device.t)
             best = best_graph;
             best_cost;
             input_cost;
-            opt_report = Opt.Optimizer.optimize device best_graph;
+            opt_report = Opt.Optimizer.optimize ?budget device best_graph;
           }
         end)
       partition.Partition.pieces

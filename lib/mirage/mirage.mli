@@ -31,12 +31,20 @@ type report = {
 val superoptimize :
   ?config:Search.Config.t ->
   ?verify_trials:int ->
+  ?budget:Search.Budget.t ->
+  ?checkpoint:Search.Checkpoint.t ->
   device:Gpusim.Device.t ->
   Graph.kernel_graph ->
   report
 (** Superoptimize every LAX piece of the program. The returned plans are
     verified equivalent to their pieces; non-LAX pieces pass through
     unchanged. Never slower than the input program under the cost
-    model. *)
+    model.
+
+    [budget] is shared across all pieces and every phase (enumeration,
+    verification, ILP layout solve, memory planning): one wall deadline
+    for the whole invocation, with degradations recorded per phase.
+    [checkpoint] persists search progress per piece (pieces are keyed by
+    partition id) for [--resume]. *)
 
 val summary : report -> string

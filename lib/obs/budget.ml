@@ -1,0 +1,86 @@
+(* A unified execution budget for the optimize pipeline: one value
+   carrying the wall-clock deadline, the enumeration node budget and a
+   cooperative cancellation flag, threaded through every phase so that
+   exhaustion in any of them degrades the run instead of crashing it.
+
+   Degradation reasons are recorded twice: on the budget itself (so a
+   search outcome can report what cut it short) and in a process-global
+   set (so the CLI's report finalizer can stamp `status.degraded` even
+   for phases — ILP, memory planning — that never see the budget
+   value). *)
+
+type t = {
+  deadline : float;  (* absolute epoch seconds; 0. = unlimited *)
+  node_budget : int;  (* 0 = unlimited *)
+  cancelled : bool Atomic.t;
+  lock : Mutex.t;
+  mutable local_reasons : string list;  (* reversed, deduped *)
+}
+
+let create ?(time_budget_s = 0.0) ?(node_budget = 0) () =
+  {
+    deadline =
+      (if time_budget_s > 0.0 then Unix.gettimeofday () +. time_budget_s
+       else 0.0);
+    node_budget;
+    cancelled = Atomic.make false;
+    lock = Mutex.create ();
+    local_reasons = [];
+  }
+
+let unlimited () = create ()
+
+let deadline t = t.deadline
+let node_budget t = t.node_budget
+
+let cancel t = Atomic.set t.cancelled true
+let cancelled t = Atomic.get t.cancelled
+
+let over_deadline t = t.deadline > 0.0 && Unix.gettimeofday () > t.deadline
+
+let nodes_exceeded t nodes = t.node_budget > 0 && nodes > t.node_budget
+
+let exhausted t ~nodes =
+  cancelled t || over_deadline t || nodes_exceeded t nodes
+
+(* ------------------------------------------------------------------ *)
+(* Degradation registry                                                *)
+(* ------------------------------------------------------------------ *)
+
+let glock = Mutex.create ()
+let global_reasons : string list ref = ref []
+
+let add_dedup lock get set reason =
+  Mutex.lock lock;
+  if not (List.mem reason (get ())) then set (reason :: get ());
+  Mutex.unlock lock
+
+let degrade reason =
+  add_dedup glock
+    (fun () -> !global_reasons)
+    (fun l -> global_reasons := l)
+    reason
+
+let degradations () =
+  Mutex.lock glock;
+  let l = List.rev !global_reasons in
+  Mutex.unlock glock;
+  l
+
+let reset_degradations () =
+  Mutex.lock glock;
+  global_reasons := [];
+  Mutex.unlock glock
+
+let note t reason =
+  add_dedup t.lock
+    (fun () -> t.local_reasons)
+    (fun l -> t.local_reasons <- l)
+    reason;
+  degrade reason
+
+let reasons t =
+  Mutex.lock t.lock;
+  let l = List.rev t.local_reasons in
+  Mutex.unlock t.lock;
+  l

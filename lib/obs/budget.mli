@@ -1,0 +1,51 @@
+(** A unified execution budget: wall-clock deadline + enumeration node
+    budget + cooperative cancellation, threaded through every pipeline
+    phase (enumeration, verification, ILP, memory planning) so that
+    exhaustion anywhere cleanly returns the best result so far instead
+    of crashing the run.
+
+    The module also keeps a process-global {e degradation registry}:
+    every phase that gives up on optimality records a short reason
+    string ([note]/[degrade]), and the report finalizer folds the set
+    into [status.degraded] of [report.json]. *)
+
+type t
+
+val create : ?time_budget_s:float -> ?node_budget:int -> unit -> t
+(** [time_budget_s <= 0.] means no deadline; [node_budget <= 0] means no
+    node limit. The deadline is fixed at creation time. *)
+
+val unlimited : unit -> t
+
+val deadline : t -> float
+(** Absolute epoch seconds; [0.] when unlimited. *)
+
+val node_budget : t -> int
+
+val cancel : t -> unit
+(** Cooperative cancellation: flips a flag every phase polls. *)
+
+val cancelled : t -> bool
+val over_deadline : t -> bool
+val nodes_exceeded : t -> int -> bool
+
+val exhausted : t -> nodes:int -> bool
+(** [cancelled || over_deadline || nodes_exceeded]. *)
+
+(** {1 Degradation tracking} *)
+
+val note : t -> string -> unit
+(** Record a degradation reason on this budget {e and} in the global
+    registry (deduplicated in both). *)
+
+val reasons : t -> string list
+(** Reasons noted on this budget, in first-noted order. *)
+
+val degrade : string -> unit
+(** Record a reason in the process-global registry only (for phases with
+    no budget in scope, e.g. layout selection fallbacks). *)
+
+val degradations : unit -> string list
+
+val reset_degradations : unit -> unit
+(** Clear the global registry (test isolation / start of a run). *)

@@ -14,6 +14,7 @@ type t = {
   epoch : float;
   capacity : int;
   closed : bool Atomic.t;
+  dropped : int Atomic.t;  (** events lost to failed writes *)
 }
 
 let create ?(capacity = 128) ~path () =
@@ -41,21 +42,34 @@ let create ?(capacity = 128) ~path () =
         epoch = Unix.gettimeofday ();
         capacity = max 1 capacity;
         closed = Atomic.make false;
+        dropped = Atomic.make 0;
       }
   in
   Lazy.force t
 
 let path t = t.jpath
 let fresh_id t = Atomic.fetch_and_add t.ids 1
+let dropped t = Atomic.get t.dropped
 
-(* Caller must hold [b.block]. *)
+(* Caller must hold [b.block]. A failed write (disk full, injected
+   fault) drops this buffer's events and degrades the run instead of
+   crashing the search: forensics are best-effort, the pipeline is
+   not. Whole buffers are dropped atomically — before any byte reaches
+   the channel — so the journal never contains a torn line. *)
 let drain_locked t (b : dbuf) =
   if Buffer.length b.buf > 0 then begin
     Mutex.lock t.wlock;
-    if not (Atomic.get t.closed) then begin
-      Buffer.output_buffer t.oc b.buf;
-      flush t.oc
-    end;
+    (if not (Atomic.get t.closed) then
+       try
+         Fault.trip "journal.write";
+         Buffer.output_buffer t.oc b.buf;
+         flush t.oc
+       with e ->
+         Atomic.fetch_and_add t.dropped b.events |> ignore;
+         Budget.degrade "journal.write";
+         Log.warn (fun m ->
+             m "journal: dropped %d event(s) on write failure: %s" b.events
+               (Printexc.to_string e)));
     Mutex.unlock t.wlock;
     Buffer.clear b.buf;
     b.events <- 0

@@ -39,6 +39,13 @@ val emit : t -> ?cand:int -> typ:string -> (string * Jsonw.t) list -> unit
 val fresh_id : t -> int
 (** A process-unique candidate id (atomic counter, starts at 0). *)
 
+val dropped : t -> int
+(** Events lost to failed writes (disk full, injected [journal.write]
+    fault). A failed drain drops whole per-domain buffers — before any
+    byte reaches the channel — degrades the run ([Budget.degrade
+    "journal.write"]) and keeps the search alive; the file never
+    contains a torn line. *)
+
 val flush : t -> unit
 (** Drain every registered per-domain buffer and flush the channel.
     Takes each buffer's lock, so it is safe while workers are running. *)

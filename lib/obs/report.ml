@@ -27,6 +27,7 @@ let add t name v =
 let path t = Filename.concat t.rdir "report.json"
 
 let write t =
+  Fault.trip "report.finalize";
   Jsonw.to_file ~pretty:true (path t)
     (Jsonw.Obj (("schema", Jsonw.Str schema) :: List.rev t.sections))
 

@@ -1,18 +1,41 @@
 open Tensor
 open Mugraph
 
+type source = Ilp_optimal | Ilp_incumbent | Greedy
+
 type assignment = {
   layouts : (int * Layout.t) list;
   cost : float;
   naive_cost : float;
+  source : source;
 }
+
+let source_to_string = function
+  | Ilp_optimal -> "ilp_optimal"
+  | Ilp_incumbent -> "ilp_incumbent"
+  | Greedy -> "greedy"
+
+(* Degraded-solve telemetry in the process-wide registry (layout
+   selection has no per-run registry). *)
+let c_incumbent =
+  lazy
+    (Obs.Metrics.counter (Obs.Metrics.default ())
+       ~help:"layout solves degraded to the best ILP incumbent"
+       "opt.layout.fallback.incumbent")
+
+let c_greedy =
+  lazy
+    (Obs.Metrics.counter (Obs.Metrics.default ())
+       ~help:"layout solves degraded to the greedy row-major assignment"
+       "opt.layout.fallback.greedy")
 
 (* Penalty model (cost units = KiB of extra shared-memory traffic-ish):
    proportional to the tensor size so that mislaying out a large tile
    costs more than a small vector. *)
 let penalty_scale shape = float_of_int (Shape.numel shape) /. 512.0
 
-let optimize_block (bg : Graph.block_graph) ~kernel_inputs =
+let optimize_block ?node_limit ?budget (bg : Graph.block_graph)
+    ~kernel_inputs =
   let shapes = Infer.block_shapes bg ~kernel_inputs in
   let n = Array.length bg.bnodes in
   let p = Ilp.create () in
@@ -84,36 +107,59 @@ let optimize_block (bg : Graph.block_graph) ~kernel_inputs =
           | _ -> ()))
     bg.bnodes;
   Ilp.set_objective p !objective;
-  match Ilp.solve p with
-  | None -> None
-  | Some sol ->
-      let layouts =
-        Array.to_list bg.bnodes
-        |> List.mapi (fun i _ -> i)
-        |> List.filter_map (fun i ->
-               match
-                 List.find_opt (fun (_, v) -> Ilp.value sol v) vars.(i)
-               with
-               | Some (l, _) -> Some (i, l)
-               | None -> None)
-      in
-      (* naive = all row-major: sum the penalties that assignment incurs *)
-      let naive_cost =
-        List.fold_left
-          (fun acc (w, v) ->
-            let name = Ilp.var_name p v in
-            (* row-major choices incur their penalty iff the penalized
-               layout is row-major *)
-            let is_row =
-              String.length name >= 9
-              && String.sub name (String.length name - 9) 9 = "row-major"
-            in
-            if is_row then acc +. w else acc)
-          0.0 !objective
-      in
-      Some { layouts; cost = sol.Ilp.objective; naive_cost }
+  (* naive = all row-major: sum the penalties that assignment incurs *)
+  let naive_cost =
+    List.fold_left
+      (fun acc (w, v) ->
+        let name = Ilp.var_name p v in
+        (* row-major choices incur their penalty iff the penalized
+           layout is row-major *)
+        let is_row =
+          String.length name >= 9
+          && String.sub name (String.length name - 9) 9 = "row-major"
+        in
+        if is_row then acc +. w else acc)
+      0.0 !objective
+  in
+  let of_solution source (sol : Ilp.solution) =
+    let layouts =
+      Array.to_list bg.bnodes
+      |> List.mapi (fun i _ -> i)
+      |> List.filter_map (fun i ->
+             match
+               List.find_opt (fun (_, v) -> Ilp.value sol v) vars.(i)
+             with
+             | Some (l, _) -> Some (i, l)
+             | None -> None)
+    in
+    Some { layouts; cost = sol.Ilp.objective; naive_cost; source }
+  in
+  (* Last-resort assignment when the solver yields nothing usable:
+     everything row-major. Row-major is a candidate for every shape and
+     a uniform choice satisfies all same-layout constraints, so this is
+     always well-formed — just not optimal. *)
+  let greedy () =
+    Obs.Metrics.bump (Lazy.force c_greedy);
+    Obs.Budget.degrade "layout.greedy";
+    let layouts =
+      Array.to_list bg.bnodes
+      |> List.mapi (fun i _ -> i)
+      |> List.filter_map (fun i ->
+             if vars.(i) = [] then None else Some (i, Layout.Row_major))
+    in
+    Some { layouts; cost = naive_cost; naive_cost; source = Greedy }
+  in
+  match Ilp.solve ?node_limit ?budget p with
+  | Ilp.Optimal sol -> of_solution Ilp_optimal sol
+  | Ilp.Feasible_incumbent sol ->
+      Obs.Metrics.bump (Lazy.force c_incumbent);
+      Obs.Budget.degrade "layout.incumbent";
+      of_solution Ilp_incumbent sol
+  | Ilp.Node_limit -> greedy ()
+  | Ilp.Infeasible -> None
+  | exception Obs.Fault.Injected _ -> greedy ()
 
-let optimize (g : Graph.kernel_graph) =
+let optimize ?node_limit ?budget (g : Graph.kernel_graph) =
   let shapes = Infer.kernel_shapes g in
   Array.to_list g.knodes
   |> List.mapi (fun i node -> (i, node))
@@ -126,7 +172,9 @@ let optimize (g : Graph.kernel_graph) =
                    shapes.(j).(port))
                  node.kins
              in
-             Option.map (fun a -> (i, a)) (optimize_block bg ~kernel_inputs)
+             Option.map
+               (fun a -> (i, a))
+               (optimize_block ?node_limit ?budget bg ~kernel_inputs)
          | Graph.K_input _ | Graph.K_prim _ -> None)
 
 let total_cost g =

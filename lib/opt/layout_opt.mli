@@ -17,22 +17,41 @@
 
 open Tensor
 
+type source =
+  | Ilp_optimal  (** proven optimal ILP solution *)
+  | Ilp_incumbent
+      (** node limit / deadline cut the solve; best feasible incumbent *)
+  | Greedy  (** solver yielded nothing usable; all-row-major fallback *)
+
 type assignment = {
   layouts : (int * Layout.t) list;  (** block node -> chosen layout *)
-  cost : float;  (** total penalty of the optimum, in model cost units *)
+  cost : float;  (** total penalty of the choice, in model cost units *)
   naive_cost : float;  (** penalty of the all-row-major strawman *)
+  source : source;
+      (** how the assignment was obtained; anything but [Ilp_optimal] is
+          a degraded solve, counted in the [opt.layout.fallback.*]
+          metrics and the global degradation registry *)
 }
 
+val source_to_string : source -> string
+
 val optimize_block :
+  ?node_limit:int ->
+  ?budget:Obs.Budget.t ->
   Mugraph.Graph.block_graph ->
   kernel_inputs:Shape.t list ->
   assignment option
 (** [None] when the hard constraints are unsatisfiable (does not happen
     for well-formed block graphs — elementwise chains can always fall
-    back to row-major). *)
+    back to row-major). A cut-short or fault-injected solve degrades to
+    the ILP incumbent or the greedy row-major assignment instead of
+    raising. *)
 
 val optimize :
-  Mugraph.Graph.kernel_graph -> (int * assignment) list
+  ?node_limit:int ->
+  ?budget:Obs.Budget.t ->
+  Mugraph.Graph.kernel_graph ->
+  (int * assignment) list
 (** One assignment per graph-defined kernel node. *)
 
 val total_cost : Mugraph.Graph.kernel_graph -> float * float

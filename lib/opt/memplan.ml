@@ -131,13 +131,24 @@ let finish plan =
   Obs.Metrics.max_gauge (Lazy.force g_peak) (float_of_int plan.peak_bytes);
   plan
 
-let plan_block ~elt_bytes bg ~kernel_inputs =
+let plan_block ?budget ~elt_bytes bg ~kernel_inputs =
   finish
   @@
   let tensors = lifetimes ~elt_bytes bg ~kernel_inputs in
+  (* Past the deadline the exhaustive permutation search is skipped:
+     first-fit always yields a valid plan, just not a provably optimal
+     peak. *)
+  let out_of_time =
+    match budget with
+    | Some b when Obs.Budget.over_deadline b || Obs.Budget.cancelled b ->
+        Obs.Budget.note b "memplan.deadline";
+        true
+    | _ -> false
+  in
   if tensors = [] then
     { tensors; offsets = []; peak_bytes = 0; optimal = true }
-  else if List.length tensors <= exhaustive_limit then begin
+  else if (not out_of_time) && List.length tensors <= exhaustive_limit
+  then begin
     let best = ref None in
     List.iter
       (fun order ->

@@ -35,10 +35,15 @@ val lifetimes :
     for-loop. *)
 
 val plan_block :
+  ?budget:Obs.Budget.t ->
   elt_bytes:int ->
   Mugraph.Graph.block_graph ->
   kernel_inputs:Shape.t list ->
   plan
+(** When [budget] is past its deadline (or cancelled) the exhaustive
+    permutation search is skipped and the decreasing-size first-fit
+    plan is returned ([optimal = false]), with ["memplan.deadline"]
+    noted on the budget. *)
 
 val valid : plan -> bool
 (** No two simultaneously-live tensors overlap (used by tests). *)

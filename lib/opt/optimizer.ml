@@ -13,9 +13,11 @@ type report = {
   smem_peak_bytes : int;
   layout_cost : float;
   layout_naive_cost : float;
+  degraded_layouts : int;
+  degraded_memplans : int;
 }
 
-let optimize (device : Gpusim.Device.t) (g : Graph.kernel_graph) =
+let optimize ?budget (device : Gpusim.Device.t) (g : Graph.kernel_graph) =
   Obs.Trace.with_span ~cat:"opt" "optimize" @@ fun () ->
   let shapes = Infer.kernel_shapes g in
   let kernels =
@@ -40,12 +42,13 @@ let optimize (device : Gpusim.Device.t) (g : Graph.kernel_graph) =
                    memplan =
                      Obs.Trace.with_span ~cat:"opt" ~args "opt.memplan"
                        (fun () ->
-                         Memplan.plan_block
+                         Memplan.plan_block ?budget
                            ~elt_bytes:device.Gpusim.Device.elt_bytes bg
                            ~kernel_inputs);
                    layout =
                      Obs.Trace.with_span ~cat:"opt" ~args "opt.layout"
-                       (fun () -> Layout_opt.optimize_block bg ~kernel_inputs);
+                       (fun () ->
+                         Layout_opt.optimize_block ?budget bg ~kernel_inputs);
                  }
            | Graph.K_input _ | Graph.K_prim _ -> None)
   in
@@ -66,6 +69,19 @@ let optimize (device : Gpusim.Device.t) (g : Graph.kernel_graph) =
         0 kernels;
     layout_cost;
     layout_naive_cost;
+    degraded_layouts =
+      List.fold_left
+        (fun acc k ->
+          match k.layout with
+          | Some { Layout_opt.source = Layout_opt.Ilp_optimal; _ } | None ->
+              acc
+          | Some _ -> acc + 1)
+        0 kernels;
+    degraded_memplans =
+      List.fold_left
+        (fun acc k ->
+          if k.memplan.Memplan.optimal then acc else acc + 1)
+        0 kernels;
   }
 
 let fits (device : Gpusim.Device.t) r =
@@ -76,18 +92,23 @@ let summary r =
   Buffer.add_string buf
     (Printf.sprintf
        "optimizer: %d custom kernels, %d syncthreads, %d B smem peak, layout \
-        cost %.2f (naive %.2f)\n"
+        cost %.2f (naive %.2f)%s\n"
        (List.length r.kernels) r.syncthreads r.smem_peak_bytes r.layout_cost
-       r.layout_naive_cost);
+       r.layout_naive_cost
+       (if r.degraded_layouts = 0 then ""
+        else Printf.sprintf ", %d degraded layout solve(s)" r.degraded_layouts));
   List.iter
     (fun k ->
       Buffer.add_string buf
         (Printf.sprintf
            "  k%d: %d sync (naive %d), smem peak %d B (naive %d B), planner \
-            %s\n"
+            %s, layout %s\n"
            k.node k.schedule.Schedule.syncthreads
            k.schedule.Schedule.naive_syncthreads k.memplan.Memplan.peak_bytes
            (Memplan.naive_peak k.memplan)
-           (if k.memplan.Memplan.optimal then "optimal" else "first-fit")))
+           (if k.memplan.Memplan.optimal then "optimal" else "first-fit")
+           (match k.layout with
+           | Some a -> Layout_opt.source_to_string a.Layout_opt.source
+           | None -> "none")))
     r.kernels;
   Buffer.contents buf

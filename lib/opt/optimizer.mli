@@ -16,9 +16,16 @@ type report = {
   smem_peak_bytes : int;  (** max over custom kernels after planning *)
   layout_cost : float;
   layout_naive_cost : float;
+  degraded_layouts : int;
+      (** kernels whose layout solve fell back (incumbent or greedy) *)
+  degraded_memplans : int;  (** kernels planned first-fit, not optimally *)
 }
 
-val optimize : Gpusim.Device.t -> Mugraph.Graph.kernel_graph -> report
+val optimize :
+  ?budget:Obs.Budget.t -> Gpusim.Device.t -> Mugraph.Graph.kernel_graph -> report
+(** [budget] bounds layout selection and memory planning: past the
+    deadline both degrade (ILP incumbent / greedy layouts, first-fit
+    plans) instead of running to completion or crashing. *)
 
 val fits : Gpusim.Device.t -> report -> bool
 (** Planned peak fits the device's shared memory. *)

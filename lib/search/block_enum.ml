@@ -144,7 +144,7 @@ let binary_ops menu =
 
 let has_matmul menu = List.exists (fun p -> p = Op.Matmul) menu
 
-let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline
+let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
     ~(emit : emit) root =
   let input_shapes = Graph.input_shapes spec in
   let input_names = Graph.input_names spec in
@@ -263,12 +263,16 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline
   if init_state.smem > limits.Memory.smem_bytes_per_block then ()
   else begin
     let budget_check () =
-      if
-        cfg.Config.node_budget > 0
-        && Stats.expanded stats > cfg.Config.node_budget
-      then raise Budget_exhausted;
-      if deadline > 0.0 && Unix.gettimeofday () > deadline then
+      Obs.Fault.trip "enum.block";
+      if Obs.Budget.cancelled budget then raise Budget_exhausted;
+      if Obs.Budget.nodes_exceeded budget (Stats.expanded stats) then begin
+        Obs.Budget.note budget "node_budget";
         raise Budget_exhausted
+      end;
+      if Obs.Budget.over_deadline budget then begin
+        Obs.Budget.note budget "deadline";
+        raise Budget_exhausted
+      end
     in
     (* omaps reconstructing [target] from per-block [shape]. *)
     let omaps_for shape target =

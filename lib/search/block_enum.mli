@@ -35,10 +35,12 @@ val search_root :
   solver:Smtlite.Solver.t ->
   stats:Stats.t ->
   limits:Memory.limits ->
-  deadline:float ->
+  budget:Obs.Budget.t ->
   emit:emit ->
   root ->
   unit
 (** Depth-first expansion of one root. [emit] receives complete,
     validated candidates (not yet verified). @raise Budget_exhausted when
-    the node or time budget runs out. *)
+    the node budget, the wall deadline or a cancellation cuts the
+    enumeration (the reason is noted on [budget]). The [enum.block]
+    fault probe fires here. *)

@@ -14,6 +14,7 @@ type t = {
   time_budget_s : float;
   max_outputs_per_candidate : int;
   enable_concat_accum : bool;
+  max_task_failures : int;
 }
 
 let default =
@@ -53,6 +54,7 @@ let default =
     time_budget_s = 0.0;
     max_outputs_per_candidate = 2;
     enable_concat_accum = false;
+    max_task_failures = 8;
   }
 
 (* Structural facts about the goal normal forms that make operator
@@ -203,4 +205,5 @@ let to_json (c : t) =
       ("time_budget_s", Float c.time_budget_s);
       ("max_outputs_per_candidate", Int c.max_outputs_per_candidate);
       ("enable_concat_accum", Bool c.enable_concat_accum);
+      ("max_task_failures", Int c.max_task_failures);
     ]

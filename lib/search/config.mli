@@ -25,6 +25,9 @@ type t = {
   max_outputs_per_candidate : int;
   enable_concat_accum : bool;
       (** also enumerate accumulators that concatenate along a data dim *)
+  max_task_failures : int;
+      (** supervised workers: quarantined task crashes tolerated before
+          the whole search aborts (default 8) *)
 }
 
 val default : t

@@ -13,37 +13,74 @@ type outcome = {
   metrics : Obs.Metrics.snapshot;
   solver : Smtlite.Solver.stats;
   budget_exhausted : bool;
+  task_failures : int;
+  degraded : string list;
 }
 
 type task = T_kernel | T_root of Block_enum.root
 
+let task_label = function
+  | T_kernel -> "kernel"
+  | T_root _ -> "root"
+
 (* Run the enumerators over all tasks, collecting deduplicated raw
-   candidates. Workers pull tasks from a shared atomic counter. *)
-let generate (cfg : Config.t) ~spec ~solver ~stats ~limits =
-  let deadline =
-    if cfg.Config.time_budget_s > 0.0 then
-      Unix.gettimeofday () +. cfg.Config.time_budget_s
-    else 0.0
-  in
+   candidates. Workers pull tasks from a shared atomic counter.
+
+   Each task runs quarantined: an unexpected exception is journaled as
+   cand.crash (with backtrace) and counted, and the worker moves to the
+   next task. Only past [cfg.max_task_failures] crashes does the whole
+   search abort — and even then candidates already emitted survive,
+   because emission goes through the shared accumulator as graphs are
+   found, not at task completion. *)
+let generate (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ?checkpoint
+    ?(piece = 0) () =
+  Printexc.record_backtrace true;
   let roots =
     Block_enum.enumerate_roots cfg ~input_shapes:(Graph.input_shapes spec)
   in
   let tasks = Array.of_list (T_kernel :: List.map (fun r -> T_root r) roots) in
+  let skip =
+    match checkpoint with
+    | Some ck ->
+        let done_ = Checkpoint.completed ck ~piece in
+        let a = Array.make (Array.length tasks) false in
+        List.iter (fun i -> if i < Array.length a then a.(i) <- true) done_;
+        a
+    | None -> Array.make (Array.length tasks) false
+  in
   Obs.Log.debug (fun m ->
-      m "generate: %d tasks (%d roots), %d worker(s), budget %.1fs"
-        (Array.length tasks) (List.length roots) cfg.Config.num_workers
-        cfg.Config.time_budget_s);
+      m "generate: %d tasks (%d roots, %d resumed), %d worker(s)"
+        (Array.length tasks) (List.length roots)
+        (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 skip)
+        cfg.Config.num_workers);
   let next = Atomic.make 0 in
   let lock = Mutex.create () in
   let seen = Hashtbl.create 256 in
   let candidates = ref [] in
   let exhausted = Atomic.make false in
+  let failures = Atomic.make 0 in
+  let reg = Stats.registry stats in
+  let c_crash =
+    Obs.Metrics.counter reg ~help:"enumeration tasks that crashed and were quarantined"
+      "search.task.crashes"
+  in
   (* Graph-level candidate ids share the journal's id counter with the
      per-extension ids, so `explain` resolves either kind. When the
      journal is off, ids still flow (from a local counter) but no events
      are written. *)
   let journal = Obs.Journal.active () in
   let next_gid = ref 0 in
+  (* Resume: preload previously-emitted candidates so re-run partial
+     tasks deduplicate against them instead of double-counting. *)
+  (match checkpoint with
+  | Some ck ->
+      List.iter
+        (fun (gid, g) ->
+          Hashtbl.add seen (Graph.hash g) g;
+          candidates := (gid, g) :: !candidates;
+          next_gid := max !next_gid gid)
+        (Checkpoint.candidates ck ~piece)
+  | None -> ());
   let emit g =
     Mutex.lock lock;
     let h = Graph.hash g in
@@ -75,9 +112,39 @@ let generate (cfg : Config.t) ~spec ~solver ~stats ~limits =
             incr next_gid;
             !next_gid
       in
-      candidates := (gid, g) :: !candidates
+      candidates := (gid, g) :: !candidates;
+      match checkpoint with
+      | Some ck -> Checkpoint.add_candidate ck ~piece ~gid g
+      | None -> ()
     end;
     Mutex.unlock lock
+  in
+  let record_crash i exn bt =
+    let n = 1 + Atomic.fetch_and_add failures 1 in
+    Obs.Metrics.add c_crash 1;
+    Obs.Budget.note budget "worker.crash";
+    let msg = Printexc.to_string exn in
+    Obs.Log.warn (fun m ->
+        m "task %d (%s) crashed (%d/%d tolerated): %s" i
+          (task_label tasks.(i)) n cfg.Config.max_task_failures msg);
+    (match journal with
+    | Some j ->
+        Obs.Journal.emit j ~typ:"cand.crash"
+          [
+            ("task", Obs.Jsonw.Int i);
+            ("kind", Obs.Jsonw.Str (task_label tasks.(i)));
+            ("exn", Obs.Jsonw.Str msg);
+            ("backtrace", Obs.Jsonw.Str (Printexc.raw_backtrace_to_string bt));
+            ("failures", Obs.Jsonw.Int n);
+          ]
+    | None -> ());
+    if n > cfg.Config.max_task_failures then begin
+      Obs.Budget.note budget "worker.abort";
+      Obs.Log.warn (fun m ->
+          m "aborting search: %d task crashes exceed max_task_failures=%d" n
+            cfg.Config.max_task_failures);
+      Atomic.set exhausted true
+    end
   in
   let worker () =
     let continue_ = ref true in
@@ -85,21 +152,39 @@ let generate (cfg : Config.t) ~spec ~solver ~stats ~limits =
       let i = Atomic.fetch_and_add next 1 in
       if i >= Array.length tasks || Atomic.get exhausted then
         continue_ := false
-      else
-        try
-          match tasks.(i) with
-          | T_kernel ->
-              Obs.Trace.with_span ~cat:"search" "enumerate.kernel" (fun () ->
-                  Kernel_enum.search cfg ~spec ~solver ~stats ~limits
-                    ~deadline ~emit)
-          | T_root root ->
-              Obs.Trace.with_span ~cat:"search"
-                ~args:[ ("task", string_of_int i) ]
-                "enumerate.root"
-                (fun () ->
-                  Block_enum.search_root cfg ~spec ~solver ~stats ~limits
-                    ~deadline ~emit root)
-        with Block_enum.Budget_exhausted -> Atomic.set exhausted true
+      else if not skip.(i) then begin
+        let completed =
+          try
+            (match tasks.(i) with
+            | T_kernel ->
+                Obs.Trace.with_span ~cat:"search" "enumerate.kernel" (fun () ->
+                    Kernel_enum.search cfg ~spec ~solver ~stats ~limits ~budget
+                      ~emit)
+            | T_root root ->
+                Obs.Trace.with_span ~cat:"search"
+                  ~args:[ ("task", string_of_int i) ]
+                  "enumerate.root"
+                  (fun () ->
+                    Block_enum.search_root cfg ~spec ~solver ~stats ~limits
+                      ~budget ~emit root));
+            true
+          with
+          | Block_enum.Budget_exhausted ->
+              Atomic.set exhausted true;
+              false
+          | exn ->
+              record_crash i exn (Printexc.get_raw_backtrace ());
+              false
+        in
+        (* only tasks that ran to completion advance the resume cursor —
+           a crashed or budget-cut task must re-run on resume *)
+        if completed then
+          match checkpoint with
+          | Some ck ->
+              Checkpoint.task_done ck ~piece ~task:i
+                ~tasks_total:(Array.length tasks)
+          | None -> ()
+      end
     done
   in
   let workers = max 1 cfg.Config.num_workers in
@@ -109,26 +194,49 @@ let generate (cfg : Config.t) ~spec ~solver ~stats ~limits =
       List.init (min workers (Array.length tasks)) (fun _ ->
           Domain.spawn worker)
     in
-    List.iter Domain.join domains
+    (* Salvage-then-report: join every domain before deciding the run's
+       fate, so a crash that escaped one worker's quarantine (e.g. in the
+       loop itself) never discards candidates other workers emitted. *)
+    let escaped = ref None in
+    List.iter
+      (fun d ->
+        match Domain.join d with
+        | () -> ()
+        | exception exn -> if !escaped = None then escaped := Some exn)
+      domains;
+    match !escaped with
+    | Some exn ->
+        let n = 1 + Atomic.fetch_and_add failures 1 in
+        Obs.Metrics.add c_crash 1;
+        Obs.Budget.note budget "worker.crash";
+        Obs.Log.warn (fun m ->
+            m "worker domain died outside task quarantine (%d total): %s" n
+              (Printexc.to_string exn))
+    | None -> ()
   end;
-  (!candidates, Atomic.get exhausted)
+  (!candidates, Atomic.get exhausted, Atomic.get failures)
 
-let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false)
-    ~(device : Gpusim.Device.t) ~spec () =
+let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false) ?budget
+    ?checkpoint ?(piece = 0) ~(device : Gpusim.Device.t) ~spec () =
   let cfg =
     match config with Some c -> c | None -> Config.for_spec spec
+  in
+  let budget =
+    match budget with Some b -> b | None -> Budget.of_config cfg
   in
   let solver = Smtlite.Solver.create ~target:(Abstract.output_exprs spec) in
   let stats = Stats.create ?registry () in
   let limits = Gpusim.Device.limits device in
-  let candidates, budget_exhausted =
+  let candidates, budget_exhausted, task_failures =
     Obs.Trace.with_span ~cat:"search" "enumerate" (fun () ->
-        generate cfg ~spec ~solver ~stats ~limits)
+        generate cfg ~spec ~solver ~stats ~limits ~budget ?checkpoint ~piece ())
   in
   Obs.Log.info (fun m ->
-      m "search: %d candidate muGraph(s) generated%s"
+      m "search: %d candidate muGraph(s) generated%s%s"
         (List.length candidates)
-        (if budget_exhausted then " (budget exhausted)" else ""));
+        (if budget_exhausted then " (budget exhausted)" else "")
+        (if task_failures = 0 then ""
+         else Printf.sprintf " (%d task crash(es) quarantined)" task_failures));
   (* Cost first (cheap), then verify cheapest-first with a single random
      test, stopping at the first success unless [verify_all]. *)
   let costed =
@@ -147,24 +255,60 @@ let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false)
     in
     (gid, { graph = g; cost = Gpusim.Cost.cost device g })
   in
+  let journal = Obs.Journal.active () in
+  (* Verification runs quarantined too: a verifier crash on one candidate
+     rejects that candidate (journaled as cand.crash) instead of sinking
+     the whole run. *)
   let check ~trials ~cand g =
     Obs.Trace.with_span ~cat:"search" "verify.candidate" (fun () ->
-        Verify.Random_test.equivalent ~trials ~cand ~spec g)
+        match Verify.Random_test.equivalent ~trials ~cand ~spec g with
+        | v -> v
+        | exception exn ->
+            let bt = Printexc.get_raw_backtrace () in
+            Obs.Budget.note budget "verify.crash";
+            Obs.Log.warn (fun m ->
+                m "verifier crashed on candidate %d: %s" cand
+                  (Printexc.to_string exn));
+            (match journal with
+            | Some j ->
+                Obs.Journal.emit j ~cand ~typ:"cand.crash"
+                  [
+                    ("phase", Obs.Jsonw.Str "verify");
+                    ("exn", Obs.Jsonw.Str (Printexc.to_string exn));
+                    ( "backtrace",
+                      Obs.Jsonw.Str (Printexc.raw_backtrace_to_string bt) );
+                  ]
+            | None -> ());
+            Verify.Random_test.Rejected "verifier crash")
+  in
+  (* The deadline applies to verification as well as enumeration: a run
+     that spent its whole budget enumerating still reports best-so-far
+     (the spec at worst) instead of overshooting in the verify loop. *)
+  let out_of_time () =
+    if Obs.Budget.over_deadline budget || Obs.Budget.cancelled budget then begin
+      Obs.Budget.note budget "deadline";
+      true
+    end
+    else false
   in
   let verified =
     Obs.Trace.with_span ~cat:"search" "verify" (fun () ->
         if verify_all then
-          List.filter_map
-            (fun ((gid, g), _) ->
-              match check ~trials:verify_trials ~cand:gid g with
-              | Verify.Random_test.Equivalent -> Some (finish gid g)
-              | Verify.Random_test.Not_equivalent _
-              | Verify.Random_test.Rejected _ ->
-                  None)
-            costed
+          let rec all acc = function
+            | [] -> List.rev acc
+            | _ :: _ when out_of_time () -> List.rev acc
+            | ((gid, g), _) :: rest -> (
+                match check ~trials:verify_trials ~cand:gid g with
+                | Verify.Random_test.Equivalent -> all (finish gid g :: acc) rest
+                | Verify.Random_test.Not_equivalent _
+                | Verify.Random_test.Rejected _ ->
+                    all acc rest)
+          in
+          all [] costed
         else
           let rec first = function
             | [] -> []
+            | _ :: _ when out_of_time () -> []
             | ((gid, g), _) :: rest -> (
                 match check ~trials:1 ~cand:gid g with
                 | Verify.Random_test.Equivalent -> (
@@ -195,6 +339,24 @@ let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false)
   (match (Obs.Journal.active (), all) with
   | Some j, (gid, r) :: _ -> Gpusim.Cost.journal_attribution ~cand:gid j r.cost
   | _ -> ());
+  (match checkpoint with
+  | Some ck ->
+      (* solver cache stats ride along in the checkpoint meta so a
+         resumed run's report can account for pre-interrupt work *)
+      let sv = Smtlite.Solver.stats solver in
+      Checkpoint.set_meta ck
+        [
+          ( "solver",
+            Obs.Jsonw.Obj
+              [
+                ("queries", Obs.Jsonw.Int sv.Smtlite.Solver.queries);
+                ("cache_hits", Obs.Jsonw.Int sv.Smtlite.Solver.cache_hits);
+                ("accepted", Obs.Jsonw.Int sv.Smtlite.Solver.accepted);
+                ("solve_time_s", Obs.Jsonw.Float sv.Smtlite.Solver.solve_time_s);
+              ] );
+        ];
+      Checkpoint.save ck
+  | None -> ());
   {
     best = (match all with [] -> None | (_, r) :: _ -> Some r);
     verified = List.map snd all;
@@ -203,6 +365,8 @@ let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false)
     metrics = Obs.Metrics.snapshot (Stats.registry stats);
     solver = Smtlite.Solver.stats solver;
     budget_exhausted;
+    task_failures;
+    degraded = Obs.Budget.reasons budget;
   }
 
 let search_time ?config ?(device = Gpusim.Device.a100) ~spec () =
@@ -212,6 +376,9 @@ let search_time ?config ?(device = Gpusim.Device.a100) ~spec () =
   let solver = Smtlite.Solver.create ~target:(Abstract.output_exprs spec) in
   let stats = Stats.create () in
   let limits = Gpusim.Device.limits device in
+  let budget = Budget.of_config cfg in
   let t0 = Unix.gettimeofday () in
-  let _, exhausted = generate cfg ~spec ~solver ~stats ~limits in
+  let _, exhausted, _ =
+    generate cfg ~spec ~solver ~stats ~limits ~budget ()
+  in
   (Unix.gettimeofday () -. t0, exhausted)

@@ -26,6 +26,14 @@ type outcome = {
           counters plus the enumerators' per-depth histograms *)
   solver : Smtlite.Solver.stats;
   budget_exhausted : bool;
+  task_failures : int;
+      (** enumeration tasks that crashed and were quarantined (each is
+          journaled as [cand.crash] with a backtrace); the search aborts
+          only past [Config.max_task_failures] *)
+  degraded : string list;
+      (** budget degradation reasons accumulated during the run
+          (["deadline"], ["node_budget"], ["worker.crash"], …); empty for
+          a clean run *)
 }
 
 val run :
@@ -33,6 +41,9 @@ val run :
   ?registry:Obs.Metrics.t ->
   ?verify_trials:int ->
   ?verify_all:bool ->
+  ?budget:Budget.t ->
+  ?checkpoint:Checkpoint.t ->
+  ?piece:int ->
   device:Gpusim.Device.t ->
   spec:Graph.kernel_graph ->
   unit ->
@@ -52,7 +63,14 @@ val run :
     random test each; the winner then receives [verify_trials] further
     trials — mirroring the paper's implementation (§7). With
     [verify_all] every candidate is fully verified and reported (used by
-    tests and small problems). *)
+    tests and small problems).
+
+    [budget] (default: derived from the config's time/node budgets) is
+    polled by the enumerators, the verification loop, and — when threaded
+    through {!Opt} — the ILP and memory planners; hitting the deadline in
+    any phase cleanly returns best-so-far with the reason recorded in
+    [degraded]. [checkpoint]/[piece] enable periodic progress persistence
+    and resume (see {!Checkpoint}). *)
 
 val search_time :
   ?config:Config.t ->

@@ -30,7 +30,7 @@ let instantiate menu shape =
       | _ -> [])
     menu
 
-let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline ~emit =
+let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ~emit =
   let input_shapes = Graph.input_shapes spec in
   let input_names = Graph.input_names spec in
   (* Flight recorder: resolved once per search; every attempted extension
@@ -61,10 +61,16 @@ let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~deadline ~emit =
       (Infer.output_shapes spec)
   in
   let budget_check () =
-    if cfg.Config.node_budget > 0 && Stats.expanded stats > cfg.Config.node_budget
-    then raise Block_enum.Budget_exhausted;
-    if deadline > 0.0 && Unix.gettimeofday () > deadline then
+    Obs.Fault.trip "enum.kernel";
+    if Obs.Budget.cancelled budget then raise Block_enum.Budget_exhausted;
+    if Obs.Budget.nodes_exceeded budget (Stats.expanded stats) then begin
+      Obs.Budget.note budget "node_budget";
       raise Block_enum.Budget_exhausted
+    end;
+    if Obs.Budget.over_deadline budget then begin
+      Obs.Budget.note budget "deadline";
+      raise Block_enum.Budget_exhausted
+    end
   in
   let init =
     let entries =

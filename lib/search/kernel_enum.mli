@@ -12,6 +12,8 @@ val search :
   solver:Smtlite.Solver.t ->
   stats:Stats.t ->
   limits:Memory.limits ->
-  deadline:float ->
+  budget:Obs.Budget.t ->
   emit:(Graph.kernel_graph -> unit) ->
   unit
+(** @raise Block_enum.Budget_exhausted on budget exhaustion (reason
+    noted on [budget]). The [enum.kernel] fault probe fires here. *)

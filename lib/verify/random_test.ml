@@ -132,6 +132,7 @@ let timed_trial ~p ~q ~trial_seed ~spec g =
 
 let equivalent ?(trials = 3) ?(p = Ffield.Zmod.default_p)
     ?(q = Ffield.Zmod.default_q) ?(seed = 0x5EED) ?(cand = -1) ~spec g =
+  Obs.Fault.trip "verify";
   let journal = Obs.Journal.active () in
   let t0 = Unix.gettimeofday () in
   let trials_run = ref 0 and resamples = ref 0 in

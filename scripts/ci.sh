@@ -34,6 +34,35 @@ dune exec tools/json_check.exe -- \
   /tmp/mirage_ci_run/report.json /tmp/mirage_ci_run/trace.json \
   /tmp/mirage_ci_run/journal.jsonl
 
+echo "== chaos smoke: enumerator crashes are quarantined, run still lands"
+rm -rf /tmp/mirage_ci_chaos1
+MIRAGE_FAULT="enum.block:1.0:2" dune exec bin/mirage_cli.exe -- \
+  optimize rmsnorm --budget 2 --workers 2 \
+  --report /tmp/mirage_ci_chaos1 >/dev/null
+grep -q '"state": "\(ok\|degraded\)"' /tmp/mirage_ci_chaos1/report.json
+
+echo "== chaos smoke: journal write failure degrades, never crashes"
+rm -rf /tmp/mirage_ci_chaos2
+MIRAGE_FAULT="journal.write:1.0:1" dune exec bin/mirage_cli.exe -- \
+  optimize rmsnorm --budget 2 --workers 2 \
+  --report /tmp/mirage_ci_chaos2 >/dev/null
+grep -q '"state": "\(ok\|degraded\)"' /tmp/mirage_ci_chaos2/report.json
+
+echo "== validate chaos artifacts (journals must have no torn lines)"
+dune exec tools/json_check.exe -- \
+  /tmp/mirage_ci_chaos1/report.json /tmp/mirage_ci_chaos1/journal.jsonl \
+  /tmp/mirage_ci_chaos2/report.json /tmp/mirage_ci_chaos2/journal.jsonl
+
+echo "== resume smoke: kill-and-resume lands in the same run dir"
+rm -rf /tmp/mirage_ci_resume
+dune exec bin/mirage_cli.exe -- optimize rmsnorm \
+  --budget 1 --workers 2 --report /tmp/mirage_ci_resume >/dev/null
+test -f /tmp/mirage_ci_resume/checkpoint.json
+dune exec bin/mirage_cli.exe -- optimize rmsnorm \
+  --budget 10 --workers 2 --resume /tmp/mirage_ci_resume >/dev/null
+grep -q '"state": "\(ok\|degraded\)"' /tmp/mirage_ci_resume/report.json
+dune exec tools/json_check.exe -- /tmp/mirage_ci_resume/checkpoint.json
+
 echo "== bench history regression gate (Fig. 7 costs, 5% threshold)"
 # Gate against the committed baseline on a scratch copy so CI runs never
 # dirty the tree; a real refresh re-runs `bench fig7 --history` in place.

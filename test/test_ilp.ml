@@ -8,7 +8,7 @@ let test_trivial () =
   let p = Ilp.create () in
   let x = Ilp.new_var ~name:"x" p in
   Ilp.set_objective p [ (1.0, x) ];
-  match Ilp.solve p with
+  match Ilp.solve_opt p with
   | Some sol ->
       Alcotest.(check bool) "x=0 minimizes" false (Ilp.value sol x);
       Alcotest.(check (float 1e-9)) "objective" 0.0 sol.Ilp.objective
@@ -19,7 +19,7 @@ let test_exactly_one () =
   let a = Ilp.new_var p and b = Ilp.new_var p and c = Ilp.new_var p in
   Ilp.add_exactly_one p [ a; b; c ];
   Ilp.set_objective p [ (3.0, a); (1.0, b); (2.0, c) ];
-  match Ilp.solve p with
+  match Ilp.solve_opt p with
   | Some sol ->
       Alcotest.(check bool) "picks b" true (Ilp.value sol b);
       Alcotest.(check bool) "not a" false (Ilp.value sol a);
@@ -33,7 +33,7 @@ let test_implies () =
   Ilp.add_ge p [ (1, a) ] 1;
   (* force a = 1 *)
   Ilp.set_objective p [ (5.0, b) ];
-  match Ilp.solve p with
+  match Ilp.solve_opt p with
   | Some sol ->
       Alcotest.(check bool) "a" true (Ilp.value sol a);
       Alcotest.(check bool) "b forced" true (Ilp.value sol b)
@@ -44,7 +44,8 @@ let test_infeasible () =
   let a = Ilp.new_var p in
   Ilp.add_ge p [ (1, a) ] 1;
   Ilp.add_le p [ (1, a) ] 0;
-  Alcotest.(check bool) "infeasible" true (Ilp.solve p = None)
+  Alcotest.(check bool) "infeasible" true (Ilp.solve p = Ilp.Infeasible);
+  Alcotest.(check bool) "solve_opt agrees" true (Ilp.solve_opt p = None)
 
 let test_forbid_pair () =
   let p = Ilp.create () in
@@ -53,7 +54,7 @@ let test_forbid_pair () =
   Ilp.add_ge p [ (1, a); (1, b) ] 1;
   Ilp.set_objective p [ (-1.0, a); (-2.0, b) ];
   (* wants both at 1, but the pair is forbidden: picks b *)
-  match Ilp.solve p with
+  match Ilp.solve_opt p with
   | Some sol ->
       Alcotest.(check bool) "b" true (Ilp.value sol b);
       Alcotest.(check bool) "not a" false (Ilp.value sol a)
@@ -63,7 +64,7 @@ let test_negative_objective () =
   let p = Ilp.create () in
   let a = Ilp.new_var p and b = Ilp.new_var p in
   Ilp.set_objective p [ (-1.0, a); (2.0, b) ];
-  match Ilp.solve p with
+  match Ilp.solve_opt p with
   | Some sol ->
       Alcotest.(check bool) "a on" true (Ilp.value sol a);
       Alcotest.(check bool) "b off" false (Ilp.value sol b);
@@ -118,7 +119,7 @@ let prop_matches_brute_force =
         cons;
       Ilp.set_objective p (List.map2 (fun c v -> (c, v)) obj vars);
       let expected = brute_force n cons obj in
-      match Ilp.solve p, expected with
+      match Ilp.solve_opt p, expected with
       | None, None -> true
       | Some sol, Some o -> Float.abs (sol.Ilp.objective -. o) < 1e-6
       | Some _, None | None, Some _ -> false)
