@@ -8,7 +8,11 @@
      dune exec bench/main.exe -- table5 [--full]
      dune exec bench/main.exe -- casestudy <gqa|qknorm|rmsnorm|lora|gatedmlp|ntrans>
      dune exec bench/main.exe -- gqa_sweep
-     dune exec bench/main.exe -- micro *)
+     dune exec bench/main.exe -- verify
+     dune exec bench/main.exe -- micro
+
+   Several suites may be given at once (e.g. `fig7 verify --history F`)
+   and run left to right into one history entry. *)
 
 open Mugraph
 
@@ -26,6 +30,12 @@ let json_suites : string list ref = ref []
    "<device>.<benchmark>.mirage_us" — the values the bench history file
    tracks run over run and that the CI regression gate compares. *)
 let history_costs : (string * float) list ref = ref []
+
+(* Verifier throughput ratios from the `verify` suite, keyed
+   "verify.<benchmark>.fast_over_ref" (fast trial time / reference trial
+   time — lower is better). Wall-clock, so the gate treats them with the
+   same leniency as wall_s. *)
+let history_verify : (string * float) list ref = ref []
 
 let jsuite name =
   if not (List.mem name !json_suites) then
@@ -345,6 +355,89 @@ let ablation () =
     (Workloads.Bench_defs.all ())
 
 (* ------------------------------------------------------------------ *)
+(* Verifier microbenchmark: trials/s and elements/s of the packed fast *)
+(* path (with spec-output memoization, as the search runs it) against  *)
+(* the boxed reference path as it behaves without a session (spec      *)
+(* re-evaluated per call — the pre-fast-path behavior). Fig. 7         *)
+(* workloads at reduced dimensions, template plan vs spec.             *)
+(* ------------------------------------------------------------------ *)
+
+let verify_bench () =
+  hr "Verifier throughput: packed fast path vs boxed reference path";
+  jsuite "verify";
+  let reg = Obs.Metrics.default () in
+  let hits_c = Obs.Metrics.counter reg "verify.spec_cache.hits" in
+  Printf.printf "%-10s %10s %10s %8s %14s %6s\n" "benchmark" "ref tr/s"
+    "fast tr/s" "speedup" "fast elems/s" "hits";
+  List.iter
+    (fun (b : Workloads.Bench_defs.benchmark) ->
+      let spec, plan = b.Workloads.Bench_defs.reduced () in
+      let elems =
+        List.fold_left
+          (fun acc s -> acc + Tensor.Shape.numel s)
+          0
+          (Graph.input_shapes plan @ Infer.output_shapes plan)
+      in
+      (* Measure whole verification calls (30 trials each) for at least
+         0.3 s and 3 reps per path; trials/s counts trials actually run
+         (resampled trials included — both paths resample identically). *)
+      let time_path run_once =
+        ignore (run_once ());
+        (* warm: inverse tables, first spec eval *)
+        let t0 = Unix.gettimeofday () in
+        let trials = ref 0 and reps = ref 0 in
+        while Unix.gettimeofday () -. t0 < 0.3 || !reps < 3 do
+          let d : Verify.Random_test.detail = run_once () in
+          trials := !trials + d.Verify.Random_test.trials_run;
+          incr reps
+        done;
+        float_of_int !trials /. (Unix.gettimeofday () -. t0)
+      in
+      (* Reference: no session — every call re-evaluates the spec per
+         trial over boxed Fpair records, as the verifier did before the
+         fast path existed. *)
+      let ref_tps =
+        time_path (fun () ->
+            Verify.Random_test.equivalent_detailed ~trials:30 ~fast:false ~spec
+              plan)
+      in
+      (* Fast: one session for the whole run — packed representation plus
+         the spec-output cache shared across calls, as Generator.run
+         drives it across candidates. *)
+      let session = Verify.Random_test.make_session ~spec () in
+      let hits0 = Obs.Metrics.value hits_c in
+      let fast_tps =
+        time_path (fun () ->
+            Verify.Random_test.equivalent_detailed ~trials:30 ~session ~spec
+              plan)
+      in
+      let hits = Obs.Metrics.value hits_c - hits0 in
+      let speedup = fast_tps /. ref_tps in
+      let fast_elems_s = fast_tps *. float_of_int elems in
+      Printf.printf "%-10s %10.1f %10.1f %7.2fx %14.3e %6d\n"
+        b.Workloads.Bench_defs.name ref_tps fast_tps speedup fast_elems_s hits;
+      jpush
+        Obs.Jsonw.
+          [
+            ("suite", Str "verify");
+            ("benchmark", Str b.Workloads.Bench_defs.name);
+            ("elems_per_trial", Int elems);
+            ("ref_trials_per_s", Float ref_tps);
+            ("fast_trials_per_s", Float fast_tps);
+            ("fast_elems_per_s", Float fast_elems_s);
+            ("speedup", Float speedup);
+            ("spec_cache_hits", Int hits);
+          ];
+      history_verify :=
+        !history_verify
+        @ [
+            ( Printf.sprintf "verify.%s.fast_over_ref"
+                b.Workloads.Bench_defs.name,
+              ref_tps /. fast_tps );
+          ])
+    (Workloads.Bench_defs.all ())
+
+(* ------------------------------------------------------------------ *)
 (* Microbenchmarks (Bechamel): real wall-clock of this reproduction's  *)
 (* own components.                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -489,6 +582,30 @@ let gate_history ~prev ~wall_s ~pct =
           kvs
     | _ -> []
   in
+  let verify_viols =
+    (* Wall-clock ratios, so they get the same leniency as wall_s: 10x the
+       cost threshold relative AND an absolute slack (+0.02 on a ratio that
+       sits well under 0.5 when the fast path is healthy). *)
+    match Obs.Jsonw.member "verify" prev with
+    | Some (Obs.Jsonw.Obj kvs) ->
+        List.filter_map
+          (fun (key, v) ->
+            match (jnum v, List.assoc_opt key !history_verify) with
+            | Some old_r, Some new_r
+              when old_r > 0.0
+                   && new_r -. old_r > 10.0 *. frac *. old_r
+                   && new_r -. old_r > 0.02 ->
+                Some
+                  (Printf.sprintf
+                     "%s: %.4f -> %.4f (%+.1f%%, lenient threshold %.1f%% and \
+                      +0.02)"
+                     key old_r new_r
+                     (100.0 *. (new_r -. old_r) /. old_r)
+                     (10.0 *. pct))
+            | _ -> None)
+          kvs
+    | _ -> []
+  in
   let wall_viols =
     match Option.bind (Obs.Jsonw.member "wall_s" prev) jnum with
     | Some old_s
@@ -505,20 +622,30 @@ let gate_history ~prev ~wall_s ~pct =
         ]
     | _ -> []
   in
-  cost_viols @ wall_viols
+  cost_viols @ verify_viols @ wall_viols
 
 let append_history ~file ~wall_s =
   let entry =
     Obs.Jsonw.Obj
-      [
-        ("schema", Obs.Jsonw.Str history_schema);
-        ("ts", Obs.Jsonw.Float (Unix.gettimeofday ()));
-        ("wall_s", Obs.Jsonw.Float wall_s);
-        ( "costs",
-          Obs.Jsonw.Obj
-            (List.map (fun (k, v) -> (k, Obs.Jsonw.Float v)) !history_costs)
-        );
-      ]
+      ([
+         ("schema", Obs.Jsonw.Str history_schema);
+         ("ts", Obs.Jsonw.Float (Unix.gettimeofday ()));
+         ("wall_s", Obs.Jsonw.Float wall_s);
+         ( "costs",
+           Obs.Jsonw.Obj
+             (List.map (fun (k, v) -> (k, Obs.Jsonw.Float v)) !history_costs)
+         );
+       ]
+      @
+      if !history_verify = [] then []
+      else
+        [
+          ( "verify",
+            Obs.Jsonw.Obj
+              (List.map
+                 (fun (k, v) -> (k, Obs.Jsonw.Float v))
+                 !history_verify) );
+        ])
   in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
   output_string oc (Obs.Jsonw.to_string entry);
@@ -526,9 +653,9 @@ let append_history ~file ~wall_s =
   close_out oc
 
 let finish_history ~file ~gate_pct ~wall_s =
-  if !history_costs = [] then begin
+  if !history_costs = [] && !history_verify = [] then begin
     Printf.eprintf
-      "--history: no Fig. 7 costs recorded (run the fig7 suite)\n";
+      "--history: nothing recorded (run the fig7 and/or verify suite)\n";
     exit 2
   end;
   let violations =
@@ -538,8 +665,10 @@ let finish_history ~file ~gate_pct ~wall_s =
   in
   if violations = [] then begin
     append_history ~file ~wall_s;
-    Printf.printf "appended bench history entry (%d costs) to %s\n"
+    Printf.printf
+      "appended bench history entry (%d costs, %d verify ratios) to %s\n"
       (List.length !history_costs)
+      (List.length !history_verify)
       file
   end
   else begin
@@ -574,14 +703,47 @@ let () =
       gate_arg
   in
   let t0 = Unix.gettimeofday () in
+  let usage () =
+    prerr_endline
+      "usage: main.exe [fig7|fig11|verify|table5 [--full]|casestudy \
+       <name>|gqa_sweep|ablation|micro]... [--json FILE] [--history FILE \
+       [--gate PCT]]";
+    exit 2
+  in
+  (* Suites run left to right; several may be combined into one run (and
+     hence one history entry), e.g. `fig7 verify --history F --gate 5`. *)
+  let rec dispatch = function
+    | [] -> ()
+    | "fig7" :: rest ->
+        fig7 ();
+        dispatch rest
+    | "fig11" :: rest ->
+        fig11 ();
+        dispatch rest
+    | "verify" :: rest ->
+        verify_bench ();
+        dispatch rest
+    | "table5" :: "--full" :: rest ->
+        table5 ~full:true ();
+        dispatch rest
+    | "table5" :: rest ->
+        table5 ~full:false ();
+        dispatch rest
+    | "casestudy" :: name :: rest ->
+        casestudy name ();
+        dispatch rest
+    | "gqa_sweep" :: rest ->
+        gqa_sweep ();
+        dispatch rest
+    | "ablation" :: rest ->
+        ablation ();
+        dispatch rest
+    | "micro" :: rest ->
+        micro ();
+        dispatch rest
+    | _ -> usage ()
+  in
   (match args with
-  | _ :: "fig7" :: _ -> fig7 ()
-  | _ :: "fig11" :: _ -> fig11 ()
-  | _ :: "table5" :: rest -> table5 ~full:(List.mem "--full" rest) ()
-  | _ :: "casestudy" :: name :: _ -> casestudy name ()
-  | _ :: "gqa_sweep" :: _ -> gqa_sweep ()
-  | _ :: "ablation" :: _ -> ablation ()
-  | _ :: "micro" :: _ -> micro ()
   | _ :: [] | [] ->
       fig7 ();
       fig11 ();
@@ -589,12 +751,7 @@ let () =
       ablation ();
       table5 ~full:false ();
       micro ()
-  | _ ->
-      prerr_endline
-        "usage: main.exe [fig7|fig11|table5 [--full]|casestudy \
-         <name>|gqa_sweep|ablation|micro] [--json FILE] [--history FILE \
-         [--gate PCT]]";
-      exit 2);
+  | _ :: suites -> dispatch suites);
   Option.iter write_json json_file;
   Option.iter
     (fun file ->

@@ -293,13 +293,23 @@ let budget_arg =
     value & opt float 120.0
     & info [ "budget" ] ~docv:"SECONDS" ~doc:"Search time budget.")
 
-let search_config ~max_ops ~workers ~budget spec =
+let ref_verify_arg =
+  Arg.(
+    value & flag
+    & info [ "reference-verify" ]
+        ~doc:
+          "Verify candidates on the boxed reference finite-field path \
+           instead of the packed fast path (same verdicts, slower; kept \
+           for debugging and timing comparisons).")
+
+let search_config ~max_ops ~workers ~budget ~reference_verify spec =
   let base =
     {
       Search.Config.default with
       Search.Config.max_block_ops = max_ops;
       num_workers = workers;
       time_budget_s = budget;
+      verify_fast_path = not reference_verify;
     }
   in
   Search.Config.for_spec ~base spec
@@ -317,12 +327,15 @@ let resume_arg =
            Implies --report $(docv) unless --report is given.")
 
 let optimize_cmd =
-  let run name device max_ops workers budget trace metrics report_dir resume =
+  let run name device max_ops workers budget reference_verify trace metrics
+      report_dir resume =
     let b = lookup name in
     (* Superoptimize the reduced-dimension specification: the search is
        exhaustive and the discovered structure is dimension-uniform. *)
     let spec, _ = b.Workloads.Bench_defs.reduced () in
-    let config = search_config ~max_ops ~workers ~budget spec in
+    let config =
+      search_config ~max_ops ~workers ~budget ~reference_verify spec
+    in
     let fingerprint =
       Search.Checkpoint.config_fingerprint (Search.Config.to_json config)
     in
@@ -473,13 +486,15 @@ let optimize_cmd =
        ~doc:"Run the full superoptimizer on a benchmark (reduced dims)")
     Term.(
       const run $ bench_arg $ device_arg $ ops_arg $ workers_arg $ budget_arg
-      $ trace_arg $ metrics_flag $ report_arg $ resume_arg)
+      $ ref_verify_arg $ trace_arg $ metrics_flag $ report_arg $ resume_arg)
 
 let stats_cmd =
-  let run name device max_ops workers budget trace report_dir =
+  let run name device max_ops workers budget reference_verify trace report_dir =
     let b = lookup name in
     let spec, _ = b.Workloads.Bench_defs.reduced () in
-    let config = search_config ~max_ops ~workers ~budget spec in
+    let config =
+      search_config ~max_ops ~workers ~budget ~reference_verify spec
+    in
     with_artifacts ~kind:"stats" trace report_dir @@ fun rep ->
     let o = Search.Generator.run ~config ~verify_trials:2 ~device ~spec () in
     (match rep with
@@ -566,7 +581,7 @@ let stats_cmd =
           verifier telemetry")
     Term.(
       const run $ bench_arg $ device_arg $ ops_arg $ workers_arg $ budget_arg
-      $ trace_arg $ report_arg)
+      $ ref_verify_arg $ trace_arg $ report_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Forensics over run artifacts: explain and diff                      *)

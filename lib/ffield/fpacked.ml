@@ -1,0 +1,195 @@
+(* Packed Z_p x Z_q elements: both components live in one immediate int so
+   the verifier's hot loops run over flat [int array]s with no boxing.
+   Layout: bits 0-7 hold vp, bits 8-15 hold vq, bit 16 is set when the
+   Z_q component has been consumed by an exponentiation. Both default
+   moduli (227, 113) fit in 8 bits; [packable] gates the fast path so
+   larger test fields fall back to the boxed {!Fpair} representation. *)
+
+type t = int
+
+let no_q = 1 lsl 16
+let pack vp vq = vp lor (vq lsl 8)
+let vp x = x land 0xff
+let vq x = (x lsr 8) land 0xff
+let has_q x = x land no_q = 0
+let without_q vp = vp lor no_q
+
+let packable ~p ~q = p > 1 && q > 1 && p < 256 && q < 256
+
+type ctx = {
+  p : int;
+  q : int;
+  omega : int;
+  inv_p : int array;  (* inv_p.(x) = x^-1 mod p; slot 0 unused *)
+  inv_q : int array;  (* inv_q.(x) = x^-1 mod q; slot 0 unused *)
+  omega_pow : int array;  (* omega_pow.(e) = omega^e mod p, e in [0, q) *)
+}
+
+(* The inverse tables depend only on (p, q); contexts differ per trial only
+   in omega, so the tables are built once per field and shared. Guarded by
+   a mutex because verification runs across domains. *)
+let table_cache : (int * int, int array * int array) Hashtbl.t =
+  Hashtbl.create 4
+
+let table_lock = Mutex.create ()
+
+let inv_table modulus =
+  Array.init modulus (fun x -> if x = 0 then 0 else Zmod.inv ~modulus x)
+
+let inv_tables ~p ~q =
+  Mutex.lock table_lock;
+  let tables =
+    match Hashtbl.find_opt table_cache (p, q) with
+    | Some t -> t
+    | None ->
+        let t = (inv_table p, inv_table q) in
+        Hashtbl.add table_cache (p, q) t;
+        t
+  in
+  Mutex.unlock table_lock;
+  tables
+
+let make_ctx ?(p = Zmod.default_p) ?(q = Zmod.default_q) ~omega () =
+  if not (packable ~p ~q) then
+    invalid_arg "Fpacked.make_ctx: moduli must fit in 8 bits";
+  if not (Zmod.is_prime p) then invalid_arg "Fpacked.make_ctx: p not prime";
+  if not (Zmod.is_prime q) then invalid_arg "Fpacked.make_ctx: q not prime";
+  if (p - 1) mod q <> 0 then
+    invalid_arg "Fpacked.make_ctx: q must divide p-1";
+  if Zmod.pow ~modulus:p omega q <> 1 then
+    invalid_arg "Fpacked.make_ctx: omega is not a q-th root of unity";
+  let inv_p, inv_q = inv_tables ~p ~q in
+  let omega_pow = Array.make q 1 in
+  for e = 1 to q - 1 do
+    omega_pow.(e) <- omega_pow.(e - 1) * omega mod p
+  done;
+  { p; q; omega; inv_p; inv_q; omega_pow }
+
+let random_ctx ?(p = Zmod.default_p) ?(q = Zmod.default_q) st =
+  make_ctx ~p ~q ~omega:(Zmod.random_root_of_unity ~p ~q st) ()
+
+let of_int c n =
+  pack (Zmod.normalize ~modulus:c.p n) (Zmod.normalize ~modulus:c.q n)
+
+let zero = pack 0 0
+let one = pack 1 1
+
+(* Same rule as Fpair.equal: vp must agree; vq must agree only when both
+   sides still carry a Z_q component. *)
+let equal a b =
+  a land 0xff = b land 0xff
+  && ((a lor b) land no_q <> 0 || a land 0xff00 = b land 0xff00)
+
+let add c a b =
+  let rp =
+    let s = (a land 0xff) + (b land 0xff) in
+    if s >= c.p then s - c.p else s
+  in
+  if (a lor b) land no_q <> 0 then rp lor no_q
+  else
+    let s = ((a lsr 8) land 0xff) + ((b lsr 8) land 0xff) in
+    rp lor ((if s >= c.q then s - c.q else s) lsl 8)
+
+let sub c a b =
+  let rp =
+    let d = (a land 0xff) - (b land 0xff) in
+    if d < 0 then d + c.p else d
+  in
+  if (a lor b) land no_q <> 0 then rp lor no_q
+  else
+    let d = ((a lsr 8) land 0xff) - ((b lsr 8) land 0xff) in
+    rp lor ((if d < 0 then d + c.q else d) lsl 8)
+
+let mul c a b =
+  let rp = (a land 0xff) * (b land 0xff) mod c.p in
+  if (a lor b) land no_q <> 0 then rp lor no_q
+  else rp lor ((((a lsr 8) land 0xff) * ((b lsr 8) land 0xff) mod c.q) lsl 8)
+
+let div c a b =
+  let bp = b land 0xff in
+  if bp = 0 then raise Zmod.Division_by_zero;
+  let rp = (a land 0xff) * c.inv_p.(bp) mod c.p in
+  if (a lor b) land no_q <> 0 then rp lor no_q
+  else begin
+    let bq = (b lsr 8) land 0xff in
+    if bq = 0 then raise Zmod.Division_by_zero;
+    rp lor ((((a lsr 8) land 0xff) * c.inv_q.(bq) mod c.q) lsl 8)
+  end
+
+let pow c x e =
+  let rp = Zmod.pow ~modulus:c.p (x land 0xff) e in
+  if x land no_q <> 0 then rp lor no_q
+  else rp lor (Zmod.pow ~modulus:c.q ((x lsr 8) land 0xff) e lsl 8)
+
+let exp c x =
+  if x land no_q <> 0 then raise Fpair.Not_lax
+  else c.omega_pow.((x lsr 8) land 0xff) lor no_q
+
+(* Same Random.State consumption order as Fpair.random, so a shared state
+   yields value-identical streams across both representations. *)
+let random c st =
+  let rp = Random.State.int st c.p in
+  pack rp (Random.State.int st c.q)
+
+let of_fpair (x : Fpair.t) =
+  match x.Fpair.vq with
+  | Some v -> pack x.Fpair.vp v
+  | None -> without_q x.Fpair.vp
+
+let to_fpair x =
+  { Fpair.vp = vp x; vq = (if has_q x then Some (vq x) else None) }
+
+let to_string x =
+  if has_q x then Printf.sprintf "(%d,%d)" (vp x) (vq x)
+  else Printf.sprintf "(%d,-)" (vp x)
+
+(* Monomorphic matmul inner kernel: the generic [Dense.matmul] loop pays a
+   closure-indirect call per [mul]/[add] plus the polymorphic-array float
+   tag check per element access; over packed ints all of it folds into
+   straight-line integer arithmetic on [int array]s. Semantically the
+   accumulation is exactly [fold add (mul x y)]: once any product has a
+   consumed Z_q component the whole sum does, so the q-sum is tracked in a
+   local and discarded when the flag fires. *)
+let matmul_inner c ~m ~n ~k ~a ~base_a ~sa_i ~sa_l ~b ~base_b ~sb_l ~sb_j ~out
+    ~out_base =
+  let p = c.p and q = c.q in
+  let idx = ref out_base in
+  for i = 0 to m - 1 do
+    let arow = base_a + (i * sa_i) in
+    for j = 0 to n - 1 do
+      let bcol = base_b + (j * sb_j) in
+      (* Products are < 2^16 and k is bounded by memory (< 2^46), so the
+         sums cannot overflow a 63-bit int: reduce mod p / mod q once per
+         dot product instead of per element. Modular addition is
+         associative, so this equals the per-element [fold add (mul x y)]
+         exactly. *)
+      let accp = ref 0 and accq = ref 0 and noq = ref 0 in
+      let ia = ref arow and ib = ref bcol in
+      for _l = 0 to k - 1 do
+        let x = Array.unsafe_get a !ia and y = Array.unsafe_get b !ib in
+        accp := !accp + ((x land 0xff) * (y land 0xff));
+        let nq = (x lor y) land no_q in
+        if nq = 0 then
+          accq := !accq + (((x lsr 8) land 0xff) * ((y lsr 8) land 0xff))
+        else noq := no_q;
+        ia := !ia + sa_l;
+        ib := !ib + sb_l
+      done;
+      Array.unsafe_set out !idx
+        (if !noq <> 0 then !accp mod p lor no_q
+         else !accp mod p lor ((!accq mod q) lsl 8));
+      incr idx
+    done
+  done
+
+(* Stateless splitmix-style finalizer used by the verifier's uninterpreted
+   function oracle in place of per-element Random.State allocation. The
+   multipliers are 62-bit truncations of the splitmix64 constants (OCaml
+   ints are 63-bit); avalanche quality is ample for test-input hashing. *)
+let mix x =
+  let x = x lxor (x lsr 33) in
+  let x = x * 0x2545F4914F6CDD1D in
+  let x = x lxor (x lsr 29) in
+  let x = x * 0x1E3779B97F4A7C15 in
+  let x = x lxor (x lsr 31) in
+  x land max_int

@@ -1,0 +1,113 @@
+(** Packed [Z_p x Z_q] test values for the verifier fast path.
+
+    Semantically identical to {!Fpair} — same field, same LAX rules, same
+    exceptions — but a value is a single immediate [int]: bits 0-7 hold the
+    [Z_p] component, bits 8-15 the [Z_q] component, and bit 16 marks a
+    consumed [Z_q] component (post-exponentiation). Tensors of these values
+    are flat [int array]s with no per-element boxing, divisions are inverse
+    table lookups instead of Fermat [pow], and exponentiation is an
+    [omega^e] table lookup.
+
+    Only fields whose moduli fit in 8 bits are representable; use
+    {!packable} to decide between this module and the boxed {!Fpair}
+    reference path. *)
+
+type t = private int
+(** A packed test value. Immediate (never boxed). *)
+
+type ctx = private {
+  p : int;
+  q : int;
+  omega : int;
+  inv_p : int array;
+  inv_q : int array;
+  omega_pow : int array;
+}
+(** Field parameters, the sampled root of unity, and the precomputed
+    inverse / omega-power tables. Inverse tables are cached per [(p, q)]
+    and shared across contexts (and domains). *)
+
+val packable : p:int -> q:int -> bool
+(** Whether both moduli fit the 8-bit packed layout. *)
+
+val make_ctx : ?p:int -> ?q:int -> omega:int -> unit -> ctx
+(** Same validation as {!Fpair.make_ctx}, plus [packable]. Defaults are
+    the paper's p = 227, q = 113. *)
+
+val random_ctx : ?p:int -> ?q:int -> Random.State.t -> ctx
+(** Context with a uniformly random root of unity; consumes the same
+    amount of randomness as {!Fpair.random_ctx}. *)
+
+val pack : int -> int -> t
+(** [pack vp vq]; both components must already be canonical (in range). *)
+
+val without_q : int -> t
+(** A value whose [Z_q] component has been consumed. *)
+
+val vp : t -> int
+
+val vq : t -> int
+(** Meaningless unless [has_q]. *)
+
+val has_q : t -> bool
+
+val of_int : ctx -> int -> t
+val zero : t
+val one : t
+
+val equal : t -> t -> bool
+(** Same rule as {!Fpair.equal}: [vp] must agree, [vq] only when both
+    sides still carry one. *)
+
+val add : ctx -> t -> t -> t
+val sub : ctx -> t -> t -> t
+val mul : ctx -> t -> t -> t
+
+val div : ctx -> t -> t -> t
+(** Inverse-table division. @raise Zmod.Division_by_zero exactly when
+    {!Fpair.div} would: zero [Z_p] divisor, or zero [Z_q] divisor when
+    both operands still carry a [Z_q] component. *)
+
+val pow : ctx -> t -> int -> t
+(** Componentwise [Zmod.pow]; exponent must be non-negative. *)
+
+val exp : ctx -> t -> t
+(** Table lookup [omega^vq]. @raise Fpair.Not_lax if the [Z_q] component
+    was already consumed. *)
+
+val random : ctx -> Random.State.t -> t
+(** Uniform element; consumes randomness in the same order as
+    {!Fpair.random} so shared states produce identical streams. *)
+
+val of_fpair : Fpair.t -> t
+val to_fpair : t -> Fpair.t
+val to_string : t -> string
+
+val matmul_inner :
+  ctx ->
+  m:int ->
+  n:int ->
+  k:int ->
+  a:t array ->
+  base_a:int ->
+  sa_i:int ->
+  sa_l:int ->
+  b:t array ->
+  base_b:int ->
+  sb_l:int ->
+  sb_j:int ->
+  out:t array ->
+  out_base:int ->
+  unit
+(** One [m x k] by [k x n] product written row-major at [out_base], with
+    arbitrary input strides. Monomorphic over the packed representation so
+    the field arithmetic is straight-line integer code — no closure calls,
+    no polymorphic-array tag checks. Exactly equivalent to the generic
+    [fold add (mul x y)] accumulation (including consumed-[Z_q]
+    propagation); {!Tensor.Dense.matmul} dispatches here for packed
+    element domains. *)
+
+val mix : int -> int
+(** Stateless splitmix-style avalanche hash onto [0, max_int]; the
+    verifier's oracle for abstracted operators (Sqrt/SiLU) is built on
+    this instead of allocating a [Random.State] per element. *)

@@ -46,8 +46,12 @@ let exp c x =
 let sqrt _ _ = raise (Unsupported "sqrt")
 let silu _ _ = raise (Unsupported "silu")
 
+(* Record fields evaluate in unspecified order; draw through lets so the
+   consumption order (vp then vq) is defined — {!Fpacked.random} promises
+   stream parity with it. *)
 let random c st =
-  { vp = Random.State.int st c.p; vq = Some (Random.State.int st c.q) }
+  let vp = Random.State.int st c.p in
+  { vp; vq = Some (Random.State.int st c.q) }
 
 let pp fmt x =
   match x.vq with

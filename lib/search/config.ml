@@ -15,6 +15,7 @@ type t = {
   max_outputs_per_candidate : int;
   enable_concat_accum : bool;
   max_task_failures : int;
+  verify_fast_path : bool;
 }
 
 let default =
@@ -55,6 +56,7 @@ let default =
     max_outputs_per_candidate = 2;
     enable_concat_accum = false;
     max_task_failures = 8;
+    verify_fast_path = true;
   }
 
 (* Structural facts about the goal normal forms that make operator
@@ -206,4 +208,5 @@ let to_json (c : t) =
       ("max_outputs_per_candidate", Int c.max_outputs_per_candidate);
       ("enable_concat_accum", Bool c.enable_concat_accum);
       ("max_task_failures", Int c.max_task_failures);
+      ("verify_fast_path", Bool c.verify_fast_path);
     ]

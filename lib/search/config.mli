@@ -28,6 +28,11 @@ type t = {
   max_task_failures : int;
       (** supervised workers: quarantined task crashes tolerated before
           the whole search aborts (default 8) *)
+  verify_fast_path : bool;
+      (** verify over the packed finite-field representation with
+          spec-output memoization (default). [false] selects the boxed
+          {!Ffield.Fpair} reference path — same verdicts, much slower —
+          kept for verdict-equivalence testing and debugging *)
 }
 
 val default : t

@@ -82,8 +82,11 @@ let generate (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ?checkpoint
         (Checkpoint.candidates ck ~piece)
   | None -> ());
   let emit g =
-    Mutex.lock lock;
+    (* Hash outside the lock: hashing is the expensive part of dedup, and
+       computing it inside the critical section serialized all workers on
+       it. *)
     let h = Graph.hash g in
+    Mutex.lock lock;
     let dup =
       match Hashtbl.find_all seen h with
       | l -> List.exists (fun g' -> Graph.equal g g') l
@@ -238,15 +241,24 @@ let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false) ?budget
         (if task_failures = 0 then ""
          else Printf.sprintf " (%d task crash(es) quarantined)" task_failures));
   (* Cost first (cheap), then verify cheapest-first with a single random
-     test, stopping at the first success unless [verify_all]. *)
+     test, stopping at the first success unless [verify_all]. Cost ties
+     break on the graph hash so the verification order — and therefore
+     the winner — is independent of emission order (which varies with the
+     number of enumeration workers). *)
   let costed =
     Obs.Trace.with_span ~cat:"search" "cost" (fun () ->
-        List.sort
-          (fun ((_, _), a) ((_, _), b) ->
-            Float.compare a.Gpusim.Cost.total_us b.Gpusim.Cost.total_us)
-          (List.map
-             (fun (gid, g) -> ((gid, g), Gpusim.Cost.cost device g))
-             candidates))
+        List.map
+          (fun (x, c, _) -> (x, c))
+          (List.sort
+             (fun (_, a, ha) (_, b, hb) ->
+               let c =
+                 Float.compare a.Gpusim.Cost.total_us b.Gpusim.Cost.total_us
+               in
+               if c <> 0 then c else Int.compare ha hb)
+             (List.map
+                (fun (gid, g) ->
+                  ((gid, g), Gpusim.Cost.cost device g, Graph.hash g))
+                candidates)))
   in
   let finish gid g =
     Stats.bump_verified stats;
@@ -256,12 +268,19 @@ let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false) ?budget
     (gid, { graph = g; cost = Gpusim.Cost.cost device g })
   in
   let journal = Obs.Journal.active () in
+  (* One verification session for the whole run: all candidates share the
+     per-trial-seed random inputs and spec outputs (the spec result
+     depends only on the trial seed), and the config flag selects the
+     packed fast path or the boxed reference path. *)
+  let session =
+    Verify.Random_test.make_session ~fast:cfg.Config.verify_fast_path ~spec ()
+  in
   (* Verification runs quarantined too: a verifier crash on one candidate
      rejects that candidate (journaled as cand.crash) instead of sinking
      the whole run. *)
   let check ~trials ~cand g =
     Obs.Trace.with_span ~cat:"search" "verify.candidate" (fun () ->
-        match Verify.Random_test.equivalent ~trials ~cand ~spec g with
+        match Verify.Random_test.equivalent ~trials ~cand ~session ~spec g with
         | v -> v
         | exception exn ->
             let bt = Printexc.get_raw_backtrace () in
@@ -291,38 +310,135 @@ let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false) ?budget
     end
     else false
   in
-  let verified =
-    Obs.Trace.with_span ~cat:"search" "verify" (fun () ->
-        if verify_all then
-          let rec all acc = function
-            | [] -> List.rev acc
-            | _ :: _ when out_of_time () -> List.rev acc
-            | ((gid, g), _) :: rest -> (
+  (* Sequential reference loop, and a parallel version for
+     [num_workers > 1]: indices into the cost-sorted array are handed out
+     through an atomic dispenser (so claims happen in cost order) and, in
+     first-winner mode, a found-winner atomic holds the minimal passing
+     index. A worker only skips an index when a strictly cheaper winner
+     is already confirmed, so the minimal passing index is always fully
+     processed — the parallel winner equals the sequential one. *)
+  let sequential () =
+    if verify_all then
+      let rec all acc = function
+        | [] -> List.rev acc
+        | _ :: _ when out_of_time () -> List.rev acc
+        | ((gid, g), _) :: rest -> (
+            match check ~trials:verify_trials ~cand:gid g with
+            | Verify.Random_test.Equivalent -> all (finish gid g :: acc) rest
+            | Verify.Random_test.Not_equivalent _
+            | Verify.Random_test.Rejected _ ->
+                all acc rest)
+      in
+      all [] costed
+    else
+      let rec first = function
+        | [] -> []
+        | _ :: _ when out_of_time () -> []
+        | ((gid, g), _) :: rest -> (
+            match check ~trials:1 ~cand:gid g with
+            | Verify.Random_test.Equivalent -> (
+                (* confirm the winner with the full trial count *)
                 match check ~trials:verify_trials ~cand:gid g with
-                | Verify.Random_test.Equivalent -> all (finish gid g :: acc) rest
-                | Verify.Random_test.Not_equivalent _
-                | Verify.Random_test.Rejected _ ->
-                    all acc rest)
-          in
-          all [] costed
-        else
-          let rec first = function
-            | [] -> []
-            | _ :: _ when out_of_time () -> []
-            | ((gid, g), _) :: rest -> (
-                match check ~trials:1 ~cand:gid g with
-                | Verify.Random_test.Equivalent -> (
-                    (* confirm the winner with the full trial count *)
-                    match check ~trials:verify_trials ~cand:gid g with
-                    | Verify.Random_test.Equivalent -> [ finish gid g ]
-                    | Verify.Random_test.Not_equivalent _
-                    | Verify.Random_test.Rejected _ ->
-                        first rest)
+                | Verify.Random_test.Equivalent -> [ finish gid g ]
                 | Verify.Random_test.Not_equivalent _
                 | Verify.Random_test.Rejected _ ->
                     first rest)
-          in
-          first costed)
+            | Verify.Random_test.Not_equivalent _
+            | Verify.Random_test.Rejected _ ->
+                first rest)
+      in
+      first costed
+  in
+  let parallel vworkers =
+    (* Lazy metric handles are not domain-safe; force them here, in the
+       spawning domain. *)
+    Verify.Random_test.warm ();
+    let arr = Array.of_list costed in
+    let n = Array.length arr in
+    let next = Atomic.make 0 in
+    let join domains =
+      List.iter
+        (fun d ->
+          match Domain.join d with
+          | () -> ()
+          | exception exn ->
+              Obs.Budget.note budget "verify.crash";
+              Obs.Log.warn (fun m ->
+                  m "verify worker died outside candidate quarantine: %s"
+                    (Printexc.to_string exn)))
+        domains
+    in
+    if verify_all then begin
+      let passed = Array.make n false in
+      let worker () =
+        let continue_ = ref true in
+        while !continue_ do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n || out_of_time () then continue_ := false
+          else
+            let (gid, g), _ = arr.(i) in
+            match check ~trials:verify_trials ~cand:gid g with
+            | Verify.Random_test.Equivalent -> passed.(i) <- true
+            | Verify.Random_test.Not_equivalent _
+            | Verify.Random_test.Rejected _ ->
+                ()
+        done
+      in
+      join (List.init vworkers (fun _ -> Domain.spawn worker));
+      let acc = ref [] in
+      for i = n - 1 downto 0 do
+        if passed.(i) then
+          let (gid, g), _ = arr.(i) in
+          acc := finish gid g :: !acc
+      done;
+      !acc
+    end
+    else begin
+      let winner = Atomic.make max_int in
+      let worker () =
+        let continue_ = ref true in
+        while !continue_ do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n || i > Atomic.get winner || out_of_time () then
+            continue_ := false
+          else
+            let (gid, g), _ = arr.(i) in
+            match check ~trials:1 ~cand:gid g with
+            | Verify.Random_test.Equivalent -> (
+                match check ~trials:verify_trials ~cand:gid g with
+                | Verify.Random_test.Equivalent ->
+                    (* CAS-min: keep the cheapest confirmed index. All
+                       indices below it were already claimed, so no
+                       cheaper candidate can appear later. *)
+                    let rec claim () =
+                      let w = Atomic.get winner in
+                      if i < w && not (Atomic.compare_and_set winner w i)
+                      then claim ()
+                    in
+                    claim ();
+                    continue_ := false
+                | Verify.Random_test.Not_equivalent _
+                | Verify.Random_test.Rejected _ ->
+                    ())
+            | Verify.Random_test.Not_equivalent _
+            | Verify.Random_test.Rejected _ ->
+                ()
+        done
+      in
+      join (List.init vworkers (fun _ -> Domain.spawn worker));
+      match Atomic.get winner with
+      | w when w < n ->
+          let (gid, g), _ = arr.(w) in
+          [ finish gid g ]
+      | _ -> []
+    end
+  in
+  let verified =
+    Obs.Trace.with_span ~cat:"search" "verify" (fun () ->
+        let vworkers =
+          min (max 1 cfg.Config.num_workers) (List.length costed)
+        in
+        if vworkers <= 1 then sequential () else parallel vworkers)
   in
   (* The input program always participates, so the optimizer never
      regresses. The spec carries id -1 (no journal lifecycle of its own). *)

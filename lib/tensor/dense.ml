@@ -39,26 +39,71 @@ let equal eq a b =
 
 let map f t = { shape = t.shape; data = Array.map f t.data }
 
-(* Right-aligned broadcast index: map a coordinate of the result shape to
-   the linear index in [t]. *)
-let broadcast_get t result_shape =
-  let rt = Shape.rank t.shape and rr = Shape.rank result_shape in
+(* Right-aligned effective strides of [t] against a result shape of rank
+   [r]: 0 where the dim is missing or broadcast, so walking the result's
+   odometer with these strides visits the right source element without
+   materializing coordinates. *)
+let effective_strides t r =
+  let rt = Shape.rank t.shape in
   let strides = Shape.row_major_strides t.shape in
-  fun coords ->
-    let idx = ref 0 in
-    for i = 0 to rt - 1 do
-      let c = coords.(rr - rt + i) in
-      let c = if t.shape.(i) = 1 then 0 else c in
-      idx := !idx + (c * strides.(i))
+  Array.init r (fun i ->
+      let j = i - (r - rt) in
+      if j < 0 || t.shape.(j) = 1 then 0 else strides.(j))
+
+let map2 ops f a b =
+  if Shape.equal a.shape b.shape then begin
+    (* Hot case in verification: elementwise over identical shapes is a
+       single flat loop with no index arithmetic at all. *)
+    let da = a.data and db = b.data in
+    let n = Array.length da in
+    if n = 0 then { shape = a.shape; data = [||] }
+    else begin
+      let out = Array.make n ops.Element.zero in
+      for i = 0 to n - 1 do
+        Array.unsafe_set out i
+          (f (Array.unsafe_get da i) (Array.unsafe_get db i))
+      done;
+      { shape = a.shape; data = out }
+    end
+  end
+  else begin
+    let result_shape = Shape.broadcast a.shape b.shape in
+    let r = Shape.rank result_shape in
+    let sa = effective_strides a r and sb = effective_strides b r in
+    let n = Shape.numel result_shape in
+    let da = a.data and db = b.data in
+    let out = Array.make n ops.Element.zero in
+    let coords = Array.make r 0 in
+    let ia = ref 0 and ib = ref 0 in
+    for idx = 0 to n - 1 do
+      Array.unsafe_set out idx (f (Array.unsafe_get da !ia) (Array.unsafe_get db !ib));
+      (* Mixed-radix odometer bump, updating both source offsets
+         incrementally. *)
+      let k = ref (r - 1) in
+      let carry = ref true in
+      while !carry && !k >= 0 do
+        let d = !k in
+        coords.(d) <- coords.(d) + 1;
+        ia := !ia + sa.(d);
+        ib := !ib + sb.(d);
+        if coords.(d) = result_shape.(d) then begin
+          coords.(d) <- 0;
+          ia := !ia - (sa.(d) * result_shape.(d));
+          ib := !ib - (sb.(d) * result_shape.(d))
+        end
+        else carry := false;
+        decr k
+      done
     done;
-    t.data.(!idx)
+    { shape = result_shape; data = out }
+  end
 
-let map2 _ops f a b =
-  let result_shape = Shape.broadcast a.shape b.shape in
-  let ga = broadcast_get a result_shape and gb = broadcast_get b result_shape in
-  init result_shape (fun coords -> f (ga coords) (gb coords))
-
-let matmul ops a b =
+(* Locally abstract element type so matching the ops' [repr] witness can
+   refine it: for the packed finite field the inner product runs in the
+   monomorphic {!Ffield.Fpacked.matmul_inner} kernel (straight-line int
+   arithmetic) instead of closure-indirect [mul]/[add] calls. *)
+let matmul : type elt. elt Element.ops -> elt t -> elt t -> elt t =
+ fun ops a b ->
   let ra = Shape.rank a.shape and rb = Shape.rank b.shape in
   if ra < 2 || rb < 2 then invalid_arg "Dense.matmul: rank must be >= 2";
   let m = a.shape.(ra - 2) and k = a.shape.(ra - 1) in
@@ -72,34 +117,121 @@ let matmul ops a b =
   let batch_a = Array.sub a.shape 0 (ra - 2)
   and batch_b = Array.sub b.shape 0 (rb - 2) in
   let batch = Shape.broadcast batch_a batch_b in
-  let result_shape = Array.append batch [| m; n |] in
+  let result_shape = Shape.create (Array.append batch [| m; n |]) in
   let rbatch = Array.length batch in
-  (* Pre-fetch broadcast accessors over the batch dims only. *)
   let sa = Shape.row_major_strides a.shape
   and sb = Shape.row_major_strides b.shape in
-  let base_of t strides tr coords =
-    (* linear offset of the [.,0,0] element of the batch given result batch
-       coords; broadcast where the tensor's batch dim is 1. *)
+  (* Effective batch strides against the broadcast batch shape (0 where the
+     tensor's batch dim is 1 or missing). *)
+  let eff t strides tr =
     let rt = tr - 2 in
-    let off = ref 0 in
-    for i = 0 to rt - 1 do
-      let c = coords.(rbatch - rt + i) in
-      let c = if t.shape.(i) = 1 then 0 else c in
-      off := !off + (c * strides.(i))
-    done;
-    !off
+    Array.init rbatch (fun i ->
+        let j = i - (rbatch - rt) in
+        if j < 0 || t.shape.(j) = 1 then 0 else strides.(j))
   in
-  init result_shape (fun coords ->
-      let bc = Array.sub coords 0 rbatch in
-      let i = coords.(rbatch) and j = coords.(rbatch + 1) in
-      let base_a = base_of a sa ra bc and base_b = base_of b sb rb bc in
-      let acc = ref ops.Element.zero in
-      for l = 0 to k - 1 do
-        let av = a.data.(base_a + (i * sa.(ra - 2)) + (l * sa.(ra - 1))) in
-        let bv = b.data.(base_b + (l * sb.(rb - 2)) + (j * sb.(rb - 1))) in
-        acc := ops.Element.add !acc (ops.Element.mul av bv)
-      done;
-      !acc)
+  let ba = eff a sa ra and bb = eff b sb rb in
+  let sa_i = sa.(ra - 2) and sa_l = sa.(ra - 1) in
+  let sb_l = sb.(rb - 2) and sb_j = sb.(rb - 1) in
+  let nbatch = Shape.numel batch in
+  let da = a.data and db = b.data in
+  let zero = ops.Element.zero
+  and add = ops.Element.add
+  and mul = ops.Element.mul in
+  let out = Array.make (nbatch * m * n) zero in
+  let coords = Array.make rbatch 0 in
+  let base_a = ref 0 and base_b = ref 0 in
+  let idx = ref 0 in
+  let one_batch =
+    match ops.Element.repr with
+    | Element.Packed_field c ->
+        fun () ->
+          Ffield.Fpacked.matmul_inner c ~m ~n ~k ~a:da ~base_a:!base_a ~sa_i
+            ~sa_l ~b:db ~base_b:!base_b ~sb_l ~sb_j ~out ~out_base:!idx;
+          idx := !idx + (m * n)
+    | _ ->
+        fun () ->
+          for i = 0 to m - 1 do
+            let arow = !base_a + (i * sa_i) in
+            for j = 0 to n - 1 do
+              let bcol = !base_b + (j * sb_j) in
+              let acc = ref zero in
+              for l = 0 to k - 1 do
+                acc :=
+                  add !acc
+                    (mul
+                       (Array.unsafe_get da (arow + (l * sa_l)))
+                       (Array.unsafe_get db (bcol + (l * sb_l))))
+              done;
+              Array.unsafe_set out !idx !acc;
+              incr idx
+            done
+          done
+  in
+  for _ = 1 to nbatch do
+    one_batch ();
+    (* Bump the batch odometer, updating both base offsets incrementally. *)
+    let d = ref (rbatch - 1) in
+    let carry = ref true in
+    while !carry && !d >= 0 do
+      let i = !d in
+      coords.(i) <- coords.(i) + 1;
+      base_a := !base_a + ba.(i);
+      base_b := !base_b + bb.(i);
+      if coords.(i) = batch.(i) then begin
+        coords.(i) <- 0;
+        base_a := !base_a - (ba.(i) * batch.(i));
+        base_b := !base_b - (bb.(i) * batch.(i))
+      end
+      else carry := false;
+      decr d
+    done
+  done;
+  { shape = result_shape; data = out }
+
+(* Strided copy shared by the data-movement ops (slice / repeat / concat /
+   transpose): walk [shape] row-major maintaining both offsets with an
+   odometer; when both innermost strides are 1 each row is one
+   [Array.blit]. Replaces the per-coordinate [init] closures (coordinate
+   array copies, [index_of_coords]) on the interpreter's hot path. *)
+let copy_strided ~src ~src_base ~sstrides ~dst ~dst_base ~dstrides ~shape =
+  let r = Array.length shape in
+  if r = 0 then dst.(dst_base) <- src.(src_base)
+  else begin
+    let inner = shape.(r - 1) in
+    let si = sstrides.(r - 1) and di = dstrides.(r - 1) in
+    let outer = ref 1 in
+    for i = 0 to r - 2 do
+      outer := !outer * shape.(i)
+    done;
+    let coords = Array.make (max 1 (r - 1)) 0 in
+    let soff = ref src_base and doff = ref dst_base in
+    for _ = 1 to !outer do
+      if si = 1 && di = 1 then Array.blit src !soff dst !doff inner
+      else begin
+        let s = ref !soff and d = ref !doff in
+        for _ = 1 to inner do
+          Array.unsafe_set dst !d (Array.unsafe_get src !s);
+          s := !s + si;
+          d := !d + di
+        done
+      end;
+      let k = ref (r - 2) in
+      let carry = ref true in
+      while !carry && !k >= 0 do
+        let dk = !k in
+        coords.(dk) <- coords.(dk) + 1;
+        soff := !soff + sstrides.(dk);
+        doff := !doff + dstrides.(dk);
+        if coords.(dk) = shape.(dk) then begin
+          coords.(dk) <- 0;
+          soff := !soff - (sstrides.(dk) * shape.(dk));
+          doff := !doff - (dstrides.(dk) * shape.(dk))
+        end
+        else carry := false;
+        decr k
+      done
+    done
+  end
 
 let sum_grouped ops ~dim ~group t =
   let r = Shape.rank t.shape in
@@ -110,25 +242,65 @@ let sum_grouped ops ~dim ~group t =
          group t.shape.(dim));
   let out_shape = Array.copy t.shape in
   out_shape.(dim) <- t.shape.(dim) / group;
+  let out_shape = Shape.create out_shape in
   let strides = Shape.row_major_strides t.shape in
-  init out_shape (fun coords ->
-      let base = Array.copy coords in
-      base.(dim) <- coords.(dim) * group;
-      let off = Shape.index_of_coords ~strides base in
-      let acc = ref ops.Element.zero in
-      for g = 0 to group - 1 do
-        acc := ops.Element.add !acc t.data.(off + (g * strides.(dim)))
+  let sdim = strides.(dim) in
+  (* Source stride per unit of each *output* coordinate: along [dim] one
+     output step spans [group] source elements. *)
+  let sstrides =
+    Array.mapi (fun i s -> if i = dim then s * group else s) strides
+  in
+  let n = Shape.numel out_shape in
+  if n = 0 then { shape = out_shape; data = [||] }
+  else begin
+    let zero = ops.Element.zero and add = ops.Element.add in
+    let src = t.data in
+    let out = Array.make n zero in
+    let coords = Array.make r 0 in
+    let soff = ref 0 in
+    for idx = 0 to n - 1 do
+      let acc = ref zero in
+      let s = ref !soff in
+      for _ = 1 to group do
+        acc := add !acc (Array.unsafe_get src !s);
+        s := !s + sdim
       done;
-      !acc)
+      Array.unsafe_set out idx !acc;
+      let k = ref (r - 1) in
+      let carry = ref true in
+      while !carry && !k >= 0 do
+        let dk = !k in
+        coords.(dk) <- coords.(dk) + 1;
+        soff := !soff + sstrides.(dk);
+        if coords.(dk) = out_shape.(dk) then begin
+          coords.(dk) <- 0;
+          soff := !soff - (sstrides.(dk) * out_shape.(dk))
+        end
+        else carry := false;
+        decr k
+      done
+    done;
+    { shape = out_shape; data = out }
+  end
 
 let repeat _ops ~dim ~times t =
   let r = Shape.rank t.shape in
   if dim < 0 || dim >= r || times <= 0 then invalid_arg "Dense.repeat";
-  let out_shape = Shape.scale_dim t.shape ~dim ~times in
-  init out_shape (fun coords ->
-      let c = Array.copy coords in
-      c.(dim) <- coords.(dim) mod t.shape.(dim);
-      get t c)
+  let out_shape = Shape.create (Shape.scale_dim t.shape ~dim ~times) in
+  let n = Shape.numel out_shape in
+  if n = 0 then { shape = out_shape; data = [||] }
+  else begin
+    let out = Array.make n t.data.(0) in
+    let sstrides = Shape.row_major_strides t.shape in
+    let dstrides = Shape.row_major_strides out_shape in
+    (* Each repetition is one source-shaped copy shifted along [dim]. *)
+    for rep = 0 to times - 1 do
+      copy_strided ~src:t.data ~src_base:0 ~sstrides ~dst:out
+        ~dst_base:(rep * t.shape.(dim) * dstrides.(dim))
+        ~dstrides ~shape:t.shape
+    done;
+    { shape = out_shape; data = out }
+  end
 
 let reshape new_shape t =
   let new_shape = Shape.create new_shape in
@@ -147,11 +319,19 @@ let slice ~dim ~index ~chunks t =
          (Shape.to_string t.shape));
   if index < 0 || index >= chunks then invalid_arg "Dense.slice: bad index";
   let chunk = t.shape.(dim) / chunks in
-  let out_shape = Shape.split_dim t.shape ~dim ~chunks in
-  init out_shape (fun coords ->
-      let c = Array.copy coords in
-      c.(dim) <- (index * chunk) + coords.(dim);
-      get t c)
+  let out_shape = Shape.create (Shape.split_dim t.shape ~dim ~chunks) in
+  let n = Shape.numel out_shape in
+  if n = 0 then { shape = out_shape; data = [||] }
+  else begin
+    let out = Array.make n t.data.(0) in
+    let sstrides = Shape.row_major_strides t.shape in
+    copy_strided ~src:t.data
+      ~src_base:(index * chunk * sstrides.(dim))
+      ~sstrides ~dst:out ~dst_base:0
+      ~dstrides:(Shape.row_major_strides out_shape)
+      ~shape:out_shape;
+    { shape = out_shape; data = out }
+  end
 
 let concat ~dim ts =
   match ts with
@@ -172,29 +352,28 @@ let concat ~dim ts =
       let total = List.fold_left (fun acc t -> acc + t.shape.(dim)) 0 ts in
       let out_shape = Array.copy first.shape in
       out_shape.(dim) <- total;
-      let pieces = Array.of_list ts in
-      (* Prefix offsets along [dim]. *)
-      let offsets = Array.make (Array.length pieces) 0 in
-      let acc = ref 0 in
-      Array.iteri
-        (fun i t ->
-          offsets.(i) <- !acc;
-          acc := !acc + t.shape.(dim))
-        pieces;
-      init out_shape (fun coords ->
-          let d = coords.(dim) in
-          (* Find the piece containing coordinate d. *)
-          let rec find i =
-            if
-              i = Array.length pieces - 1
-              || d < offsets.(i) + pieces.(i).shape.(dim)
-            then i
-            else find (i + 1)
-          in
-          let i = find 0 in
-          let c = Array.copy coords in
-          c.(dim) <- d - offsets.(i);
-          get pieces.(i) c)
+      let out_shape = Shape.create out_shape in
+      let n = Shape.numel out_shape in
+      if n = 0 then { shape = out_shape; data = [||] }
+      else begin
+        (* n > 0 implies some piece is non-empty to seed the array. *)
+        let seed = (List.find (fun t -> numel t > 0) ts).data.(0) in
+        let out = Array.make n seed in
+        let dstrides = Shape.row_major_strides out_shape in
+        (* Each piece is one piece-shaped copy at its prefix offset. *)
+        let off = ref 0 in
+        List.iter
+          (fun t ->
+            if numel t > 0 then
+              copy_strided ~src:t.data ~src_base:0
+                ~sstrides:(Shape.row_major_strides t.shape)
+                ~dst:out
+                ~dst_base:(!off * dstrides.(dim))
+                ~dstrides ~shape:t.shape;
+            off := !off + t.shape.(dim))
+          ts;
+        { shape = out_shape; data = out }
+      end
 
 let add_inplace_like ops a b =
   if not (Shape.equal a.shape b.shape) then
@@ -207,11 +386,20 @@ let transpose_last2 t =
   let out_shape = Array.copy t.shape in
   out_shape.(r - 2) <- t.shape.(r - 1);
   out_shape.(r - 1) <- t.shape.(r - 2);
-  init out_shape (fun coords ->
-      let c = Array.copy coords in
-      c.(r - 2) <- coords.(r - 1);
-      c.(r - 1) <- coords.(r - 2);
-      get t c)
+  let out_shape = Shape.create out_shape in
+  let n = Shape.numel out_shape in
+  if n = 0 then { shape = out_shape; data = [||] }
+  else begin
+    let out = Array.make n t.data.(0) in
+    let sstrides = Array.copy (Shape.row_major_strides t.shape) in
+    let tmp = sstrides.(r - 2) in
+    sstrides.(r - 2) <- sstrides.(r - 1);
+    sstrides.(r - 1) <- tmp;
+    copy_strided ~src:t.data ~src_base:0 ~sstrides ~dst:out ~dst_base:0
+      ~dstrides:(Shape.row_major_strides out_shape)
+      ~shape:out_shape;
+    { shape = out_shape; data = out }
+  end
 
 let to_string elt t =
   let buf = Buffer.create 64 in

@@ -1,3 +1,7 @@
+type _ repr =
+  | Generic : 'a repr
+  | Packed_field : Ffield.Fpacked.ctx -> Ffield.Fpacked.t repr
+
 type 'a ops = {
   zero : 'a;
   one : 'a;
@@ -12,6 +16,7 @@ type 'a ops = {
   relu : 'a -> 'a;
   equal : 'a -> 'a -> bool;
   to_string : 'a -> string;
+  repr : 'a repr;
 }
 
 let float_ops =
@@ -29,10 +34,30 @@ let float_ops =
     relu = (fun x -> Float.max 0.0 x);
     equal = (fun a b -> Float.equal a b);
     to_string = (fun x -> Printf.sprintf "%g" x);
+    repr = Generic;
   }
 
 let float_approx_equal ?(rtol = 1e-9) ?(atol = 1e-12) a b =
   Float.abs (a -. b) <= atol +. (rtol *. Float.max (Float.abs a) (Float.abs b))
+
+let fpacked_ops ctx =
+  let open Ffield in
+  {
+    zero = Fpacked.zero;
+    one = Fpacked.one;
+    of_int = Fpacked.of_int ctx;
+    add = Fpacked.add ctx;
+    sub = Fpacked.sub ctx;
+    mul = Fpacked.mul ctx;
+    div = Fpacked.div ctx;
+    exp = Fpacked.exp ctx;
+    sqrt = (fun _ -> raise (Fpair.Unsupported "sqrt"));
+    silu = (fun _ -> raise (Fpair.Unsupported "silu"));
+    relu = (fun _ -> raise (Fpair.Unsupported "relu"));
+    equal = Fpacked.equal;
+    to_string = Fpacked.to_string;
+    repr = Packed_field ctx;
+  }
 
 let fpair_ops ctx =
   let open Ffield in
@@ -50,4 +75,5 @@ let fpair_ops ctx =
     relu = (fun _ -> raise (Fpair.Unsupported "relu"));
     equal = Fpair.equal;
     to_string = Fpair.to_string;
+    repr = Generic;
   }

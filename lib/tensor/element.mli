@@ -6,6 +6,16 @@
     operations so that field parameters (p, q, omega) sampled at run time
     can be captured in closures. *)
 
+type _ repr =
+  | Generic : 'a repr
+  | Packed_field : Ffield.Fpacked.ctx -> Ffield.Fpacked.t repr
+      (** Witness that the element domain is the packed finite field over
+          this context, with [add]/[mul] agreeing with {!Ffield.Fpacked}
+          — {!Dense} dispatches its hot loops to monomorphic kernels on
+          the strength of it. Overriding the abstracted operators
+          ([sqrt]/[silu]) preserves the claim; overriding the ring
+          operations would not. *)
+
 type 'a ops = {
   zero : 'a;
   one : 'a;
@@ -20,6 +30,7 @@ type 'a ops = {
   relu : 'a -> 'a;
   equal : 'a -> 'a -> bool;
   to_string : 'a -> string;
+  repr : 'a repr;
 }
 
 val float_ops : float ops
@@ -32,3 +43,9 @@ val float_approx_equal : ?rtol:float -> ?atol:float -> float -> float -> bool
 
 val fpair_ops : Ffield.Fpair.ctx -> Ffield.Fpair.t ops
 (** The finite-field domain of paper Table 3 for a sampled context. *)
+
+val fpacked_ops : Ffield.Fpacked.ctx -> Ffield.Fpacked.t ops
+(** The same finite-field domain over the packed immediate representation
+    (verifier fast path). [sqrt]/[silu]/[relu] raise
+    {!Ffield.Fpair.Unsupported}; the verifier overrides them with its
+    oracle, exactly as for [fpair_ops]. *)

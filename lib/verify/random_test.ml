@@ -1,11 +1,15 @@
 open Tensor
 open Mugraph
 module Fpair = Ffield.Fpair
+module Fpacked = Ffield.Fpacked
+module Zmod = Ffield.Zmod
 
 type result =
   | Equivalent
   | Not_equivalent of string
   | Rejected of string
+
+type detail = { result : result; trials_run : int; resamples : int }
 
 exception Resample
 
@@ -51,34 +55,85 @@ module Vm = struct
     lazy
       (Obs.Metrics.histogram (reg ()) ~help:"wall time of one trial (s)"
          "verify.trial_s")
+
+  let spec_cache_hits =
+    lazy
+      (Obs.Metrics.counter (reg ())
+         ~help:"trial lookups served from the spec-output cache"
+         "verify.spec_cache.hits")
+
+  let spec_cache_misses =
+    lazy
+      (Obs.Metrics.counter (reg ())
+         ~help:"trial lookups that evaluated the spec graph"
+         "verify.spec_cache.misses")
+
+  let throughput_buckets =
+    [| 1e3; 3e3; 1e4; 3e4; 1e5; 3e5; 1e6; 3e6; 1e7; 3e7; 1e8; 3e8; 1e9 |]
+
+  let throughput =
+    lazy
+      (Obs.Metrics.histogram (reg ())
+         ~help:"per-trial verification throughput (tensor elements / s)"
+         ~buckets:throughput_buckets "verify.throughput_elems_s")
 end
 
-(* A keyed random oracle over field elements: the uninterpreted-function
-   abstraction for Sqrt and SiLU. Deterministic within one trial (the
-   trial seed is part of the key), so equal arguments give equal results
-   in both graphs. *)
-let oracle_general ~p ~q ~trial_seed ~salt (x : Fpair.t) : Fpair.t =
-  let key = Hashtbl.hash (trial_seed, salt, x.Fpair.vp, x.Fpair.vq) in
-  let st = Random.State.make [| key |] in
-  (* Nonzero components: sqrt results are overwhelmingly used as
-     divisors (normalizations), and an oracle that avoids 0 keeps the
-     zero-divisor resampling rate independent of tensor sizes. Any
-     injective-ish function is a valid realization of an uninterpreted
-     function. *)
-  {
-    Fpair.vp = 1 + Random.State.int st (p - 1);
-    vq = Some (1 + Random.State.int st (q - 1));
-  }
+(* OCaml's Lazy is not domain-safe; parallel verification forces every
+   handle from the spawning domain first. *)
+let warm () =
+  ignore (Lazy.force Vm.trials);
+  ignore (Lazy.force Vm.resamples);
+  ignore (Lazy.force Vm.equivalent);
+  ignore (Lazy.force Vm.not_equivalent);
+  ignore (Lazy.force Vm.rejected_interface);
+  ignore (Lazy.force Vm.rejected_lax);
+  ignore (Lazy.force Vm.rejected_resample);
+  ignore (Lazy.force Vm.trial_s);
+  ignore (Lazy.force Vm.spec_cache_hits);
+  ignore (Lazy.force Vm.spec_cache_misses);
+  ignore (Lazy.force Vm.throughput)
+
+(* A keyed random oracle over raw field components: the
+   uninterpreted-function abstraction for Sqrt and SiLU. Deterministic
+   within one trial (the trial seed is part of the key), so equal
+   arguments give equal results in both graphs. Built on a stateless
+   splitmix-style mix instead of allocating a [Random.State] per element;
+   shared by the packed and boxed representations so the two paths are
+   value-identical. [vq_code] is -1 when the Z_q component is consumed.
+
+   Nonzero components: sqrt results are overwhelmingly used as divisors
+   (normalizations), and an oracle that avoids 0 keeps the zero-divisor
+   resampling rate independent of tensor sizes. Any injective-ish
+   function is a valid realization of an uninterpreted function. *)
+let oracle_vals ~p ~q ~trial_seed ~salt vp vq_code =
+  let k0 = Fpacked.mix (trial_seed lxor (salt * 0x9E3779B1)) in
+  let k1 = Fpacked.mix (k0 lxor vp) in
+  let k2 = Fpacked.mix (k1 lxor (vq_code + 1)) in
+  (1 + (k2 mod (p - 1)), 1 + (Fpacked.mix k2 mod (q - 1)))
 
 let field_ops ~p ~q ~trial_seed ctx : Fpair.t Element.ops =
   let base = Element.fpair_ops ctx in
+  let oracle salt (x : Fpair.t) =
+    let vq_code = match x.Fpair.vq with Some v -> v | None -> -1 in
+    let rp, rq = oracle_vals ~p ~q ~trial_seed ~salt x.Fpair.vp vq_code in
+    { Fpair.vp = rp; vq = Some rq }
+  in
   {
     base with
-    Element.sqrt = oracle_general ~p ~q ~trial_seed ~salt:1;
-    silu = oracle_general ~p ~q ~trial_seed ~salt:2;
+    Element.sqrt = oracle 1;
+    silu = oracle 2;
     relu =
       (fun _ -> raise (Fpair.Unsupported "relu reached the LAX verifier"));
   }
+
+let packed_ops ~p ~q ~trial_seed (ctx : Fpacked.ctx) : Fpacked.t Element.ops =
+  let base = Element.fpacked_ops ctx in
+  let oracle salt x =
+    let vq_code = if Fpacked.has_q x then Fpacked.vq x else -1 in
+    let rp, rq = oracle_vals ~p ~q ~trial_seed ~salt (Fpacked.vp x) vq_code in
+    Fpacked.pack rp rq
+  in
+  { base with Element.sqrt = oracle 1; silu = oracle 2 }
 
 let interface_mismatch ~spec g =
   let names_s = Graph.input_names spec and names_g = Graph.input_names g in
@@ -100,49 +155,163 @@ let interface_mismatch ~spec g =
           Some "output shapes differ"
         else None
 
-let one_trial ~p ~q ~trial_seed ~spec g =
+(* Raw trial sampling, shared by both representations: the root of unity
+   and every input component are drawn from one [Random.State] in a fixed
+   order (vp then vq per element, row-major, inputs in graph order), so
+   the packed and boxed paths see exactly the same field values. *)
+let sample_raw ~p ~q ~trial_seed shapes =
   let st = Random.State.make [| trial_seed |] in
-  let ctx = Fpair.random_ctx ~p ~q st in
-  let ops = field_ops ~p ~q ~trial_seed ctx in
-  let inputs =
+  let omega = Zmod.random_root_of_unity ~p ~q st in
+  let raw =
     List.map
-      (fun shape -> Dense.init shape (fun _ -> Fpair.random ctx st))
-      (Graph.input_shapes spec)
+      (fun shape ->
+        let n = Shape.numel shape in
+        let vps = Array.make n 0 and vqs = Array.make n 0 in
+        for i = 0 to n - 1 do
+          vps.(i) <- Random.State.int st p;
+          vqs.(i) <- Random.State.int st q
+        done;
+        (shape, vps, vqs))
+      shapes
   in
-  match
-    ( Interp.eval_kernel ops spec ~inputs,
-      Interp.eval_kernel ops g ~inputs )
-  with
-  | out_s, out_g ->
-      let ok = List.for_all2 (Dense.equal Fpair.equal) out_s out_g in
-      if ok then Ok ()
-      else Error "outputs differ on a random finite-field test"
-  | exception Ffield.Zmod.Division_by_zero -> raise Resample
-  | exception Fpair.Not_lax ->
-      Error "exponentiation applied twice along a path at run time"
+  (omega, raw)
 
-let timed_trial ~p ~q ~trial_seed ~spec g =
+(* One memoized trial: the random inputs and the *spec* outputs depend
+   only on (trial_seed, spec, p, q), so they are computed once per trial
+   seed and shared across every candidate of a run (tentpole part 3). *)
+type entry =
+  | Packed_ok of Fpacked.ctx * Fpacked.t Dense.t list * Fpacked.t Dense.t list
+  | Boxed_ok of Fpair.ctx * Fpair.t Dense.t list * Fpair.t Dense.t list
+  | Spec_resample  (** the spec itself hit a zero divisor at this seed *)
+  | Spec_not_lax
+
+type session = {
+  s_spec : Graph.kernel_graph;
+  s_p : int;
+  s_q : int;
+  s_fast : bool;
+  s_table : (int, entry) Hashtbl.t;
+  s_lock : Mutex.t;
+}
+
+let make_session ?(p = Zmod.default_p) ?(q = Zmod.default_q) ?(fast = true)
+    ~spec () =
+  {
+    s_spec = spec;
+    s_p = p;
+    s_q = q;
+    s_fast = fast && Fpacked.packable ~p ~q;
+    s_table = Hashtbl.create 64;
+    s_lock = Mutex.create ();
+  }
+
+let session_fast s = s.s_fast
+
+let compute_entry ~fast ~p ~q ~trial_seed ~spec =
+  let omega, raw = sample_raw ~p ~q ~trial_seed (Graph.input_shapes spec) in
+  if fast then begin
+    let ctx = Fpacked.make_ctx ~p ~q ~omega () in
+    let inputs =
+      List.map
+        (fun (shape, vps, vqs) ->
+          Dense.create shape
+            (Array.init (Array.length vps) (fun i ->
+                 Fpacked.pack vps.(i) vqs.(i))))
+        raw
+    in
+    match Interp.eval_kernel (packed_ops ~p ~q ~trial_seed ctx) spec ~inputs with
+    | outs -> Packed_ok (ctx, inputs, outs)
+    | exception Zmod.Division_by_zero -> Spec_resample
+    | exception Fpair.Not_lax -> Spec_not_lax
+  end
+  else begin
+    let ctx = Fpair.make_ctx ~p ~q ~omega () in
+    let inputs =
+      List.map
+        (fun (shape, vps, vqs) ->
+          Dense.create shape
+            (Array.init (Array.length vps) (fun i ->
+                 { Fpair.vp = vps.(i); vq = Some vqs.(i) })))
+        raw
+    in
+    match Interp.eval_kernel (field_ops ~p ~q ~trial_seed ctx) spec ~inputs with
+    | outs -> Boxed_ok (ctx, inputs, outs)
+    | exception Zmod.Division_by_zero -> Spec_resample
+    | exception Fpair.Not_lax -> Spec_not_lax
+  end
+
+(* The lock is held across a miss's spec evaluation on purpose: all
+   candidates of a run share trial seeds, so this guarantees the spec is
+   evaluated once per seed even when verification runs across domains. *)
+let session_entry session ~trial_seed =
+  Mutex.lock session.s_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock session.s_lock)
+    (fun () ->
+      match Hashtbl.find_opt session.s_table trial_seed with
+      | Some e ->
+          Obs.Metrics.bump (Lazy.force Vm.spec_cache_hits);
+          e
+      | None ->
+          Obs.Metrics.bump (Lazy.force Vm.spec_cache_misses);
+          let e =
+            compute_entry ~fast:session.s_fast ~p:session.s_p ~q:session.s_q
+              ~trial_seed ~spec:session.s_spec
+          in
+          Hashtbl.add session.s_table trial_seed e;
+          e)
+
+let not_lax_msg = "exponentiation applied twice along a path at run time"
+
+let one_trial ~session ~trial_seed g =
+  let p = session.s_p and q = session.s_q in
+  match session_entry session ~trial_seed with
+  | Spec_resample -> raise Resample
+  | Spec_not_lax -> Error not_lax_msg
+  | Packed_ok (ctx, inputs, out_s) -> (
+      match Interp.eval_kernel (packed_ops ~p ~q ~trial_seed ctx) g ~inputs with
+      | out_g ->
+          if List.for_all2 (Dense.equal Fpacked.equal) out_s out_g then Ok ()
+          else Error "outputs differ on a random finite-field test"
+      | exception Zmod.Division_by_zero -> raise Resample
+      | exception Fpair.Not_lax -> Error not_lax_msg)
+  | Boxed_ok (ctx, inputs, out_s) -> (
+      match Interp.eval_kernel (field_ops ~p ~q ~trial_seed ctx) g ~inputs with
+      | out_g ->
+          if List.for_all2 (Dense.equal Fpair.equal) out_s out_g then Ok ()
+          else Error "outputs differ on a random finite-field test"
+      | exception Zmod.Division_by_zero -> raise Resample
+      | exception Fpair.Not_lax -> Error not_lax_msg)
+
+let timed_trial ~session ~elems ~trial_seed g =
   Obs.Metrics.bump (Lazy.force Vm.trials);
   let t0 = Unix.gettimeofday () in
   Fun.protect
     ~finally:(fun () ->
-      Obs.Metrics.observe (Lazy.force Vm.trial_s)
-        (Unix.gettimeofday () -. t0))
-    (fun () -> one_trial ~p ~q ~trial_seed ~spec g)
+      let dt = Unix.gettimeofday () -. t0 in
+      Obs.Metrics.observe (Lazy.force Vm.trial_s) dt;
+      if dt > 0.0 && elems > 0 then
+        Obs.Metrics.observe (Lazy.force Vm.throughput)
+          (float_of_int elems /. dt))
+    (fun () -> one_trial ~session ~trial_seed g)
 
-let equivalent ?(trials = 3) ?(p = Ffield.Zmod.default_p)
-    ?(q = Ffield.Zmod.default_q) ?(seed = 0x5EED) ?(cand = -1) ~spec g =
+let equivalent_detailed ?(trials = 3) ?(p = Zmod.default_p)
+    ?(q = Zmod.default_q) ?(seed = 0x5EED) ?(cand = -1) ?fast ?session:sess
+    ~spec g =
   Obs.Fault.trip "verify";
+  let session =
+    match sess with Some s -> s | None -> make_session ~p ~q ?fast ~spec ()
+  in
   let journal = Obs.Journal.active () in
   let t0 = Unix.gettimeofday () in
   let trials_run = ref 0 and resamples = ref 0 in
   let result =
-    match interface_mismatch ~spec g with
+    match interface_mismatch ~spec:session.s_spec g with
     | Some msg ->
         Obs.Metrics.bump (Lazy.force Vm.rejected_interface);
         Rejected msg
     | None -> (
-        match Lax.check spec, Lax.check g with
+        match Lax.check session.s_spec, Lax.check g with
         | Lax.Not_lax m, _ ->
             Obs.Metrics.bump (Lazy.force Vm.rejected_lax);
             Rejected ("spec not LAX: " ^ m)
@@ -150,6 +319,12 @@ let equivalent ?(trials = 3) ?(p = Ffield.Zmod.default_p)
             Obs.Metrics.bump (Lazy.force Vm.rejected_lax);
             Rejected ("candidate not LAX: " ^ m)
         | Lax.Lax, Lax.Lax ->
+            let elems =
+              List.fold_left
+                (fun acc s -> acc + Shape.numel s)
+                0
+                (Graph.input_shapes g @ Infer.output_shapes g)
+            in
             let rec run trial attempts =
               if trial >= trials then begin
                 Obs.Metrics.bump (Lazy.force Vm.equivalent);
@@ -162,7 +337,7 @@ let equivalent ?(trials = 3) ?(p = Ffield.Zmod.default_p)
               else
                 let trial_seed = seed + (trial * 7919) + (attempts * 104729) in
                 incr trials_run;
-                match timed_trial ~p ~q ~trial_seed ~spec g with
+                match timed_trial ~session ~elems ~trial_seed g with
                 | Ok () -> run (trial + 1) 0
                 | Error msg ->
                     Obs.Log.debug (fun m ->
@@ -194,7 +369,10 @@ let equivalent ?(trials = 3) ?(p = Ffield.Zmod.default_p)
            ("elapsed_s", Obs.Jsonw.Float (Unix.gettimeofday () -. t0));
          ]
         @ if detail = "" then [] else [ ("detail", Obs.Jsonw.Str detail) ]));
-  result
+  { result; trials_run = !trials_run; resamples = !resamples }
+
+let equivalent ?trials ?p ?q ?seed ?cand ?fast ?session ~spec g =
+  (equivalent_detailed ?trials ?p ?q ?seed ?cand ?fast ?session ~spec g).result
 
 let error_bound ~k ~trials =
   let k = max 1 k in

@@ -14,12 +14,47 @@
     fresh pseudo-random values that collide with probability ~1/(p·q).
 
     By Theorem 3, equivalent LAX muGraphs always pass, and non-equivalent
-    ones pass [t] trials with probability at most [(1 - 1/k + o(1/k))^t]. *)
+    ones pass [t] trials with probability at most [(1 - 1/k + o(1/k))^t].
+
+    {b Fast path.} When both moduli fit in 8 bits (the default p = 227,
+    q = 113 do), trials run over the packed {!Ffield.Fpacked}
+    representation: flat [int array] tensors, table-lookup division, and
+    a stateless splitmix oracle. The boxed {!Ffield.Fpair} reference path
+    is kept behind [~fast:false] (and is selected automatically for
+    larger moduli); both paths sample identical field values, so their
+    verdicts — including resample behavior — coincide exactly. *)
 
 type result =
   | Equivalent
   | Not_equivalent of string  (** first mismatch, human-readable *)
   | Rejected of string  (** not LAX / interface mismatch *)
+
+type detail = { result : result; trials_run : int; resamples : int }
+(** A verdict plus the trial/resample counts behind it (what the journal
+    event records), for tests that assert the two paths behave
+    identically. *)
+
+type session
+(** A verification session: one spec graph plus a mutex-guarded cache of
+    per-trial-seed random inputs and {e spec} outputs. The spec result
+    depends only on [(trial_seed, spec, p, q)], so across the many
+    candidates of a search run every trial seed evaluates the spec once
+    ([verify.spec_cache.hits] counts the sharing). Safe to share across
+    domains. *)
+
+val make_session :
+  ?p:int -> ?q:int -> ?fast:bool -> spec:Mugraph.Graph.kernel_graph -> unit ->
+  session
+(** [fast] defaults to true and silently degrades to the boxed reference
+    path when the moduli do not fit the packed layout. *)
+
+val session_fast : session -> bool
+(** Whether the session actually uses the packed fast path. *)
+
+val warm : unit -> unit
+(** Force every lazily-registered verifier metric handle. [Lazy] is not
+    domain-safe in OCaml 5; call this from the spawning domain before
+    verifying across domains. *)
 
 val equivalent :
   ?trials:int ->
@@ -27,6 +62,8 @@ val equivalent :
   ?q:int ->
   ?seed:int ->
   ?cand:int ->
+  ?fast:bool ->
+  ?session:session ->
   spec:Mugraph.Graph.kernel_graph ->
   Mugraph.Graph.kernel_graph ->
   result
@@ -35,10 +72,29 @@ val equivalent :
     compatibility (input names and shapes, output count and shapes) and
     LAX membership first.
 
+    When [session] is given it supplies the spec, field parameters and
+    path selection ([p]/[q]/[fast]/[spec] arguments are ignored) and its
+    spec-output cache is consulted per trial seed. Otherwise a throwaway
+    session is built from the arguments.
+
     When the global {!Obs.Journal} is enabled, every call emits one
     [verify.verdict] event — verdict, trials actually run, resamples,
     elapsed seconds — tagged with candidate id [cand] (the search
     generator passes the candidate's journal id). *)
+
+val equivalent_detailed :
+  ?trials:int ->
+  ?p:int ->
+  ?q:int ->
+  ?seed:int ->
+  ?cand:int ->
+  ?fast:bool ->
+  ?session:session ->
+  spec:Mugraph.Graph.kernel_graph ->
+  Mugraph.Graph.kernel_graph ->
+  detail
+(** Same as {!equivalent} but also returns the trial and resample
+    counts. *)
 
 val error_bound : k:int -> trials:int -> float
 (** Theorem 3's bound on accepting non-equivalent graphs: [(1 - 1/k)^trials]

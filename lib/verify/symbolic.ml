@@ -120,6 +120,7 @@ let symbolic_ops : value Element.ops =
     relu = v_app "relu";
     equal = v_equal;
     to_string = v_to_string;
+    repr = Generic;
   }
 
 type result =

@@ -63,11 +63,13 @@ dune exec bin/mirage_cli.exe -- optimize rmsnorm \
 grep -q '"state": "\(ok\|degraded\)"' /tmp/mirage_ci_resume/report.json
 dune exec tools/json_check.exe -- /tmp/mirage_ci_resume/checkpoint.json
 
-echo "== bench history regression gate (Fig. 7 costs, 5% threshold)"
+echo "== bench history regression gate (Fig. 7 costs + verifier perf, 5%)"
 # Gate against the committed baseline on a scratch copy so CI runs never
-# dirty the tree; a real refresh re-runs `bench fig7 --history` in place.
+# dirty the tree; a real refresh re-runs `bench fig7 verify --history` in
+# place. The verify suite's fast-over-reference ratios catch a fast-path
+# performance regression the same way costs catch a cost-model one.
 cp BENCH_history.jsonl /tmp/mirage_ci_history.jsonl
-dune exec bench/main.exe -- fig7 \
+dune exec bench/main.exe -- fig7 verify \
   --history /tmp/mirage_ci_history.jsonl --gate 5 >/dev/null
 
 echo "CI OK"

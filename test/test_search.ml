@@ -298,6 +298,91 @@ let test_spec_always_candidate () =
         (Graph.equal r.Search.Generator.graph spec)
   | None -> Alcotest.fail "no result"
 
+(* --- parallel candidate verification ------------------------------------- *)
+
+let test_parallel_matches_sequential_winner () =
+  (* Candidates are claimed from the cost-sorted array (hash tie-break),
+     so the parallel first-winner must equal the sequential one, and the
+     verify-all survivor sets must coincide element for element. *)
+  let spec = div_matmul_spec ~b:4 ~h:8 ~d:16 in
+  let go workers verify_all =
+    let cfg =
+      {
+        (Search.Config.for_spec ~base:(small_config ()) spec) with
+        Search.Config.num_workers = workers;
+      }
+    in
+    Search.Generator.run ~config:cfg ~verify_all ~device:Gpusim.Device.a100
+      ~spec ()
+  in
+  let seq = go 1 false and par = go 4 false in
+  (match (seq.Search.Generator.best, par.Search.Generator.best) with
+  | Some a, Some b ->
+      Alcotest.(check bool) "same first winner" true
+        (Graph.equal a.Search.Generator.graph b.Search.Generator.graph);
+      Alcotest.(check (float 1e-9)) "same winner cost"
+        a.Search.Generator.cost.Gpusim.Cost.total_us
+        b.Search.Generator.cost.Gpusim.Cost.total_us
+  | _ -> Alcotest.fail "both searches must find a winner");
+  let seq = go 1 true and par = go 4 true in
+  Alcotest.(check int) "same verified count"
+    (List.length seq.Search.Generator.verified)
+    (List.length par.Search.Generator.verified);
+  List.iter2
+    (fun (a : Search.Generator.result) (b : Search.Generator.result) ->
+      Alcotest.(check bool) "same survivors in the same cost order" true
+        (Graph.equal a.Search.Generator.graph b.Search.Generator.graph))
+    seq.Search.Generator.verified par.Search.Generator.verified
+
+let test_deadline_during_parallel_verify () =
+  (* A budget too small for the ops=8 space with 4 workers: wherever the
+     deadline lands (enumeration or the parallel verify loop) the run
+     must return best-so-far — the spec at worst — with the reason
+     recorded, never crash or overshoot. *)
+  let spec = div_matmul_spec ~b:4 ~h:8 ~d:16 in
+  let cfg =
+    {
+      (Search.Config.for_spec ~base:(small_config ~ops:8 ()) spec) with
+      Search.Config.num_workers = 4;
+    }
+  in
+  let budget = Obs.Budget.create ~time_budget_s:0.15 () in
+  let t0 = Unix.gettimeofday () in
+  let o =
+    Search.Generator.run ~config:cfg ~verify_all:true ~budget
+      ~device:Gpusim.Device.a100 ~spec ()
+  in
+  Alcotest.(check bool) "stopped near the deadline" true
+    (Unix.gettimeofday () -. t0 < 10.0);
+  Alcotest.(check bool) "best-so-far returned" true
+    (o.Search.Generator.best <> None);
+  Alcotest.(check bool) "deadline recorded in degraded" true
+    (List.mem "deadline" o.Search.Generator.degraded)
+
+let test_expired_deadline_parallel_verify () =
+  (* Deadline already in the past when verification starts: the parallel
+     loop must hand back the spec immediately. *)
+  let spec = div_matmul_spec ~b:4 ~h:8 ~d:16 in
+  let cfg =
+    {
+      (Search.Config.for_spec ~base:(small_config ()) spec) with
+      Search.Config.num_workers = 4;
+    }
+  in
+  let budget = Obs.Budget.create ~time_budget_s:1e-6 () in
+  Unix.sleepf 0.01;
+  let o =
+    Search.Generator.run ~config:cfg ~budget ~device:Gpusim.Device.a100 ~spec
+      ()
+  in
+  (match o.Search.Generator.best with
+  | Some r ->
+      Alcotest.(check bool) "falls back to the spec" true
+        (Graph.equal r.Search.Generator.graph spec)
+  | None -> Alcotest.fail "best-so-far must never be empty");
+  Alcotest.(check bool) "deadline recorded" true
+    (List.mem "deadline" o.Search.Generator.degraded)
+
 let () =
   Alcotest.run "search"
     [
@@ -334,5 +419,14 @@ let () =
           Alcotest.test_case "budget respected" `Quick test_budget_respected;
           Alcotest.test_case "spec is always a candidate" `Quick
             test_spec_always_candidate;
+        ] );
+      ( "parallel verify",
+        [
+          Alcotest.test_case "parallel winner equals sequential" `Slow
+            test_parallel_matches_sequential_winner;
+          Alcotest.test_case "deadline mid-run degrades cleanly" `Slow
+            test_deadline_during_parallel_verify;
+          Alcotest.test_case "expired deadline returns spec" `Quick
+            test_expired_deadline_parallel_verify;
         ] );
     ]

@@ -405,6 +405,124 @@ let test_symbolic_no_cancellation_needed () =
     "equivalent (exact, symbolic)"
     (Sym.to_string (Sym.equivalent ~spec:lhs rhs))
 
+(* --- packed fast path vs boxed reference path --------------------------- *)
+
+let detail_t =
+  Alcotest.testable
+    (fun fmt (d : RT.detail) ->
+      Format.fprintf fmt "{%s; trials=%d; resamples=%d}"
+        (RT.to_string d.RT.result) d.RT.trials_run d.RT.resamples)
+    ( = )
+
+(* A mix of accepting and rejecting pairs; the fast path must return the
+   verdict AND the trial/resample counts the reference path does. *)
+let fast_ref_pairs () =
+  let inputs3 = [ ("X", [| 4; 4 |]); ("Y", [| 4; 4 |]); ("Z", [| 4; 4 |]) ] in
+  let distr_lhs =
+    simple_graph ~inputs:inputs3 (fun bld -> function
+      | [ x; y; z ] ->
+          let s = prim bld (Op.Binary Op.Add) [ x; y ] in
+          prim bld (Op.Binary Op.Mul) [ s; z ]
+      | _ -> assert false)
+  in
+  let distr_rhs =
+    simple_graph ~inputs:inputs3 (fun bld -> function
+      | [ x; y; z ] ->
+          let xz = prim bld (Op.Binary Op.Mul) [ x; z ] in
+          let yz = prim bld (Op.Binary Op.Mul) [ y; z ] in
+          prim bld (Op.Binary Op.Add) [ xz; yz ]
+      | _ -> assert false)
+  in
+  let inputs2 = [ ("X", [| 4; 4 |]); ("Y", [| 4; 4 |]) ] in
+  let div_xy =
+    simple_graph ~inputs:inputs2 (fun bld -> function
+      | [ x; y ] -> prim bld (Op.Binary Op.Div) [ x; y ]
+      | _ -> assert false)
+  in
+  let div_yx =
+    simple_graph ~inputs:inputs2 (fun bld -> function
+      | [ x; y ] -> prim bld (Op.Binary Op.Div) [ y; x ]
+      | _ -> assert false)
+  in
+  let rms_spec = Baselines.Templates.rmsnorm_matmul_spec ~b:4 ~h:8 ~d:16 in
+  let rms_fused =
+    Baselines.Templates.rmsnorm_matmul_fused ~b:4 ~h:8 ~d:16 ~grid:2 ~iters:2
+  in
+  [
+    ("distributivity", distr_lhs, distr_rhs);
+    ("swapped div", div_xy, div_yx);
+    ("fused rmsnorm (sqrt oracle)", rms_spec, rms_fused);
+  ]
+
+let test_fast_matches_reference () =
+  List.iter
+    (fun (name, spec, cand) ->
+      List.iter
+        (fun seed ->
+          let fast = RT.equivalent_detailed ~seed ~fast:true ~spec cand in
+          let slow = RT.equivalent_detailed ~seed ~fast:false ~spec cand in
+          Alcotest.check detail_t
+            (Printf.sprintf "%s (seed %d)" name seed)
+            slow fast)
+        [ 0x5EED; 1; 42 ])
+    (fast_ref_pairs ())
+
+let test_fast_matches_reference_resamples () =
+  (* X / (Y - Z) hits zero divisor components often enough (64 elements,
+     ~1/227 each) that resampling fires across 20 seeds; both paths must
+     resample at exactly the same trials. *)
+  let inputs = [ ("X", [| 8; 8 |]); ("Y", [| 8; 8 |]); ("Z", [| 8; 8 |]) ] in
+  let mk () =
+    simple_graph ~inputs (fun bld -> function
+      | [ x; y; z ] ->
+          let d = prim bld (Op.Binary Op.Sub) [ y; z ] in
+          prim bld (Op.Binary Op.Div) [ x; d ]
+      | _ -> assert false)
+  in
+  let spec = mk () and cand = mk () in
+  let total = ref 0 in
+  for seed = 0 to 19 do
+    let fast = RT.equivalent_detailed ~seed ~fast:true ~spec cand in
+    let slow = RT.equivalent_detailed ~seed ~fast:false ~spec cand in
+    Alcotest.check detail_t (Printf.sprintf "seed %d" seed) slow fast;
+    total := !total + fast.RT.resamples
+  done;
+  Alcotest.(check bool) "resampling actually exercised" true (!total > 0)
+
+let test_session_spec_cache_hits () =
+  let pairs = fast_ref_pairs () in
+  let _, spec, cand = List.hd pairs in
+  let session = RT.make_session ~spec () in
+  let hits_c =
+    Obs.Metrics.counter (Obs.Metrics.default ()) "verify.spec_cache.hits"
+  in
+  let before = Obs.Metrics.value hits_c in
+  (* Two candidates against one session: the second reuses every trial
+     seed's cached spec outputs. *)
+  Alcotest.(check string) "cand 1" "equivalent"
+    (RT.to_string (RT.equivalent ~session ~spec cand));
+  Alcotest.(check string) "cand 2 (spec vs itself)" "equivalent"
+    (RT.to_string (RT.equivalent ~session ~spec spec));
+  let hits = Obs.Metrics.value hits_c - before in
+  Alcotest.(check bool)
+    (Printf.sprintf "spec cache shared across candidates (hits=%d)" hits)
+    true (hits > 0)
+
+let test_session_path_selection () =
+  let _, spec, cand = List.hd (fast_ref_pairs ()) in
+  let fast_s = RT.make_session ~spec () in
+  Alcotest.(check bool) "default moduli take the packed path" true
+    (RT.session_fast fast_s);
+  let ref_s = RT.make_session ~fast:false ~spec () in
+  Alcotest.(check bool) "~fast:false forces the boxed path" false
+    (RT.session_fast ref_s);
+  (* Moduli too large for the 8-bit packed layout silently degrade. *)
+  let big_s = RT.make_session ~p:1999 ~q:37 ~spec () in
+  Alcotest.(check bool) "p=1999 falls back to the boxed path" false
+    (RT.session_fast big_s);
+  Alcotest.(check string) "boxed fallback still verifies" "equivalent"
+    (RT.to_string (RT.equivalent ~session:big_s ~spec cand))
+
 let () =
   Alcotest.run "verify"
     [
@@ -444,6 +562,17 @@ let () =
         [
           Alcotest.test_case "larger field" `Quick test_larger_field;
           Alcotest.test_case "Theorem 3 arithmetic" `Quick test_error_bound;
+        ] );
+      ( "fastpath",
+        [
+          Alcotest.test_case "fast verdicts match reference" `Quick
+            test_fast_matches_reference;
+          Alcotest.test_case "resample behavior matches" `Quick
+            test_fast_matches_reference_resamples;
+          Alcotest.test_case "session spec cache hits" `Quick
+            test_session_spec_cache_hits;
+          Alcotest.test_case "path selection and fallback" `Quick
+            test_session_path_selection;
         ] );
       ( "symbolic",
         [
