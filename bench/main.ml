@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- casestudy <gqa|qknorm|rmsnorm|lora|gatedmlp|ntrans>
      dune exec bench/main.exe -- gqa_sweep
      dune exec bench/main.exe -- verify
+     dune exec bench/main.exe -- serve
      dune exec bench/main.exe -- micro
 
    Several suites may be given at once (e.g. `fig7 verify --history F`)
@@ -36,6 +37,12 @@ let history_costs : (string * float) list ref = ref []
    time — lower is better). Wall-clock, so the gate treats them with the
    same leniency as wall_s. *)
 let history_verify : (string * float) list ref = ref []
+
+(* Service latency ratios from the `serve` suite, keyed
+   "serve.<benchmark>.warm_over_cold" (warm-cache request time / cold
+   search request time — lower is better, and far below 1 when the
+   result cache is healthy). Wall-clock; gated leniently like verify. *)
+let history_serve : (string * float) list ref = ref []
 
 let jsuite name =
   if not (List.mem name !json_suites) then
@@ -438,6 +445,102 @@ let verify_bench () =
     (Workloads.Bench_defs.all ())
 
 (* ------------------------------------------------------------------ *)
+(* Optimization service: cold search vs warm cache, measured through   *)
+(* the real Unix socket (connect + frame + search-or-cache + reply).   *)
+(* ------------------------------------------------------------------ *)
+
+let serve_bench () =
+  hr "Service latency: cold search vs warm result cache (through the socket)";
+  jsuite "serve";
+  let socket_path = Filename.temp_file "mirage_serve" ".sock" in
+  let cache_dir = Filename.temp_file "mirage_serve_cache" "" in
+  Sys.remove cache_dir;
+  Unix.mkdir cache_dir 0o755;
+  (* The same small deterministic search the service tests use: every
+     benchmark's cold search finishes in seconds, so one bench run
+     exercises all six cold/warm pairs. *)
+  let base_config =
+    {
+      Search.Config.default with
+      Search.Config.grid_candidates = [ [| 2 |] ];
+      forloop_candidates = [ [| 2 |] ];
+      max_block_ops = 3;
+      num_workers = 1;
+      time_budget_s = 90.0;
+    }
+  in
+  let server =
+    Service.Server.create ~base_config ~socket_path ~cache_dir ()
+  in
+  Service.Server.start server;
+  if not (Service.Client.wait_ready ~socket_path ()) then begin
+    Printf.eprintf "serve: daemon did not come up on %s\n" socket_path;
+    exit 1
+  end;
+  Printf.printf "%-10s %10s %10s %9s %7s\n" "benchmark" "cold ms" "warm ms"
+    "speedup" "cached";
+  let failures = ref 0 in
+  List.iter
+    (fun (b : Workloads.Bench_defs.benchmark) ->
+      let name = b.Workloads.Bench_defs.name in
+      let timed () =
+        let t0 = Unix.gettimeofday () in
+        match Service.Client.optimize ~socket_path ~benchmark:name () with
+        | Ok resp -> (Unix.gettimeofday () -. t0, resp)
+        | Error m ->
+            Printf.eprintf "serve: %s request failed: %s\n" name m;
+            exit 1
+      in
+      let cold_s, cold_resp = timed () in
+      (* best of five warm round trips: the cache answer is microseconds,
+         the socket round trip dominates and jitters *)
+      let warm_s = ref infinity in
+      let warm_resp = ref cold_resp in
+      for _ = 1 to 5 do
+        let s, r = timed () in
+        if s < !warm_s then begin
+          warm_s := s;
+          warm_resp := r
+        end
+      done;
+      let cached j =
+        match Obs.Jsonw.member "cached" j with
+        | Some (Obs.Jsonw.Bool v) -> v
+        | _ -> false
+      in
+      if cached cold_resp || not (cached !warm_resp) then begin
+        Printf.eprintf "serve: %s cold/warm cache states wrong\n" name;
+        incr failures
+      end;
+      let speedup = cold_s /. !warm_s in
+      if speedup < 50.0 then begin
+        Printf.eprintf "serve: %s warm speedup %.1fx below the 50x floor\n"
+          name speedup;
+        incr failures
+      end;
+      Printf.printf "%-10s %10.1f %10.2f %8.0fx %7b\n" name (1e3 *. cold_s)
+        (1e3 *. !warm_s) speedup (cached !warm_resp);
+      jpush
+        Obs.Jsonw.
+          [
+            ("suite", Str "serve");
+            ("benchmark", Str name);
+            ("cold_s", Float cold_s);
+            ("warm_s", Float !warm_s);
+            ("speedup", Float speedup);
+          ];
+      history_serve :=
+        !history_serve
+        @ [ (Printf.sprintf "serve.%s.warm_over_cold" name, !warm_s /. cold_s) ])
+    (Workloads.Bench_defs.all ());
+  ignore (Service.Client.shutdown ~socket_path);
+  Service.Server.wait server;
+  if !failures > 0 then begin
+    Printf.eprintf "serve suite FAILED (%d violation(s))\n" !failures;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Microbenchmarks (Bechamel): real wall-clock of this reproduction's  *)
 (* own components.                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -606,8 +709,45 @@ let gate_history ~prev ~wall_s ~pct =
           kvs
     | _ -> []
   in
+  let serve_viols =
+    (* warm/cold latency ratios: wall-clock both sides, gated with the
+       same leniency as the verify ratios *)
+    match Obs.Jsonw.member "serve" prev with
+    | Some (Obs.Jsonw.Obj kvs) ->
+        List.filter_map
+          (fun (key, v) ->
+            match (jnum v, List.assoc_opt key !history_serve) with
+            | Some old_r, Some new_r
+              when old_r > 0.0
+                   && new_r -. old_r > 10.0 *. frac *. old_r
+                   && new_r -. old_r > 0.02 ->
+                Some
+                  (Printf.sprintf
+                     "%s: %.4f -> %.4f (%+.1f%%, lenient threshold %.1f%% and \
+                      +0.02)"
+                     key old_r new_r
+                     (100.0 *. (new_r -. old_r) /. old_r)
+                     (10.0 *. pct))
+            | _ -> None)
+          kvs
+    | _ -> []
+  in
   let wall_viols =
-    match Option.bind (Obs.Jsonw.member "wall_s" prev) jnum with
+    (* Wall time is only comparable when the same suites ran: a run that
+       adds a suite is slower by construction, not by regression. Entries
+       that predate the "suites" field can't be compared either way, so
+       the wall gate skips them (and resumes at the next entry). *)
+    let same_suites =
+      match Obs.Jsonw.member "suites" prev with
+      | Some (Obs.Jsonw.List l) ->
+          List.filter_map (function Obs.Jsonw.Str s -> Some s | _ -> None) l
+          = !json_suites
+      | _ -> false
+    in
+    match
+      if same_suites then Option.bind (Obs.Jsonw.member "wall_s" prev) jnum
+      else None
+    with
     | Some old_s
       when old_s > 0.0
            && (wall_s -. old_s) /. old_s > 10.0 *. frac
@@ -622,7 +762,7 @@ let gate_history ~prev ~wall_s ~pct =
         ]
     | _ -> []
   in
-  cost_viols @ verify_viols @ wall_viols
+  cost_viols @ verify_viols @ serve_viols @ wall_viols
 
 let append_history ~file ~wall_s =
   let entry =
@@ -631,20 +771,31 @@ let append_history ~file ~wall_s =
          ("schema", Obs.Jsonw.Str history_schema);
          ("ts", Obs.Jsonw.Float (Unix.gettimeofday ()));
          ("wall_s", Obs.Jsonw.Float wall_s);
+         ( "suites",
+           Obs.Jsonw.List
+             (List.map (fun s -> Obs.Jsonw.Str s) !json_suites) );
          ( "costs",
            Obs.Jsonw.Obj
              (List.map (fun (k, v) -> (k, Obs.Jsonw.Float v)) !history_costs)
          );
        ]
+      @ (if !history_verify = [] then []
+         else
+           [
+             ( "verify",
+               Obs.Jsonw.Obj
+                 (List.map
+                    (fun (k, v) -> (k, Obs.Jsonw.Float v))
+                    !history_verify) );
+           ])
       @
-      if !history_verify = [] then []
+      if !history_serve = [] then []
       else
         [
-          ( "verify",
+          ( "serve",
             Obs.Jsonw.Obj
-              (List.map
-                 (fun (k, v) -> (k, Obs.Jsonw.Float v))
-                 !history_verify) );
+              (List.map (fun (k, v) -> (k, Obs.Jsonw.Float v)) !history_serve)
+          );
         ])
   in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
@@ -653,9 +804,9 @@ let append_history ~file ~wall_s =
   close_out oc
 
 let finish_history ~file ~gate_pct ~wall_s =
-  if !history_costs = [] && !history_verify = [] then begin
+  if !history_costs = [] && !history_verify = [] && !history_serve = [] then begin
     Printf.eprintf
-      "--history: nothing recorded (run the fig7 and/or verify suite)\n";
+      "--history: nothing recorded (run the fig7, verify and/or serve suite)\n";
     exit 2
   end;
   let violations =
@@ -666,9 +817,11 @@ let finish_history ~file ~gate_pct ~wall_s =
   if violations = [] then begin
     append_history ~file ~wall_s;
     Printf.printf
-      "appended bench history entry (%d costs, %d verify ratios) to %s\n"
+      "appended bench history entry (%d costs, %d verify ratios, %d serve \
+       ratios) to %s\n"
       (List.length !history_costs)
       (List.length !history_verify)
+      (List.length !history_serve)
       file
   end
   else begin
@@ -705,7 +858,7 @@ let () =
   let t0 = Unix.gettimeofday () in
   let usage () =
     prerr_endline
-      "usage: main.exe [fig7|fig11|verify|table5 [--full]|casestudy \
+      "usage: main.exe [fig7|fig11|verify|serve|table5 [--full]|casestudy \
        <name>|gqa_sweep|ablation|micro]... [--json FILE] [--history FILE \
        [--gate PCT]]";
     exit 2
@@ -740,6 +893,9 @@ let () =
         dispatch rest
     | "micro" :: rest ->
         micro ();
+        dispatch rest
+    | "serve" :: rest ->
+        serve_bench ();
         dispatch rest
     | _ -> usage ()
   in

@@ -786,6 +786,120 @@ let symverify_cmd =
           symbolic verifier (paper §7's solver-based path)")
     Term.(const run $ bench_arg)
 
+(* ------------------------------------------------------------------ *)
+(* The optimization service: a daemon with a fingerprint-keyed result
+   cache, and a one-shot client for it.                                *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/mirage-serve.sock"
+    & info [ "socket"; "s" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on.")
+
+let serve_cmd =
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt string ".mirage-cache"
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"On-disk result cache directory (content-addressed).")
+  in
+  let max_searches_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "max-searches" ] ~docv:"N"
+          ~doc:"Concurrent searches the daemon runs (each fans out over \
+                --workers domains).")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Journal request/search lifecycle events to $(docv).")
+  in
+  let run socket cache_dir device max_ops workers budget reference_verify
+      max_searches journal =
+    (match journal with
+    | Some path -> ignore (Obs.Journal.enable path)
+    | None -> ());
+    let base_config =
+      {
+        Search.Config.default with
+        Search.Config.max_block_ops = max_ops;
+        num_workers = workers;
+        time_budget_s = budget;
+        verify_fast_path = not reference_verify;
+      }
+    in
+    let server =
+      Service.Server.create ~device ~base_config
+        ~max_concurrent_searches:max_searches ~socket_path:socket
+        ~cache_dir ()
+    in
+    Printf.printf "mirage service: socket %s, cache %s, device %s\n%!" socket
+      cache_dir device.Gpusim.Device.name;
+    Service.Server.run server;
+    (* flush the journal before exiting so the last lifecycle events of
+       a short-lived daemon (CI smokes) reach disk *)
+    Obs.Journal.disable ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the optimization service daemon: a Unix-socket server with \
+          a fingerprint-keyed muGraph result cache and single-flight \
+          coalescing of identical concurrent requests")
+    Term.(
+      const run $ socket_arg $ cache_dir_arg $ device_arg $ ops_arg
+      $ workers_arg $ budget_arg $ ref_verify_arg $ max_searches_arg
+      $ journal_arg)
+
+let request_cmd =
+  let what_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WHAT"
+          ~doc:
+            "A benchmark name (sends an optimize request), or one of \
+             $(b,status), $(b,stats), $(b,shutdown).")
+  in
+  let run socket what max_ops workers budget =
+    let resp =
+      match what with
+      | "status" | "stats" | "shutdown" ->
+          Service.Client.request ~socket_path:socket
+            (Obs.Jsonw.Obj [ ("op", Obs.Jsonw.Str what) ])
+      | benchmark ->
+          Service.Client.optimize
+            ~fields:
+              [
+                ("max_block_ops", Obs.Jsonw.Int max_ops);
+                ("workers", Obs.Jsonw.Int workers);
+                ("budget_s", Obs.Jsonw.Float budget);
+              ]
+            ~socket_path:socket ~benchmark ()
+    in
+    match resp with
+    | Error m ->
+        Printf.eprintf "request failed: %s\n" m;
+        exit 1
+    | Ok j -> (
+        print_endline (Obs.Jsonw.pretty j);
+        match Obs.Jsonw.member "status" j with
+        | Some (Obs.Jsonw.Str "ok") -> ()
+        | _ -> exit 1)
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Send one request to a running optimization service and print \
+          the JSON response")
+    Term.(
+      const run $ socket_arg $ what_arg $ ops_arg $ workers_arg $ budget_arg)
+
 let () =
   let info =
     Cmd.info "mirage-cli" ~version:"1.0.0"
@@ -805,4 +919,6 @@ let () =
             emit_cmd;
             explain_cmd;
             diff_cmd;
+            serve_cmd;
+            request_cmd;
           ]))

@@ -438,22 +438,12 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
                 | None -> [])
             end
             else if
-              cfg.Config.use_abstract_pruning
-              && not (Smtlite.Solver.check_subexpr_nf solver nf)
-            then begin
-              Stats.bump_pruned stats;
-              Obs.Metrics.observe h_rej_pruned depth;
-              jreject ~depth:st.ops cand "pruned_abstract"
-                (match journal with
-                | Some _ ->
-                    [
-                      ("expr", Obs.Jsonw.Str (Absexpr.Nf.to_string nf));
-                      ( "failed_check",
-                        Obs.Jsonw.Str "subexpr(E(G), E_O) under A_eq ∪ A_sub"
-                      );
-                    ]
-                | None -> [])
-            end
+              Prune.reject_if_pruned cfg ~solver ~stats ~hist:h_rej_pruned
+                ~depth:st.ops
+                ~jreject:(fun reason extra ->
+                  jreject ~depth:st.ops cand reason extra)
+                ~journal_live:(journal <> None) nf
+            then ()
             else
               let e = { bop; bins; shape; nf; phase; bytes } in
               let st' =

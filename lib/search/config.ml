@@ -210,3 +210,27 @@ let to_json (c : t) =
       ("max_task_failures", Int c.max_task_failures);
       ("verify_fast_path", Bool c.verify_fast_path);
     ]
+
+(* Fields with no bearing on which muGraph the search returns: worker
+   count and budgets only decide how long the search may run, the crash
+   tolerance only decides when it aborts, and the fast verify path
+   returns the same verdicts as the reference path. Everything else —
+   operator menus, depth caps, grid/loop candidates, pruning switches —
+   changes the candidate set and so must key a result cache. *)
+let result_irrelevant_keys =
+  [
+    "num_workers";
+    "node_budget";
+    "time_budget_s";
+    "max_task_failures";
+    "verify_fast_path";
+  ]
+
+let search_relevant_json c =
+  match to_json c with
+  | Obs.Jsonw.Obj fields ->
+      Obs.Jsonw.Obj
+        (List.filter
+           (fun (k, _) -> not (List.mem k result_irrelevant_keys))
+           fields)
+  | v -> v

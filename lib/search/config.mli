@@ -49,3 +49,12 @@ val to_json : t -> Obs.Jsonw.t
 (** A config fingerprint for run reports: every field rendered as JSON
     (operator menus as name lists, grid/loop candidates as arrays), so
     two runs can be compared field by field with [mirage_cli diff]. *)
+
+val result_irrelevant_keys : string list
+(** Field names of {!to_json} that cannot change which muGraph the search
+    returns (budgets, worker count, crash tolerance, verify path choice).
+    A result cache must ignore exactly these. *)
+
+val search_relevant_json : t -> Obs.Jsonw.t
+(** {!to_json} with {!result_irrelevant_keys} removed — the part of the
+    config a fingerprint-keyed result cache keys on. *)

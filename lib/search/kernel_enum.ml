@@ -192,18 +192,9 @@ let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ~emit =
                 jreject "duplicate" []
               end
               else if
-                cfg.Config.use_abstract_pruning
-                && not (Smtlite.Solver.check_subexpr_nf solver nf)
-              then begin
-                Stats.bump_pruned stats;
-                Obs.Metrics.observe h_rej_pruned depth;
-                jreject "pruned_abstract"
-                  [
-                    ("expr", Obs.Jsonw.Str (Absexpr.Nf.to_string nf));
-                    ( "failed_check",
-                      Obs.Jsonw.Str "subexpr(E(G), E_O) under A_eq ∪ A_sub" );
-                  ]
-              end
+                Prune.reject_if_pruned cfg ~solver ~stats ~hist:h_rej_pruned
+                  ~depth:st.ops ~jreject ~journal_live:(journal <> None) nf
+              then ()
               else begin
                 (match journal with
                 | Some j ->

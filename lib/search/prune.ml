@@ -1,0 +1,36 @@
+(* The abstract-expression prune check (paper §5: a prefix survives only
+   if its abstract expression is a subexpression of some goal output
+   under the axioms A_eq ∪ A_sub), shared by the kernel-level and
+   block-level enumerators.
+
+   Both enumerators used to inline the same check + stats bump + journal
+   event; this module is the single site, so the funnel counter, the
+   per-depth histogram and the journal reject record can never drift
+   apart between levels. *)
+
+let check (cfg : Config.t) ~solver nf =
+  cfg.Config.use_abstract_pruning
+  && not (Smtlite.Solver.check_subexpr_nf solver nf)
+
+let journal_fields nf =
+  [
+    ("expr", Obs.Jsonw.Str (Absexpr.Nf.to_string nf));
+    ("failed_check", Obs.Jsonw.Str "subexpr(E(G), E_O) under A_eq ∪ A_sub");
+  ]
+
+(* [reject_if_pruned] returns [true] when the prefix must be discarded,
+   after bumping the funnel counter, observing the depth histogram and
+   emitting the journal reject through [jreject]. [journal_live] keeps
+   the Jsonw field construction off the hot path when no journal is
+   installed (the enumerators' [jreject] wrappers drop the event
+   anyway). *)
+let reject_if_pruned (cfg : Config.t) ~solver ~stats ~hist ~depth
+    ~(jreject : string -> (string * Obs.Jsonw.t) list -> unit) ~journal_live
+    nf =
+  if check cfg ~solver nf then begin
+    Stats.bump_pruned stats;
+    Obs.Metrics.observe hist (float_of_int depth);
+    jreject "pruned_abstract" (if journal_live then journal_fields nf else []);
+    true
+  end
+  else false

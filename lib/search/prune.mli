@@ -1,0 +1,27 @@
+(** The shared abstract-expression prune check (paper §5): one site for
+    the subexpression test, its funnel counter, its per-depth histogram
+    and its journal reject record, used by both the kernel-level and the
+    block-level enumerator so the two levels can never account for the
+    same rejection differently. *)
+
+val check : Config.t -> solver:Smtlite.Solver.t -> Absexpr.Nf.t -> bool
+(** [check cfg ~solver nf] is [true] when abstract pruning is enabled and
+    [nf] fails the subexpression check against the goal outputs. *)
+
+val journal_fields : Absexpr.Nf.t -> (string * Obs.Jsonw.t) list
+(** The journal payload of a [pruned_abstract] reject (the failing
+    expression and the name of the failed check). *)
+
+val reject_if_pruned :
+  Config.t ->
+  solver:Smtlite.Solver.t ->
+  stats:Stats.t ->
+  hist:Obs.Metrics.histogram ->
+  depth:int ->
+  jreject:(string -> (string * Obs.Jsonw.t) list -> unit) ->
+  journal_live:bool ->
+  Absexpr.Nf.t ->
+  bool
+(** Run the check; on failure bump the [pruned_abstract] funnel counter,
+    observe [hist] at [depth], emit the reject via [jreject] (with the
+    full payload only when [journal_live]) and return [true]. *)

@@ -1,0 +1,223 @@
+(* Two-tier fingerprint-keyed result store.
+
+   Tier 1 is a small in-memory LRU (assoc list, most-recent first —
+   capacities are tens of entries, so O(n) moves are noise next to the
+   searches the cache elides). Tier 2 is a content-addressed directory:
+
+     <dir>/<fp[0:2]>/<fp>/result.json
+
+   Each result.json is a schema-versioned envelope around the caller's
+   payload. Writes are atomic (temp file in the final directory, then
+   rename) so a crash mid-store never leaves a torn entry; a torn or
+   tampered entry found at read time is quarantined (renamed to
+   result.json.quarantined next to where it lay, for forensics) and
+   reported as a miss instead of crashing the daemon.
+
+   All hit/miss/store/evict/quarantine traffic is counted in the
+   process-wide Obs metrics registry under service.cache.*. *)
+
+module J = Obs.Jsonw
+
+let entry_schema = "mirage.service.result.v1"
+
+type t = {
+  dir : string;
+  mem_capacity : int;
+  lock : Mutex.t;
+  mutable mem : (string * J.t) list;  (* most-recent first *)
+  c_hit_mem : Obs.Metrics.counter;
+  c_hit_disk : Obs.Metrics.counter;
+  c_miss : Obs.Metrics.counter;
+  c_store : Obs.Metrics.counter;
+  c_evict : Obs.Metrics.counter;
+  c_quarantine : Obs.Metrics.counter;
+}
+
+let rec mkdir_p path =
+  if path <> "" && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?(mem_capacity = 64) ?(registry = Obs.Metrics.default ()) ~dir ()
+    =
+  mkdir_p dir;
+  let c name help = Obs.Metrics.counter registry ~help name in
+  {
+    dir;
+    mem_capacity = max 1 mem_capacity;
+    lock = Mutex.create ();
+    mem = [];
+    c_hit_mem = c "service.cache.hit.mem" "result served from the in-memory tier";
+    c_hit_disk = c "service.cache.hit.disk" "result served from the on-disk tier";
+    c_miss = c "service.cache.miss" "fingerprint not present in either tier";
+    c_store = c "service.cache.store" "results written to the store";
+    c_evict = c "service.cache.evict" "in-memory LRU evictions";
+    c_quarantine =
+      c "service.cache.quarantine"
+        "corrupted on-disk entries moved aside instead of served";
+  }
+
+let dir t = t.dir
+
+let entry_dir t fp =
+  Filename.concat
+    (Filename.concat t.dir (String.sub (fp ^ "00") 0 2))
+    fp
+
+let entry_path t fp = Filename.concat (entry_dir t fp) "result.json"
+
+(* --- in-memory tier (caller holds t.lock) --------------------------- *)
+
+let mem_find_locked t fp =
+  match List.assoc_opt fp t.mem with
+  | None -> None
+  | Some v ->
+      t.mem <- (fp, v) :: List.remove_assoc fp t.mem;
+      Some v
+
+let mem_insert_locked t fp v =
+  t.mem <- (fp, v) :: List.remove_assoc fp t.mem;
+  let rec trim i = function
+    | [] -> []
+    | _ :: rest when i >= t.mem_capacity ->
+        Obs.Metrics.bump t.c_evict;
+        trim (i + 1) rest
+    | x :: rest -> x :: trim (i + 1) rest
+  in
+  t.mem <- trim 0 t.mem
+
+(* --- quarantine ------------------------------------------------------ *)
+
+let quarantine_locked t fp ~reason =
+  Obs.Metrics.bump t.c_quarantine;
+  t.mem <- List.remove_assoc fp t.mem;
+  let path = entry_path t fp in
+  Obs.Log.warn (fun m ->
+      m "service.cache: quarantining %s: %s" path reason);
+  Obs.Journal.event "cache.quarantine"
+    [ ("fingerprint", J.Str fp); ("reason", J.Str reason) ];
+  if Sys.file_exists path then (
+    try Sys.rename path (path ^ ".quarantined")
+    with _ -> ( try Sys.remove path with _ -> ()))
+
+let quarantine t fp ~reason =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> quarantine_locked t fp ~reason)
+
+(* --- disk tier ------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Validate everything about the envelope before trusting it; any defect
+   is a quarantine, never an exception escaping to the caller. *)
+let disk_find_locked t fp =
+  let path = entry_path t fp in
+  if not (Sys.file_exists path) then None
+  else
+    let bad reason =
+      quarantine_locked t fp ~reason;
+      None
+    in
+    match read_file path with
+    | exception e -> bad (Printf.sprintf "unreadable: %s" (Printexc.to_string e))
+    | s -> (
+        match J.of_string s with
+        | Error msg -> bad (Printf.sprintf "unparsable: %s" msg)
+        | Ok j -> (
+            match (J.member "schema" j, J.member "fingerprint" j) with
+            | Some (J.Str sch), _ when sch <> entry_schema ->
+                bad (Printf.sprintf "schema %S, want %S" sch entry_schema)
+            | _, Some (J.Str f) when f <> fp ->
+                bad (Printf.sprintf "fingerprint mismatch: entry says %s" f)
+            | Some (J.Str _), Some (J.Str _) -> (
+                match J.member "payload" j with
+                | Some payload -> Some payload
+                | None -> bad "no payload field")
+            | _ -> bad "missing schema or fingerprint field"))
+
+(* --- public API ------------------------------------------------------ *)
+
+let find t fp =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      match mem_find_locked t fp with
+      | Some v ->
+          Obs.Metrics.bump t.c_hit_mem;
+          Some v
+      | None -> (
+          match disk_find_locked t fp with
+          | Some v ->
+              Obs.Metrics.bump t.c_hit_disk;
+              mem_insert_locked t fp v;
+              Some v
+          | None ->
+              Obs.Metrics.bump t.c_miss;
+              None))
+
+let envelope fp payload =
+  J.Obj
+    [
+      ("schema", J.Str entry_schema);
+      ("fingerprint", J.Str fp);
+      ("payload", payload);
+    ]
+
+let store t fp payload =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      Obs.Metrics.bump t.c_store;
+      mem_insert_locked t fp payload;
+      let d = entry_dir t fp in
+      (try
+         mkdir_p d;
+         let tmp =
+           Filename.concat d
+             (Printf.sprintf ".result.json.tmp.%d" (Unix.getpid ()))
+         in
+         J.to_file tmp (envelope fp payload);
+         Sys.rename tmp (entry_path t fp)
+       with e ->
+         (* a store failure degrades (the next request re-searches) but
+            must never take the daemon down *)
+         Obs.Budget.degrade "service.cache.write";
+         Obs.Log.warn (fun m ->
+             m "service.cache: store %s failed: %s" fp
+               (Printexc.to_string e))))
+
+let clear_mem t =
+  Mutex.lock t.lock;
+  t.mem <- [];
+  Mutex.unlock t.lock
+
+let mem_entries t =
+  Mutex.lock t.lock;
+  let n = List.length t.mem in
+  Mutex.unlock t.lock;
+  n
+
+let disk_entries t =
+  let count = ref 0 in
+  (try
+     Array.iter
+       (fun shard ->
+         let sd = Filename.concat t.dir shard in
+         if Sys.is_directory sd then
+           Array.iter
+             (fun fp ->
+               if Sys.file_exists (Filename.concat (Filename.concat sd fp) "result.json")
+               then incr count)
+             (Sys.readdir sd))
+       (Sys.readdir t.dir)
+   with Sys_error _ -> ());
+  !count

@@ -1,0 +1,53 @@
+(** The two-tier μGraph result store: a small in-memory LRU over an
+    on-disk content-addressed directory of schema-versioned
+    [result.json] entries.
+
+    Disk entries live at [<dir>/<fp[0:2]>/<fp>/result.json] and wrap the
+    caller's payload in an envelope carrying {!entry_schema} and the
+    fingerprint; writes are atomic (temp + rename). A corrupted entry —
+    unreadable, unparsable, wrong schema, mismatched fingerprint — is
+    {e quarantined} (renamed to [result.json.quarantined]) and treated
+    as a miss, never an exception: a tampered cache degrades the service
+    to re-searching, it cannot crash it.
+
+    All traffic is counted in [service.cache.*] ({!Obs.Metrics}):
+    [hit.mem], [hit.disk], [miss], [store], [evict], [quarantine]. *)
+
+type t
+
+val entry_schema : string
+
+val create :
+  ?mem_capacity:int -> ?registry:Obs.Metrics.t -> dir:string -> unit -> t
+(** Opens (and creates if needed) the store rooted at [dir].
+    [mem_capacity] bounds the in-memory tier (default 64 results).
+    Metrics register in [registry] (default: the process-wide
+    registry). Thread-safe. *)
+
+val dir : t -> string
+
+val find : t -> string -> Obs.Jsonw.t option
+(** [find t fp] returns the cached payload, promoting disk hits into the
+    memory tier. Corrupted disk entries are quarantined and reported as
+    a miss. *)
+
+val store : t -> string -> Obs.Jsonw.t -> unit
+(** [store t fp payload] writes both tiers. A disk write failure is
+    logged and degrades the run ([service.cache.write]) but does not
+    raise. *)
+
+val quarantine : t -> string -> reason:string -> unit
+(** Forcibly quarantine an entry (both tiers) — used by callers that
+    discover a payload is semantically invalid (e.g. its graph fails to
+    decode) after {!find} accepted the envelope. *)
+
+val entry_path : t -> string -> string
+(** The on-disk path of a fingerprint's [result.json] (exposed for tests
+    and forensics). *)
+
+val clear_mem : t -> unit
+(** Drop the in-memory tier (simulates a daemon restart over a warm
+    disk). *)
+
+val mem_entries : t -> int
+val disk_entries : t -> int

@@ -1,0 +1,58 @@
+(* One-shot client for the optimization service: connect to the Unix
+   socket, send one request frame, read one response frame. *)
+
+module J = Obs.Jsonw
+
+let connect ~socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let request ~socket_path req =
+  match connect ~socket_path with
+  | exception e ->
+      Error
+        (Printf.sprintf "connect %s: %s" socket_path (Printexc.to_string e))
+  | fd -> (
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          match
+            Proto.write_frame fd req;
+            Proto.read_frame fd
+          with
+          | resp -> Ok resp
+          | exception End_of_file -> Error "connection closed by server"
+          | exception Proto.Protocol_error m -> Error m
+          | exception Unix.Unix_error (e, fn, _) ->
+              Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))))
+
+let optimize ?(fields = []) ~socket_path ~benchmark () =
+  request ~socket_path
+    (J.Obj ([ ("op", J.Str "optimize"); ("benchmark", J.Str benchmark) ] @ fields))
+
+let optimize_graph ?(fields = []) ~socket_path graph_json =
+  request ~socket_path
+    (J.Obj ([ ("op", J.Str "optimize"); ("graph", graph_json) ] @ fields))
+
+let simple ~socket_path op = request ~socket_path (J.Obj [ ("op", J.Str op) ])
+let status ~socket_path = simple ~socket_path "status"
+let stats ~socket_path = simple ~socket_path "stats"
+let shutdown ~socket_path = simple ~socket_path "shutdown"
+
+(* Poll until the server socket accepts a connection (daemon startup). *)
+let wait_ready ?(timeout_s = 10.0) ~socket_path () =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if Unix.gettimeofday () -. t0 > timeout_s then false
+    else
+      match status ~socket_path with
+      | Ok _ -> true
+      | Error _ ->
+          ignore (Unix.select [] [] [] 0.05);
+          go ()
+  in
+  go ()

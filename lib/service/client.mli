@@ -1,0 +1,30 @@
+(** One-shot client for the optimization service. Every call opens a
+    fresh connection, sends one frame, reads one response. Thread- and
+    domain-safe (no shared state). *)
+
+val request :
+  socket_path:string -> Obs.Jsonw.t -> (Obs.Jsonw.t, string) result
+
+val optimize :
+  ?fields:(string * Obs.Jsonw.t) list ->
+  socket_path:string ->
+  benchmark:string ->
+  unit ->
+  (Obs.Jsonw.t, string) result
+(** [optimize ~socket_path ~benchmark ()] requests optimization of a
+    named Fig. 7 benchmark. [fields] adds request fields
+    ([max_block_ops], [budget_s], [device], …). *)
+
+val optimize_graph :
+  ?fields:(string * Obs.Jsonw.t) list ->
+  socket_path:string ->
+  Obs.Jsonw.t ->
+  (Obs.Jsonw.t, string) result
+(** Optimize an inline muGraph (Checkpoint codec JSON). *)
+
+val status : socket_path:string -> (Obs.Jsonw.t, string) result
+val stats : socket_path:string -> (Obs.Jsonw.t, string) result
+val shutdown : socket_path:string -> (Obs.Jsonw.t, string) result
+
+val wait_ready : ?timeout_s:float -> socket_path:string -> unit -> bool
+(** Poll [status] until the daemon answers (or the timeout elapses). *)

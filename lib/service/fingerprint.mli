@@ -1,0 +1,40 @@
+(** Canonical content fingerprint of an optimization request — the key
+    of the μGraph result cache.
+
+    Two requests share a fingerprint exactly when the superoptimizer is
+    guaranteed to return the same result for both: the fingerprint
+    covers the α-converted input graph (tensor/operator names replaced
+    positionally), the device's numeric parameters, and the
+    search-relevant config fields. Budgets, worker counts, crash
+    tolerance and the verify-path switch are excluded
+    ({!Search.Config.result_irrelevant_keys}), as is the device's
+    display name. *)
+
+type t = string
+(** 32 hex characters (MD5 of the canonical JSON). *)
+
+val schema : string
+
+val canonical_graph :
+  Mugraph.Graph.kernel_graph -> Mugraph.Graph.kernel_graph
+(** The α-converted graph: every [K_input] name replaced by its input
+    ordinal ["$0"], ["$1"], … Structure, shapes and operators are
+    untouched, so two graphs differing only in tensor names canonicalize
+    identically. *)
+
+val canonical_json :
+  device:Gpusim.Device.t ->
+  config:Search.Config.t ->
+  Mugraph.Graph.kernel_graph ->
+  Obs.Jsonw.t
+(** The exact document that is digested (exposed so tests can assert
+    [make a = make b ⟺ canonical_json a = canonical_json b]). *)
+
+val make :
+  device:Gpusim.Device.t ->
+  config:Search.Config.t ->
+  Mugraph.Graph.kernel_graph ->
+  t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+(* Length-prefixed JSON framing over a stream socket: 4-byte big-endian
+   payload length, then that many bytes of compact JSON. Symmetric — the
+   server and every client speak exactly this. *)
+
+module J = Obs.Jsonw
+
+exception Protocol_error of string
+
+let max_frame_bytes = 1 lsl 26 (* 64 MiB — far above any muGraph payload *)
+
+let really_write fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    let w = Unix.write_substring fd s !off (n - !off) in
+    if w <= 0 then raise (Protocol_error "short write");
+    off := !off + w
+  done
+
+let really_read fd n =
+  let buf = Bytes.create n in
+  let off = ref 0 in
+  while !off < n do
+    let r = Unix.read fd buf !off (n - !off) in
+    if r = 0 then raise End_of_file;
+    off := !off + r
+  done;
+  Bytes.unsafe_to_string buf
+
+let write_frame fd json =
+  let payload = J.to_string json in
+  let n = String.length payload in
+  if n > max_frame_bytes then
+    raise (Protocol_error (Printf.sprintf "frame too large: %d bytes" n));
+  let hdr = Bytes.create 4 in
+  Bytes.set_uint8 hdr 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 hdr 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 hdr 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 hdr 3 (n land 0xff);
+  really_write fd (Bytes.unsafe_to_string hdr);
+  really_write fd payload
+
+let read_frame fd =
+  let hdr = really_read fd 4 in
+  let b i = Char.code hdr.[i] in
+  let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  if n < 0 || n > max_frame_bytes then
+    raise (Protocol_error (Printf.sprintf "bad frame length %d" n));
+  let payload = really_read fd n in
+  match J.of_string payload with
+  | Ok j -> j
+  | Error msg -> raise (Protocol_error (Printf.sprintf "bad JSON frame: %s" msg))

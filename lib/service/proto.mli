@@ -1,0 +1,11 @@
+(** The service wire protocol: length-prefixed JSON frames (4-byte
+    big-endian length, then compact JSON) over a stream socket. *)
+
+exception Protocol_error of string
+
+val max_frame_bytes : int
+
+val write_frame : Unix.file_descr -> Obs.Jsonw.t -> unit
+val read_frame : Unix.file_descr -> Obs.Jsonw.t
+(** @raise Protocol_error on a malformed frame, [End_of_file] on a clean
+    peer close. *)

@@ -1,0 +1,535 @@
+(* The optimization service daemon.
+
+   A Unix-domain-socket server speaking the length-prefixed JSON
+   protocol of {!Proto}. Each accepted connection carries one request:
+
+     {"op":"optimize", "benchmark":"rmsnorm"}        — or "graph": <json>
+     {"op":"status"} | {"op":"stats"} | {"op":"shutdown"}
+
+   An optimize request is resolved to a specification graph, its
+   {!Fingerprint} is computed, and then:
+
+   - cache hit  → the stored result is returned verbatim (after its
+     graph is re-decoded; a semantically corrupt entry is quarantined
+     and the request falls through to a fresh search);
+   - cache miss → the request joins the single-flight table. The first
+     requester of a fingerprint runs the §4 search (under a PR 3 budget,
+     on a bounded pool of search slots — each search itself fans out
+     over [num_workers] domains); every concurrent identical request
+     blocks on the same flight and receives the same result. Exactly
+     one search runs per distinct in-flight fingerprint, however many
+     clients ask.
+
+   Request lifecycle is journaled through the global {!Obs.Journal}
+   (request.recv / cache.hit / cache.miss / search.start / search.done /
+   request.done), so "how many searches did N identical concurrent
+   requests cost?" is answerable from the flight record — the
+   concurrency stress test asserts exactly one search.start. *)
+
+module J = Obs.Jsonw
+
+(* --- a tiny counting semaphore (the search slot pool) ---------------- *)
+
+module Sem = struct
+  type t = { m : Mutex.t; c : Condition.t; mutable avail : int }
+
+  let create n = { m = Mutex.create (); c = Condition.create (); avail = n }
+
+  let acquire s =
+    Mutex.lock s.m;
+    while s.avail <= 0 do
+      Condition.wait s.c s.m
+    done;
+    s.avail <- s.avail - 1;
+    Mutex.unlock s.m
+
+  let release s =
+    Mutex.lock s.m;
+    s.avail <- s.avail + 1;
+    Condition.signal s.c;
+    Mutex.unlock s.m
+end
+
+(* --- single-flight table --------------------------------------------- *)
+
+type outcome = Done of J.t | Failed of string
+
+type flight = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable result : outcome option;  (* None while the search runs *)
+}
+
+type t = {
+  socket_path : string;
+  cache : Cache.t;
+  device : Gpusim.Device.t;
+  base_config : Search.Config.t;
+  verify_trials : int;
+  search_slots : Sem.t;
+  lock : Mutex.t;  (* guards flights, handlers, counters *)
+  flights : (string, flight) Hashtbl.t;
+  mutable handlers : Thread.t list;
+  mutable listener : Unix.file_descr option;
+  mutable accept_thread : Thread.t option;
+  stop_flag : bool Atomic.t;
+  started_at : float;
+  c_requests : Obs.Metrics.counter;
+  c_searches : Obs.Metrics.counter;
+  c_coalesced : Obs.Metrics.counter;
+  c_errors : Obs.Metrics.counter;
+  mutable in_flight : int;
+}
+
+let payload_schema = "mirage.service.payload.v1"
+
+let create ?(mem_capacity = 64) ?(registry = Obs.Metrics.default ())
+    ?(device = Gpusim.Device.a100) ?(base_config = Search.Config.default)
+    ?(verify_trials = 2) ?(max_concurrent_searches = 2) ~socket_path
+    ~cache_dir () =
+  let c name help = Obs.Metrics.counter registry ~help name in
+  {
+    socket_path;
+    cache = Cache.create ~mem_capacity ~registry ~dir:cache_dir ();
+    device;
+    base_config;
+    verify_trials;
+    search_slots = Sem.create (max 1 max_concurrent_searches);
+    lock = Mutex.create ();
+    flights = Hashtbl.create 16;
+    handlers = [];
+    listener = None;
+    accept_thread = None;
+    stop_flag = Atomic.make false;
+    started_at = Unix.gettimeofday ();
+    c_requests = c "service.requests" "requests received";
+    c_searches = c "service.searches" "searches actually run";
+    c_coalesced =
+      c "service.coalesced" "requests served by another request's search";
+    c_errors = c "service.errors" "requests answered with an error";
+    in_flight = 0;
+  }
+
+let cache t = t.cache
+
+(* --- request parsing -------------------------------------------------- *)
+
+let str_field k j =
+  match J.member k j with Some (J.Str s) -> Some s | _ -> None
+
+let int_field k j =
+  match J.member k j with Some (J.Int i) -> Some i | _ -> None
+
+let float_field k j =
+  match J.member k j with
+  | Some (J.Float f) -> Some f
+  | Some (J.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+(* The per-request search config: the server's base config with the
+   request's optional overrides applied, then specialized to the spec by
+   [Config.for_spec] (operator menus from the goal expressions, grids
+   and loops from the input dimensions) — the same derivation
+   [mirage_cli optimize] uses, so a service answer and a direct run are
+   comparable bit for bit. *)
+let request_config t req spec =
+  let base = t.base_config in
+  let base =
+    match int_field "max_block_ops" req with
+    | Some n -> { base with Search.Config.max_block_ops = n }
+    | None -> base
+  in
+  let base =
+    match int_field "workers" req with
+    | Some n -> { base with Search.Config.num_workers = n }
+    | None -> base
+  in
+  let base =
+    match float_field "budget_s" req with
+    | Some s -> { base with Search.Config.time_budget_s = s }
+    | None -> base
+  in
+  Search.Config.for_spec ~base spec
+
+let resolve_spec req =
+  match (str_field "benchmark" req, J.member "graph" req) with
+  | Some name, _ -> (
+      match Workloads.Bench_defs.by_name name with
+      | Some b ->
+          let spec, _ = b.Workloads.Bench_defs.reduced () in
+          Ok (Some name, spec)
+      | None -> Error (Printf.sprintf "unknown benchmark %S" name))
+  | None, Some gj -> (
+      match Search.Checkpoint.graph_of_json gj with
+      | Ok g -> Ok (None, g)
+      | Error m -> Error (Printf.sprintf "bad graph: %s" m))
+  | None, None -> Error "optimize needs a \"benchmark\" or a \"graph\" field"
+
+let resolve_device t req =
+  match str_field "device" req with
+  | None -> Ok t.device
+  | Some name -> (
+      match Gpusim.Device.by_name name with
+      | Some d -> Ok d
+      | None -> Error (Printf.sprintf "unknown device %S" name))
+
+(* --- the search ------------------------------------------------------- *)
+
+let result_payload ~benchmark ~(device : Gpusim.Device.t) ~spec
+    (o : Search.Generator.outcome) ~wall_s =
+  let best =
+    match o.Search.Generator.best with
+    | Some b -> b
+    | None ->
+        (* unreachable: the spec itself always participates *)
+        {
+          Search.Generator.graph = spec;
+          cost = Gpusim.Cost.cost device spec;
+        }
+  in
+  let spec_us = (Gpusim.Cost.cost device spec).Gpusim.Cost.total_us in
+  let best_us = best.Search.Generator.cost.Gpusim.Cost.total_us in
+  J.Obj
+    [
+      ("schema", J.Str payload_schema);
+      ( "benchmark",
+        match benchmark with Some n -> J.Str n | None -> J.Null );
+      ("device", J.Str device.Gpusim.Device.name);
+      ( "best",
+        J.Obj
+          [
+            ( "graph",
+              Search.Checkpoint.graph_to_json best.Search.Generator.graph );
+            ("cost", Gpusim.Cost.to_json best.Search.Generator.cost);
+          ] );
+      ("spec_us", J.Float spec_us);
+      ("optimized_us", J.Float best_us);
+      ("speedup", J.Float (if best_us > 0.0 then spec_us /. best_us else 1.0));
+      ("generated", J.Int o.Search.Generator.generated);
+      ("verified", J.Int (List.length o.Search.Generator.verified));
+      ("budget_exhausted", J.Bool o.Search.Generator.budget_exhausted);
+      ( "degraded",
+        J.List (List.map (fun s -> J.Str s) o.Search.Generator.degraded) );
+      ("search_wall_s", J.Float wall_s);
+    ]
+
+(* A cached payload is only served if its best graph still decodes and
+   validates; a payload that lies about its graph is quarantined and the
+   request re-searches. *)
+let payload_valid payload =
+  match
+    Option.bind (J.member "best" payload) (fun b -> J.member "graph" b)
+  with
+  | None -> Error "payload has no best.graph"
+  | Some gj -> (
+      match Search.Checkpoint.graph_of_json gj with
+      | Ok _ -> Ok ()
+      | Error m -> Error (Printf.sprintf "best.graph does not decode: %s" m))
+
+let run_search t ~config ~device ~benchmark ~spec ~fp =
+  Obs.Metrics.bump t.c_searches;
+  Obs.Journal.event "search.start"
+    [
+      ("fingerprint", J.Str fp);
+      ( "benchmark",
+        match benchmark with Some n -> J.Str n | None -> J.Null );
+    ];
+  let budget = Search.Budget.of_config config in
+  let t0 = Unix.gettimeofday () in
+  let o =
+    Search.Generator.run ~config ~verify_trials:t.verify_trials ~budget
+      ~device ~spec ()
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let payload = result_payload ~benchmark ~device ~spec o ~wall_s in
+  Obs.Journal.event "search.done"
+    [
+      ("fingerprint", J.Str fp);
+      ("wall_s", J.Float wall_s);
+      ("generated", J.Int o.Search.Generator.generated);
+      ( "optimized_us",
+        match J.member "optimized_us" payload with
+        | Some v -> v
+        | None -> J.Null );
+    ];
+  payload
+
+(* --- single flight ---------------------------------------------------- *)
+
+(* Returns (payload, cached, coalesced). *)
+let optimize t req =
+  match resolve_spec req with
+  | Error m -> Error m
+  | Ok (benchmark, spec) -> (
+      match resolve_device t req with
+      | Error m -> Error m
+      | Ok device -> (
+          let config = request_config t req spec in
+          let fp = Fingerprint.make ~device ~config spec in
+          let serve_cached payload =
+            match payload_valid payload with
+            | Ok () ->
+                Obs.Journal.event "cache.hit" [ ("fingerprint", J.Str fp) ];
+                Some payload
+            | Error reason ->
+                Cache.quarantine t.cache fp ~reason;
+                None
+          in
+          match Option.bind (Cache.find t.cache fp) serve_cached with
+          | Some payload -> Ok (fp, payload, true, false)
+          | None -> (
+              Obs.Journal.event "cache.miss" [ ("fingerprint", J.Str fp) ];
+              (* join or create the flight for this fingerprint *)
+              Mutex.lock t.lock;
+              let flight, creator =
+                match Hashtbl.find_opt t.flights fp with
+                | Some fl -> (fl, false)
+                | None ->
+                    let fl =
+                      {
+                        fm = Mutex.create ();
+                        fc = Condition.create ();
+                        result = None;
+                      }
+                    in
+                    Hashtbl.replace t.flights fp fl;
+                    (fl, true)
+              in
+              Mutex.unlock t.lock;
+              if creator then begin
+                let outcome =
+                  Sem.acquire t.search_slots;
+                  Fun.protect
+                    ~finally:(fun () -> Sem.release t.search_slots)
+                    (fun () ->
+                      match
+                        run_search t ~config ~device ~benchmark ~spec ~fp
+                      with
+                      | payload ->
+                          Cache.store t.cache fp payload;
+                          Done payload
+                      | exception e ->
+                          Obs.Metrics.bump t.c_errors;
+                          Failed (Printexc.to_string e))
+                in
+                (* publish, then retire the flight: later requests for
+                   the same fingerprint hit the cache instead *)
+                Mutex.lock flight.fm;
+                flight.result <- Some outcome;
+                Condition.broadcast flight.fc;
+                Mutex.unlock flight.fm;
+                Mutex.lock t.lock;
+                Hashtbl.remove t.flights fp;
+                Mutex.unlock t.lock;
+                match outcome with
+                | Done payload -> Ok (fp, payload, false, false)
+                | Failed m -> Error (Printf.sprintf "search failed: %s" m)
+              end
+              else begin
+                Obs.Metrics.bump t.c_coalesced;
+                Obs.Journal.event "request.coalesced"
+                  [ ("fingerprint", J.Str fp) ];
+                Mutex.lock flight.fm;
+                while flight.result = None do
+                  Condition.wait flight.fc flight.fm
+                done;
+                let outcome = Option.get flight.result in
+                Mutex.unlock flight.fm;
+                match outcome with
+                | Done payload -> Ok (fp, payload, false, true)
+                | Failed m -> Error (Printf.sprintf "search failed: %s" m)
+              end)))
+
+(* --- dispatch ---------------------------------------------------------- *)
+
+let error_response msg =
+  J.Obj [ ("status", J.Str "error"); ("message", J.Str msg) ]
+
+let status_json t =
+  Mutex.lock t.lock;
+  let in_flight = t.in_flight in
+  Mutex.unlock t.lock;
+  J.Obj
+    [
+      ("status", J.Str "ok");
+      ("uptime_s", J.Float (Unix.gettimeofday () -. t.started_at));
+      ("requests", J.Int (Obs.Metrics.value t.c_requests));
+      ("searches", J.Int (Obs.Metrics.value t.c_searches));
+      ("coalesced", J.Int (Obs.Metrics.value t.c_coalesced));
+      ("errors", J.Int (Obs.Metrics.value t.c_errors));
+      ("in_flight", J.Int in_flight);
+      ( "cache",
+        J.Obj
+          [
+            ("mem_entries", J.Int (Cache.mem_entries t.cache));
+            ("disk_entries", J.Int (Cache.disk_entries t.cache));
+            ("dir", J.Str (Cache.dir t.cache));
+          ] );
+      ("device", J.Str t.device.Gpusim.Device.name);
+      ("socket", J.Str t.socket_path);
+    ]
+
+let stats_json () =
+  J.Obj
+    [
+      ("status", J.Str "ok");
+      ( "metrics",
+        Obs.Metrics.to_json (Obs.Metrics.snapshot (Obs.Metrics.default ())) );
+    ]
+
+(* Closing a listening socket does not wake a thread blocked in
+   accept(2) on it, so stopping takes two steps: shutdown(2) the
+   listener (returns EINVAL to the blocked accept on Linux) and, as a
+   portable fallback, poke it with a throwaway connection. The accept
+   loop owns the close. *)
+let shutdown_now t =
+  Atomic.set t.stop_flag true;
+  Mutex.lock t.lock;
+  let listener = t.listener in
+  t.listener <- None;
+  Mutex.unlock t.lock;
+  match listener with
+  | None -> ()
+  | Some fd ->
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
+      (try
+         let c = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+         Fun.protect
+           ~finally:(fun () -> try Unix.close c with _ -> ())
+           (fun () ->
+             try Unix.connect c (Unix.ADDR_UNIX t.socket_path) with _ -> ())
+       with _ -> ())
+
+let handle_request t req =
+  Obs.Metrics.bump t.c_requests;
+  let op = match str_field "op" req with Some s -> s | None -> "" in
+  Obs.Journal.event "request.recv" [ ("op", J.Str op) ];
+  let t0 = Unix.gettimeofday () in
+  let resp =
+    match op with
+    | "optimize" -> (
+        match optimize t req with
+        | Ok (fp, payload, cached, coalesced) ->
+            J.Obj
+              [
+                ("status", J.Str "ok");
+                ("fingerprint", J.Str fp);
+                ("cached", J.Bool cached);
+                ("coalesced", J.Bool coalesced);
+                ("result", payload);
+              ]
+        | Error m ->
+            Obs.Metrics.bump t.c_errors;
+            error_response m)
+    | "status" -> status_json t
+    | "stats" -> stats_json ()
+    | "shutdown" ->
+        shutdown_now t;
+        J.Obj [ ("status", J.Str "ok"); ("stopping", J.Bool true) ]
+    | other ->
+        Obs.Metrics.bump t.c_errors;
+        error_response (Printf.sprintf "unknown op %S" other)
+  in
+  Obs.Journal.event "request.done"
+    [
+      ("op", J.Str op);
+      ( "status",
+        match J.member "status" resp with Some s -> s | None -> J.Null );
+      ("wall_s", J.Float (Unix.gettimeofday () -. t0));
+    ];
+  resp
+
+(* --- connection handling ----------------------------------------------- *)
+
+let handle_conn t fd =
+  Mutex.lock t.lock;
+  t.in_flight <- t.in_flight + 1;
+  Mutex.unlock t.lock;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.lock;
+      t.in_flight <- t.in_flight - 1;
+      Mutex.unlock t.lock;
+      try Unix.close fd with _ -> ())
+    (fun () ->
+      match Proto.read_frame fd with
+      | req -> (
+          let resp =
+            match handle_request t req with
+            | r -> r
+            | exception e ->
+                Obs.Metrics.bump t.c_errors;
+                error_response (Printexc.to_string e)
+          in
+          try Proto.write_frame fd resp
+          with _ -> () (* client went away; its loss *))
+      | exception End_of_file -> ()
+      | exception Proto.Protocol_error m -> (
+          try Proto.write_frame fd (error_response m) with _ -> ())
+      | exception Unix.Unix_error _ -> ())
+
+let accept_loop t listener =
+  let continue_ = ref true in
+  while !continue_ do
+    if Atomic.get t.stop_flag then continue_ := false
+    else
+      match Unix.accept listener with
+      | fd, _ ->
+          if Atomic.get t.stop_flag then (try Unix.close fd with _ -> ())
+          else begin
+            let th = Thread.create (fun () -> handle_conn t fd) () in
+            Mutex.lock t.lock;
+            t.handlers <- th :: t.handlers;
+            Mutex.unlock t.lock
+          end
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception _ ->
+          (* listener shut down (stop) or fatal: stop accepting *)
+          continue_ := false
+  done;
+  try Unix.close listener with _ -> ()
+
+let start t =
+  if Sys.file_exists t.socket_path then Sys.remove t.socket_path;
+  let dir = Filename.dirname t.socket_path in
+  if dir <> "" && not (Sys.file_exists dir) then
+    (try Unix.mkdir dir 0o755 with _ -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX t.socket_path);
+  Unix.listen listener 64;
+  Mutex.lock t.lock;
+  t.listener <- Some listener;
+  Mutex.unlock t.lock;
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t listener) ());
+  Obs.Log.info (fun m ->
+      m "service: listening on %s (cache %s, device %s)" t.socket_path
+        (Cache.dir t.cache) t.device.Gpusim.Device.name)
+
+let wait t =
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  t.accept_thread <- None;
+  let self = Thread.id (Thread.self ()) in
+  let rec drain () =
+    Mutex.lock t.lock;
+    let hs = t.handlers in
+    t.handlers <- [];
+    Mutex.unlock t.lock;
+    match hs with
+    | [] -> ()
+    | _ ->
+        List.iter
+          (fun th -> if Thread.id th <> self then Thread.join th)
+          hs;
+        drain ()
+  in
+  drain ();
+  if Sys.file_exists t.socket_path then (
+    try Sys.remove t.socket_path with _ -> ())
+
+let stop t = shutdown_now t
+
+let run t =
+  start t;
+  wait t
+
+let stopping t = Atomic.get t.stop_flag

@@ -1,0 +1,54 @@
+(** The optimization service daemon.
+
+    A Unix-domain-socket server speaking the {!Proto} wire protocol.
+    Requests are JSON objects with an ["op"] field:
+
+    - [{"op":"optimize", "benchmark":<name>}] (or ["graph": <codec json>],
+      plus optional overrides [max_block_ops] / [budget_s] / [workers] /
+      [device]) — resolve the spec, fingerprint it ({!Fingerprint}),
+      serve from the {!Cache} when possible, otherwise run the §4 search
+      exactly once per distinct in-flight fingerprint (single-flight
+      coalescing) and store the result;
+    - [{"op":"status"}] — uptime, counters, cache occupancy;
+    - [{"op":"stats"}] — a snapshot of the process metrics registry;
+    - [{"op":"shutdown"}] — respond, then stop accepting.
+
+    The request lifecycle is journaled through {!Obs.Journal}
+    ([request.recv], [cache.hit]/[cache.miss], [request.coalesced],
+    [search.start]/[search.done], [request.done]); the concurrency
+    stress test counts [search.start] events to prove coalescing. *)
+
+type t
+
+val create :
+  ?mem_capacity:int ->
+  ?registry:Obs.Metrics.t ->
+  ?device:Gpusim.Device.t ->
+  ?base_config:Search.Config.t ->
+  ?verify_trials:int ->
+  ?max_concurrent_searches:int ->
+  socket_path:string ->
+  cache_dir:string ->
+  unit ->
+  t
+
+val cache : t -> Cache.t
+
+val handle_request : t -> Obs.Jsonw.t -> Obs.Jsonw.t
+(** Dispatch one request in the calling thread — the in-process entry
+    point the tests use; the socket path goes through it too. *)
+
+val start : t -> unit
+(** Bind the socket and start the accept loop in a background thread. *)
+
+val wait : t -> unit
+(** Block until the daemon stops (shutdown request or {!stop}), then
+    join outstanding handlers and remove the socket file. *)
+
+val stop : t -> unit
+(** Close the listener and mark the daemon stopping. *)
+
+val run : t -> unit
+(** [start] then [wait] — the CLI foreground mode. *)
+
+val stopping : t -> bool

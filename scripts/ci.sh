@@ -63,13 +63,49 @@ dune exec bin/mirage_cli.exe -- optimize rmsnorm \
 grep -q '"state": "\(ok\|degraded\)"' /tmp/mirage_ci_resume/report.json
 dune exec tools/json_check.exe -- /tmp/mirage_ci_resume/checkpoint.json
 
-echo "== bench history regression gate (Fig. 7 costs + verifier perf, 5%)"
+echo "== service smoke: daemon, coalesced identical requests, cache hit"
+rm -rf /tmp/mirage_ci_svc
+mkdir -p /tmp/mirage_ci_svc
+CLI=./_build/default/bin/mirage_cli.exe
+REQ="--socket /tmp/mirage_ci_svc/s.sock --max-block-ops 3 --workers 1 --budget 10"
+$CLI serve --socket /tmp/mirage_ci_svc/s.sock \
+  --cache-dir /tmp/mirage_ci_svc/cache --max-block-ops 3 --workers 1 \
+  --budget 10 --journal /tmp/mirage_ci_svc/journal.jsonl \
+  > /tmp/mirage_ci_svc/serve.log 2>&1 &
+SVC_PID=$!
+for _ in $(seq 1 50); do
+  $CLI request status $REQ >/dev/null 2>&1 && break
+  sleep 0.2
+done
+# two identical requests in flight at once -> single-flight: one search
+$CLI request rmsnorm $REQ > /tmp/mirage_ci_svc/r1.json &
+R1=$!
+$CLI request rmsnorm $REQ > /tmp/mirage_ci_svc/r2.json &
+R2=$!
+wait "$R1" "$R2"
+# both answered from the same search (same fingerprint, one search.start)
+FP1=$(grep -o '"fingerprint": "[0-9a-f]*"' /tmp/mirage_ci_svc/r1.json | head -1)
+FP2=$(grep -o '"fingerprint": "[0-9a-f]*"' /tmp/mirage_ci_svc/r2.json | head -1)
+test -n "$FP1" && test "$FP1" = "$FP2"
+$CLI request status $REQ | grep -q '"searches": 1'
+# a third identical request is a pure cache hit
+$CLI request rmsnorm $REQ | grep -q '"cached": true'
+# clean shutdown: daemon exits, socket removed, journal agrees on one search
+$CLI request shutdown $REQ >/dev/null
+wait "$SVC_PID"
+test ! -e /tmp/mirage_ci_svc/s.sock
+test "$(grep -c '"ev":"search.start"' /tmp/mirage_ci_svc/journal.jsonl)" -eq 1
+dune exec tools/json_check.exe -- /tmp/mirage_ci_svc/journal.jsonl
+
+echo "== bench history regression gate (Fig. 7 costs + verifier + service, 5%)"
 # Gate against the committed baseline on a scratch copy so CI runs never
-# dirty the tree; a real refresh re-runs `bench fig7 verify --history` in
-# place. The verify suite's fast-over-reference ratios catch a fast-path
-# performance regression the same way costs catch a cost-model one.
+# dirty the tree; a real refresh re-runs `bench fig7 verify serve
+# --history` in place. The verify suite's fast-over-reference ratios
+# catch a fast-path performance regression the same way costs catch a
+# cost-model one; the serve suite's warm-over-cold ratios catch a result
+# cache that stopped caching (and its own 50x floor fails the suite).
 cp BENCH_history.jsonl /tmp/mirage_ci_history.jsonl
-dune exec bench/main.exe -- fig7 verify \
+dune exec bench/main.exe -- fig7 verify serve \
   --history /tmp/mirage_ci_history.jsonl --gate 5 >/dev/null
 
 echo "CI OK"

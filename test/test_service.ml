@@ -1,0 +1,524 @@
+(* Tests for the optimization service: the canonical request
+   fingerprint (α-invariance, semantic sensitivity, collision scan),
+   the two-tier result cache (roundtrip, LRU, corruption quarantine),
+   the differential end-to-end check (server answer == direct
+   Search.Generator answer for every Fig. 7 workload; warm reply
+   byte-identical to cold), the single-flight concurrency guarantee
+   (N domains, one search), and the shared prune helper's single
+   stats/journal site. *)
+
+open Mugraph
+module J = Obs.Jsonw
+
+let reset () =
+  Obs.Fault.clear ();
+  Obs.Budget.reset_degradations ()
+
+let with_reset f () =
+  reset ();
+  Fun.protect ~finally:reset f
+
+let tmpdir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let small_config () =
+  {
+    Search.Config.default with
+    Search.Config.grid_candidates = [ [| 2 |] ];
+    forloop_candidates = [ [| 2 |] ];
+    max_block_ops = 3;
+    num_workers = 1;
+    time_budget_s = 90.0;
+  }
+
+let prim bld p ins = Graph.Build.prim bld p ins
+
+(* y = (X / C) @ W — the spec used throughout the resilience suite. *)
+let div_matmul_spec ?(names = ("X", "C", "W")) ~b ~h ~d () =
+  let nx, nc, nw = names in
+  let bld = Graph.Build.create () in
+  let x = Graph.Build.input bld nx [| b; h |] in
+  let c = Graph.Build.input bld nc [| b; 1 |] in
+  let w = Graph.Build.input bld nw [| h; d |] in
+  let y = prim bld (Op.Binary Op.Div) [ x; c ] in
+  let z = prim bld Op.Matmul [ y; w ] in
+  Graph.Build.finish bld ~outputs:[ z ]
+
+let fp ?(device = Gpusim.Device.a100) ?config g =
+  let config = match config with Some c -> c | None -> small_config () in
+  Service.Fingerprint.make ~device ~config g
+
+(* --- fingerprint: unit ------------------------------------------------ *)
+
+let test_fp_alpha_invariant () =
+  let a = div_matmul_spec ~b:4 ~h:8 ~d:8 () in
+  let b = div_matmul_spec ~names:("input", "scale", "weights") ~b:4 ~h:8 ~d:8 () in
+  Alcotest.(check string) "renamed inputs, same fingerprint" (fp a) (fp b)
+
+let test_fp_semantic_mutations () =
+  let base = div_matmul_spec ~b:4 ~h:8 ~d:8 () in
+  (* shape change *)
+  Alcotest.(check bool) "shape change alters fp" true
+    (fp base <> fp (div_matmul_spec ~b:4 ~h:8 ~d:16 ()));
+  (* op swap *)
+  let op_swapped =
+    let bld = Graph.Build.create () in
+    let x = Graph.Build.input bld "X" [| 4; 8 |] in
+    let c = Graph.Build.input bld "C" [| 4; 1 |] in
+    let w = Graph.Build.input bld "W" [| 8; 8 |] in
+    let y = prim bld (Op.Binary Op.Mul) [ x; c ] in
+    let z = prim bld Op.Matmul [ y; w ] in
+    Graph.Build.finish bld ~outputs:[ z ]
+  in
+  Alcotest.(check bool) "op swap (Div -> Mul) alters fp" true
+    (fp base <> fp op_swapped);
+  (* edge rewire *)
+  let rewired =
+    let bld = Graph.Build.create () in
+    let x = Graph.Build.input bld "X" [| 4; 8 |] in
+    let _c = Graph.Build.input bld "C" [| 4; 1 |] in
+    let w = Graph.Build.input bld "W" [| 8; 8 |] in
+    let y = prim bld (Op.Binary Op.Div) [ x; x ] in
+    let z = prim bld Op.Matmul [ y; w ] in
+    Graph.Build.finish bld ~outputs:[ z ]
+  in
+  Alcotest.(check bool) "edge rewire alters fp" true (fp base <> fp rewired)
+
+let test_fp_device_and_config () =
+  let g = div_matmul_spec ~b:4 ~h:8 ~d:8 () in
+  Alcotest.(check bool) "device parameters matter" true
+    (fp ~device:Gpusim.Device.a100 g <> fp ~device:Gpusim.Device.h100 g);
+  let renamed = { Gpusim.Device.a100 with Gpusim.Device.name = "A100-label" } in
+  Alcotest.(check string) "device name is a label, not semantics"
+    (fp ~device:Gpusim.Device.a100 g)
+    (fp ~device:renamed g);
+  let cfg = small_config () in
+  Alcotest.(check string) "budget/worker/verify-path fields ignored"
+    (fp ~config:cfg g)
+    (fp
+       ~config:
+         {
+           cfg with
+           Search.Config.time_budget_s = 1.0;
+           num_workers = 16;
+           node_budget = 7;
+           max_task_failures = 9;
+           verify_fast_path = not cfg.Search.Config.verify_fast_path;
+         }
+       g);
+  Alcotest.(check bool) "search-shaping fields matter" true
+    (fp ~config:cfg g
+    <> fp ~config:{ cfg with Search.Config.max_block_ops = 9 } g)
+
+(* --- fingerprint: properties ------------------------------------------ *)
+
+(* Rename every K_input in a codec JSON document with an injective
+   salt-suffixed map — an α-renaming at the wire level. *)
+let rec rename_inputs salt j =
+  match j with
+  | J.Obj fields when List.mem_assoc "k" fields -> (
+      match (List.assoc "k" fields, List.assoc_opt "name" fields) with
+      | J.Str "input", Some (J.Str old) ->
+          J.Obj
+            (List.map
+               (fun (k, v) ->
+                 if k = "name" then
+                   (k, J.Str (Printf.sprintf "%s_r%d" old salt))
+                 else (k, rename_inputs salt v))
+               fields)
+      | _ ->
+          J.Obj (List.map (fun (k, v) -> (k, rename_inputs salt v)) fields))
+  | J.Obj fields ->
+      J.Obj (List.map (fun (k, v) -> (k, rename_inputs salt v)) fields)
+  | J.List l -> J.List (List.map (rename_inputs salt) l)
+  | _ -> j
+
+let prop_alpha_renaming =
+  QCheck2.Test.make ~count:100 ~name:"fingerprint invariant under α-renaming"
+    QCheck2.Gen.(pair (Graph_gen.gen_graph ()) (int_range 1 1_000_000))
+    (fun (g, salt) ->
+      let renamed_json =
+        rename_inputs salt (Search.Checkpoint.graph_to_json g)
+      in
+      match Search.Checkpoint.graph_of_json renamed_json with
+      | Error m -> QCheck2.Test.fail_reportf "renamed graph rejected: %s" m
+      | Ok g' -> fp g = fp g')
+
+let test_fp_collision_scan () =
+  (* 1k generated graph pairs: distinct canonical documents must never
+     share a fingerprint. *)
+  let rand = Random.State.make [| 0x5eed |] in
+  let graphs =
+    QCheck2.Gen.generate ~rand ~n:1000 (Graph_gen.gen_graph ())
+  in
+  let cfg = small_config () in
+  let seen : (string, string) Hashtbl.t = Hashtbl.create 1024 in
+  let collisions = ref 0 in
+  List.iter
+    (fun g ->
+      let canon =
+        J.to_string
+          (Service.Fingerprint.canonical_json ~device:Gpusim.Device.a100
+             ~config:cfg g)
+      in
+      let h = fp g in
+      match Hashtbl.find_opt seen h with
+      | Some canon' when canon' <> canon -> incr collisions
+      | Some _ -> ()
+      | None -> Hashtbl.add seen h canon)
+    graphs;
+  Alcotest.(check int) "no fingerprint collisions" 0 !collisions;
+  Alcotest.(check bool) "scan exercised many distinct documents" true
+    (Hashtbl.length seen > 100)
+
+(* --- cache ------------------------------------------------------------ *)
+
+let counter_value registry name = Obs.Metrics.value (Obs.Metrics.counter registry name)
+
+let payload_of_int i =
+  J.Obj [ ("schema", J.Str "test.payload"); ("i", J.Int i) ]
+
+let test_cache_roundtrip () =
+  let registry = Obs.Metrics.create () in
+  let dir = tmpdir "mirage_cache" in
+  let c = Service.Cache.create ~mem_capacity:8 ~registry ~dir () in
+  let fp1 = String.make 32 'a' in
+  Alcotest.(check bool) "miss on empty" true (Service.Cache.find c fp1 = None);
+  Service.Cache.store c fp1 (payload_of_int 1);
+  (match Service.Cache.find c fp1 with
+  | Some p -> Alcotest.(check string) "mem hit" (J.to_string (payload_of_int 1)) (J.to_string p)
+  | None -> Alcotest.fail "expected a memory hit");
+  Service.Cache.clear_mem c;
+  (match Service.Cache.find c fp1 with
+  | Some p ->
+      Alcotest.(check string) "disk hit after clear_mem"
+        (J.to_string (payload_of_int 1))
+        (J.to_string p)
+  | None -> Alcotest.fail "expected a disk hit");
+  Alcotest.(check int) "one disk hit counted" 1
+    (counter_value registry "service.cache.hit.disk");
+  Alcotest.(check bool) "at least one mem hit counted" true
+    (counter_value registry "service.cache.hit.mem" >= 1)
+
+let test_cache_lru () =
+  let registry = Obs.Metrics.create () in
+  let dir = tmpdir "mirage_cache" in
+  let c = Service.Cache.create ~mem_capacity:2 ~registry ~dir () in
+  let k i = Printf.sprintf "%032d" i in
+  List.iter (fun i -> Service.Cache.store c (k i) (payload_of_int i)) [ 1; 2; 3 ];
+  Alcotest.(check int) "memory tier capped" 2 (Service.Cache.mem_entries c);
+  Alcotest.(check int) "all entries on disk" 3 (Service.Cache.disk_entries c);
+  Alcotest.(check int) "evictions counted" 1
+    (counter_value registry "service.cache.evict");
+  (* the evicted (oldest) entry is still servable from disk *)
+  match Service.Cache.find c (k 1) with
+  | Some p ->
+      Alcotest.(check string) "evicted entry refilled from disk"
+        (J.to_string (payload_of_int 1))
+        (J.to_string p)
+  | None -> Alcotest.fail "evicted entry lost"
+
+let test_cache_quarantine () =
+  let registry = Obs.Metrics.create () in
+  let dir = tmpdir "mirage_cache" in
+  let c = Service.Cache.create ~mem_capacity:8 ~registry ~dir () in
+  let corrupt fp content =
+    Service.Cache.store c fp (payload_of_int 9);
+    let oc = open_out (Service.Cache.entry_path c fp) in
+    output_string oc content;
+    close_out oc;
+    Service.Cache.clear_mem c
+  in
+  (* unparsable bytes *)
+  let fp1 = String.make 32 'b' in
+  corrupt fp1 "not json at all {{{";
+  Alcotest.(check bool) "corrupt entry is a miss, not a crash" true
+    (Service.Cache.find c fp1 = None);
+  (* wrong schema *)
+  let fp2 = String.make 32 'c' in
+  corrupt fp2 {|{"schema":"something.else","fingerprint":"x","payload":{}}|};
+  Alcotest.(check bool) "foreign schema is a miss" true
+    (Service.Cache.find c fp2 = None);
+  (* fingerprint mismatch *)
+  let fp3 = String.make 32 'd' in
+  corrupt fp3
+    (J.to_string
+       (J.Obj
+          [
+            ("schema", J.Str Service.Cache.entry_schema);
+            ("fingerprint", J.Str (String.make 32 'z'));
+            ("payload", payload_of_int 1);
+          ]));
+  Alcotest.(check bool) "fingerprint mismatch is a miss" true
+    (Service.Cache.find c fp3 = None);
+  Alcotest.(check int) "all three quarantined" 3
+    (counter_value registry "service.cache.quarantine");
+  Alcotest.(check int) "quarantined entries left the store" 0
+    (Service.Cache.disk_entries c);
+  (* the slot is reusable after quarantine *)
+  Service.Cache.store c fp1 (payload_of_int 42);
+  match Service.Cache.find c fp1 with
+  | Some p ->
+      Alcotest.(check string) "slot reusable after quarantine"
+        (J.to_string (payload_of_int 42))
+        (J.to_string p)
+  | None -> Alcotest.fail "store after quarantine failed"
+
+(* --- differential end-to-end ------------------------------------------ *)
+
+let get_exn path j =
+  let rec go j = function
+    | [] -> j
+    | k :: rest -> (
+        match J.member k j with
+        | Some v -> go v rest
+        | None -> Alcotest.fail (Printf.sprintf "response lacks %s" k))
+  in
+  go j path
+
+let make_server ?(mem_capacity = 64) () =
+  let registry = Obs.Metrics.create () in
+  Service.Server.create ~mem_capacity ~registry ~device:Gpusim.Device.a100
+    ~base_config:(small_config ()) ~verify_trials:2
+    ~socket_path:(Filename.temp_file "mirage_sock" ".sock")
+    ~cache_dir:(tmpdir "mirage_srv_cache") ()
+
+let optimize_req name = J.Obj [ ("op", J.Str "optimize"); ("benchmark", J.Str name) ]
+
+let test_differential =
+  with_reset @@ fun () ->
+  let server = make_server () in
+  List.iter
+    (fun (b : Workloads.Bench_defs.benchmark) ->
+      let name = b.Workloads.Bench_defs.name in
+      (* cold: the server runs the search *)
+      let cold = Service.Server.handle_request server (optimize_req name) in
+      Alcotest.(check string)
+        (name ^ ": cold status ok") "ok"
+        (match get_exn [ "status" ] cold with J.Str s -> s | _ -> "?");
+      Alcotest.(check bool) (name ^ ": cold not cached") false
+        (get_exn [ "cached" ] cold = J.Bool true);
+      (* direct: the same derivation the server used, run by hand *)
+      let spec, _ = b.Workloads.Bench_defs.reduced () in
+      let config = Search.Config.for_spec ~base:(small_config ()) spec in
+      let budget = Search.Budget.of_config config in
+      let o =
+        Search.Generator.run ~config ~verify_trials:2 ~budget
+          ~device:Gpusim.Device.a100 ~spec ()
+      in
+      let direct_best =
+        match o.Search.Generator.best with
+        | Some bst -> bst
+        | None -> Alcotest.fail "direct search returned no best"
+      in
+      Alcotest.(check string)
+        (name ^ ": best muGraph identical")
+        (J.to_string
+           (Search.Checkpoint.graph_to_json direct_best.Search.Generator.graph))
+        (J.to_string (get_exn [ "result"; "best"; "graph" ] cold));
+      Alcotest.(check string)
+        (name ^ ": best cost identical")
+        (J.to_string (Gpusim.Cost.to_json direct_best.Search.Generator.cost))
+        (J.to_string (get_exn [ "result"; "best"; "cost" ] cold));
+      (* warm: byte-identical payload out of the cache *)
+      let warm = Service.Server.handle_request server (optimize_req name) in
+      Alcotest.(check bool) (name ^ ": warm is cached") true
+        (get_exn [ "cached" ] warm = J.Bool true);
+      Alcotest.(check string)
+        (name ^ ": warm payload byte-identical to cold")
+        (J.to_string (get_exn [ "result" ] cold))
+        (J.to_string (get_exn [ "result" ] warm)))
+    (Workloads.Bench_defs.all ())
+
+(* --- single-flight concurrency ---------------------------------------- *)
+
+let count_events events typ =
+  List.length (List.filter (fun e -> Obs.Journal.typ_of e = typ) events)
+
+let test_single_flight =
+  with_reset @@ fun () ->
+  let journal_path = Filename.temp_file "mirage_svc_journal" ".jsonl" in
+  ignore (Obs.Journal.enable journal_path);
+  Fun.protect ~finally:Obs.Journal.disable @@ fun () ->
+  let server = make_server () in
+  let n = 5 in
+  let domains =
+    List.init n (fun _ ->
+        Domain.spawn (fun () ->
+            Service.Server.handle_request server (optimize_req "rmsnorm")))
+  in
+  let responses = List.map Domain.join domains in
+  List.iteri
+    (fun i r ->
+      Alcotest.(check string)
+        (Printf.sprintf "request %d ok" i)
+        "ok"
+        (match get_exn [ "status" ] r with J.Str s -> s | _ -> "?"))
+    responses;
+  (* all clients got the same payload *)
+  let payloads =
+    List.map (fun r -> J.to_string (get_exn [ "result" ] r)) responses
+  in
+  List.iter
+    (fun p -> Alcotest.(check string) "equal results across clients" (List.hd payloads) p)
+    payloads;
+  Obs.Journal.disable ();
+  let events =
+    match Obs.Journal.read_file journal_path with
+    | Ok evs -> evs
+    | Error m -> Alcotest.fail ("journal unreadable: " ^ m)
+  in
+  Alcotest.(check int) "exactly one underlying search" 1
+    (count_events events "search.start");
+  Alcotest.(check int) "every lifecycle completed" n
+    (count_events events "request.done")
+
+let test_corrupt_entry_researched =
+  with_reset @@ fun () ->
+  let journal_path = Filename.temp_file "mirage_svc_journal" ".jsonl" in
+  ignore (Obs.Journal.enable journal_path);
+  Fun.protect ~finally:Obs.Journal.disable @@ fun () ->
+  let server = make_server () in
+  let cache = Service.Server.cache server in
+  let r1 = Service.Server.handle_request server (optimize_req "rmsnorm") in
+  let fp =
+    match get_exn [ "fingerprint" ] r1 with
+    | J.Str s -> s
+    | _ -> Alcotest.fail "no fingerprint"
+  in
+  (* corrupt the payload *semantically*: valid envelope, broken graph *)
+  let oc = open_out (Service.Cache.entry_path cache fp) in
+  output_string oc
+    (J.to_string
+       (J.Obj
+          [
+            ("schema", J.Str Service.Cache.entry_schema);
+            ("fingerprint", J.Str fp);
+            ( "payload",
+              J.Obj [ ("best", J.Obj [ ("graph", J.Str "garbage") ]) ] );
+          ]));
+  close_out oc;
+  Service.Cache.clear_mem cache;
+  let r2 = Service.Server.handle_request server (optimize_req "rmsnorm") in
+  Alcotest.(check string) "re-request survives corruption" "ok"
+    (match get_exn [ "status" ] r2 with J.Str s -> s | _ -> "?");
+  Alcotest.(check bool) "corrupt entry was not served" false
+    (get_exn [ "cached" ] r2 = J.Bool true);
+  Alcotest.(check string)
+    "re-searched result equals the original"
+    (J.to_string (get_exn [ "result"; "best"; "graph" ] r1))
+    (J.to_string (get_exn [ "result"; "best"; "graph" ] r2));
+  Obs.Journal.disable ();
+  let events =
+    match Obs.Journal.read_file journal_path with
+    | Ok evs -> evs
+    | Error m -> Alcotest.fail ("journal unreadable: " ^ m)
+  in
+  Alcotest.(check int) "corruption journaled as quarantine" 1
+    (count_events events "cache.quarantine");
+  Alcotest.(check int) "two searches: original and re-search" 2
+    (count_events events "search.start")
+
+(* --- shared prune helper ----------------------------------------------- *)
+
+(* The refactor pinned one invariant: the helper is the single
+   stats/journal site, so the journal's pruned_abstract rejects, the
+   stats counter, and the funnel all agree — at both call sites
+   (kernel_enum and block_enum) combined. *)
+let test_prune_single_site =
+  with_reset @@ fun () ->
+  let journal_path = Filename.temp_file "mirage_prune_journal" ".jsonl" in
+  ignore (Obs.Journal.enable journal_path);
+  Fun.protect ~finally:Obs.Journal.disable @@ fun () ->
+  let spec = div_matmul_spec ~b:2 ~h:4 ~d:4 () in
+  let o =
+    Search.Generator.run ~config:(small_config ()) ~device:Gpusim.Device.a100
+      ~spec ()
+  in
+  let snap = o.Search.Generator.stats in
+  Obs.Journal.disable ();
+  let events =
+    match Obs.Journal.read_file journal_path with
+    | Ok evs -> evs
+    | Error m -> Alcotest.fail ("journal unreadable: " ^ m)
+  in
+  let journaled =
+    List.length
+      (List.filter
+         (fun e ->
+           Obs.Journal.typ_of e = "cand.reject"
+           && J.member "reason" e = Some (J.Str "pruned_abstract"))
+         events)
+  in
+  Alcotest.(check bool) "the search exercised abstract pruning" true
+    (snap.Search.Stats.pruned_abstract > 0);
+  Alcotest.(check int) "journal and stats agree on every reject" journaled
+    snap.Search.Stats.pruned_abstract
+
+let test_prune_helper_equivalence () =
+  (* The helper is exactly the old inline condition. *)
+  let cfg = small_config () in
+  let target =
+    Mugraph.Abstract.output_exprs (div_matmul_spec ~b:4 ~h:8 ~d:8 ())
+  in
+  let solver = Smtlite.Solver.create ~target in
+  let sub = Absexpr.Nf.of_expr (Absexpr.Expr.var "X") in
+  let expected =
+    cfg.Search.Config.use_abstract_pruning
+    && not (Smtlite.Solver.check_subexpr_nf solver sub)
+  in
+  Alcotest.(check bool) "check mirrors the inline condition" expected
+    (Search.Prune.check cfg ~solver sub);
+  let off = { cfg with Search.Config.use_abstract_pruning = false } in
+  Alcotest.(check bool) "pruning disabled -> never rejects" false
+    (Search.Prune.check off ~solver sub)
+
+(* --- suite ------------------------------------------------------------- *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "fingerprint",
+        [
+          Alcotest.test_case "alpha renaming preserves fp" `Quick
+            test_fp_alpha_invariant;
+          Alcotest.test_case "semantic mutations change fp" `Quick
+            test_fp_semantic_mutations;
+          Alcotest.test_case "device and config sensitivity" `Quick
+            test_fp_device_and_config;
+          Alcotest.test_case "collision scan over 1k graphs" `Quick
+            test_fp_collision_scan;
+        ]
+        @ qsuite [ prop_alpha_renaming ] );
+      ( "cache",
+        [
+          Alcotest.test_case "store/find roundtrip (mem + disk)" `Quick
+            test_cache_roundtrip;
+          Alcotest.test_case "memory tier is LRU-bounded" `Quick test_cache_lru;
+          Alcotest.test_case "corrupted entries quarantined" `Quick
+            test_cache_quarantine;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "server == direct search, warm == cold" `Slow
+            test_differential;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "N domains, one search" `Slow test_single_flight;
+          Alcotest.test_case "corrupt entry re-searched" `Slow
+            test_corrupt_entry_researched;
+        ] );
+      ( "prune",
+        [
+          Alcotest.test_case "one stats/journal site" `Quick
+            test_prune_single_site;
+          Alcotest.test_case "helper mirrors inline condition" `Quick
+            test_prune_helper_equivalence;
+        ] );
+    ]
