@@ -480,6 +480,7 @@ let serve_bench () =
   Printf.printf "%-10s %10s %10s %9s %7s\n" "benchmark" "cold ms" "warm ms"
     "speedup" "cached";
   let failures = ref 0 in
+  let min_warm_s = ref infinity in
   List.iter
     (fun (b : Workloads.Bench_defs.benchmark) ->
       let name = b.Workloads.Bench_defs.name in
@@ -503,6 +504,7 @@ let serve_bench () =
           warm_resp := r
         end
       done;
+      if !warm_s < !min_warm_s then min_warm_s := !warm_s;
       let cached j =
         match Obs.Jsonw.member "cached" j with
         | Some (Obs.Jsonw.Bool v) -> v
@@ -533,8 +535,132 @@ let serve_bench () =
         !history_serve
         @ [ (Printf.sprintf "serve.%s.warm_over_cold" name, !warm_s /. cold_s) ])
     (Workloads.Bench_defs.all ());
+  (* Stage-level quantiles from the live telemetry plane: scrape the
+     daemon's `metrics` snapshot (validating it against the exposition
+     schema) and export the per-stage p50/p99 plus the cache hit rate
+     into the history, so the gate watches them run over run.
+
+     A sample is folded into the registry just AFTER its response bytes
+     go out, so a scrape racing the last response can miss it by one —
+     poll until every request this suite sent has landed. *)
+  let fnum j =
+    match j with
+    | Some (Obs.Jsonw.Float f) -> f
+    | Some (Obs.Jsonw.Int i) -> float_of_int i
+    | _ -> 0.0
+  in
+  let expected_total = 6 * List.length (Workloads.Bench_defs.all ()) in
+  let scrape () =
+    match Service.Client.metrics ~socket_path () with
+    | Error m ->
+        Printf.eprintf "serve: metrics scrape failed: %s\n" m;
+        exit 1
+    | Ok snap -> snap
+  in
+  let settled snap =
+    match
+      Option.bind (Obs.Jsonw.member "histograms" snap) (fun h ->
+          Option.bind (Obs.Jsonw.member "serve.total" h)
+            (Obs.Jsonw.member "count"))
+    with
+    | Some (Obs.Jsonw.Int n) -> n >= expected_total
+    | _ -> false
+  in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec scrape_settled () =
+    let snap = scrape () in
+    if settled snap || Unix.gettimeofday () > deadline then snap
+    else begin
+      ignore (Unix.select [] [] [] 0.05);
+      scrape_settled ()
+    end
+  in
+  (match scrape_settled () with
+  | snap ->
+      if not (settled snap) then begin
+        Printf.eprintf "serve: telemetry never settled to %d samples\n"
+          expected_total;
+        incr failures
+      end;
+      (match Service.Telemetry.check_snapshot snap with
+      | Ok () -> ()
+      | Error m ->
+          Printf.eprintf "serve: metrics snapshot malformed: %s\n" m;
+          exit 1);
+      (match Obs.Jsonw.member "histograms" snap with
+      | Some (Obs.Jsonw.Obj hists) when hists <> [] ->
+          Printf.printf "\n%-20s %8s %12s %12s\n" "stage" "count" "p50" "p99";
+          List.iter
+            (fun (hname, h) ->
+              let count =
+                match Obs.Jsonw.member "count" h with
+                | Some (Obs.Jsonw.Int i) -> i
+                | _ -> 0
+              in
+              if count > 0 then begin
+                let p50 = fnum (Obs.Jsonw.member "p50_us" h)
+                and p99 = fnum (Obs.Jsonw.member "p99_us" h) in
+                Printf.printf "%-20s %8d %12.1f %12.1f\n" hname count p50 p99;
+                jpush
+                  Obs.Jsonw.
+                    [
+                      ("suite", Str "serve");
+                      ("stage", Str hname);
+                      ("count", Int count);
+                      ("p50_us", Float p50);
+                      ("p99_us", Float p99);
+                    ];
+                history_serve :=
+                  !history_serve
+                  @ [ (hname ^ ".p50_us", p50); (hname ^ ".p99_us", p99) ]
+              end)
+            hists
+      | _ ->
+          Printf.eprintf "serve: metrics snapshot has no stage histograms\n";
+          incr failures);
+      let hit_rate =
+        fnum
+          (Option.bind (Obs.Jsonw.member "cache" snap)
+             (Obs.Jsonw.member "hit_rate"))
+      in
+      Printf.printf "cache hit rate %.1f%%\n" (100.0 *. hit_rate);
+      jpush
+        Obs.Jsonw.
+          [ ("suite", Str "serve"); ("cache_hit_rate", Float hit_rate) ];
+      history_serve := !history_serve @ [ ("serve.cache.hit_rate", hit_rate) ]);
   ignore (Service.Client.shutdown ~socket_path);
   Service.Server.wait server;
+  (* The telemetry plane must be noise on the request path: record 200k
+     samples into a standalone sketch and demand the per-record cost
+     stays under 1% of the fastest warm request measured above. *)
+  let probe = Obs.Hdr.create ~help:"overhead probe" "serve.overhead_probe" in
+  let n = 200_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to n do
+    Obs.Hdr.record probe (1e-6 *. float_of_int (1 + (i land 1023)))
+  done;
+  let per_record_s = (Unix.gettimeofday () -. t0) /. float_of_int n in
+  let budget_s = 0.01 *. !min_warm_s in
+  Printf.printf
+    "hdr record overhead %.1f ns/record (budget %.0f ns = 1%% of fastest warm \
+     request)\n"
+    (1e9 *. per_record_s) (1e9 *. budget_s);
+  if per_record_s >= budget_s then begin
+    Printf.eprintf
+      "serve: hdr record overhead %.1f ns exceeds 1%% of the %.0f ns fastest \
+       warm request\n"
+      (1e9 *. per_record_s)
+      (1e9 *. !min_warm_s);
+    incr failures
+  end;
+  jpush
+    Obs.Jsonw.
+      [
+        ("suite", Str "serve");
+        ("check", Str "hdr_overhead");
+        ("per_record_ns", Float (1e9 *. per_record_s));
+        ("budget_ns", Float (1e9 *. budget_s));
+      ];
   if !failures > 0 then begin
     Printf.eprintf "serve suite FAILED (%d violation(s))\n" !failures;
     exit 1
@@ -610,17 +736,29 @@ let micro () =
     (List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) rows)
 
 let write_json file =
+  (* The suites keep their metrics in per-run registries, so the
+     process-wide default registry is usually empty here; emitting the
+     empty shell ({"counters":{},...}) just misleads readers into
+     thinking the run recorded nothing. Only attach the field when the
+     default registry actually saw updates. *)
+  let metrics_field =
+    let s = Obs.Metrics.snapshot (Obs.Metrics.default ()) in
+    if
+      s.Obs.Metrics.counters = [] && s.Obs.Metrics.hists = []
+      && s.Obs.Metrics.gauges = [] && s.Obs.Metrics.hdrs = []
+    then []
+    else [ ("metrics", Obs.Metrics.to_json s) ]
+  in
   let doc =
     Obs.Jsonw.Obj
-      [
-        ( "suites",
-          Obs.Jsonw.List
-            (List.map (fun s -> Obs.Jsonw.Str s) !json_suites) );
-        ("rows", Obs.Jsonw.List (List.rev !json_rows));
-        ( "metrics",
-          Obs.Metrics.to_json (Obs.Metrics.snapshot (Obs.Metrics.default ()))
-        );
-      ]
+      ([
+         ("schema", Obs.Jsonw.Str "mirage.bench.v2");
+         ( "suites",
+           Obs.Jsonw.List
+             (List.map (fun s -> Obs.Jsonw.Str s) !json_suites) );
+         ("rows", Obs.Jsonw.List (List.rev !json_rows));
+       ]
+      @ metrics_field)
   in
   Obs.Jsonw.to_file file doc;
   Printf.printf "\nwrote %d JSON rows to %s\n" (List.length !json_rows) file
@@ -710,13 +848,50 @@ let gate_history ~prev ~wall_s ~pct =
     | _ -> []
   in
   let serve_viols =
-    (* warm/cold latency ratios: wall-clock both sides, gated with the
-       same leniency as the verify ratios *)
+    (* Three kinds of serve keys, three gates — all wall-clock, so all
+       lenient (10x the cost threshold):
+         *.warm_over_cold  ratio, higher is worse, absolute slack +0.02
+         *.p50_us/p99_us   stage latency quantile, higher is worse,
+                           absolute slack +0.1s (socket jitter dwarfs
+                           the microsecond stages)
+         *.hit_rate        fraction, LOWER is worse, slack -0.02 *)
+    let ends_with suf s =
+      let ls = String.length s and lu = String.length suf in
+      ls >= lu && String.sub s (ls - lu) lu = suf
+    in
     match Obs.Jsonw.member "serve" prev with
     | Some (Obs.Jsonw.Obj kvs) ->
         List.filter_map
           (fun (key, v) ->
             match (jnum v, List.assoc_opt key !history_serve) with
+            | Some old_r, Some new_r when ends_with "hit_rate" key ->
+                if
+                  old_r > 0.0
+                  && old_r -. new_r > 10.0 *. frac *. old_r
+                  && old_r -. new_r > 0.02
+                then
+                  Some
+                    (Printf.sprintf
+                       "%s: %.4f -> %.4f (%+.1f%%, lenient threshold -%.1f%% \
+                        and -0.02)"
+                       key old_r new_r
+                       (100.0 *. (new_r -. old_r) /. old_r)
+                       (10.0 *. pct))
+                else None
+            | Some old_r, Some new_r when ends_with "_us" key ->
+                if
+                  old_r > 0.0
+                  && new_r -. old_r > 10.0 *. frac *. old_r
+                  && new_r -. old_r > 100_000.0
+                then
+                  Some
+                    (Printf.sprintf
+                       "%s: %.1f us -> %.1f us (%+.1f%%, lenient threshold \
+                        %.1f%% and +0.1s)"
+                       key old_r new_r
+                       (100.0 *. (new_r -. old_r) /. old_r)
+                       (10.0 *. pct))
+                else None
             | Some old_r, Some new_r
               when old_r > 0.0
                    && new_r -. old_r > 10.0 *. frac *. old_r

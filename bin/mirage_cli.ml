@@ -164,6 +164,12 @@ let with_artifacts ~kind trace report_dir f =
       let finalize status err =
         let attempt g = try g () with _ -> () in
         attempt (fun () -> Obs.Trace.disable ());
+        (* journal loss accounting must be read before disable closes it *)
+        let jdropped_events, jdropped_buffers =
+          match Obs.Journal.active () with
+          | Some j -> (Obs.Journal.dropped j, Obs.Journal.dropped_buffers j)
+          | None -> (0, 0)
+        in
         attempt (fun () -> Obs.Journal.disable ());
         attempt (fun () ->
             Obs.Trace.dump tr (Filename.concat dir "trace.json"));
@@ -207,6 +213,18 @@ let with_artifacts ~kind trace report_dir f =
                        Obs.Jsonw.Obj
                          (List.map (fun (k, n) -> (k, Obs.Jsonw.Int n)) fs) );
                    ])
+             @ (if jdropped_events = 0 && jdropped_buffers = 0 then []
+                else
+                  [
+                    ( "journal",
+                      Obs.Jsonw.Obj
+                        [
+                          ( "dropped_events",
+                            Obs.Jsonw.Int jdropped_events );
+                          ( "dropped_buffers",
+                            Obs.Jsonw.Int jdropped_buffers );
+                        ] );
+                  ])
              @ if err = "" then [] else [ ("error", Obs.Jsonw.Str err) ]));
         attempt (fun () -> Obs.Report.write rep);
         Printf.eprintf "== run report: %s\n%!" (Obs.Report.path rep)
@@ -819,8 +837,27 @@ let serve_cmd =
       & info [ "journal" ] ~docv:"FILE"
           ~doc:"Journal request/search lifecycle events to $(docv).")
   in
+  let slow_threshold_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-threshold" ] ~docv:"MS"
+          ~doc:
+            "Arm slow-request forensics: an optimize request taking at \
+             least $(docv) milliseconds leaves a per-request report \
+             directory (envelope, rid-filtered journal slice, trace).")
+  in
+  let slow_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slow-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for slow-request reports (default: the cache \
+             directory suffixed with -slow).")
+  in
   let run socket cache_dir device max_ops workers budget reference_verify
-      max_searches journal =
+      max_searches journal slow_threshold_ms slow_dir =
     (match journal with
     | Some path -> ignore (Obs.Journal.enable path)
     | None -> ());
@@ -835,11 +872,18 @@ let serve_cmd =
     in
     let server =
       Service.Server.create ~device ~base_config
-        ~max_concurrent_searches:max_searches ~socket_path:socket
-        ~cache_dir ()
+        ~max_concurrent_searches:max_searches
+        ?slow_threshold_s:(Option.map (fun ms -> ms /. 1e3) slow_threshold_ms)
+        ?slow_dir ~socket_path:socket ~cache_dir ()
     in
     Printf.printf "mirage service: socket %s, cache %s, device %s\n%!" socket
       cache_dir device.Gpusim.Device.name;
+    (match Service.Server.slowlog server with
+    | Some sl ->
+        Printf.printf "slow-request forensics: >= %.1f ms -> %s\n%!"
+          (Service.Slowlog.threshold_s sl *. 1e3)
+          (Service.Slowlog.dir sl)
+    | None -> ());
     Service.Server.run server;
     (* flush the journal before exiting so the last lifecycle events of
        a short-lived daemon (CI smokes) reach disk *)
@@ -854,7 +898,7 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ cache_dir_arg $ device_arg $ ops_arg
       $ workers_arg $ budget_arg $ ref_verify_arg $ max_searches_arg
-      $ journal_arg)
+      $ journal_arg $ slow_threshold_arg $ slow_dir_arg)
 
 let request_cmd =
   let what_arg =
@@ -864,12 +908,22 @@ let request_cmd =
       & info [] ~docv:"WHAT"
           ~doc:
             "A benchmark name (sends an optimize request), or one of \
-             $(b,status), $(b,stats), $(b,shutdown).")
+             $(b,status), $(b,stats), $(b,metrics), $(b,shutdown).")
   in
-  let run socket what max_ops workers budget =
+  let prom_flag =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:
+            "With $(b,metrics): ask for (and print) the Prometheus text \
+             exposition instead of the JSON snapshot.")
+  in
+  let run socket what max_ops workers budget prometheus =
     let resp =
       match what with
-      | "status" | "stats" | "shutdown" ->
+      | "metrics" when prometheus ->
+          Service.Client.metrics ~format:"prometheus" ~socket_path:socket ()
+      | "status" | "stats" | "shutdown" | "metrics" ->
           Service.Client.request ~socket_path:socket
             (Obs.Jsonw.Obj [ ("op", Obs.Jsonw.Str what) ])
       | benchmark ->
@@ -887,7 +941,17 @@ let request_cmd =
         Printf.eprintf "request failed: %s\n" m;
         exit 1
     | Ok j -> (
-        print_endline (Obs.Jsonw.pretty j);
+        (match (what, prometheus, Obs.Jsonw.member "text" j) with
+        | "metrics", true, Some (Obs.Jsonw.Str text) -> print_string text
+        | _ -> print_endline (Obs.Jsonw.pretty j));
+        (* a metrics scrape is validated at the edge: a daemon answering
+           with a malformed snapshot fails the request loudly *)
+        (if what = "metrics" && not prometheus then
+           match Service.Telemetry.check_snapshot j with
+           | Ok () -> ()
+           | Error m ->
+               Printf.eprintf "malformed metrics snapshot: %s\n" m;
+               exit 1);
         match Obs.Jsonw.member "status" j with
         | Some (Obs.Jsonw.Str "ok") -> ()
         | _ -> exit 1)
@@ -898,7 +962,73 @@ let request_cmd =
          "Send one request to a running optimization service and print \
           the JSON response")
     Term.(
-      const run $ socket_arg $ what_arg $ ops_arg $ workers_arg $ budget_arg)
+      const run $ socket_arg $ what_arg $ ops_arg $ workers_arg $ budget_arg
+      $ prom_flag)
+
+(* Fetch one validated exposition snapshot from a running daemon. *)
+let fetch_snapshot socket =
+  match Service.Client.metrics ~socket_path:socket () with
+  | Error m ->
+      Printf.eprintf "metrics request failed: %s\n" m;
+      exit 1
+  | Ok snap -> (
+      match Service.Telemetry.check_snapshot snap with
+      | Ok () -> snap
+      | Error m ->
+          Printf.eprintf "malformed metrics snapshot: %s\n" m;
+          exit 1)
+
+let status_cmd =
+  let run socket =
+    let snap = fetch_snapshot socket in
+    print_string (Service.Top.render ~now:(Unix.gettimeofday ()) snap)
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "One-shot health summary of a running optimization service: \
+          uptime, requests served, in-flight count, cache hit rate and \
+          stage latency quantiles (from the validated metrics snapshot)")
+    Term.(const run $ socket_arg)
+
+let top_cmd =
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval"; "n" ] ~docv:"SECONDS" ~doc:"Poll interval.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "count"; "c" ] ~docv:"N"
+          ~doc:"Stop after $(docv) polls (0 = run until interrupted).")
+  in
+  let run socket interval count =
+    let interval = Float.max 0.05 interval in
+    let prev = ref None in
+    let i = ref 0 in
+    let continue_ () = count <= 0 || !i < count in
+    while continue_ () do
+      let snap = fetch_snapshot socket in
+      let now = Unix.gettimeofday () in
+      (* clear screen + home, like top(1); skipped on the first paint so
+         a single poll (--count 1) composes with pipes *)
+      if count <> 1 then print_string "\027[2J\027[H";
+      print_string (Service.Top.render ?prev:!prev ~now snap);
+      flush stdout;
+      prev := Some (now, snap);
+      incr i;
+      if continue_ () then Unix.sleepf interval
+    done
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live one-screen view of a running optimization service: req/s, \
+          outcome and cache-hit tallies, per-stage latency quantiles \
+          (p50/p90/p99/max), in-flight count and degradations, refreshed \
+          every --interval seconds")
+    Term.(const run $ socket_arg $ interval_arg $ count_arg)
 
 let () =
   let info =
@@ -921,4 +1051,6 @@ let () =
             diff_cmd;
             serve_cmd;
             request_cmd;
+            status_cmd;
+            top_cmd;
           ]))

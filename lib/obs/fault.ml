@@ -30,6 +30,7 @@ let known_points =
     "ilp";
     "journal.write";
     "report.finalize";
+    "serve.slow";
   ]
 
 let installed : point list Atomic.t = Atomic.make []

@@ -20,8 +20,8 @@ exception Injected of string
 
 val known_points : string list
 (** The documented probe points: [enum.block], [enum.kernel], [verify],
-    [ilp], [journal.write], [report.finalize]. {!trip} accepts any
-    name. *)
+    [ilp], [journal.write], [report.finalize], [serve.slow]. {!trip}
+    accepts any name. *)
 
 val trip : string -> unit
 (** Raise {!Injected} if the named point is armed and fires; a no-op

@@ -1,0 +1,206 @@
+(* A fixed-memory, log-bucketed latency histogram with a bounded
+   relative error (the HdrHistogram / DDSketch idea).
+
+   Buckets grow geometrically: with gamma = (1 + eps) / (1 - eps),
+   bucket [i] covers [lo * gamma^i, lo * gamma^(i+1)), and every value
+   in a bucket is reported as the bucket's midpoint-in-log-space
+   estimate  e_i = 2 * lo * gamma^i * gamma / (gamma + 1), which is
+   within relative [eps] of every member. Quantiles therefore carry the
+   same bound: the returned estimate is within [eps * v] of the exact
+   sorted-sample quantile value [v] (for samples inside [lo, hi]).
+
+   Memory is fixed at creation (~920 atomic ints for the default
+   1 us .. 100 s at 1% error) and every update is lock-free, so search
+   worker domains and server handler threads record concurrently
+   without coordination. *)
+
+type t = {
+  name : string;
+  help : string;
+  eps : float;
+  lo : float;
+  hi : float;
+  gamma : float;
+  lgamma : float;  (* log gamma, cached for the index computation *)
+  nbuckets : int;
+  buckets : int Atomic.t array;
+  count : int Atomic.t;
+  sum : float Atomic.t;
+  vmin : float Atomic.t;  (* true (unclamped) extrema of recorded values *)
+  vmax : float Atomic.t;
+}
+
+let create ?(error = 0.01) ?(lo = 1e-6) ?(hi = 100.0) ?(help = "") name =
+  if not (error > 0.0 && error < 1.0) then
+    invalid_arg "Hdr.create: error must be in (0, 1)";
+  if not (lo > 0.0 && hi > lo) then
+    invalid_arg "Hdr.create: need 0 < lo < hi";
+  let gamma = (1.0 +. error) /. (1.0 -. error) in
+  let lgamma = Float.log gamma in
+  let nbuckets =
+    1 + int_of_float (Float.floor (Float.log (hi /. lo) /. lgamma))
+  in
+  {
+    name;
+    help;
+    eps = error;
+    lo;
+    hi;
+    gamma;
+    lgamma;
+    nbuckets;
+    buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+    count = Atomic.make 0;
+    sum = Atomic.make 0.0;
+    vmin = Atomic.make Float.infinity;
+    vmax = Atomic.make Float.neg_infinity;
+  }
+
+let name t = t.name
+let help t = t.help
+let error t = t.eps
+let range t = (t.lo, t.hi)
+
+(* Bucket index for a (clamped) value, corrected against the
+   exp-computed bucket edges so float fuzz in log/floor never moves a
+   value across a boundary relative to the estimate it will be reported
+   with. *)
+let index t v =
+  let v = if v < t.lo then t.lo else if v > t.hi then t.hi else v in
+  let i = int_of_float (Float.floor (Float.log (v /. t.lo) /. t.lgamma)) in
+  let i = if i < 0 then 0 else if i > t.nbuckets - 1 then t.nbuckets - 1 else i in
+  let lower = t.lo *. Float.exp (float_of_int i *. t.lgamma) in
+  if v < lower && i > 0 then i - 1
+  else
+    let upper = t.lo *. Float.exp (float_of_int (i + 1) *. t.lgamma) in
+    if v >= upper && i < t.nbuckets - 1 then i + 1 else i
+
+let rec add_float a x =
+  let old = Atomic.get a in
+  if not (Atomic.compare_and_set a old (old +. x)) then add_float a x
+
+let rec min_float a x =
+  let old = Atomic.get a in
+  if x < old && not (Atomic.compare_and_set a old x) then min_float a x
+
+let rec max_float a x =
+  let old = Atomic.get a in
+  if x > old && not (Atomic.compare_and_set a old x) then max_float a x
+
+let record t v =
+  if Float.is_nan v then ()
+  else begin
+    Atomic.incr t.buckets.(index t v);
+    Atomic.incr t.count;
+    add_float t.sum v;
+    min_float t.vmin v;
+    max_float t.vmax v
+  end
+
+let count t = Atomic.get t.count
+
+let reset t =
+  Array.iter (fun b -> Atomic.set b 0) t.buckets;
+  Atomic.set t.count 0;
+  Atomic.set t.sum 0.0;
+  Atomic.set t.vmin Float.infinity;
+  Atomic.set t.vmax Float.neg_infinity
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  eps : float;
+  lo : float;
+  hi : float;
+  gamma : float;
+  counts : int array;
+  count : int;
+  sum : float;
+  vmin : float;  (* infinity / neg_infinity when empty *)
+  vmax : float;
+}
+
+let snapshot (t : t) =
+  {
+    eps = t.eps;
+    lo = t.lo;
+    hi = t.hi;
+    gamma = t.gamma;
+    counts = Array.map Atomic.get t.buckets;
+    count = Atomic.get t.count;
+    sum = Atomic.get t.sum;
+    vmin = Atomic.get t.vmin;
+    vmax = Atomic.get t.vmax;
+  }
+
+let merge (a : snapshot) (b : snapshot) =
+  if
+    a.eps <> b.eps || a.lo <> b.lo || a.hi <> b.hi
+    || Array.length a.counts <> Array.length b.counts
+  then invalid_arg "Hdr.merge: incompatible histograms"
+  else
+    {
+      a with
+      counts = Array.map2 ( + ) a.counts b.counts;
+      count = a.count + b.count;
+      sum = a.sum +. b.sum;
+      vmin = Float.min a.vmin b.vmin;
+      vmax = Float.max a.vmax b.vmax;
+    }
+
+let estimate_of_bucket (s : snapshot) i =
+  let lower = s.lo *. Float.exp (float_of_int i *. Float.log s.gamma) in
+  2.0 *. lower *. s.gamma /. (s.gamma +. 1.0)
+
+(* Exact-sample rank rule: r = max 1 (ceil (p * n)), answer is the r-th
+   smallest. The bucket scan finds the bucket holding that sample, whose
+   estimate is within eps of it. *)
+let snap_quantile (s : snapshot) p =
+  if s.count = 0 then 0.0
+  else begin
+    let p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p in
+    let rank =
+      let r = int_of_float (Float.ceil (p *. float_of_int s.count)) in
+      if r < 1 then 1 else if r > s.count then s.count else r
+    in
+    let n = Array.length s.counts in
+    let rec go i acc =
+      if i >= n then estimate_of_bucket s (n - 1)
+      else
+        let acc = acc + s.counts.(i) in
+        if acc >= rank then estimate_of_bucket s i else go (i + 1) acc
+    in
+    go 0 0
+  end
+
+let quantile t p = snap_quantile (snapshot t) p
+let snap_mean (s : snapshot) =
+  if s.count = 0 then 0.0 else s.sum /. float_of_int s.count
+
+let mean t = snap_mean (snapshot t)
+
+(* ------------------------------------------------------------------ *)
+(* Exposition                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let us v = v *. 1e6
+
+(* The standard quantile card: everything in microseconds, which is the
+   natural unit for request latencies between 1 us and 100 s. *)
+let snap_to_json (s : snapshot) =
+  Jsonw.Obj
+    [
+      ("count", Jsonw.Int s.count);
+      ("error", Jsonw.Float s.eps);
+      ("sum_us", Jsonw.Float (us s.sum));
+      ("mean_us", Jsonw.Float (us (snap_mean s)));
+      ("p50_us", Jsonw.Float (us (snap_quantile s 0.5)));
+      ("p90_us", Jsonw.Float (us (snap_quantile s 0.9)));
+      ("p99_us", Jsonw.Float (us (snap_quantile s 0.99)));
+      ("min_us", Jsonw.Float (if s.count = 0 then 0.0 else us s.vmin));
+      ("max_us", Jsonw.Float (if s.count = 0 then 0.0 else us s.vmax));
+    ]
+
+let to_json t = snap_to_json (snapshot t)

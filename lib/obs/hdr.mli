@@ -1,0 +1,80 @@
+(** A domain-safe, fixed-memory latency histogram with bounded relative
+    error (HdrHistogram / DDSketch style).
+
+    Buckets are geometric with ratio [gamma = (1+error)/(1-error)]: for
+    any recorded value [v] in [[lo, hi]], the estimate reported for
+    [v]'s bucket is within [error * v] of [v]. Quantiles inherit the
+    bound: {!quantile} returns an estimate within relative [error] of
+    the exact sorted-sample quantile at rank
+    [max 1 (ceil (p * count))] — the property the qcheck suite asserts
+    across six orders of magnitude. Values outside [[lo, hi]] are
+    clamped into the edge buckets (the true min/max are still tracked
+    exactly).
+
+    Memory is fixed at creation (~920 buckets for the default
+    1 µs … 100 s at 1% error) and {!record} is lock-free — one atomic
+    increment per bucket/count plus CAS loops for sum/min/max — so
+    server handler threads and search worker domains record
+    concurrently without losing updates. *)
+
+type t
+
+val create :
+  ?error:float -> ?lo:float -> ?hi:float -> ?help:string -> string -> t
+(** [create name] — a histogram covering [lo, hi] (seconds; default
+    1e-6 … 100.0) with relative error bound [error] (default 0.01).
+    Raises [Invalid_argument] unless [0 < error < 1] and [0 < lo < hi]. *)
+
+val name : t -> string
+val help : t -> string
+
+val error : t -> float
+(** The relative-error bound [eps] the histogram was created with. *)
+
+val range : t -> float * float
+
+val record : t -> float -> unit
+(** Record one value in seconds. Lock-free; NaN is ignored. *)
+
+val count : t -> int
+val mean : t -> float
+
+val quantile : t -> float -> float
+(** [quantile t p] — estimate of the exact sample quantile at rank
+    [max 1 (ceil (p * count))], within relative {!error} for samples in
+    [[lo, hi]]. Returns [0.0] when empty; [p] is clamped to [0, 1]. *)
+
+val reset : t -> unit
+
+(** {1 Snapshots}
+
+    A consistent-enough copy for rendering: bucket counts are read one
+    atomic load each (a snapshot taken mid-record may be off by the
+    in-flight event, never torn). *)
+
+type snapshot = {
+  eps : float;
+  lo : float;
+  hi : float;
+  gamma : float;
+  counts : int array;
+  count : int;
+  sum : float;
+  vmin : float;  (** true recorded min; [infinity] when empty *)
+  vmax : float;  (** true recorded max; [neg_infinity] when empty *)
+}
+
+val snapshot : t -> snapshot
+val snap_quantile : snapshot -> float -> float
+val snap_mean : snapshot -> float
+
+val merge : snapshot -> snapshot -> snapshot
+(** Bucket-wise sum. Raises [Invalid_argument] on mismatched
+    [eps]/[lo]/[hi]. *)
+
+val snap_to_json : snapshot -> Jsonw.t
+(** The quantile card used by the service exposition: [count], [error],
+    [sum_us]/[mean_us], [p50_us]/[p90_us]/[p99_us], exact
+    [min_us]/[max_us] — all durations in microseconds. *)
+
+val to_json : t -> Jsonw.t

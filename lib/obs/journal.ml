@@ -15,7 +15,44 @@ type t = {
   capacity : int;
   closed : bool Atomic.t;
   dropped : int Atomic.t;  (** events lost to failed writes *)
+  dropped_bufs : int Atomic.t;  (** whole buffers lost to failed writes *)
 }
+
+(* --- ambient event context ------------------------------------------- *)
+
+(* Fields stamped onto every event emitted by the current thread — the
+   request id, chiefly, so a server request's events are filterable
+   without threading an argument through every instrumented layer.
+   Keyed by (domain, thread): threads within a domain share Domain.DLS,
+   so DLS alone would let concurrent server handler threads clobber
+   each other's ids. The table is an immutable assoc list swapped by
+   CAS — readers (every [emit]) are lock-free; writers (request entry
+   and exit) retry on contention. Domain and thread ids are never
+   reused within a process, so a stale entry can only leak, never
+   mis-tag; [with_context] and the search-worker wrappers clean up
+   regardless. *)
+
+let ctx_table : ((int * int) * (string * Jsonw.t) list) list Atomic.t =
+  Atomic.make []
+
+let ctx_key () = ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+let rec set_context fields =
+  let cur = Atomic.get ctx_table in
+  let key = ctx_key () in
+  let rest = List.remove_assoc key cur in
+  let next = if fields = [] then rest else (key, fields) :: rest in
+  if not (Atomic.compare_and_set ctx_table cur next) then set_context fields
+
+let context () =
+  match List.assoc_opt (ctx_key ()) (Atomic.get ctx_table) with
+  | Some fields -> fields
+  | None -> []
+
+let with_context fields f =
+  let saved = context () in
+  set_context fields;
+  Fun.protect ~finally:(fun () -> set_context saved) f
 
 let create ?(capacity = 128) ~path () =
   let oc = open_out path in
@@ -43,6 +80,7 @@ let create ?(capacity = 128) ~path () =
         capacity = max 1 capacity;
         closed = Atomic.make false;
         dropped = Atomic.make 0;
+        dropped_bufs = Atomic.make 0;
       }
   in
   Lazy.force t
@@ -50,6 +88,23 @@ let create ?(capacity = 128) ~path () =
 let path t = t.jpath
 let fresh_id t = Atomic.fetch_and_add t.ids 1
 let dropped t = Atomic.get t.dropped
+let dropped_buffers t = Atomic.get t.dropped_bufs
+
+(* Process-wide loss accounting in the default metrics registry, so a
+   silent buffer drop is visible in any metrics exposition (the service
+   [metrics] op, report.json status) even after the journal that
+   suffered it is closed. Lazy: registering at module init would create
+   the default registry before anyone asked for it. *)
+let c_dropped_events =
+  lazy
+    (Metrics.counter (Metrics.default ())
+       ~help:"journal events dropped on write failure" "journal.dropped_events")
+
+let c_dropped_buffers =
+  lazy
+    (Metrics.counter (Metrics.default ())
+       ~help:"whole journal buffers dropped on write failure"
+       "journal.dropped_buffers")
 
 (* Caller must hold [b.block]. A failed write (disk full, injected
    fault) drops this buffer's events and degrades the run instead of
@@ -66,6 +121,9 @@ let drain_locked t (b : dbuf) =
          flush t.oc
        with e ->
          Atomic.fetch_and_add t.dropped b.events |> ignore;
+         Atomic.incr t.dropped_bufs;
+         Metrics.add (Lazy.force c_dropped_events) b.events;
+         Metrics.bump (Lazy.force c_dropped_buffers);
          Budget.degrade "journal.write";
          Log.warn (fun m ->
              m "journal: dropped %d event(s) on write failure: %s" b.events
@@ -77,6 +135,12 @@ let drain_locked t (b : dbuf) =
 
 let emit t ?(cand = -1) ~typ fields =
   if not (Atomic.get t.closed) then begin
+    (* ambient context fields ride along; an explicit field wins *)
+    let ctx =
+      match context () with
+      | [] -> []
+      | ctx -> List.filter (fun (k, _) -> not (List.mem_assoc k fields)) ctx
+    in
     let line =
       Jsonw.Obj
         (("seq", Jsonw.Int (Atomic.fetch_and_add t.seq 1))
@@ -84,7 +148,7 @@ let emit t ?(cand = -1) ~typ fields =
         :: ("dom", Jsonw.Int (Domain.self () :> int))
         :: ("ev", Jsonw.Str typ)
         :: (if cand >= 0 then [ ("cand", Jsonw.Int cand) ] else [])
-        @ fields)
+        @ fields @ ctx)
     in
     let b = Domain.DLS.get t.dls in
     Mutex.lock b.block;
@@ -179,3 +243,6 @@ let cand_of j = int_field "cand" j
 
 let typ_of j =
   match Jsonw.member "ev" j with Some (Jsonw.Str s) -> s | _ -> ""
+
+let rid_of j =
+  match Jsonw.member "rid" j with Some (Jsonw.Str s) -> s | _ -> ""

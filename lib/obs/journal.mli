@@ -43,8 +43,33 @@ val dropped : t -> int
 (** Events lost to failed writes (disk full, injected [journal.write]
     fault). A failed drain drops whole per-domain buffers — before any
     byte reaches the channel — degrades the run ([Budget.degrade
-    "journal.write"]) and keeps the search alive; the file never
-    contains a torn line. *)
+    "journal.write"]), bumps the [journal.dropped_events] /
+    [journal.dropped_buffers] counters in the default metrics registry,
+    and keeps the search alive; the file never contains a torn line. *)
+
+val dropped_buffers : t -> int
+(** Whole per-domain buffers lost to failed writes. *)
+
+(** {1 Ambient event context}
+
+    Fields stamped onto every event emitted by the current thread —
+    the serving tier installs [("rid", Str id)] around request
+    dispatch so one request id joins a client call to its search
+    forensics. Keyed by (domain, thread) — threads sharing a domain do
+    not clobber each other — and inherited explicitly: code that spawns
+    worker domains captures {!context} in the parent and calls
+    {!set_context} in the child (the search generator does this), so a
+    request's events keep its id across the fan-out. Lock-free reads;
+    an explicit event field with the same key wins over the context. *)
+
+val set_context : (string * Jsonw.t) list -> unit
+(** Replace the calling thread's context fields ([[]] clears). *)
+
+val context : unit -> (string * Jsonw.t) list
+
+val with_context : (string * Jsonw.t) list -> (unit -> 'a) -> 'a
+(** Run with the given context fields installed, restoring the previous
+    context on exit (exceptions included). *)
 
 val flush : t -> unit
 (** Drain every registered per-domain buffer and flush the channel.
@@ -87,5 +112,7 @@ val read_file : string -> (Jsonw.t list, string) result
 val seq_of : Jsonw.t -> int
 val cand_of : Jsonw.t -> int
 val typ_of : Jsonw.t -> string
+val rid_of : Jsonw.t -> string
 (** Accessors for the fixed fields ([-1] / [""] when absent), so readers
-    like [mirage_cli explain] do not re-implement the schema. *)
+    like [mirage_cli explain] and the slow-request forensics do not
+    re-implement the schema. *)

@@ -16,9 +16,11 @@ type t = {
   counters : (string, counter) Hashtbl.t;
   hists : (string, histogram) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
+  hdrs : (string, Hdr.t) Hashtbl.t;
   mutable corder : string list;  (** reversed registration order *)
   mutable horder : string list;
   mutable gorder : string list;
+  mutable dorder : string list;
 }
 
 let create () =
@@ -27,9 +29,11 @@ let create () =
     counters = Hashtbl.create 64;
     hists = Hashtbl.create 16;
     gauges = Hashtbl.create 16;
+    hdrs = Hashtbl.create 16;
     corder = [];
     horder = [];
     gorder = [];
+    dorder = [];
   }
 
 let default_reg = lazy (create ())
@@ -74,6 +78,16 @@ let histogram t ?(help = "") ?(buckets = duration_buckets) name =
           in
           Hashtbl.add t.hists name h;
           t.horder <- name :: t.horder;
+          h)
+
+let hdr t ?(help = "") ?error ?lo ?hi name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.hdrs name with
+      | Some h -> h
+      | None ->
+          let h = Hdr.create ?error ?lo ?hi ~help name in
+          Hashtbl.add t.hdrs name h;
+          t.dorder <- name :: t.dorder;
           h)
 
 let gauge t ?(help = "") name =
@@ -130,6 +144,7 @@ type snapshot = {
   counters : (string * int) list;
   hists : (string * hist_snapshot) list;
   gauges : (string * float) list;
+  hdrs : (string * Hdr.snapshot) list;
 }
 
 let snapshot t =
@@ -156,12 +171,17 @@ let snapshot t =
                   sum = Atomic.get h.hsum;
                 } ))
             t.horder;
+        hdrs =
+          List.rev_map
+            (fun name -> (name, Hdr.snapshot (Hashtbl.find t.hdrs name)))
+            t.dorder;
       })
 
 let merge snaps =
   let corder = ref [] and cvals = Hashtbl.create 64 in
   let horder = ref [] and hvals = Hashtbl.create 16 in
   let gorder = ref [] and gvals = Hashtbl.create 16 in
+  let dorder = ref [] and dvals = Hashtbl.create 16 in
   List.iter
     (fun s ->
       (* gauges merge by max: the use case is peaks (smem high-water). *)
@@ -196,12 +216,24 @@ let merge snaps =
           | None ->
               Hashtbl.add hvals name h;
               horder := name :: !horder)
-        s.hists)
+        s.hists;
+      List.iter
+        (fun (name, (d : Hdr.snapshot)) ->
+          match Hashtbl.find_opt dvals name with
+          | Some prev -> (
+              match Hdr.merge prev d with
+              | merged -> Hashtbl.replace dvals name merged
+              | exception Invalid_argument _ -> ()  (* first wins *))
+          | None ->
+              Hashtbl.add dvals name d;
+              dorder := name :: !dorder)
+        s.hdrs)
     snaps;
   {
     counters = List.rev_map (fun n -> (n, Hashtbl.find cvals n)) !corder;
     hists = List.rev_map (fun n -> (n, Hashtbl.find hvals n)) !horder;
     gauges = List.rev_map (fun n -> (n, Hashtbl.find gvals n)) !gorder;
+    hdrs = List.rev_map (fun n -> (n, Hashtbl.find dvals n)) !dorder;
   }
 
 let reset t =
@@ -213,7 +245,8 @@ let reset t =
           Array.iter (fun b -> Atomic.set b 0) h.buckets;
           Atomic.set h.hcount 0;
           Atomic.set h.hsum 0.0)
-        t.hists)
+        t.hists;
+      Hashtbl.iter (fun _ h -> Hdr.reset h) t.hdrs)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -257,6 +290,17 @@ let to_table s =
             Buffer.add_string buf (Printf.sprintf "     %-12s %12d\n" label c))
         h.counts)
     s.hists;
+  List.iter
+    (fun (name, (d : Hdr.snapshot)) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "-- hdr %s: count=%d mean=%.6gus p50=%.6gus p99=%.6gus max=%.6gus\n"
+           name d.Hdr.count
+           (1e6 *. Hdr.snap_mean d)
+           (1e6 *. Hdr.snap_quantile d 0.5)
+           (1e6 *. Hdr.snap_quantile d 0.99)
+           (if d.Hdr.count = 0 then 0.0 else 1e6 *. d.Hdr.vmax)))
+    s.hdrs;
   Buffer.contents buf
 
 let to_json s =
@@ -285,4 +329,6 @@ let to_json s =
                             (Array.map (fun c -> Jsonw.Int c) h.counts)) );
                    ] ))
              s.hists) );
+      ( "hdr",
+        Jsonw.Obj (List.map (fun (n, d) -> (n, Hdr.snap_to_json d)) s.hdrs) );
     ]

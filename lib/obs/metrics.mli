@@ -38,6 +38,15 @@ val histogram : t -> ?help:string -> ?buckets:float array -> string -> histogram
     registered the existing histogram is returned and [buckets] is
     ignored. *)
 
+val hdr :
+  t -> ?help:string -> ?error:float -> ?lo:float -> ?hi:float -> string -> Hdr.t
+(** [hdr reg name] registers (idempotently — like the other kinds,
+    later [error]/[lo]/[hi] are ignored if [name] exists) a bounded
+    relative-error latency histogram ({!Hdr}), carried through
+    {!snapshot}/{!merge}/{!reset} and rendered with quantiles. Use it
+    where a fixed-bucket {!histogram} is too coarse: request-latency
+    p50/p99 that must stay meaningful from microseconds to minutes. *)
+
 val gauge : t -> ?help:string -> string -> gauge
 (** [gauge reg name] registers (idempotently) a float gauge — a
     last-written or high-water value, e.g. a peak shared-memory plan
@@ -85,6 +94,7 @@ type snapshot = {
   counters : (string * int) list;  (** in registration order *)
   hists : (string * hist_snapshot) list;
   gauges : (string * float) list;
+  hdrs : (string * Hdr.snapshot) list;
 }
 
 val snapshot : t -> snapshot

@@ -23,6 +23,15 @@ let task_label = function
   | T_kernel -> "kernel"
   | T_root _ -> "root"
 
+(* Worker domains inherit the spawner's ambient journal context (the
+   serving tier's request id), so a request's id survives the fan-out
+   and its search events stay filterable by rid. *)
+let spawn_worker f =
+  let ctx = Obs.Journal.context () in
+  Domain.spawn (fun () ->
+      Obs.Journal.set_context ctx;
+      Fun.protect ~finally:(fun () -> Obs.Journal.set_context []) f)
+
 (* Run the enumerators over all tasks, collecting deduplicated raw
    candidates. Workers pull tasks from a shared atomic counter.
 
@@ -195,7 +204,7 @@ let generate (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ?checkpoint
   else begin
     let domains =
       List.init (min workers (Array.length tasks)) (fun _ ->
-          Domain.spawn worker)
+          spawn_worker worker)
     in
     (* Salvage-then-report: join every domain before deciding the run's
        fate, so a crash that escaped one worker's quarantine (e.g. in the
@@ -384,7 +393,7 @@ let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false) ?budget
                 ()
         done
       in
-      join (List.init vworkers (fun _ -> Domain.spawn worker));
+      join (List.init vworkers (fun _ -> spawn_worker worker));
       let acc = ref [] in
       for i = n - 1 downto 0 do
         if passed.(i) then
@@ -425,7 +434,7 @@ let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false) ?budget
                 ()
         done
       in
-      join (List.init vworkers (fun _ -> Domain.spawn worker));
+      join (List.init vworkers (fun _ -> spawn_worker worker));
       match Atomic.get winner with
       | w when w < n ->
           let (gid, g), _ = arr.(w) in

@@ -12,6 +12,10 @@ let connect ~socket_path =
   fd
 
 let request ~socket_path req =
+  (* mint a request id unless the caller brought one: the id comes back
+     in the response and tags every server-side journal event, so a
+     caller can join its call to the server's forensics *)
+  let req, _rid = Reqid.ensure req in
   match connect ~socket_path with
   | exception e ->
       Error
@@ -42,6 +46,12 @@ let simple ~socket_path op = request ~socket_path (J.Obj [ ("op", J.Str op) ])
 let status ~socket_path = simple ~socket_path "status"
 let stats ~socket_path = simple ~socket_path "stats"
 let shutdown ~socket_path = simple ~socket_path "shutdown"
+
+let metrics ?format ~socket_path () =
+  request ~socket_path
+    (J.Obj
+       (("op", J.Str "metrics")
+       :: (match format with Some f -> [ ("format", J.Str f) ] | None -> [])))
 
 (* Poll until the server socket accepts a connection (daemon startup). *)
 let wait_ready ?(timeout_s = 10.0) ~socket_path () =

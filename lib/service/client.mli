@@ -4,6 +4,9 @@
 
 val request :
   socket_path:string -> Obs.Jsonw.t -> (Obs.Jsonw.t, string) result
+(** Send one frame. A ["request_id"] is minted ({!Reqid}) unless the
+    request already carries a valid one; the server echoes it in the
+    response and stamps it on every journal event of the dispatch. *)
 
 val optimize :
   ?fields:(string * Obs.Jsonw.t) list ->
@@ -25,6 +28,11 @@ val optimize_graph :
 val status : socket_path:string -> (Obs.Jsonw.t, string) result
 val stats : socket_path:string -> (Obs.Jsonw.t, string) result
 val shutdown : socket_path:string -> (Obs.Jsonw.t, string) result
+
+val metrics :
+  ?format:string -> socket_path:string -> unit -> (Obs.Jsonw.t, string) result
+(** The telemetry exposition snapshot ({!Telemetry.snapshot_schema});
+    [~format:"prometheus"] asks for the text format instead. *)
 
 val wait_ready : ?timeout_s:float -> socket_path:string -> unit -> bool
 (** Poll [status] until the daemon answers (or the timeout elapses). *)

@@ -57,6 +57,7 @@ type outcome = Done of J.t | Failed of string
 type flight = {
   fm : Mutex.t;
   fc : Condition.t;
+  leader_rid : string;  (* the request id whose search everyone shares *)
   mutable result : outcome option;  (* None while the search runs *)
 }
 
@@ -78,6 +79,8 @@ type t = {
   c_searches : Obs.Metrics.counter;
   c_coalesced : Obs.Metrics.counter;
   c_errors : Obs.Metrics.counter;
+  telemetry : Telemetry.t;
+  slowlog : Slowlog.t option;
   mutable in_flight : int;
 }
 
@@ -85,8 +88,8 @@ let payload_schema = "mirage.service.payload.v1"
 
 let create ?(mem_capacity = 64) ?(registry = Obs.Metrics.default ())
     ?(device = Gpusim.Device.a100) ?(base_config = Search.Config.default)
-    ?(verify_trials = 2) ?(max_concurrent_searches = 2) ~socket_path
-    ~cache_dir () =
+    ?(verify_trials = 2) ?(max_concurrent_searches = 2) ?slow_threshold_s
+    ?slow_dir ?slow_max_reports ~socket_path ~cache_dir () =
   let c name help = Obs.Metrics.counter registry ~help name in
   {
     socket_path;
@@ -107,8 +110,22 @@ let create ?(mem_capacity = 64) ?(registry = Obs.Metrics.default ())
     c_coalesced =
       c "service.coalesced" "requests served by another request's search";
     c_errors = c "service.errors" "requests answered with an error";
+    telemetry = Telemetry.create ~registry ();
+    slowlog =
+      (match slow_threshold_s with
+      | None -> None
+      | Some threshold_s ->
+          let dir =
+            match slow_dir with Some d -> d | None -> cache_dir ^ "-slow"
+          in
+          Some
+            (Slowlog.create ~registry ?max_reports:slow_max_reports ~dir
+               ~threshold_s ()));
     in_flight = 0;
   }
+
+let telemetry t = t.telemetry
+let slowlog t = t.slowlog
 
 let cache t = t.cache
 
@@ -256,14 +273,33 @@ let run_search t ~config ~device ~benchmark ~spec ~fp =
 
 (* --- single flight ---------------------------------------------------- *)
 
-(* Returns (payload, cached, coalesced). *)
-let optimize t req =
+(* The chaos hook for the slow-request forensics path: when armed
+   ([MIRAGE_FAULT=serve.slow:...]), an optimize request stalls for
+   [MIRAGE_FAULT_SLOW_MS] (default 250) instead of raising — the
+   injected latency crosses the slow threshold and exercises the
+   capture machinery end to end. *)
+let slow_probe () =
+  try Obs.Fault.trip "serve.slow"
+  with Obs.Fault.Injected _ ->
+    let ms =
+      match Sys.getenv_opt "MIRAGE_FAULT_SLOW_MS" with
+      | Some s -> ( try float_of_string s with _ -> 250.0)
+      | None -> 250.0
+    in
+    Unix.sleepf (ms /. 1e3)
+
+(* Returns (fingerprint, payload, cached, coalesced, served_by): the
+   sample accumulates stage timings (cache probe, queue wait, search)
+   and [served_by] is the leader's request id when this request was
+   coalesced onto another's search. *)
+let optimize t ~rid ~(sample : Telemetry.sample) req =
   match resolve_spec req with
   | Error m -> Error m
   | Ok (benchmark, spec) -> (
       match resolve_device t req with
       | Error m -> Error m
       | Ok device -> (
+          slow_probe ();
           let config = request_config t req spec in
           let fp = Fingerprint.make ~device ~config spec in
           let serve_cached payload =
@@ -275,8 +311,14 @@ let optimize t req =
                 Cache.quarantine t.cache fp ~reason;
                 None
           in
-          match Option.bind (Cache.find t.cache fp) serve_cached with
-          | Some payload -> Ok (fp, payload, true, false)
+          let probe =
+            Telemetry.time_stage sample "cache_probe" (fun () ->
+                Option.bind (Cache.find t.cache fp) serve_cached)
+          in
+          match probe with
+          | Some payload ->
+              Telemetry.set_outcome sample "hit";
+              Ok (fp, payload, true, false, None)
           | None -> (
               Obs.Journal.event "cache.miss" [ ("fingerprint", J.Str fp) ];
               (* join or create the flight for this fingerprint *)
@@ -289,6 +331,7 @@ let optimize t req =
                       {
                         fm = Mutex.create ();
                         fc = Condition.create ();
+                        leader_rid = rid;
                         result = None;
                       }
                     in
@@ -297,13 +340,16 @@ let optimize t req =
               in
               Mutex.unlock t.lock;
               if creator then begin
+                Telemetry.set_outcome sample "miss";
                 let outcome =
-                  Sem.acquire t.search_slots;
+                  Telemetry.time_stage sample "queue_wait" (fun () ->
+                      Sem.acquire t.search_slots);
                   Fun.protect
                     ~finally:(fun () -> Sem.release t.search_slots)
                     (fun () ->
                       match
-                        run_search t ~config ~device ~benchmark ~spec ~fp
+                        Telemetry.time_stage sample "search" (fun () ->
+                            run_search t ~config ~device ~benchmark ~spec ~fp)
                       with
                       | payload ->
                           Cache.store t.cache fp payload;
@@ -322,13 +368,17 @@ let optimize t req =
                 Hashtbl.remove t.flights fp;
                 Mutex.unlock t.lock;
                 match outcome with
-                | Done payload -> Ok (fp, payload, false, false)
+                | Done payload -> Ok (fp, payload, false, false, None)
                 | Failed m -> Error (Printf.sprintf "search failed: %s" m)
               end
               else begin
+                Telemetry.set_outcome sample "coalesced";
                 Obs.Metrics.bump t.c_coalesced;
                 Obs.Journal.event "request.coalesced"
-                  [ ("fingerprint", J.Str fp) ];
+                  [
+                    ("fingerprint", J.Str fp);
+                    ("leader_rid", J.Str flight.leader_rid);
+                  ];
                 Mutex.lock flight.fm;
                 while flight.result = None do
                   Condition.wait flight.fc flight.fm
@@ -336,7 +386,8 @@ let optimize t req =
                 let outcome = Option.get flight.result in
                 Mutex.unlock flight.fm;
                 match outcome with
-                | Done payload -> Ok (fp, payload, false, true)
+                | Done payload ->
+                    Ok (fp, payload, false, true, Some flight.leader_rid)
                 | Failed m -> Error (Printf.sprintf "search failed: %s" m)
               end)))
 
@@ -345,29 +396,55 @@ let optimize t req =
 let error_response msg =
   J.Obj [ ("status", J.Str "error"); ("message", J.Str msg) ]
 
-let status_json t =
+let current_in_flight t =
   Mutex.lock t.lock;
-  let in_flight = t.in_flight in
+  let n = t.in_flight in
   Mutex.unlock t.lock;
+  n
+
+let hit_rate_json t =
+  let snap = Obs.Metrics.snapshot (Telemetry.registry t.telemetry) in
+  let hits, misses, rate = Telemetry.cache_rates snap in
+  ((hits, misses), J.Float rate)
+
+let status_json t =
+  let (hits, misses), hit_rate = hit_rate_json t in
   J.Obj
-    [
-      ("status", J.Str "ok");
-      ("uptime_s", J.Float (Unix.gettimeofday () -. t.started_at));
-      ("requests", J.Int (Obs.Metrics.value t.c_requests));
-      ("searches", J.Int (Obs.Metrics.value t.c_searches));
-      ("coalesced", J.Int (Obs.Metrics.value t.c_coalesced));
-      ("errors", J.Int (Obs.Metrics.value t.c_errors));
-      ("in_flight", J.Int in_flight);
-      ( "cache",
-        J.Obj
-          [
-            ("mem_entries", J.Int (Cache.mem_entries t.cache));
-            ("disk_entries", J.Int (Cache.disk_entries t.cache));
-            ("dir", J.Str (Cache.dir t.cache));
-          ] );
-      ("device", J.Str t.device.Gpusim.Device.name);
-      ("socket", J.Str t.socket_path);
-    ]
+    ([
+       ("status", J.Str "ok");
+       ("uptime_s", J.Float (Unix.gettimeofday () -. t.started_at));
+       ("requests", J.Int (Obs.Metrics.value t.c_requests));
+       ("searches", J.Int (Obs.Metrics.value t.c_searches));
+       ("coalesced", J.Int (Obs.Metrics.value t.c_coalesced));
+       ("errors", J.Int (Obs.Metrics.value t.c_errors));
+       ("in_flight", J.Int (current_in_flight t));
+       ( "cache",
+         J.Obj
+           [
+             ("mem_entries", J.Int (Cache.mem_entries t.cache));
+             ("disk_entries", J.Int (Cache.disk_entries t.cache));
+             ("hits", J.Int hits);
+             ("misses", J.Int misses);
+             ("hit_rate", hit_rate);
+             ("dir", J.Str (Cache.dir t.cache));
+           ] );
+       ("device", J.Str t.device.Gpusim.Device.name);
+       ("socket", J.Str t.socket_path);
+     ]
+    @
+    match t.slowlog with
+    | None -> []
+    | Some sl ->
+        [
+          ( "slow",
+            J.Obj
+              [
+                ("threshold_ms", J.Float (Slowlog.threshold_s sl *. 1e3));
+                ("captured", J.Int (Slowlog.captured sl));
+                ("skipped", J.Int (Slowlog.skipped sl));
+                ("dir", J.Str (Slowlog.dir sl));
+              ] );
+        ])
 
 let stats_json () =
   J.Obj
@@ -376,6 +453,47 @@ let stats_json () =
       ( "metrics",
         Obs.Metrics.to_json (Obs.Metrics.snapshot (Obs.Metrics.default ())) );
     ]
+
+(* The "metrics" op: the schema'd exposition snapshot ({!Telemetry}),
+   or the Prometheus text format when the request asks for it. *)
+let metrics_json t req =
+  match str_field "format" req with
+  | Some "prometheus" ->
+      J.Obj
+        [
+          ("status", J.Str "ok");
+          ("content_type", J.Str "text/plain; version=0.0.4");
+          ("text", J.Str (Telemetry.prometheus t.telemetry));
+        ]
+  | _ ->
+      let slow_extra =
+        match t.slowlog with
+        | None -> []
+        | Some sl ->
+            [
+              ( "slow",
+                J.Obj
+                  [
+                    ("threshold_ms", J.Float (Slowlog.threshold_s sl *. 1e3));
+                    ("captured", J.Int (Slowlog.captured sl));
+                    ("skipped", J.Int (Slowlog.skipped sl));
+                  ] );
+            ]
+      in
+      let extra =
+        [
+          ("status", J.Str "ok");
+          ( "cache_entries",
+            J.Obj
+              [
+                ("mem", J.Int (Cache.mem_entries t.cache));
+                ("disk", J.Int (Cache.disk_entries t.cache));
+              ] );
+        ]
+        @ slow_extra
+      in
+      Telemetry.snapshot_json ~extra t.telemetry
+        ~in_flight:(current_in_flight t) ()
 
 (* Closing a listening socket does not wake a thread blocked in
    accept(2) on it, so stopping takes two steps: shutdown(2) the
@@ -400,35 +518,58 @@ let shutdown_now t =
              try Unix.connect c (Unix.ADDR_UNIX t.socket_path) with _ -> ())
        with _ -> ())
 
-let handle_request t req =
+(* Dispatch one (rid-carrying) request, accumulating stage timings and
+   the outcome into [sample]. Every journal event emitted below this
+   point — including from search worker domains, which inherit the
+   context — carries the rid, and the response echoes it. *)
+let dispatch t ~rid ~(sample : Telemetry.sample) req =
   Obs.Metrics.bump t.c_requests;
-  let op = match str_field "op" req with Some s -> s | None -> "" in
+  let op = Telemetry.sample_op sample in
   Obs.Journal.event "request.recv" [ ("op", J.Str op) ];
   let t0 = Unix.gettimeofday () in
   let resp =
     match op with
     | "optimize" -> (
-        match optimize t req with
-        | Ok (fp, payload, cached, coalesced) ->
+        match optimize t ~rid ~sample req with
+        | Ok (fp, payload, cached, coalesced, served_by) ->
+            (match J.member "degraded" payload with
+            | Some (J.List (_ :: _)) -> Telemetry.set_degraded sample
+            | _ -> ());
             J.Obj
-              [
-                ("status", J.Str "ok");
-                ("fingerprint", J.Str fp);
-                ("cached", J.Bool cached);
-                ("coalesced", J.Bool coalesced);
-                ("result", payload);
-              ]
+              ([
+                 ("status", J.Str "ok");
+                 ("fingerprint", J.Str fp);
+                 ("cached", J.Bool cached);
+                 ("coalesced", J.Bool coalesced);
+               ]
+              @ (match served_by with
+                | Some leader -> [ ("served_by", J.Str leader) ]
+                | None -> [])
+              @ [ ("result", payload) ])
         | Error m ->
+            Telemetry.set_outcome sample "error";
             Obs.Metrics.bump t.c_errors;
-            error_response m)
+            error_response m
+        | exception e ->
+            Telemetry.set_outcome sample "error";
+            Obs.Metrics.bump t.c_errors;
+            error_response (Printexc.to_string e))
     | "status" -> status_json t
     | "stats" -> stats_json ()
+    | "metrics" -> metrics_json t req
     | "shutdown" ->
         shutdown_now t;
         J.Obj [ ("status", J.Str "ok"); ("stopping", J.Bool true) ]
     | other ->
+        Telemetry.set_outcome sample "error";
         Obs.Metrics.bump t.c_errors;
         error_response (Printf.sprintf "unknown op %S" other)
+  in
+  let resp =
+    match resp with
+    | J.Obj fields when not (List.mem_assoc Reqid.field fields) ->
+        J.Obj (fields @ [ (Reqid.field, J.Str rid) ])
+    | r -> r
   in
   Obs.Journal.event "request.done"
     [
@@ -438,6 +579,26 @@ let handle_request t req =
       ("wall_s", J.Float (Unix.gettimeofday () -. t0));
     ];
   resp
+
+let begin_sample req =
+  let req, rid = Reqid.ensure req in
+  let op = match str_field "op" req with Some s -> s | None -> "" in
+  (req, rid, Telemetry.start ~rid ~op)
+
+let settle t sample resp =
+  Telemetry.finish t.telemetry sample;
+  match t.slowlog with
+  | Some sl -> Slowlog.maybe_capture sl sample ~response:resp
+  | None -> ()
+
+let handle_request t req =
+  let req, rid, sample = begin_sample req in
+  Obs.Journal.with_context
+    [ ("rid", J.Str rid) ]
+    (fun () ->
+      let resp = dispatch t ~rid ~sample req in
+      settle t sample resp;
+      resp)
 
 (* --- connection handling ----------------------------------------------- *)
 
@@ -453,16 +614,26 @@ let handle_conn t fd =
       try Unix.close fd with _ -> ())
     (fun () ->
       match Proto.read_frame fd with
-      | req -> (
-          let resp =
-            match handle_request t req with
-            | r -> r
-            | exception e ->
-                Obs.Metrics.bump t.c_errors;
-                error_response (Printexc.to_string e)
-          in
-          try Proto.write_frame fd resp
-          with _ -> () (* client went away; its loss *))
+      | req ->
+          let req, rid, sample = begin_sample req in
+          Obs.Journal.with_context
+            [ ("rid", J.Str rid) ]
+            (fun () ->
+              let resp =
+                match dispatch t ~rid ~sample req with
+                | r -> r
+                | exception e ->
+                    Telemetry.set_outcome sample "error";
+                    Obs.Metrics.bump t.c_errors;
+                    error_response (Printexc.to_string e)
+              in
+              (* the serialize stage is the frame write: the one cost a
+                 cached answer still pays *)
+              (try
+                 Telemetry.time_stage sample "serialize" (fun () ->
+                     Proto.write_frame fd resp)
+               with _ -> () (* client went away; its loss *));
+              settle t sample resp)
       | exception End_of_file -> ()
       | exception Proto.Protocol_error m -> (
           try Proto.write_frame fd (error_response m) with _ -> ())

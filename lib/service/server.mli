@@ -9,9 +9,22 @@
       serve from the {!Cache} when possible, otherwise run the §4 search
       exactly once per distinct in-flight fingerprint (single-flight
       coalescing) and store the result;
-    - [{"op":"status"}] — uptime, counters, cache occupancy;
+    - [{"op":"status"}] — uptime, counters, cache occupancy and hit
+      rate, slow-report tally;
     - [{"op":"stats"}] — a snapshot of the process metrics registry;
+    - [{"op":"metrics"}] — the {!Telemetry.snapshot_schema} exposition
+      (stage latency quantiles, outcome counters, cache hit rate), or
+      Prometheus text with ["format":"prometheus"];
     - [{"op":"shutdown"}] — respond, then stop accepting.
+
+    Every request carries a request id ({!Reqid}; the server mints one
+    for bare frames) which is echoed in the response, installed as
+    journal context for the whole dispatch — search worker domains
+    included — and recorded by coalesced followers as the leader's id
+    ([served_by]). A {!Telemetry.sample} times the stages (cache probe,
+    queue wait, search, serialize) and, when a slow threshold is
+    configured, {!Slowlog} captures a per-request report directory for
+    optimize requests above it.
 
     The request lifecycle is journaled through {!Obs.Journal}
     ([request.recv], [cache.hit]/[cache.miss], [request.coalesced],
@@ -27,12 +40,20 @@ val create :
   ?base_config:Search.Config.t ->
   ?verify_trials:int ->
   ?max_concurrent_searches:int ->
+  ?slow_threshold_s:float ->
+  ?slow_dir:string ->
+  ?slow_max_reports:int ->
   socket_path:string ->
   cache_dir:string ->
   unit ->
   t
+(** [slow_threshold_s] arms slow-request forensics: optimize requests
+    at or above it leave a report directory under [slow_dir] (default
+    [cache_dir ^ "-slow"]), at most [slow_max_reports] of them. *)
 
 val cache : t -> Cache.t
+val telemetry : t -> Telemetry.t
+val slowlog : t -> Slowlog.t option
 
 val handle_request : t -> Obs.Jsonw.t -> Obs.Jsonw.t
 (** Dispatch one request in the calling thread — the in-process entry

@@ -1,0 +1,83 @@
+(* The one-screen live view behind `mirage_cli top`: renders a metrics
+   exposition snapshot (and optionally the previous poll, for rates) as
+   fixed-width text. Pure — polling, clearing the screen and sleeping
+   belong to the CLI — so the layout is testable without a daemon. *)
+
+module J = Obs.Jsonw
+
+let num j =
+  match j with
+  | Some (J.Float f) -> f
+  | Some (J.Int i) -> float_of_int i
+  | _ -> 0.0
+
+let int_ j = match j with Some (J.Int i) -> i | _ -> 0
+let getp path j =
+  let rec go j = function
+    | [] -> Some j
+    | k :: rest -> Option.bind (J.member k j) (fun v -> go v rest)
+  in
+  go j path
+
+(* 1234567 us -> "1.23s", 2345 -> "2.35ms", 12 -> "12us" *)
+let pp_us v =
+  if v >= 1e6 then Printf.sprintf "%.2fs" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.2fms" (v /. 1e3)
+  else Printf.sprintf "%.0fus" v
+
+let pp_uptime s =
+  if s >= 3600.0 then
+    Printf.sprintf "%dh%02dm"
+      (int_of_float s / 3600)
+      (int_of_float s mod 3600 / 60)
+  else if s >= 60.0 then
+    Printf.sprintf "%dm%02ds" (int_of_float s / 60) (int_of_float s mod 60)
+  else Printf.sprintf "%.0fs" s
+
+let render ?prev ~now snap =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let requests = int_ (J.member "requests" snap) in
+  let rate =
+    match prev with
+    | Some (prev_ts, prev_snap) when now > prev_ts ->
+        let dr = requests - int_ (J.member "requests" prev_snap) in
+        Printf.sprintf "%.1f req/s" (float_of_int (max 0 dr) /. (now -. prev_ts))
+    | _ -> "- req/s"
+  in
+  line "mirage serve — uptime %s   requests %d (%s)   in-flight %d"
+    (pp_uptime (num (J.member "uptime_s" snap)))
+    requests rate
+    (int_ (J.member "in_flight" snap));
+  let oc k = int_ (getp [ "outcomes"; k ] snap) in
+  line "outcomes  hit %d | miss %d | coalesced %d | error %d | degraded %d"
+    (oc "hit") (oc "miss") (oc "coalesced") (oc "error") (oc "degraded");
+  line "cache     hits %d  misses %d  hit rate %.1f%%   entries mem %d disk %d"
+    (int_ (getp [ "cache"; "hits" ] snap))
+    (int_ (getp [ "cache"; "misses" ] snap))
+    (100.0 *. num (getp [ "cache"; "hit_rate" ] snap))
+    (int_ (getp [ "cache_entries"; "mem" ] snap))
+    (int_ (getp [ "cache_entries"; "disk" ] snap));
+  (match J.member "slow" snap with
+  | Some slow ->
+      line "slow      %d report(s), %d skipped (threshold %s)"
+        (int_ (J.member "captured" slow))
+        (int_ (J.member "skipped" slow))
+        (pp_us (1e3 *. num (J.member "threshold_ms" slow)))
+  | None -> ());
+  let jd = int_ (getp [ "journal"; "dropped_events" ] snap) in
+  if jd > 0 then line "journal   %d dropped event(s)!" jd;
+  line "";
+  line "%-20s %8s %10s %10s %10s %10s" "stage" "count" "p50" "p90" "p99" "max";
+  (match J.member "histograms" snap with
+  | Some (J.Obj hists) ->
+      List.iter
+        (fun (name, h) ->
+          let q k = num (J.member k h) in
+          line "%-20s %8d %10s %10s %10s %10s" name
+            (int_ (J.member "count" h))
+            (pp_us (q "p50_us")) (pp_us (q "p90_us")) (pp_us (q "p99_us"))
+            (pp_us (q "max_us")))
+        hists
+  | _ -> ());
+  Buffer.contents b

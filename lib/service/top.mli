@@ -1,0 +1,13 @@
+(** Rendering for [mirage_cli top SOCKET]: one screenful of live
+    service state — req/s (derived from the previous poll), outcome and
+    cache-hit tallies, per-stage latency quantiles, in-flight count,
+    degradations — from a {!Telemetry.snapshot_schema} document. Pure
+    (no I/O), so the layout is testable without a daemon. *)
+
+val render : ?prev:float * Obs.Jsonw.t -> now:float -> Obs.Jsonw.t -> string
+(** [render ?prev ~now snap] — [prev] is the previous poll's
+    [(timestamp, snapshot)], used for the request-rate line; [now] is
+    the current timestamp. *)
+
+val pp_us : float -> string
+(** Humanize a microsecond latency ([12us] / [2.35ms] / [1.23s]). *)

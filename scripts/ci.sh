@@ -71,6 +71,7 @@ REQ="--socket /tmp/mirage_ci_svc/s.sock --max-block-ops 3 --workers 1 --budget 1
 $CLI serve --socket /tmp/mirage_ci_svc/s.sock \
   --cache-dir /tmp/mirage_ci_svc/cache --max-block-ops 3 --workers 1 \
   --budget 10 --journal /tmp/mirage_ci_svc/journal.jsonl \
+  --slow-threshold 0 --slow-dir /tmp/mirage_ci_svc/slow \
   > /tmp/mirage_ci_svc/serve.log 2>&1 &
 SVC_PID=$!
 for _ in $(seq 1 50); do
@@ -82,6 +83,9 @@ $CLI request rmsnorm $REQ > /tmp/mirage_ci_svc/r1.json &
 R1=$!
 $CLI request rmsnorm $REQ > /tmp/mirage_ci_svc/r2.json &
 R2=$!
+# scrape the metrics exposition mid-load (the client validates the
+# snapshot against the schema and exits nonzero on a malformed one)
+$CLI request metrics $REQ > /tmp/mirage_ci_svc/metrics_midload.json
 wait "$R1" "$R2"
 # both answered from the same search (same fingerprint, one search.start)
 FP1=$(grep -o '"fingerprint": "[0-9a-f]*"' /tmp/mirage_ci_svc/r1.json | head -1)
@@ -90,12 +94,37 @@ test -n "$FP1" && test "$FP1" = "$FP2"
 $CLI request status $REQ | grep -q '"searches": 1'
 # a third identical request is a pure cache hit
 $CLI request rmsnorm $REQ | grep -q '"cached": true'
+# the outcome counters agree with the request pattern: one search miss,
+# and the other two optimize requests either coalesced or hit the cache.
+# Samples fold into the registry just after the response goes out, so a
+# scrape racing the last response can trail it by one — retry briefly.
+for _ in $(seq 1 25); do
+  $CLI request metrics $REQ > /tmp/mirage_ci_svc/metrics.json
+  HIT=$(grep -o '"hit": [0-9]*' /tmp/mirage_ci_svc/metrics.json | head -1 | grep -o '[0-9]*')
+  COAL=$(grep -o '"coalesced": [0-9]*' /tmp/mirage_ci_svc/metrics.json | head -1 | grep -o '[0-9]*')
+  [ "$(( ${HIT:-0} + ${COAL:-0} ))" -eq 2 ] && break
+  sleep 0.2
+done
+grep -q '"miss": 1' /tmp/mirage_ci_svc/metrics.json
+test "$((HIT + COAL))" -eq 2
+# the prometheus text rendering and the live status view both answer
+$CLI request metrics $REQ --prometheus | grep -q '^serve_total'
+$CLI status --socket /tmp/mirage_ci_svc/s.sock | grep -q 'uptime'
 # clean shutdown: daemon exits, socket removed, journal agrees on one search
 $CLI request shutdown $REQ >/dev/null
 wait "$SVC_PID"
 test ! -e /tmp/mirage_ci_svc/s.sock
 test "$(grep -c '"ev":"search.start"' /tmp/mirage_ci_svc/journal.jsonl)" -eq 1
-dune exec tools/json_check.exe -- /tmp/mirage_ci_svc/journal.jsonl
+# slow-request forensics: threshold 0 captures every optimize request
+# into a per-rid report directory whose journal slice carries its rid
+RID_DIR=$(ls -d /tmp/mirage_ci_svc/slow/*/ | head -1)
+test -s "$RID_DIR/report.json" && test -s "$RID_DIR/journal.jsonl"
+RID=$(basename "$RID_DIR")
+test "$(grep -c "\"rid\":\"$RID\"" "$RID_DIR/journal.jsonl")" -eq \
+  "$(grep -c . "$RID_DIR/journal.jsonl")"
+dune exec tools/json_check.exe -- /tmp/mirage_ci_svc/journal.jsonl \
+  /tmp/mirage_ci_svc/metrics_midload.json /tmp/mirage_ci_svc/metrics.json \
+  "$RID_DIR/report.json" "$RID_DIR/journal.jsonl"
 
 echo "== bench history regression gate (Fig. 7 costs + verifier + service, 5%)"
 # Gate against the committed baseline on a scratch copy so CI runs never

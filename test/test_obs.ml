@@ -401,6 +401,147 @@ let test_funnel_invariant () =
     s.Search.Stats.expanded
     (List.assoc "search.expanded" counters)
 
+(* --- hdr: bounded-relative-error latency sketch ---------------------------- *)
+
+(* The documented contract ({!Obs.Hdr.quantile}): for samples inside
+   [lo, hi] the estimate at rank [max 1 (ceil (p * n))] is within
+   relative [error] of the exact sorted-sample value — across the full
+   default range, six orders of magnitude. *)
+let prop_hdr_quantile =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 400)
+        (map
+           (fun u ->
+             let v = exp u in
+             Float.max 1e-6 (Float.min 100.0 v))
+           (float_range (log 1e-6) (log 100.0))))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200
+       ~name:"hdr quantile within documented relative error"
+       ~print:(fun vs ->
+         String.concat "," (List.map (Printf.sprintf "%.9g") vs))
+       gen
+       (fun vs ->
+         let h = Obs.Hdr.create "q" in
+         List.iter (Obs.Hdr.record h) vs;
+         let sorted = Array.of_list (List.sort compare vs) in
+         let n = Array.length sorted in
+         List.for_all
+           (fun p ->
+             let rank =
+               min n (max 1 (int_of_float (ceil (p *. float_of_int n))))
+             in
+             let exact = sorted.(rank - 1) in
+             let est = Obs.Hdr.quantile h p in
+             abs_float (est -. exact) <= (Obs.Hdr.error h *. exact) +. 1e-9)
+           [ 0.5; 0.9; 0.99; 0.999 ]))
+
+let test_hdr_bounds () =
+  let h = Obs.Hdr.create ~error:0.01 ~lo:1e-6 ~hi:100.0 "b" in
+  (* out-of-range values clamp into the edge buckets but min/max stay
+     exact *)
+  Obs.Hdr.record h 1e-9;
+  Obs.Hdr.record h 1e4;
+  Obs.Hdr.record h 0.5;
+  Obs.Hdr.record h Float.nan;
+  Alcotest.(check int) "nan ignored, three recorded" 3 (Obs.Hdr.count h);
+  let s = Obs.Hdr.snapshot h in
+  Alcotest.(check (float 0.0)) "true min" 1e-9 s.Obs.Hdr.vmin;
+  Alcotest.(check (float 0.0)) "true max" 1e4 s.Obs.Hdr.vmax;
+  let p0 = Obs.Hdr.quantile h 0.0 in
+  Alcotest.(check bool) "low quantile clamped near lo" true (p0 <= 1.1e-6);
+  let p1 = Obs.Hdr.quantile h 1.0 in
+  Alcotest.(check bool) "high quantile clamped near hi" true (p1 >= 99.0);
+  Obs.Hdr.reset h;
+  Alcotest.(check int) "reset clears count" 0 (Obs.Hdr.count h);
+  Alcotest.(check (float 0.0)) "reset clears quantile" 0.0
+    (Obs.Hdr.quantile h 0.5)
+
+let test_hdr_domains () =
+  let h = Obs.Hdr.create "c" in
+  let domains = 4 and per = 50_000 in
+  (* powers of two so the concurrent CAS-summed total is exact *)
+  let value i = ldexp 1.0 (-4 - (i land 7)) in
+  let ds =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              Obs.Hdr.record h (value i)
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no lost records" (domains * per) (Obs.Hdr.count h);
+  let expect = ref 0.0 in
+  for i = 1 to per do
+    expect := !expect +. (float_of_int domains *. value i)
+  done;
+  let s = Obs.Hdr.snapshot h in
+  Alcotest.(check (float 0.0)) "sum exact" !expect s.Obs.Hdr.sum;
+  Alcotest.(check (float 0.0)) "max exact" (ldexp 1.0 (-4)) s.Obs.Hdr.vmax
+
+let test_hdr_registry () =
+  let r = Obs.Metrics.create () in
+  let h = Obs.Metrics.hdr r ~help:"request latency" "serve.test_stage" in
+  for i = 1 to 100 do
+    Obs.Hdr.record h (1e-3 *. float_of_int i)
+  done;
+  let s = Obs.Metrics.snapshot r in
+  (match List.assoc_opt "serve.test_stage" s.Obs.Metrics.hdrs with
+  | None -> Alcotest.fail "hdr missing from registry snapshot"
+  | Some hs -> Alcotest.(check int) "snapshot count" 100 hs.Obs.Hdr.count);
+  (match
+     Obs.Jsonw.member "hdr" (Obs.Metrics.to_json s)
+   with
+  | Some (Obs.Jsonw.Obj kvs) ->
+      Alcotest.(check bool) "hdr in to_json" true
+        (List.mem_assoc "serve.test_stage" kvs)
+  | _ -> Alcotest.fail "no hdr object in metrics to_json");
+  let text = Obs.Prom.render s in
+  let contains sub =
+    let ls = String.length sub and lt = String.length text in
+    let rec go i = i + ls <= lt && (String.sub text i ls = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "prometheus summary rendered" true
+    (contains "serve_test_stage" && contains "quantile=\"0.99\"")
+
+(* --- journal ambient context (request ids) --------------------------------- *)
+
+let test_journal_context () =
+  let path = Filename.temp_file "mirage_journal_ctx" ".jsonl" in
+  let j = Obs.Journal.create ~capacity:8 ~path () in
+  Obs.Journal.set_context [ ("rid", Obs.Jsonw.Str "r-alpha") ];
+  Obs.Journal.emit j ~typ:"req.a" [ ("k", Obs.Jsonw.Int 1) ];
+  Obs.Journal.with_context
+    [ ("rid", Obs.Jsonw.Str "r-beta") ]
+    (fun () ->
+      Obs.Journal.emit j ~typ:"req.b" [];
+      (* an explicit event field with the same key beats the context *)
+      Obs.Journal.emit j ~typ:"req.c" [ ("rid", Obs.Jsonw.Str "r-gamma") ]);
+  (* previous context restored after with_context *)
+  Obs.Journal.emit j ~typ:"req.d" [];
+  Obs.Journal.set_context [];
+  Obs.Journal.emit j ~typ:"req.e" [];
+  Obs.Journal.close j;
+  (match Obs.Journal.read_file path with
+  | Error e -> Alcotest.failf "journal unreadable: %s" e
+  | Ok events ->
+      Alcotest.(check (list string))
+        "rid stamped per event"
+        [ "r-alpha"; "r-beta"; "r-gamma"; "r-alpha"; "" ]
+        (List.map Obs.Journal.rid_of events);
+      (* the forensics invariant: filtering by one id yields exactly that
+         request's events *)
+      let alpha =
+        List.filter (fun e -> Obs.Journal.rid_of e = "r-alpha") events
+      in
+      Alcotest.(check (list string))
+        "rid filter selects exactly its events" [ "req.a"; "req.d" ]
+        (List.map Obs.Journal.typ_of alpha));
+  Sys.remove path
+
 let () =
   Alcotest.run "obs"
     [
@@ -426,6 +567,17 @@ let () =
             `Quick test_journal_domains;
           Alcotest.test_case "no-op when disabled" `Quick
             test_journal_global_off;
+          Alcotest.test_case "ambient context stamps request ids" `Quick
+            test_journal_context;
+        ] );
+      ( "hdr",
+        [
+          prop_hdr_quantile;
+          Alcotest.test_case "clamping, nan, reset" `Quick test_hdr_bounds;
+          Alcotest.test_case "exact count/sum across domains" `Quick
+            test_hdr_domains;
+          Alcotest.test_case "registry snapshot, json, prometheus" `Quick
+            test_hdr_registry;
         ] );
       ( "report",
         [

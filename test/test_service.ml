@@ -338,6 +338,14 @@ let test_differential =
 let count_events events typ =
   List.length (List.filter (fun e -> Obs.Journal.typ_of e = typ) events)
 
+let req_with_id name rid =
+  J.Obj
+    [
+      ("op", J.Str "optimize");
+      ("benchmark", J.Str name);
+      ("request_id", J.Str rid);
+    ]
+
 let test_single_flight =
   with_reset @@ fun () ->
   let journal_path = Filename.temp_file "mirage_svc_journal" ".jsonl" in
@@ -345,10 +353,13 @@ let test_single_flight =
   Fun.protect ~finally:Obs.Journal.disable @@ fun () ->
   let server = make_server () in
   let n = 5 in
+  let rids = List.init n (Printf.sprintf "sf-%d") in
   let domains =
-    List.init n (fun _ ->
+    List.map
+      (fun rid ->
         Domain.spawn (fun () ->
-            Service.Server.handle_request server (optimize_req "rmsnorm")))
+            Service.Server.handle_request server (req_with_id "rmsnorm" rid)))
+      rids
   in
   let responses = List.map Domain.join domains in
   List.iteri
@@ -374,7 +385,32 @@ let test_single_flight =
   Alcotest.(check int) "exactly one underlying search" 1
     (count_events events "search.start");
   Alcotest.(check int) "every lifecycle completed" n
-    (count_events events "request.done")
+    (count_events events "request.done");
+  (* trace propagation through coalescing: every lifecycle event carries
+     its request's id, and each follower records the leader's *)
+  let done_rids =
+    List.filter_map
+      (fun e ->
+        if Obs.Journal.typ_of e = "request.done" then
+          Some (Obs.Journal.rid_of e)
+        else None)
+      events
+  in
+  Alcotest.(check (list string))
+    "every request id completed" (List.sort compare rids)
+    (List.sort compare done_rids);
+  List.iter
+    (fun e ->
+      if Obs.Journal.typ_of e = "request.coalesced" then begin
+        let leader =
+          match J.member "leader_rid" e with Some (J.Str s) -> s | _ -> "?"
+        in
+        Alcotest.(check bool) "leader_rid is one of the request ids" true
+          (List.mem leader rids);
+        Alcotest.(check bool) "follower's leader is another request" true
+          (leader <> Obs.Journal.rid_of e)
+      end)
+    events
 
 let test_corrupt_entry_researched =
   with_reset @@ fun () ->
@@ -421,6 +457,135 @@ let test_corrupt_entry_researched =
     (count_events events "cache.quarantine");
   Alcotest.(check int) "two searches: original and re-search" 2
     (count_events events "search.start")
+
+(* --- telemetry: ids, metrics op, slow-request forensics ----------------- *)
+
+let test_request_id_roundtrip =
+  with_reset @@ fun () ->
+  let server = make_server () in
+  let r1 =
+    Service.Server.handle_request server (req_with_id "rmsnorm" "r-echo.1")
+  in
+  Alcotest.(check string) "explicit id echoed" "r-echo.1"
+    (match get_exn [ "request_id" ] r1 with J.Str s -> s | _ -> "?");
+  let r2 = Service.Server.handle_request server (optimize_req "rmsnorm") in
+  (match get_exn [ "request_id" ] r2 with
+  | J.Str rid ->
+      Alcotest.(check bool) "bare frame gets a valid minted id" true
+        (Service.Reqid.valid rid)
+  | _ -> Alcotest.fail "no request_id on response");
+  match
+    get_exn [ "request_id" ]
+      (Service.Server.handle_request server (J.Obj [ ("op", J.Str "status") ]))
+  with
+  | J.Str _ -> ()
+  | _ -> Alcotest.fail "status response lacks request_id"
+
+let test_metrics_op =
+  with_reset @@ fun () ->
+  let server = make_server () in
+  let _cold = Service.Server.handle_request server (optimize_req "rmsnorm") in
+  let _warm = Service.Server.handle_request server (optimize_req "rmsnorm") in
+  let m =
+    Service.Server.handle_request server (J.Obj [ ("op", J.Str "metrics") ])
+  in
+  (match Service.Telemetry.check_snapshot m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "snapshot fails its own validator: %s" e);
+  let outcome k =
+    match get_exn [ "outcomes"; k ] m with J.Int i -> i | _ -> -1
+  in
+  Alcotest.(check int) "one miss (cold search)" 1 (outcome "miss");
+  Alcotest.(check int) "one hit (warm cache)" 1 (outcome "hit");
+  let hist name field =
+    match get_exn [ "histograms"; name; field ] m with
+    | J.Int i -> i
+    | _ -> -1
+  in
+  Alcotest.(check int) "both requests in serve.total" 2
+    (hist "serve.total" "count");
+  Alcotest.(check int) "one search timed" 1 (hist "serve.search" "count");
+  Alcotest.(check int) "both cache probes timed" 2
+    (hist "serve.cache_probe" "count");
+  (match get_exn [ "cache"; "hit_rate" ] m with
+  | J.Float r ->
+      Alcotest.(check (float 1e-9)) "hit rate 1 of 2" 0.5 r
+  | _ -> Alcotest.fail "no cache.hit_rate");
+  (* prometheus text format *)
+  let p =
+    Service.Server.handle_request server
+      (J.Obj [ ("op", J.Str "metrics"); ("format", J.Str "prometheus") ])
+  in
+  match get_exn [ "text" ] p with
+  | J.Str text ->
+      Alcotest.(check bool) "prometheus text mentions the stage sketch" true
+        (let sub = "serve_total" in
+         let ls = String.length sub and lt = String.length text in
+         let rec go i =
+           i + ls <= lt && (String.sub text i ls = sub || go (i + 1))
+         in
+         go 0)
+  | _ -> Alcotest.fail "no prometheus text"
+
+let test_slow_forensics =
+  with_reset @@ fun () ->
+  let journal_path = Filename.temp_file "mirage_slow_journal" ".jsonl" in
+  ignore (Obs.Journal.enable journal_path);
+  Fun.protect ~finally:Obs.Journal.disable @@ fun () ->
+  let slow_dir = tmpdir "mirage_slow" in
+  let server =
+    Service.Server.create
+      ~registry:(Obs.Metrics.create ())
+      ~device:Gpusim.Device.a100 ~base_config:(small_config ())
+      ~verify_trials:2 ~slow_threshold_s:0.0 ~slow_dir
+      ~socket_path:(Filename.temp_file "mirage_sock" ".sock")
+      ~cache_dir:(tmpdir "mirage_srv_cache") ()
+  in
+  let rid = "r-slow.target" and other = "r-slow.other" in
+  let r1 = Service.Server.handle_request server (req_with_id "rmsnorm" rid) in
+  Alcotest.(check string) "slow request still ok" "ok"
+    (match get_exn [ "status" ] r1 with J.Str s -> s | _ -> "?");
+  (* a second, distinct request: its events must NOT leak into the
+     first request's report *)
+  let _r2 =
+    Service.Server.handle_request server (req_with_id "gatedmlp" other)
+  in
+  let rdir = Filename.concat slow_dir rid in
+  let report_path = Filename.concat rdir "report.json" in
+  Alcotest.(check bool) "report directory written" true
+    (Sys.file_exists report_path);
+  (match
+     Obs.Jsonw.of_string
+       (In_channel.with_open_text report_path In_channel.input_all)
+   with
+  | Error m -> Alcotest.failf "report.json unparsable: %s" m
+  | Ok rep ->
+      Alcotest.(check string) "report schema" Service.Slowlog.report_schema
+        (match get_exn [ "schema" ] rep with J.Str s -> s | _ -> "?");
+      Alcotest.(check string) "report rid" rid
+        (match get_exn [ "request_id" ] rep with J.Str s -> s | _ -> "?"));
+  (* the acceptance invariant: the slice holds exactly this request's
+     events — full lifecycle present, other requests absent *)
+  (match Obs.Journal.read_file (Filename.concat rdir "journal.jsonl") with
+  | Error m -> Alcotest.failf "journal slice unreadable: %s" m
+  | Ok events ->
+      Alcotest.(check bool) "slice non-empty" true (events <> []);
+      List.iter
+        (fun e ->
+          Alcotest.(check string) "every sliced event carries the rid" rid
+            (Obs.Journal.rid_of e))
+        events;
+      Alcotest.(check int) "request.recv in slice" 1
+        (count_events events "request.recv");
+      Alcotest.(check int) "request.done in slice" 1
+        (count_events events "request.done");
+      Alcotest.(check int) "the search itself is in the slice" 1
+        (count_events events "search.start"));
+  match Service.Server.slowlog server with
+  | None -> Alcotest.fail "slowlog not armed"
+  | Some sl ->
+      Alcotest.(check bool) "captures counted" true
+        (Service.Slowlog.captured sl >= 1)
 
 (* --- shared prune helper ----------------------------------------------- *)
 
@@ -513,6 +678,15 @@ let () =
           Alcotest.test_case "N domains, one search" `Slow test_single_flight;
           Alcotest.test_case "corrupt entry re-searched" `Slow
             test_corrupt_entry_researched;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "request ids minted and echoed" `Slow
+            test_request_id_roundtrip;
+          Alcotest.test_case "metrics op: valid snapshot, counters" `Slow
+            test_metrics_op;
+          Alcotest.test_case "slow request leaves an rid-exact report" `Slow
+            test_slow_forensics;
         ] );
       ( "prune",
         [
