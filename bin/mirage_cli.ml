@@ -160,10 +160,15 @@ let with_artifacts ~kind trace report_dir f =
       Obs.Report.add rep "env" (Obs.Report.env_json ());
       let tr = Obs.Trace.enable () in
       ignore (Obs.Journal.enable (Filename.concat dir "journal.jsonl"));
+      let prof = Obs.Profile.enable () in
       let t0 = Unix.gettimeofday () in
       let finalize status err =
         let attempt g = try g () with _ -> () in
         attempt (fun () -> Obs.Trace.disable ());
+        attempt (fun () ->
+            Obs.Report.add rep "profile"
+              (Obs.Profile.snapshot_json (Obs.Profile.snapshot prof)));
+        attempt (fun () -> Obs.Profile.disable ());
         (* journal loss accounting must be read before disable closes it *)
         let jdropped_events, jdropped_buffers =
           match Obs.Journal.active () with
@@ -876,6 +881,12 @@ let serve_cmd =
         ?slow_threshold_s:(Option.map (fun ms -> ms /. 1e3) slow_threshold_ms)
         ?slow_dir ~socket_path:socket ~cache_dir ()
     in
+    (* the ambient profiler records into the telemetry registry, so the
+       phase sketches ride the daemon's metrics exposition and `top` *)
+    ignore
+      (Obs.Profile.enable
+         ~registry:(Service.Telemetry.registry (Service.Server.telemetry server))
+         ());
     Printf.printf "mirage service: socket %s, cache %s, device %s\n%!" socket
       cache_dir device.Gpusim.Device.name;
     (match Service.Server.slowlog server with
@@ -900,6 +911,72 @@ let serve_cmd =
       $ workers_arg $ budget_arg $ ref_verify_arg $ max_searches_arg
       $ journal_arg $ slow_threshold_arg $ slow_dir_arg)
 
+(* Render the search-phase profile captured in a run's report.json:
+   the phase tree (count/total/self/p50/p99), the wall-time attribution
+   line, and the prune rules ranked by estimated subtree savings. *)
+let profile_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"RUN_DIR" ~doc:"Run directory (or report.json).")
+  in
+  let min_cov_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-coverage" ] ~docv:"FRACTION"
+          ~doc:
+            "Fail (exit 1) unless at least $(docv) of the dominant root \
+             phase's wall time is attributed to its named sub-phases \
+             (0.95 = 95%).")
+  in
+  let run dir min_cov =
+    match Obs.Report.load dir with
+    | Error e ->
+        Printf.eprintf "profile: %s: %s\n" dir e;
+        exit 2
+    | Ok rep -> (
+        match Obs.Jsonw.member "profile" rep with
+        | None ->
+            Printf.eprintf
+              "profile: %s has no \"profile\" section (produced by runs \
+               with --report-dir)\n"
+              dir;
+            exit 2
+        | Some pj -> (
+            match Obs.Profile.render pj with
+            | Error m ->
+                Printf.eprintf "profile: %s\n" m;
+                exit 2
+            | Ok text -> (
+                print_string text;
+                match min_cov with
+                | None -> ()
+                | Some want -> (
+                    match Obs.Profile.coverage pj with
+                    | None ->
+                        Printf.eprintf
+                          "profile: no root phase to gate coverage on\n";
+                        exit 1
+                    | Some (root, cov) ->
+                        if cov < want then begin
+                          Printf.eprintf
+                            "profile: %.1f%% of %S wall time attributed, \
+                             below required %.1f%%\n"
+                            (100.0 *. cov) root (100.0 *. want);
+                          exit 1
+                        end))))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Analyze the search-phase wall-time profile of a finished run: \
+          phase breakdown with self/total attribution, per-phase latency \
+          quantiles and prune-rule efficacy (fires and estimated subtree \
+          savings), from the run report's profile section")
+    Term.(const run $ dir_arg $ min_cov_arg)
+
 let request_cmd =
   let what_arg =
     Arg.(
@@ -918,7 +995,51 @@ let request_cmd =
             "With $(b,metrics): ask for (and print) the Prometheus text \
              exposition instead of the JSON snapshot.")
   in
-  let run socket what max_ops workers budget prometheus =
+  let progress_flag =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "With a benchmark: opt into live progress streaming and \
+             render the interleaved frames (phase, nodes expanded, \
+             candidates, best cost, budget remaining) as an updating \
+             line on stderr while the search runs.")
+  in
+  let run socket what max_ops workers budget prometheus progress =
+    (* live progress rendering: one updating stderr line per frame (a
+       plain newline-per-frame stream when stderr is not a tty) *)
+    let tty = Unix.isatty Unix.stderr in
+    let streamed = ref false in
+    let on_progress frame =
+      streamed := true;
+      let num k =
+        match Obs.Jsonw.member k frame with
+        | Some (Obs.Jsonw.Float f) -> Some f
+        | Some (Obs.Jsonw.Int i) -> Some (float_of_int i)
+        | _ -> None
+      in
+      let int_ k =
+        match Obs.Jsonw.member k frame with
+        | Some (Obs.Jsonw.Int i) -> i
+        | _ -> 0
+      in
+      let phase =
+        match Obs.Jsonw.member "phase" frame with
+        | Some (Obs.Jsonw.Str s) -> s
+        | _ -> "?"
+      in
+      Printf.eprintf "%s[%6.1fs] %-9s nodes %-8d candidates %-5d best %s%s%s%!"
+        (if tty then "\r\027[2K" else "")
+        (match num "elapsed_s" with Some s -> s | None -> 0.0)
+        phase (int_ "nodes_expanded") (int_ "candidates")
+        (match num "best_cost_us" with
+        | Some us -> Service.Top.pp_us us
+        | None -> "-")
+        (match num "budget_remaining_s" with
+        | Some s -> Printf.sprintf "  budget %.1fs" s
+        | None -> "")
+        (if tty then "" else "\n")
+    in
     let resp =
       match what with
       | "metrics" when prometheus ->
@@ -934,8 +1055,10 @@ let request_cmd =
                 ("workers", Obs.Jsonw.Int workers);
                 ("budget_s", Obs.Jsonw.Float budget);
               ]
+            ?on_progress:(if progress then Some on_progress else None)
             ~socket_path:socket ~benchmark ()
     in
+    if !streamed && tty then Printf.eprintf "\n%!";
     match resp with
     | Error m ->
         Printf.eprintf "request failed: %s\n" m;
@@ -963,7 +1086,7 @@ let request_cmd =
           the JSON response")
     Term.(
       const run $ socket_arg $ what_arg $ ops_arg $ workers_arg $ budget_arg
-      $ prom_flag)
+      $ prom_flag $ progress_flag)
 
 (* Fetch one validated exposition snapshot from a running daemon. *)
 let fetch_snapshot socket =
@@ -1049,6 +1172,7 @@ let () =
             emit_cmd;
             explain_cmd;
             diff_cmd;
+            profile_cmd;
             serve_cmd;
             request_cmd;
             status_cmd;

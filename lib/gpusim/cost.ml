@@ -238,17 +238,20 @@ let kernel_costs (d : Device.t) (g : Graph.kernel_graph) =
   List.rev !costs
 
 let cost d g =
-  let kernels = kernel_costs d g in
-  {
-    kernels;
-    total_us =
-      List.fold_left (fun acc (k : kernel_cost) -> acc +. k.total_us) 0.0 kernels;
-    total_dram_bytes =
-      List.fold_left
-        (fun acc (k : kernel_cost) -> acc +. k.dram_bytes)
-        0.0 kernels;
-    num_kernels = List.length kernels;
-  }
+  Obs.Profile.with_phase "gpusim.cost" (fun () ->
+      let kernels = kernel_costs d g in
+      {
+        kernels;
+        total_us =
+          List.fold_left
+            (fun acc (k : kernel_cost) -> acc +. k.total_us)
+            0.0 kernels;
+        total_dram_bytes =
+          List.fold_left
+            (fun acc (k : kernel_cost) -> acc +. k.dram_bytes)
+            0.0 kernels;
+        num_kernels = List.length kernels;
+      })
 
 let total_us d g = (cost d g).total_us
 

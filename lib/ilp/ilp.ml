@@ -97,7 +97,7 @@ let var_name p v =
 exception Limit_hit
 
 (* Branch and bound over assignment arrays: -1 unknown, 0, 1. *)
-let solve ?(node_limit = 10_000_000) ?budget p =
+let solve_unprofiled ?(node_limit = 10_000_000) ?budget p =
   Obs.Fault.trip "ilp";
   let n = p.n in
   let cons = Array.of_list p.cons in
@@ -198,6 +198,12 @@ let solve ?(node_limit = 10_000_000) ?budget p =
   | Some s, true -> Feasible_incumbent s
   | None, true -> Node_limit
   | None, false -> Infeasible
+
+(* Phase-accounted entry point: branch-and-bound time shows up in the
+   search profile wherever the planner is called from. *)
+let solve ?node_limit ?budget p =
+  Obs.Profile.with_phase "ilp.solve" (fun () ->
+      solve_unprofiled ?node_limit ?budget p)
 
 let solve_opt ?node_limit ?budget p =
   match solve ?node_limit ?budget p with

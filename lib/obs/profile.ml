@@ -1,0 +1,692 @@
+(* Wall-time phase accounting (see the .mli). Two pieces of state:
+
+   - the profiler itself: path-keyed phase entries whose counters live
+     in a metrics registry (lock-free updates, exact under concurrency)
+     plus per-rule prune analytics;
+   - per-execution-context frame stacks. Contexts are (domain, thread)
+     pairs, not domains: the serving tier runs concurrent handler
+     threads on domain 0, and a per-domain stack would interleave two
+     requests' phases. Same discipline as [Journal]'s ambient context.
+
+   The frame stack of a context is only ever touched by that context,
+   so frames need no synchronization; the context table itself is a
+   CAS-swapped assoc list (a handful of live contexts at any time), and
+   entries are removed when a context's stack empties so short-lived
+   handler threads do not accumulate. *)
+
+module J = Jsonw
+
+type entry = {
+  path : string;
+  depth : int;
+  overlay : bool;
+  c_count : Metrics.counter;
+  c_total : Metrics.counter;  (* ns *)
+  c_self : Metrics.counter;  (* ns *)
+  h : Hdr.t;
+}
+
+let max_remaining = 24
+
+type rule = {
+  ru_name : string;
+  ru_fires : Metrics.counter;
+  ru_by : int Atomic.t array;  (* fires by remaining depth *)
+}
+
+type t = {
+  reg : Metrics.t;
+  created_at : float;
+  lock : Mutex.t;  (* guards registration; reads are lock-free *)
+  entries : (string * entry) list Atomic.t;  (* reverse registration order *)
+  rules : (string * rule) list Atomic.t;
+  branching : float Atomic.t;  (* max-merged; 0. = never reported *)
+}
+
+let create ?(registry = Metrics.create ()) () =
+  {
+    reg = registry;
+    created_at = Unix.gettimeofday ();
+    lock = Mutex.create ();
+    entries = Atomic.make [];
+    rules = Atomic.make [];
+    branching = Atomic.make 0.0;
+  }
+
+let registry t = t.reg
+
+(* --- the ambient profiler --------------------------------------------- *)
+
+let current : t option Atomic.t = Atomic.make None
+
+let enable ?registry () =
+  let t = create ?registry () in
+  Atomic.set current (Some t);
+  t
+
+let disable () = Atomic.set current None
+let active () = Atomic.get current
+
+(* --- phase entry registration ----------------------------------------- *)
+
+let path_depth path =
+  let d = ref 0 in
+  String.iter (fun c -> if c = '/' then incr d) path;
+  !d
+
+let resolve t ~overlay path =
+  match List.assoc_opt path (Atomic.get t.entries) with
+  | Some e -> e
+  | None ->
+      Mutex.lock t.lock;
+      let e =
+        match List.assoc_opt path (Atomic.get t.entries) with
+        | Some e -> e
+        | None ->
+            let e =
+              {
+                path;
+                depth = path_depth path;
+                overlay;
+                c_count =
+                  Metrics.counter t.reg ~help:"phase entries"
+                    ("profile." ^ path ^ ".count");
+                c_total =
+                  Metrics.counter t.reg ~help:"phase wall time (ns)"
+                    ("profile." ^ path ^ ".total_ns");
+                c_self =
+                  Metrics.counter t.reg
+                    ~help:"phase wall time not in sub-phases (ns)"
+                    ("profile." ^ path ^ ".self_ns");
+                h =
+                  Metrics.hdr t.reg ~help:"phase duration (s)"
+                    ("profile.phase." ^ path);
+              }
+            in
+            Atomic.set t.entries ((path, e) :: Atomic.get t.entries);
+            e
+      in
+      Mutex.unlock t.lock;
+      e
+
+let resolve_rule t name =
+  match List.assoc_opt name (Atomic.get t.rules) with
+  | Some r -> r
+  | None ->
+      Mutex.lock t.lock;
+      let r =
+        match List.assoc_opt name (Atomic.get t.rules) with
+        | Some r -> r
+        | None ->
+            let r =
+              {
+                ru_name = name;
+                ru_fires =
+                  Metrics.counter t.reg ~help:"prefixes cut by the rule"
+                    ("profile.prune." ^ name ^ ".fires");
+                ru_by = Array.init max_remaining (fun _ -> Atomic.make 0);
+              }
+            in
+            Atomic.set t.rules ((name, r) :: Atomic.get t.rules);
+            r
+      in
+      Mutex.unlock t.lock;
+      r
+
+(* --- per-context frame stacks ----------------------------------------- *)
+
+type frame = { f_entry : entry; f_start : float; mutable f_child_ns : int }
+type ctx = { mutable base : string; mutable frames : frame list }
+
+let ctx_table : ((int * int) * ctx) list Atomic.t = Atomic.make []
+let ctx_key () = ((Domain.self () :> int), Thread.id (Thread.self ()))
+let find_ctx () = List.assoc_opt (ctx_key ()) (Atomic.get ctx_table)
+
+let rec install_ctx key c =
+  let old = Atomic.get ctx_table in
+  if not (Atomic.compare_and_set ctx_table old ((key, c) :: old)) then
+    install_ctx key c
+
+let rec remove_ctx key =
+  let old = Atomic.get ctx_table in
+  if not (Atomic.compare_and_set ctx_table old (List.remove_assoc key old))
+  then remove_ctx key
+
+let get_ctx () =
+  let key = ctx_key () in
+  match List.assoc_opt key (Atomic.get ctx_table) with
+  | Some c -> c
+  | None ->
+      let c = { base = ""; frames = [] } in
+      install_ctx key c;
+      c
+
+let maybe_retire ctx =
+  if ctx.base = "" && ctx.frames = [] then remove_ctx (ctx_key ())
+
+let child_path parent name = if parent = "" then name else parent ^ "/" ^ name
+
+let context_path ctx =
+  match ctx.frames with f :: _ -> f.f_entry.path | [] -> ctx.base
+
+let ns_of_span a b =
+  let d = (b -. a) *. 1e9 in
+  if d <= 0.0 then 0 else int_of_float d
+
+let enter t name =
+  let ctx = get_ctx () in
+  let e = resolve t ~overlay:false (child_path (context_path ctx) name) in
+  ctx.frames <-
+    { f_entry = e; f_start = Unix.gettimeofday (); f_child_ns = 0 }
+    :: ctx.frames
+
+let leave _t =
+  match find_ctx () with
+  | None -> ()
+  | Some ctx -> (
+      match ctx.frames with
+      | [] -> ()
+      | f :: rest ->
+          ctx.frames <- rest;
+          let dur_ns = ns_of_span f.f_start (Unix.gettimeofday ()) in
+          Metrics.bump f.f_entry.c_count;
+          Metrics.add f.f_entry.c_total dur_ns;
+          Metrics.add f.f_entry.c_self (max 0 (dur_ns - f.f_child_ns));
+          Hdr.record f.f_entry.h (float_of_int dur_ns *. 1e-9);
+          (match rest with
+          | parent :: _ -> parent.f_child_ns <- parent.f_child_ns + dur_ns
+          | [] -> maybe_retire ctx))
+
+let with_phase name f =
+  match Atomic.get current with
+  | None -> f ()
+  | Some t ->
+      enter t name;
+      Fun.protect ~finally:(fun () -> leave t) f
+
+let saved_path () =
+  match Atomic.get current with
+  | None -> ""
+  | Some _ -> (
+      match find_ctx () with Some ctx -> context_path ctx | None -> "")
+
+let with_base path f =
+  match Atomic.get current with
+  | None -> f ()
+  | Some _ ->
+      let ctx = get_ctx () in
+      let saved_base = ctx.base and saved_frames = ctx.frames in
+      ctx.base <- path;
+      ctx.frames <- [];
+      Fun.protect
+        ~finally:(fun () ->
+          ctx.base <- saved_base;
+          ctx.frames <- saved_frames;
+          maybe_retire ctx)
+        f
+
+(* --- batched timers ---------------------------------------------------- *)
+
+(* Reading the clock twice per call costs about as much as the cheapest
+   instrumented sites do themselves (the abstract prune check runs per
+   attempted extension, ~0.5us), so the timer counts every call exactly
+   but reads the clock on a 1-in-16 sample and scales the batch duration
+   at flush: a few ns amortized per call, at the price of the batch
+   total being a statistical estimate. *)
+let sample_mask = 63
+
+type timer = {
+  t_live : t option;
+  t_name : string;
+  mutable t_count : int;  (* every call, exact *)
+  mutable t_sampled : int;  (* calls that paid for clock reads *)
+  mutable t_sampled_ns : int;
+}
+
+let timer name =
+  {
+    t_live = Atomic.get current;
+    t_name = name;
+    t_count = 0;
+    t_sampled = 0;
+    t_sampled_ns = 0;
+  }
+
+let charge tm t0 =
+  tm.t_sampled <- tm.t_sampled + 1;
+  tm.t_sampled_ns <- tm.t_sampled_ns + ns_of_span t0 (Unix.gettimeofday ())
+
+let timed tm f =
+  match tm.t_live with
+  | None -> f ()
+  | Some _ when tm.t_count land sample_mask <> 0 ->
+      tm.t_count <- tm.t_count + 1;
+      f ()
+  | Some _ -> (
+      tm.t_count <- tm.t_count + 1;
+      let t0 = Unix.gettimeofday () in
+      match f () with
+      | r ->
+          charge tm t0;
+          r
+      | exception e ->
+          charge tm t0;
+          raise e)
+
+let flush_timer tm =
+  match tm.t_live with
+  | None -> ()
+  | Some t when tm.t_count > 0 ->
+      let total_ns =
+        if tm.t_sampled >= tm.t_count then tm.t_sampled_ns
+        else
+          int_of_float
+            (float_of_int tm.t_sampled_ns
+            *. float_of_int tm.t_count
+            /. float_of_int (max 1 tm.t_sampled))
+      in
+      let ctx = get_ctx () in
+      let e = resolve t ~overlay:false (child_path (context_path ctx) tm.t_name) in
+      Metrics.add e.c_count tm.t_count;
+      Metrics.add e.c_total total_ns;
+      Metrics.add e.c_self total_ns;
+      Hdr.record e.h (float_of_int total_ns *. 1e-9);
+      (match ctx.frames with
+      | parent :: _ -> parent.f_child_ns <- parent.f_child_ns + total_ns
+      | [] -> maybe_retire ctx);
+      tm.t_count <- 0;
+      tm.t_sampled <- 0;
+      tm.t_sampled_ns <- 0
+  | Some _ -> ()
+
+(* --- overlay notes ----------------------------------------------------- *)
+
+let note name dt_s =
+  match Atomic.get current with
+  | None -> ()
+  | Some t ->
+      let e = resolve t ~overlay:true name in
+      let ns = if dt_s <= 0.0 then 0 else int_of_float (dt_s *. 1e9) in
+      Metrics.bump e.c_count;
+      Metrics.add e.c_total ns;
+      Hdr.record e.h dt_s
+
+(* --- prune-rule analytics ---------------------------------------------- *)
+
+(* A handle batches fires locally — the enumerators fire once per
+   rejected extension, and two atomic increments per reject add up to a
+   visible fraction of an enumeration-bound search. The batch drains on
+   {!flush_rule} (the enumerators flush at task end, next to their
+   timer) and automatically every 4096 fires so a dropped flush loses a
+   bounded tail. *)
+type rule_handle = {
+  rh_rule : rule option;
+  mutable rh_fires : int;
+  rh_by : int array;
+}
+
+let prune_rule name =
+  match Atomic.get current with
+  | None -> { rh_rule = None; rh_fires = 0; rh_by = [||] }
+  | Some t ->
+      {
+        rh_rule = Some (resolve_rule t name);
+        rh_fires = 0;
+        rh_by = Array.make max_remaining 0;
+      }
+
+let flush_rule h =
+  match h.rh_rule with
+  | Some r when h.rh_fires > 0 ->
+      Metrics.add r.ru_fires h.rh_fires;
+      Array.iteri
+        (fun k n ->
+          if n > 0 then begin
+            ignore (Atomic.fetch_and_add r.ru_by.(k) n);
+            h.rh_by.(k) <- 0
+          end)
+        h.rh_by;
+      h.rh_fires <- 0
+  | _ -> ()
+
+let fire h ~remaining =
+  match h.rh_rule with
+  | None -> ()
+  | Some _ ->
+      h.rh_fires <- h.rh_fires + 1;
+      let k =
+        if remaining < 0 then 0
+        else if remaining >= max_remaining then max_remaining - 1
+        else remaining
+      in
+      h.rh_by.(k) <- h.rh_by.(k) + 1;
+      if h.rh_fires >= 4096 then flush_rule h
+
+let rec set_branching t b =
+  if Float.is_finite b && b > 0.0 then begin
+    let cur = Atomic.get t.branching in
+    if b > cur && not (Atomic.compare_and_set t.branching cur b) then
+      set_branching t b
+  end
+
+let note_branching b =
+  match Atomic.get current with None -> () | Some t -> set_branching t b
+
+(* --- snapshots ---------------------------------------------------------- *)
+
+type phase_snap = {
+  p_path : string;
+  p_depth : int;
+  p_overlay : bool;
+  p_count : int;
+  p_total_s : float;
+  p_self_s : float;
+  p_hdr : Hdr.snapshot;
+}
+
+type rule_snap = {
+  r_rule : string;
+  r_fires : int;
+  r_by_remaining : int array;
+  r_est_saved : float;
+}
+
+type snapshot = {
+  wall_s : float;
+  branching : float;
+  phases : phase_snap list;
+  prune_rules : rule_snap list;
+}
+
+(* Geometric subtree model: a prefix cut with [k] operator slots left
+   would have spawned ~ b + b^2 + ... + b^k further attempted
+   extensions at branching factor [b]. Capped: the estimate is a
+   ranking aid, not a truth claim. *)
+let subtree_size b k =
+  if b <= 1.0 then float_of_int k
+  else begin
+    let acc = ref 0.0 and pow = ref 1.0 in
+    (try
+       for _ = 1 to k do
+         pow := !pow *. b;
+         acc := !acc +. !pow;
+         if !acc > 1e15 then raise Exit
+       done
+     with Exit -> acc := 1e15);
+    Float.min !acc 1e15
+  end
+
+let snapshot (t : t) =
+  let b = Atomic.get t.branching in
+  let phases =
+    List.rev_map
+      (fun (_, e) ->
+        {
+          p_path = e.path;
+          p_depth = e.depth;
+          p_overlay = e.overlay;
+          p_count = Metrics.value e.c_count;
+          p_total_s = float_of_int (Metrics.value e.c_total) *. 1e-9;
+          p_self_s = float_of_int (Metrics.value e.c_self) *. 1e-9;
+          p_hdr = Hdr.snapshot e.h;
+        })
+      (Atomic.get t.entries)
+  in
+  let prune_rules =
+    List.rev_map
+      (fun (_, r) ->
+        let by = Array.map Atomic.get r.ru_by in
+        let est = ref 0.0 in
+        Array.iteri
+          (fun k n ->
+            if n > 0 && b > 0.0 then
+              est := !est +. (float_of_int n *. subtree_size b k))
+          by;
+        {
+          r_rule = r.ru_name;
+          r_fires = Metrics.value r.ru_fires;
+          r_by_remaining = by;
+          r_est_saved = Float.min !est 1e15;
+        })
+      (Atomic.get t.rules)
+  in
+  {
+    wall_s = Unix.gettimeofday () -. t.created_at;
+    branching = b;
+    phases;
+    prune_rules;
+  }
+
+let schema = "mirage.profile.v1"
+
+let snapshot_json ?(include_hdrs = true) s =
+  let trim a =
+    let n = ref (Array.length a) in
+    while !n > 0 && a.(!n - 1) = 0 do
+      decr n
+    done;
+    Array.sub a 0 !n
+  in
+  J.Obj
+    [
+      ("schema", J.Str schema);
+      ("wall_s", J.Float s.wall_s);
+      ("branching", J.Float s.branching);
+      ( "phases",
+        J.List
+          (List.map
+             (fun p ->
+               J.Obj
+                 ([
+                    ("path", J.Str p.p_path);
+                    ("depth", J.Int p.p_depth);
+                    ("overlay", J.Bool p.p_overlay);
+                    ("count", J.Int p.p_count);
+                    ("total_s", J.Float p.p_total_s);
+                    ("self_s", J.Float p.p_self_s);
+                  ]
+                 @
+                 if include_hdrs then [ ("hdr", Hdr.snap_to_json p.p_hdr) ]
+                 else []))
+             s.phases) );
+      ( "prune_rules",
+        J.List
+          (List.map
+             (fun r ->
+               J.Obj
+                 [
+                   ("rule", J.Str r.r_rule);
+                   ("fires", J.Int r.r_fires);
+                   ("est_saved_expansions", J.Float r.r_est_saved);
+                   ( "by_remaining",
+                     J.List
+                       (Array.to_list
+                          (Array.map (fun n -> J.Int n) (trim r.r_by_remaining)))
+                   );
+                 ])
+             s.prune_rules) );
+    ]
+
+(* --- analysis of a snapshot_json value ---------------------------------- *)
+
+let num = function
+  | J.Float f -> Some f
+  | J.Int i -> Some (float_of_int i)
+  | _ -> None
+
+type parsed_phase = {
+  q_path : string;
+  q_depth : int;
+  q_overlay : bool;
+  q_count : int;
+  q_total_s : float;
+  q_self_s : float;
+  q_p50_us : float option;
+  q_p99_us : float option;
+}
+
+let parse_phases j =
+  match J.member "phases" j with
+  | Some (J.List l) ->
+      Ok
+        (List.filter_map
+           (fun p ->
+             let str k =
+               match J.member k p with Some (J.Str s) -> Some s | _ -> None
+             in
+             let int_ k =
+               match J.member k p with Some (J.Int i) -> Some i | _ -> None
+             in
+             let flt k = Option.bind (J.member k p) num in
+             match (str "path", int_ "depth", int_ "count") with
+             | Some path, Some depth, Some count ->
+                 let hdr_q k =
+                   Option.bind (J.member "hdr" p) (fun h ->
+                       Option.bind (J.member k h) num)
+                 in
+                 Some
+                   {
+                     q_path = path;
+                     q_depth = depth;
+                     q_overlay =
+                       (match J.member "overlay" p with
+                       | Some (J.Bool b) -> b
+                       | _ -> false);
+                     q_count = count;
+                     q_total_s = Option.value (flt "total_s") ~default:0.0;
+                     q_self_s = Option.value (flt "self_s") ~default:0.0;
+                     q_p50_us = hdr_q "p50_us";
+                     q_p99_us = hdr_q "p99_us";
+                   }
+             | _ -> None)
+           l)
+  | Some _ -> Error "phases is not a list"
+  | None -> Error "missing phases"
+
+let coverage_of phases =
+  let roots =
+    List.filter (fun p -> p.q_depth = 0 && not p.q_overlay) phases
+  in
+  match roots with
+  | [] -> None
+  | _ ->
+      let root =
+        List.fold_left
+          (fun a b -> if b.q_total_s > a.q_total_s then b else a)
+          (List.hd roots) roots
+      in
+      let prefix = root.q_path ^ "/" in
+      let plen = String.length prefix in
+      let attributed =
+        List.fold_left
+          (fun acc p ->
+            if
+              p.q_depth = 1
+              && (not p.q_overlay)
+              && String.length p.q_path > plen
+              && String.sub p.q_path 0 plen = prefix
+            then acc +. p.q_total_s
+            else acc)
+          0.0 phases
+      in
+      let frac =
+        if root.q_total_s <= 0.0 then 1.0 else attributed /. root.q_total_s
+      in
+      Some (root.q_path, frac)
+
+let coverage j =
+  match parse_phases j with Ok ps -> coverage_of ps | Error _ -> None
+
+let fmt_time s =
+  if s >= 1.0 then Printf.sprintf "%.2fs" s
+  else if s >= 1e-3 then Printf.sprintf "%.1fms" (s *. 1e3)
+  else Printf.sprintf "%.0fus" (s *. 1e6)
+
+let fmt_big f =
+  if f >= 1e6 then Printf.sprintf "%.2e" f
+  else Printf.sprintf "%.0f" f
+
+let render j =
+  let ( let* ) = Result.bind in
+  let* phases = parse_phases j in
+  let wall = Option.bind (J.member "wall_s" j) num in
+  let branching =
+    match Option.bind (J.member "branching" j) num with
+    | Some b when b > 0.0 -> Some b
+    | _ -> None
+  in
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  (match wall with
+  | Some w -> line "profile: %s wall" (fmt_time w)
+  | None -> line "profile:");
+  let main, overlays = List.partition (fun p -> not p.q_overlay) phases in
+  let ordered = List.sort (fun a b -> compare a.q_path b.q_path) main in
+  line "";
+  line "%-44s %10s %10s %10s %10s %10s" "phase" "count" "total" "self" "p50"
+    "p99";
+  let row p =
+    let label =
+      let name =
+        match String.rindex_opt p.q_path '/' with
+        | Some i ->
+            String.sub p.q_path (i + 1) (String.length p.q_path - i - 1)
+        | None -> p.q_path
+      in
+      String.make (2 * p.q_depth) ' ' ^ name
+    in
+    let quant = function
+      | Some us -> fmt_time (us *. 1e-6)
+      | None -> "-"
+    in
+    line "%-44s %10d %10s %10s %10s %10s" label p.q_count
+      (fmt_time p.q_total_s) (fmt_time p.q_self_s) (quant p.q_p50_us)
+      (quant p.q_p99_us)
+  in
+  List.iter row ordered;
+  if overlays <> [] then begin
+    line "";
+    line "overlays (attributed elsewhere, excluded from coverage):";
+    List.iter
+      (fun p ->
+        line "%-44s %10d %10s" ("  " ^ p.q_path) p.q_count
+          (fmt_time p.q_total_s))
+      (List.sort (fun a b -> compare a.q_path b.q_path) overlays)
+  end;
+  (match coverage_of phases with
+  | Some (root, frac) ->
+      line "";
+      line "attributed: %.1f%% of %s wall time in named sub-phases" (100.0 *. frac)
+        root
+  | None -> ());
+  let rules =
+    match J.member "prune_rules" j with
+    | Some (J.List l) ->
+        List.filter_map
+          (fun r ->
+            match (J.member "rule" r, J.member "fires" r) with
+            | Some (J.Str name), Some (J.Int fires) ->
+                Some
+                  ( name,
+                    fires,
+                    Option.value ~default:0.0
+                      (Option.bind (J.member "est_saved_expansions" r) num) )
+            | _ -> None)
+          l
+    | _ -> []
+  in
+  if rules <> [] then begin
+    line "";
+    (match branching with
+    | Some b -> line "prune rules (est. savings at branching factor %.1f):" b
+    | None -> line "prune rules (no branching factor: savings unknown):");
+    List.iter
+      (fun (name, fires, est) ->
+        line "  %-24s %10d fires %14s est. expansions saved" name fires
+          (fmt_big est))
+      (List.sort
+         (fun (_, fa, ea) (_, fb, eb) ->
+           match compare eb ea with 0 -> compare fb fa | c -> c)
+         rules)
+  end;
+  Ok (Buffer.contents buf)

@@ -1,0 +1,169 @@
+(** Domain-safe wall-time phase accounting for the search engine.
+
+    A profiler owns a set of named phases arranged in slash-separated
+    paths ([search/enumerate/task.kernel]); entering a phase pushes a
+    frame on the calling execution context's stack, leaving it charges
+    the elapsed wall time to the phase ([total]) and the portion not
+    covered by nested phases to [self]. Every phase is backed by
+    registry counters ([profile.<path>.count/.total_ns/.self_ns]) and a
+    per-phase {!Hdr} sketch ([profile.phase.<path>]), so updates are
+    lock-free and exact under concurrency, and the numbers surface
+    through the ordinary metrics exposition (snapshot, Prometheus)
+    without extra plumbing.
+
+    Frame stacks are keyed by (domain, thread) — the same discipline as
+    {!Journal} context — because the serving tier runs concurrent
+    handler threads on one domain: a per-domain stack alone would
+    interleave two requests' phases. Worker domains inherit the
+    spawner's phase path via {!saved_path}/{!with_base}, so a worker's
+    [task.kernel] phase lands under [search/enumerate] even though it
+    runs on a fresh stack.
+
+    The profiler also accounts prune-rule efficacy: each rule keeps an
+    exact fire counter plus a histogram of the remaining search depth at
+    the moment of the cut, from which {!snapshot} estimates the subtree
+    expansions the rule saved (geometric model at the observed
+    branching factor). *)
+
+type t
+
+val create : ?registry:Metrics.t -> unit -> t
+(** A standalone profiler (fresh registry by default). *)
+
+val registry : t -> Metrics.t
+
+(** {1 The ambient profiler}
+
+    Like {!Trace} and {!Journal}: one process-global profiler that the
+    instrumented code records into when enabled, at the cost of a single
+    atomic load when disabled. *)
+
+val enable : ?registry:Metrics.t -> unit -> t
+(** Install (replacing any previous) and return the ambient profiler. *)
+
+val disable : unit -> unit
+val active : unit -> t option
+
+(** {1 Phases} *)
+
+val with_phase : string -> (unit -> 'a) -> 'a
+(** [with_phase name f] runs [f] inside phase [name], nested under the
+    context's current phase (or at the root). No-op when disabled.
+    Exception-safe: the frame is charged even if [f] raises. *)
+
+val saved_path : unit -> string
+(** The calling context's current phase path ([""] when disabled or at
+    the root) — capture before [Domain.spawn] and replay in the child
+    with {!with_base}. *)
+
+val with_base : string -> (unit -> 'a) -> 'a
+(** [with_base path f] runs [f] on a fresh frame stack whose root phases
+    attach under [path] — the worker side of {!saved_path}. *)
+
+(** {1 Batched timers}
+
+    For hot paths (the abstract-expression prune check runs per
+    attempted extension) a full phase per call would double-count
+    gettimeofday overhead. A [timer] accumulates count and duration
+    locally and {!flush_timer} charges the batch as a single child
+    phase of the context's current phase. Counts are exact but the
+    clock is read on a 1-in-64 sample of calls, so the batch duration
+    is a scaled estimate — a few ns amortized per call. *)
+
+type timer
+
+val timer : string -> timer
+(** A local accumulator for child phase [name]; pinned to the ambient
+    profiler at creation (a no-op timer when disabled). *)
+
+val timed : timer -> (unit -> 'a) -> 'a
+val flush_timer : timer -> unit
+(** Charge the accumulated batch to [<current path>/<name>] (count,
+    total, self, one Hdr observation for the batch) and reset. Call on
+    the thread that runs the phases the batch belongs under. *)
+
+(** {1 Overlay notes}
+
+    Absolute-path time contributions recorded from code that cannot see
+    the caller's phase structure (the solver's decision procedure).
+    Overlays carry no self time and are excluded from coverage math. *)
+
+val note : string -> float -> unit
+(** [note name dt_s] adds one observation of [dt_s] seconds to overlay
+    phase [name]. No-op when disabled. *)
+
+(** {1 Prune-rule analytics} *)
+
+type rule_handle
+(** Resolved once per enumeration task; fires accumulate locally in the
+    handle (plain increments) and drain to the shared counters on
+    {!flush_rule} or automatically every 4096 fires. The handle of a
+    disabled profiler is inert. *)
+
+val prune_rule : string -> rule_handle
+
+val fire : rule_handle -> remaining:int -> unit
+(** Record one cut by the rule with [remaining] operator slots below the
+    rejected prefix (clamped into the efficacy histogram). *)
+
+val flush_rule : rule_handle -> unit
+(** Drain the handle's batched fires to the profiler's counters — call
+    at task end, on any thread (the batch is handle-local). *)
+
+val note_branching : float -> unit
+(** Report an observed branching factor (attempted extensions per
+    accepted prefix); merged by max into the ambient profiler. *)
+
+val set_branching : t -> float -> unit
+
+(** {1 Snapshots} *)
+
+type phase_snap = {
+  p_path : string;
+  p_depth : int;  (** number of ['/'] separators in the path *)
+  p_overlay : bool;
+  p_count : int;
+  p_total_s : float;
+  p_self_s : float;
+  p_hdr : Hdr.snapshot;
+}
+
+type rule_snap = {
+  r_rule : string;
+  r_fires : int;
+  r_by_remaining : int array;
+  r_est_saved : float;
+      (** estimated subtree expansions the rule saved, geometric model
+          at the snapshot's branching factor; [0.] when the branching
+          factor is unknown *)
+}
+
+type snapshot = {
+  wall_s : float;  (** since [create] *)
+  branching : float;  (** max reported; [0.] when never reported *)
+  phases : phase_snap list;  (** registration order *)
+  prune_rules : rule_snap list;
+}
+
+val snapshot : t -> snapshot
+
+val schema : string
+(** ["mirage.profile.v1"] *)
+
+val snapshot_json : ?include_hdrs:bool -> snapshot -> Jsonw.t
+(** The schema'd JSON the run report and the metrics exposition embed;
+    [include_hdrs:false] drops the per-phase quantile cards (the compact
+    wire form). *)
+
+(** {1 Analysis} *)
+
+val coverage : Jsonw.t -> (string * float) option
+(** [coverage j] — for a {!snapshot_json} value, the root phase with the
+    largest total and the fraction of its wall time attributed to its
+    direct sub-phases (1.0 for a root with no children and no time).
+    [None] when the snapshot has no root phases. *)
+
+val render : Jsonw.t -> (string, string) result
+(** Render a {!snapshot_json} value as the human phase table: the phase
+    tree with count/total/self, the attribution line ({!coverage}), and
+    the prune rules ranked by estimated savings. *)

@@ -91,7 +91,7 @@ let to_chrome_json t =
              ("ph", Jsonw.Str "X");
              ("ts", Jsonw.Float s.ts_us);
              ("dur", Jsonw.Float s.dur_us);
-             ("pid", Jsonw.Int 0);
+             ("pid", Jsonw.Int (Unix.getpid ()));
              ("tid", Jsonw.Int s.tid);
              ( "args",
                Jsonw.Obj

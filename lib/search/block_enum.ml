@@ -154,6 +154,17 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
      reason. One atomic load per attempt when journaling is off, and no
      Jsonw values are built on the [None] path. *)
   let journal = Obs.Journal.active () in
+  (* Profiler handles, resolved once per root (one atomic load each when
+     profiling is off): the timer batches the per-extension prune check's
+     wall time, the rule handles record which check cut how much. *)
+  let ptimer = Obs.Profile.timer "prune.abstract" in
+  let r_shape = Obs.Profile.prune_rule "shape"
+  and r_mem = Obs.Profile.prune_rule "memory"
+  and r_dup = Obs.Profile.prune_rule "duplicate"
+  and r_canon = Obs.Profile.prune_rule "canonical"
+  and r_pruned = Obs.Profile.prune_rule "pruned_abstract"
+  and r_phase = Obs.Profile.prune_rule "phase"
+  and r_dangling = Obs.Profile.prune_rule "dangling" in
   let jexpand ~depth op bins =
     match journal with
     | Some j ->
@@ -405,6 +416,8 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
       try_complete st;
       if st.ops < cfg.Config.max_block_ops then begin
         let depth = float_of_int st.ops in
+        (* operator slots below a prefix cut at this depth *)
+        let remaining = max 0 (cfg.Config.max_block_ops - st.ops - 1) in
         let moves = gen_moves st in
         List.iter
           (fun (cand, bop, bins, shape, nf, phase) ->
@@ -422,11 +435,13 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
             if duplicate then begin
               Stats.bump_duplicates stats;
               Obs.Metrics.observe h_rej_dup depth;
+              Obs.Profile.fire r_dup ~remaining;
               jreject ~depth:st.ops cand "duplicate" []
             end
             else if st.smem + bytes > limits.Memory.smem_bytes_per_block then begin
               Stats.bump_memory stats;
               Obs.Metrics.observe h_rej_mem depth;
+              Obs.Profile.fire r_mem ~remaining;
               jreject ~depth:st.ops cand "memory"
                 (match journal with
                 | Some _ ->
@@ -442,7 +457,8 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
                 ~depth:st.ops
                 ~jreject:(fun reason extra ->
                   jreject ~depth:st.ops cand reason extra)
-                ~journal_live:(journal <> None) nf
+                ~journal_live:(journal <> None) ~timer:ptimer ~rule:r_pruned
+                ~remaining nf
             then ()
             else
               let e = { bop; bins; shape; nf; phase; bytes } in
@@ -463,6 +479,7 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
               end
               else begin
                 Obs.Metrics.bump c_dangling;
+                Obs.Profile.fire r_dangling ~remaining;
                 jreject ~depth:st.ops cand "dangling" []
               end)
           moves
@@ -474,6 +491,7 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
        move for [extend]. *)
     and gen_moves st =
       let depth = float_of_int st.ops in
+      let remaining = max 0 (cfg.Config.max_block_ops - st.ops - 1) in
       let attempt op bins =
         Stats.bump_expanded stats;
         Obs.Metrics.observe h_expand depth;
@@ -491,6 +509,7 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
         else begin
           Stats.bump_canonical stats;
           Obs.Metrics.observe h_rej_canon depth;
+          Obs.Profile.fire r_canon ~remaining;
           jreject ~depth:st.ops cand "canonical" []
         end
       in
@@ -500,6 +519,7 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
         match combined_phase (List.map (fun e -> e.phase) ins) with
         | None ->
             Obs.Metrics.bump c_phase;
+            Obs.Profile.fire r_phase ~remaining;
             jreject ~depth:st.ops cand "phase" []
         | Some phase -> (
             let shapes = List.map (fun e -> e.shape) ins in
@@ -513,6 +533,7 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
             | None ->
                 Stats.bump_shape stats;
                 Obs.Metrics.observe h_rej_shape depth;
+                Obs.Profile.fire r_shape ~remaining;
                 jreject ~depth:st.ops cand "shape"
                   (match journal with
                   | Some _ ->
@@ -585,5 +606,12 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
       done;
       List.rev !moves
     in
-    extend init_state
+    (* the batched prune-check time and rule fires land under this task
+       even when the budget cuts the DFS short *)
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Profile.flush_timer ptimer;
+        List.iter Obs.Profile.flush_rule
+          [ r_shape; r_mem; r_dup; r_canon; r_pruned; r_phase; r_dangling ])
+      (fun () -> extend init_state)
   end

@@ -25,12 +25,18 @@ let task_label = function
 
 (* Worker domains inherit the spawner's ambient journal context (the
    serving tier's request id), so a request's id survives the fan-out
-   and its search events stay filterable by rid. *)
+   and its search events stay filterable by rid — and the spawner's
+   profile phase path, so a worker's task phases land under the
+   spawning phase ([search/enumerate/task.kernel]) instead of floating
+   at the root of a fresh stack. *)
 let spawn_worker f =
   let ctx = Obs.Journal.context () in
+  let ppath = Obs.Profile.saved_path () in
   Domain.spawn (fun () ->
       Obs.Journal.set_context ctx;
-      Fun.protect ~finally:(fun () -> Obs.Journal.set_context []) f)
+      Fun.protect
+        ~finally:(fun () -> Obs.Journal.set_context [])
+        (fun () -> Obs.Profile.with_base ppath f))
 
 (* Run the enumerators over all tasks, collecting deduplicated raw
    candidates. Workers pull tasks from a shared atomic counter.
@@ -169,16 +175,19 @@ let generate (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ?checkpoint
           try
             (match tasks.(i) with
             | T_kernel ->
-                Obs.Trace.with_span ~cat:"search" "enumerate.kernel" (fun () ->
-                    Kernel_enum.search cfg ~spec ~solver ~stats ~limits ~budget
-                      ~emit)
+                Obs.Profile.with_phase "task.kernel" (fun () ->
+                    Obs.Trace.with_span ~cat:"search" "enumerate.kernel"
+                      (fun () ->
+                        Kernel_enum.search cfg ~spec ~solver ~stats ~limits
+                          ~budget ~emit))
             | T_root root ->
-                Obs.Trace.with_span ~cat:"search"
-                  ~args:[ ("task", string_of_int i) ]
-                  "enumerate.root"
-                  (fun () ->
-                    Block_enum.search_root cfg ~spec ~solver ~stats ~limits
-                      ~budget ~emit root));
+                Obs.Profile.with_phase "task.root" (fun () ->
+                    Obs.Trace.with_span ~cat:"search"
+                      ~args:[ ("task", string_of_int i) ]
+                      "enumerate.root"
+                      (fun () ->
+                        Block_enum.search_root cfg ~spec ~solver ~stats ~limits
+                          ~budget ~emit root)));
             true
           with
           | Block_enum.Budget_exhausted ->
@@ -229,7 +238,8 @@ let generate (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ?checkpoint
   (!candidates, Atomic.get exhausted, Atomic.get failures)
 
 let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false) ?budget
-    ?checkpoint ?(piece = 0) ~(device : Gpusim.Device.t) ~spec () =
+    ?checkpoint ?(piece = 0) ?progress ~(device : Gpusim.Device.t) ~spec () =
+  Obs.Profile.with_phase "search" @@ fun () ->
   let cfg =
     match config with Some c -> c | None -> Config.for_spec spec
   in
@@ -239,10 +249,31 @@ let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false) ?budget
   let solver = Smtlite.Solver.create ~target:(Abstract.output_exprs spec) in
   let stats = Stats.create ?registry () in
   let limits = Gpusim.Device.limits device in
+  (* Live progress: wire in the funnel counters and seed the best-known
+     cost with the spec's (the search never regresses below it). *)
+  (match progress with
+  | Some p ->
+      Progress.attach_stats p stats;
+      Progress.note_best p (Gpusim.Cost.cost device spec).Gpusim.Cost.total_us;
+      Progress.set_phase p "enumerate"
+  | None -> ());
   let candidates, budget_exhausted, task_failures =
-    Obs.Trace.with_span ~cat:"search" "enumerate" (fun () ->
-        generate cfg ~spec ~solver ~stats ~limits ~budget ?checkpoint ~piece ())
+    Obs.Profile.with_phase "enumerate" (fun () ->
+        Obs.Trace.with_span ~cat:"search" "enumerate" (fun () ->
+            generate cfg ~spec ~solver ~stats ~limits ~budget ?checkpoint
+              ~piece ()))
   in
+  (* Branching factor for the prune-savings model: attempted extensions
+     per accepted (recursed-into) prefix. *)
+  (let s = Stats.snapshot stats in
+   let accepted =
+     s.Stats.expanded - s.Stats.shape_rejected - s.Stats.memory_rejected
+     - s.Stats.pruned_abstract - s.Stats.canonical_rejected
+     - s.Stats.duplicates
+   in
+   if s.Stats.expanded > 0 then
+     Obs.Profile.note_branching
+       (float_of_int s.Stats.expanded /. float_of_int (max 1 accepted)));
   Obs.Log.info (fun m ->
       m "search: %d candidate muGraph(s) generated%s%s"
         (List.length candidates)
@@ -254,7 +285,9 @@ let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false) ?budget
      break on the graph hash so the verification order — and therefore
      the winner — is independent of emission order (which varies with the
      number of enumeration workers). *)
+  (match progress with Some p -> Progress.set_phase p "cost" | None -> ());
   let costed =
+    Obs.Profile.with_phase "cost" @@ fun () ->
     Obs.Trace.with_span ~cat:"search" "cost" (fun () ->
         List.map
           (fun (x, c, _) -> (x, c))
@@ -274,7 +307,11 @@ let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false) ?budget
     let g =
       if cfg.Config.use_thread_fusion then Thread_fuse.fuse_kernel g else g
     in
-    (gid, { graph = g; cost = Gpusim.Cost.cost device g })
+    let cost = Gpusim.Cost.cost device g in
+    (match progress with
+    | Some p -> Progress.note_best p cost.Gpusim.Cost.total_us
+    | None -> ());
+    (gid, { graph = g; cost })
   in
   let journal = Obs.Journal.active () in
   (* One verification session for the whole run: all candidates share the
@@ -282,12 +319,15 @@ let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false) ?budget
      depends only on the trial seed), and the config flag selects the
      packed fast path or the boxed reference path. *)
   let session =
-    Verify.Random_test.make_session ~fast:cfg.Config.verify_fast_path ~spec ()
+    Obs.Profile.with_phase "verify.setup" (fun () ->
+        Verify.Random_test.make_session ~fast:cfg.Config.verify_fast_path ~spec
+          ())
   in
   (* Verification runs quarantined too: a verifier crash on one candidate
      rejects that candidate (journaled as cand.crash) instead of sinking
      the whole run. *)
   let check ~trials ~cand g =
+    Obs.Profile.with_phase "candidate" @@ fun () ->
     Obs.Trace.with_span ~cat:"search" "verify.candidate" (fun () ->
         match Verify.Random_test.equivalent ~trials ~cand ~session ~spec g with
         | v -> v
@@ -442,13 +482,17 @@ let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false) ?budget
       | _ -> []
     end
   in
+  (match progress with Some p -> Progress.set_phase p "verify" | None -> ());
   let verified =
+    Obs.Profile.with_phase "verify" @@ fun () ->
     Obs.Trace.with_span ~cat:"search" "verify" (fun () ->
         let vworkers =
           min (max 1 cfg.Config.num_workers) (List.length costed)
         in
         if vworkers <= 1 then sequential () else parallel vworkers)
   in
+  (match progress with Some p -> Progress.set_phase p "finalize" | None -> ());
+  Obs.Profile.with_phase "finalize" @@ fun () ->
   (* The input program always participates, so the optimizer never
      regresses. The spec carries id -1 (no journal lifecycle of its own). *)
   let spec_result =

@@ -44,6 +44,7 @@ val run :
   ?budget:Budget.t ->
   ?checkpoint:Checkpoint.t ->
   ?piece:int ->
+  ?progress:Progress.t ->
   device:Gpusim.Device.t ->
   spec:Graph.kernel_graph ->
   unit ->
@@ -70,7 +71,15 @@ val run :
     through {!Opt} — the ILP and memory planners; hitting the deadline in
     any phase cleanly returns best-so-far with the reason recorded in
     [degraded]. [checkpoint]/[piece] enable periodic progress persistence
-    and resume (see {!Checkpoint}). *)
+    and resume (see {!Checkpoint}).
+
+    [progress] attaches a {!Progress} cell the run keeps current (phase,
+    funnel counters, best cost so far) so an observer on another thread —
+    e.g. the serving tier's streamer — can sample it lock-free. When the
+    ambient {!Obs.Profile} is enabled, the run additionally attributes
+    its wall time to a [search] phase tree
+    ([enumerate]/[cost]/[verify.setup]/[verify]/[finalize], with
+    per-task and per-candidate children and prune-rule fire counts). *)
 
 val search_time :
   ?config:Config.t ->

@@ -37,6 +37,14 @@ let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ~emit =
      gets an id and an expand event, every rejection records its reason.
      One atomic load per attempt when journaling is off. *)
   let journal = Obs.Journal.active () in
+  (* Profiler handles, resolved once per task (one atomic load each when
+     profiling is off): the timer batches the per-extension prune check's
+     wall time, the rule handles record which check cut how much. *)
+  let ptimer = Obs.Profile.timer "prune.abstract" in
+  let r_shape = Obs.Profile.prune_rule "shape"
+  and r_dup = Obs.Profile.prune_rule "duplicate"
+  and r_canon = Obs.Profile.prune_rule "canonical"
+  and r_pruned = Obs.Profile.prune_rule "pruned_abstract" in
   (* Per-depth telemetry, registered once per search in the stats
      registry; updates on the hot path are lock-free. *)
   let depth_buckets =
@@ -131,6 +139,8 @@ let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ~emit =
     try_complete st;
     if st.ops < cfg.Config.max_kernel_ops then begin
       let depth = float_of_int st.ops in
+      (* operator slots below a prefix cut at this depth *)
+      let remaining = max 0 (cfg.Config.max_kernel_ops - st.ops - 1) in
       let rank_ok kop kins =
         match st.last_rank with
         | None -> true
@@ -170,6 +180,7 @@ let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ~emit =
         if not (rank_ok (Graph.K_prim p) kins) then begin
           Stats.bump_canonical stats;
           Obs.Metrics.observe h_rej_canon depth;
+          Obs.Profile.fire r_canon ~remaining;
           jreject "canonical" []
         end
         else begin
@@ -189,11 +200,13 @@ let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ~emit =
               if duplicate then begin
                 Stats.bump_duplicates stats;
                 Obs.Metrics.observe h_rej_dup depth;
+                Obs.Profile.fire r_dup ~remaining;
                 jreject "duplicate" []
               end
               else if
                 Prune.reject_if_pruned cfg ~solver ~stats ~hist:h_rej_pruned
-                  ~depth:st.ops ~jreject ~journal_live:(journal <> None) nf
+                  ~depth:st.ops ~jreject ~journal_live:(journal <> None)
+                  ~timer:ptimer ~rule:r_pruned ~remaining nf
               then ()
               else begin
                 (match journal with
@@ -218,6 +231,7 @@ let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ~emit =
           | None ->
               Stats.bump_shape stats;
               Obs.Metrics.observe h_rej_shape depth;
+              Obs.Profile.fire r_shape ~remaining;
               jreject "shape"
                 [
                   ( "in_shapes",
@@ -246,4 +260,10 @@ let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ~emit =
       done
     end
   in
-  extend init
+  (* the batched prune-check time and rule fires land under this task
+     even when the budget cuts the DFS short *)
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Profile.flush_timer ptimer;
+      List.iter Obs.Profile.flush_rule [ r_shape; r_dup; r_canon; r_pruned ])
+    (fun () -> extend init)

@@ -1,0 +1,32 @@
+(** Live-progress state shared between an in-flight search and its
+    observers (the serving tier's progress streaming). Lock-free: the
+    generator writes from worker domains, an observer thread polls
+    concurrently. [nodes_expanded] is monotone across reads because it
+    is read straight from the search's exact funnel counters. *)
+
+type t
+
+val create : unit -> t
+
+val set_phase : t -> string -> unit
+(** The coarse search phase ([enumerate] / [cost] / [verify] / [done]). *)
+
+val phase : t -> string
+
+val attach_stats : t -> Stats.t -> unit
+(** Wire the search's funnel counters in; until then the view reports
+    zero nodes. *)
+
+val note_best : t -> float -> unit
+(** Lower the best-known candidate cost (µs); min-merged, so racing
+    workers cannot regress it. *)
+
+type view = {
+  v_phase : string;
+  v_nodes_expanded : int;
+  v_candidates : int;
+  v_verified : int;
+  v_best_us : float option;  (** [None] until a cost is known *)
+}
+
+val view : t -> view

@@ -23,13 +23,21 @@ let journal_fields nf =
    emitting the journal reject through [jreject]. [journal_live] keeps
    the Jsonw field construction off the hot path when no journal is
    installed (the enumerators' [jreject] wrappers drop the event
-   anyway). *)
+   anyway).
+
+   Profiling rides the same single site: [timer] accumulates the check's
+   wall time (batched — the enumerator flushes it once per task), [rule]
+   records the fire with [remaining] operator slots below the cut, from
+   which the profile estimates the subtree the rule saved. Both are
+   inert no-ops when the ambient profiler is off. *)
 let reject_if_pruned (cfg : Config.t) ~solver ~stats ~hist ~depth
     ~(jreject : string -> (string * Obs.Jsonw.t) list -> unit) ~journal_live
+    ~(timer : Obs.Profile.timer) ~(rule : Obs.Profile.rule_handle) ~remaining
     nf =
-  if check cfg ~solver nf then begin
+  if Obs.Profile.timed timer (fun () -> check cfg ~solver nf) then begin
     Stats.bump_pruned stats;
     Obs.Metrics.observe hist (float_of_int depth);
+    Obs.Profile.fire rule ~remaining;
     jreject "pruned_abstract" (if journal_live then journal_fields nf else []);
     true
   end

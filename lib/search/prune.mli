@@ -20,8 +20,14 @@ val reject_if_pruned :
   depth:int ->
   jreject:(string -> (string * Obs.Jsonw.t) list -> unit) ->
   journal_live:bool ->
+  timer:Obs.Profile.timer ->
+  rule:Obs.Profile.rule_handle ->
+  remaining:int ->
   Absexpr.Nf.t ->
   bool
 (** Run the check; on failure bump the [pruned_abstract] funnel counter,
     observe [hist] at [depth], emit the reject via [jreject] (with the
-    full payload only when [journal_live]) and return [true]. *)
+    full payload only when [journal_live]) and return [true]. The
+    check's wall time accumulates into [timer] (flushed by the caller
+    once per task) and a cut fires [rule] with [remaining] operator
+    slots below it — both inert when the profiler is disabled. *)

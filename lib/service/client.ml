@@ -11,11 +11,22 @@ let connect ~socket_path =
      raise e);
   fd
 
-let request ~socket_path req =
+let request ?on_progress ~socket_path req =
   (* mint a request id unless the caller brought one: the id comes back
      in the response and tags every server-side journal event, so a
      caller can join its call to the server's forensics *)
   let req, _rid = Reqid.ensure req in
+  (* opting into streaming is the callback's presence: the request grows
+     a ["progress": true] field (not part of the server's fingerprint,
+     so cache keys are unchanged) and the read loop skips interleaved
+     progress frames until the response — a frame with no ["type"] —
+     arrives *)
+  let req =
+    match (on_progress, req) with
+    | Some _, J.Obj fields when not (List.mem_assoc "progress" fields) ->
+        J.Obj (fields @ [ ("progress", J.Bool true) ])
+    | _ -> req
+  in
   match connect ~socket_path with
   | exception e ->
       Error
@@ -26,7 +37,15 @@ let request ~socket_path req =
         (fun () ->
           match
             Proto.write_frame fd req;
-            Proto.read_frame fd
+            let rec read_resp () =
+              let frame = Proto.read_frame fd in
+              if Proto.is_progress frame then begin
+                (match on_progress with Some f -> f frame | None -> ());
+                read_resp ()
+              end
+              else frame
+            in
+            read_resp ()
           with
           | resp -> Ok resp
           | exception End_of_file -> Error "connection closed by server"
@@ -34,12 +53,12 @@ let request ~socket_path req =
           | exception Unix.Unix_error (e, fn, _) ->
               Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))))
 
-let optimize ?(fields = []) ~socket_path ~benchmark () =
-  request ~socket_path
+let optimize ?(fields = []) ?on_progress ~socket_path ~benchmark () =
+  request ?on_progress ~socket_path
     (J.Obj ([ ("op", J.Str "optimize"); ("benchmark", J.Str benchmark) ] @ fields))
 
-let optimize_graph ?(fields = []) ~socket_path graph_json =
-  request ~socket_path
+let optimize_graph ?(fields = []) ?on_progress ~socket_path graph_json =
+  request ?on_progress ~socket_path
     (J.Obj ([ ("op", J.Str "optimize"); ("graph", graph_json) ] @ fields))
 
 let simple ~socket_path op = request ~socket_path (J.Obj [ ("op", J.Str op) ])

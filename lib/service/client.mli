@@ -3,13 +3,24 @@
     domain-safe (no shared state). *)
 
 val request :
-  socket_path:string -> Obs.Jsonw.t -> (Obs.Jsonw.t, string) result
+  ?on_progress:(Obs.Jsonw.t -> unit) ->
+  socket_path:string ->
+  Obs.Jsonw.t ->
+  (Obs.Jsonw.t, string) result
 (** Send one frame. A ["request_id"] is minted ({!Reqid}) unless the
     request already carries a valid one; the server echoes it in the
-    response and stamps it on every journal event of the dispatch. *)
+    response and stamps it on every journal event of the dispatch.
+
+    [on_progress] opts the request into live progress streaming: the
+    request gains a ["progress": true] field and the callback receives
+    each interleaved {!Proto.progress_frame} ({!Proto.progress_schema})
+    as it arrives, before [request] returns with the final response.
+    Without it the connection carries exactly one response frame —
+    byte-identical to a client that predates progress streaming. *)
 
 val optimize :
   ?fields:(string * Obs.Jsonw.t) list ->
+  ?on_progress:(Obs.Jsonw.t -> unit) ->
   socket_path:string ->
   benchmark:string ->
   unit ->
@@ -20,6 +31,7 @@ val optimize :
 
 val optimize_graph :
   ?fields:(string * Obs.Jsonw.t) list ->
+  ?on_progress:(Obs.Jsonw.t -> unit) ->
   socket_path:string ->
   Obs.Jsonw.t ->
   (Obs.Jsonw.t, string) result

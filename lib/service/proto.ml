@@ -40,6 +40,76 @@ let write_frame fd json =
   really_write fd (Bytes.unsafe_to_string hdr);
   really_write fd payload
 
+(* --- progress event frames -------------------------------------------
+   Interleaved server→client frames streamed during an in-flight search,
+   before the final response. A client that did not opt in (no
+   ["progress": true] in its request) never sees one — the response
+   stream stays a single frame, byte-identical to the pre-progress
+   protocol. Frames are distinguished from responses by ["type"]:
+   responses never carry one. *)
+
+let progress_schema = "mirage.service.progress.v1"
+
+let progress_frame ~rid ~seq ~phase ~nodes_expanded ~candidates ~verified
+    ?best_cost_us ?budget_remaining_s ~elapsed_s () =
+  J.Obj
+    [
+      ("type", J.Str "progress");
+      ("schema", J.Str progress_schema);
+      ("request_id", J.Str rid);
+      ("seq", J.Int seq);
+      ("phase", J.Str phase);
+      ("nodes_expanded", J.Int nodes_expanded);
+      ("candidates", J.Int candidates);
+      ("verified", J.Int verified);
+      ( "best_cost_us",
+        match best_cost_us with Some v -> J.Float v | None -> J.Null );
+      ( "budget_remaining_s",
+        match budget_remaining_s with Some v -> J.Float v | None -> J.Null );
+      ("elapsed_s", J.Float elapsed_s);
+    ]
+
+let is_progress j =
+  match J.member "type" j with Some (J.Str "progress") -> true | _ -> false
+
+let check_progress j =
+  let str k =
+    match J.member k j with
+    | Some (J.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "missing string field %S" k)
+  in
+  let int_nonneg k =
+    match J.member k j with
+    | Some (J.Int i) when i >= 0 -> Ok i
+    | Some (J.Int _) -> Error (Printf.sprintf "negative %S" k)
+    | _ -> Error (Printf.sprintf "missing int field %S" k)
+  in
+  let opt_float k =
+    match J.member k j with
+    | Some (J.Float _) | Some (J.Int _) | Some J.Null -> Ok ()
+    | _ -> Error (Printf.sprintf "field %S must be a number or null" k)
+  in
+  let ( let* ) = Result.bind in
+  let* ty = str "type" in
+  let* () = if ty = "progress" then Ok () else Error "type is not progress" in
+  let* schema = str "schema" in
+  let* () =
+    if schema = progress_schema then Ok ()
+    else Error (Printf.sprintf "unknown schema %S" schema)
+  in
+  let* _rid = str "request_id" in
+  let* _seq = int_nonneg "seq" in
+  let* _phase = str "phase" in
+  let* _ = int_nonneg "nodes_expanded" in
+  let* _ = int_nonneg "candidates" in
+  let* _ = int_nonneg "verified" in
+  let* () = opt_float "best_cost_us" in
+  let* () = opt_float "budget_remaining_s" in
+  match J.member "elapsed_s" j with
+  | Some (J.Float f) when f >= 0.0 -> Ok ()
+  | Some (J.Int i) when i >= 0 -> Ok ()
+  | _ -> Error "missing or negative \"elapsed_s\""
+
 let read_frame fd =
   let hdr = really_read fd 4 in
   let b i = Char.code hdr.[i] in

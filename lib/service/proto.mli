@@ -9,3 +9,39 @@ val write_frame : Unix.file_descr -> Obs.Jsonw.t -> unit
 val read_frame : Unix.file_descr -> Obs.Jsonw.t
 (** @raise Protocol_error on a malformed frame, [End_of_file] on a clean
     peer close. *)
+
+(** {2 Progress event frames}
+
+    Interleaved server→client frames streamed during an in-flight
+    search, before the final response, to clients that opted in with
+    ["progress": true]. Distinguished from responses by a ["type"]
+    field (responses never carry one). Clients that did not opt in
+    receive exactly one frame, byte-identical to the pre-progress
+    protocol. *)
+
+val progress_schema : string
+(** ["mirage.service.progress.v1"] *)
+
+val progress_frame :
+  rid:string ->
+  seq:int ->
+  phase:string ->
+  nodes_expanded:int ->
+  candidates:int ->
+  verified:int ->
+  ?best_cost_us:float ->
+  ?budget_remaining_s:float ->
+  elapsed_s:float ->
+  unit ->
+  Obs.Jsonw.t
+(** Build one progress frame. [seq] starts at 0 and increments per
+    frame of a request; [nodes_expanded]/[candidates]/[verified] are
+    monotone over a request's frames. Omitted [best_cost_us] /
+    [budget_remaining_s] encode as JSON null. *)
+
+val is_progress : Obs.Jsonw.t -> bool
+(** [true] iff the frame is a progress event (has ["type":"progress"]). *)
+
+val check_progress : Obs.Jsonw.t -> (unit, string) result
+(** Validate a frame against {!progress_schema}: all required fields
+    present with the right types, counters non-negative. *)

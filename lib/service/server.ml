@@ -59,6 +59,13 @@ type flight = {
   fc : Condition.t;
   leader_rid : string;  (* the request id whose search everyone shares *)
   mutable result : outcome option;  (* None while the search runs *)
+  fprogress : Search.Progress.t;
+      (* live search state, sampled lock-free by every streamer of this
+         flight (the leader's and each coalesced follower's) *)
+  fbudget : Search.Budget.t option Atomic.t;
+      (* the search's budget, published by [run_search] once the search
+         actually starts (after the slot wait), so streamed
+         budget-remaining reflects search time, not queue time *)
 }
 
 type t = {
@@ -243,7 +250,7 @@ let payload_valid payload =
       | Ok _ -> Ok ()
       | Error m -> Error (Printf.sprintf "best.graph does not decode: %s" m))
 
-let run_search t ~config ~device ~benchmark ~spec ~fp =
+let run_search t ~config ~device ~benchmark ~spec ~fp ~flight =
   Obs.Metrics.bump t.c_searches;
   Obs.Journal.event "search.start"
     [
@@ -252,9 +259,12 @@ let run_search t ~config ~device ~benchmark ~spec ~fp =
         match benchmark with Some n -> J.Str n | None -> J.Null );
     ];
   let budget = Search.Budget.of_config config in
+  Atomic.set flight.fbudget (Some budget);
   let t0 = Unix.gettimeofday () in
   let o =
-    Search.Generator.run ~config ~verify_trials:t.verify_trials ~budget
+    Search.Generator.run ~config
+      ~registry:(Telemetry.registry t.telemetry)
+      ~verify_trials:t.verify_trials ~budget ~progress:flight.fprogress
       ~device ~spec ()
   in
   let wall_s = Unix.gettimeofday () -. t0 in
@@ -288,11 +298,72 @@ let slow_probe () =
     in
     Unix.sleepf (ms /. 1e3)
 
+(* Progress streaming: while [f] (the search, or the coalesced wait on
+   it) runs, a dedicated thread samples the flight's live progress cell
+   every [interval_s] and hands rid-tagged frames to [push]. The first
+   frame is emitted before the stop flag is ever consulted, so an
+   opted-in request sees at least one frame even when the search
+   finishes instantly. The thread is joined before this function
+   returns: frame writes and the final response write are strictly
+   sequential on the connection, never interleaved. *)
+let stream_progress ~rid ~interval_s ~push flight f =
+  match push with
+  | None -> f ()
+  | Some push ->
+      let stop = Atomic.make false in
+      let t0 = Unix.gettimeofday () in
+      let seq = ref 0 in
+      let emit () =
+        let v = Search.Progress.view flight.fprogress in
+        let budget_remaining_s =
+          match Atomic.get flight.fbudget with
+          | Some b ->
+              let dl = Search.Budget.deadline b in
+              if dl > 0.0 then Some (Float.max 0.0 (dl -. Unix.gettimeofday ()))
+              else None
+          | None -> None
+        in
+        let frame =
+          Proto.progress_frame ~rid ~seq:!seq
+            ~phase:v.Search.Progress.v_phase
+            ~nodes_expanded:v.Search.Progress.v_nodes_expanded
+            ~candidates:v.Search.Progress.v_candidates
+            ~verified:v.Search.Progress.v_verified
+            ?best_cost_us:v.Search.Progress.v_best_us ?budget_remaining_s
+            ~elapsed_s:(Unix.gettimeofday () -. t0) ()
+        in
+        incr seq;
+        (* a vanished client only stops the stream; the search is shared
+           with other requests and runs on *)
+        try push frame with _ -> Atomic.set stop true
+      in
+      let streamer () =
+        emit ();
+        while not (Atomic.get stop) do
+          (* nap in short slices so the final join is prompt *)
+          let slept = ref 0.0 in
+          while (not (Atomic.get stop)) && !slept < interval_s do
+            Unix.sleepf 0.02;
+            slept := !slept +. 0.02
+          done;
+          if not (Atomic.get stop) then emit ()
+        done
+      in
+      let th = Thread.create streamer () in
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set stop true;
+          Thread.join th)
+        f
+
 (* Returns (fingerprint, payload, cached, coalesced, served_by): the
    sample accumulates stage timings (cache probe, queue wait, search)
    and [served_by] is the leader's request id when this request was
-   coalesced onto another's search. *)
-let optimize t ~rid ~(sample : Telemetry.sample) req =
+   coalesced onto another's search. [push], when present, streams
+   rid-tagged progress frames to this request's connection while its
+   search (own or joined) is in flight; cache hits stream nothing. *)
+let optimize t ~rid ~(sample : Telemetry.sample) ?push ?(interval_s = 0.1) req
+    =
   match resolve_spec req with
   | Error m -> Error m
   | Ok (benchmark, spec) -> (
@@ -333,6 +404,8 @@ let optimize t ~rid ~(sample : Telemetry.sample) req =
                         fc = Condition.create ();
                         leader_rid = rid;
                         result = None;
+                        fprogress = Search.Progress.create ();
+                        fbudget = Atomic.make None;
                       }
                     in
                     Hashtbl.replace t.flights fp fl;
@@ -342,21 +415,23 @@ let optimize t ~rid ~(sample : Telemetry.sample) req =
               if creator then begin
                 Telemetry.set_outcome sample "miss";
                 let outcome =
-                  Telemetry.time_stage sample "queue_wait" (fun () ->
-                      Sem.acquire t.search_slots);
-                  Fun.protect
-                    ~finally:(fun () -> Sem.release t.search_slots)
-                    (fun () ->
-                      match
-                        Telemetry.time_stage sample "search" (fun () ->
-                            run_search t ~config ~device ~benchmark ~spec ~fp)
-                      with
-                      | payload ->
-                          Cache.store t.cache fp payload;
-                          Done payload
-                      | exception e ->
-                          Obs.Metrics.bump t.c_errors;
-                          Failed (Printexc.to_string e))
+                  stream_progress ~rid ~interval_s ~push flight (fun () ->
+                      Telemetry.time_stage sample "queue_wait" (fun () ->
+                          Sem.acquire t.search_slots);
+                      Fun.protect
+                        ~finally:(fun () -> Sem.release t.search_slots)
+                        (fun () ->
+                          match
+                            Telemetry.time_stage sample "search" (fun () ->
+                                run_search t ~config ~device ~benchmark ~spec
+                                  ~fp ~flight)
+                          with
+                          | payload ->
+                              Cache.store t.cache fp payload;
+                              Done payload
+                          | exception e ->
+                              Obs.Metrics.bump t.c_errors;
+                              Failed (Printexc.to_string e)))
                 in
                 (* publish, then retire the flight: later requests for
                    the same fingerprint hit the cache instead *)
@@ -379,12 +454,16 @@ let optimize t ~rid ~(sample : Telemetry.sample) req =
                     ("fingerprint", J.Str fp);
                     ("leader_rid", J.Str flight.leader_rid);
                   ];
-                Mutex.lock flight.fm;
-                while flight.result = None do
-                  Condition.wait flight.fc flight.fm
-                done;
-                let outcome = Option.get flight.result in
-                Mutex.unlock flight.fm;
+                let outcome =
+                  stream_progress ~rid ~interval_s ~push flight (fun () ->
+                      Mutex.lock flight.fm;
+                      while flight.result = None do
+                        Condition.wait flight.fc flight.fm
+                      done;
+                      let outcome = Option.get flight.result in
+                      Mutex.unlock flight.fm;
+                      outcome)
+                in
                 match outcome with
                 | Done payload ->
                     Ok (fp, payload, false, true, Some flight.leader_rid)
@@ -522,7 +601,7 @@ let shutdown_now t =
    the outcome into [sample]. Every journal event emitted below this
    point — including from search worker domains, which inherit the
    context — carries the rid, and the response echoes it. *)
-let dispatch t ~rid ~(sample : Telemetry.sample) req =
+let dispatch t ~rid ~(sample : Telemetry.sample) ?push req =
   Obs.Metrics.bump t.c_requests;
   let op = Telemetry.sample_op sample in
   Obs.Journal.event "request.recv" [ ("op", J.Str op) ];
@@ -530,7 +609,20 @@ let dispatch t ~rid ~(sample : Telemetry.sample) req =
   let resp =
     match op with
     | "optimize" -> (
-        match optimize t ~rid ~sample req with
+        (* progress streaming is strictly opt-in: without
+           ["progress": true] the connection carries exactly one frame,
+           byte-identical to the pre-progress protocol *)
+        let push =
+          match J.member "progress" req with
+          | Some (J.Bool true) -> push
+          | _ -> None
+        in
+        let interval_s =
+          match float_field "progress_interval_ms" req with
+          | Some ms when ms > 0.0 -> ms /. 1e3
+          | _ -> 0.1
+        in
+        match optimize t ~rid ~sample ?push ~interval_s req with
         | Ok (fp, payload, cached, coalesced, served_by) ->
             (match J.member "degraded" payload with
             | Some (J.List (_ :: _)) -> Telemetry.set_degraded sample
@@ -591,12 +683,12 @@ let settle t sample resp =
   | Some sl -> Slowlog.maybe_capture sl sample ~response:resp
   | None -> ()
 
-let handle_request t req =
+let handle_request ?push t req =
   let req, rid, sample = begin_sample req in
   Obs.Journal.with_context
     [ ("rid", J.Str rid) ]
     (fun () ->
-      let resp = dispatch t ~rid ~sample req in
+      let resp = dispatch t ~rid ~sample ?push req in
       settle t sample resp;
       resp)
 
@@ -619,8 +711,9 @@ let handle_conn t fd =
           Obs.Journal.with_context
             [ ("rid", J.Str rid) ]
             (fun () ->
+              let push frame = Proto.write_frame fd frame in
               let resp =
-                match dispatch t ~rid ~sample req with
+                match dispatch t ~rid ~sample ~push req with
                 | r -> r
                 | exception e ->
                     Telemetry.set_outcome sample "error";

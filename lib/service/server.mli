@@ -8,7 +8,11 @@
       [device]) — resolve the spec, fingerprint it ({!Fingerprint}),
       serve from the {!Cache} when possible, otherwise run the §4 search
       exactly once per distinct in-flight fingerprint (single-flight
-      coalescing) and store the result;
+      coalescing) and store the result; ["progress": true] (with
+      optional [progress_interval_ms], default 100) opts the connection
+      into interleaved {!Proto.progress_frame} events while the search
+      — own or coalesced — is in flight, each tagged with this
+      request's id;
     - [{"op":"status"}] — uptime, counters, cache occupancy and hit
       rate, slow-report tally;
     - [{"op":"stats"}] — a snapshot of the process metrics registry;
@@ -55,9 +59,13 @@ val cache : t -> Cache.t
 val telemetry : t -> Telemetry.t
 val slowlog : t -> Slowlog.t option
 
-val handle_request : t -> Obs.Jsonw.t -> Obs.Jsonw.t
+val handle_request :
+  ?push:(Obs.Jsonw.t -> unit) -> t -> Obs.Jsonw.t -> Obs.Jsonw.t
 (** Dispatch one request in the calling thread — the in-process entry
-    point the tests use; the socket path goes through it too. *)
+    point the tests use; the socket path goes through it too. [push]
+    receives interleaved {!Proto.progress_frame} events while an
+    optimize request that opted in (["progress": true]) has a search in
+    flight; it is never called after [handle_request] returns. *)
 
 val start : t -> unit
 (** Bind the socket and start the accept loop in a background thread. *)

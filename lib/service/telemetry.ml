@@ -147,6 +147,62 @@ let cache_rates snap =
 
 let uptime_s t = Unix.gettimeofday () -. t.started_at
 
+(* The search funnel, accumulated across every search this process ran
+   (the server passes its registry to [Generator.run], so the Stats
+   counters land here). *)
+let funnel_counters =
+  [
+    "search.expanded";
+    "search.reject.shape";
+    "search.reject.memory";
+    "search.reject.pruned_abstract";
+    "search.reject.canonical";
+    "search.duplicates";
+    "search.candidates";
+    "search.verified";
+  ]
+
+let has_prefix p name =
+  String.length name >= String.length p && String.sub name 0 (String.length p) = p
+
+(* A compact digest of the ambient profiler, when one is enabled: total
+   attributed wall seconds per depth-1 phase plus the top prune rules by
+   estimated savings — the full tree stays in [mirage_cli profile]. *)
+let profile_digest () =
+  match Obs.Profile.active () with
+  | None -> []
+  | Some p ->
+      let s = Obs.Profile.snapshot p in
+      let phases =
+        List.filter_map
+          (fun (ph : Obs.Profile.phase_snap) ->
+            if ph.Obs.Profile.p_depth = 1 && not ph.Obs.Profile.p_overlay then
+              Some (ph.Obs.Profile.p_path, J.Float ph.Obs.Profile.p_total_s)
+            else None)
+          s.Obs.Profile.phases
+      in
+      let rules =
+        List.map
+          (fun (r : Obs.Profile.rule_snap) ->
+            ( r.Obs.Profile.r_rule,
+              J.Obj
+                [
+                  ("fires", J.Int r.Obs.Profile.r_fires);
+                  ("est_saved", J.Float r.Obs.Profile.r_est_saved);
+                ] ))
+          s.Obs.Profile.prune_rules
+      in
+      [
+        ( "profile",
+          J.Obj
+            [
+              ("schema", J.Str Obs.Profile.schema);
+              ("wall_s", J.Float s.Obs.Profile.wall_s);
+              ("phases", J.Obj phases);
+              ("prune_rules", J.Obj rules);
+            ] );
+      ]
+
 let snapshot_json ?(extra = []) t ~in_flight () =
   let snap = Obs.Metrics.snapshot t.registry in
   let hits, misses, hit_rate = cache_rates snap in
@@ -177,11 +233,16 @@ let snapshot_json ?(extra = []) t ~in_flight () =
              ( "dropped_buffers",
                J.Int (counter_value snap "journal.dropped_buffers") );
            ] );
+       ( "search",
+         J.Obj
+           (List.map
+              (fun n -> (n, J.Int (counter_value snap n)))
+              funnel_counters) );
        ( "histograms",
          J.Obj
            (List.filter_map
               (fun (name, d) ->
-                if String.length name >= 6 && String.sub name 0 6 = "serve."
+                if has_prefix "serve." name || has_prefix "profile.phase." name
                 then Some (name, Obs.Hdr.snap_to_json d)
                 else None)
               snap.Obs.Metrics.hdrs) );
@@ -192,7 +253,7 @@ let snapshot_json ?(extra = []) t ~in_flight () =
          J.Obj (List.map (fun (n, v) -> (n, J.Float v)) snap.Obs.Metrics.gauges)
        );
      ]
-    @ extra)
+    @ profile_digest () @ extra)
 
 let prometheus t = Obs.Prom.render (Obs.Metrics.snapshot t.registry)
 
@@ -255,6 +316,16 @@ let check_snapshot j =
     | Some r when r >= 0.0 && r <= 1.0 -> Ok ()
     | Some r -> err "cache.hit_rate %g outside [0,1]" r
     | None -> err "missing cache.hit_rate"
+  in
+  let* sfields = need_obj "search" in
+  let* () =
+    List.fold_left
+      (fun acc n ->
+        let* () = acc in
+        match List.assoc_opt n sfields with
+        | Some (J.Int v) when v >= 0 -> Ok ()
+        | _ -> err "search.%s missing or invalid" n)
+      (Ok ()) funnel_counters
   in
   let* hfields = need_obj "histograms" in
   let* () =

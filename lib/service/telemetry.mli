@@ -70,13 +70,22 @@ val cache_rates : Obs.Metrics.snapshot -> int * int * float
 (** [(hits, misses, hit_rate)] derived from the [service.cache.*]
     counters in a registry snapshot; rate is 0 when no lookups ran. *)
 
+val funnel_counters : string list
+(** The search funnel counter names surfaced in the snapshot's
+    ["search"] section ([search.expanded], the reject counters,
+    [search.candidates], [search.verified], …), accumulated across every
+    search the process ran. *)
+
 val snapshot_json :
   ?extra:(string * Obs.Jsonw.t) list -> t -> in_flight:int -> unit -> Obs.Jsonw.t
 (** The {!snapshot_schema} document: uptime, in-flight, request and
     outcome counts, cache hit rate (derived from the cache counters in
-    the registry), journal drop counts, quantile cards for every
-    [serve.*] sketch, and the full counter/gauge dump. [extra] fields
-    are appended at top level (the server adds cache occupancy). *)
+    the registry), journal drop counts, the ["search"] funnel section,
+    quantile cards for every [serve.*] and [profile.phase.*] sketch, the
+    full counter/gauge dump and — when the ambient {!Obs.Profile} is
+    enabled — a compact ["profile"] digest (depth-1 phase seconds and
+    prune-rule savings). [extra] fields are appended at top level (the
+    server adds cache occupancy). *)
 
 val prometheus : t -> string
 (** {!Obs.Prom} rendering of the registry. *)

@@ -38,8 +38,21 @@ let render ?prev ~now snap =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   let requests = int_ (J.member "requests" snap) in
+  (* A daemon restart between polls resets every counter: the request
+     delta goes negative and the uptime shrinks. Clamping alone would
+     silently render "0.0 req/s" for a busy-but-restarted server, so
+     the restart is also called out explicitly. *)
+  let restarted =
+    match prev with
+    | Some (_, prev_snap) ->
+        requests < int_ (J.member "requests" prev_snap)
+        || num (J.member "uptime_s" snap)
+           < num (J.member "uptime_s" prev_snap)
+    | None -> false
+  in
   let rate =
     match prev with
+    | _ when restarted -> "restarted"
     | Some (prev_ts, prev_snap) when now > prev_ts ->
         let dr = requests - int_ (J.member "requests" prev_snap) in
         Printf.sprintf "%.1f req/s" (float_of_int (max 0 dr) /. (now -. prev_ts))
@@ -67,6 +80,31 @@ let render ?prev ~now snap =
   | None -> ());
   let jd = int_ (getp [ "journal"; "dropped_events" ] snap) in
   if jd > 0 then line "journal   %d dropped event(s)!" jd;
+  (* the accumulated search funnel (present in v1 snapshots that ran at
+     least zero searches; absent in older scrapes) *)
+  (match J.member "search" snap with
+  | Some (J.Obj _) ->
+      let sc k = int_ (getp [ "search"; "search." ^ k ] snap) in
+      line
+        "search    expanded %d | pruned %d | canonical %d | dup %d | \
+         candidates %d | verified %d"
+        (sc "expanded")
+        (sc "reject.pruned_abstract")
+        (sc "reject.canonical") (sc "duplicates") (sc "candidates")
+        (sc "verified")
+  | _ -> ());
+  (match J.member "profile" snap with
+  | Some (J.Obj _) ->
+      let phases =
+        match getp [ "profile"; "phases" ] snap with
+        | Some (J.Obj ps) ->
+            List.map
+              (fun (name, v) -> Printf.sprintf "%s %.2fs" name (num (Some v)))
+              ps
+        | _ -> []
+      in
+      if phases <> [] then line "profile   %s" (String.concat " | " phases)
+  | _ -> ());
   line "";
   line "%-20s %8s %10s %10s %10s %10s" "stage" "count" "p50" "p90" "p99" "max";
   (match J.member "histograms" snap with

@@ -7,7 +7,9 @@
 val render : ?prev:float * Obs.Jsonw.t -> now:float -> Obs.Jsonw.t -> string
 (** [render ?prev ~now snap] — [prev] is the previous poll's
     [(timestamp, snapshot)], used for the request-rate line; [now] is
-    the current timestamp. *)
+    the current timestamp. A counter regression or uptime reset
+    between the two polls (a daemon restart) renders as [restarted]
+    instead of a meaningless clamped rate. *)
 
 val pp_us : float -> string
 (** Humanize a microsecond latency ([12us] / [2.35ms] / [1.23s]). *)

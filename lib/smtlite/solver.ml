@@ -68,6 +68,9 @@ let check_subexpr_nf t nf =
               int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)
             in
             ignore (Atomic.fetch_and_add t.solve_ns dt_ns);
+            (* overlay: decision-procedure time only (cache misses), so
+               the profile can split "prune check" into lookup vs solve *)
+            Obs.Profile.note "smtlite.decide" (float_of_int dt_ns *. 1e-9);
             Mutex.lock t.lock;
             Hashtbl.replace t.cache nf r;
             Mutex.unlock t.lock;

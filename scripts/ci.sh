@@ -25,6 +25,10 @@ dune exec bin/mirage_cli.exe -- optimize rmsnorm \
 echo "== smoke: explain resolves a journaled candidate"
 dune exec bin/mirage_cli.exe -- explain /tmp/mirage_ci_run 0 >/dev/null
 
+echo "== smoke: profile analyzer attributes the run's search wall time"
+dune exec bin/mirage_cli.exe -- profile /tmp/mirage_ci_run \
+  --min-coverage 0.95 >/dev/null
+
 echo "== smoke: bench --json"
 dune exec bench/main.exe -- fig7 --json /tmp/mirage_ci_bench.json >/dev/null
 
@@ -110,11 +114,20 @@ test "$((HIT + COAL))" -eq 2
 # the prometheus text rendering and the live status view both answer
 $CLI request metrics $REQ --prometheus | grep -q '^serve_total'
 $CLI status --socket /tmp/mirage_ci_svc/s.sock | grep -q 'uptime'
-# clean shutdown: daemon exits, socket removed, journal agrees on one search
+# a cold search with --progress streams at least one rid-tagged frame
+# (distinct fingerprint via --max-block-ops 2 so the cache can't answer;
+# stderr is not a tty here, so frames render one line each)
+$CLI request rmsnorm --socket /tmp/mirage_ci_svc/s.sock \
+  --max-block-ops 2 --workers 1 --budget 10 --progress \
+  > /tmp/mirage_ci_svc/r_prog.json 2> /tmp/mirage_ci_svc/progress.log
+grep -q 'nodes' /tmp/mirage_ci_svc/progress.log
+grep -q '"cached": false' /tmp/mirage_ci_svc/r_prog.json
+# clean shutdown: daemon exits, socket removed, journal agrees on two
+# searches (the coalesced trio's one + the progress request's cold one)
 $CLI request shutdown $REQ >/dev/null
 wait "$SVC_PID"
 test ! -e /tmp/mirage_ci_svc/s.sock
-test "$(grep -c '"ev":"search.start"' /tmp/mirage_ci_svc/journal.jsonl)" -eq 1
+test "$(grep -c '"ev":"search.start"' /tmp/mirage_ci_svc/journal.jsonl)" -eq 2
 # slow-request forensics: threshold 0 captures every optimize request
 # into a per-rid report directory whose journal slice carries its rid
 RID_DIR=$(ls -d /tmp/mirage_ci_svc/slow/*/ | head -1)
@@ -133,8 +146,10 @@ echo "== bench history regression gate (Fig. 7 costs + verifier + service, 5%)"
 # catch a fast-path performance regression the same way costs catch a
 # cost-model one; the serve suite's warm-over-cold ratios catch a result
 # cache that stopped caching (and its own 50x floor fails the suite).
+# The profile suite self-gates: Obs.Profile record overhead must stay
+# under 1% of a cold rmsnorm search's wall time.
 cp BENCH_history.jsonl /tmp/mirage_ci_history.jsonl
-dune exec bench/main.exe -- fig7 verify serve \
+dune exec bench/main.exe -- fig7 verify serve profile \
   --history /tmp/mirage_ci_history.jsonl --gate 5 >/dev/null
 
 echo "CI OK"

@@ -542,6 +542,183 @@ let test_journal_context () =
         (List.map Obs.Journal.typ_of alpha));
   Sys.remove path
 
+(* --- profile: wall-time phase accounting ----------------------------------- *)
+
+let with_ambient_profile f =
+  let p = Obs.Profile.enable () in
+  Fun.protect ~finally:(fun () -> Obs.Profile.disable ()) (fun () -> f p)
+
+(* A random single-threaded phase tree: whatever the nesting, each
+   phase's self time is bounded by its total, a child's total by its
+   parent's, and the self times of all phases together never exceed the
+   profiler's wall clock — time is attributed, never invented. *)
+type ptree = Ph of string * ptree list
+
+let gen_phase_tree =
+  let open QCheck2.Gen in
+  let name = map (Printf.sprintf "p%d") (int_range 0 3) in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then map (fun s -> Ph (s, [])) name
+         else
+           map2
+             (fun s kids -> Ph (s, kids))
+             name
+             (list_size (int_range 0 3) (self (n / 3))))
+
+let prop_profile_conservation =
+  let rec show (Ph (s, kids)) =
+    s ^ "(" ^ String.concat "," (List.map show kids) ^ ")"
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100
+       ~name:"self <= total <= parent, sum of self <= wall"
+       ~print:show
+       (QCheck2.Gen.map (fun t -> t) gen_phase_tree)
+       (fun tree ->
+         with_ambient_profile (fun p ->
+             let rec run (Ph (s, kids)) =
+               Obs.Profile.with_phase s (fun () ->
+                   (* a little attributable work *)
+                   ignore (Sys.opaque_identity (Hashtbl.hash kids));
+                   List.iter run kids)
+             in
+             run tree;
+             let snap = Obs.Profile.snapshot p in
+             let phases =
+               List.filter
+                 (fun ph -> not ph.Obs.Profile.p_overlay)
+                 snap.Obs.Profile.phases
+             in
+             let total_of path =
+               match
+                 List.find_opt (fun ph -> ph.Obs.Profile.p_path = path) phases
+               with
+               | Some ph -> ph.Obs.Profile.p_total_s
+               | None -> 0.0
+             in
+             let eps = 1e-9 in
+             List.for_all
+               (fun ph ->
+                 ph.Obs.Profile.p_self_s <= ph.Obs.Profile.p_total_s +. eps
+                 &&
+                 match String.rindex_opt ph.Obs.Profile.p_path '/' with
+                 | None -> true
+                 | Some i ->
+                     (* single-threaded: a child phase cannot outlive its
+                        parent *)
+                     ph.Obs.Profile.p_total_s
+                     <= total_of (String.sub ph.Obs.Profile.p_path 0 i) +. eps)
+               phases
+             && List.fold_left
+                  (fun acc ph -> acc +. ph.Obs.Profile.p_self_s)
+                  0.0 phases
+                <= snap.Obs.Profile.wall_s +. eps)))
+
+(* Counts are exact under domain concurrency: 4 domains hammering the
+   same phases, timers and rules concurrently lose nothing. *)
+let test_profile_domains () =
+  with_ambient_profile (fun p ->
+      let domains = 4 and per = 10_000 in
+      let ds =
+        List.init domains (fun _ ->
+            Domain.spawn (fun () ->
+                (* one task phase per domain, mirroring the enumerator:
+                   the batched timer is flushed inside it *)
+                Obs.Profile.with_phase "outer" (fun () ->
+                    let tm = Obs.Profile.timer "check" in
+                    let ru = Obs.Profile.prune_rule "cut" in
+                    for i = 1 to per do
+                      Obs.Profile.with_phase "inner" (fun () ->
+                          ignore (Sys.opaque_identity i));
+                      ignore (Obs.Profile.timed tm (fun () -> i land 1 = 0));
+                      Obs.Profile.fire ru ~remaining:(i land 7)
+                    done;
+                    Obs.Profile.flush_timer tm;
+                    Obs.Profile.flush_rule ru)))
+      in
+      List.iter Domain.join ds;
+      let snap = Obs.Profile.snapshot p in
+      let count path =
+        match
+          List.find_opt
+            (fun ph -> ph.Obs.Profile.p_path = path)
+            snap.Obs.Profile.phases
+        with
+        | Some ph -> ph.Obs.Profile.p_count
+        | None -> -1
+      in
+      Alcotest.(check int) "outer count exact" domains (count "outer");
+      Alcotest.(check int) "inner count exact" (domains * per)
+        (count "outer/inner");
+      Alcotest.(check int) "batched timer count exact" (domains * per)
+        (count "outer/check");
+      match
+        List.find_opt
+          (fun r -> r.Obs.Profile.r_rule = "cut")
+          snap.Obs.Profile.prune_rules
+      with
+      | None -> Alcotest.fail "rule missing from snapshot"
+      | Some r ->
+          Alcotest.(check int) "rule fires exact" (domains * per)
+            r.Obs.Profile.r_fires)
+
+(* The geometric prune-savings model, pinned: at branching factor 2 a
+   cut with 3 remaining slots saves 2 + 4 + 8 = 14 expansions. *)
+let test_profile_savings () =
+  with_ambient_profile (fun p ->
+      Obs.Profile.set_branching p 2.0;
+      let ru = Obs.Profile.prune_rule "cut" in
+      Obs.Profile.fire ru ~remaining:3;
+      Obs.Profile.flush_rule ru;
+      let snap = Obs.Profile.snapshot p in
+      match snap.Obs.Profile.prune_rules with
+      | [ r ] ->
+          Alcotest.(check (float 1e-9)) "geometric subtree" 14.0
+            r.Obs.Profile.r_est_saved
+      | _ -> Alcotest.fail "expected exactly one rule")
+
+(* Disabled profiler: everything is an inert no-op and records nothing. *)
+let test_profile_disabled () =
+  Obs.Profile.disable ();
+  Obs.Profile.with_phase "ghost" (fun () -> ());
+  Obs.Profile.note "ghost.note" 1.0;
+  Obs.Profile.fire (Obs.Profile.prune_rule "ghost") ~remaining:3;
+  Alcotest.(check bool) "no ambient profiler" true (Obs.Profile.active () = None);
+  (* and a fresh profiler saw none of it *)
+  with_ambient_profile (fun p ->
+      Alcotest.(check int) "fresh profiler empty" 0
+        (List.length (Obs.Profile.snapshot p).Obs.Profile.phases))
+
+(* snapshot_json round-trips through the analyzer: render succeeds and
+   coverage is computable. *)
+let test_profile_json () =
+  with_ambient_profile (fun p ->
+      Obs.Profile.with_phase "root" (fun () ->
+          Obs.Profile.with_phase "a" (fun () -> ignore (Sys.opaque_identity 1));
+          Obs.Profile.with_phase "b" (fun () -> ignore (Sys.opaque_identity 2)));
+      let j = Obs.Profile.snapshot_json (Obs.Profile.snapshot p) in
+      (match Obs.Jsonw.member "schema" j with
+      | Some (Obs.Jsonw.Str s) ->
+          Alcotest.(check string) "schema tag" Obs.Profile.schema s
+      | _ -> Alcotest.fail "no schema tag");
+      (match Obs.Profile.render j with
+      | Ok text ->
+          Alcotest.(check bool) "render mentions root" true
+            (let sub = "root" in
+             let ls = String.length sub and lt = String.length text in
+             let rec go i =
+               i + ls <= lt && (String.sub text i ls = sub || go (i + 1))
+             in
+             go 0)
+      | Error m -> Alcotest.failf "render failed: %s" m);
+      match Obs.Profile.coverage j with
+      | Some (root, cov) ->
+          Alcotest.(check string) "dominant root" "root" root;
+          Alcotest.(check bool) "coverage within [0,1]" true
+            (cov >= 0.0 && cov <= 1.0)
+      | None -> Alcotest.fail "no coverage")
+
 let () =
   Alcotest.run "obs"
     [
@@ -602,5 +779,17 @@ let () =
         [
           Alcotest.test_case "invariant on a small search" `Quick
             test_funnel_invariant;
+        ] );
+      ( "profile",
+        [
+          prop_profile_conservation;
+          Alcotest.test_case "counts exact across 4 domains" `Quick
+            test_profile_domains;
+          Alcotest.test_case "prune-savings geometric model" `Quick
+            test_profile_savings;
+          Alcotest.test_case "no-op when disabled" `Quick
+            test_profile_disabled;
+          Alcotest.test_case "snapshot json renders and covers" `Quick
+            test_profile_json;
         ] );
     ]

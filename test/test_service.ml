@@ -641,6 +641,191 @@ let test_prune_helper_equivalence () =
   Alcotest.(check bool) "pruning disabled -> never rejects" false
     (Search.Prune.check off ~solver sub)
 
+(* --- progress streaming ------------------------------------------------ *)
+
+(* In-process: a cold optimize that opted in receives at least one
+   schema-valid, rid-tagged frame, and the counters never move
+   backwards across the frame sequence. *)
+let test_progress_frames =
+  with_reset @@ fun () ->
+  let server = make_server () in
+  let spec = div_matmul_spec ~b:2 ~h:4 ~d:4 () in
+  let req extra =
+    J.Obj
+      ([
+         ("op", J.Str "optimize");
+         ("graph", Search.Checkpoint.graph_to_json spec);
+         ("request_id", J.Str "prog-1");
+       ]
+      @ extra)
+  in
+  let opted =
+    req [ ("progress", J.Bool true); ("progress_interval_ms", J.Int 10) ]
+  in
+  let frames = ref [] in
+  let resp =
+    Service.Server.handle_request ~push:(fun f -> frames := f :: !frames)
+      server opted
+  in
+  Alcotest.(check string) "cold status ok" "ok"
+    (match J.member "status" resp with Some (J.Str s) -> s | _ -> "?");
+  let frames = List.rev !frames in
+  Alcotest.(check bool) "at least one frame streamed" true (frames <> []);
+  List.iter
+    (fun f ->
+      (match Service.Proto.check_progress f with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "invalid frame: %s" m);
+      Alcotest.(check bool) "frame is a progress event" true
+        (Service.Proto.is_progress f);
+      Alcotest.(check string) "frame tagged with the request's rid" "prog-1"
+        (match J.member "request_id" f with Some (J.Str s) -> s | _ -> "?"))
+    frames;
+  let ints k =
+    List.map
+      (fun f -> match J.member k f with Some (J.Int i) -> i | _ -> -1)
+      frames
+  in
+  let monotone name xs =
+    ignore
+      (List.fold_left
+         (fun prev x ->
+           Alcotest.(check bool)
+             (Printf.sprintf "%s monotone (%d -> %d)" name prev x)
+             true (x >= prev);
+           x)
+         (-1) xs)
+  in
+  monotone "seq" (ints "seq");
+  List.iteri
+    (fun i s ->
+      Alcotest.(check int) "seq dense from 0" i s)
+    (ints "seq");
+  monotone "nodes_expanded" (ints "nodes_expanded");
+  monotone "candidates" (ints "candidates");
+  monotone "verified" (ints "verified");
+  (* warm: the cache answers, nothing streams *)
+  let warm_frames = ref [] in
+  let warm =
+    Service.Server.handle_request
+      ~push:(fun f -> warm_frames := f :: !warm_frames)
+      server opted
+  in
+  Alcotest.(check bool) "warm served from cache" true
+    (J.member "cached" warm = Some (J.Bool true));
+  Alcotest.(check int) "cache hit streams no frames" 0
+    (List.length !warm_frames)
+
+(* Over the real socket: an opted-in cold request interleaves progress
+   frames before the response; a legacy request's response stream is
+   byte-identical with and without another client's opt-in — exactly
+   one frame, same bytes as an opted-in warm request's only frame. *)
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off < n then begin
+      let r = Unix.read fd buf off (n - off) in
+      if r = 0 then raise End_of_file;
+      go (off + r)
+    end
+  in
+  go 0;
+  Bytes.to_string buf
+
+let read_raw_frames fd =
+  let rec go acc =
+    match read_exact fd 4 with
+    | exception End_of_file -> List.rev acc
+    | hdr ->
+        let b i = Char.code hdr.[i] in
+        let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+        go (read_exact fd n :: acc)
+  in
+  go []
+
+let raw_request socket_path req =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket_path);
+      Service.Proto.write_frame fd req;
+      read_raw_frames fd)
+
+let test_progress_wire =
+  with_reset @@ fun () ->
+  let server = make_server () in
+  let socket_path = Filename.temp_file "mirage_prog_sock" ".sock" in
+  Sys.remove socket_path;
+  let server =
+    (* a fresh server bound to a real socket (make_server's path is for
+       in-process use); same config and a fresh cache *)
+    ignore server;
+    Service.Server.create ~registry:(Obs.Metrics.create ())
+      ~device:Gpusim.Device.a100 ~base_config:(small_config ())
+      ~verify_trials:2 ~socket_path
+      ~cache_dir:(tmpdir "mirage_prog_cache") ()
+  in
+  Service.Server.start server;
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Server.stop server;
+      Service.Server.wait server)
+    (fun () ->
+      Alcotest.(check bool) "daemon ready" true
+        (Service.Client.wait_ready ~socket_path ());
+      let spec = div_matmul_spec ~b:2 ~h:4 ~d:4 () in
+      let req rid extra =
+        J.Obj
+          ([
+             ("op", J.Str "optimize");
+             ("graph", Search.Checkpoint.graph_to_json spec);
+             ("request_id", J.Str rid);
+           ]
+          @ extra)
+      in
+      let opted =
+        [ ("progress", J.Bool true); ("progress_interval_ms", J.Int 10) ]
+      in
+      (* cold, opted in: >= 1 progress frame strictly before the result *)
+      let cold = raw_request socket_path (req "wire-cold" opted) in
+      Alcotest.(check bool) "cold stream has >= 2 frames" true
+        (List.length cold >= 2);
+      let rec split_last = function
+        | [] -> Alcotest.fail "empty stream"
+        | [ x ] -> ([], x)
+        | x :: rest ->
+            let init, last = split_last rest in
+            (x :: init, last)
+      in
+      let progress_raw, final_raw = split_last cold in
+      List.iter
+        (fun raw ->
+          match J.of_string raw with
+          | Error m -> Alcotest.failf "unparsable frame: %s" m
+          | Ok f ->
+              Alcotest.(check bool) "interleaved frame is progress" true
+                (Service.Proto.is_progress f);
+              (match Service.Proto.check_progress f with
+              | Ok () -> ()
+              | Error m -> Alcotest.failf "invalid frame: %s" m))
+        progress_raw;
+      (match J.of_string final_raw with
+      | Ok f ->
+          Alcotest.(check bool) "final frame is the response" false
+            (Service.Proto.is_progress f)
+      | Error m -> Alcotest.failf "unparsable response: %s" m);
+      (* warm, legacy vs opted in, same rid: byte-identical single
+         response frame — opting in costs a silent request nothing and
+         legacy clients see exactly the old wire format *)
+      let legacy = raw_request socket_path (req "wire-warm" []) in
+      let withp = raw_request socket_path (req "wire-warm" opted) in
+      Alcotest.(check int) "legacy stream is one frame" 1 (List.length legacy);
+      Alcotest.(check int) "warm opted-in stream is one frame" 1
+        (List.length withp);
+      Alcotest.(check string) "byte-identical responses"
+        (List.hd legacy) (List.hd withp))
+
 (* --- suite ------------------------------------------------------------- *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
@@ -687,6 +872,14 @@ let () =
             test_metrics_op;
           Alcotest.test_case "slow request leaves an rid-exact report" `Slow
             test_slow_forensics;
+        ] );
+      ( "progress",
+        [
+          Alcotest.test_case "frames valid, rid-tagged, monotone" `Slow
+            test_progress_frames;
+          Alcotest.test_case
+            "wire: interleaved frames, legacy byte-identical" `Slow
+            test_progress_wire;
         ] );
       ( "prune",
         [
