@@ -629,7 +629,7 @@ let serve_bench () =
         Obs.Jsonw.
           [ ("suite", Str "serve"); ("cache_hit_rate", Float hit_rate) ];
       history_serve := !history_serve @ [ ("serve.cache.hit_rate", hit_rate) ]);
-  ignore (Service.Client.shutdown ~socket_path);
+  ignore (Service.Client.shutdown ~socket_path ());
   Service.Server.wait server;
   (* The telemetry plane must be noise on the request path: record 200k
      samples into a standalone sketch and demand the per-record cost

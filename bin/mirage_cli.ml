@@ -861,8 +861,67 @@ let serve_cmd =
             "Directory for slow-request reports (default: the cache \
              directory suffixed with -slow).")
   in
+  let max_conns_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:
+            "Live-connection bound: connections beyond $(docv) are \
+             answered with a typed overloaded rejection (0 = unlimited).")
+  in
+  let max_queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Search-queue bound: at most $(docv) distinct searches may \
+             wait for a slot; beyond that, typed overloaded (0 = \
+             unlimited).")
+  in
+  let tenant_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "tenant-rate" ] ~docv:"TOKENS_PER_S"
+          ~doc:
+            "Arm per-tenant quotas: requests carrying a tenant field \
+             draw from a token bucket refilled at $(docv) tokens/s \
+             (0 = quotas off).")
+  in
+  let tenant_burst_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "tenant-burst" ] ~docv:"TOKENS"
+          ~doc:"Token-bucket capacity per tenant (burst allowance).")
+  in
+  let frame_timeout_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "frame-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-frame read/write deadline: a peer that stalls \
+             mid-frame longer than $(docv) is disconnected (slowloris \
+             defense; 0 = unlimited).")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Idle-connection deadline: a connection that sends nothing \
+             for $(docv) is closed (0 = unlimited).")
+  in
+  let cache_max_bytes_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "cache-max-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Byte cap on the on-disk result cache: stores beyond it \
+             evict least-recently-used entries (0 = unlimited).")
+  in
   let run socket cache_dir device max_ops workers budget reference_verify
-      max_searches journal slow_threshold_ms slow_dir =
+      max_searches journal slow_threshold_ms slow_dir max_connections
+      max_queue_depth tenant_rate tenant_burst frame_timeout_s idle_timeout_s
+      cache_max_bytes =
     (match journal with
     | Some path -> ignore (Obs.Journal.enable path)
     | None -> ());
@@ -877,7 +936,9 @@ let serve_cmd =
     in
     let server =
       Service.Server.create ~device ~base_config
-        ~max_concurrent_searches:max_searches
+        ~max_concurrent_searches:max_searches ~max_connections
+        ~max_queue_depth ~tenant_rate ~tenant_burst ~frame_timeout_s
+        ~idle_timeout_s ~cache_max_bytes
         ?slow_threshold_s:(Option.map (fun ms -> ms /. 1e3) slow_threshold_ms)
         ?slow_dir ~socket_path:socket ~cache_dir ()
     in
@@ -895,7 +956,11 @@ let serve_cmd =
           (Service.Slowlog.threshold_s sl *. 1e3)
           (Service.Slowlog.dir sl)
     | None -> ());
-    Service.Server.run server;
+    (* a live daemon on the socket is a refusal, not a hijack *)
+    (try Service.Server.run server
+     with Failure m ->
+       Printf.eprintf "serve: %s\n" m;
+       exit 1);
     (* flush the journal before exiting so the last lifecycle events of
        a short-lived daemon (CI smokes) reach disk *)
     Obs.Journal.disable ()
@@ -909,7 +974,9 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ cache_dir_arg $ device_arg $ ops_arg
       $ workers_arg $ budget_arg $ ref_verify_arg $ max_searches_arg
-      $ journal_arg $ slow_threshold_arg $ slow_dir_arg)
+      $ journal_arg $ slow_threshold_arg $ slow_dir_arg $ max_conns_arg
+      $ max_queue_arg $ tenant_rate_arg $ tenant_burst_arg
+      $ frame_timeout_arg $ idle_timeout_arg $ cache_max_bytes_arg)
 
 (* Render the search-phase profile captured in a run's report.json:
    the phase tree (count/total/self/p50/p99), the wall-time attribution
@@ -1005,7 +1072,48 @@ let request_cmd =
              candidates, best cost, budget remaining) as an updating \
              line on stderr while the search runs.")
   in
-  let run socket what max_ops workers budget prometheus progress =
+  let tenant_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tenant" ] ~docv:"NAME"
+          ~doc:
+            "Tag the request with a tenant: it draws from that tenant's \
+             token bucket on a quota-armed daemon (and may be answered \
+             with $(b,quota_exceeded)).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"MS"
+          ~doc:
+            "End-to-end deadline in milliseconds: bounds queue wait, \
+             search budget and coalesced wait; an expired deadline is \
+             answered with a typed $(b,timeout).")
+  in
+  let retry_flag =
+    Arg.(
+      value & flag
+      & info [ "retry" ]
+          ~doc:
+            "Retry transient failures (transport errors, typed \
+             $(b,overloaded)/$(b,quota_exceeded) rejections) with \
+             bounded jittered exponential back-off, honoring the \
+             server's retry_after_s hint.")
+  in
+  let drain_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "drain" ] ~docv:"SECONDS"
+          ~doc:
+            "With $(b,shutdown): graceful drain — in-flight searches \
+             get $(docv) seconds to finish before their budgets are \
+             cancelled.")
+  in
+  let run socket what max_ops workers budget prometheus progress tenant
+      deadline_ms retry drain_s =
     (* live progress rendering: one updating stderr line per frame (a
        plain newline-per-frame stream when stderr is not a tty) *)
     let tty = Unix.isatty Unix.stderr in
@@ -1040,23 +1148,42 @@ let request_cmd =
         | None -> "")
         (if tty then "" else "\n")
     in
+    let send ?on_progress ~socket_path req =
+      if retry then
+        Service.Client.request_with_retry ?on_progress
+          ~on_retry:(fun ~attempt ~delay_s ~reason ->
+            Printf.eprintf "retry %d in %.2fs (%s)\n%!" attempt delay_s reason)
+          ~socket_path req
+      else Service.Client.request ?on_progress ~socket_path req
+    in
     let resp =
       match what with
       | "metrics" when prometheus ->
           Service.Client.metrics ~format:"prometheus" ~socket_path:socket ()
-      | "status" | "stats" | "shutdown" | "metrics" ->
-          Service.Client.request ~socket_path:socket
-            (Obs.Jsonw.Obj [ ("op", Obs.Jsonw.Str what) ])
+      | "shutdown" ->
+          Service.Client.shutdown ?drain_s ~socket_path:socket ()
+      | "status" | "stats" | "metrics" ->
+          send ~socket_path:socket (Obs.Jsonw.Obj [ ("op", Obs.Jsonw.Str what) ])
       | benchmark ->
-          Service.Client.optimize
-            ~fields:
-              [
-                ("max_block_ops", Obs.Jsonw.Int max_ops);
-                ("workers", Obs.Jsonw.Int workers);
-                ("budget_s", Obs.Jsonw.Float budget);
-              ]
+          let fields =
+            [
+              ("op", Obs.Jsonw.Str "optimize");
+              ("benchmark", Obs.Jsonw.Str benchmark);
+              ("max_block_ops", Obs.Jsonw.Int max_ops);
+              ("workers", Obs.Jsonw.Int workers);
+              ("budget_s", Obs.Jsonw.Float budget);
+            ]
+            @ (match tenant with
+              | Some name -> [ ("tenant", Obs.Jsonw.Str name) ]
+              | None -> [])
+            @
+            match deadline_ms with
+            | Some ms -> [ ("deadline_ms", Obs.Jsonw.Float ms) ]
+            | None -> []
+          in
+          send
             ?on_progress:(if progress then Some on_progress else None)
-            ~socket_path:socket ~benchmark ()
+            ~socket_path:socket (Obs.Jsonw.Obj fields)
     in
     if !streamed && tty then Printf.eprintf "\n%!";
     match resp with
@@ -1086,7 +1213,8 @@ let request_cmd =
           the JSON response")
     Term.(
       const run $ socket_arg $ what_arg $ ops_arg $ workers_arg $ budget_arg
-      $ prom_flag $ progress_flag)
+      $ prom_flag $ progress_flag $ tenant_arg $ deadline_arg $ retry_flag
+      $ drain_arg)
 
 (* Fetch one validated exposition snapshot from a running daemon. *)
 let fetch_snapshot socket =

@@ -31,6 +31,10 @@ let known_points =
     "journal.write";
     "report.finalize";
     "serve.slow";
+    "wire.torn";
+    "wire.disconnect";
+    "wire.oversize";
+    "cache.enospc";
   ]
 
 let installed : point list Atomic.t = Atomic.make []

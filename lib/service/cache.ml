@@ -7,30 +7,52 @@
      <dir>/<fp[0:2]>/<fp>/result.json
 
    Each result.json is a schema-versioned envelope around the caller's
-   payload. Writes are atomic (temp file in the final directory, then
-   rename) so a crash mid-store never leaves a torn entry; a torn or
-   tampered entry found at read time is quarantined (renamed to
-   result.json.quarantined next to where it lay, for forensics) and
-   reported as a miss instead of crashing the daemon.
+   payload. Writes are crash-safe: the bytes are written to a temp file
+   in the final directory, fsynced, renamed over the destination, and
+   the directory itself is fsynced — a kill -9 at any point leaves
+   either the old entry, the new entry, or an orphaned temp file, never
+   a torn result.json served as truth. A startup recovery sweep
+   quarantines whatever a crash did leave behind (orphaned temps,
+   truncated or foreign envelopes) so the store is clean before the
+   first request; a torn or tampered entry found later at read time is
+   quarantined the same way (renamed to result.json.quarantined next to
+   where it lay, for forensics) and reported as a miss instead of
+   crashing the daemon.
 
-   All hit/miss/store/evict/quarantine traffic is counted in the
-   process-wide Obs metrics registry under service.cache.*. *)
+   The disk tier can carry a byte cap ([max_disk_bytes]): stores that
+   push the tier over it evict the least-recently-used entries (disk
+   hits refresh mtime, so mtime order is access order). A disk that
+   runs out of space (ENOSPC) flips the store into memory-only mode —
+   flagged through the PR 3 degradation registry and the
+   service.cache.mem_only gauge — instead of failing every request.
+
+   All traffic is counted in the Obs metrics registry under
+   service.cache.*. *)
 
 module J = Obs.Jsonw
 
 let entry_schema = "mirage.service.result.v1"
 
+let tmp_prefix = ".result.json.tmp."
+
 type t = {
   dir : string;
   mem_capacity : int;
+  max_disk_bytes : int;  (* 0 = unlimited *)
   lock : Mutex.t;
   mutable mem : (string * J.t) list;  (* most-recent first *)
+  mutable disk_bytes : int;
+  mutable mem_only : bool;  (* ENOSPC degradation: stop touching disk *)
   c_hit_mem : Obs.Metrics.counter;
   c_hit_disk : Obs.Metrics.counter;
   c_miss : Obs.Metrics.counter;
   c_store : Obs.Metrics.counter;
   c_evict : Obs.Metrics.counter;
+  c_evict_disk : Obs.Metrics.counter;
   c_quarantine : Obs.Metrics.counter;
+  c_recovered : Obs.Metrics.counter;
+  g_disk_bytes : Obs.Metrics.gauge;
+  g_mem_only : Obs.Metrics.gauge;
 }
 
 let rec mkdir_p path =
@@ -38,25 +60,6 @@ let rec mkdir_p path =
     mkdir_p (Filename.dirname path);
     try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
-
-let create ?(mem_capacity = 64) ?(registry = Obs.Metrics.default ()) ~dir ()
-    =
-  mkdir_p dir;
-  let c name help = Obs.Metrics.counter registry ~help name in
-  {
-    dir;
-    mem_capacity = max 1 mem_capacity;
-    lock = Mutex.create ();
-    mem = [];
-    c_hit_mem = c "service.cache.hit.mem" "result served from the in-memory tier";
-    c_hit_disk = c "service.cache.hit.disk" "result served from the on-disk tier";
-    c_miss = c "service.cache.miss" "fingerprint not present in either tier";
-    c_store = c "service.cache.store" "results written to the store";
-    c_evict = c "service.cache.evict" "in-memory LRU evictions";
-    c_quarantine =
-      c "service.cache.quarantine"
-        "corrupted on-disk entries moved aside instead of served";
-  }
 
 let dir t = t.dir
 
@@ -66,6 +69,15 @@ let entry_dir t fp =
     fp
 
 let entry_path t fp = Filename.concat (entry_dir t fp) "result.json"
+
+let file_size path = try (Unix.stat path).Unix.st_size with _ -> 0
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let set_disk_bytes_locked t v =
+  t.disk_bytes <- max 0 v;
+  Obs.Metrics.set_gauge t.g_disk_bytes (float_of_int t.disk_bytes)
 
 (* --- in-memory tier (caller holds t.lock) --------------------------- *)
 
@@ -97,9 +109,11 @@ let quarantine_locked t fp ~reason =
       m "service.cache: quarantining %s: %s" path reason);
   Obs.Journal.event "cache.quarantine"
     [ ("fingerprint", J.Str fp); ("reason", J.Str reason) ];
-  if Sys.file_exists path then (
+  if Sys.file_exists path then begin
+    set_disk_bytes_locked t (t.disk_bytes - file_size path);
     try Sys.rename path (path ^ ".quarantined")
-    with _ -> ( try Sys.remove path with _ -> ()))
+    with _ -> ( try Sys.remove path with _ -> ())
+  end
 
 let quarantine t fp ~reason =
   Mutex.lock t.lock;
@@ -119,7 +133,7 @@ let read_file path =
    is a quarantine, never an exception escaping to the caller. *)
 let disk_find_locked t fp =
   let path = entry_path t fp in
-  if not (Sys.file_exists path) then None
+  if t.mem_only || not (Sys.file_exists path) then None
   else
     let bad reason =
       quarantine_locked t fp ~reason;
@@ -138,9 +152,163 @@ let disk_find_locked t fp =
                 bad (Printf.sprintf "fingerprint mismatch: entry says %s" f)
             | Some (J.Str _), Some (J.Str _) -> (
                 match J.member "payload" j with
-                | Some payload -> Some payload
+                | Some payload ->
+                    (* refresh mtime: disk LRU order is access order *)
+                    (try Unix.utimes path 0.0 0.0 with _ -> ());
+                    Some payload
                 | None -> bad "no payload field")
             | _ -> bad "missing schema or fingerprint field"))
+
+(* Every (fingerprint, result.json) currently on disk, with size and
+   mtime — the working set the byte cap evicts from. *)
+let disk_entries_locked t =
+  let acc = ref [] in
+  (try
+     Array.iter
+       (fun shard ->
+         let sd = Filename.concat t.dir shard in
+         if String.length shard = 2 && Sys.is_directory sd then
+           Array.iter
+             (fun fp ->
+               let path =
+                 Filename.concat (Filename.concat sd fp) "result.json"
+               in
+               match Unix.stat path with
+               | st -> acc := (fp, path, st.Unix.st_size, st.Unix.st_mtime) :: !acc
+               | exception _ -> ())
+             (Sys.readdir sd))
+       (Sys.readdir t.dir)
+   with Sys_error _ -> ());
+  !acc
+
+(* Evict least-recently-used disk entries until the tier fits the cap.
+   [keep] (the entry just stored) is never evicted — a store must not
+   immediately evict its own result. *)
+let enforce_cap_locked t ~keep =
+  if t.max_disk_bytes > 0 && t.disk_bytes > t.max_disk_bytes then begin
+    let entries =
+      List.filter (fun (fp, _, _, _) -> fp <> keep) (disk_entries_locked t)
+      |> List.sort (fun (_, _, _, a) (_, _, _, b) -> compare a b)
+    in
+    let rec evict = function
+      | [] -> ()
+      | _ when t.disk_bytes <= t.max_disk_bytes -> ()
+      | (fp, path, size, _) :: rest ->
+          (try
+             Sys.remove path;
+             Obs.Metrics.bump t.c_evict_disk;
+             Obs.Journal.event "cache.evict_disk"
+               [ ("fingerprint", J.Str fp); ("bytes", J.Int size) ];
+             set_disk_bytes_locked t (t.disk_bytes - size);
+             (* tidy the now-empty entry directory; best effort *)
+             try Unix.rmdir (Filename.dirname path) with _ -> ()
+           with _ -> ());
+          evict rest
+    in
+    evict entries
+  end
+
+(* --- crash recovery --------------------------------------------------- *)
+
+(* Startup sweep: quarantine orphaned temp files (a crash between write
+   and rename) and truncated/foreign envelopes (a crash that predates
+   fsync-before-rename, or a tampered store), and take stock of the
+   tier's byte occupancy. Runs before the first request, so the store
+   the daemon serves from is known-good. *)
+let recover_locked t =
+  let quarantine_dir = Filename.concat t.dir "quarantine" in
+  let orphan path =
+    Obs.Metrics.bump t.c_recovered;
+    Obs.Log.warn (fun m -> m "service.cache: recovering orphan %s" path);
+    Obs.Journal.event "cache.recover_orphan" [ ("path", J.Str path) ];
+    (try mkdir_p quarantine_dir with _ -> ());
+    let dst =
+      Filename.concat quarantine_dir
+        (Printf.sprintf "%s.%d" (Filename.basename path) (Unix.getpid ()))
+    in
+    try Sys.rename path dst with _ -> ( try Sys.remove path with _ -> ())
+  in
+  let bytes = ref 0 in
+  (try
+     Array.iter
+       (fun shard ->
+         let sd = Filename.concat t.dir shard in
+         if String.length shard = 2 && Sys.is_directory sd then
+           Array.iter
+             (fun fp ->
+               let ed = Filename.concat sd fp in
+               if Sys.is_directory ed then
+                 Array.iter
+                   (fun f ->
+                     let path = Filename.concat ed f in
+                     if has_prefix tmp_prefix f then orphan path
+                     else if f = "result.json" then begin
+                       (* a truncated or foreign envelope is quarantined
+                          now, not discovered mid-request later *)
+                       let valid =
+                         match J.of_string (read_file path) with
+                         | exception _ -> false
+                         | Error _ -> false
+                         | Ok j -> (
+                             match
+                               (J.member "schema" j, J.member "fingerprint" j)
+                             with
+                             | Some (J.Str sch), Some (J.Str f') ->
+                                 sch = entry_schema && f' = fp
+                             | _ -> false)
+                       in
+                       if valid then bytes := !bytes + file_size path
+                       else quarantine_locked t fp ~reason:"recovery sweep"
+                     end)
+                   (Sys.readdir ed))
+             (Sys.readdir sd))
+       (Sys.readdir t.dir)
+   with Sys_error _ -> ());
+  set_disk_bytes_locked t !bytes;
+  enforce_cap_locked t ~keep:""
+
+let create ?(mem_capacity = 64) ?(registry = Obs.Metrics.default ())
+    ?(max_disk_bytes = 0) ?(recover = true) ~dir () =
+  mkdir_p dir;
+  let c name help = Obs.Metrics.counter registry ~help name in
+  let t =
+    {
+      dir;
+      mem_capacity = max 1 mem_capacity;
+      max_disk_bytes;
+      lock = Mutex.create ();
+      mem = [];
+      disk_bytes = 0;
+      mem_only = false;
+      c_hit_mem = c "service.cache.hit.mem" "result served from the in-memory tier";
+      c_hit_disk = c "service.cache.hit.disk" "result served from the on-disk tier";
+      c_miss = c "service.cache.miss" "fingerprint not present in either tier";
+      c_store = c "service.cache.store" "results written to the store";
+      c_evict = c "service.cache.evict" "in-memory LRU evictions";
+      c_evict_disk =
+        c "service.cache.evict.disk" "on-disk entries evicted by the byte cap";
+      c_quarantine =
+        c "service.cache.quarantine"
+          "corrupted on-disk entries moved aside instead of served";
+      c_recovered =
+        c "service.cache.recovered"
+          "orphaned temp files swept aside by startup recovery";
+      g_disk_bytes =
+        Obs.Metrics.gauge registry ~help:"bytes in the on-disk tier"
+          "service.cache.disk_bytes";
+      g_mem_only =
+        Obs.Metrics.gauge registry
+          ~help:"1 when ENOSPC degraded the store to memory-only"
+          "service.cache.mem_only";
+    }
+  in
+  if recover then begin
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () -> recover_locked t)
+  end;
+  t
 
 (* --- public API ------------------------------------------------------ *)
 
@@ -171,6 +339,48 @@ let envelope fp payload =
       ("payload", payload);
     ]
 
+(* Durable atomic write: bytes → temp file → fsync(file) → rename →
+   fsync(directory). Any crash leaves the old entry or the new one; the
+   worst residue is a temp file the next startup sweep quarantines. *)
+let write_durable dir path json =
+  let tmp =
+    Filename.concat dir (Printf.sprintf "%s%d" tmp_prefix (Unix.getpid ()))
+  in
+  let s = J.to_string json in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  (try
+     Fun.protect
+       ~finally:(fun () -> try Unix.close fd with _ -> ())
+       (fun () ->
+         let n = String.length s in
+         let off = ref 0 in
+         while !off < n do
+           off := !off + Unix.write_substring fd s !off (n - !off)
+         done;
+         Unix.fsync fd)
+   with e ->
+     (try Sys.remove tmp with _ -> ());
+     raise e);
+  Sys.rename tmp path;
+  (try
+     let dfd = Unix.openfile dir [ Unix.O_RDONLY ] 0 in
+     Fun.protect
+       ~finally:(fun () -> try Unix.close dfd with _ -> ())
+       (fun () -> Unix.fsync dfd)
+   with _ -> () (* directory fsync is a durability nicety, never fatal *));
+  String.length s
+
+let enter_mem_only_locked t reason =
+  if not t.mem_only then begin
+    t.mem_only <- true;
+    Obs.Metrics.set_gauge t.g_mem_only 1.0;
+    Obs.Budget.degrade "service.cache.enospc";
+    Obs.Journal.event "cache.mem_only" [ ("reason", J.Str reason) ];
+    Obs.Log.warn (fun m ->
+        m "service.cache: disk full (%s); degrading to memory-only mode"
+          reason)
+  end
+
 let store t fp payload =
   Mutex.lock t.lock;
   Fun.protect
@@ -178,22 +388,27 @@ let store t fp payload =
     (fun () ->
       Obs.Metrics.bump t.c_store;
       mem_insert_locked t fp payload;
-      let d = entry_dir t fp in
-      (try
-         mkdir_p d;
-         let tmp =
-           Filename.concat d
-             (Printf.sprintf ".result.json.tmp.%d" (Unix.getpid ()))
-         in
-         J.to_file tmp (envelope fp payload);
-         Sys.rename tmp (entry_path t fp)
-       with e ->
-         (* a store failure degrades (the next request re-searches) but
-            must never take the daemon down *)
-         Obs.Budget.degrade "service.cache.write";
-         Obs.Log.warn (fun m ->
-             m "service.cache: store %s failed: %s" fp
-               (Printexc.to_string e))))
+      if not t.mem_only then
+        let d = entry_dir t fp in
+        let path = entry_path t fp in
+        try
+          Obs.Fault.trip "cache.enospc";
+          mkdir_p d;
+          let old = file_size path in
+          let written = write_durable d path (envelope fp payload) in
+          set_disk_bytes_locked t (t.disk_bytes - old + written);
+          enforce_cap_locked t ~keep:fp
+        with
+        | Obs.Fault.Injected _ | Unix.Unix_error (Unix.ENOSPC, _, _) ->
+            (* no space: serve from memory, never crash the daemon *)
+            enter_mem_only_locked t "ENOSPC"
+        | e ->
+            (* any other store failure degrades (the next request
+               re-searches) but must never take the daemon down *)
+            Obs.Budget.degrade "service.cache.write";
+            Obs.Log.warn (fun m ->
+                m "service.cache: store %s failed: %s" fp
+                  (Printexc.to_string e)))
 
 let clear_mem t =
   Mutex.lock t.lock;
@@ -207,17 +422,19 @@ let mem_entries t =
   n
 
 let disk_entries t =
-  let count = ref 0 in
-  (try
-     Array.iter
-       (fun shard ->
-         let sd = Filename.concat t.dir shard in
-         if Sys.is_directory sd then
-           Array.iter
-             (fun fp ->
-               if Sys.file_exists (Filename.concat (Filename.concat sd fp) "result.json")
-               then incr count)
-             (Sys.readdir sd))
-       (Sys.readdir t.dir)
-   with Sys_error _ -> ());
-  !count
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> List.length (disk_entries_locked t))
+
+let disk_bytes t =
+  Mutex.lock t.lock;
+  let b = t.disk_bytes in
+  Mutex.unlock t.lock;
+  b
+
+let mem_only t =
+  Mutex.lock t.lock;
+  let b = t.mem_only in
+  Mutex.unlock t.lock;
+  b

@@ -4,37 +4,57 @@
 
     Disk entries live at [<dir>/<fp[0:2]>/<fp>/result.json] and wrap the
     caller's payload in an envelope carrying {!entry_schema} and the
-    fingerprint; writes are atomic (temp + rename). A corrupted entry —
-    unreadable, unparsable, wrong schema, mismatched fingerprint — is
-    {e quarantined} (renamed to [result.json.quarantined]) and treated
-    as a miss, never an exception: a tampered cache degrades the service
-    to re-searching, it cannot crash it.
+    fingerprint. Writes are crash-safe: temp file, fsync, rename, then
+    directory fsync — a kill -9 mid-store leaves the old entry, the new
+    entry, or an orphaned temp file, never a torn [result.json]. A
+    startup recovery sweep quarantines crash residue (orphaned temps
+    into [<dir>/quarantine/], truncated or foreign envelopes renamed to
+    [result.json.quarantined]); a corrupted entry found later at read
+    time — unreadable, unparsable, wrong schema, mismatched fingerprint
+    — is quarantined the same way and treated as a miss, never an
+    exception: a tampered cache degrades the service to re-searching,
+    it cannot crash it.
+
+    The disk tier can carry a byte cap ([max_disk_bytes]): stores that
+    push it over the cap evict the least-recently-used entries (disk
+    hits refresh mtime). ENOSPC flips the store into memory-only mode
+    — flagged through {!Obs.Budget.degrade} ([service.cache.enospc])
+    and the [service.cache.mem_only] gauge — instead of failing.
 
     All traffic is counted in [service.cache.*] ({!Obs.Metrics}):
-    [hit.mem], [hit.disk], [miss], [store], [evict], [quarantine]. *)
+    [hit.mem], [hit.disk], [miss], [store], [evict], [evict.disk],
+    [quarantine], [recovered]. *)
 
 type t
 
 val entry_schema : string
 
 val create :
-  ?mem_capacity:int -> ?registry:Obs.Metrics.t -> dir:string -> unit -> t
+  ?mem_capacity:int ->
+  ?registry:Obs.Metrics.t ->
+  ?max_disk_bytes:int ->
+  ?recover:bool ->
+  dir:string ->
+  unit ->
+  t
 (** Opens (and creates if needed) the store rooted at [dir].
-    [mem_capacity] bounds the in-memory tier (default 64 results).
-    Metrics register in [registry] (default: the process-wide
-    registry). Thread-safe. *)
+    [mem_capacity] bounds the in-memory tier (default 64 results);
+    [max_disk_bytes] bounds the on-disk tier (default 0 = unlimited);
+    [recover] (default true) runs the startup recovery sweep. Metrics
+    register in [registry] (default: the process-wide registry).
+    Thread-safe. *)
 
 val dir : t -> string
 
 val find : t -> string -> Obs.Jsonw.t option
 (** [find t fp] returns the cached payload, promoting disk hits into the
-    memory tier. Corrupted disk entries are quarantined and reported as
-    a miss. *)
+    memory tier (and refreshing their LRU mtime). Corrupted disk entries
+    are quarantined and reported as a miss. *)
 
 val store : t -> string -> Obs.Jsonw.t -> unit
-(** [store t fp payload] writes both tiers. A disk write failure is
-    logged and degrades the run ([service.cache.write]) but does not
-    raise. *)
+(** [store t fp payload] writes both tiers durably. ENOSPC degrades the
+    store to memory-only mode; any other disk failure is logged and
+    degrades the run ([service.cache.write]); neither raises. *)
 
 val quarantine : t -> string -> reason:string -> unit
 (** Forcibly quarantine an entry (both tiers) — used by callers that
@@ -51,3 +71,10 @@ val clear_mem : t -> unit
 
 val mem_entries : t -> int
 val disk_entries : t -> int
+
+val disk_bytes : t -> int
+(** Current byte occupancy of the disk tier (tracked incrementally;
+    seeded by the recovery sweep). *)
+
+val mem_only : t -> bool
+(** True once ENOSPC degraded the store to memory-only mode. *)

@@ -64,13 +64,97 @@ let optimize_graph ?(fields = []) ?on_progress ~socket_path graph_json =
 let simple ~socket_path op = request ~socket_path (J.Obj [ ("op", J.Str op) ])
 let status ~socket_path = simple ~socket_path "status"
 let stats ~socket_path = simple ~socket_path "stats"
-let shutdown ~socket_path = simple ~socket_path "shutdown"
+
+let shutdown ?drain_s ~socket_path () =
+  request ~socket_path
+    (J.Obj
+       (("op", J.Str "shutdown")
+       ::
+       (match drain_s with
+       | Some s -> [ ("drain_s", J.Float s) ]
+       | None -> [])))
 
 let metrics ?format ~socket_path () =
   request ~socket_path
     (J.Obj
        (("op", J.Str "metrics")
        :: (match format with Some f -> [ ("format", J.Str f) ] | None -> [])))
+
+(* --- typed-error helpers and retry ----------------------------------- *)
+
+let error_kind resp =
+  match J.member "status" resp with
+  | Some (J.Str "error") -> (
+      match J.member "error" resp with
+      | Some (J.Str k) -> Some k
+      | _ -> Some "error")
+  | _ -> None
+
+let retry_after_s resp =
+  match J.member "retry_after_s" resp with
+  | Some (J.Float s) -> Some s
+  | Some (J.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+(* Only requests that are safe to repeat are ever retried: optimize is
+   idempotent by construction (same fingerprint, same cached answer)
+   and the read-only ops trivially so. A shutdown is never retried. *)
+let idempotent req =
+  match J.member "op" req with
+  | Some (J.Str ("optimize" | "status" | "stats" | "metrics")) -> true
+  | _ -> false
+
+(* Load-shed responses are retryable — the server said "come back".
+   A typed "timeout" is not: the request's own deadline expired, and
+   retrying cannot un-expire it. *)
+let retryable_kind = function
+  | "overloaded" | "quota_exceeded" -> true
+  | _ -> false
+
+let request_with_retry ?on_progress ?(max_attempts = 5)
+    ?(base_delay_s = 0.05) ?(max_delay_s = 2.0) ?on_retry ~socket_path req =
+  (* pin one rid across attempts so the server journal shows a single
+     logical request, however many tries it took *)
+  let req, _rid = Reqid.ensure req in
+  if not (idempotent req) then request ?on_progress ~socket_path req
+  else begin
+    (* deterministic-free jitter without a global RNG: the fractional
+       part of a scaled clock is plenty to de-synchronize retries *)
+    let jitter () = Float.abs (fst (Float.modf (Unix.gettimeofday () *. 997.0))) in
+    let backoff attempt hint =
+      let exp_delay =
+        Float.min max_delay_s
+          (base_delay_s *. (2.0 ** float_of_int (attempt - 1)))
+      in
+      (* the server's retry_after_s hint is a floor, not a cap: backing
+         off less than asked just earns another rejection *)
+      let d = match hint with Some h -> Float.max h exp_delay | None -> exp_delay in
+      Float.min max_delay_s (d *. (0.75 +. (0.5 *. jitter ())))
+    in
+    let note attempt delay_s reason =
+      match on_retry with
+      | Some f -> f ~attempt ~delay_s ~reason
+      | None -> ()
+    in
+    let rec go attempt =
+      match request ?on_progress ~socket_path req with
+      | Ok resp as ok -> (
+          match error_kind resp with
+          | Some k when retryable_kind k && attempt < max_attempts ->
+              let d = backoff attempt (retry_after_s resp) in
+              note attempt d k;
+              Unix.sleepf d;
+              go (attempt + 1)
+          | _ -> ok)
+      | Error m when attempt < max_attempts ->
+          let d = backoff attempt None in
+          note attempt d m;
+          Unix.sleepf d;
+          go (attempt + 1)
+      | Error _ as e -> e
+    in
+    go 1
+  end
 
 (* Poll until the server socket accepts a connection (daemon startup). *)
 let wait_ready ?(timeout_s = 10.0) ~socket_path () =

@@ -39,7 +39,41 @@ val optimize_graph :
 
 val status : socket_path:string -> (Obs.Jsonw.t, string) result
 val stats : socket_path:string -> (Obs.Jsonw.t, string) result
-val shutdown : socket_path:string -> (Obs.Jsonw.t, string) result
+
+val shutdown :
+  ?drain_s:float -> socket_path:string -> unit -> (Obs.Jsonw.t, string) result
+(** Ask the daemon to stop. [drain_s] requests a graceful drain:
+    in-flight searches get that long to finish before their budgets are
+    cancelled. *)
+
+val error_kind : Obs.Jsonw.t -> string option
+(** The machine-readable kind of an error response ([overloaded],
+    [quota_exceeded], [timeout], [bad_request], [bad_frame],
+    [internal]); [None] for a non-error response. *)
+
+val retry_after_s : Obs.Jsonw.t -> float option
+(** The back-off hint a load-shed rejection carries, when present. *)
+
+val request_with_retry :
+  ?on_progress:(Obs.Jsonw.t -> unit) ->
+  ?max_attempts:int ->
+  ?base_delay_s:float ->
+  ?max_delay_s:float ->
+  ?on_retry:(attempt:int -> delay_s:float -> reason:string -> unit) ->
+  socket_path:string ->
+  Obs.Jsonw.t ->
+  (Obs.Jsonw.t, string) result
+(** {!request} with bounded, jittered exponential back-off for
+    idempotent ops ([optimize] / [status] / [stats] / [metrics]) only —
+    anything else falls through to a single attempt. Retried failures:
+    transport errors (connect refused, connection closed) and typed
+    load-shed responses ([overloaded], [quota_exceeded]), honoring the
+    server's [retry_after_s] hint as a floor on the delay. A typed
+    [timeout] is final — the request's own deadline expired. One
+    request id is pinned across all attempts ([max_attempts], default
+    5; delays grow from [base_delay_s] (default 0.05) capped at
+    [max_delay_s] (default 2), each scaled by ±25% jitter).
+    [on_retry] observes each back-off decision. *)
 
 val metrics :
   ?format:string -> socket_path:string -> unit -> (Obs.Jsonw.t, string) result

@@ -1,44 +1,145 @@
 (* Length-prefixed JSON framing over a stream socket: 4-byte big-endian
    payload length, then that many bytes of compact JSON. Symmetric — the
-   server and every client speak exactly this. *)
+   server and every client speak exactly this.
+
+   Hardened against hostile or broken peers:
+
+   - every read/write can carry a deadline (select(2)-guarded, so a
+     slowloris peer that sends a partial frame and goes silent costs the
+     caller at most the configured timeout, never a wedged thread);
+   - a peer that closes mid-frame raises {!Protocol_error} ("torn"),
+     distinct from the clean [End_of_file] of a peer that closed between
+     frames — callers can tell an aborted request from a finished one;
+   - chaos probe points ([wire.torn], [wire.disconnect],
+     [wire.oversize], {!Obs.Fault}) let a test or a MIRAGE_FAULT-armed
+     client emit exactly the malformed byte streams the reader must
+     survive. *)
 
 module J = Obs.Jsonw
 
 exception Protocol_error of string
+exception Timed_out of string
 
 let max_frame_bytes = 1 lsl 26 (* 64 MiB — far above any muGraph payload *)
 
-let really_write fd s =
+(* A peer that disconnects while we write must surface as EPIPE (which
+   callers handle), not as a process-killing SIGPIPE. Done once at
+   module init: every user of this module is doing socket I/O. *)
+let () =
+  if not Sys.win32 then
+    try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+(* Block until [fd] is readable/writable or [deadline] (absolute epoch
+   seconds) passes. EINTR retries; a deadline of 0. means no limit. *)
+let wait_fd ~dir fd deadline what =
+  if deadline > 0.0 then begin
+    let rec go () =
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0.0 then raise (Timed_out what);
+      let slice = Float.min left 0.5 in
+      let ready =
+        match
+          if dir = `R then Unix.select [ fd ] [] [] slice
+          else Unix.select [] [ fd ] [] slice
+        with
+        | [], [], _ -> false
+        | _ -> true
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+      in
+      if not ready then go ()
+    in
+    go ()
+  end
+
+(* With a deadline the fd goes non-blocking for the duration: a blocking
+   write(2) of a large buffer to an undrained af_unix peer sends
+   everything before returning, which would park the thread past any
+   deadline no matter what select(2) said. *)
+let really_write ?(deadline = 0.0) fd s =
   let n = String.length s in
   let off = ref 0 in
-  while !off < n do
-    let w = Unix.write_substring fd s !off (n - !off) in
-    if w <= 0 then raise (Protocol_error "short write");
-    off := !off + w
-  done
+  let step () =
+    match Unix.write_substring fd s !off (n - !off) with
+    | w ->
+        if w <= 0 then raise (Protocol_error "short write");
+        off := !off + w
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  if deadline > 0.0 then begin
+    Unix.set_nonblock fd;
+    Fun.protect
+      ~finally:(fun () -> try Unix.clear_nonblock fd with _ -> ())
+      (fun () ->
+        while !off < n do
+          wait_fd ~dir:`W fd deadline "frame write";
+          step ()
+        done)
+  end
+  else
+    while !off < n do
+      step ()
+    done
 
-let really_read fd n =
+let really_read ?(deadline = 0.0) fd n =
   let buf = Bytes.create n in
   let off = ref 0 in
   while !off < n do
+    wait_fd ~dir:`R fd deadline "frame read";
     let r = Unix.read fd buf !off (n - !off) in
-    if r = 0 then raise End_of_file;
+    if r = 0 then
+      if !off = 0 then raise End_of_file
+      else
+        raise
+          (Protocol_error
+             (Printf.sprintf "peer closed mid-frame (%d of %d bytes)" !off n));
     off := !off + r
   done;
   Bytes.unsafe_to_string buf
 
-let write_frame fd json =
-  let payload = J.to_string json in
-  let n = String.length payload in
-  if n > max_frame_bytes then
-    raise (Protocol_error (Printf.sprintf "frame too large: %d bytes" n));
+let header_bytes n =
   let hdr = Bytes.create 4 in
   Bytes.set_uint8 hdr 0 ((n lsr 24) land 0xff);
   Bytes.set_uint8 hdr 1 ((n lsr 16) land 0xff);
   Bytes.set_uint8 hdr 2 ((n lsr 8) land 0xff);
   Bytes.set_uint8 hdr 3 (n land 0xff);
-  really_write fd (Bytes.unsafe_to_string hdr);
-  really_write fd payload
+  Bytes.unsafe_to_string hdr
+
+(* Wire chaos: an armed probe makes this writer emit exactly the
+   malformed stream the reader must survive, then raises
+   [Protocol_error] so the caller knows its frame never completed.
+   [trip p] returns true iff the point fired. *)
+let tripped p =
+  match Obs.Fault.trip p with () -> false | exception Obs.Fault.Injected _ -> true
+
+let deadline_of timeout_s =
+  match timeout_s with
+  | Some s when s > 0.0 -> Unix.gettimeofday () +. s
+  | _ -> 0.0
+
+let write_frame ?timeout_s fd json =
+  let payload = J.to_string json in
+  let n = String.length payload in
+  if n > max_frame_bytes then
+    raise (Protocol_error (Printf.sprintf "frame too large: %d bytes" n));
+  let deadline = deadline_of timeout_s in
+  if tripped "wire.oversize" then begin
+    (* declare an absurd length; the peer must reject it, not allocate *)
+    really_write ~deadline fd (header_bytes (max_frame_bytes + 1));
+    raise (Protocol_error "fault injected: oversized frame length")
+  end;
+  if tripped "wire.disconnect" then begin
+    (* header, then nothing: a peer that dies between header and body *)
+    really_write ~deadline fd (header_bytes n);
+    raise (Protocol_error "fault injected: disconnect before payload")
+  end;
+  if tripped "wire.torn" then begin
+    (* header plus half the payload: a mid-frame crash *)
+    really_write ~deadline fd (header_bytes n);
+    really_write ~deadline fd (String.sub payload 0 (n / 2));
+    raise (Protocol_error "fault injected: torn frame")
+  end;
+  really_write ~deadline fd (header_bytes n);
+  really_write ~deadline fd payload
 
 (* --- progress event frames -------------------------------------------
    Interleaved server→client frames streamed during an in-flight search,
@@ -110,13 +211,26 @@ let check_progress j =
   | Some (J.Int i) when i >= 0 -> Ok ()
   | _ -> Error "missing or negative \"elapsed_s\""
 
-let read_frame fd =
-  let hdr = really_read fd 4 in
+(* [idle_timeout_s] bounds the wait for the frame's first byte (a peer
+   that connects and says nothing); [timeout_s] bounds the whole frame
+   once reading starts (a peer that trickles — the slowloris case). *)
+let read_frame ?idle_timeout_s ?timeout_s fd =
+  (match idle_timeout_s with
+  | Some s when s > 0.0 ->
+      wait_fd ~dir:`R fd (Unix.gettimeofday () +. s) "idle connection"
+  | _ -> ());
+  let deadline = deadline_of timeout_s in
+  let hdr = really_read ~deadline fd 4 in
   let b i = Char.code hdr.[i] in
   let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
   if n < 0 || n > max_frame_bytes then
     raise (Protocol_error (Printf.sprintf "bad frame length %d" n));
-  let payload = really_read fd n in
+  let payload =
+    (* EOF here is not a clean close — the header promised a payload *)
+    try really_read ~deadline fd n
+    with End_of_file ->
+      raise (Protocol_error "peer closed between header and payload")
+  in
   match J.of_string payload with
   | Ok j -> j
   | Error msg -> raise (Protocol_error (Printf.sprintf "bad JSON frame: %s" msg))

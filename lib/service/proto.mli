@@ -1,14 +1,43 @@
 (** The service wire protocol: length-prefixed JSON frames (4-byte
-    big-endian length, then compact JSON) over a stream socket. *)
+    big-endian length, then compact JSON) over a stream socket.
+
+    All reads and writes can carry deadlines (select(2)-guarded), so a
+    hostile peer — a slowloris that sends a partial frame and goes
+    silent, a reader that never drains — costs the caller at most the
+    configured timeout, never a wedged thread. A peer that closes
+    mid-frame raises {!Protocol_error}, distinct from the clean
+    [End_of_file] of a close between frames.
+
+    Wire chaos probe points ({!Obs.Fault}): [wire.torn] (header plus
+    half the payload), [wire.disconnect] (header only), and
+    [wire.oversize] (a declared length above {!max_frame_bytes}) make
+    {!write_frame} emit exactly the malformed stream a reader must
+    survive, then raise {!Protocol_error} locally.
+
+    Loading this module ignores SIGPIPE process-wide (POSIX only): a
+    peer that disconnects mid-write must surface as an [EPIPE]
+    exception the caller can handle, not kill the process. *)
 
 exception Protocol_error of string
 
+exception Timed_out of string
+(** A read or write deadline expired mid-frame. *)
+
 val max_frame_bytes : int
 
-val write_frame : Unix.file_descr -> Obs.Jsonw.t -> unit
-val read_frame : Unix.file_descr -> Obs.Jsonw.t
-(** @raise Protocol_error on a malformed frame, [End_of_file] on a clean
-    peer close. *)
+val write_frame : ?timeout_s:float -> Unix.file_descr -> Obs.Jsonw.t -> unit
+(** [timeout_s] bounds the whole frame write — a peer that stops
+    draining its socket raises {!Timed_out} instead of blocking the
+    writer forever. *)
+
+val read_frame :
+  ?idle_timeout_s:float -> ?timeout_s:float -> Unix.file_descr -> Obs.Jsonw.t
+(** [idle_timeout_s] bounds the wait for the frame's first byte (an
+    idle connection); [timeout_s] bounds the whole frame once reading
+    starts (slowloris).
+    @raise Protocol_error on a malformed or torn frame,
+    @raise Timed_out when a deadline expires,
+    @raise End_of_file on a clean peer close between frames. *)
 
 (** {2 Progress event frames}
 

@@ -20,11 +20,31 @@
      one search runs per distinct in-flight fingerprint, however many
      clients ask.
 
+   The daemon is armored against overload and hostile peers
+   ({!Admit}, {!Proto}):
+
+   - connections beyond the live-connection bound and searches beyond
+     the queue-depth bound are answered with a typed "overloaded"
+     carrying retry_after_s, never a hang or a raw disconnect;
+   - requests carrying a ["tenant"] draw from that tenant's token
+     bucket and get a typed "quota_exceeded" when it runs dry;
+   - every frame read/write is deadline-guarded: a slowloris client
+     (partial frame, then silence) is disconnected after the frame
+     timeout and its handler thread reclaimed — handler threads are
+     reaped as their connections close, not accumulated until wait;
+   - a client-supplied ["deadline_ms"] caps the whole request: queue
+     wait, the search budget, and a coalesced follower's wait are all
+     bounded by it, and an expired deadline answers a typed "timeout";
+   - a shutdown request may carry ["drain_s"]: stop accepting, let
+     in-flight searches finish for that long, then cancel their
+     budgets so they wind down with best-so-far results.
+
    Request lifecycle is journaled through the global {!Obs.Journal}
    (request.recv / cache.hit / cache.miss / search.start / search.done /
-   request.done), so "how many searches did N identical concurrent
-   requests cost?" is answerable from the flight record — the
-   concurrency stress test asserts exactly one search.start. *)
+   request.done, plus admit.reject and conn.timeout for shed load), so
+   "how many searches did N identical concurrent requests cost?" is
+   answerable from the flight record — the concurrency stress test
+   asserts exactly one search.start. *)
 
 module J = Obs.Jsonw
 
@@ -43,6 +63,36 @@ module Sem = struct
     s.avail <- s.avail - 1;
     Mutex.unlock s.m
 
+  (* Deadline-bounded acquire: true when a slot was taken, false when
+     [deadline] (absolute; 0. = none) passed first. OCaml's Condition
+     has no timed wait, so the bounded path polls in short slices — the
+     queue-wait granularity (5 ms) is noise next to search times. *)
+  let acquire_until s ~deadline =
+    if deadline <= 0.0 then begin
+      acquire s;
+      true
+    end
+    else
+      let rec go () =
+        (* an already-expired deadline never takes a slot: the caller
+           owes its client a typed timeout, not a search *)
+        if Unix.gettimeofday () >= deadline then false
+        else begin
+          Mutex.lock s.m;
+          if s.avail > 0 then begin
+            s.avail <- s.avail - 1;
+            Mutex.unlock s.m;
+            true
+          end
+          else begin
+            Mutex.unlock s.m;
+            Thread.delay 0.005;
+            go ()
+          end
+        end
+      in
+      go ()
+
   let release s =
     Mutex.lock s.m;
     s.avail <- s.avail + 1;
@@ -50,9 +100,43 @@ module Sem = struct
     Mutex.unlock s.m
 end
 
+(* --- typed request rejections ----------------------------------------- *)
+
+(* Every failure a request can be answered with is typed: the response
+   carries ["error"] (the kind a client switches on) and, for loadshed
+   kinds, ["retry_after_s"] (when it is worth coming back). *)
+type reject = {
+  r_kind : string;
+  r_retry_after_s : float option;
+  r_msg : string;
+}
+
+let bad_request msg = { r_kind = "bad_request"; r_retry_after_s = None; r_msg = msg }
+let internal msg = { r_kind = "internal"; r_retry_after_s = None; r_msg = msg }
+let timeout_reject msg = { r_kind = "timeout"; r_retry_after_s = None; r_msg = msg }
+
+let of_admit (r : Admit.rejection) =
+  {
+    r_kind = r.Admit.kind;
+    r_retry_after_s = Some r.Admit.retry_after_s;
+    r_msg = r.Admit.detail;
+  }
+
+let error_json r =
+  J.Obj
+    ([
+       ("status", J.Str "error");
+       ("error", J.Str r.r_kind);
+       ("message", J.Str r.r_msg);
+     ]
+    @
+    match r.r_retry_after_s with
+    | Some s -> [ ("retry_after_s", J.Float s) ]
+    | None -> [])
+
 (* --- single-flight table --------------------------------------------- *)
 
-type outcome = Done of J.t | Failed of string
+type outcome = Done of J.t | Failed of reject
 
 type flight = {
   fm : Mutex.t;
@@ -65,7 +149,8 @@ type flight = {
   fbudget : Search.Budget.t option Atomic.t;
       (* the search's budget, published by [run_search] once the search
          actually starts (after the slot wait), so streamed
-         budget-remaining reflects search time, not queue time *)
+         budget-remaining reflects search time, not queue time — and so
+         a draining shutdown can cancel it *)
 }
 
 type t = {
@@ -75,17 +160,24 @@ type t = {
   base_config : Search.Config.t;
   verify_trials : int;
   search_slots : Sem.t;
+  admit : Admit.t;
+  frame_timeout_s : float;  (* 0 = unlimited *)
+  idle_timeout_s : float;  (* 0 = unlimited *)
   lock : Mutex.t;  (* guards flights, handlers, counters *)
   flights : (string, flight) Hashtbl.t;
-  mutable handlers : Thread.t list;
+  handlers : (int, Thread.t) Hashtbl.t;
+  mutable next_handler : int;
   mutable listener : Unix.file_descr option;
   mutable accept_thread : Thread.t option;
+  mutable drainer : Thread.t option;
   stop_flag : bool Atomic.t;
   started_at : float;
   c_requests : Obs.Metrics.counter;
   c_searches : Obs.Metrics.counter;
   c_coalesced : Obs.Metrics.counter;
   c_errors : Obs.Metrics.counter;
+  c_wire_timeout : Obs.Metrics.counter;
+  c_wire_torn : Obs.Metrics.counter;
   telemetry : Telemetry.t;
   slowlog : Slowlog.t option;
   mutable in_flight : int;
@@ -95,21 +187,33 @@ let payload_schema = "mirage.service.payload.v1"
 
 let create ?(mem_capacity = 64) ?(registry = Obs.Metrics.default ())
     ?(device = Gpusim.Device.a100) ?(base_config = Search.Config.default)
-    ?(verify_trials = 2) ?(max_concurrent_searches = 2) ?slow_threshold_s
+    ?(verify_trials = 2) ?(max_concurrent_searches = 2)
+    ?(max_connections = 64) ?(max_queue_depth = 64) ?(tenant_rate = 0.0)
+    ?(tenant_burst = 10.0) ?(retry_after_s = 0.5) ?(frame_timeout_s = 10.0)
+    ?(idle_timeout_s = 30.0) ?(cache_max_bytes = 0) ?slow_threshold_s
     ?slow_dir ?slow_max_reports ~socket_path ~cache_dir () =
   let c name help = Obs.Metrics.counter registry ~help name in
   {
     socket_path;
-    cache = Cache.create ~mem_capacity ~registry ~dir:cache_dir ();
+    cache =
+      Cache.create ~mem_capacity ~registry ~max_disk_bytes:cache_max_bytes
+        ~dir:cache_dir ();
     device;
     base_config;
     verify_trials;
     search_slots = Sem.create (max 1 max_concurrent_searches);
+    admit =
+      Admit.create ~registry ~max_connections ~max_queue_depth ~tenant_rate
+        ~tenant_burst ~retry_after_s ();
+    frame_timeout_s;
+    idle_timeout_s;
     lock = Mutex.create ();
     flights = Hashtbl.create 16;
-    handlers = [];
+    handlers = Hashtbl.create 64;
+    next_handler = 0;
     listener = None;
     accept_thread = None;
+    drainer = None;
     stop_flag = Atomic.make false;
     started_at = Unix.gettimeofday ();
     c_requests = c "service.requests" "requests received";
@@ -117,6 +221,10 @@ let create ?(mem_capacity = 64) ?(registry = Obs.Metrics.default ())
     c_coalesced =
       c "service.coalesced" "requests served by another request's search";
     c_errors = c "service.errors" "requests answered with an error";
+    c_wire_timeout =
+      c "service.wire.timeout"
+        "connections dropped by a frame or idle deadline";
+    c_wire_torn = c "service.wire.torn" "connections that died mid-frame";
     telemetry = Telemetry.create ~registry ();
     slowlog =
       (match slow_threshold_s with
@@ -133,8 +241,13 @@ let create ?(mem_capacity = 64) ?(registry = Obs.Metrics.default ())
 
 let telemetry t = t.telemetry
 let slowlog t = t.slowlog
+let admit t = t.admit
 
 let cache t = t.cache
+
+(* frame timeouts as Proto optional arguments: 0 disables *)
+let frame_tmo t = if t.frame_timeout_s > 0.0 then Some t.frame_timeout_s else None
+let idle_tmo t = if t.idle_timeout_s > 0.0 then Some t.idle_timeout_s else None
 
 (* --- request parsing -------------------------------------------------- *)
 
@@ -174,6 +287,21 @@ let request_config t req spec =
     | None -> base
   in
   Search.Config.for_spec ~base spec
+
+(* An end-to-end deadline caps the search's wall budget: the flight must
+   answer by [deadline], so the search may use at most what remains.
+   time_budget_s is fingerprint-irrelevant (Config.result_irrelevant_keys),
+   so the cap never forks the cache key. *)
+let cap_config_to_deadline config ~deadline =
+  if deadline <= 0.0 then config
+  else
+    let remaining = Float.max 0.01 (deadline -. Unix.gettimeofday ()) in
+    let budget = config.Search.Config.time_budget_s in
+    {
+      config with
+      Search.Config.time_budget_s =
+        (if budget <= 0.0 then remaining else Float.min budget remaining);
+    }
 
 let resolve_spec req =
   match (str_field "benchmark" req, J.member "graph" req) with
@@ -356,19 +484,33 @@ let stream_progress ~rid ~interval_s ~push flight f =
           Thread.join th)
         f
 
+(* Publish a flight's outcome and retire it from the table: later
+   requests for the same fingerprint hit the cache (or start afresh)
+   instead. *)
+let settle_flight t fp flight outcome =
+  Mutex.lock flight.fm;
+  flight.result <- Some outcome;
+  Condition.broadcast flight.fc;
+  Mutex.unlock flight.fm;
+  Mutex.lock t.lock;
+  Hashtbl.remove t.flights fp;
+  Mutex.unlock t.lock
+
 (* Returns (fingerprint, payload, cached, coalesced, served_by): the
    sample accumulates stage timings (cache probe, queue wait, search)
    and [served_by] is the leader's request id when this request was
    coalesced onto another's search. [push], when present, streams
    rid-tagged progress frames to this request's connection while its
-   search (own or joined) is in flight; cache hits stream nothing. *)
-let optimize t ~rid ~(sample : Telemetry.sample) ?push ?(interval_s = 0.1) req
-    =
+   search (own or joined) is in flight; cache hits stream nothing.
+   [deadline] (absolute epoch seconds; 0. = none) bounds the queue
+   wait, the search budget, and a follower's wait. *)
+let optimize t ~rid ~(sample : Telemetry.sample) ?push ?(interval_s = 0.1)
+    ?(deadline = 0.0) req =
   match resolve_spec req with
-  | Error m -> Error m
+  | Error m -> Error (bad_request m)
   | Ok (benchmark, spec) -> (
       match resolve_device t req with
-      | Error m -> Error m
+      | Error m -> Error (bad_request m)
       | Ok device -> (
           slow_probe ();
           let config = request_config t req spec in
@@ -413,41 +555,59 @@ let optimize t ~rid ~(sample : Telemetry.sample) ?push ?(interval_s = 0.1) req
               in
               Mutex.unlock t.lock;
               if creator then begin
-                Telemetry.set_outcome sample "miss";
-                let outcome =
-                  stream_progress ~rid ~interval_s ~push flight (fun () ->
-                      Telemetry.time_stage sample "queue_wait" (fun () ->
-                          Sem.acquire t.search_slots);
-                      Fun.protect
-                        ~finally:(fun () -> Sem.release t.search_slots)
-                        (fun () ->
-                          match
-                            Telemetry.time_stage sample "search" (fun () ->
-                                run_search t ~config ~device ~benchmark ~spec
-                                  ~fp ~flight)
-                          with
-                          | payload ->
-                              Cache.store t.cache fp payload;
-                              Done payload
-                          | exception e ->
-                              Obs.Metrics.bump t.c_errors;
-                              Failed (Printexc.to_string e)))
-                in
-                (* publish, then retire the flight: later requests for
-                   the same fingerprint hit the cache instead *)
-                Mutex.lock flight.fm;
-                flight.result <- Some outcome;
-                Condition.broadcast flight.fc;
-                Mutex.unlock flight.fm;
-                Mutex.lock t.lock;
-                Hashtbl.remove t.flights fp;
-                Mutex.unlock t.lock;
-                match outcome with
-                | Done payload -> Ok (fp, payload, false, false, None)
-                | Failed m -> Error (Printf.sprintf "search failed: %s" m)
+                (* the leader admits its search into the bounded slot
+                   queue; followers ride the leader's slot and are
+                   never counted against the queue depth *)
+                match Admit.try_queue t.admit with
+                | Admit.Rejected r ->
+                    let rej = of_admit r in
+                    settle_flight t fp flight (Failed rej);
+                    Error rej
+                | Admit.Admitted ->
+                    let outcome =
+                      stream_progress ~rid ~interval_s ~push flight (fun () ->
+                          let got_slot =
+                            Telemetry.time_stage sample "queue_wait" (fun () ->
+                                Fun.protect
+                                  ~finally:(fun () -> Admit.queue_done t.admit)
+                                  (fun () ->
+                                    Sem.acquire_until t.search_slots ~deadline))
+                          in
+                          if not got_slot then
+                            Failed
+                              (timeout_reject
+                                 "deadline expired while queued for a search \
+                                  slot")
+                          else
+                            Fun.protect
+                              ~finally:(fun () -> Sem.release t.search_slots)
+                              (fun () ->
+                                let config =
+                                  cap_config_to_deadline config ~deadline
+                                in
+                                match
+                                  Telemetry.time_stage sample "search"
+                                    (fun () ->
+                                      run_search t ~config ~device ~benchmark
+                                        ~spec ~fp ~flight)
+                                with
+                                | payload ->
+                                    Cache.store t.cache fp payload;
+                                    Done payload
+                                | exception e ->
+                                    Failed
+                                      (internal
+                                         (Printf.sprintf "search failed: %s"
+                                            (Printexc.to_string e)))))
+                    in
+                    settle_flight t fp flight outcome;
+                    (match outcome with
+                    | Done payload ->
+                        Telemetry.set_outcome sample "miss";
+                        Ok (fp, payload, false, false, None)
+                    | Failed r -> Error r)
               end
               else begin
-                Telemetry.set_outcome sample "coalesced";
                 Obs.Metrics.bump t.c_coalesced;
                 Obs.Journal.event "request.coalesced"
                   [
@@ -456,28 +616,61 @@ let optimize t ~rid ~(sample : Telemetry.sample) ?push ?(interval_s = 0.1) req
                   ];
                 let outcome =
                   stream_progress ~rid ~interval_s ~push flight (fun () ->
-                      Mutex.lock flight.fm;
-                      while flight.result = None do
-                        Condition.wait flight.fc flight.fm
-                      done;
-                      let outcome = Option.get flight.result in
-                      Mutex.unlock flight.fm;
-                      outcome)
+                      if deadline <= 0.0 then begin
+                        Mutex.lock flight.fm;
+                        while flight.result = None do
+                          Condition.wait flight.fc flight.fm
+                        done;
+                        let outcome = Option.get flight.result in
+                        Mutex.unlock flight.fm;
+                        Some outcome
+                      end
+                      else
+                        (* a deadline-carrying follower must not block
+                           past it, however long the leader runs *)
+                        let rec poll () =
+                          Mutex.lock flight.fm;
+                          let r = flight.result in
+                          Mutex.unlock flight.fm;
+                          match r with
+                          | Some o -> Some o
+                          | None ->
+                              if Unix.gettimeofday () >= deadline then None
+                              else begin
+                                Thread.delay 0.005;
+                                poll ()
+                              end
+                        in
+                        poll ())
                 in
                 match outcome with
-                | Done payload ->
+                | Some (Done payload) ->
+                    Telemetry.set_outcome sample "coalesced";
                     Ok (fp, payload, false, true, Some flight.leader_rid)
-                | Failed m -> Error (Printf.sprintf "search failed: %s" m)
+                | Some (Failed r) -> Error r
+                | None ->
+                    Error
+                      (timeout_reject
+                         "deadline expired waiting for the in-flight search")
               end)))
 
 (* --- dispatch ---------------------------------------------------------- *)
 
-let error_response msg =
-  J.Obj [ ("status", J.Str "error"); ("message", J.Str msg) ]
-
 let current_in_flight t =
   Mutex.lock t.lock;
   let n = t.in_flight in
+  Mutex.unlock t.lock;
+  n
+
+let handler_count t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.handlers in
+  Mutex.unlock t.lock;
+  n
+
+let flight_count t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.flights in
   Mutex.unlock t.lock;
   n
 
@@ -492,16 +685,20 @@ let status_json t =
     ([
        ("status", J.Str "ok");
        ("uptime_s", J.Float (Unix.gettimeofday () -. t.started_at));
+       ("stopping", J.Bool (Atomic.get t.stop_flag));
        ("requests", J.Int (Obs.Metrics.value t.c_requests));
        ("searches", J.Int (Obs.Metrics.value t.c_searches));
        ("coalesced", J.Int (Obs.Metrics.value t.c_coalesced));
        ("errors", J.Int (Obs.Metrics.value t.c_errors));
        ("in_flight", J.Int (current_in_flight t));
+       ("admit", Admit.status_json t.admit);
        ( "cache",
          J.Obj
            [
              ("mem_entries", J.Int (Cache.mem_entries t.cache));
              ("disk_entries", J.Int (Cache.disk_entries t.cache));
+             ("disk_bytes", J.Int (Cache.disk_bytes t.cache));
+             ("mem_only", J.Bool (Cache.mem_only t.cache));
              ("hits", J.Int hits);
              ("misses", J.Int misses);
              ("hit_rate", hit_rate);
@@ -525,12 +722,15 @@ let status_json t =
               ] );
         ])
 
-let stats_json () =
+(* The daemon's own registry, not the process-wide default: a server
+   created with a custom registry must report its own metrics. *)
+let stats_json t =
   J.Obj
     [
       ("status", J.Str "ok");
       ( "metrics",
-        Obs.Metrics.to_json (Obs.Metrics.snapshot (Obs.Metrics.default ())) );
+        Obs.Metrics.to_json
+          (Obs.Metrics.snapshot (Telemetry.registry t.telemetry)) );
     ]
 
 (* The "metrics" op: the schema'd exposition snapshot ({!Telemetry}),
@@ -562,11 +762,14 @@ let metrics_json t req =
       let extra =
         [
           ("status", J.Str "ok");
+          ("admit", Admit.status_json t.admit);
           ( "cache_entries",
             J.Obj
               [
                 ("mem", J.Int (Cache.mem_entries t.cache));
                 ("disk", J.Int (Cache.disk_entries t.cache));
+                ("disk_bytes", J.Int (Cache.disk_bytes t.cache));
+                ("mem_only", J.Bool (Cache.mem_only t.cache));
               ] );
         ]
         @ slow_extra
@@ -597,6 +800,42 @@ let shutdown_now t =
              try Unix.connect c (Unix.ADDR_UNIX t.socket_path) with _ -> ())
        with _ -> ())
 
+(* Graceful drain: stop accepting immediately; give in-flight searches
+   [drain_s] seconds to land their results, then cancel the budgets of
+   whatever is still running so those flights wind down with
+   best-so-far answers instead of blocking shutdown forever. *)
+let shutdown ?drain_s t =
+  shutdown_now t;
+  match drain_s with
+  | None -> ()
+  | Some s ->
+      let th =
+        Thread.create
+          (fun () ->
+            let deadline = Unix.gettimeofday () +. Float.max 0.0 s in
+            while flight_count t > 0 && Unix.gettimeofday () < deadline do
+              Thread.delay 0.02
+            done;
+            Mutex.lock t.lock;
+            let stragglers =
+              Hashtbl.fold (fun fp fl acc -> (fp, fl) :: acc) t.flights []
+            in
+            Mutex.unlock t.lock;
+            List.iter
+              (fun (fp, fl) ->
+                match Atomic.get fl.fbudget with
+                | Some b ->
+                    Obs.Journal.event "shutdown.cancel"
+                      [ ("fingerprint", J.Str fp) ];
+                    Search.Budget.cancel b
+                | None -> ())
+              stragglers)
+          ()
+      in
+      Mutex.lock t.lock;
+      t.drainer <- Some th;
+      Mutex.unlock t.lock
+
 (* Dispatch one (rid-carrying) request, accumulating stage timings and
    the outcome into [sample]. Every journal event emitted below this
    point — including from search worker domains, which inherit the
@@ -606,6 +845,16 @@ let dispatch t ~rid ~(sample : Telemetry.sample) ?push req =
   let op = Telemetry.sample_op sample in
   Obs.Journal.event "request.recv" [ ("op", J.Str op) ];
   let t0 = Unix.gettimeofday () in
+  let reject_resp r =
+    let outcome =
+      match r.r_kind with
+      | ("timeout" | "overloaded" | "quota_exceeded") as k -> k
+      | _ -> "error"
+    in
+    Telemetry.set_outcome sample outcome;
+    Obs.Metrics.bump t.c_errors;
+    error_json r
+  in
   let resp =
     match op with
     | "optimize" -> (
@@ -622,40 +871,47 @@ let dispatch t ~rid ~(sample : Telemetry.sample) ?push req =
           | Some ms when ms > 0.0 -> ms /. 1e3
           | _ -> 0.1
         in
-        match optimize t ~rid ~sample ?push ~interval_s req with
-        | Ok (fp, payload, cached, coalesced, served_by) ->
-            (match J.member "degraded" payload with
-            | Some (J.List (_ :: _)) -> Telemetry.set_degraded sample
-            | _ -> ());
-            J.Obj
-              ([
-                 ("status", J.Str "ok");
-                 ("fingerprint", J.Str fp);
-                 ("cached", J.Bool cached);
-                 ("coalesced", J.Bool coalesced);
-               ]
-              @ (match served_by with
-                | Some leader -> [ ("served_by", J.Str leader) ]
-                | None -> [])
-              @ [ ("result", payload) ])
-        | Error m ->
-            Telemetry.set_outcome sample "error";
-            Obs.Metrics.bump t.c_errors;
-            error_response m
-        | exception e ->
-            Telemetry.set_outcome sample "error";
-            Obs.Metrics.bump t.c_errors;
-            error_response (Printexc.to_string e))
+        let deadline =
+          match float_field "deadline_ms" req with
+          | Some ms when ms > 0.0 -> t0 +. (ms /. 1e3)
+          | _ -> 0.0
+        in
+        match Admit.check_tenant t.admit (str_field "tenant" req) with
+        | Admit.Rejected r -> reject_resp (of_admit r)
+        | Admit.Admitted -> (
+            match
+              optimize t ~rid ~sample ?push ~interval_s ~deadline req
+            with
+            | Ok (fp, payload, cached, coalesced, served_by) ->
+                (match J.member "degraded" payload with
+                | Some (J.List (_ :: _)) -> Telemetry.set_degraded sample
+                | _ -> ());
+                J.Obj
+                  ([
+                     ("status", J.Str "ok");
+                     ("fingerprint", J.Str fp);
+                     ("cached", J.Bool cached);
+                     ("coalesced", J.Bool coalesced);
+                   ]
+                  @ (match served_by with
+                    | Some leader -> [ ("served_by", J.Str leader) ]
+                    | None -> [])
+                  @ [ ("result", payload) ])
+            | Error r -> reject_resp r
+            | exception e -> reject_resp (internal (Printexc.to_string e))))
     | "status" -> status_json t
-    | "stats" -> stats_json ()
+    | "stats" -> stats_json t
     | "metrics" -> metrics_json t req
     | "shutdown" ->
-        shutdown_now t;
-        J.Obj [ ("status", J.Str "ok"); ("stopping", J.Bool true) ]
-    | other ->
-        Telemetry.set_outcome sample "error";
-        Obs.Metrics.bump t.c_errors;
-        error_response (Printf.sprintf "unknown op %S" other)
+        let drain_s = float_field "drain_s" req in
+        shutdown ?drain_s t;
+        J.Obj
+          ([ ("status", J.Str "ok"); ("stopping", J.Bool true) ]
+          @
+          match drain_s with
+          | Some s -> [ ("drain_s", J.Float s) ]
+          | None -> [])
+    | other -> reject_resp (bad_request (Printf.sprintf "unknown op %S" other))
   in
   let resp =
     match resp with
@@ -705,32 +961,64 @@ let handle_conn t fd =
       Mutex.unlock t.lock;
       try Unix.close fd with _ -> ())
     (fun () ->
-      match Proto.read_frame fd with
-      | req ->
-          let req, rid, sample = begin_sample req in
-          Obs.Journal.with_context
-            [ ("rid", J.Str rid) ]
-            (fun () ->
-              let push frame = Proto.write_frame fd frame in
-              let resp =
-                match dispatch t ~rid ~sample ~push req with
-                | r -> r
-                | exception e ->
-                    Telemetry.set_outcome sample "error";
-                    Obs.Metrics.bump t.c_errors;
-                    error_response (Printexc.to_string e)
-              in
-              (* the serialize stage is the frame write: the one cost a
-                 cached answer still pays *)
+      match Admit.try_conn t.admit with
+      | Admit.Rejected r ->
+          (* shed at the door: a typed overloaded answer, without
+             reading a byte — the cheapest possible rejection *)
+          (try Proto.write_frame ?timeout_s:(frame_tmo t) fd (error_json (of_admit r))
+           with _ -> ())
+      | Admit.Admitted -> (
+          Fun.protect ~finally:(fun () -> Admit.conn_done t.admit) @@ fun () ->
+          match
+            Proto.read_frame ?idle_timeout_s:(idle_tmo t)
+              ?timeout_s:(frame_tmo t) fd
+          with
+          | req ->
+              let req, rid, sample = begin_sample req in
+              Obs.Journal.with_context
+                [ ("rid", J.Str rid) ]
+                (fun () ->
+                  let push frame =
+                    Proto.write_frame ?timeout_s:(frame_tmo t) fd frame
+                  in
+                  let resp =
+                    match dispatch t ~rid ~sample ~push req with
+                    | r -> r
+                    | exception e ->
+                        Telemetry.set_outcome sample "error";
+                        Obs.Metrics.bump t.c_errors;
+                        error_json (internal (Printexc.to_string e))
+                  in
+                  (* the serialize stage is the frame write: the one cost a
+                     cached answer still pays *)
+                  (try
+                     Telemetry.time_stage sample "serialize" (fun () ->
+                         Proto.write_frame ?timeout_s:(frame_tmo t) fd resp)
+                   with _ -> () (* client went away; its loss *));
+                  settle t sample resp)
+          | exception End_of_file -> () (* clean close, no frame *)
+          | exception Proto.Timed_out what ->
+              (* slowloris or stalled peer: typed timeout (best effort),
+                 then the connection — and this thread — are reclaimed *)
+              Obs.Metrics.bump t.c_wire_timeout;
+              Obs.Journal.event "conn.timeout" [ ("what", J.Str what) ];
               (try
-                 Telemetry.time_stage sample "serialize" (fun () ->
-                     Proto.write_frame fd resp)
-               with _ -> () (* client went away; its loss *));
-              settle t sample resp)
-      | exception End_of_file -> ()
-      | exception Proto.Protocol_error m -> (
-          try Proto.write_frame fd (error_response m) with _ -> ())
-      | exception Unix.Unix_error _ -> ())
+                 Proto.write_frame ~timeout_s:1.0 fd
+                   (error_json (timeout_reject (what ^ " deadline expired")))
+               with _ -> ())
+          | exception Proto.Protocol_error m ->
+              Obs.Metrics.bump t.c_wire_torn;
+              Obs.Journal.event "conn.torn" [ ("reason", J.Str m) ];
+              (try
+                 Proto.write_frame ~timeout_s:1.0 fd
+                   (error_json
+                      {
+                        r_kind = "bad_frame";
+                        r_retry_after_s = None;
+                        r_msg = m;
+                      })
+               with _ -> ())
+          | exception Unix.Unix_error _ -> ()))
 
 let accept_loop t listener =
   let continue_ = ref true in
@@ -741,9 +1029,28 @@ let accept_loop t listener =
       | fd, _ ->
           if Atomic.get t.stop_flag then (try Unix.close fd with _ -> ())
           else begin
-            let th = Thread.create (fun () -> handle_conn t fd) () in
+            (* register under the lock, and make the handler's first
+               action a lock acquire: it cannot deregister before the
+               registration it pairs with has happened *)
             Mutex.lock t.lock;
-            t.handlers <- th :: t.handlers;
+            let key = t.next_handler in
+            t.next_handler <- t.next_handler + 1;
+            let th =
+              Thread.create
+                (fun () ->
+                  Mutex.lock t.lock;
+                  Mutex.unlock t.lock;
+                  Fun.protect
+                    ~finally:(fun () ->
+                      (* reap: a finished handler removes itself, so
+                         t.handlers tracks live connections only *)
+                      Mutex.lock t.lock;
+                      Hashtbl.remove t.handlers key;
+                      Mutex.unlock t.lock)
+                    (fun () -> handle_conn t fd))
+                ()
+            in
+            Hashtbl.replace t.handlers key th;
             Mutex.unlock t.lock
           end
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
@@ -753,8 +1060,36 @@ let accept_loop t listener =
   done;
   try Unix.close listener with _ -> ()
 
+(* A socket file can be a live daemon or a stale leftover. Probe it:
+   only a socket nobody answers is removed; a live daemon's socket is
+   refused with a clear error instead of hijacked. *)
+let socket_live path =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception _ -> false
+  | fd -> (
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          match Unix.connect fd (Unix.ADDR_UNIX path) with
+          | () -> true
+          | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+            ->
+              false
+          | exception _ -> false))
+
 let start t =
-  if Sys.file_exists t.socket_path then Sys.remove t.socket_path;
+  if Sys.file_exists t.socket_path then begin
+    if socket_live t.socket_path then
+      failwith
+        (Printf.sprintf
+           "socket %s: a live daemon is already listening (shut it down \
+            first, or pick another --socket)"
+           t.socket_path);
+    Obs.Log.info (fun m ->
+        m "service: removing stale socket %s (no daemon answered)"
+          t.socket_path);
+    Sys.remove t.socket_path
+  end;
   let dir = Filename.dirname t.socket_path in
   if dir <> "" && not (Sys.file_exists dir) then
     (try Unix.mkdir dir 0o755 with _ -> ());
@@ -775,18 +1110,25 @@ let wait t =
   let self = Thread.id (Thread.self ()) in
   let rec drain () =
     Mutex.lock t.lock;
-    let hs = t.handlers in
-    t.handlers <- [];
+    let hs = Hashtbl.fold (fun _ th acc -> th :: acc) t.handlers [] in
     Mutex.unlock t.lock;
     match hs with
     | [] -> ()
     | _ ->
         List.iter
-          (fun th -> if Thread.id th <> self then Thread.join th)
+          (fun th ->
+            if Thread.id th <> self then (try Thread.join th with _ -> ()))
           hs;
         drain ()
   in
   drain ();
+  (Mutex.lock t.lock;
+   let drainer = t.drainer in
+   t.drainer <- None;
+   Mutex.unlock t.lock;
+   match drainer with
+   | Some th -> ( try Thread.join th with _ -> ())
+   | None -> ());
   if Sys.file_exists t.socket_path then (
     try Sys.remove t.socket_path with _ -> ())
 

@@ -19,7 +19,22 @@
     - [{"op":"metrics"}] — the {!Telemetry.snapshot_schema} exposition
       (stage latency quantiles, outcome counters, cache hit rate), or
       Prometheus text with ["format":"prometheus"];
-    - [{"op":"shutdown"}] — respond, then stop accepting.
+    - [{"op":"shutdown"}] — respond, then stop accepting; an optional
+      ["drain_s"] gives in-flight searches that long to finish before
+      their budgets are cancelled (graceful drain).
+
+    The daemon is armored against overload and hostile peers:
+    {!Admit} bounds live connections and queued searches (typed
+    ["overloaded"] rejections carrying [retry_after_s]) and meters
+    per-tenant token buckets (["tenant"] field, typed
+    ["quota_exceeded"]); every frame read/write runs under a deadline
+    ({!Proto}), so a slowloris peer is disconnected after
+    [frame_timeout_s] and its handler thread reaped; a client-supplied
+    ["deadline_ms"] bounds the whole request — queue wait, search
+    budget, coalesced wait — and answers a typed ["timeout"] when it
+    expires. Error responses always carry ["error"] (the machine-
+    readable kind: [bad_request], [overloaded], [quota_exceeded],
+    [timeout], [bad_frame], [internal]) next to the human ["message"].
 
     Every request carries a request id ({!Reqid}; the server mints one
     for bare frames) which is echoed in the response, installed as
@@ -44,6 +59,14 @@ val create :
   ?base_config:Search.Config.t ->
   ?verify_trials:int ->
   ?max_concurrent_searches:int ->
+  ?max_connections:int ->
+  ?max_queue_depth:int ->
+  ?tenant_rate:float ->
+  ?tenant_burst:float ->
+  ?retry_after_s:float ->
+  ?frame_timeout_s:float ->
+  ?idle_timeout_s:float ->
+  ?cache_max_bytes:int ->
   ?slow_threshold_s:float ->
   ?slow_dir:string ->
   ?slow_max_reports:int ->
@@ -53,11 +76,22 @@ val create :
   t
 (** [slow_threshold_s] arms slow-request forensics: optimize requests
     at or above it leave a report directory under [slow_dir] (default
-    [cache_dir ^ "-slow"]), at most [slow_max_reports] of them. *)
+    [cache_dir ^ "-slow"]), at most [slow_max_reports] of them.
+
+    Hardening knobs: [max_connections] (default 64) / [max_queue_depth]
+    (default 64) bound live connections and queued searches (0 =
+    unlimited); [tenant_rate] (tokens/s, default 0 = quotas off) and
+    [tenant_burst] (default 10) parameterize the per-tenant buckets;
+    [retry_after_s] (default 0.5) is the back-off hint on overload
+    rejections; [frame_timeout_s] (default 10) bounds each frame
+    read/write and [idle_timeout_s] (default 30) bounds the wait for a
+    connection's first byte (0 = unlimited); [cache_max_bytes]
+    (default 0 = unlimited) caps the disk cache tier. *)
 
 val cache : t -> Cache.t
 val telemetry : t -> Telemetry.t
 val slowlog : t -> Slowlog.t option
+val admit : t -> Admit.t
 
 val handle_request :
   ?push:(Obs.Jsonw.t -> unit) -> t -> Obs.Jsonw.t -> Obs.Jsonw.t
@@ -76,6 +110,20 @@ val wait : t -> unit
 
 val stop : t -> unit
 (** Close the listener and mark the daemon stopping. *)
+
+val shutdown : ?drain_s:float -> t -> unit
+(** {!stop}, plus an optional graceful drain: give in-flight searches
+    [drain_s] seconds to land their results, then cancel the budgets of
+    whatever is still running so those flights answer with best-so-far
+    instead of blocking shutdown. *)
+
+val handler_count : t -> int
+(** Live connection-handler threads. Handlers are reaped as their
+    connections close, so this returns to 0 on an idle daemon — the
+    leak-freedom assertion the torture test makes. *)
+
+val flight_count : t -> int
+(** Distinct searches currently in flight (single-flight table size). *)
 
 val run : t -> unit
 (** [start] then [wait] — the CLI foreground mode. *)

@@ -17,7 +17,9 @@ let snapshot_schema = "mirage.service.metrics.v1"
 (* Stage and outcome vocabularies are closed: the exposition, the bench
    history keys and the CI assertions all iterate these. *)
 let stages = [ "queue_wait"; "cache_probe"; "search"; "serialize"; "total" ]
-let outcomes = [ "hit"; "miss"; "coalesced"; "error" ]
+
+let outcomes =
+  [ "hit"; "miss"; "coalesced"; "error"; "timeout"; "overloaded"; "quota_exceeded" ]
 
 type t = {
   registry : Obs.Metrics.t;

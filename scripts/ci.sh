@@ -139,6 +139,65 @@ dune exec tools/json_check.exe -- /tmp/mirage_ci_svc/journal.jsonl \
   /tmp/mirage_ci_svc/metrics_midload.json /tmp/mirage_ci_svc/metrics.json \
   "$RID_DIR/report.json" "$RID_DIR/journal.jsonl"
 
+echo "== wire chaos smoke: hostile clients, typed rejections, clean drain"
+# A quota-armed daemon faces concurrent mixed-behavior clients: honest
+# requests, MIRAGE_FAULT-armed clients that emit torn/oversized/cut
+# frames, an over-quota tenant, and an impossible deadline. Every
+# rejection must be typed JSON (never a hang or raw disconnect), the
+# daemon must answer normally afterwards, and a drained shutdown must
+# leave no socket and no orphaned cache temp files.
+rm -rf /tmp/mirage_ci_wire
+mkdir -p /tmp/mirage_ci_wire
+WREQ="--socket /tmp/mirage_ci_wire/s.sock --max-block-ops 3 --workers 1 --budget 10"
+$CLI serve --socket /tmp/mirage_ci_wire/s.sock \
+  --cache-dir /tmp/mirage_ci_wire/cache --max-block-ops 3 --workers 1 \
+  --budget 10 --tenant-rate 0.001 --tenant-burst 1 \
+  --frame-timeout 2 --idle-timeout 2 \
+  > /tmp/mirage_ci_wire/serve.log 2>&1 &
+WIRE_PID=$!
+for _ in $(seq 1 50); do
+  $CLI request status $WREQ >/dev/null 2>&1 && break
+  sleep 0.2
+done
+# warm one honest entry
+$CLI request rmsnorm $WREQ >/dev/null
+# hostile clients in parallel: each MIRAGE_FAULT-armed CLI corrupts its
+# own frame on the wire (exit nonzero locally); the daemon must survive
+MIRAGE_FAULT="wire.torn:1.0:1" $CLI request status $WREQ \
+  > /tmp/mirage_ci_wire/torn.json 2>&1 || true &
+H1=$!
+MIRAGE_FAULT="wire.disconnect:1.0:1" $CLI request status $WREQ \
+  > /tmp/mirage_ci_wire/cut.json 2>&1 || true &
+H2=$!
+MIRAGE_FAULT="wire.oversize:1.0:1" $CLI request status $WREQ \
+  > /tmp/mirage_ci_wire/big.json 2>&1 || true &
+H3=$!
+# an over-quota tenant: burst 1, near-zero refill — the second request
+# must get the typed quota rejection with a retry hint, not a hang
+$CLI request rmsnorm $WREQ --tenant ci > /tmp/mirage_ci_wire/t1.json || true
+$CLI request rmsnorm $WREQ --tenant ci > /tmp/mirage_ci_wire/t2.json || true
+grep -q '"status": "ok"' /tmp/mirage_ci_wire/t1.json
+grep -q '"error": "quota_exceeded"' /tmp/mirage_ci_wire/t2.json
+grep -q '"retry_after_s"' /tmp/mirage_ci_wire/t2.json
+# a 1 ms deadline on a cold fingerprint either times out (typed) or
+# lands with its search budget capped to the deadline ("deadline" in the
+# result's degraded list) — never a full-budget search, never a hang
+$CLI request rmsnorm --socket /tmp/mirage_ci_wire/s.sock \
+  --max-block-ops 2 --workers 1 --budget 10 --deadline 1 \
+  > /tmp/mirage_ci_wire/dl.json || true
+grep -Eq '"error": "timeout"|"deadline"' /tmp/mirage_ci_wire/dl.json
+wait "$H1" "$H2" "$H3" || true
+# the daemon shrugged it all off: a retrying client lands a warm answer
+$CLI request rmsnorm $WREQ --retry | grep -q '"cached": true'
+# the wire counters saw the chaos (torn + disconnect + oversize frames)
+$CLI request metrics $WREQ | grep -q '"service.wire.torn"'
+# drained shutdown: socket gone, no orphaned cache temp files anywhere
+$CLI request shutdown $WREQ --drain 2 >/dev/null
+wait "$WIRE_PID"
+test ! -e /tmp/mirage_ci_wire/s.sock
+test -z "$(find /tmp/mirage_ci_wire/cache -name '.result.json.tmp.*' \
+  -not -path '*/quarantine/*' 2>/dev/null)"
+
 echo "== bench history regression gate (Fig. 7 costs + verifier + service, 5%)"
 # Gate against the committed baseline on a scratch copy so CI runs never
 # dirty the tree; a real refresh re-runs `bench fig7 verify serve

@@ -826,6 +826,241 @@ let test_progress_wire =
       Alcotest.(check string) "byte-identical responses"
         (List.hd legacy) (List.hd withp))
 
+(* --- hardening: admission, quotas, deadlines, crash-safe cache --------- *)
+
+(* The three admission gates, exercised directly: each bound rejects
+   with the right typed kind and retry hint, and releases restore
+   capacity. Token-bucket math is checked against an injected clock. *)
+let test_admit_gates () =
+  let registry = Obs.Metrics.create () in
+  let a =
+    Service.Admit.create ~registry ~max_connections:2 ~max_queue_depth:1
+      ~tenant_rate:0.5 ~tenant_burst:2.0 ~retry_after_s:0.25 ()
+  in
+  (* live-connection bound *)
+  Alcotest.(check bool) "conn 1 admitted" true
+    (Service.Admit.try_conn a = Service.Admit.Admitted);
+  Alcotest.(check bool) "conn 2 admitted" true
+    (Service.Admit.try_conn a = Service.Admit.Admitted);
+  (match Service.Admit.try_conn a with
+  | Service.Admit.Rejected r ->
+      Alcotest.(check string) "conn 3 typed overloaded" "overloaded"
+        r.Service.Admit.kind;
+      Alcotest.(check (float 1e-9)) "carries the retry hint" 0.25
+        r.Service.Admit.retry_after_s
+  | Service.Admit.Admitted -> Alcotest.fail "third connection not shed");
+  Service.Admit.conn_done a;
+  Alcotest.(check bool) "released slot re-admits" true
+    (Service.Admit.try_conn a = Service.Admit.Admitted);
+  (* search-queue bound *)
+  Alcotest.(check bool) "queue 1 admitted" true
+    (Service.Admit.try_queue a = Service.Admit.Admitted);
+  (match Service.Admit.try_queue a with
+  | Service.Admit.Rejected r ->
+      Alcotest.(check string) "queue 2 typed overloaded" "overloaded"
+        r.Service.Admit.kind
+  | Service.Admit.Admitted -> Alcotest.fail "second queued search not shed");
+  Service.Admit.queue_done a;
+  Alcotest.(check bool) "drained queue re-admits" true
+    (Service.Admit.try_queue a = Service.Admit.Admitted);
+  (* per-tenant token bucket: burst 2, refill 0.5 tokens/s *)
+  let at now who = Service.Admit.check_tenant ~now a (Some who) in
+  Alcotest.(check bool) "tenantless traffic exempt" true
+    (Service.Admit.check_tenant ~now:0.0 a None = Service.Admit.Admitted);
+  Alcotest.(check bool) "burst token 1" true (at 0.0 "acme" = Service.Admit.Admitted);
+  Alcotest.(check bool) "burst token 2" true (at 0.0 "acme" = Service.Admit.Admitted);
+  (match at 0.0 "acme" with
+  | Service.Admit.Rejected r ->
+      Alcotest.(check string) "dry bucket typed quota_exceeded"
+        "quota_exceeded" r.Service.Admit.kind;
+      (* empty bucket at rate 0.5/s: the next token is 2 s away *)
+      Alcotest.(check (float 1e-6)) "exact refill wait" 2.0
+        r.Service.Admit.retry_after_s
+  | Service.Admit.Admitted -> Alcotest.fail "dry bucket admitted");
+  Alcotest.(check bool) "other tenants unaffected" true
+    (at 0.0 "rival" = Service.Admit.Admitted);
+  Alcotest.(check bool) "refill admits again" true
+    (at 2.0 "acme" = Service.Admit.Admitted);
+  Alcotest.(check int) "rejections counted" 1
+    (counter_value registry "service.admit.reject.quota")
+
+(* A quota-armed server answers an out-of-tokens tenant with a typed
+   quota_exceeded carrying retry_after_s — it never hangs or drops. *)
+let test_quota_server =
+  with_reset @@ fun () ->
+  let registry = Obs.Metrics.create () in
+  let server =
+    Service.Server.create ~registry ~device:Gpusim.Device.a100
+      ~base_config:(small_config ()) ~verify_trials:2 ~tenant_rate:0.01
+      ~tenant_burst:1.0
+      ~socket_path:(Filename.temp_file "mirage_sock" ".sock")
+      ~cache_dir:(tmpdir "mirage_srv_cache") ()
+  in
+  let spec = div_matmul_spec ~b:2 ~h:4 ~d:4 () in
+  let req =
+    J.Obj
+      [
+        ("op", J.Str "optimize");
+        ("graph", Search.Checkpoint.graph_to_json spec);
+        ("tenant", J.Str "acme");
+      ]
+  in
+  let r1 = Service.Server.handle_request server req in
+  Alcotest.(check string) "first request spends the burst token" "ok"
+    (match get_exn [ "status" ] r1 with J.Str s -> s | _ -> "?");
+  let r2 = Service.Server.handle_request server req in
+  Alcotest.(check string) "second is typed quota_exceeded" "quota_exceeded"
+    (match get_exn [ "error" ] r2 with J.Str s -> s | _ -> "?");
+  Alcotest.(check bool) "carries a positive retry_after_s" true
+    (match get_exn [ "retry_after_s" ] r2 with
+    | J.Float s -> s > 0.0
+    | _ -> false);
+  Alcotest.(check bool) "rid still echoed on rejections" true
+    (match J.member "request_id" r2 with Some (J.Str _) -> true | _ -> false);
+  Alcotest.(check int) "shed load counted" 1
+    (counter_value registry "service.admit.reject.quota")
+
+(* An expired end-to-end deadline answers a typed timeout — the stall is
+   injected via serve.slow so the deadline expires deterministically
+   before the queue wait — and the abandoned flight is retired, so the
+   same fingerprint is immediately searchable again. *)
+let test_deadline_timeout =
+  with_reset @@ fun () ->
+  (match Obs.Fault.configure "serve.slow:1.0:1" with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Unix.putenv "MIRAGE_FAULT_SLOW_MS" "150";
+  Fun.protect ~finally:(fun () -> Unix.putenv "MIRAGE_FAULT_SLOW_MS" "")
+  @@ fun () ->
+  let server = make_server () in
+  let spec = div_matmul_spec ~b:2 ~h:4 ~d:4 () in
+  let req extra =
+    J.Obj
+      ([ ("op", J.Str "optimize"); ("graph", Search.Checkpoint.graph_to_json spec) ]
+      @ extra)
+  in
+  let r1 =
+    Service.Server.handle_request server (req [ ("deadline_ms", J.Float 50.0) ])
+  in
+  Alcotest.(check string) "typed timeout" "timeout"
+    (match get_exn [ "error" ] r1 with J.Str s -> s | _ -> "?");
+  Alcotest.(check int) "abandoned flight retired" 0
+    (Service.Server.flight_count server);
+  (* the fault is spent (count 1): the same fingerprint now searches *)
+  let r2 = Service.Server.handle_request server (req []) in
+  Alcotest.(check string) "same fingerprint served after the timeout" "ok"
+    (match get_exn [ "status" ] r2 with J.Str s -> s | _ -> "?")
+
+(* Crash residue — an orphaned temp file (kill -9 between write and
+   rename) and a truncated result.json — is swept aside at startup:
+   quarantined, counted, and the intact entry still serves. *)
+let test_recovery_sweep () =
+  let dir = tmpdir "mirage_cache" in
+  let c1 = Service.Cache.create ~registry:(Obs.Metrics.create ()) ~dir () in
+  let fp_good = String.make 32 'a' in
+  Service.Cache.store c1 fp_good (payload_of_int 1);
+  let good_path = Service.Cache.entry_path c1 fp_good in
+  (* an orphaned temp next to the good entry *)
+  let orphan =
+    Filename.concat (Filename.dirname good_path) ".result.json.tmp.12345"
+  in
+  let oc = open_out orphan in
+  output_string oc "{\"torn\":";
+  close_out oc;
+  (* a truncated envelope for another fingerprint *)
+  let fp_torn = String.make 32 'e' in
+  let torn_path = Service.Cache.entry_path c1 fp_torn in
+  Unix.mkdir (Filename.concat dir "ee") 0o755;
+  Unix.mkdir (Filename.dirname torn_path) 0o755;
+  let oc = open_out torn_path in
+  output_string oc "{\"schema\":\"mirage.service.result.v1\",\"finger";
+  close_out oc;
+  (* restart: a fresh cache over the same directory runs the sweep *)
+  let registry = Obs.Metrics.create () in
+  let c2 = Service.Cache.create ~registry ~dir () in
+  Alcotest.(check int) "orphan temp recovered" 1
+    (counter_value registry "service.cache.recovered");
+  Alcotest.(check int) "truncated envelope quarantined" 1
+    (counter_value registry "service.cache.quarantine");
+  Alcotest.(check bool) "orphan moved out of the entry dir" false
+    (Sys.file_exists orphan);
+  Alcotest.(check bool) "orphan preserved under quarantine/" true
+    (Array.exists
+       (fun f -> String.length f >= 4)
+       (Sys.readdir (Filename.concat dir "quarantine")));
+  Alcotest.(check bool) "torn entry no longer served as truth" true
+    (Service.Cache.find c2 fp_torn = None);
+  (match Service.Cache.find c2 fp_good with
+  | Some p ->
+      Alcotest.(check string) "intact entry survives the sweep"
+        (J.to_string (payload_of_int 1))
+        (J.to_string p)
+  | None -> Alcotest.fail "intact entry lost by recovery");
+  Alcotest.(check bool) "byte occupancy seeded by the sweep" true
+    (Service.Cache.disk_bytes c2 > 0)
+
+(* The disk byte cap evicts least-recently-used entries (mtime order),
+   never the entry just stored. *)
+let test_disk_cap () =
+  let registry = Obs.Metrics.create () in
+  let dir = tmpdir "mirage_cache" in
+  let big i =
+    J.Obj
+      [
+        ("schema", J.Str "test.payload");
+        ("i", J.Int i);
+        ("fill", J.Str (String.make 1000 'x'));
+      ]
+  in
+  let c =
+    Service.Cache.create ~registry ~max_disk_bytes:2500 ~dir ()
+  in
+  let k i = Printf.sprintf "%032d" i in
+  Service.Cache.store c (k 1) (big 1);
+  Service.Cache.store c (k 2) (big 2);
+  (* age entry 1 explicitly: mtime order is the eviction order *)
+  Unix.utimes (Service.Cache.entry_path c (k 1)) 1.0 1.0;
+  Service.Cache.store c (k 3) (big 3);
+  Alcotest.(check bool) "tier shrunk to the cap" true
+    (Service.Cache.disk_bytes c <= 2500);
+  Alcotest.(check int) "oldest entry evicted" 2 (Service.Cache.disk_entries c);
+  Alcotest.(check bool) "evictions counted" true
+    (counter_value registry "service.cache.evict.disk" >= 1);
+  Service.Cache.clear_mem c;
+  Alcotest.(check bool) "evicted entry is a disk miss" true
+    (Service.Cache.find c (k 1) = None);
+  Alcotest.(check bool) "fresh store never self-evicts" true
+    (Service.Cache.find c (k 3) <> None)
+
+(* ENOSPC does not take the daemon down: the store degrades to
+   memory-only mode (sticky, flagged through the degradation registry)
+   and keeps serving from the memory tier. *)
+let test_enospc_mem_only =
+  with_reset @@ fun () ->
+  (match Obs.Fault.configure "cache.enospc:1.0:1" with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let dir = tmpdir "mirage_cache" in
+  let c = Service.Cache.create ~registry:(Obs.Metrics.create ()) ~dir () in
+  let fp1 = String.make 32 'a' in
+  Service.Cache.store c fp1 (payload_of_int 1);
+  Alcotest.(check bool) "store flipped to memory-only" true
+    (Service.Cache.mem_only c);
+  Alcotest.(check bool) "degradation registered" true
+    (List.mem "service.cache.enospc" (Obs.Budget.degradations ()));
+  Alcotest.(check int) "nothing written to the full disk" 0
+    (Service.Cache.disk_entries c);
+  Alcotest.(check bool) "memory tier still serves" true
+    (Service.Cache.find c fp1 <> None);
+  (* sticky: the fault is spent, but mem-only persists until restart *)
+  let fp2 = String.make 32 'b' in
+  Service.Cache.store c fp2 (payload_of_int 2);
+  Alcotest.(check int) "later stores stay off disk" 0
+    (Service.Cache.disk_entries c);
+  Service.Cache.clear_mem c;
+  Alcotest.(check bool) "memory-only means no disk fallback" true
+    (Service.Cache.find c fp1 = None)
+
 (* --- suite ------------------------------------------------------------- *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
@@ -887,5 +1122,20 @@ let () =
             test_prune_single_site;
           Alcotest.test_case "helper mirrors inline condition" `Quick
             test_prune_helper_equivalence;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "admission gates: conn, queue, tenant" `Quick
+            test_admit_gates;
+          Alcotest.test_case "tenant quota: typed quota_exceeded" `Slow
+            test_quota_server;
+          Alcotest.test_case "expired deadline: typed timeout" `Slow
+            test_deadline_timeout;
+          Alcotest.test_case "startup recovery sweeps crash residue" `Quick
+            test_recovery_sweep;
+          Alcotest.test_case "disk byte cap evicts LRU entries" `Quick
+            test_disk_cap;
+          Alcotest.test_case "ENOSPC degrades to memory-only" `Quick
+            test_enospc_mem_only;
         ] );
     ]
