@@ -39,6 +39,11 @@ let history_costs : (string * float) list ref = ref []
    same leniency as wall_s. *)
 let history_verify : (string * float) list ref = ref []
 
+(* Work-stealing scaling and prune-cache ratios from the `enum` suite,
+   keyed "enum.<benchmark>.speedup_4d" (higher is better) and
+   "enum.<benchmark>.prune_warm_over_cold" (lower is better). *)
+let history_enum : (string * float) list ref = ref []
+
 (* Service latency ratios from the `serve` suite, keyed
    "serve.<benchmark>.warm_over_cold" (warm-cache request time / cold
    search request time — lower is better, and far below 1 when the
@@ -388,18 +393,29 @@ let verify_bench () =
       in
       (* Measure whole verification calls (30 trials each) for at least
          0.3 s and 3 reps per path; trials/s counts trials actually run
-         (resampled trials included — both paths resample identically). *)
+         (resampled trials included — both paths resample identically).
+         Best of 3 windows per path: a single window's wall-clock rate
+         jitters 2-3x when the host is otherwise loaded, and the
+         history gate's 50% leniency cannot absorb that — the max
+         estimates capability, not contention. *)
       let time_path run_once =
         ignore (run_once ());
         (* warm: inverse tables, first spec eval *)
-        let t0 = Unix.gettimeofday () in
-        let trials = ref 0 and reps = ref 0 in
-        while Unix.gettimeofday () -. t0 < 0.3 || !reps < 3 do
-          let d : Verify.Random_test.detail = run_once () in
-          trials := !trials + d.Verify.Random_test.trials_run;
-          incr reps
+        let window () =
+          let t0 = Unix.gettimeofday () in
+          let trials = ref 0 and reps = ref 0 in
+          while Unix.gettimeofday () -. t0 < 0.3 || !reps < 3 do
+            let d : Verify.Random_test.detail = run_once () in
+            trials := !trials + d.Verify.Random_test.trials_run;
+            incr reps
+          done;
+          float_of_int !trials /. (Unix.gettimeofday () -. t0)
+        in
+        let best = ref 0.0 in
+        for _ = 1 to 3 do
+          best := Float.max !best (window ())
         done;
-        float_of_int !trials /. (Unix.gettimeofday () -. t0)
+        !best
       in
       (* Reference: no session — every call re-evaluates the spec per
          trial over boxed Fpair records, as the verifier did before the
@@ -864,6 +880,166 @@ let micro () =
       | _ -> Printf.printf "%-42s (no estimate)\n" name)
     (List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) rows)
 
+(* ------------------------------------------------------------------ *)
+(* enum: work-stealing enumeration scaling and the persistent prune    *)
+(* cache. Cold generation wall at 1 vs 4 (and, on wide hosts, 8)       *)
+(* domains -> enum.<b>.speedup_4d (higher is better; the >=2x floor    *)
+(* is asserted only when the host actually has >= 4 cores — domains    *)
+(* time-slicing one core cannot speed anything up), plus a full search *)
+(* warm vs cold over a shared prune-cache dir ->                       *)
+(* enum.<b>.prune_warm_over_cold (lower is better: disk hits replace   *)
+(* normal-form decisions). Both keys land in the bench history, so     *)
+(* the gate watches scaling and cache efficacy run over run.           *)
+(* ------------------------------------------------------------------ *)
+
+let enum_bench () =
+  hr "enum: work-stealing scaling & persistent prune-query cache";
+  jsuite "enum";
+  let name = "rmsnorm" in
+  let spec = Baselines.Templates.rmsnorm_matmul_spec ~b:16 ~h:1024 ~d:4096 in
+  let cores = try Domain.recommended_domain_count () with _ -> 1 in
+  let base =
+    {
+      Search.Config.default with
+      Search.Config.grid_candidates = [ [| 128 |] ];
+      forloop_candidates = [ [| 16 |] ];
+      max_block_ops = 6;
+      (* spawn aggressively: scaling is the point of this suite *)
+      steal_depth_cutoff = 2;
+      time_budget_s = 600.0;
+    }
+  in
+  let gen_time workers =
+    let cfg =
+      Search.Config.for_spec
+        ~base:{ base with Search.Config.num_workers = workers }
+        spec
+    in
+    let t, exhausted = Search.Generator.search_time ~config:cfg ~spec () in
+    if exhausted then begin
+      Printf.eprintf "enum: %d-domain generation hit the time budget\n" workers;
+      exit 1
+    end;
+    t
+  in
+  Printf.printf "(host has %d core(s))\n%!" cores;
+  let t1 = gen_time 1 in
+  let t4 = gen_time 4 in
+  let speedup4 = t1 /. t4 in
+  Printf.printf "cold generation, %s:  1 domain %6.2fs\n" name t1;
+  Printf.printf "                      4 domains %6.2fs   %.2fx\n%!" t4 speedup4;
+  if cores >= 4 && speedup4 < 2.0 then begin
+    Printf.eprintf
+      "enum: 4-domain speedup %.2fx below the 2x floor on a %d-core host\n"
+      speedup4 cores;
+    exit 1
+  end;
+  jpush
+    Obs.Jsonw.
+      [
+        ("suite", Str "enum");
+        ("benchmark", Str name);
+        ("cores", Int cores);
+        ("gen_1d_s", Float t1);
+        ("gen_4d_s", Float t4);
+        ("speedup_4d", Float speedup4);
+      ];
+  history_enum :=
+    !history_enum
+    @ [ (Printf.sprintf "enum.%s.speedup_4d" name, speedup4) ];
+  (* near-linear-to-8 check rides along only where 8 cores exist; the
+     key is host-dependent, so it is recorded but the gate treats it
+     like every other enum key (lenient, run-over-run) *)
+  if cores >= 8 then begin
+    let t8 = gen_time 8 in
+    let speedup8 = t1 /. t8 in
+    Printf.printf "                      8 domains %6.2fs   %.2fx\n%!" t8
+      speedup8;
+    jpush
+      Obs.Jsonw.
+        [
+          ("suite", Str "enum");
+          ("benchmark", Str name);
+          ("gen_8d_s", Float t8);
+          ("speedup_8d", Float speedup8);
+        ];
+    history_enum :=
+      !history_enum
+      @ [ (Printf.sprintf "enum.%s.speedup_8d" name, speedup8) ]
+  end;
+  (* prune-cache warm start: two identical full searches sharing one
+     cache directory — the second answers its solver misses from disk *)
+  let dir = Filename.temp_file "mirage_enum_prune" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let timed_run () =
+    let cache = Service.Cache.create ~dir () in
+    let cfg =
+      Search.Config.for_spec
+        ~base:{ base with Search.Config.num_workers = min cores 4 }
+        spec
+    in
+    let t0 = Unix.gettimeofday () in
+    let o =
+      Search.Generator.run ~config:cfg
+        ~prune_persist:(Service.Prune_store.attach ~cache)
+        ~device:Gpusim.Device.a100 ~spec ()
+    in
+    (Unix.gettimeofday () -. t0, o)
+  in
+  let cold_s, cold_o = timed_run () in
+  let warm_s, warm_o = timed_run () in
+  let sv (o : Search.Generator.outcome) = o.Search.Generator.solver in
+  if (sv cold_o).Smtlite.Solver.disk_entries = 0 then begin
+    Printf.eprintf "enum: cold run persisted no prune queries\n";
+    exit 1
+  end;
+  if (sv warm_o).Smtlite.Solver.disk_hits = 0 then begin
+    Printf.eprintf "enum: warm run hit the prune cache zero times\n";
+    exit 1
+  end;
+  (* the ratio is taken on the decision-procedure time — the cost the
+     cache actually removes — because total wall jitters more than the
+     win on small hosts; wall rides along in the JSON rows *)
+  let cold_solve = (sv cold_o).Smtlite.Solver.solve_time_s in
+  let warm_solve = (sv warm_o).Smtlite.Solver.solve_time_s in
+  if cold_solve <= 0.0 then begin
+    Printf.eprintf "enum: cold run spent no time in the decision procedure\n";
+    exit 1
+  end;
+  if warm_solve >= cold_solve then begin
+    Printf.eprintf
+      "enum: warm run solve time %.4fs did not beat cold %.4fs\n" warm_solve
+      cold_solve;
+    exit 1
+  end;
+  let warm_over_cold = warm_solve /. cold_solve in
+  Printf.printf
+    "prune cache, %s: cold %.2fs wall / %.4fs solve (%d queries persisted)\n"
+    name cold_s cold_solve
+    (sv cold_o).Smtlite.Solver.disk_entries;
+  Printf.printf
+    "                  warm %.2fs wall / %.4fs solve (%d disk hits)  solve \
+     ratio %.3f\n%!"
+    warm_s warm_solve
+    (sv warm_o).Smtlite.Solver.disk_hits
+    warm_over_cold;
+  jpush
+    Obs.Jsonw.
+      [
+        ("suite", Str "enum");
+        ("benchmark", Str name);
+        ("prune_cold_s", Float cold_s);
+        ("prune_warm_s", Float warm_s);
+        ("prune_cold_solve_s", Float cold_solve);
+        ("prune_warm_solve_s", Float warm_solve);
+        ("prune_warm_over_cold", Float warm_over_cold);
+        ("disk_hits", Int (sv warm_o).Smtlite.Solver.disk_hits);
+      ];
+  history_enum :=
+    !history_enum
+    @ [ (Printf.sprintf "enum.%s.prune_warm_over_cold" name, warm_over_cold) ]
+
 let write_json file =
   (* The suites keep their metrics in per-run registries, so the
      process-wide default registry is usually empty here; emitting the
@@ -1066,7 +1242,49 @@ let gate_history ~prev ~wall_s ~pct =
         ]
     | _ -> []
   in
-  cost_viols @ verify_viols @ serve_viols @ wall_viols
+  let enum_viols =
+    (* Scaling and cache ratios are wall-clock, so lenient like serve:
+         *.speedup_4d / _8d      higher is better, slack -0.5x
+         *.prune_warm_over_cold  lower is better, slack +0.05 *)
+    let ends_with suf s =
+      let ls = String.length s and lu = String.length suf in
+      ls >= lu && String.sub s (ls - lu) lu = suf
+    in
+    match Obs.Jsonw.member "enum" prev with
+    | Some (Obs.Jsonw.Obj kvs) ->
+        List.filter_map
+          (fun (key, v) ->
+            match (jnum v, List.assoc_opt key !history_enum) with
+            | Some old_r, Some new_r when ends_with "warm_over_cold" key ->
+                if
+                  old_r > 0.0
+                  && new_r -. old_r > 10.0 *. frac *. old_r
+                  && new_r -. old_r > 0.05
+                then
+                  Some
+                    (Printf.sprintf
+                       "%s: %.3f -> %.3f (%+.1f%%, lenient threshold %.1f%% \
+                        and +0.05)"
+                       key old_r new_r
+                       (100.0 *. (new_r -. old_r) /. old_r)
+                       (10.0 *. pct))
+                else None
+            | Some old_r, Some new_r
+              when old_r > 0.0
+                   && old_r -. new_r > 10.0 *. frac *. old_r
+                   && old_r -. new_r > 0.5 ->
+                Some
+                  (Printf.sprintf
+                     "%s: %.2fx -> %.2fx (%+.1f%%, lenient threshold -%.1f%% \
+                      and -0.5x)"
+                     key old_r new_r
+                     (100.0 *. (new_r -. old_r) /. old_r)
+                     (10.0 *. pct))
+            | _ -> None)
+          kvs
+    | _ -> []
+  in
+  cost_viols @ verify_viols @ serve_viols @ enum_viols @ wall_viols
 
 let append_history ~file ~wall_s =
   let entry =
@@ -1092,13 +1310,22 @@ let append_history ~file ~wall_s =
                     (fun (k, v) -> (k, Obs.Jsonw.Float v))
                     !history_verify) );
            ])
+      @ (if !history_serve = [] then []
+         else
+           [
+             ( "serve",
+               Obs.Jsonw.Obj
+                 (List.map
+                    (fun (k, v) -> (k, Obs.Jsonw.Float v))
+                    !history_serve) );
+           ])
       @
-      if !history_serve = [] then []
+      if !history_enum = [] then []
       else
         [
-          ( "serve",
+          ( "enum",
             Obs.Jsonw.Obj
-              (List.map (fun (k, v) -> (k, Obs.Jsonw.Float v)) !history_serve)
+              (List.map (fun (k, v) -> (k, Obs.Jsonw.Float v)) !history_enum)
           );
         ])
   in
@@ -1108,9 +1335,13 @@ let append_history ~file ~wall_s =
   close_out oc
 
 let finish_history ~file ~gate_pct ~wall_s =
-  if !history_costs = [] && !history_verify = [] && !history_serve = [] then begin
+  if
+    !history_costs = [] && !history_verify = [] && !history_serve = []
+    && !history_enum = []
+  then begin
     Printf.eprintf
-      "--history: nothing recorded (run the fig7, verify and/or serve suite)\n";
+      "--history: nothing recorded (run the fig7, verify, serve and/or enum \
+       suite)\n";
     exit 2
   end;
   let violations =
@@ -1122,10 +1353,11 @@ let finish_history ~file ~gate_pct ~wall_s =
     append_history ~file ~wall_s;
     Printf.printf
       "appended bench history entry (%d costs, %d verify ratios, %d serve \
-       ratios) to %s\n"
+       ratios, %d enum metrics) to %s\n"
       (List.length !history_costs)
       (List.length !history_verify)
       (List.length !history_serve)
+      (List.length !history_enum)
       file
   end
   else begin
@@ -1162,7 +1394,7 @@ let () =
   let t0 = Unix.gettimeofday () in
   let usage () =
     prerr_endline
-      "usage: main.exe [fig7|fig11|verify|serve|profile|table5 \
+      "usage: main.exe [fig7|fig11|verify|serve|enum|profile|table5 \
        [--full]|casestudy <name>|gqa_sweep|ablation|micro]... [--json FILE] \
        [--history FILE [--gate PCT]]";
     exit 2
@@ -1200,6 +1432,9 @@ let () =
         dispatch rest
     | "serve" :: rest ->
         serve_bench ();
+        dispatch rest
+    | "enum" :: rest ->
+        enum_bench ();
         dispatch rest
     | "profile" :: rest ->
         profile_bench ();

@@ -308,8 +308,18 @@ let ops_arg =
 
 let workers_arg =
   Arg.(
-    value & opt int 4
-    & info [ "workers"; "j" ] ~docv:"N" ~doc:"Search worker domains.")
+    value
+    & opt (some int) None
+    & info [ "workers"; "j" ] ~docv:"N"
+        ~doc:
+          "Search worker domains. Defaults to the runtime's recommended \
+           domain count for this machine, capped at 8.")
+
+(* [--workers] unset → size the pool to the machine (the resolved value
+   lands in report.json via the config section and a "workers" field). *)
+let resolve_workers = function
+  | Some w -> max 1 w
+  | None -> Search.Config.default_workers
 
 let budget_arg =
   Arg.(
@@ -330,7 +340,7 @@ let search_config ~max_ops ~workers ~budget ~reference_verify spec =
     {
       Search.Config.default with
       Search.Config.max_block_ops = max_ops;
-      num_workers = workers;
+      num_workers = resolve_workers workers;
       time_budget_s = budget;
       verify_fast_path = not reference_verify;
     }
@@ -349,9 +359,22 @@ let resume_arg =
            the benchmark and search options must match the original run. \
            Implies --report $(docv) unless --report is given.")
 
+let prune_cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prune-cache" ] ~docv:"DIR"
+        ~doc:
+          "Persist the solver's prune-query cache in the content-addressed \
+           store at $(docv): decided abstract-expression queries are \
+           written behind (crash-safe) as the search runs and reloaded by \
+           later searches over the same specification, warm-starting the \
+           pruning tier across restarts and machines sharing the \
+           directory.")
+
 let optimize_cmd =
   let run name device max_ops workers budget reference_verify trace metrics
-      report_dir resume =
+      report_dir resume prune_cache =
     let b = lookup name in
     (* Superoptimize the reduced-dimension specification: the search is
        exhaustive and the discovered structure is dimension-uniform. *)
@@ -414,8 +437,16 @@ let optimize_cmd =
        by the enumerators, the verify loop, the ILP layout solver and
        the memory planner. *)
     let budget_t = Search.Budget.of_config config in
+    let prune_persist =
+      Option.map
+        (fun dir ->
+          let cache = Service.Cache.create ~dir () in
+          Service.Prune_store.attach ~cache)
+        prune_cache
+    in
     let report =
-      Mirage.superoptimize ~config ~budget:budget_t ?checkpoint ~device spec
+      Mirage.superoptimize ~config ~budget:budget_t ?checkpoint ?prune_persist
+        ~device spec
     in
     print_string (Mirage.summary report);
     (match Obs.Budget.degradations () with
@@ -449,6 +480,10 @@ let optimize_cmd =
         Obs.Report.add r "device"
           (Obs.Jsonw.Str device.Gpusim.Device.name);
         Obs.Report.add r "config" (Search.Config.to_json config);
+        (* the resolved worker count, surfaced at top level so scaling
+           sweeps don't have to dig it out of the config section *)
+        Obs.Report.add r "workers"
+          (Obs.Jsonw.Int config.Search.Config.num_workers);
         let outcomes =
           List.filter_map
             (fun (pr : Mirage.piece_result) -> pr.Mirage.outcome)
@@ -458,15 +493,17 @@ let optimize_cmd =
           (funnel_json
              (sum_funnels
                 (List.map (fun o -> o.Search.Generator.stats) outcomes)));
-        let q, h, a, t =
+        let q, h, a, t, dh, de =
           List.fold_left
-            (fun (q, h, a, t) (o : Search.Generator.outcome) ->
+            (fun (q, h, a, t, dh, de) (o : Search.Generator.outcome) ->
               let sv = o.Search.Generator.solver in
               ( q + sv.Smtlite.Solver.queries,
                 h + sv.Smtlite.Solver.cache_hits,
                 a + sv.Smtlite.Solver.accepted,
-                t +. sv.Smtlite.Solver.solve_time_s ))
-            (0, 0, 0, 0.0) outcomes
+                t +. sv.Smtlite.Solver.solve_time_s,
+                dh + sv.Smtlite.Solver.disk_hits,
+                de + sv.Smtlite.Solver.disk_entries ))
+            (0, 0, 0, 0.0, 0, 0) outcomes
         in
         Obs.Report.add r "solver"
           (Obs.Jsonw.Obj
@@ -475,6 +512,8 @@ let optimize_cmd =
                ("cache_hits", Obs.Jsonw.Int h);
                ("accepted", Obs.Jsonw.Int a);
                ("solve_time_s", Obs.Jsonw.Float t);
+               ("disk_hits", Obs.Jsonw.Int dh);
+               ("disk_entries", Obs.Jsonw.Int de);
              ]);
         Obs.Report.add r "cost"
           (Obs.Jsonw.Obj
@@ -509,7 +548,8 @@ let optimize_cmd =
        ~doc:"Run the full superoptimizer on a benchmark (reduced dims)")
     Term.(
       const run $ bench_arg $ device_arg $ ops_arg $ workers_arg $ budget_arg
-      $ ref_verify_arg $ trace_arg $ metrics_flag $ report_arg $ resume_arg)
+      $ ref_verify_arg $ trace_arg $ metrics_flag $ report_arg $ resume_arg
+      $ prune_cache_arg)
 
 let stats_cmd =
   let run name device max_ops workers budget reference_verify trace report_dir =
@@ -929,7 +969,7 @@ let serve_cmd =
       {
         Search.Config.default with
         Search.Config.max_block_ops = max_ops;
-        num_workers = workers;
+        num_workers = resolve_workers workers;
         time_budget_s = budget;
         verify_fast_path = not reference_verify;
       }
@@ -948,8 +988,9 @@ let serve_cmd =
       (Obs.Profile.enable
          ~registry:(Service.Telemetry.registry (Service.Server.telemetry server))
          ());
-    Printf.printf "mirage service: socket %s, cache %s, device %s\n%!" socket
-      cache_dir device.Gpusim.Device.name;
+    Printf.printf "mirage service: socket %s, cache %s, device %s, %d worker(s)\n%!"
+      socket cache_dir device.Gpusim.Device.name
+      base_config.Search.Config.num_workers;
     (match Service.Server.slowlog server with
     | Some sl ->
         Printf.printf "slow-request forensics: >= %.1f ms -> %s\n%!"
@@ -1018,6 +1059,26 @@ let profile_cmd =
                 exit 2
             | Ok text -> (
                 print_string text;
+                (* scheduler overlay: the work-stealing counters live in
+                   the metrics section, not the phase tree — surface them
+                   alongside the profile so scaling runs read one page *)
+                (let counter name =
+                   match
+                     Obs.Jsonw.member "metrics" rep
+                     |> Fun.flip Option.bind (Obs.Jsonw.member "counters")
+                     |> Fun.flip Option.bind (Obs.Jsonw.member name)
+                   with
+                   | Some (Obs.Jsonw.Int n) -> n
+                   | _ -> 0
+                 in
+                 let spawned = counter "search.steal.spawned" in
+                 let steals = counter "search.steal.count" in
+                 if spawned > 0 || steals > 0 then
+                   Printf.printf
+                     "scheduler: %d subtree task(s) spawned, %d stolen \
+                      (%d empty/raced attempts)\n"
+                     spawned steals
+                     (counter "search.steal.failed"));
                 match min_cov with
                 | None -> ()
                 | Some want -> (
@@ -1136,13 +1197,17 @@ let request_cmd =
         | Some (Obs.Jsonw.Str s) -> s
         | _ -> "?"
       in
-      Printf.eprintf "%s[%6.1fs] %-9s nodes %-8d candidates %-5d best %s%s%s%!"
+      Printf.eprintf
+        "%s[%6.1fs] %-9s nodes %-8d candidates %-5d best %s%s%s%s%!"
         (if tty then "\r\027[2K" else "")
         (match num "elapsed_s" with Some s -> s | None -> 0.0)
         phase (int_ "nodes_expanded") (int_ "candidates")
         (match num "best_cost_us" with
         | Some us -> Service.Top.pp_us us
         | None -> "-")
+        (match int_ "tasks_stolen" with
+        | 0 -> ""
+        | n -> Printf.sprintf "  stolen %d" n)
         (match num "budget_remaining_s" with
         | Some s -> Printf.sprintf "  budget %.1fs" s
         | None -> "")
@@ -1170,7 +1235,7 @@ let request_cmd =
               ("op", Obs.Jsonw.Str "optimize");
               ("benchmark", Obs.Jsonw.Str benchmark);
               ("max_block_ops", Obs.Jsonw.Int max_ops);
-              ("workers", Obs.Jsonw.Int workers);
+              ("workers", Obs.Jsonw.Int (resolve_workers workers));
               ("budget_s", Obs.Jsonw.Float budget);
             ]
             @ (match tenant with

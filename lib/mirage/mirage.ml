@@ -20,7 +20,7 @@ type report = {
 }
 
 let superoptimize ?config ?(verify_trials = 2) ?budget ?checkpoint
-    ~(device : Gpusim.Device.t) program =
+    ?prune_persist ~(device : Gpusim.Device.t) program =
   Obs.Trace.with_span ~cat:"mirage" "superoptimize" @@ fun () ->
   let partition =
     Obs.Trace.with_span ~cat:"mirage" "partition" (fun () ->
@@ -54,7 +54,8 @@ let superoptimize ?config ?(verify_trials = 2) ?budget ?checkpoint
         else begin
           let outcome =
             Search.Generator.run ?config ~verify_trials ?budget ?checkpoint
-              ~piece:p.Partition.id ~device ~spec:p.Partition.graph ()
+              ?prune_persist ~piece:p.Partition.id ~device
+              ~spec:p.Partition.graph ()
           in
           let best_graph, best_cost =
             match outcome.Search.Generator.best with

@@ -144,8 +144,48 @@ let binary_ops menu =
 
 let has_matmul menu = List.exists (fun p -> p = Op.Matmul) menu
 
+(* Profiler handles batch counts in per-handle mutable state, so they are
+   owned by one executing domain: a subtree continuation that may be
+   stolen gets a fresh set on whatever domain runs it, flushed when the
+   subtree finishes. *)
+type prof = {
+  ptimer : Obs.Profile.timer;
+  r_shape : Obs.Profile.rule_handle;
+  r_mem : Obs.Profile.rule_handle;
+  r_dup : Obs.Profile.rule_handle;
+  r_canon : Obs.Profile.rule_handle;
+  r_pruned : Obs.Profile.rule_handle;
+  r_phase : Obs.Profile.rule_handle;
+  r_dangling : Obs.Profile.rule_handle;
+}
+
+let fresh_prof () =
+  {
+    ptimer = Obs.Profile.timer "prune.abstract";
+    r_shape = Obs.Profile.prune_rule "shape";
+    r_mem = Obs.Profile.prune_rule "memory";
+    r_dup = Obs.Profile.prune_rule "duplicate";
+    r_canon = Obs.Profile.prune_rule "canonical";
+    r_pruned = Obs.Profile.prune_rule "pruned_abstract";
+    r_phase = Obs.Profile.prune_rule "phase";
+    r_dangling = Obs.Profile.prune_rule "dangling";
+  }
+
+let flush_prof pf =
+  Obs.Profile.flush_timer pf.ptimer;
+  List.iter Obs.Profile.flush_rule
+    [
+      pf.r_shape;
+      pf.r_mem;
+      pf.r_dup;
+      pf.r_canon;
+      pf.r_pruned;
+      pf.r_phase;
+      pf.r_dangling;
+    ]
+
 let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
-    ~(emit : emit) root =
+    ?(spawn = fun _ -> false) ~(emit : emit) root =
   let input_shapes = Graph.input_shapes spec in
   let input_names = Graph.input_names spec in
   let elt_bytes = limits.Memory.elt_bytes in
@@ -154,17 +194,6 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
      reason. One atomic load per attempt when journaling is off, and no
      Jsonw values are built on the [None] path. *)
   let journal = Obs.Journal.active () in
-  (* Profiler handles, resolved once per root (one atomic load each when
-     profiling is off): the timer batches the per-extension prune check's
-     wall time, the rule handles record which check cut how much. *)
-  let ptimer = Obs.Profile.timer "prune.abstract" in
-  let r_shape = Obs.Profile.prune_rule "shape"
-  and r_mem = Obs.Profile.prune_rule "memory"
-  and r_dup = Obs.Profile.prune_rule "duplicate"
-  and r_canon = Obs.Profile.prune_rule "canonical"
-  and r_pruned = Obs.Profile.prune_rule "pruned_abstract"
-  and r_phase = Obs.Profile.prune_rule "phase"
-  and r_dangling = Obs.Profile.prune_rule "dangling" in
   let jexpand ~depth op bins =
     match journal with
     | Some j ->
@@ -411,14 +440,14 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
       dangling - n_outputs <= remaining * (max_arity - 1)
     in
     (* One extension: add entry if all checks pass, recurse. *)
-    let rec extend st =
+    let rec extend pf st =
       budget_check ();
       try_complete st;
       if st.ops < cfg.Config.max_block_ops then begin
         let depth = float_of_int st.ops in
         (* operator slots below a prefix cut at this depth *)
         let remaining = max 0 (cfg.Config.max_block_ops - st.ops - 1) in
-        let moves = gen_moves st in
+        let moves = gen_moves pf st in
         List.iter
           (fun (cand, bop, bins, shape, nf, phase) ->
             let bytes = Shape.numel shape * elt_bytes in
@@ -435,13 +464,13 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
             if duplicate then begin
               Stats.bump_duplicates stats;
               Obs.Metrics.observe h_rej_dup depth;
-              Obs.Profile.fire r_dup ~remaining;
+              Obs.Profile.fire pf.r_dup ~remaining;
               jreject ~depth:st.ops cand "duplicate" []
             end
             else if st.smem + bytes > limits.Memory.smem_bytes_per_block then begin
               Stats.bump_memory stats;
               Obs.Metrics.observe h_rej_mem depth;
-              Obs.Profile.fire r_mem ~remaining;
+              Obs.Profile.fire pf.r_mem ~remaining;
               jreject ~depth:st.ops cand "memory"
                 (match journal with
                 | Some _ ->
@@ -457,8 +486,8 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
                 ~depth:st.ops
                 ~jreject:(fun reason extra ->
                   jreject ~depth:st.ops cand reason extra)
-                ~journal_live:(journal <> None) ~timer:ptimer ~rule:r_pruned
-                ~remaining nf
+                ~journal_live:(journal <> None) ~timer:pf.ptimer
+                ~rule:pf.r_pruned ~remaining nf
             then ()
             else
               let e = { bop; bins; shape; nf; phase; bytes } in
@@ -475,11 +504,21 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
               in
               if dangling_ok st' then begin
                 jaccept ~depth:st.ops cand shape nf;
-                extend st'
+                (* Shallow children root large subtrees — publish those
+                   to the pool; recurse inline past the cutoff. *)
+                if
+                  st'.ops > cfg.Config.steal_depth_cutoff
+                  || not
+                       (spawn (fun () ->
+                            let pf = fresh_prof () in
+                            Fun.protect
+                              ~finally:(fun () -> flush_prof pf)
+                              (fun () -> extend pf st')))
+                then extend pf st'
               end
               else begin
                 Obs.Metrics.bump c_dangling;
-                Obs.Profile.fire r_dangling ~remaining;
+                Obs.Profile.fire pf.r_dangling ~remaining;
                 jreject ~depth:st.ops cand "dangling" []
               end)
           moves
@@ -489,7 +528,7 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
        extension (the funnel's [expanded]); it then either fails one
        check — counted under exactly one rejection reason — or becomes a
        move for [extend]. *)
-    and gen_moves st =
+    and gen_moves pf st =
       let depth = float_of_int st.ops in
       let remaining = max 0 (cfg.Config.max_block_ops - st.ops - 1) in
       let attempt op bins =
@@ -509,7 +548,7 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
         else begin
           Stats.bump_canonical stats;
           Obs.Metrics.observe h_rej_canon depth;
-          Obs.Profile.fire r_canon ~remaining;
+          Obs.Profile.fire pf.r_canon ~remaining;
           jreject ~depth:st.ops cand "canonical" []
         end
       in
@@ -519,7 +558,7 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
         match combined_phase (List.map (fun e -> e.phase) ins) with
         | None ->
             Obs.Metrics.bump c_phase;
-            Obs.Profile.fire r_phase ~remaining;
+            Obs.Profile.fire pf.r_phase ~remaining;
             jreject ~depth:st.ops cand "phase" []
         | Some phase -> (
             let shapes = List.map (fun e -> e.shape) ins in
@@ -533,7 +572,7 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
             | None ->
                 Stats.bump_shape stats;
                 Obs.Metrics.observe h_rej_shape depth;
-                Obs.Profile.fire r_shape ~remaining;
+                Obs.Profile.fire pf.r_shape ~remaining;
                 jreject ~depth:st.ops cand "shape"
                   (match journal with
                   | Some _ ->
@@ -608,10 +647,8 @@ let search_root (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
     in
     (* the batched prune-check time and rule fires land under this task
        even when the budget cuts the DFS short *)
+    let pf = fresh_prof () in
     Fun.protect
-      ~finally:(fun () ->
-        Obs.Profile.flush_timer ptimer;
-        List.iter Obs.Profile.flush_rule
-          [ r_shape; r_mem; r_dup; r_canon; r_pruned; r_phase; r_dangling ])
-      (fun () -> extend init_state)
+      ~finally:(fun () -> flush_prof pf)
+      (fun () -> extend pf init_state)
   end

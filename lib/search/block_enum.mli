@@ -36,11 +36,16 @@ val search_root :
   stats:Stats.t ->
   limits:Memory.limits ->
   budget:Obs.Budget.t ->
+  ?spawn:((unit -> unit) -> bool) ->
   emit:emit ->
   root ->
   unit
 (** Depth-first expansion of one root. [emit] receives complete,
-    validated candidates (not yet verified). @raise Budget_exhausted when
-    the node budget, the wall deadline or a cancellation cuts the
-    enumeration (the reason is noted on [budget]). The [enum.block]
-    fault probe fires here. *)
+    validated candidates (not yet verified). [spawn k] may publish
+    subtree continuation [k] to a work-stealing pool and return [true];
+    returning [false] (the default) makes the enumerator recurse
+    inline — offered only for accepted children at depth <=
+    [steal_depth_cutoff], safe on any domain, never changes the emitted
+    candidate set. @raise Budget_exhausted when the node budget, the
+    wall deadline or a cancellation cuts the enumeration (the reason is
+    noted on [budget]). The [enum.block] fault probe fires here. *)

@@ -16,7 +16,15 @@ type t = {
   enable_concat_accum : bool;
   max_task_failures : int;
   verify_fast_path : bool;
+  steal_depth_cutoff : int;
 }
+
+(* Workers default to the machine's recommended domain count, capped so a
+   many-core box doesn't oversubscribe a search whose task tree is small.
+   Computed once — recommended_domain_count is constant per process. *)
+let default_workers =
+  let n = try Domain.recommended_domain_count () with _ -> 1 in
+  max 1 (min n 8)
 
 let default =
   {
@@ -50,13 +58,14 @@ let default =
       ];
     use_abstract_pruning = true;
     use_thread_fusion = true;
-    num_workers = 1;
+    num_workers = default_workers;
     node_budget = 0;
     time_budget_s = 0.0;
     max_outputs_per_candidate = 2;
     enable_concat_accum = false;
     max_task_failures = 8;
     verify_fast_path = true;
+    steal_depth_cutoff = 3;
   }
 
 (* Structural facts about the goal normal forms that make operator
@@ -209,6 +218,7 @@ let to_json (c : t) =
       ("enable_concat_accum", Bool c.enable_concat_accum);
       ("max_task_failures", Int c.max_task_failures);
       ("verify_fast_path", Bool c.verify_fast_path);
+      ("steal_depth_cutoff", Int c.steal_depth_cutoff);
     ]
 
 (* Fields with no bearing on which muGraph the search returns: worker
@@ -224,6 +234,7 @@ let result_irrelevant_keys =
     "time_budget_s";
     "max_task_failures";
     "verify_fast_path";
+    "steal_depth_cutoff";
   ]
 
 let search_relevant_json c =

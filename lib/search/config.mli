@@ -19,7 +19,10 @@ type t = {
   kernel_op_menu : Mugraph.Op.prim list;
   use_abstract_pruning : bool;  (** Table 5 column "w/o abstract expr" *)
   use_thread_fusion : bool;  (** §4.2 rule-based thread graphs *)
-  num_workers : int;  (** 1 = sequential (Table 5 "w/o multithreading") *)
+  num_workers : int;
+      (** search domains; defaults to the machine's recommended domain
+          count capped at 8. 1 = sequential (Table 5 "w/o
+          multithreading") *)
   node_budget : int;  (** hard cap on expanded prefixes, 0 = unlimited *)
   time_budget_s : float;  (** wall-clock cap, 0 = unlimited *)
   max_outputs_per_candidate : int;
@@ -33,9 +36,19 @@ type t = {
           spec-output memoization (default). [false] selects the boxed
           {!Ffield.Fpair} reference path — same verdicts, much slower —
           kept for verdict-equivalence testing and debugging *)
+  steal_depth_cutoff : int;
+      (** enumeration depth (ops placed) at or below which a subtree is
+          published to the work-stealing pool instead of recursed
+          inline. 0 disables subtree spawning (coarse per-task
+          parallelism only); has no effect on which candidates are
+          found *)
 }
 
 val default : t
+
+val default_workers : int
+(** [min (Domain.recommended_domain_count ()) 8], at least 1 — the
+    resolved default of [num_workers]. *)
 
 val for_spec : ?base:t -> Mugraph.Graph.kernel_graph -> t
 (** Derive the operator menus from the specification: unary operators

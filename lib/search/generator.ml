@@ -39,39 +39,43 @@ let spawn_worker f =
         (fun () -> Obs.Profile.with_base ppath f))
 
 (* Run the enumerators over all tasks, collecting deduplicated raw
-   candidates. Workers pull tasks from a shared atomic counter.
+   candidates. Tasks seed a work-stealing pool (one Chase–Lev deque per
+   worker domain); below [steal_depth_cutoff] the enumerators publish
+   subtree continuations back onto it, so one deep root no longer
+   serializes the search while the other domains idle.
 
-   Each task runs quarantined: an unexpected exception is journaled as
-   cand.crash (with backtrace) and counted, and the worker moves to the
-   next task. Only past [cfg.max_task_failures] crashes does the whole
-   search abort — and even then candidates already emitted survive,
-   because emission goes through the shared accumulator as graphs are
-   found, not at task completion. *)
+   Each item (a task's root or one of its spawned subtrees) runs
+   quarantined: an unexpected exception is journaled as cand.crash (with
+   backtrace) and counted, and the worker moves on. Only past
+   [cfg.max_task_failures] crashes does the whole search abort — and
+   even then candidates already emitted survive, because emission goes
+   through the shared accumulator as graphs are found, not at task
+   completion. A task advances the resume cursor only when its root and
+   every spawned subtree finished cleanly. *)
+let n_shards = 16 (* power of two; shard = hash low bits *)
+
 let generate (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ?checkpoint
-    ?(piece = 0) () =
+    ?(piece = 0) ?on_pool () =
   Printexc.record_backtrace true;
   let roots =
     Block_enum.enumerate_roots cfg ~input_shapes:(Graph.input_shapes spec)
   in
   let tasks = Array.of_list (T_kernel :: List.map (fun r -> T_root r) roots) in
+  let n_tasks = Array.length tasks in
   let skip =
     match checkpoint with
     | Some ck ->
         let done_ = Checkpoint.completed ck ~piece in
-        let a = Array.make (Array.length tasks) false in
+        let a = Array.make n_tasks false in
         List.iter (fun i -> if i < Array.length a then a.(i) <- true) done_;
         a
-    | None -> Array.make (Array.length tasks) false
+    | None -> Array.make n_tasks false
   in
   Obs.Log.debug (fun m ->
       m "generate: %d tasks (%d roots, %d resumed), %d worker(s)"
-        (Array.length tasks) (List.length roots)
+        n_tasks (List.length roots)
         (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 skip)
         cfg.Config.num_workers);
-  let next = Atomic.make 0 in
-  let lock = Mutex.create () in
-  let seen = Hashtbl.create 256 in
-  let candidates = ref [] in
   let exhausted = Atomic.make false in
   let failures = Atomic.make 0 in
   let reg = Stats.registry stats in
@@ -79,33 +83,41 @@ let generate (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ?checkpoint
     Obs.Metrics.counter reg ~help:"enumeration tasks that crashed and were quarantined"
       "search.task.crashes"
   in
+  (* Dedup sharded by graph hash: emission from different subtrees only
+     contends when two candidates land in the same shard, instead of
+     every worker serializing on one table mutex. *)
+  let shards =
+    Array.init n_shards (fun _ ->
+        (Mutex.create (), Hashtbl.create 64, ref []))
+  in
   (* Graph-level candidate ids share the journal's id counter with the
      per-extension ids, so `explain` resolves either kind. When the
-     journal is off, ids still flow (from a local counter) but no events
+     journal is off, ids still flow (from a shared counter) but no events
      are written. *)
   let journal = Obs.Journal.active () in
-  let next_gid = ref 0 in
+  let next_gid = Atomic.make 0 in
   (* Resume: preload previously-emitted candidates so re-run partial
-     tasks deduplicate against them instead of double-counting. *)
+     tasks deduplicate against them instead of double-counting. Runs
+     before any worker exists, so plain updates are safe. *)
   (match checkpoint with
   | Some ck ->
       List.iter
         (fun (gid, g) ->
-          Hashtbl.add seen (Graph.hash g) g;
-          candidates := (gid, g) :: !candidates;
-          next_gid := max !next_gid gid)
+          let h = Graph.hash g in
+          let _, seen, cands = shards.(h land (n_shards - 1)) in
+          Hashtbl.add seen h g;
+          cands := (gid, g) :: !cands;
+          if gid > Atomic.get next_gid then Atomic.set next_gid gid)
         (Checkpoint.candidates ck ~piece)
   | None -> ());
   let emit g =
     (* Hash outside the lock: hashing is the expensive part of dedup, and
        computing it inside the critical section serialized all workers on
-       it. *)
+       it. It also picks the shard. *)
     let h = Graph.hash g in
+    let lock, seen, cands = shards.(h land (n_shards - 1)) in
     Mutex.lock lock;
-    let dup =
-      match Hashtbl.find_all seen h with
-      | l -> List.exists (fun g' -> Graph.equal g g') l
-    in
+    let dup = List.exists (fun g' -> Graph.equal g g') (Hashtbl.find_all seen h) in
     if dup then begin
       Stats.bump_duplicates stats;
       match journal with
@@ -126,11 +138,9 @@ let generate (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ?checkpoint
                 ("knodes", Obs.Jsonw.Int (Array.length g.Graph.knodes));
               ];
             gid
-        | None ->
-            incr next_gid;
-            !next_gid
+        | None -> 1 + Atomic.fetch_and_add next_gid 1
       in
-      candidates := (gid, g) :: !candidates;
+      cands := (gid, g) :: !cands;
       match checkpoint with
       | Some ck -> Checkpoint.add_candidate ck ~piece ~gid g
       | None -> ()
@@ -164,22 +174,67 @@ let generate (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ?checkpoint
       Atomic.set exhausted true
     end
   in
-  let worker () =
-    let continue_ = ref true in
-    while !continue_ do
-      let i = Atomic.fetch_and_add next 1 in
-      if i >= Array.length tasks || Atomic.get exhausted then
-        continue_ := false
-      else if not skip.(i) then begin
-        let completed =
-          try
-            (match tasks.(i) with
+  let workers = max 1 cfg.Config.num_workers in
+  let pool = Deque.Pool.create ~registry:reg ~workers () in
+  (match on_pool with Some f -> f pool | None -> ());
+  (* Per-task completion accounting at item granularity: a task's
+     pending count covers its root item plus every spawned subtree, and
+     only a clean drain to zero advances the resume cursor. A crashed or
+     budget-cut item taints its task, so resume re-runs it (emitted
+     candidates are preloaded, so the re-run deduplicates instead of
+     double-counting). *)
+  let t_pending = Array.init n_tasks (fun _ -> Atomic.make 0) in
+  let t_bad = Array.init n_tasks (fun _ -> Atomic.make false) in
+  let item_done i =
+    if Atomic.fetch_and_add t_pending.(i) (-1) = 1 then
+      if not (Atomic.get t_bad.(i)) then
+        match checkpoint with
+        | Some ck -> Checkpoint.task_done ck ~piece ~task:i ~tasks_total:n_tasks
+        | None -> ()
+  in
+  let run_body i body =
+    if Atomic.get exhausted then Atomic.set t_bad.(i) true
+    else
+      try body () with
+      | Block_enum.Budget_exhausted ->
+          Atomic.set t_bad.(i) true;
+          Atomic.set exhausted true
+      | exn ->
+          Atomic.set t_bad.(i) true;
+          record_crash i exn (Printexc.get_raw_backtrace ())
+  in
+  let task_phase i =
+    match tasks.(i) with T_kernel -> "task.kernel" | T_root _ -> "task.root"
+  in
+  (* [spawn] handed to the enumerators for task [i]: publish a subtree
+     continuation onto the calling worker's deque. The pending bump
+     happens before the push — the spawning item is itself still pending,
+     so the count can never drain to zero with this subtree in flight. *)
+  let rec spawn_for i k =
+    Atomic.incr t_pending.(i);
+    if Deque.Pool.spawn pool (fun () -> subtree_item i k) then true
+    else begin
+      Atomic.decr t_pending.(i);
+      false
+    end
+  and subtree_item i k =
+    Fun.protect
+      ~finally:(fun () -> item_done i)
+      (fun () ->
+        run_body i (fun () -> Obs.Profile.with_phase (task_phase i) k))
+  in
+  let root_item i () =
+    Fun.protect
+      ~finally:(fun () -> item_done i)
+      (fun () ->
+        run_body i (fun () ->
+            match tasks.(i) with
             | T_kernel ->
                 Obs.Profile.with_phase "task.kernel" (fun () ->
                     Obs.Trace.with_span ~cat:"search" "enumerate.kernel"
                       (fun () ->
                         Kernel_enum.search cfg ~spec ~solver ~stats ~limits
-                          ~budget ~emit))
+                          ~budget ~spawn:(spawn_for i) ~emit ()))
             | T_root root ->
                 Obs.Profile.with_phase "task.root" (fun () ->
                     Obs.Trace.with_span ~cat:"search"
@@ -187,33 +242,22 @@ let generate (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ?checkpoint
                       "enumerate.root"
                       (fun () ->
                         Block_enum.search_root cfg ~spec ~solver ~stats ~limits
-                          ~budget ~emit root)));
-            true
-          with
-          | Block_enum.Budget_exhausted ->
-              Atomic.set exhausted true;
-              false
-          | exn ->
-              record_crash i exn (Printexc.get_raw_backtrace ());
-              false
-        in
-        (* only tasks that ran to completion advance the resume cursor —
-           a crashed or budget-cut task must re-run on resume *)
-        if completed then
-          match checkpoint with
-          | Some ck ->
-              Checkpoint.task_done ck ~piece ~task:i
-                ~tasks_total:(Array.length tasks)
-          | None -> ()
-      end
-    done
+                          ~budget ~spawn:(spawn_for i) ~emit root))))
   in
-  let workers = max 1 cfg.Config.num_workers in
-  if workers = 1 then worker ()
+  for i = 0 to n_tasks - 1 do
+    if not skip.(i) then begin
+      Atomic.set t_pending.(i) 1;
+      Deque.Pool.seed pool (root_item i)
+    end
+  done;
+  let stop () = Atomic.get exhausted in
+  let run_item f = f () in
+  if workers = 1 then Deque.Pool.run_worker pool ~id:0 ~stop ~run:run_item
   else begin
     let domains =
-      List.init (min workers (Array.length tasks)) (fun _ ->
-          spawn_worker worker)
+      List.init workers (fun id ->
+          spawn_worker (fun () ->
+              Deque.Pool.run_worker pool ~id ~stop ~run:run_item))
     in
     (* Salvage-then-report: join every domain before deciding the run's
        fate, so a crash that escaped one worker's quarantine (e.g. in the
@@ -235,10 +279,14 @@ let generate (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ?checkpoint
               (Printexc.to_string exn))
     | None -> ()
   end;
-  (!candidates, Atomic.get exhausted, Atomic.get failures)
+  let candidates =
+    Array.fold_left (fun acc (_, _, cands) -> !cands @ acc) [] shards
+  in
+  (candidates, Atomic.get exhausted, Atomic.get failures)
 
 let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false) ?budget
-    ?checkpoint ?(piece = 0) ?progress ~(device : Gpusim.Device.t) ~spec () =
+    ?checkpoint ?(piece = 0) ?progress ?prune_persist
+    ~(device : Gpusim.Device.t) ~spec () =
   Obs.Profile.with_phase "search" @@ fun () ->
   let cfg =
     match config with Some c -> c | None -> Config.for_spec spec
@@ -247,6 +295,10 @@ let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false) ?budget
     match budget with Some b -> b | None -> Budget.of_config cfg
   in
   let solver = Smtlite.Solver.create ~target:(Abstract.output_exprs spec) in
+  (* Persistent prune cache: the hook attaches storage (and loads any
+     prior envelope) before the first query; the generator flushes the
+     final batch at finalize. *)
+  (match prune_persist with Some f -> f solver | None -> ());
   let stats = Stats.create ?registry () in
   let limits = Gpusim.Device.limits device in
   (* Live progress: wire in the funnel counters and seed the best-known
@@ -257,11 +309,16 @@ let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false) ?budget
       Progress.note_best p (Gpusim.Cost.cost device spec).Gpusim.Cost.total_us;
       Progress.set_phase p "enumerate"
   | None -> ());
+  let on_pool pool =
+    match progress with
+    | Some p -> Progress.attach_stolen p (fun () -> Deque.Pool.steals pool)
+    | None -> ()
+  in
   let candidates, budget_exhausted, task_failures =
     Obs.Profile.with_phase "enumerate" (fun () ->
         Obs.Trace.with_span ~cat:"search" "enumerate" (fun () ->
             generate cfg ~spec ~solver ~stats ~limits ~budget ?checkpoint
-              ~piece ()))
+              ~piece ~on_pool ()))
   in
   (* Branching factor for the prune-savings model: attempted extensions
      per accepted (recursed-into) prefix. *)
@@ -282,9 +339,11 @@ let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false) ?budget
          else Printf.sprintf " (%d task crash(es) quarantined)" task_failures));
   (* Cost first (cheap), then verify cheapest-first with a single random
      test, stopping at the first success unless [verify_all]. Cost ties
-     break on the graph hash so the verification order — and therefore
-     the winner — is independent of emission order (which varies with the
-     number of enumeration workers). *)
+     break on the graph hash and then structurally, so the verification
+     order — and therefore the winner — is independent of emission order
+     (which varies with the number of enumeration workers and the steal
+     schedule). The structural fallback matters: [Graph.hash] only
+     traverses a bounded prefix, so distinct graphs can collide. *)
   (match progress with Some p -> Progress.set_phase p "cost" | None -> ());
   let costed =
     Obs.Profile.with_phase "cost" @@ fun () ->
@@ -292,11 +351,14 @@ let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false) ?budget
         List.map
           (fun (x, c, _) -> (x, c))
           (List.sort
-             (fun (_, a, ha) (_, b, hb) ->
+             (fun ((_, ga), a, ha) ((_, gb), b, hb) ->
                let c =
                  Float.compare a.Gpusim.Cost.total_us b.Gpusim.Cost.total_us
                in
-               if c <> 0 then c else Int.compare ha hb)
+               if c <> 0 then c
+               else
+                 let hc = Int.compare ha hb in
+                 if hc <> 0 then hc else Stdlib.compare ga gb)
              (List.map
                 (fun (gid, g) ->
                   ((gid, g), Gpusim.Cost.cost device g, Graph.hash g))
@@ -508,6 +570,9 @@ let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false) ?budget
   (match (Obs.Journal.active (), all) with
   | Some j, (gid, r) :: _ -> Gpusim.Cost.journal_attribution ~cand:gid j r.cost
   | _ -> ());
+  (* Complete the persistent prune cache even when the last write-behind
+     batch was short — a warm restart should see every decided query. *)
+  Smtlite.Solver.flush_persist solver;
   (match checkpoint with
   | Some ck ->
       (* solver cache stats ride along in the checkpoint meta so a
@@ -522,6 +587,8 @@ let run ?config ?registry ?(verify_trials = 2) ?(verify_all = false) ?budget
                 ("cache_hits", Obs.Jsonw.Int sv.Smtlite.Solver.cache_hits);
                 ("accepted", Obs.Jsonw.Int sv.Smtlite.Solver.accepted);
                 ("solve_time_s", Obs.Jsonw.Float sv.Smtlite.Solver.solve_time_s);
+                ("disk_hits", Obs.Jsonw.Int sv.Smtlite.Solver.disk_hits);
+                ("disk_entries", Obs.Jsonw.Int sv.Smtlite.Solver.disk_entries);
               ] );
         ];
       Checkpoint.save ck

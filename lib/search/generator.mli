@@ -36,6 +36,28 @@ type outcome = {
           a clean run *)
 }
 
+val generate :
+  Config.t ->
+  spec:Graph.kernel_graph ->
+  solver:Smtlite.Solver.t ->
+  stats:Stats.t ->
+  limits:Memory.limits ->
+  budget:Budget.t ->
+  ?checkpoint:Checkpoint.t ->
+  ?piece:int ->
+  ?on_pool:(Deque.Pool.t -> unit) ->
+  unit ->
+  (int * Graph.kernel_graph) list * bool * int
+(** The raw enumeration stage of {!run}: seed the kernel task and one
+    task per root configuration onto a work-stealing pool of
+    [num_workers] domains and drain it, returning the deduplicated
+    [(gid, graph)] candidates plus whether the budget was exhausted and
+    how many items crashed. The candidate {e set} is independent of the
+    worker count and steal schedule (gids and list order are not).
+    [on_pool] runs once with the freshly created pool — the hook the
+    serving tier uses to surface live steal counts. Exposed for {!run},
+    {!search_time} and the determinism tests. *)
+
 val run :
   ?config:Config.t ->
   ?registry:Obs.Metrics.t ->
@@ -45,6 +67,7 @@ val run :
   ?checkpoint:Checkpoint.t ->
   ?piece:int ->
   ?progress:Progress.t ->
+  ?prune_persist:(Smtlite.Solver.t -> unit) ->
   device:Gpusim.Device.t ->
   spec:Graph.kernel_graph ->
   unit ->
@@ -72,6 +95,11 @@ val run :
     any phase cleanly returns best-so-far with the reason recorded in
     [degraded]. [checkpoint]/[piece] enable periodic progress persistence
     and resume (see {!Checkpoint}).
+
+    [prune_persist] runs once on the freshly created solver, before any
+    query — the place to {!Smtlite.Solver.attach_persist} an on-disk
+    prune-query cache (e.g. via [Service.Prune_store]). The run flushes
+    the solver's write-behind batch at finalize.
 
     [progress] attaches a {!Progress} cell the run keeps current (phase,
     funnel counters, best cost so far) so an observer on another thread —

@@ -30,21 +30,40 @@ let instantiate menu shape =
       | _ -> [])
     menu
 
-let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ~emit =
+(* Profiler handles batch counts in per-handle mutable state, so they are
+   owned by one executing domain: a subtree continuation that may be
+   stolen gets a fresh set on whatever domain runs it, flushed when the
+   subtree finishes. *)
+type prof = {
+  ptimer : Obs.Profile.timer;
+  r_shape : Obs.Profile.rule_handle;
+  r_dup : Obs.Profile.rule_handle;
+  r_canon : Obs.Profile.rule_handle;
+  r_pruned : Obs.Profile.rule_handle;
+}
+
+let fresh_prof () =
+  {
+    ptimer = Obs.Profile.timer "prune.abstract";
+    r_shape = Obs.Profile.prune_rule "shape";
+    r_dup = Obs.Profile.prune_rule "duplicate";
+    r_canon = Obs.Profile.prune_rule "canonical";
+    r_pruned = Obs.Profile.prune_rule "pruned_abstract";
+  }
+
+let flush_prof pf =
+  Obs.Profile.flush_timer pf.ptimer;
+  List.iter Obs.Profile.flush_rule
+    [ pf.r_shape; pf.r_dup; pf.r_canon; pf.r_pruned ]
+
+let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget
+    ?(spawn = fun _ -> false) ~emit () =
   let input_shapes = Graph.input_shapes spec in
   let input_names = Graph.input_names spec in
   (* Flight recorder: resolved once per search; every attempted extension
      gets an id and an expand event, every rejection records its reason.
      One atomic load per attempt when journaling is off. *)
   let journal = Obs.Journal.active () in
-  (* Profiler handles, resolved once per task (one atomic load each when
-     profiling is off): the timer batches the per-extension prune check's
-     wall time, the rule handles record which check cut how much. *)
-  let ptimer = Obs.Profile.timer "prune.abstract" in
-  let r_shape = Obs.Profile.prune_rule "shape"
-  and r_dup = Obs.Profile.prune_rule "duplicate"
-  and r_canon = Obs.Profile.prune_rule "canonical"
-  and r_pruned = Obs.Profile.prune_rule "pruned_abstract" in
   (* Per-depth telemetry, registered once per search in the stats
      registry; updates on the hot path are lock-free. *)
   let depth_buckets =
@@ -134,7 +153,7 @@ let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ~emit =
       | exception Graph.Ill_formed _ -> ()
     end
   in
-  let rec extend st =
+  let rec extend pf st =
     budget_check ();
     try_complete st;
     if st.ops < cfg.Config.max_kernel_ops then begin
@@ -180,7 +199,7 @@ let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ~emit =
         if not (rank_ok (Graph.K_prim p) kins) then begin
           Stats.bump_canonical stats;
           Obs.Metrics.observe h_rej_canon depth;
-          Obs.Profile.fire r_canon ~remaining;
+          Obs.Profile.fire pf.r_canon ~remaining;
           jreject "canonical" []
         end
         else begin
@@ -200,13 +219,13 @@ let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ~emit =
               if duplicate then begin
                 Stats.bump_duplicates stats;
                 Obs.Metrics.observe h_rej_dup depth;
-                Obs.Profile.fire r_dup ~remaining;
+                Obs.Profile.fire pf.r_dup ~remaining;
                 jreject "duplicate" []
               end
               else if
                 Prune.reject_if_pruned cfg ~solver ~stats ~hist:h_rej_pruned
                   ~depth:st.ops ~jreject ~journal_live:(journal <> None)
-                  ~timer:ptimer ~rule:r_pruned ~remaining nf
+                  ~timer:pf.ptimer ~rule:pf.r_pruned ~remaining nf
               then ()
               else begin
                 (match journal with
@@ -219,7 +238,7 @@ let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ~emit =
                         ("expr", Obs.Jsonw.Str (Absexpr.Nf.to_string nf));
                       ]
                 | None -> ());
-                extend
+                let child =
                   {
                     entries =
                       { kop = Graph.K_prim p; kins; shape; nf } :: st.entries;
@@ -227,11 +246,23 @@ let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ~emit =
                     ops = st.ops + 1;
                     last_rank = Some (Canon.R_kernel (kins, Graph.K_prim p));
                   }
+                in
+                (* Shallow children root large subtrees — publish those
+                   to the pool; recurse inline past the cutoff. *)
+                if
+                  child.ops > cfg.Config.steal_depth_cutoff
+                  || not
+                       (spawn (fun () ->
+                            let pf = fresh_prof () in
+                            Fun.protect
+                              ~finally:(fun () -> flush_prof pf)
+                              (fun () -> extend pf child)))
+                then extend pf child
               end
           | None ->
               Stats.bump_shape stats;
               Obs.Metrics.observe h_rej_shape depth;
-              Obs.Profile.fire r_shape ~remaining;
+              Obs.Profile.fire pf.r_shape ~remaining;
               jreject "shape"
                 [
                   ( "in_shapes",
@@ -262,8 +293,5 @@ let search (cfg : Config.t) ~spec ~solver ~stats ~limits ~budget ~emit =
   in
   (* the batched prune-check time and rule fires land under this task
      even when the budget cuts the DFS short *)
-  Fun.protect
-    ~finally:(fun () ->
-      Obs.Profile.flush_timer ptimer;
-      List.iter Obs.Profile.flush_rule [ r_shape; r_dup; r_canon; r_pruned ])
-    (fun () -> extend init)
+  let pf = fresh_prof () in
+  Fun.protect ~finally:(fun () -> flush_prof pf) (fun () -> extend pf init)

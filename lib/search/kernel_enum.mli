@@ -13,7 +13,14 @@ val search :
   stats:Stats.t ->
   limits:Memory.limits ->
   budget:Obs.Budget.t ->
+  ?spawn:((unit -> unit) -> bool) ->
   emit:(Graph.kernel_graph -> unit) ->
+  unit ->
   unit
-(** @raise Block_enum.Budget_exhausted on budget exhaustion (reason
+(** [spawn k] may publish subtree continuation [k] to a work-stealing
+    pool and return [true]; returning [false] (the default) makes the
+    enumerator recurse inline. Continuations are offered only for
+    accepted children at depth <= [steal_depth_cutoff], are safe to run
+    on any domain, and never change the emitted candidate set.
+    @raise Block_enum.Budget_exhausted on budget exhaustion (reason
     noted on [budget]). The [enum.kernel] fault probe fires here. *)

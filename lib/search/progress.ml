@@ -10,6 +10,8 @@ type t = {
   phase : string Atomic.t;
   stats : Stats.t option Atomic.t;
   best_us : float Atomic.t;  (* min-merged; [infinity] until seeded *)
+  stolen : (unit -> int) option Atomic.t;
+      (* scheduler health: successful work steals so far *)
 }
 
 let create () =
@@ -17,11 +19,13 @@ let create () =
     phase = Atomic.make "pending";
     stats = Atomic.make None;
     best_us = Atomic.make infinity;
+    stolen = Atomic.make None;
   }
 
 let set_phase t p = Atomic.set t.phase p
 let phase t = Atomic.get t.phase
 let attach_stats t s = Atomic.set t.stats (Some s)
+let attach_stolen t f = Atomic.set t.stolen (Some f)
 
 let rec note_best t us =
   if Float.is_finite us && us >= 0.0 then begin
@@ -36,6 +40,7 @@ type view = {
   v_candidates : int;
   v_verified : int;
   v_best_us : float option;
+  v_tasks_stolen : int;
 }
 
 let view t =
@@ -53,4 +58,6 @@ let view t =
     v_candidates = cands;
     v_verified = verified;
     v_best_us = (if Float.is_finite best then Some best else None);
+    v_tasks_stolen =
+      (match Atomic.get t.stolen with None -> 0 | Some f -> max 0 (f ()));
   }

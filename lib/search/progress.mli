@@ -21,12 +21,17 @@ val note_best : t -> float -> unit
 (** Lower the best-known candidate cost (µs); min-merged, so racing
     workers cannot regress it. *)
 
+val attach_stolen : t -> (unit -> int) -> unit
+(** Wire in the work-stealing pool's successful-steal counter; until
+    then the view reports zero steals. *)
+
 type view = {
   v_phase : string;
   v_nodes_expanded : int;
   v_candidates : int;
   v_verified : int;
   v_best_us : float option;  (** [None] until a cost is known *)
+  v_tasks_stolen : int;  (** successful work steals so far *)
 }
 
 val view : t -> view

@@ -21,9 +21,12 @@
     — flagged through {!Obs.Budget.degrade} ([service.cache.enospc])
     and the [service.cache.mem_only] gauge — instead of failing.
 
-    All traffic is counted in [service.cache.*] ({!Obs.Metrics}):
+    Result traffic is counted in [service.cache.*] ({!Obs.Metrics}):
     [hit.mem], [hit.disk], [miss], [store], [evict], [evict.disk],
-    [quarantine], [recovered]. *)
+    [quarantine], [recovered]. Prune-cache traffic (ops classed
+    [`Prune] — the solver's persisted decision envelopes, see
+    {!Prune_store}) counts under [service.prune.*] ([hit], [miss],
+    [store]) instead, so the result-cache hit rate stays meaningful. *)
 
 type t
 
@@ -46,15 +49,17 @@ val create :
 
 val dir : t -> string
 
-val find : t -> string -> Obs.Jsonw.t option
+val find : ?cls:[ `Result | `Prune ] -> t -> string -> Obs.Jsonw.t option
 (** [find t fp] returns the cached payload, promoting disk hits into the
     memory tier (and refreshing their LRU mtime). Corrupted disk entries
-    are quarantined and reported as a miss. *)
+    are quarantined and reported as a miss. [cls] (default [`Result])
+    selects the metric family the op counts under. *)
 
-val store : t -> string -> Obs.Jsonw.t -> unit
+val store : ?cls:[ `Result | `Prune ] -> t -> string -> Obs.Jsonw.t -> unit
 (** [store t fp payload] writes both tiers durably. ENOSPC degrades the
     store to memory-only mode; any other disk failure is logged and
-    degrades the run ([service.cache.write]); neither raises. *)
+    degrades the run ([service.cache.write]); neither raises. [cls] as
+    in {!find}. *)
 
 val quarantine : t -> string -> reason:string -> unit
 (** Forcibly quarantine an entry (both tiers) — used by callers that

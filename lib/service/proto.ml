@@ -152,7 +152,7 @@ let write_frame ?timeout_s fd json =
 let progress_schema = "mirage.service.progress.v1"
 
 let progress_frame ~rid ~seq ~phase ~nodes_expanded ~candidates ~verified
-    ?best_cost_us ?budget_remaining_s ~elapsed_s () =
+    ?(tasks_stolen = 0) ?best_cost_us ?budget_remaining_s ~elapsed_s () =
   J.Obj
     [
       ("type", J.Str "progress");
@@ -163,6 +163,7 @@ let progress_frame ~rid ~seq ~phase ~nodes_expanded ~candidates ~verified
       ("nodes_expanded", J.Int nodes_expanded);
       ("candidates", J.Int candidates);
       ("verified", J.Int verified);
+      ("tasks_stolen", J.Int tasks_stolen);
       ( "best_cost_us",
         match best_cost_us with Some v -> J.Float v | None -> J.Null );
       ( "budget_remaining_s",
@@ -204,6 +205,7 @@ let check_progress j =
   let* _ = int_nonneg "nodes_expanded" in
   let* _ = int_nonneg "candidates" in
   let* _ = int_nonneg "verified" in
+  let* _ = int_nonneg "tasks_stolen" in
   let* () = opt_float "best_cost_us" in
   let* () = opt_float "budget_remaining_s" in
   match J.member "elapsed_s" j with

@@ -58,6 +58,7 @@ val progress_frame :
   nodes_expanded:int ->
   candidates:int ->
   verified:int ->
+  ?tasks_stolen:int ->
   ?best_cost_us:float ->
   ?budget_remaining_s:float ->
   elapsed_s:float ->
@@ -65,8 +66,10 @@ val progress_frame :
   Obs.Jsonw.t
 (** Build one progress frame. [seq] starts at 0 and increments per
     frame of a request; [nodes_expanded]/[candidates]/[verified] are
-    monotone over a request's frames. Omitted [best_cost_us] /
-    [budget_remaining_s] encode as JSON null. *)
+    monotone over a request's frames, and [tasks_stolen] (default 0)
+    counts successful work steals in the enumeration pool so far.
+    Omitted [best_cost_us] / [budget_remaining_s] encode as JSON
+    null. *)
 
 val is_progress : Obs.Jsonw.t -> bool
 (** [true] iff the frame is a progress event (has ["type":"progress"]). *)

@@ -1,0 +1,16 @@
+(* Prune-query cache persistence: solver persist hooks over the
+   content-addressed result store (see prune_store.mli). *)
+
+let fingerprint solver =
+  Digest.to_hex (Digest.string ("prune:" ^ Smtlite.Solver.goals_key solver))
+
+let attach ~cache solver =
+  let fp = fingerprint solver in
+  Smtlite.Solver.attach_persist solver
+    {
+      Smtlite.Solver.p_load = (fun () -> Cache.find ~cls:`Prune cache fp);
+      p_store = (fun env -> Cache.store ~cls:`Prune cache fp env);
+      p_corrupt =
+        (fun reason ->
+          Cache.quarantine cache fp ~reason:("prune-cache: " ^ reason));
+    }

@@ -1,0 +1,18 @@
+(** Glue between the solver's persistent prune-query cache and the
+    content-addressed {!Cache} store. One envelope per goal set: the
+    fingerprint is a digest of the solver's {!Smtlite.Solver.goals_key},
+    so every search over the same specification — across restarts,
+    pieces of a sharded run, or a whole fleet sharing the cache
+    directory — reads and extends the same entry. Storage inherits the
+    result store's guarantees: crash-safe temp+rename writes, schema
+    checking, and quarantine of corrupt entries. *)
+
+val fingerprint : Smtlite.Solver.t -> string
+(** The content address of a solver's prune-cache envelope (exposed for
+    tests and forensics). *)
+
+val attach : cache:Cache.t -> Smtlite.Solver.t -> unit
+(** Wire the solver's write-behind persistence to [cache]: load any
+    stored envelope now, and store batched new decisions as the search
+    runs (plus a final flush at search finalize). Call once per solver,
+    before the search starts. *)

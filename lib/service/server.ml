@@ -393,6 +393,7 @@ let run_search t ~config ~device ~benchmark ~spec ~fp ~flight =
     Search.Generator.run ~config
       ~registry:(Telemetry.registry t.telemetry)
       ~verify_trials:t.verify_trials ~budget ~progress:flight.fprogress
+      ~prune_persist:(Prune_store.attach ~cache:t.cache)
       ~device ~spec ()
   in
   let wall_s = Unix.gettimeofday () -. t0 in
@@ -457,6 +458,7 @@ let stream_progress ~rid ~interval_s ~push flight f =
             ~nodes_expanded:v.Search.Progress.v_nodes_expanded
             ~candidates:v.Search.Progress.v_candidates
             ~verified:v.Search.Progress.v_verified
+            ~tasks_stolen:v.Search.Progress.v_tasks_stolen
             ?best_cost_us:v.Search.Progress.v_best_us ?budget_remaining_s
             ~elapsed_s:(Unix.gettimeofday () -. t0) ()
         in

@@ -6,6 +6,14 @@ type stats = {
   cache_misses : int;
   accepted : int;
   solve_time_s : float;
+  disk_hits : int;
+  disk_entries : int;
+}
+
+type persist = {
+  p_load : unit -> Obs.Jsonw.t option;
+  p_store : Obs.Jsonw.t -> unit;
+  p_corrupt : string -> unit;
 }
 
 type t = {
@@ -18,6 +26,15 @@ type t = {
   cache_misses : int Atomic.t;
   accepted : int Atomic.t;
   solve_ns : int Atomic.t;  (** cumulative decision-procedure time *)
+  (* On-disk tier: string-keyed (Nf.to_string) so a loaded envelope
+     never needs a normal-form parser. [persist] is set once, before
+     search domains spawn; the table and the write-behind counters are
+     guarded by [lock]. *)
+  mutable persist : persist option;
+  disk : (string, bool) Hashtbl.t;
+  mutable disk_new : int;  (** entries added since the last flush *)
+  mutable flushing : bool;  (** one flush at a time, outside [lock] *)
+  disk_hits : int Atomic.t;
 }
 
 let next_id = Atomic.make 0
@@ -38,7 +55,98 @@ let create ~target =
     cache_misses = Atomic.make 0;
     accepted = Atomic.make 0;
     solve_ns = Atomic.make 0;
+    persist = None;
+    disk = Hashtbl.create 4096;
+    disk_new = 0;
+    flushing = false;
+    disk_hits = Atomic.make 0;
   }
+
+let prunecache_schema = "mirage.smtlite.prunecache.v1"
+
+(* The cache file is only meaningful for the goal set it was built
+   against: a decided query is [subexpr nf goals], so the key must bind
+   the goals. Sorted so goal order doesn't split the cache. *)
+let goals_key t =
+  t.goals |> List.map Nf.to_string
+  |> List.sort String.compare
+  |> String.concat "\n"
+  |> Digest.string
+  |> Digest.to_hex
+
+module J = Obs.Jsonw
+
+let envelope_locked t =
+  let entries =
+    Hashtbl.fold (fun k v acc -> (k, J.Bool v) :: acc) t.disk []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  J.Obj
+    [
+      ("schema", J.Str prunecache_schema);
+      ("goals_key", J.Str (goals_key t));
+      ("entries", J.Obj entries);
+    ]
+
+let flush_persist t =
+  match t.persist with
+  | None -> ()
+  | Some p ->
+      let j =
+        Mutex.lock t.lock;
+        let should = t.disk_new > 0 && not t.flushing in
+        let j =
+          if should then begin
+            t.flushing <- true;
+            t.disk_new <- 0;
+            Some (envelope_locked t)
+          end
+          else None
+        in
+        Mutex.unlock t.lock;
+        j
+      in
+      Option.iter
+        (fun j ->
+          Fun.protect
+            ~finally:(fun () ->
+              Mutex.lock t.lock;
+              t.flushing <- false;
+              Mutex.unlock t.lock)
+            (fun () -> p.p_store j))
+        j
+
+(* Write-behind cadence: batch enough new decisions to amortize the
+   store's temp+rename, small enough that a killed search loses little. *)
+let flush_every = 256
+
+let attach_persist t p =
+  t.persist <- Some p;
+  match p.p_load () with
+  | None -> ()
+  | Some j -> (
+      match (J.member "schema" j, J.member "goals_key" j, J.member "entries" j)
+      with
+      | Some (J.Str s), _, _ when s <> prunecache_schema ->
+          p.p_corrupt (Printf.sprintf "unknown prune-cache schema %S" s)
+      | Some (J.Str _), Some (J.Str gk), Some (J.Obj entries) ->
+          (* A different goal set is a different search, not corruption:
+             leave the entry alone and start fresh in memory. *)
+          if gk = goals_key t then begin
+            let malformed = ref 0 in
+            Mutex.lock t.lock;
+            List.iter
+              (fun (k, v) ->
+                match v with
+                | J.Bool b -> Hashtbl.replace t.disk k b
+                | _ -> incr malformed)
+              entries;
+            Mutex.unlock t.lock;
+            if !malformed > 0 then
+              p.p_corrupt
+                (Printf.sprintf "%d non-boolean prune-cache entries" !malformed)
+          end
+      | _ -> p.p_corrupt "malformed prune-cache envelope")
 
 let check_subexpr_nf t nf =
   Atomic.incr t.queries;
@@ -60,21 +168,54 @@ let check_subexpr_nf t nf =
         | Some r ->
             Atomic.incr t.cache_hits;
             r
-        | None ->
-            Atomic.incr t.cache_misses;
-            let t0 = Unix.gettimeofday () in
-            let r = List.exists (fun goal -> Nf.is_subexpr nf goal) t.goals in
-            let dt_ns =
-              int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)
+        | None -> (
+            let disk_key =
+              if t.persist = None then None else Some (Nf.to_string nf)
             in
-            ignore (Atomic.fetch_and_add t.solve_ns dt_ns);
-            (* overlay: decision-procedure time only (cache misses), so
-               the profile can split "prune check" into lookup vs solve *)
-            Obs.Profile.note "smtlite.decide" (float_of_int dt_ns *. 1e-9);
-            Mutex.lock t.lock;
-            Hashtbl.replace t.cache nf r;
-            Mutex.unlock t.lock;
-            r
+            let disk =
+              match disk_key with
+              | None -> None
+              | Some k ->
+                  Mutex.lock t.lock;
+                  let r = Hashtbl.find_opt t.disk k in
+                  Mutex.unlock t.lock;
+                  r
+            in
+            match disk with
+            | Some r ->
+                Atomic.incr t.cache_hits;
+                Atomic.incr t.disk_hits;
+                Mutex.lock t.lock;
+                Hashtbl.replace t.cache nf r;
+                Mutex.unlock t.lock;
+                r
+            | None ->
+                Atomic.incr t.cache_misses;
+                let t0 = Unix.gettimeofday () in
+                let r =
+                  List.exists (fun goal -> Nf.is_subexpr nf goal) t.goals
+                in
+                let dt_ns =
+                  int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)
+                in
+                ignore (Atomic.fetch_and_add t.solve_ns dt_ns);
+                (* overlay: decision-procedure time only (cache misses), so
+                   the profile can split "prune check" into lookup vs solve *)
+                Obs.Profile.note "smtlite.decide" (float_of_int dt_ns *. 1e-9);
+                let want_flush =
+                  Mutex.lock t.lock;
+                  Hashtbl.replace t.cache nf r;
+                  (match disk_key with
+                  | Some k ->
+                      Hashtbl.replace t.disk k r;
+                      t.disk_new <- t.disk_new + 1
+                  | None -> ());
+                  let w = t.disk_new >= flush_every && not t.flushing in
+                  Mutex.unlock t.lock;
+                  w
+                in
+                if want_flush then flush_persist t;
+                r)
       in
       Hashtbl.replace local (t.id, nf) r;
       if r then Atomic.incr t.accepted;
@@ -95,6 +236,8 @@ let stats t =
     cache_misses = Atomic.get t.cache_misses;
     accepted = Atomic.get t.accepted;
     solve_time_s = float_of_int (Atomic.get t.solve_ns) /. 1e9;
+    disk_hits = Atomic.get t.disk_hits;
+    disk_entries = Hashtbl.length t.disk;
   }
 
 let reset_stats t =

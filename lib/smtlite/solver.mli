@@ -21,7 +21,19 @@ type stats = {
       (** cumulative wall time in the normal-form decision procedure
           (cache misses only — the paper's "SMT queries are relatively
           expensive" cost) *)
+  disk_hits : int;  (** misses answered by the persistent cache *)
+  disk_entries : int;  (** persistent-tier entries (loaded + new) *)
 }
+
+type persist = {
+  p_load : unit -> Obs.Jsonw.t option;
+      (** fetch the stored envelope, [None] on miss *)
+  p_store : Obs.Jsonw.t -> unit;  (** durably store; must not raise *)
+  p_corrupt : string -> unit;  (** quarantine an unusable stored entry *)
+}
+(** Storage hooks for the persistent query cache. The solver stays
+    storage-agnostic: [Service.Prune_store] wires these to the
+    content-addressed result store; tests wire them to a temp file. *)
 
 val create : target:Absexpr.Expr.t list -> t
 (** A solver for a fixed set of goal expressions [E_O] (one per output of
@@ -41,3 +53,24 @@ val check_equiv_target : t -> Absexpr.Expr.t list -> bool
 
 val stats : t -> stats
 val reset_stats : t -> unit
+
+val prunecache_schema : string
+(** ["mirage.smtlite.prunecache.v1"] — the on-disk envelope schema. *)
+
+val goals_key : t -> string
+(** Digest of the sorted goal normal forms. A stored envelope whose
+    [goals_key] differs answers a different search and is ignored (not
+    quarantined) on load. *)
+
+val attach_persist : t -> persist -> unit
+(** Load any stored envelope into the persistent tier (schema checked,
+    mismatched goal sets skipped, corrupt envelopes handed to
+    [p_corrupt]) and arm write-behind stores: new decisions batch and
+    flush every few hundred entries. Call once, before sharing the
+    solver across domains. *)
+
+val flush_persist : t -> unit
+(** Force any batched new decisions to storage (no-op without
+    {!attach_persist} or when nothing is new). Called by the generator
+    when a search finishes, so a cache is complete even if the last
+    batch was short. *)

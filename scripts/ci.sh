@@ -57,6 +57,26 @@ dune exec tools/json_check.exe -- \
   /tmp/mirage_ci_chaos1/report.json /tmp/mirage_ci_chaos1/journal.jsonl \
   /tmp/mirage_ci_chaos2/report.json /tmp/mirage_ci_chaos2/journal.jsonl
 
+echo "== chaos smoke: prune-cache write failure degrades to memory-only"
+# The solver's write-behind prune cache flushes through Service.Cache;
+# an injected ENOSPC on the first flush must drop the run to memory-only
+# persistence (no disk envelope) without losing the search result.
+rm -rf /tmp/mirage_ci_chaos3 /tmp/mirage_ci_chaos3_pc
+MIRAGE_FAULT="cache.enospc:1.0:1" dune exec bin/mirage_cli.exe -- \
+  optimize rmsnorm --budget 2 --workers 2 \
+  --prune-cache /tmp/mirage_ci_chaos3_pc \
+  --report /tmp/mirage_ci_chaos3 >/dev/null
+grep -q '"state": "\(ok\|degraded\)"' /tmp/mirage_ci_chaos3/report.json
+# unfaulted rerun over the same dir persists and then answers from disk
+dune exec bin/mirage_cli.exe -- optimize rmsnorm --budget 2 --workers 2 \
+  --prune-cache /tmp/mirage_ci_chaos3_pc >/dev/null
+dune exec bin/mirage_cli.exe -- optimize rmsnorm --budget 2 --workers 2 \
+  --prune-cache /tmp/mirage_ci_chaos3_pc \
+  --report /tmp/mirage_ci_chaos3_warm >/dev/null
+grep -q '"disk_hits": [1-9]' /tmp/mirage_ci_chaos3_warm/report.json
+dune exec tools/json_check.exe -- /tmp/mirage_ci_chaos3/report.json \
+  /tmp/mirage_ci_chaos3_warm/report.json
+
 echo "== resume smoke: kill-and-resume lands in the same run dir"
 rm -rf /tmp/mirage_ci_resume
 dune exec bin/mirage_cli.exe -- optimize rmsnorm \
@@ -198,17 +218,23 @@ test ! -e /tmp/mirage_ci_wire/s.sock
 test -z "$(find /tmp/mirage_ci_wire/cache -name '.result.json.tmp.*' \
   -not -path '*/quarantine/*' 2>/dev/null)"
 
-echo "== bench history regression gate (Fig. 7 costs + verifier + service, 5%)"
+echo "== bench history regression gate (Fig. 7 + verifier + service + enum, 5%)"
 # Gate against the committed baseline on a scratch copy so CI runs never
 # dirty the tree; a real refresh re-runs `bench fig7 verify serve
-# --history` in place. The verify suite's fast-over-reference ratios
-# catch a fast-path performance regression the same way costs catch a
-# cost-model one; the serve suite's warm-over-cold ratios catch a result
-# cache that stopped caching (and its own 50x floor fails the suite).
-# The profile suite self-gates: Obs.Profile record overhead must stay
-# under 1% of a cold rmsnorm search's wall time.
+# profile enum --history` in place. The verify suite's
+# fast-over-reference ratios catch a fast-path performance regression
+# the same way costs catch a cost-model one; the serve suite's
+# warm-over-cold ratios catch a result cache that stopped caching (and
+# its own 50x floor fails the suite). The profile suite self-gates:
+# Obs.Profile record overhead must stay under 1% of a cold rmsnorm
+# search's wall time. The enum suite is the parallel-scaling smoke: it
+# measures 1- vs 4-domain cold enumeration on rmsnorm and hard-fails if
+# a >=4-core host scales below 2x (on smaller hosts the number is
+# recorded and drift-gated only — time-slicing domains on one core
+# cannot speed up), and it hard-asserts the prune-query cache actually
+# persists and answers from disk (warm solve time, disk_hits > 0).
 cp BENCH_history.jsonl /tmp/mirage_ci_history.jsonl
-dune exec bench/main.exe -- fig7 verify serve profile \
+dune exec bench/main.exe -- fig7 verify serve profile enum \
   --history /tmp/mirage_ci_history.jsonl --gate 5 >/dev/null
 
 echo "CI OK"

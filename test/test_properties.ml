@@ -194,6 +194,68 @@ let prop_incremental_nf_agrees =
         g.Graph.knodes;
       !ok)
 
+(* 11. Work-stealing determinism: the enumeration candidate set and the
+       selected winner are independent of the domain count (and hence of
+       the steal schedule). A low spawn cutoff forces subtree spawning
+       even on small graphs, so the multi-domain runs genuinely steal. *)
+let enum_config spec =
+  let base =
+    {
+      Search.Config.default with
+      Search.Config.grid_candidates = [ [| 2 |] ];
+      forloop_candidates = [ [| 2 |] ];
+      max_block_ops = 3;
+      num_workers = 1;
+      steal_depth_cutoff = 1;
+      time_budget_s = 300.0;
+    }
+  in
+  Search.Config.for_spec ~base spec
+
+let sorted_candidates cfg ~spec =
+  let solver = Smtlite.Solver.create ~target:(Abstract.output_exprs spec) in
+  let stats = Search.Stats.create () in
+  let limits = Gpusim.Device.limits Gpusim.Device.a100 in
+  let budget = Search.Budget.of_config cfg in
+  let cands, _, fails =
+    Search.Generator.generate cfg ~spec ~solver ~stats ~limits ~budget ()
+  in
+  if fails > 0 then failwith "enumeration task crashed";
+  List.sort Stdlib.compare (List.map snd cands)
+
+let prop_enum_schedule_independent =
+  qtest_g ~count:4 "enumeration independent of domain count"
+    (Graph_gen.gen_graph ~lax_only:true ())
+    (fun spec ->
+      let at workers =
+        { (enum_config spec) with Search.Config.num_workers = workers }
+      in
+      let base = sorted_candidates (at 1) ~spec in
+      List.for_all
+        (fun w ->
+          let cs = sorted_candidates (at w) ~spec in
+          List.length cs = List.length base
+          && List.for_all2 Graph.equal cs base)
+        [ 2; 4; 8 ]
+      &&
+      let winner workers =
+        let o =
+          Search.Generator.run ~config:(at workers) ~verify_trials:1
+            ~device:Gpusim.Device.a100 ~spec ()
+        in
+        match o.Search.Generator.best with
+        | Some r -> Some r.Search.Generator.graph
+        | None -> None
+      in
+      let w1 = winner 1 in
+      List.for_all
+        (fun w ->
+          match (winner w, w1) with
+          | Some a, Some b -> Graph.equal a b
+          | None, None -> true
+          | _ -> false)
+        [ 2; 4; 8 ])
+
 let () =
   Alcotest.run "properties"
     [
@@ -209,5 +271,6 @@ let () =
           prop_partition_sound;
           prop_output_expr_contains_inputs;
           prop_incremental_nf_agrees;
+          prop_enum_schedule_independent;
         ] );
     ]

@@ -286,6 +286,50 @@ let test_resume_reaches_same_best =
   Alcotest.(check bool) "resumed run saw all candidates" true
     (o2.Search.Generator.generated > 0)
 
+(* Same invariant at mid-subtree granularity: with several domains and a
+   spawn cutoff of 1, the interrupt lands while subtree continuations of
+   partially-drained tasks are still in flight. Only cleanly-drained
+   tasks may advance the resume cursor, so the resumed run must still
+   reach the uninterrupted best. *)
+let test_resume_mid_subtree =
+  with_reset @@ fun () ->
+  let spec = div_matmul_spec ~b:4 ~h:8 ~d:16 in
+  let cfg =
+    {
+      (small_config ()) with
+      Search.Config.num_workers = 4;
+      steal_depth_cutoff = 1;
+    }
+  in
+  let device = Gpusim.Device.a100 in
+  let uninterrupted =
+    best_cost (Search.Generator.run ~config:cfg ~device ~spec ())
+  in
+  let dir = Filename.temp_file "mirage_ckpt_sub" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "checkpoint.json" in
+  let ck = Search.Checkpoint.create ~path () in
+  let tiny = Obs.Budget.create ~node_budget:40 () in
+  let o1 =
+    Search.Generator.run ~config:cfg ~budget:tiny ~checkpoint:ck ~device ~spec
+      ()
+  in
+  Alcotest.(check bool) "phase 1 was cut short" true
+    o1.Search.Generator.budget_exhausted;
+  let ck2 =
+    match Search.Checkpoint.load path with
+    | Ok ck -> ck
+    | Error m -> Alcotest.fail m
+  in
+  let o2 =
+    Search.Generator.run ~config:cfg
+      ~budget:(Obs.Budget.unlimited ())
+      ~checkpoint:ck2 ~device ~spec ()
+  in
+  Alcotest.(check (float 1e-9)) "mid-subtree resume reaches the same best"
+    uninterrupted (best_cost o2)
+
 let test_checkpoint_load_errors () =
   (match Search.Checkpoint.load "/nonexistent/checkpoint.json" with
   | Ok _ -> Alcotest.fail "loaded a missing file"
@@ -365,6 +409,8 @@ let () =
             test_codec_rejects_garbage;
           Alcotest.test_case "resume reaches same best" `Quick
             test_resume_reaches_same_best;
+          Alcotest.test_case "resume mid-subtree reaches same best" `Quick
+            test_resume_mid_subtree;
           Alcotest.test_case "load errors" `Quick test_checkpoint_load_errors;
           Alcotest.test_case "fingerprint ignores budget fields" `Quick
             test_fingerprint_ignores_budget;

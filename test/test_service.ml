@@ -641,6 +641,82 @@ let test_prune_helper_equivalence () =
   Alcotest.(check bool) "pruning disabled -> never rejects" false
     (Search.Prune.check off ~solver sub)
 
+(* --- persistent prune-query cache -------------------------------------- *)
+
+(* Round trip through the content-addressed store: a cold search writes
+   its decided queries behind; a second search over the same spec (fresh
+   solver, same cache dir) answers misses from disk. *)
+let test_prune_store_roundtrip =
+  with_reset @@ fun () ->
+  let dir = tmpdir "mirage_prunecache" in
+  let spec = div_matmul_spec ~b:4 ~h:8 ~d:8 () in
+  let run_with cache =
+    Search.Generator.run ~config:(small_config ())
+      ~prune_persist:(Service.Prune_store.attach ~cache)
+      ~device:Gpusim.Device.a100 ~spec ()
+  in
+  let cold = run_with (Service.Cache.create ~dir ()) in
+  let sv = cold.Search.Generator.solver in
+  Alcotest.(check bool) "cold run persisted decided queries" true
+    (sv.Smtlite.Solver.disk_entries > 0);
+  Alcotest.(check int) "cold run had no disk hits" 0
+    sv.Smtlite.Solver.disk_hits;
+  (* the envelope landed at the goals-keyed content address *)
+  let probe = Smtlite.Solver.create ~target:(Abstract.output_exprs spec) in
+  let fp = Service.Prune_store.fingerprint probe in
+  let cache2 = Service.Cache.create ~dir () in
+  Alcotest.(check bool) "entry on disk" true
+    (Sys.file_exists (Service.Cache.entry_path cache2 fp));
+  let warm = run_with cache2 in
+  let wv = warm.Search.Generator.solver in
+  Alcotest.(check bool) "warm run answered misses from disk" true
+    (wv.Smtlite.Solver.disk_hits > 0);
+  Alcotest.(check bool) "warm and cold agree on the best cost" true
+    (match (cold.Search.Generator.best, warm.Search.Generator.best) with
+    | Some a, Some b ->
+        a.Search.Generator.cost.Gpusim.Cost.total_us
+        = b.Search.Generator.cost.Gpusim.Cost.total_us
+    | None, None -> true
+    | _ -> false)
+
+(* A tampered envelope is quarantined — at either layer — and the search
+   degrades to a cold run instead of failing. *)
+let test_prune_store_corrupt_quarantined =
+  with_reset @@ fun () ->
+  let dir = tmpdir "mirage_prunecache_bad" in
+  let spec = div_matmul_spec ~b:4 ~h:8 ~d:8 () in
+  let run_with cache =
+    Search.Generator.run ~config:(small_config ())
+      ~prune_persist:(Service.Prune_store.attach ~cache)
+      ~device:Gpusim.Device.a100 ~spec ()
+  in
+  ignore (run_with (Service.Cache.create ~dir ()));
+  let probe = Smtlite.Solver.create ~target:(Abstract.output_exprs spec) in
+  let fp = Service.Prune_store.fingerprint probe in
+  let path = Service.Cache.entry_path (Service.Cache.create ~dir ()) fp in
+  (* layer 1: torn bytes on disk — the store's envelope check catches it *)
+  let oc = open_out path in
+  output_string oc "{\"torn\":";
+  close_out oc;
+  let cache = Service.Cache.create ~dir ~recover:false () in
+  let o = run_with cache in
+  Alcotest.(check int) "torn entry served no hits" 0
+    o.Search.Generator.solver.Smtlite.Solver.disk_hits;
+  Alcotest.(check bool) "search still produced a best" true
+    (o.Search.Generator.best <> None);
+  Alcotest.(check bool) "torn entry quarantined off the hot path" true
+    (not (Sys.file_exists path)
+    || Sys.file_exists (path ^ ".quarantined"));
+  (* layer 2: a well-formed store entry whose payload is not a prune
+     envelope — the solver's schema check hands it to p_corrupt *)
+  let cache = Service.Cache.create ~dir () in
+  Service.Cache.store cache fp (J.Obj [ ("schema", J.Str "bogus.v0") ]);
+  let o2 = run_with cache in
+  Alcotest.(check int) "foreign payload served no hits" 0
+    o2.Search.Generator.solver.Smtlite.Solver.disk_hits;
+  Alcotest.(check bool) "cold re-run re-persisted a fresh envelope" true
+    (o2.Search.Generator.solver.Smtlite.Solver.disk_entries > 0)
+
 (* --- progress streaming ------------------------------------------------ *)
 
 (* In-process: a cold optimize that opted in receives at least one
@@ -704,6 +780,7 @@ let test_progress_frames =
   monotone "nodes_expanded" (ints "nodes_expanded");
   monotone "candidates" (ints "candidates");
   monotone "verified" (ints "verified");
+  monotone "tasks_stolen" (ints "tasks_stolen");
   (* warm: the cache answers, nothing streams *)
   let warm_frames = ref [] in
   let warm =
@@ -1122,6 +1199,10 @@ let () =
             test_prune_single_site;
           Alcotest.test_case "helper mirrors inline condition" `Quick
             test_prune_helper_equivalence;
+          Alcotest.test_case "query cache round-trips through the store"
+            `Quick test_prune_store_roundtrip;
+          Alcotest.test_case "corrupt cache entries quarantined" `Quick
+            test_prune_store_corrupt_quarantined;
         ] );
       ( "hardening",
         [

@@ -284,15 +284,25 @@ let test_retry_through_overload =
       Alcotest.(check bool) "carries retry_after_s" true
         (Service.Client.retry_after_s r <> None)
   | Error m -> Alcotest.failf "overload answered with transport error: %s" m);
-  (* free the slot in ~0.3 s; the retrying client must land *)
+  (* free the slot only once the retrying client has been shed at least
+     once (a fixed delay flakes under load: on a busy host the first
+     retry attempt can come after the slot is already free, and then no
+     attempt ever sees the typed rejection); 5 s cap so a wedged retry
+     loop still ends in a reported failure, not a hang *)
+  let reasons = ref [] in
   let releaser =
     Thread.create
       (fun () ->
-        Thread.delay 0.3;
+        let t0 = Unix.gettimeofday () in
+        while
+          (not (List.mem "overloaded" !reasons))
+          && Unix.gettimeofday () -. t0 < 5.0
+        do
+          Thread.delay 0.02
+        done;
         Unix.close hog)
       ()
   in
-  let reasons = ref [] in
   let resp =
     Service.Client.request_with_retry ~max_attempts:20 ~base_delay_s:0.05
       ~max_delay_s:0.2
