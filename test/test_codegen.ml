@@ -1,0 +1,118 @@
+(* Code-generator tests.
+
+   Golden snapshots pin the emitted text for small fixed muGraphs so any
+   change to the lowering or rendering shows up as a reviewable diff, not
+   a silent drift. The fixtures cover the three structures the emitter
+   must handle: a custom block kernel with a for-loop and accumulators
+   (the rmsnorm fused plan), the Concat_matmul operator, and a
+   multi-kernel graph with an intermediate tensor crossing a kernel
+   (partition) boundary. *)
+
+open Mugraph
+
+let golden_check ~name ~expected actual =
+  let norm s = String.trim s in
+  if norm actual <> norm expected then begin
+    Printf.printf "=== ACTUAL %s ===\n%s=== END %s ===\n" name actual name;
+    Alcotest.failf "%s: emitted text drifted from the golden (actual dumped \
+                    above; update the golden if the change is intended)"
+      name
+  end
+
+let rmsnorm_plan () =
+  match Workloads.Bench_defs.by_name "rmsnorm" with
+  | Some b -> snd (b.Workloads.Bench_defs.reduced ())
+  | None -> Alcotest.fail "rmsnorm benchmark missing"
+
+(* Concat_matmul across a kernel boundary: the concat-matmul's result is
+   an intermediate global tensor consumed by a second kernel-level op. *)
+let concat_boundary_graph () =
+  let b = Graph.Build.create () in
+  let w = Graph.Build.input b "W" [| 4; 2 |] in
+  let x = Graph.Build.input b "X" [| 4; 3 |] in
+  let y = Graph.Build.input b "Y" [| 2; 5 |] in
+  let z = Graph.Build.input b "Z" [| 3; 5 |] in
+  let cm = Graph.Build.prim b Op.Concat_matmul [ w; x; y; z ] in
+  let e = Graph.Build.prim b (Op.Unary Op.Exp) [ cm ] in
+  Graph.Build.finish b ~outputs:[ e ]
+
+let golden_rmsnorm_cuda = {golden|
+// Mirage-generated program: rmsnorm
+#include "mirage_runtime.cuh"
+
+// grid(2) forloop(2), 216 B shared memory (planner: first-fit)
+__global__ void rmsnorm_kernel_3(half **dmem_in, half **dmem_out) {
+  extern __shared__ half smem[]; // 216 bytes planned
+  auto s0 /*[4][4]*/ = smem + 32;
+  auto s1 /*[1][4]*/ = smem + 48;
+  auto s2 /*[4][8]*/ = smem + 0;
+  auto s3 /*[4][4]*/ = smem + 64;
+  auto s4 /*[4][8]*/ = smem + 32;
+  auto s5 /*[4][8]*/ = smem + 0;
+  auto s6 /*[4][4]*/ = smem + 80;
+  auto s7 /*[4][1]*/ = smem + 96;
+  auto s8 /*[4][1]*/ = smem + 100;
+  auto s9 /*[4][1]*/ = smem + 104;
+  auto s10 /*[4][8]*/ = smem + 64;
+  zero_fill(s5);
+  zero_fill(s8);
+  for (int i = 0; i < 2; ++i) {
+    copy_tile(s0, dmem_in[0], /*imap*/ "i{phi}", /*fmap*/ "f{1}", i);
+    copy_tile(s1, dmem_in[1], /*imap*/ "i{phi}", /*fmap*/ "f{1}", i);
+    copy_tile(s2, dmem_in[2], /*imap*/ "i{1}", /*fmap*/ "f{0}", i);
+    __syncthreads();
+    ew_mul(s3, s0, s1);
+    ew_sqr(s6, s0);
+    __syncthreads();
+    mma_tile(s4, s3, s2);
+    reduce_sum<1, 4>(s7, s6);
+    __syncthreads();
+    accumulate(s5, s4, /*fmap*/ "f{phi}", i);
+    accumulate(s8, s7, /*fmap*/ "f{phi}", i);
+  }
+  __syncthreads();
+  ew_sqrt(s9, s8);
+  ew_div(s10, s5, s9);
+  store_tile(dmem_out[0], s10, /*omap*/ "o{1}");
+}
+
+void rmsnorm_launch(Tensors &t) {
+  // t[0] = input X [4][8]
+  // t[1] = input G [1][8]
+  // t[2] = input W [8][16]
+  rmsnorm_kernel_3<<<dim3(2), dim3(128), 216>>>(t.in(3), t.out(3));
+}
+|golden}
+
+let golden_concat_cuda = {golden|
+// Mirage-generated program: concat
+#include "mirage_runtime.cuh"
+
+void concat_launch(Tensors &t) {
+  // t[0] = input W [4][2]
+  // t[1] = input X [4][3]
+  // t[2] = input Y [2][5]
+  // t[3] = input Z [3][5]
+  library_call_concatmatmul(t, 4); // ConcatMatmul
+  library_call_ewexp(t, 5); // EwExp
+}
+|golden}
+
+let test_golden_rmsnorm () =
+  golden_check ~name:"rmsnorm.cu" ~expected:golden_rmsnorm_cuda
+    (Codegen.Cuda_emit.emit_kernel ~name:"rmsnorm" (rmsnorm_plan ()))
+
+let test_golden_concat () =
+  golden_check ~name:"concat.cu" ~expected:golden_concat_cuda
+    (Codegen.Cuda_emit.emit_kernel ~name:"concat" (concat_boundary_graph ()))
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "rmsnorm pseudo-CUDA" `Quick test_golden_rmsnorm;
+          Alcotest.test_case "concat/partition-boundary pseudo-CUDA" `Quick
+            test_golden_concat;
+        ] );
+    ]
