@@ -50,6 +50,12 @@ let history_enum : (string * float) list ref = ref []
    result cache is healthy). Wall-clock; gated leniently like verify. *)
 let history_serve : (string * float) list ref = ref []
 
+(* Runnable-backend timings from the `codegen` suite, keyed
+   "codegen.<benchmark>.lower_compile_s" (wall, gated one-sided with
+   slack: only increases fail) and ".exec_over_interp" (recorded,
+   ungated). *)
+let history_codegen : (string * float) list ref = ref []
+
 let jsuite name =
   if not (List.mem name !json_suites) then
     json_suites := !json_suites @ [ name ]
@@ -1040,6 +1046,124 @@ let enum_bench () =
     !history_enum
     @ [ (Printf.sprintf "enum.%s.prune_warm_over_cold" name, warm_over_cold) ]
 
+(* ------------------------------------------------------------------ *)
+(* codegen: the runnable backend. Lower+compile wall time for the      *)
+(* rmsnorm winner (codegen.rmsnorm.lower_compile_s, gated one-sided:   *)
+(* an increase beyond the lenient threshold plus absolute slack fails, *)
+(* a decrease never does) and executed-vs-interpreter throughput       *)
+(* (codegen.rmsnorm.exec_over_interp, recorded but not gated — the     *)
+(* subprocess spawn dominates at reduced dims).                        *)
+(* ------------------------------------------------------------------ *)
+
+let codegen_bench () =
+  hr "codegen: runnable backend lower+compile wall and executed throughput";
+  jsuite "codegen";
+  let name = "rmsnorm" in
+  if not (Codegen.C_exec.cc_available ()) then
+    Printf.printf
+      "*** codegen suite SKIPPED: no working C compiler (cc) on PATH ***\n"
+  else begin
+    let b =
+      match Workloads.Bench_defs.by_name name with
+      | Some b -> b
+      | None ->
+          Printf.eprintf "codegen: benchmark %s missing\n" name;
+          exit 1
+    in
+    let _, plan = b.Workloads.Bench_defs.reduced () in
+    let t0 = Unix.gettimeofday () in
+    let prog = Impir.Lower.lower ~name plan in
+    let lower_s = Unix.gettimeofday () -. t0 in
+    let dir = Filename.temp_file "mirage_bench_codegen" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o755;
+    match Codegen.C_exec.compile ~cflags:[ "-O1" ] ~dir prog with
+    | Error m ->
+        Printf.eprintf "codegen: compile failed: %s\n" m;
+        exit 1
+    | Ok compiled ->
+        let lower_compile_s = lower_s +. compiled.Codegen.C_exec.compile_s in
+        let shapes = Mugraph.Graph.input_shapes plan in
+        let st = Random.State.make [| 7 |] in
+        let inputs =
+          List.map
+            (fun shape ->
+              Array.init (Tensor.Shape.numel shape) (fun _ ->
+                  0.25 +. (1.5 *. Random.State.float st 1.0)))
+            shapes
+        in
+        let dense_inputs =
+          List.map2
+            (fun shape arr -> Tensor.Dense.create shape arr)
+            shapes inputs
+        in
+        let iters = 30 in
+        let t1 = Unix.gettimeofday () in
+        for _ = 1 to iters do
+          match Codegen.C_exec.run compiled inputs with
+          | Ok _ -> ()
+          | Error m ->
+              Printf.eprintf "codegen: execution failed: %s\n" m;
+              exit 1
+        done;
+        let exec_s = Unix.gettimeofday () -. t1 in
+        let t2 = Unix.gettimeofday () in
+        for _ = 1 to iters do
+          ignore
+            (Mugraph.Interp.eval_kernel Tensor.Element.float_ops plan
+               ~inputs:dense_inputs)
+        done;
+        let interp_s = Unix.gettimeofday () -. t2 in
+        let out_scalars = Impir.Ir.output_size prog in
+        let tput s =
+          if s > 0.0 then float_of_int (iters * out_scalars) /. s else 0.0
+        in
+        let exec_over_interp =
+          if tput interp_s > 0.0 then tput exec_s /. tput interp_s else 0.0
+        in
+        Printf.printf
+          "%s winner: lower %.4fs + compile %.2fs = %.2fs  (cc -O1, %d-line \
+           C)\n"
+          name lower_s compiled.Codegen.C_exec.compile_s lower_compile_s
+          (Codegen.C_emit.loc (Codegen.C_emit.emit prog));
+        Printf.printf
+          "executed %d runs: %.3fs (%.0f scalars/s) vs interpreter %.3fs \
+           (%.0f scalars/s)  ratio %.3f\n%!"
+          iters exec_s (tput exec_s) interp_s (tput interp_s) exec_over_interp;
+        jpush
+          Obs.Jsonw.
+            [
+              ("suite", Str "codegen");
+              ("benchmark", Str name);
+              ("lower_s", Float lower_s);
+              ("compile_s", Float compiled.Codegen.C_exec.compile_s);
+              ("lower_compile_s", Float lower_compile_s);
+              ("exec_s", Float exec_s);
+              ("interp_s", Float interp_s);
+              ("exec_over_interp", Float exec_over_interp);
+            ];
+        history_codegen :=
+          !history_codegen
+          @ [
+              ( Printf.sprintf "codegen.%s.lower_compile_s" name,
+                lower_compile_s );
+              ( Printf.sprintf "codegen.%s.exec_over_interp" name,
+                exec_over_interp );
+            ];
+        (* scratch dir: keep nothing on success *)
+        let rec rm_rf path =
+          if Sys.file_exists path then
+            if Sys.is_directory path then begin
+              Array.iter
+                (fun e -> rm_rf (Filename.concat path e))
+                (Sys.readdir path);
+              try Unix.rmdir path with _ -> ()
+            end
+            else try Sys.remove path with _ -> ()
+        in
+        rm_rf dir
+  end
+
 let write_json file =
   (* The suites keep their metrics in per-run registries, so the
      process-wide default registry is usually empty here; emitting the
@@ -1284,7 +1408,40 @@ let gate_history ~prev ~wall_s ~pct =
           kvs
     | _ -> []
   in
-  cost_viols @ verify_viols @ serve_viols @ enum_viols @ wall_viols
+  let codegen_viols =
+    (* Compile time is wall-clock and gated one-sided: only an increase
+       beyond the lenient threshold AND an absolute +0.25s slack fails
+       (a decrease is always fine). The throughput ratio is recorded
+       but never gated — subprocess spawn noise dominates it. *)
+    let ends_with suf s =
+      let ls = String.length s and lu = String.length suf in
+      ls >= lu && String.sub s (ls - lu) lu = suf
+    in
+    match Obs.Jsonw.member "codegen" prev with
+    | Some (Obs.Jsonw.Obj kvs) ->
+        List.filter_map
+          (fun (key, v) ->
+            match (jnum v, List.assoc_opt key !history_codegen) with
+            | Some old_s, Some new_s when ends_with "lower_compile_s" key ->
+                if
+                  old_s > 0.0
+                  && new_s -. old_s > 10.0 *. frac *. old_s
+                  && new_s -. old_s > 0.25
+                then
+                  Some
+                    (Printf.sprintf
+                       "%s: %.2fs -> %.2fs (%+.1f%%, lenient threshold %.1f%% \
+                        and +0.25s)"
+                       key old_s new_s
+                       (100.0 *. (new_s -. old_s) /. old_s)
+                       (10.0 *. pct))
+                else None
+            | _ -> None)
+          kvs
+    | _ -> []
+  in
+  cost_viols @ verify_viols @ serve_viols @ enum_viols @ codegen_viols
+  @ wall_viols
 
 let append_history ~file ~wall_s =
   let entry =
@@ -1319,14 +1476,23 @@ let append_history ~file ~wall_s =
                     (fun (k, v) -> (k, Obs.Jsonw.Float v))
                     !history_serve) );
            ])
+      @ (if !history_enum = [] then []
+         else
+           [
+             ( "enum",
+               Obs.Jsonw.Obj
+                 (List.map (fun (k, v) -> (k, Obs.Jsonw.Float v)) !history_enum)
+             );
+           ])
       @
-      if !history_enum = [] then []
+      if !history_codegen = [] then []
       else
         [
-          ( "enum",
+          ( "codegen",
             Obs.Jsonw.Obj
-              (List.map (fun (k, v) -> (k, Obs.Jsonw.Float v)) !history_enum)
-          );
+              (List.map
+                 (fun (k, v) -> (k, Obs.Jsonw.Float v))
+                 !history_codegen) );
         ])
   in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
@@ -1337,11 +1503,11 @@ let append_history ~file ~wall_s =
 let finish_history ~file ~gate_pct ~wall_s =
   if
     !history_costs = [] && !history_verify = [] && !history_serve = []
-    && !history_enum = []
+    && !history_enum = [] && !history_codegen = []
   then begin
     Printf.eprintf
-      "--history: nothing recorded (run the fig7, verify, serve and/or enum \
-       suite)\n";
+      "--history: nothing recorded (run the fig7, verify, serve, enum and/or \
+       codegen suite)\n";
     exit 2
   end;
   let violations =
@@ -1394,7 +1560,7 @@ let () =
   let t0 = Unix.gettimeofday () in
   let usage () =
     prerr_endline
-      "usage: main.exe [fig7|fig11|verify|serve|enum|profile|table5 \
+      "usage: main.exe [fig7|fig11|verify|serve|enum|profile|codegen|table5 \
        [--full]|casestudy <name>|gqa_sweep|ablation|micro]... [--json FILE] \
        [--history FILE [--gate PCT]]";
     exit 2
@@ -1438,6 +1604,9 @@ let () =
         dispatch rest
     | "profile" :: rest ->
         profile_bench ();
+        dispatch rest
+    | "codegen" :: rest ->
+        codegen_bench ();
         dispatch rest
     | _ -> usage ()
   in

@@ -48,20 +48,61 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List available benchmarks")
     Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* Runnable backend: compile a winning muGraph with the system C
+   compiler and execute it against the muGraph interpreter.            *)
+
+let differential_arg =
+  Arg.(
+    value & flag
+    & info [ "differential" ]
+        ~doc:
+          "Post-pass on the winning muGraph: lower it to the imperative IR, \
+           compile the generated C with the system compiler, execute it on \
+           random inputs through the subprocess harness, and compare every \
+           output scalar against the muGraph interpreter (tolerance 1e-4). \
+           Skipped with a notice when no C compiler is available; exits \
+           nonzero on divergence.")
+
+(* [Some ok] when the check ran, [None] when skipped (no C compiler). *)
+let differential_post ?report_dir ~label g =
+  if not (Codegen.C_exec.cc_available ()) then begin
+    Printf.printf
+      "differential %s: SKIPPED (no working C compiler on PATH)\n%!" label;
+    None
+  end
+  else
+    match Codegen.Differential.check ?report_dir ~name:label g with
+    | Error e ->
+        Printf.printf "differential %s: ERROR %s\n%!" label e;
+        Some false
+    | Ok o ->
+        Printf.printf "differential: %s\n%!"
+          (Codegen.Differential.pp_outcome o);
+        Some o.Codegen.Differential.ok
+
 let verify_cmd =
-  let run name =
+  let run name differential =
     let b = lookup name in
     let spec, plan = b.Workloads.Bench_defs.reduced () in
     Printf.printf "verifying %s Mirage plan against its specification\n"
       b.Workloads.Bench_defs.name;
     let r = Verify.Random_test.equivalent ~trials:3 ~spec plan in
     Printf.printf "result: %s\n" (Verify.Random_test.to_string r);
-    match r with Verify.Random_test.Equivalent -> () | _ -> exit 1
+    (match r with Verify.Random_test.Equivalent -> () | _ -> exit 1);
+    if differential then
+      match
+        differential_post
+          ~label:(String.lowercase_ascii b.Workloads.Bench_defs.name)
+          plan
+      with
+      | Some false -> exit 1
+      | Some true | None -> ()
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Probabilistically verify a benchmark's Mirage plan (reduced dims)")
-    Term.(const run $ bench_arg)
+    Term.(const run $ bench_arg $ differential_arg)
 
 let inspect_cmd =
   let run name device =
@@ -374,7 +415,7 @@ let prune_cache_arg =
 
 let optimize_cmd =
   let run name device max_ops workers budget reference_verify trace metrics
-      report_dir resume prune_cache =
+      report_dir resume prune_cache differential =
     let b = lookup name in
     (* Superoptimize the reduced-dimension specification: the search is
        exhaustive and the discovered structure is dimension-uniform. *)
@@ -468,6 +509,29 @@ let optimize_cmd =
           Option.map (fun o -> o.Search.Generator.metrics) pr.Mirage.outcome)
         report.Mirage.pieces
     in
+    (* Opt-in runnable-backend post-pass: each winning muGraph is
+       compiled with the system cc and executed against the muGraph
+       interpreter. Forensics land under RUN_DIR/differential/. *)
+    let diff_results =
+      if not differential then []
+      else
+        List.map
+          (fun (pr : Mirage.piece_result) ->
+            let id = pr.Mirage.piece.Mirage.Partition.id in
+            let label =
+              Printf.sprintf "%s_piece%d"
+                (String.lowercase_ascii b.Workloads.Bench_defs.name)
+                id
+            in
+            let rdir =
+              Option.map
+                (fun d ->
+                  Filename.concat (Filename.concat d "differential") label)
+                report_dir
+            in
+            (id, differential_post ?report_dir:rdir ~label pr.Mirage.best))
+          report.Mirage.pieces
+    in
     (match rep with
     | None -> ()
     | Some r ->
@@ -537,11 +601,42 @@ let optimize_cmd =
                           ])
                       report.Mirage.pieces) );
              ]);
+        (* The winning muGraph per piece, serialized with the checkpoint
+           codec: [run-winner RUN_DIR] compiles and executes these. *)
+        Obs.Report.add r "winner"
+          (Obs.Jsonw.List
+             (List.map
+                (fun (pr : Mirage.piece_result) ->
+                  Obs.Jsonw.Obj
+                    [
+                      ( "piece",
+                        Obs.Jsonw.Int pr.Mirage.piece.Mirage.Partition.id );
+                      ( "graph",
+                        Search.Checkpoint.graph_to_json pr.Mirage.best );
+                    ])
+                report.Mirage.pieces));
+        if differential then
+          Obs.Report.add r "differential"
+            (Obs.Jsonw.List
+               (List.map
+                  (fun (id, res) ->
+                    Obs.Jsonw.Obj
+                      [
+                        ("piece", Obs.Jsonw.Int id);
+                        ( "status",
+                          Obs.Jsonw.Str
+                            (match res with
+                            | None -> "skipped"
+                            | Some true -> "ok"
+                            | Some false -> "mismatch") );
+                      ])
+                  diff_results));
         Obs.Report.add r "metrics"
           (Obs.Metrics.to_json (merged_metrics piece_snaps)));
     if metrics then
       Printf.printf "== metrics\n%s"
-        (Obs.Metrics.to_table (merged_metrics piece_snaps))
+        (Obs.Metrics.to_table (merged_metrics piece_snaps));
+    if List.exists (fun (_, res) -> res = Some false) diff_results then exit 1
   in
   Cmd.v
     (Cmd.info "optimize"
@@ -549,7 +644,7 @@ let optimize_cmd =
     Term.(
       const run $ bench_arg $ device_arg $ ops_arg $ workers_arg $ budget_arg
       $ ref_verify_arg $ trace_arg $ metrics_flag $ report_arg $ resume_arg
-      $ prune_cache_arg)
+      $ prune_cache_arg $ differential_arg)
 
 let stats_cmd =
   let run name device max_ops workers budget reference_verify trace report_dir =
@@ -830,6 +925,134 @@ let emit_cmd =
   Cmd.v
     (Cmd.info "emit" ~doc:"Emit the CUDA for a benchmark's Mirage muGraph")
     Term.(const run $ bench_arg $ out_arg)
+
+let run_winner_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"RUN_DIR"
+          ~doc:"Run directory written by optimize --report.")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "trials" ] ~docv:"N" ~doc:"Random input sets to execute.")
+  in
+  let tol_arg =
+    Arg.(
+      value & opt float 1e-4
+      & info [ "tol" ] ~docv:"EPS" ~doc:"Maximum relative error accepted.")
+  in
+  let run dir device trials tol =
+    let read_file path =
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let report_path = Filename.concat dir "report.json" in
+    (* Winning muGraphs as persisted by optimize --report. *)
+    let winners_of_report () =
+      if not (Sys.file_exists report_path) then None
+      else
+        match Obs.Jsonw.of_string (read_file report_path) with
+        | Error msg ->
+            Printf.eprintf "run-winner: %s: %s\n" report_path msg;
+            exit 2
+        | Ok j -> (
+            match Obs.Jsonw.member "winner" j with
+            | Some (Obs.Jsonw.List l) ->
+                Some
+                  (List.filter_map
+                     (fun e ->
+                       match
+                         ( Obs.Jsonw.member "piece" e,
+                           Obs.Jsonw.member "graph" e )
+                       with
+                       | Some (Obs.Jsonw.Int id), Some gj -> (
+                           match Search.Checkpoint.graph_of_json gj with
+                           | Ok g -> Some (id, g)
+                           | Error msg ->
+                               Printf.eprintf
+                                 "run-winner: piece %d: bad winner graph: %s\n"
+                                 id msg;
+                               exit 2)
+                       | _ -> None)
+                     l)
+            | _ -> None)
+    in
+    (* Older runs have no winner section: fall back to the checkpoint's
+       candidate pool and pick the cheapest per piece under the cost
+       model (the same criterion the search's selection uses). *)
+    let winners_of_checkpoint () =
+      match Search.Checkpoint.load dir with
+      | Error msg ->
+          Printf.eprintf
+            "run-winner: %s has no winner section in report.json and no \
+             loadable checkpoint.json (%s)\n"
+            dir msg;
+          exit 2
+      | Ok ck ->
+          List.init 64 (fun id -> id)
+          |> List.filter_map (fun id ->
+                 match Search.Checkpoint.candidates ck ~piece:id with
+                 | [] -> None
+                 | cands ->
+                     let _, best =
+                       List.fold_left
+                         (fun (bc, bg) (_, g) ->
+                           let c = Gpusim.Cost.total_us device g in
+                           if c < bc then (c, Some g) else (bc, bg))
+                         (infinity, None) cands
+                     in
+                     Option.map (fun g -> (id, g)) best)
+    in
+    let winners =
+      match winners_of_report () with
+      | Some (_ :: _ as ws) -> ws
+      | _ -> winners_of_checkpoint ()
+    in
+    if winners = [] then begin
+      Printf.eprintf "run-winner: no winning muGraphs found in %s\n" dir;
+      exit 2
+    end;
+    if not (Codegen.C_exec.cc_available ()) then begin
+      Printf.printf
+        "*** run-winner: SKIPPED — no working C compiler (cc) on PATH; the \
+         runnable backend cannot be exercised here. ***\n";
+      exit 0
+    end;
+    let failed = ref false in
+    List.iter
+      (fun (id, g) ->
+        let label = Printf.sprintf "winner_piece%d" id in
+        let rdir =
+          Filename.concat (Filename.concat dir "differential") label
+        in
+        match
+          Codegen.Differential.check ~trials ~tol ~report_dir:rdir ~keep:true
+            ~name:label g
+        with
+        | Error e ->
+            Printf.printf "piece %d: ERROR %s\n" id e;
+            failed := true
+        | Ok o ->
+            Printf.printf "%s\n" (Codegen.Differential.pp_outcome o);
+            Printf.printf "  generated C: %s\n" o.Codegen.Differential.c_file;
+            if not o.Codegen.Differential.ok then failed := true)
+      winners;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "run-winner"
+       ~doc:
+         "Lower the winning muGraph(s) of a --report run directory to the \
+          imperative IR, compile the generated C with the system compiler, \
+          execute on random inputs through the subprocess harness and \
+          compare against the muGraph interpreter")
+    Term.(const run $ dir_arg $ device_arg $ trials_arg $ tol_arg)
 
 let symverify_cmd =
   let run name =
@@ -1363,6 +1586,7 @@ let () =
             optimize_cmd;
             stats_cmd;
             emit_cmd;
+            run_winner_cmd;
             explain_cmd;
             diff_cmd;
             profile_cmd;

@@ -1,3 +1,4 @@
+open Impir
 open Mugraph
 
 let shape_str s =
@@ -8,229 +9,176 @@ let dims_str a =
   | 0 -> "1"
   | _ -> String.concat ", " (Array.to_list (Array.map string_of_int a))
 
-let op_call (p : Op.prim) args out =
-  match p with
-  | Op.Matmul -> Printf.sprintf "mma_tile(%s, %s, %s);" out (List.nth args 0) (List.nth args 1)
-  | Op.Binary b ->
-      let f =
-        match b with
-        | Op.Add -> "ew_add"
-        | Op.Mul -> "ew_mul"
-        | Op.Div -> "ew_div"
-        | Op.Sub -> "ew_sub"
-      in
-      Printf.sprintf "%s(%s, %s, %s);" f out (List.nth args 0) (List.nth args 1)
-  | Op.Unary u ->
-      let f =
-        match u with
-        | Op.Exp -> "ew_exp"
-        | Op.Sqr -> "ew_sqr"
-        | Op.Sqrt -> "ew_sqrt"
-        | Op.Silu -> "ew_silu"
-        | Op.Relu -> "ew_relu"
-      in
-      Printf.sprintf "%s(%s, %s);" f out (List.nth args 0)
-  | Op.Sum { dim; group } ->
-      Printf.sprintf "reduce_sum<%d, %d>(%s, %s);" dim group out (List.nth args 0)
-  | Op.Repeat { dim; times } ->
-      Printf.sprintf "repeat<%d, %d>(%s, %s);" dim times out (List.nth args 0)
-  | Op.Reshape _ | Op.Transpose ->
-      Printf.sprintf "/* %s: view of %s */ auto &%s = %s;" (Op.name p)
-        (List.nth args 0) out (List.nth args 0)
-  | Op.Concat_matmul ->
-      Printf.sprintf "concat_mma(%s, %s, %s, %s, %s);" out (List.nth args 0)
-        (List.nth args 1) (List.nth args 2) (List.nth args 3)
+let iexp_str = Ir.iexp_to_string
 
-let emit_thread_graph buf indent (tg : Graph.thread_graph) ins out =
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1ff" f
+  else Printf.sprintf "%.9gf" f
+
+let rec vexp_str (e : Ir.vexp) =
+  match e with
+  | Ir.Const f -> float_str f
+  | Ir.Temp v -> v
+  | Ir.Load (b, i) -> Printf.sprintf "%s[%s]" b.Ir.bname (iexp_str i)
+  | Ir.Bin (op, a, b) ->
+      let s =
+        match op with
+        | Op.Add -> "+"
+        | Op.Mul -> "*"
+        | Op.Div -> "/"
+        | Op.Sub -> "-"
+      in
+      Printf.sprintf "(%s %s %s)" (vexp_str a) s (vexp_str b)
+  | Ir.Un (op, a) ->
+      let f =
+        match op with
+        | Op.Exp -> "expf"
+        | Op.Sqrt -> "sqrtf"
+        | Op.Sqr -> "sqr"
+        | Op.Silu -> "silu"
+        | Op.Relu -> "relu"
+      in
+      Printf.sprintf "%s(%s)" f (vexp_str a)
+
+let blockidx = [| "blockIdx.x"; "blockIdx.y"; "blockIdx.z" |]
+
+let rec emit_stmt buf indent (s : Ir.stmt) =
   let pad = String.make indent ' ' in
-  Buffer.add_string buf
-    (Printf.sprintf
-       "%s{ // thread graph: intermediates in the register file\n" pad);
-  Array.iteri
-    (fun i (node : Graph.thread_node) ->
-      match node.top with
-      | Graph.T_input k ->
-          Buffer.add_string buf
-            (Printf.sprintf "%s  auto r%d = load_fragment(%s);\n" pad i
-               (List.nth ins k))
-      | Graph.T_prim p ->
-          let args = List.map (Printf.sprintf "r%d") node.tins in
-          Buffer.add_string buf
-            (Printf.sprintf "%s  auto r%d = %s\n" pad i
-               (op_call p args (Printf.sprintf "r%d" i))))
-    tg.tnodes;
-  Buffer.add_string buf
-    (Printf.sprintf "%s  store_fragment(%s, r%d);\n%s}\n" pad out
-       (Array.length tg.tnodes - 1)
-       pad)
+  match s with
+  | Ir.Comment c -> Buffer.add_string buf (Printf.sprintf "%s// %s\n" pad c)
+  | Ir.Barrier ->
+      Buffer.add_string buf (Printf.sprintf "%s__syncthreads();\n" pad)
+  | Ir.Decl { v; init } ->
+      Buffer.add_string buf
+        (Printf.sprintf "%sfloat %s = %s;\n" pad v (vexp_str init))
+  | Ir.Assign { v; e } ->
+      Buffer.add_string buf (Printf.sprintf "%s%s = %s;\n" pad v (vexp_str e))
+  | Ir.Store { dst; idx; e } ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s[%s] = %s;\n" pad dst.Ir.bname (iexp_str idx)
+           (vexp_str e))
+  | Ir.Store_add { dst; idx; e } ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s[%s] += %s;\n" pad dst.Ir.bname (iexp_str idx)
+           (vexp_str e))
+  | Ir.For { v; n; kind = Ir.Grid a; body } ->
+      (* Grid axes are CUDA's block parallelism, not loops. *)
+      Buffer.add_string buf
+        (Printf.sprintf "%sconst int %s = %s; // %d thread blocks on axis %d\n"
+           pad v blockidx.(a) n a);
+      List.iter (emit_stmt buf indent) body
+  | Ir.For { v; n; kind; body } ->
+      let note =
+        match kind with Ir.Forloop _ -> " // data-stream loop" | _ -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%sfor (int %s = 0; %s < %d; ++%s) {%s\n" pad v v n v
+           note);
+      List.iter (emit_stmt buf (indent + 2)) body;
+      Buffer.add_string buf (Printf.sprintf "%s}\n" pad)
 
-let emit_block_kernel ~name (bg : Graph.block_graph) ~kernel_inputs =
-  let buf = Buffer.create 1024 in
-  let shapes = Infer.block_shapes bg ~kernel_inputs in
-  let sched = Opt.Schedule.block_schedule bg in
-  let plan = Opt.Memplan.plan_block ~elt_bytes:2 bg ~kernel_inputs in
-  let post = Graph.post_loop_nodes bg in
-  let offset i =
-    match List.assoc_opt i plan.Opt.Memplan.offsets with
-    | Some o -> o
-    | None -> 0
-  in
+let emit_block_kernel buf (k : Ir.kernel) =
   Buffer.add_string buf
     (Printf.sprintf
        "// grid(%s) forloop(%s), %d B shared memory (planner: %s)\n"
-       (dims_str bg.grid) (dims_str bg.forloop) plan.Opt.Memplan.peak_bytes
-       (if plan.Opt.Memplan.optimal then "optimal" else "first-fit"));
+       (dims_str k.Ir.grid) (dims_str k.Ir.forloop) k.Ir.smem_bytes
+       (if k.Ir.planner_optimal then "optimal" else "first-fit"));
+  let param (j : int) (b : Ir.buf) =
+    Printf.sprintf "%shalf *%s"
+      (if j < k.Ir.n_inputs then "const " else "")
+      b.Ir.bname
+  in
   Buffer.add_string buf
-    (Printf.sprintf "__global__ void %s(half **dmem_in, half **dmem_out) {\n"
-       name);
+    (Printf.sprintf "__global__ void %s(%s) {\n" k.Ir.kname
+       (String.concat ", " (List.mapi param k.Ir.params)));
   Buffer.add_string buf
     (Printf.sprintf "  extern __shared__ half smem[]; // %d bytes planned\n"
-       plan.Opt.Memplan.peak_bytes);
-  (* shared-memory views *)
-  Array.iteri
-    (fun i (node : Graph.block_node) ->
-      match node.bop with
-      | Graph.B_outsaver _ -> ()
-      | _ ->
-          Buffer.add_string buf
-            (Printf.sprintf "  auto s%d /*[%s]*/ = smem + %d;\n" i
-               (shape_str shapes.(i)) (offset i / 2)))
-    bg.bnodes;
-  (* accumulator initialization *)
-  Array.iteri
-    (fun i (node : Graph.block_node) ->
-      match node.bop with
-      | Graph.B_accum _ ->
-          Buffer.add_string buf (Printf.sprintf "  zero_fill(s%d);\n" i)
-      | _ -> ())
-    bg.bnodes;
-  let iters = Graph.total_iters bg in
-  Buffer.add_string buf (Printf.sprintf "  for (int i = 0; i < %d; ++i) {\n" iters);
-  (* loop body in schedule order, with a barrier between depth levels *)
-  let last_depth = ref (-1) in
-  let emit_node i =
-    let node = bg.bnodes.(i) in
-    let depth = sched.Opt.Schedule.depths.(i) in
-    let skip =
-      (* accumulators update inside the loop even though their combined
-         value is epilogue-only; other post-loop nodes wait *)
-      post.(i)
-      && match node.Graph.bop with Graph.B_accum _ -> false | _ -> true
-    in
-    if not skip then begin
-      if depth <> !last_depth && !last_depth >= 0 then
-        Buffer.add_string buf "    __syncthreads();\n";
-      last_depth := depth;
-      match node.Graph.bop with
-      | Graph.B_initer { input; imap; fmap } ->
-          Buffer.add_string buf
-            (Printf.sprintf
-               "    copy_tile(s%d, dmem_in[%d], /*imap*/ \"%s\", /*fmap*/ \"%s\", i);\n"
-               i input
-               (Dmap.imap_to_string imap)
-               (Dmap.fmap_to_string fmap))
-      | Graph.B_prim p ->
-          let args = List.map (Printf.sprintf "s%d") node.Graph.bins in
-          Buffer.add_string buf
-            (Printf.sprintf "    %s\n" (op_call p args (Printf.sprintf "s%d" i)))
-      | Graph.B_threadgraph tg ->
-          let ins = List.map (Printf.sprintf "s%d") node.Graph.bins in
-          emit_thread_graph buf 4 tg ins (Printf.sprintf "s%d" i)
-      | Graph.B_accum { fmap } ->
-          Buffer.add_string buf
-            (Printf.sprintf "    accumulate(s%d, s%d, /*fmap*/ \"%s\", i);\n"
-               i (List.hd node.Graph.bins)
-               (Dmap.fmap_to_string fmap))
-      | Graph.B_outsaver _ -> ()
-    end
-  in
-  List.iter emit_node sched.Opt.Schedule.order;
-  Buffer.add_string buf "  }\n  __syncthreads();\n";
-  (* epilogue *)
+       k.Ir.smem_bytes);
   List.iter
-    (fun i ->
-      if post.(i) then begin
-        let node = bg.bnodes.(i) in
-        match node.Graph.bop with
-        | Graph.B_accum _ -> () (* already materialized in s<i> *)
-        | Graph.B_prim p ->
-            let args = List.map (Printf.sprintf "s%d") node.Graph.bins in
-            Buffer.add_string buf
-              (Printf.sprintf "  %s\n" (op_call p args (Printf.sprintf "s%d" i)))
-        | Graph.B_threadgraph tg ->
-            let ins = List.map (Printf.sprintf "s%d") node.Graph.bins in
-            emit_thread_graph buf 2 tg ins (Printf.sprintf "s%d" i)
-        | Graph.B_initer _ | Graph.B_outsaver _ -> ()
-      end)
-    sched.Opt.Schedule.order;
-  let out_idx = ref 0 in
-  Array.iteri
-    (fun i (node : Graph.block_node) ->
-      match node.Graph.bop with
-      | Graph.B_outsaver { omap } ->
+    (fun ((b : Ir.buf), off) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  auto %s /*[%s] %s*/ = smem + %d;\n" b.Ir.bname
+           (shape_str b.Ir.shape)
+           (Tensor.Layout.to_string b.Ir.layout)
+           (off / 2)))
+    k.Ir.shared;
+  if k.Ir.locals <> [] then begin
+    Buffer.add_string buf
+      "  // thread graph: intermediates in the register file\n";
+    List.iter
+      (fun (b : Ir.buf) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  half %s[%d]; /*[%s]*/\n" b.Ir.bname (Ir.numel b)
+             (shape_str b.Ir.shape)))
+      k.Ir.locals
+  end;
+  List.iter (emit_stmt buf 2) k.Ir.body;
+  Buffer.add_string buf "}\n\n"
+
+let emit_program (p : Ir.program) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "// Mirage-generated program: %s\n" p.Ir.pname);
+  Buffer.add_string buf "#include \"mirage_runtime.cuh\"\n\n";
+  let by_name = Hashtbl.create 8 in
+  List.iter
+    (fun (k : Ir.kernel) ->
+      Hashtbl.replace by_name k.Ir.kname k;
+      if k.Ir.grid <> [||] then emit_block_kernel buf k)
+    p.Ir.kernels;
+  Buffer.add_string buf
+    (Printf.sprintf "void %s_launch(Tensors &t) {\n" p.Ir.pname);
+  (* Device buffers: program inputs then inter-kernel temporaries. *)
+  let names =
+    match
+      List.length p.Ir.input_names = List.length p.Ir.inputs
+    with
+    | true -> p.Ir.input_names
+    | false -> List.map (fun (b : Ir.buf) -> b.Ir.bname) p.Ir.inputs
+  in
+  List.iteri
+    (fun j (b : Ir.buf) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  half *%s = t.in(%d); // input %s [%s]\n" b.Ir.bname
+           j (List.nth names j) (shape_str b.Ir.shape)))
+    p.Ir.inputs;
+  List.iter
+    (fun (b : Ir.buf) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  half *%s = t.alloc(%d); // [%s]\n" b.Ir.bname
+           (Ir.numel b) (shape_str b.Ir.shape)))
+    p.Ir.temps;
+  List.iter
+    (fun (kname, args) ->
+      let argl =
+        String.concat ", " (List.map (fun (b : Ir.buf) -> b.Ir.bname) args)
+      in
+      match Hashtbl.find_opt by_name kname with
+      | Some k when k.Ir.grid = [||] ->
+          let op =
+            match k.Ir.libcall with Some o -> o | None -> "op"
+          in
           Buffer.add_string buf
-            (Printf.sprintf
-               "  store_tile(dmem_out[%d], s%d, /*omap*/ \"%s\");\n" !out_idx
-               (List.hd node.Graph.bins)
-               (Dmap.omap_to_string omap));
-          incr out_idx;
-          ignore i
-      | _ -> ())
-    bg.bnodes;
+            (Printf.sprintf "  library_call_%s(%s); // %s\n"
+               (String.lowercase_ascii op) argl op)
+      | Some k ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s<<<dim3(%s), dim3(128), %d>>>(%s);\n" kname
+               (dims_str k.Ir.grid) k.Ir.smem_bytes argl)
+      | None ->
+          Buffer.add_string buf (Printf.sprintf "  %s(%s);\n" kname argl))
+    p.Ir.calls;
+  List.iteri
+    (fun j (b : Ir.buf) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  t.mark_output(%d, %s); // [%s]\n" j b.Ir.bname
+           (shape_str b.Ir.shape)))
+    p.Ir.outputs;
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
 let emit_kernel ~name (g : Graph.kernel_graph) =
-  let buf = Buffer.create 2048 in
-  let shapes = Infer.kernel_shapes g in
-  Buffer.add_string buf
-    (Printf.sprintf "// Mirage-generated program: %s\n" name);
-  Buffer.add_string buf "#include \"mirage_runtime.cuh\"\n\n";
-  let kernel_names = Hashtbl.create 4 in
-  Array.iteri
-    (fun i (node : Graph.kernel_node) ->
-      match node.kop with
-      | Graph.K_graphdef bg ->
-          let kname = Printf.sprintf "%s_kernel_%d" name i in
-          Hashtbl.replace kernel_names i kname;
-          let kernel_inputs =
-            List.map
-              (fun ({ node = j; port } : Graph.tensor_ref) ->
-                shapes.(j).(port))
-              node.kins
-          in
-          Buffer.add_string buf (emit_block_kernel ~name:kname bg ~kernel_inputs);
-          Buffer.add_string buf "\n"
-      | Graph.K_input _ | Graph.K_prim _ -> ())
-    g.knodes;
-  Buffer.add_string buf (Printf.sprintf "void %s_launch(Tensors &t) {\n" name);
-  Array.iteri
-    (fun i (node : Graph.kernel_node) ->
-      match node.kop with
-      | Graph.K_input { name = n; shape } ->
-          Buffer.add_string buf
-            (Printf.sprintf "  // t[%d] = input %s [%s]\n" i n (shape_str shape))
-      | Graph.K_prim p ->
-          Buffer.add_string buf
-            (Printf.sprintf "  library_call_%s(t, %d); // %s\n"
-               (String.lowercase_ascii (Op.name p))
-               i (Op.to_string p))
-      | Graph.K_graphdef bg ->
-          Buffer.add_string buf
-            (Printf.sprintf "  %s<<<dim3(%s), dim3(128), %d>>>(t.in(%d), t.out(%d));\n"
-               (Hashtbl.find kernel_names i)
-               (dims_str bg.grid)
-               (Opt.Memplan.plan_block ~elt_bytes:2 bg
-                  ~kernel_inputs:
-                    (List.map
-                       (fun ({ node = j; port } : Graph.tensor_ref) ->
-                         shapes.(j).(port))
-                       node.kins))
-                 .Opt.Memplan.peak_bytes
-               i i))
-    g.knodes;
-  Buffer.add_string buf "}\n";
-  Buffer.contents buf
+  emit_program (Lower.lower ~name g)
 
-let loc s =
-  List.length (String.split_on_char '\n' s)
+let loc s = List.length (String.split_on_char '\n' s)

@@ -1,28 +1,27 @@
-(** Pseudo-CUDA emission for muGraphs — the stand-in for the paper's JIT
-    path (§7: "Mirage produces CUDA source code for all custom kernels
-    ... and compiles the code into binary").
+(** Pseudo-CUDA rendering of {!Impir.Ir} programs — the stand-in for the
+    paper's JIT path (§7: "Mirage produces CUDA source code for all
+    custom kernels ... and compiles the code into binary").
 
-    Without nvcc in the environment, this emitter produces human-readable
-    CUDA-style source that documents exactly what the real backend would
+    Without nvcc in the environment, this backend renders human-readable
+    CUDA-style source documenting exactly what the real backend would
     generate: one [__global__] function per graph-defined operator with
-    grid dimensions, shared-memory buffers at the offsets chosen by the
-    memory planner, the for-loop with input-iterator tile loads, operator
-    calls in the depth-ordered schedule with [__syncthreads()] at depth
-    boundaries, the accumulator updates, and the epilogue with output
-    stores. Pre-defined kernel operators become cuBLAS/cuDNN-style
-    library calls in the host launcher. *)
+    grid axes mapped to [blockIdx], shared-memory buffers at the offsets
+    chosen by the memory planner, the data-stream for-loop with
+    [__syncthreads()] at schedule depth boundaries, and the epilogue with
+    output stores. Kernel-level operators render as cuBLAS/cuDNN-style
+    library calls in the host launcher.
+
+    It consumes the same {!Impir.Lower} output as the runnable C backend
+    ({!C_emit}), so the two paths cannot drift: the loop nests, index
+    expressions and barrier placement are rendered from one IR. *)
 
 open Mugraph
 
-val emit_kernel : name:string -> Graph.kernel_graph -> string
-(** Full translation unit: kernels + host launcher. *)
+val emit_program : Impir.Ir.program -> string
+(** Render an already-lowered program. *)
 
-val emit_block_kernel :
-  name:string ->
-  Graph.block_graph ->
-  kernel_inputs:Tensor.Shape.t list ->
-  string
-(** One custom kernel. *)
+val emit_kernel : name:string -> Graph.kernel_graph -> string
+(** Lower and render: full translation unit, kernels + host launcher. *)
 
 val loc : string -> int
 (** Lines of emitted code (for reporting). *)

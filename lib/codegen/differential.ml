@@ -1,0 +1,178 @@
+open Tensor
+open Mugraph
+
+type outcome = {
+  workload : string;
+  trials : int;
+  max_rel_err : float;
+  tol : float;
+  compile_s : float;
+  run_s : float;
+  interp_s : float;
+  c_file : string;
+  ok : bool;
+  report : string option;
+}
+
+let pp_outcome o =
+  Printf.sprintf
+    "%s: %s (trials=%d max_rel_err=%.3g tol=%.3g compile=%.2fs run=%.3fs \
+     interp=%.3fs)%s"
+    o.workload
+    (if o.ok then "OK" else "MISMATCH")
+    o.trials o.max_rel_err o.tol o.compile_s o.run_s o.interp_s
+    (match o.report with
+    | Some d -> Printf.sprintf " report=%s" d
+    | None -> "")
+
+(* |a-b| relative to the larger magnitude; tiny values compare almost
+   absolutely. Non-finite values must agree exactly in class. *)
+let rel_err a b =
+  match (Float.is_nan a, Float.is_nan b) with
+  | true, true -> 0.0
+  | true, false | false, true -> infinity
+  | false, false ->
+      if a = b then 0.0
+      else if Float.is_finite a && Float.is_finite b then
+        Float.abs (a -. b)
+        /. Float.max 1e-6 (Float.max (Float.abs a) (Float.abs b))
+      else infinity
+
+let fresh_dir prefix =
+  let f = Filename.temp_file prefix "" in
+  Sys.remove f;
+  Unix.mkdir f 0o755;
+  f
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      try Unix.rmdir path with _ -> ()
+    end
+    else try Sys.remove path with _ -> ()
+
+let dump_floats path arrs =
+  let oc = open_out path in
+  List.iteri
+    (fun i arr ->
+      Printf.fprintf oc "# tensor %d (%d values)\n" i (Array.length arr);
+      Array.iter (fun f -> Printf.fprintf oc "%.17g\n" f) arr)
+    arrs;
+  close_out oc
+
+let random_inputs st shapes =
+  List.map
+    (fun shape ->
+      Array.init (Shape.numel shape) (fun _ ->
+          0.25 +. (1.5 *. Random.State.float st 1.0)))
+    shapes
+
+let flatten t = Array.init (Dense.numel t) (Dense.get_linear t)
+
+let check ?(trials = 8) ?(tol = 1e-4) ?(seed = 42) ?cflags ?report_dir
+    ?(keep = false) ~name (g : Graph.kernel_graph) =
+  if not (C_exec.cc_available ()) then
+    Error "system cc not available (differential check needs a C compiler)"
+  else
+    match Impir.Lower.lower ~name g with
+    | exception e -> Error ("lowering failed: " ^ Printexc.to_string e)
+    | prog -> (
+        match Impir.Ir.check_program prog with
+        | Error m -> Error ("lowering produced ill-formed impir: " ^ m)
+        | Ok () -> (
+            let dir =
+              match report_dir with
+              | Some d -> d
+              | None -> fresh_dir "mirage_diff"
+            in
+            let cflags =
+              match cflags with
+              | Some c -> c
+              | None -> C_exec.default_cflags ()
+            in
+            match C_exec.compile ~cflags ~dir prog with
+            | Error m -> Error (Printf.sprintf "compile failed: %s" m)
+            | Ok compiled ->
+                let shapes = Graph.input_shapes g in
+                let st = Random.State.make [| seed |] in
+                let max_err = ref 0.0 in
+                let run_s = ref 0.0 and interp_s = ref 0.0 in
+                let failure = ref None in
+                let trial = ref 0 in
+                while !trial < trials && !failure = None do
+                  let t = !trial in
+                  let ins = random_inputs st shapes in
+                  let t0 = Unix.gettimeofday () in
+                  let expected =
+                    Interp.eval_kernel Element.float_ops g
+                      ~inputs:
+                        (List.map2
+                           (fun shape arr -> Dense.create shape arr)
+                           shapes ins)
+                    |> List.map flatten
+                  in
+                  interp_s := !interp_s +. Unix.gettimeofday () -. t0;
+                  let t1 = Unix.gettimeofday () in
+                  (match C_exec.run compiled ins with
+                  | Error m ->
+                      run_s := !run_s +. Unix.gettimeofday () -. t1;
+                      dump_floats
+                        (Filename.concat dir
+                           (Printf.sprintf "inputs_trial%d.txt" t))
+                        ins;
+                      let oc =
+                        open_out (Filename.concat dir "error.txt")
+                      in
+                      Printf.fprintf oc "trial %d: %s\n" t m;
+                      close_out oc;
+                      failure := Some (Printf.sprintf "trial %d: %s" t m)
+                  | Ok actual ->
+                      run_s := !run_s +. Unix.gettimeofday () -. t1;
+                      let worst = ref 0.0 in
+                      List.iter2
+                        (fun e a ->
+                          Array.iteri
+                            (fun i x ->
+                              worst := Float.max !worst (rel_err x a.(i)))
+                            e)
+                        expected actual;
+                      max_err := Float.max !max_err !worst;
+                      if !worst > tol then begin
+                        dump_floats
+                          (Filename.concat dir
+                             (Printf.sprintf "inputs_trial%d.txt" t))
+                          ins;
+                        dump_floats
+                          (Filename.concat dir
+                             (Printf.sprintf "expected_trial%d.txt" t))
+                          expected;
+                        dump_floats
+                          (Filename.concat dir
+                             (Printf.sprintf "actual_trial%d.txt" t))
+                          actual;
+                        failure :=
+                          Some
+                            (Printf.sprintf
+                               "trial %d: max relative error %.3g > %.3g" t
+                               !worst tol)
+                      end);
+                  incr trial
+                done;
+                let ok = !failure = None in
+                let outcome =
+                  {
+                    workload = name;
+                    trials = !trial;
+                    max_rel_err = !max_err;
+                    tol;
+                    compile_s = compiled.C_exec.compile_s;
+                    run_s = !run_s;
+                    interp_s = !interp_s;
+                    c_file = compiled.C_exec.c_file;
+                    ok;
+                    report = (if ok then None else Some dir);
+                  }
+                in
+                if ok && (not keep) && report_dir = None then rm_rf dir;
+                Ok outcome))

@@ -1,0 +1,43 @@
+(** Differential testing of the runnable backend against the muGraph
+    float interpreter — the second, independent soundness check next to
+    the finite-field verifier: the paper's probabilistic equivalence
+    test certifies a candidate against the spec, this one certifies the
+    *generated code* against the candidate.
+
+    [check] lowers the graph, compiles it with the system [cc], executes
+    it on random input sets through the subprocess harness, and compares
+    every output scalar against {!Mugraph.Interp.eval_kernel} under
+    {!Tensor.Element.float_ops}. On failure the C file, the offending
+    inputs and both result sets are left in a report directory for
+    forensics. *)
+
+type outcome = {
+  workload : string;
+  trials : int;  (** input sets actually executed *)
+  max_rel_err : float;
+  tol : float;
+  compile_s : float;
+  run_s : float;  (** total subprocess execution wall time *)
+  interp_s : float;  (** total interpreter wall time *)
+  c_file : string;
+  ok : bool;
+  report : string option;  (** forensics directory, present iff failed *)
+}
+
+val pp_outcome : outcome -> string
+
+val check :
+  ?trials:int ->
+  ?tol:float ->
+  ?seed:int ->
+  ?cflags:string list ->
+  ?report_dir:string ->
+  ?keep:bool ->
+  name:string ->
+  Mugraph.Graph.kernel_graph ->
+  (outcome, string) result
+(** Defaults: 8 trials, tolerance 1e-4, seed 42, flags from
+    {!C_exec.default_cflags}, scratch directory deleted on success
+    unless [keep]. [Error] is reserved for infrastructure failures
+    (no [cc], lowering raised); a numeric mismatch returns
+    [Ok { ok = false; report = Some dir; _ }]. *)

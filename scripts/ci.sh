@@ -38,6 +38,21 @@ dune exec tools/json_check.exe -- \
   /tmp/mirage_ci_run/report.json /tmp/mirage_ci_run/trace.json \
   /tmp/mirage_ci_run/journal.jsonl
 
+echo "== codegen smoke: runnable backend differential (chaos off)"
+# The generated C for the rmsnorm and gated-MLP winners must compile
+# with the system cc and agree with the muGraph interpreter to 1e-4 on
+# random inputs; run-winner replays the winning muGraph persisted in
+# the optimize --report run dir above. Skipped (loudly) when the host
+# has no working C compiler — everything else in CI still runs.
+if cc -xc -o /tmp/mirage_ci_ccprobe - <<<'int main(void){return 0;}' \
+    >/dev/null 2>&1 && /tmp/mirage_ci_ccprobe; then
+  dune exec bin/mirage_cli.exe -- verify rmsnorm --differential
+  dune exec bin/mirage_cli.exe -- verify gatedmlp --differential
+  dune exec bin/mirage_cli.exe -- run-winner /tmp/mirage_ci_run
+else
+  echo "*** SKIPPING codegen smoke: no working C compiler (cc) on this host ***"
+fi
+
 echo "== chaos smoke: enumerator crashes are quarantined, run still lands"
 rm -rf /tmp/mirage_ci_chaos1
 MIRAGE_FAULT="enum.block:1.0:2" dune exec bin/mirage_cli.exe -- \
@@ -218,7 +233,7 @@ test ! -e /tmp/mirage_ci_wire/s.sock
 test -z "$(find /tmp/mirage_ci_wire/cache -name '.result.json.tmp.*' \
   -not -path '*/quarantine/*' 2>/dev/null)"
 
-echo "== bench history regression gate (Fig. 7 + verifier + service + enum, 5%)"
+echo "== bench history regression gate (Fig. 7 + verifier + service + enum + codegen, 5%)"
 # Gate against the committed baseline on a scratch copy so CI runs never
 # dirty the tree; a real refresh re-runs `bench fig7 verify serve
 # profile enum --history` in place. The verify suite's
@@ -232,9 +247,12 @@ echo "== bench history regression gate (Fig. 7 + verifier + service + enum, 5%)"
 # a >=4-core host scales below 2x (on smaller hosts the number is
 # recorded and drift-gated only — time-slicing domains on one core
 # cannot speed up), and it hard-asserts the prune-query cache actually
-# persists and answers from disk (warm solve time, disk_hits > 0).
+# persists and answers from disk (warm solve time, disk_hits > 0). The
+# codegen suite times the runnable backend's lower+compile wall for the
+# rmsnorm winner (gated one-sided: only an increase fails) and records
+# executed-vs-interpreter throughput.
 cp BENCH_history.jsonl /tmp/mirage_ci_history.jsonl
-dune exec bench/main.exe -- fig7 verify serve profile enum \
+dune exec bench/main.exe -- fig7 verify serve profile enum codegen \
   --history /tmp/mirage_ci_history.jsonl --gate 5 >/dev/null
 
 echo "CI OK"
